@@ -1,0 +1,423 @@
+//! The offline auditor: replaying a disclosure log against an audit query.
+//!
+//! The auditor is the paper's "meta-agent" (Section 2). Given
+//!
+//! * an **audit query** `A` (the sensitive property, e.g. `hiv_pos` —
+//!   possibly itself sensitive, per the retroactive-auditing motivation),
+//! * a **prior assumption** about users (which family `Π`/`Σ` their
+//!   knowledge lives in),
+//! * a **disclosure log**,
+//!
+//! she flags every disclosure that *could have* let its recipient gain
+//! confidence in `A`. Only a positive answer to `A` is protected; negative
+//! answers are not (Section 3: "a positive result of query `A` is
+//! considered private … whereas a negative result is not protected"), so
+//! entries are only audited when `A` was true in the database at disclosure
+//! time. Each user's disclosures are also audited *cumulatively* — the
+//! intersection of everything the user learned (Section 3.3) — which
+//! catches composition breaches that no single query exhibits (Remark 4.2).
+
+use crate::log::{AuditLog, Disclosure};
+use crate::query::Query;
+use epi_boolean::Cube;
+use epi_core::{unrestricted, WorldId, WorldSet};
+use epi_solver::logsupermod::{self, SupermodularSearchOptions};
+use epi_solver::{decide_product_pipeline, ProductSolverOptions, SafeEvidence, Stage, Verdict};
+use rand::SeedableRng;
+use std::fmt;
+
+/// The auditor's assumption about users' prior knowledge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PriorAssumption {
+    /// No assumption at all (Theorem 3.11); also covers possibilistic
+    /// users by the equivalence of conditions (1)–(3).
+    Unrestricted,
+    /// Users treat records independently (`Π_m⁰`, the Miklau–Suciu
+    /// assumption) — decided by the full criteria pipeline.
+    Product,
+    /// Users' priors admit no negative correlations (`Π_m⁺`,
+    /// log-supermodular) — criteria plus refutation search.
+    LogSupermodular,
+}
+
+/// The auditor's finding for one disclosure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Finding {
+    /// The disclosure could not have increased any admissible user's
+    /// confidence in the audited property.
+    Safe,
+    /// Some admissible prior gains confidence — the disclosure is flagged.
+    Flagged,
+    /// The decision procedure was inconclusive; the auditor flags these
+    /// conservatively in reports but records the distinction.
+    Inconclusive,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::Safe => write!(f, "safe"),
+            Finding::Flagged => write!(f, "FLAGGED"),
+            Finding::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
+
+/// One line of the audit report.
+#[derive(Clone, Debug)]
+pub struct ReportEntry {
+    /// The user audited.
+    pub user: String,
+    /// Time of the disclosure (or of the last disclosure for cumulative
+    /// entries).
+    pub time: u64,
+    /// Whether this entry audits a single disclosure or the user's
+    /// cumulative knowledge.
+    pub kind: EntryKind,
+    /// The finding.
+    pub finding: Finding,
+    /// Explanation: the deciding criterion/stage, or the breach evidence.
+    pub explanation: String,
+}
+
+/// What a report entry covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// One log entry.
+    Single,
+    /// The intersection of all of the user's disclosures up to `time`.
+    Cumulative,
+}
+
+/// A completed audit.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// The audited property rendered against the schema.
+    pub audit_query: String,
+    /// The assumption used.
+    pub assumption: PriorAssumption,
+    /// Per-disclosure and per-user findings.
+    pub entries: Vec<ReportEntry>,
+}
+
+impl AuditReport {
+    /// The users with at least one flagged entry.
+    pub fn flagged_users(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .entries
+            .iter()
+            .filter(|e| e.finding == Finding::Flagged)
+            .map(|e| e.user.as_str())
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Renders a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Audit of property `{}` under {:?} priors\n",
+            self.audit_query, self.assumption
+        );
+        for e in &self.entries {
+            let kind = match e.kind {
+                EntryKind::Single => "disclosure",
+                EntryKind::Cumulative => "cumulative",
+            };
+            out.push_str(&format!(
+                "  [{:>12}] t={:<6} {:<10} {:<12} — {}\n",
+                e.user, e.time, kind, e.finding.to_string(), e.explanation
+            ));
+        }
+        out
+    }
+}
+
+/// The offline auditor.
+pub struct Auditor {
+    assumption: PriorAssumption,
+    product_options: ProductSolverOptions,
+    seed: u64,
+}
+
+impl Auditor {
+    /// Creates an auditor with the given prior assumption.
+    pub fn new(assumption: PriorAssumption) -> Auditor {
+        Auditor {
+            assumption,
+            product_options: ProductSolverOptions::default(),
+            seed: 0xE1F0,
+        }
+    }
+
+    /// Overrides the product-solver options (budget/margin).
+    pub fn with_product_options(mut self, options: ProductSolverOptions) -> Auditor {
+        self.product_options = options;
+        self
+    }
+
+    /// Decides safety of disclosing `b` against audited set `a`.
+    fn decide(&self, cube: &Cube, a: &WorldSet, b: &WorldSet) -> (Finding, String) {
+        match self.assumption {
+            PriorAssumption::Unrestricted => {
+                if unrestricted::safe_unrestricted(a, b) {
+                    (Finding::Safe, SafeEvidence::Unconditional.to_string())
+                } else {
+                    let r = unrestricted::refute_unrestricted(a, b)
+                        .expect("refutation exists when the condition fails");
+                    (
+                        Finding::Flagged,
+                        format!(
+                            "two-point prior raises P[A] from {} to {}",
+                            r.prior_confidence, r.posterior_confidence
+                        ),
+                    )
+                }
+            }
+            PriorAssumption::Product => {
+                let decision = decide_product_pipeline(cube, a, b, self.product_options);
+                match decision.verdict {
+                    Verdict::Safe(ev) => (
+                        Finding::Safe,
+                        format!("{} via {}", ev, decision.stage.label()),
+                    ),
+                    Verdict::Unsafe(w) => (
+                        Finding::Flagged,
+                        format!(
+                            "product prior p = {:?} gains {} (stage {})",
+                            w.probs
+                                .iter()
+                                .map(|r| r.to_f64())
+                                .collect::<Vec<_>>(),
+                            (-w.gap.to_f64()),
+                            decision.stage.label()
+                        ),
+                    ),
+                    Verdict::Unknown => (
+                        Finding::Inconclusive,
+                        format!("budget exhausted at stage {}", Stage::BranchAndBound.label()),
+                    ),
+                }
+            }
+            PriorAssumption::LogSupermodular => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+                let verdict = logsupermod::decide_supermodular(
+                    cube,
+                    a,
+                    b,
+                    SupermodularSearchOptions::default(),
+                    &mut rng,
+                );
+                match verdict {
+                    Verdict::Safe(ev) => (Finding::Safe, ev.to_string()),
+                    Verdict::Unsafe(w) => (
+                        Finding::Flagged,
+                        format!("log-supermodular prior gains {} ({:?})", w.gain, w.source),
+                    ),
+                    Verdict::Unknown => (
+                        Finding::Inconclusive,
+                        "criteria inconclusive and no refutation found".into(),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Audits a log against the audit query `A`, producing per-disclosure
+    /// and per-user cumulative findings.
+    ///
+    /// Entries where `A` was false at disclosure time are reported `Safe`
+    /// with the "negative result not protected" explanation — this is the
+    /// Alice/Cindy-vs-Mallory distinction of the introduction.
+    pub fn audit(&self, log: &AuditLog, audit_query: &Query) -> AuditReport {
+        let schema = log.schema();
+        let cube = schema.cube();
+        let a = audit_query.compile(schema);
+        let mut entries = Vec::new();
+        for (d, state) in log.entries_with_state() {
+            if !a.contains(WorldId(state.mask())) {
+                entries.push(ReportEntry {
+                    user: d.user.clone(),
+                    time: d.time,
+                    kind: EntryKind::Single,
+                    finding: Finding::Safe,
+                    explanation: "audited property was false at disclosure time (negative results are not protected)".into(),
+                });
+                continue;
+            }
+            let b = d.disclosed_set(schema);
+            let (finding, explanation) = self.decide(&cube, &a, &b);
+            entries.push(ReportEntry {
+                user: d.user.clone(),
+                time: d.time,
+                kind: EntryKind::Single,
+                finding,
+                explanation: format!(
+                    "query `{}` answered {}: {}",
+                    d.query.display(schema),
+                    d.answer,
+                    explanation
+                ),
+            });
+        }
+        // Cumulative per user. The same protection rule as for single
+        // entries applies: a positive result of A is protected, a negative
+        // one is not — so the cumulative check is gated on A being true at
+        // the user's last disclosure (the state their combined knowledge
+        // refers to).
+        for user in log.users() {
+            let relevant: Vec<(&Disclosure, crate::schema::DatabaseState)> = log
+                .entries_with_state()
+                .filter(|(d, _)| d.user == user)
+                .collect();
+            let Some((last, last_state)) = relevant.last() else {
+                continue;
+            };
+            if relevant.len() < 2 {
+                continue; // cumulative coincides with the single entry
+            }
+            if !a.contains(WorldId(last_state.mask())) {
+                entries.push(ReportEntry {
+                    user: user.to_owned(),
+                    time: last.time,
+                    kind: EntryKind::Cumulative,
+                    finding: Finding::Safe,
+                    explanation: "audited property was false at the last disclosure (negative results are not protected)".into(),
+                });
+                continue;
+            }
+            let b = log.cumulative_disclosure(user, last.time);
+            let (finding, explanation) = self.decide(&cube, &a, &b);
+            entries.push(ReportEntry {
+                user: user.to_owned(),
+                time: last.time,
+                kind: EntryKind::Cumulative,
+                finding,
+                explanation: format!("{} disclosures combined: {}", relevant.len(), explanation),
+            });
+        }
+        AuditReport {
+            audit_query: audit_query.display(schema).to_string(),
+            assumption: self.assumption,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse;
+    use crate::schema::{DatabaseState, RecordId, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_names(&["hiv_pos", "transfusions"]).unwrap()
+    }
+
+    /// The introduction's timeline: Alice and Cindy learn Bob's status
+    /// before he contracts HIV; Mallory after. Only Mallory is flagged.
+    #[test]
+    fn intro_timeline_flags_only_mallory() {
+        let schema = schema();
+        let mut log = AuditLog::new(schema.clone());
+        let healthy = DatabaseState::from_mask(0);
+        let infected = healthy.with(RecordId(0));
+        let q = parse("hiv_pos", &schema).unwrap();
+        log.record("alice", 2005, q.clone(), healthy).unwrap();
+        log.record("cindy", 2005, q.clone(), healthy).unwrap();
+        log.record("mallory", 2007, q.clone(), infected).unwrap();
+
+        let auditor = Auditor::new(PriorAssumption::Unrestricted);
+        let report = auditor.audit(&log, &q);
+        assert_eq!(report.flagged_users(), vec!["mallory"]);
+        // Alice/Cindy entries cite the negative-result rule.
+        let alice = report
+            .entries
+            .iter()
+            .find(|e| e.user == "alice")
+            .unwrap();
+        assert_eq!(alice.finding, Finding::Safe);
+        assert!(alice.explanation.contains("not protected"));
+    }
+
+    /// §1.1: disclosing `hiv_pos -> transfusions` is safe for `hiv_pos`
+    /// under every assumption, even though they share a critical record.
+    #[test]
+    fn hiv_implication_safe_under_all_assumptions() {
+        let schema = schema();
+        let a = parse("hiv_pos", &schema).unwrap();
+        let b = parse("hiv_pos -> transfusions", &schema).unwrap();
+        let db = DatabaseState::from_present([RecordId(0), RecordId(1)]);
+        for assumption in [
+            PriorAssumption::Unrestricted,
+            PriorAssumption::Product,
+            PriorAssumption::LogSupermodular,
+        ] {
+            let mut log = AuditLog::new(schema.clone());
+            log.record("alice", 1, b.clone(), db).unwrap();
+            let report = Auditor::new(assumption).audit(&log, &a);
+            assert!(
+                report.flagged_users().is_empty(),
+                "{assumption:?} must accept the implication disclosure:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    /// Asking `hiv_pos` directly while it is true is flagged under every
+    /// assumption.
+    #[test]
+    fn direct_query_flagged() {
+        let schema = schema();
+        let a = parse("hiv_pos", &schema).unwrap();
+        let db = DatabaseState::from_present([RecordId(0)]);
+        for assumption in [
+            PriorAssumption::Unrestricted,
+            PriorAssumption::Product,
+            PriorAssumption::LogSupermodular,
+        ] {
+            let mut log = AuditLog::new(schema.clone());
+            log.record("mallory", 1, a.clone(), db).unwrap();
+            let report = Auditor::new(assumption).audit(&log, &a);
+            assert_eq!(report.flagged_users(), vec!["mallory"], "{assumption:?}");
+        }
+    }
+
+    /// Composition: two individually-safe disclosures can combine into a
+    /// breach; the cumulative entry catches it.
+    #[test]
+    fn cumulative_breach_detected() {
+        let schema = Schema::from_names(&["secret", "marker_a", "marker_b"]).unwrap();
+        let a = parse("secret", &schema).unwrap();
+        // B₁ = secret | marker_a, B₂ = secret | !marker_a: each individually
+        // allows confidence loss only… but their intersection pins `secret`.
+        let b1 = parse("secret | marker_a", &schema).unwrap();
+        let b2 = parse("secret | !marker_a", &schema).unwrap();
+        let db = DatabaseState::from_present([RecordId(0), RecordId(1)]);
+        let mut log = AuditLog::new(schema.clone());
+        log.record("eve", 1, b1, db).unwrap();
+        log.record("eve", 2, b2, db).unwrap();
+        let report = Auditor::new(PriorAssumption::Unrestricted).audit(&log, &a);
+        let cumulative = report
+            .entries
+            .iter()
+            .find(|e| e.kind == EntryKind::Cumulative)
+            .expect("cumulative entry present");
+        assert_eq!(cumulative.finding, Finding::Flagged);
+        assert!(report.render().contains("FLAGGED"));
+    }
+
+    #[test]
+    fn report_rendering_mentions_stage() {
+        let schema = schema();
+        let a = parse("hiv_pos", &schema).unwrap();
+        let b = parse("hiv_pos -> transfusions", &schema).unwrap();
+        let db = DatabaseState::from_present([RecordId(0), RecordId(1)]);
+        let mut log = AuditLog::new(schema.clone());
+        log.record("alice", 1, b, db).unwrap();
+        let report = Auditor::new(PriorAssumption::Product).audit(&log, &a);
+        let rendered = report.render();
+        assert!(rendered.contains("hiv_pos"), "{rendered}");
+        assert!(rendered.contains("safe"), "{rendered}");
+    }
+}

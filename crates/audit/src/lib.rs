@@ -1,0 +1,52 @@
+//! # epi-audit
+//!
+//! The retroactive (offline) query-auditing application built on the
+//! *Epistemic Privacy* framework — the deployment scenario that motivates
+//! the paper (Section 1): users issue Boolean queries over database
+//! records, receive truthful answers, and an auditor later determines which
+//! disclosures could have let their recipients *gain confidence* in a
+//! sensitive audit query.
+//!
+//! * [`schema`] — records, schemas, database states (the relevant-record
+//!   universe `Ω = {0,1}ⁿ`);
+//! * [`query`] — the Boolean query language (`r1 & !r2 -> r3`), with a
+//!   parser, compiler to world sets, and monotonicity analysis;
+//! * [`log`] — chronological disclosure logs over evolving database
+//!   states, with cumulative per-user knowledge (Section 3.3);
+//! * [`auditor`] — the offline auditor: per-disclosure and cumulative
+//!   findings under unrestricted, product, or log-supermodular prior
+//!   assumptions, with criteria-stage provenance in the report;
+//! * [`workload`] — scenario generators, including the paper's hospital
+//!   timeline (Alice/Cindy/Mallory/Dave);
+//! * [`online`] — the proactive-auditing extension the paper's conclusion
+//!   calls for: strategy-aware users, implicit disclosures of denials, and
+//!   strategy audits (the intro's Bob example as an executable theorem).
+//!
+//! # Quick start
+//!
+//! ```
+//! use epi_audit::auditor::{Auditor, PriorAssumption};
+//! use epi_audit::query::parse;
+//! use epi_audit::workload::hospital_scenario;
+//!
+//! let scenario = hospital_scenario();
+//! let audit_query = parse("hiv_pos", &scenario.schema).unwrap();
+//! let report = Auditor::new(PriorAssumption::Unrestricted)
+//!     .audit(&scenario.log, &audit_query);
+//! assert_eq!(report.flagged_users(), vec!["mallory"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auditor;
+pub mod log;
+pub mod online;
+pub mod query;
+pub mod schema;
+pub mod workload;
+
+pub use auditor::{AuditReport, Auditor, Finding, PriorAssumption};
+pub use log::{AuditLog, Disclosure};
+pub use query::Query;
+pub use schema::{DatabaseState, Record, RecordId, Schema};

@@ -1,0 +1,244 @@
+//! Disclosure logs — the input of retroactive (offline) auditing.
+//!
+//! In the paper's scenario (Section 1), users issue queries over time and
+//! receive truthful answers; the auditor later replays the log against an
+//! audit query. Each entry records who asked, what, when, and the answer
+//! they received. The *disclosed property* of an entry is the knowledge set
+//! associated with the answer: the query's world set when the answer was
+//! `true`, its complement when `false` (the query-output knowledge set of
+//! Section 2).
+
+use crate::query::Query;
+use crate::schema::{DatabaseState, Schema};
+use epi_core::WorldSet;
+use std::fmt;
+
+/// One answered query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Disclosure {
+    /// The user who received the answer.
+    pub user: String,
+    /// Logical time of the disclosure (monotone within a log).
+    pub time: u64,
+    /// The question asked.
+    pub query: Query,
+    /// The truthful answer, as evaluated against the database state at
+    /// `time`.
+    pub answer: bool,
+}
+
+impl Disclosure {
+    /// The disclosed property `B ⊆ Ω`: worlds consistent with the answer.
+    pub fn disclosed_set(&self, schema: &Schema) -> WorldSet {
+        let q = self.query.compile(schema);
+        if self.answer {
+            q
+        } else {
+            q.complement()
+        }
+    }
+}
+
+/// A chronological log of disclosures, with the database state at each
+/// point in time (the state may evolve between disclosures, as in the
+/// Alice/Cindy/Mallory example of the introduction).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditLog {
+    schema: Schema,
+    entries: Vec<(Disclosure, DatabaseState)>,
+}
+
+/// Errors while appending to a log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogError {
+    /// Entries must be appended in non-decreasing time order.
+    OutOfOrder {
+        /// Time of the offending entry.
+        time: u64,
+        /// Time of the last accepted entry.
+        last: u64,
+    },
+    /// The recorded answer contradicts the database state at that time.
+    UntruthfulAnswer {
+        /// Index the entry would have had.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::OutOfOrder { time, last } => {
+                write!(f, "disclosure at time {time} appended after time {last}")
+            }
+            LogError::UntruthfulAnswer { index } => write!(
+                f,
+                "entry {index}: recorded answer contradicts the database state (the model assumes truthful answers)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl AuditLog {
+    /// An empty log over a schema.
+    pub fn new(schema: Schema) -> AuditLog {
+        AuditLog {
+            schema,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Appends an answered query, checking chronology and truthfulness
+    /// against the given database state.
+    pub fn record(
+        &mut self,
+        user: impl Into<String>,
+        time: u64,
+        query: Query,
+        state: DatabaseState,
+    ) -> Result<&Disclosure, LogError> {
+        if let Some((last, _)) = self.entries.last() {
+            if time < last.time {
+                return Err(LogError::OutOfOrder {
+                    time,
+                    last: last.time,
+                });
+            }
+        }
+        let answer = query.eval(state.mask());
+        self.entries.push((
+            Disclosure {
+                user: user.into(),
+                time,
+                query,
+                answer,
+            },
+            state,
+        ));
+        Ok(&self.entries.last().expect("just pushed").0)
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> impl Iterator<Item = &Disclosure> {
+        self.entries.iter().map(|(d, _)| d)
+    }
+
+    /// Entries with the database state at disclosure time.
+    pub fn entries_with_state(&self) -> impl Iterator<Item = (&Disclosure, DatabaseState)> {
+        self.entries.iter().map(|(d, s)| (d, *s))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The distinct users appearing in the log, in first-seen order.
+    pub fn users(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (d, _) in &self.entries {
+            if !out.contains(&d.user.as_str()) {
+                out.push(&d.user);
+            }
+        }
+        out
+    }
+
+    /// The cumulative disclosed set of one user up to and including `time`:
+    /// the intersection of the individual disclosures (Section 3.3 —
+    /// acquiring `B₁` then `B₂` equals acquiring `B₁ ∩ B₂`).
+    pub fn cumulative_disclosure(&self, user: &str, up_to: u64) -> WorldSet {
+        let mut acc = self.schema.cube().full_set();
+        for (d, _) in &self.entries {
+            if d.user == user && d.time <= up_to {
+                acc.intersect_with(&d.disclosed_set(&self.schema));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse;
+    use crate::schema::{RecordId, Schema};
+
+    fn setup() -> (Schema, AuditLog) {
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let log = AuditLog::new(schema.clone());
+        (schema, log)
+    }
+
+    #[test]
+    fn truthful_answers_recorded() {
+        let (schema, mut log) = setup();
+        let db = DatabaseState::from_present([RecordId(0)]); // HIV+, no transfusions
+        let q = parse("hiv_pos -> transfusions", &schema).unwrap();
+        let d = log.record("alice", 1, q, db).unwrap();
+        assert!(!d.answer, "HIV+ without transfusions falsifies the implication");
+        // Disclosed set is the complement of the query set.
+        let set = d.disclosed_set(&schema).clone();
+        assert_eq!(set, WorldSet::from_indices(4, [1])); // only world 01 (hiv, no transf)
+    }
+
+    #[test]
+    fn chronology_enforced() {
+        let (schema, mut log) = setup();
+        let db = DatabaseState::from_mask(0);
+        let q = parse("hiv_pos", &schema).unwrap();
+        log.record("alice", 5, q.clone(), db).unwrap();
+        assert!(matches!(
+            log.record("bob", 3, q.clone(), db),
+            Err(LogError::OutOfOrder { time: 3, last: 5 })
+        ));
+        // Equal timestamps are fine.
+        assert!(log.record("bob", 5, q, db).is_ok());
+    }
+
+    #[test]
+    fn cumulative_disclosure_is_intersection() {
+        let (schema, mut log) = setup();
+        let db = DatabaseState::from_present([RecordId(0), RecordId(1)]);
+        log.record("alice", 1, parse("hiv_pos | transfusions", &schema).unwrap(), db)
+            .unwrap();
+        log.record("alice", 2, parse("transfusions", &schema).unwrap(), db)
+            .unwrap();
+        log.record("mallory", 3, parse("hiv_pos", &schema).unwrap(), db)
+            .unwrap();
+        // Alice knows: (hiv|transf) ∩ transf = {01?...}: worlds with bit1.
+        let alice = log.cumulative_disclosure("alice", 10);
+        assert_eq!(alice, WorldSet::from_indices(4, [2, 3]));
+        // Before time 2 only the first disclosure counts.
+        let alice_early = log.cumulative_disclosure("alice", 1);
+        assert_eq!(alice_early, WorldSet::from_indices(4, [1, 2, 3]));
+        // Unknown user: vacuous knowledge.
+        assert!(log.cumulative_disclosure("nobody", 10).is_full());
+        assert_eq!(log.users(), vec!["alice", "mallory"]);
+    }
+
+    #[test]
+    fn evolving_database_states() {
+        // The intro's timeline: Bob contracts HIV between disclosures.
+        let (schema, mut log) = setup();
+        let before = DatabaseState::from_mask(0);
+        let after = before.with(RecordId(0));
+        let q = parse("hiv_pos", &schema).unwrap();
+        let d1 = log.record("alice", 2005, q.clone(), before).unwrap();
+        assert!(!d1.answer);
+        let d2 = log.record("mallory", 2007, q, after).unwrap();
+        assert!(d2.answer);
+    }
+}

@@ -1,0 +1,359 @@
+//! Online (proactive) auditing — the paper's stated future-work direction.
+//!
+//! In the proactive scenario (Section 1) the database system must decide,
+//! *before* seeing how the world evolves, whether to answer or deny each
+//! query; and "the denial, when it occurs, is also an 'answer' to some
+//! (implicit) query that depends on the auditor's privacy enforcement
+//! strategy". The conclusion names this the open extension: "apply the new
+//! frameworks to online (proactive) auditing, which will require the
+//! modeling of a user's knowledge about the auditor's query-answering
+//! strategy".
+//!
+//! This module implements that modeling for deterministic strategies over
+//! finite worlds: a [`Strategy`] maps (database state, query) to an
+//! [`Observation`] (`True`, `False`, or `Deny`); a strategy-aware user who
+//! receives observation `o` learns the *pre-image set*
+//! `S_o = {ω : strategy(ω, q) = o}` — not the query's answer set. Privacy
+//! of `A` against the strategy demands that no reachable observation's
+//! pre-image gives a confidence gain. The intro's Bob example falls out as
+//! a theorem of the implementation: the strategy "truthfully report
+//! HIV-negative, deny otherwise" is breached by the denial, while
+//! "always deny" and "always answer only safe queries" are not.
+
+use crate::query::Query;
+use crate::schema::Schema;
+use epi_core::{unrestricted, WorldId, WorldSet};
+use std::fmt;
+
+/// What the user observes when issuing a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Observation {
+    /// The system answered "true".
+    True,
+    /// The system answered "false".
+    False,
+    /// The system refused to answer.
+    Deny,
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observation::True => write!(f, "true"),
+            Observation::False => write!(f, "false"),
+            Observation::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// A deterministic query-answering strategy. The strategy is public: users
+/// are assumed to know it and condition on it (the implicit-query effect).
+pub trait Strategy {
+    /// The observation produced in world `world` for `query`.
+    fn respond(&self, schema: &Schema, world: u32, query: &Query) -> Observation;
+
+    /// Short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Always answer truthfully.
+pub struct AlwaysAnswer;
+
+impl Strategy for AlwaysAnswer {
+    fn respond(&self, _schema: &Schema, world: u32, query: &Query) -> Observation {
+        if query.eval(world) {
+            Observation::True
+        } else {
+            Observation::False
+        }
+    }
+    fn name(&self) -> &str {
+        "always-answer"
+    }
+}
+
+/// Always deny — the intro's "safest bet for Bob".
+pub struct AlwaysDeny;
+
+impl Strategy for AlwaysDeny {
+    fn respond(&self, _schema: &Schema, _world: u32, _query: &Query) -> Observation {
+        Observation::Deny
+    }
+    fn name(&self) -> &str {
+        "always-deny"
+    }
+}
+
+/// The intro's flawed strategy: answer truthfully while the sensitive
+/// property is false, deny once it becomes true ("I am HIV-negative as
+/// long as it is true").
+pub struct DenyWhenSensitive {
+    /// The sensitive property that triggers denial.
+    pub sensitive: Query,
+}
+
+impl Strategy for DenyWhenSensitive {
+    fn respond(&self, _schema: &Schema, world: u32, query: &Query) -> Observation {
+        if self.sensitive.eval(world) {
+            Observation::Deny
+        } else if query.eval(world) {
+            Observation::True
+        } else {
+            Observation::False
+        }
+    }
+    fn name(&self) -> &str {
+        "deny-when-sensitive"
+    }
+}
+
+/// A simulatable-style strategy: deny iff answering could breach under the
+/// *unconditional* test (Theorem 3.11) — crucially deciding from the
+/// query alone (both possible answer sets), never from the actual data, so
+/// the denial itself carries no information about the world.
+pub struct DataIndependentDeny {
+    /// The audited property the strategy protects.
+    pub audited: Query,
+}
+
+impl DataIndependentDeny {
+    fn would_deny(&self, schema: &Schema, query: &Query) -> bool {
+        let a = self.audited.compile(schema);
+        let q = query.compile(schema);
+        // Deny unless BOTH possible answers are unconditionally safe.
+        !(unrestricted::safe_unrestricted(&a, &q)
+            && unrestricted::safe_unrestricted(&a, &q.complement()))
+    }
+}
+
+impl Strategy for DataIndependentDeny {
+    fn respond(&self, schema: &Schema, world: u32, query: &Query) -> Observation {
+        if self.would_deny(schema, query) {
+            Observation::Deny
+        } else if query.eval(world) {
+            Observation::True
+        } else {
+            Observation::False
+        }
+    }
+    fn name(&self) -> &str {
+        "data-independent-deny"
+    }
+}
+
+/// The pre-image sets of a strategy for one query: what a strategy-aware
+/// user learns from each observation.
+pub fn observation_preimages(
+    schema: &Schema,
+    strategy: &dyn Strategy,
+    query: &Query,
+) -> Vec<(Observation, WorldSet)> {
+    let cube = schema.cube();
+    [Observation::True, Observation::False, Observation::Deny]
+        .into_iter()
+        .map(|o| {
+            let set = cube.set_from_predicate(|w| strategy.respond(schema, w, query) == o);
+            (o, set)
+        })
+        .filter(|(_, s)| !s.is_empty())
+        .collect()
+}
+
+/// A proactive breach: an observation whose pre-image could raise a user's
+/// confidence in the audited property.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OnlineBreach {
+    /// The breaching observation.
+    pub observation: Observation,
+    /// Its pre-image (the implicit disclosed set).
+    pub implicit_disclosure: WorldSet,
+    /// A world where the breach occurs.
+    pub world: WorldId,
+}
+
+/// Audits a strategy against an audit query for one user query, under
+/// unrestricted priors: every reachable observation `o` with a world
+/// `ω ∈ A ∩ S_o` must have `Safe(A, S_o)`. (Only observations made while
+/// `A` is true are protected, as in the offline model.)
+pub fn audit_strategy(
+    schema: &Schema,
+    strategy: &dyn Strategy,
+    audited: &Query,
+    query: &Query,
+) -> Result<(), OnlineBreach> {
+    let a = audited.compile(schema);
+    for (o, pre) in observation_preimages(schema, strategy, query) {
+        let protected = a.intersection(&pre);
+        if protected.is_empty() {
+            continue; // A false whenever this observation occurs
+        }
+        if !unrestricted::safe_unrestricted(&a, &pre) {
+            return Err(OnlineBreach {
+                observation: o,
+                world: protected.first().expect("non-empty"),
+                implicit_disclosure: pre,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Audits a strategy against every query in a workload; returns the
+/// breaching queries with their breaches.
+pub fn audit_strategy_workload<'q>(
+    schema: &Schema,
+    strategy: &dyn Strategy,
+    audited: &Query,
+    queries: &'q [Query],
+) -> Vec<(&'q Query, OnlineBreach)> {
+    queries
+        .iter()
+        .filter_map(|q| {
+            audit_strategy(schema, strategy, audited, q)
+                .err()
+                .map(|b| (q, b))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse;
+
+    fn schema() -> Schema {
+        Schema::from_names(&["hiv_pos", "transfusions"]).unwrap()
+    }
+
+    /// The intro's argument, executable: Bob's "answer while negative"
+    /// strategy is breached by the denial, which reveals `hiv_pos`.
+    #[test]
+    fn intro_deny_when_sensitive_breaches() {
+        let s = schema();
+        let audited = parse("hiv_pos", &s).unwrap();
+        let strategy = DenyWhenSensitive {
+            sensitive: audited.clone(),
+        };
+        let query = parse("hiv_pos", &s).unwrap();
+        let breach = audit_strategy(&s, &strategy, &audited, &query).unwrap_err();
+        assert_eq!(breach.observation, Observation::Deny);
+        // The denial's pre-image is exactly the sensitive set.
+        assert_eq!(breach.implicit_disclosure, audited.compile(&s));
+    }
+
+    /// "The safest bet for Bob is to always refuse an answer."
+    #[test]
+    fn always_deny_is_safe() {
+        let s = schema();
+        let audited = parse("hiv_pos", &s).unwrap();
+        for q in ["hiv_pos", "transfusions", "hiv_pos -> transfusions"] {
+            let query = parse(q, &s).unwrap();
+            assert!(
+                audit_strategy(&s, &AlwaysDeny, &audited, &query).is_ok(),
+                "always-deny must be safe for {q}"
+            );
+        }
+    }
+
+    /// Truthfully answering the sensitive query itself breaches — and so
+    /// does proactively answering the §1.1 implication, through its FALSE
+    /// branch. This is exactly footnote 2 of the paper: the offline
+    /// disclosure of `B = true` is safe, but "if Bob proactively tells
+    /// Alice 'If I am HIV-positive, then I had blood transfusions', a
+    /// privacy breach of A may occur" — the strategy's false-answer
+    /// pre-image is `hiv ∧ ¬transfusions ⊆ A`.
+    #[test]
+    fn always_answer_breaches_direct_query() {
+        let s = schema();
+        let audited = parse("hiv_pos", &s).unwrap();
+        let breach =
+            audit_strategy(&s, &AlwaysAnswer, &audited, &audited).unwrap_err();
+        assert_eq!(breach.observation, Observation::True);
+        // Footnote 2, executable:
+        let implication = parse("hiv_pos -> transfusions", &s).unwrap();
+        let breach =
+            audit_strategy(&s, &AlwaysAnswer, &audited, &implication).unwrap_err();
+        assert_eq!(breach.observation, Observation::False);
+        assert!(breach
+            .implicit_disclosure
+            .is_subset(&audited.compile(&s)));
+    }
+
+    /// The data-independent denial strategy never leaks through denials:
+    /// the pre-image of Deny is either ∅ or all of Ω.
+    #[test]
+    fn data_independent_denials_are_uninformative() {
+        let s = schema();
+        let audited = parse("hiv_pos", &s).unwrap();
+        let strategy = DataIndependentDeny {
+            audited: audited.clone(),
+        };
+        let queries = [
+            "hiv_pos",
+            "transfusions",
+            "hiv_pos -> transfusions",
+            "hiv_pos & transfusions",
+            "!hiv_pos | transfusions",
+            "true",
+        ];
+        for q in queries {
+            let query = parse(q, &s).unwrap();
+            for (o, pre) in observation_preimages(&s, &strategy, &query) {
+                if o == Observation::Deny {
+                    assert!(
+                        pre.is_full(),
+                        "a non-trivial denial pre-image would leak: {q}"
+                    );
+                }
+            }
+            assert!(
+                audit_strategy(&s, &strategy, &audited, &query).is_ok(),
+                "data-independent strategy must be safe for {q}"
+            );
+        }
+    }
+
+    /// Workload-level audit collects exactly the breaching queries.
+    #[test]
+    fn workload_audit_collects_breaches() {
+        let s = schema();
+        let audited = parse("hiv_pos", &s).unwrap();
+        let queries: Vec<Query> = [
+            "hiv_pos",
+            "hiv_pos -> transfusions",
+            "transfusions",
+        ]
+        .iter()
+        .map(|q| parse(q, &s).unwrap())
+        .collect();
+        let breaches = audit_strategy_workload(&s, &AlwaysAnswer, &audited, &queries);
+        let breached: Vec<String> = breaches
+            .iter()
+            .map(|(q, _)| q.display(&s).to_string())
+            .collect();
+        // Under always-answer EVERY one of these queries breaches
+        // proactively: the direct query via "true"; the implication via
+        // its "false" branch (footnote 2); `transfusions` under correlated
+        // priors (Thm 3.11).
+        assert_eq!(breached.len(), 3);
+    }
+
+    /// Pre-images partition Ω for every strategy/query.
+    #[test]
+    fn preimages_partition() {
+        let s = schema();
+        let query = parse("hiv_pos & transfusions", &s).unwrap();
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(AlwaysAnswer),
+            Box::new(AlwaysDeny),
+            Box::new(DenyWhenSensitive {
+                sensitive: parse("hiv_pos", &s).unwrap(),
+            }),
+        ];
+        for strategy in &strategies {
+            let pres = observation_preimages(&s, strategy.as_ref(), &query);
+            let total: usize = pres.iter().map(|(_, p)| p.len()).sum();
+            assert_eq!(total, 4, "{}", strategy.name());
+        }
+    }
+}

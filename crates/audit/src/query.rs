@@ -1,0 +1,421 @@
+//! The Boolean query language over record-presence atoms.
+//!
+//! Queries are the `A` and `B` of the paper: Boolean properties of the
+//! database. Each query compiles to the set of worlds satisfying it; the
+//! §1.1 example query "if Bob is HIV-positive then he had blood
+//! transfusions" is `hiv_pos -> transfusions`.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! query   ::= implies
+//! implies ::= or ( "->" implies )?          (right associative)
+//! or      ::= and ( "|" and )*
+//! and     ::= unary ( "&" unary )*
+//! unary   ::= "!" unary | "(" query ")" | "true" | "false" | IDENT
+//! ```
+
+use crate::schema::{RecordId, Schema};
+use epi_core::WorldSet;
+use std::fmt;
+
+/// A Boolean query over record presence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Query {
+    /// The constant query.
+    Const(bool),
+    /// "record is present in the database".
+    Present(RecordId),
+    /// Negation.
+    Not(Box<Query>),
+    /// Conjunction.
+    And(Box<Query>, Box<Query>),
+    /// Disjunction.
+    Or(Box<Query>, Box<Query>),
+    /// Implication (`p -> q` ≡ `!p | q`), kept as a node so audit reports
+    /// can render queries the way users wrote them.
+    Implies(Box<Query>, Box<Query>),
+}
+
+impl Query {
+    /// Atom constructor.
+    pub fn present(id: RecordId) -> Query {
+        Query::Present(id)
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)] // constructor family: Query::not(q) mirrors and/or/implies
+    pub fn not(q: Query) -> Query {
+        Query::Not(Box::new(q))
+    }
+
+    /// Conjunction helper.
+    pub fn and(a: Query, b: Query) -> Query {
+        Query::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction helper.
+    pub fn or(a: Query, b: Query) -> Query {
+        Query::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Implication helper.
+    pub fn implies(a: Query, b: Query) -> Query {
+        Query::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the query on a presence bitmask.
+    pub fn eval(&self, world: u32) -> bool {
+        match self {
+            Query::Const(b) => *b,
+            Query::Present(id) => world >> id.0 & 1 == 1,
+            Query::Not(q) => !q.eval(world),
+            Query::And(a, b) => a.eval(world) && b.eval(world),
+            Query::Or(a, b) => a.eval(world) || b.eval(world),
+            Query::Implies(a, b) => !a.eval(world) || b.eval(world),
+        }
+    }
+
+    /// Compiles to the set of satisfying worlds over the schema's cube.
+    pub fn compile(&self, schema: &Schema) -> WorldSet {
+        schema.cube().set_from_predicate(|w| self.eval(w))
+    }
+
+    /// Semantic monotonicity: `true` iff the compiled set is an up-set
+    /// (the "positive facts" of Remark 5.6).
+    pub fn is_monotone(&self, schema: &Schema) -> bool {
+        let cube = schema.cube();
+        cube.is_up_set(&self.compile(schema))
+    }
+
+    /// The record ids mentioned by the query.
+    pub fn atoms(&self) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<RecordId>) {
+        match self {
+            Query::Const(_) => {}
+            Query::Present(id) => out.push(*id),
+            Query::Not(q) => q.collect_atoms(out),
+            Query::And(a, b) | Query::Or(a, b) | Query::Implies(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// Renders with the schema's record names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
+        QueryDisplay { query: self, schema }
+    }
+}
+
+/// Pretty-printer bound to a schema.
+pub struct QueryDisplay<'a> {
+    query: &'a Query,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(q: &Query, schema: &Schema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match q {
+                Query::Const(b) => write!(f, "{b}"),
+                Query::Present(id) => write!(f, "{}", schema.record(*id).name),
+                Query::Not(inner) => {
+                    write!(f, "!")?;
+                    paren(inner, schema, f)
+                }
+                Query::And(a, b) => {
+                    paren(a, schema, f)?;
+                    write!(f, " & ")?;
+                    paren(b, schema, f)
+                }
+                Query::Or(a, b) => {
+                    paren(a, schema, f)?;
+                    write!(f, " | ")?;
+                    paren(b, schema, f)
+                }
+                Query::Implies(a, b) => {
+                    paren(a, schema, f)?;
+                    write!(f, " -> ")?;
+                    paren(b, schema, f)
+                }
+            }
+        }
+        fn paren(q: &Query, schema: &Schema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match q {
+                Query::Const(_) | Query::Present(_) | Query::Not(_) => go(q, schema, f),
+                _ => {
+                    write!(f, "(")?;
+                    go(q, schema, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.query, self.schema, f)
+    }
+}
+
+/// Query parse errors, with byte offsets into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the query language (see module docs for the grammar) against a
+/// schema.
+pub fn parse(input: &str, schema: &Schema) -> Result<Query, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        schema,
+    };
+    let q = p.implies()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(q)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    schema: &'a Schema,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn implies(&mut self) -> Result<Query, ParseError> {
+        let lhs = self.or()?;
+        if self.eat("->") {
+            let rhs = self.implies()?; // right associative
+            Ok(Query::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Query, ParseError> {
+        let mut q = self.and()?;
+        while self.eat("|") {
+            let rhs = self.and()?;
+            q = Query::or(q, rhs);
+        }
+        Ok(q)
+    }
+
+    fn and(&mut self) -> Result<Query, ParseError> {
+        let mut q = self.unary()?;
+        while self.eat("&") {
+            let rhs = self.unary()?;
+            q = Query::and(q, rhs);
+        }
+        Ok(q)
+    }
+
+    fn unary(&mut self) -> Result<Query, ParseError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(Query::not(self.unary()?));
+        }
+        if self.eat("(") {
+            let q = self.implies()?;
+            if !self.eat(")") {
+                return Err(self.error("expected ')'"));
+            }
+            return Ok(q);
+        }
+        // Identifier.
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a record name, 'true', 'false', '!' or '('"));
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        match name {
+            "true" => Ok(Query::Const(true)),
+            "false" => Ok(Query::Const(false)),
+            _ => self
+                .schema
+                .record_id(name)
+                .map(Query::Present)
+                .ok_or_else(|| ParseError {
+                    message: format!("unknown record {name:?}"),
+                    offset: start,
+                }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::from_names(&["hiv_pos", "transfusions", "diabetic"]).unwrap()
+    }
+
+    #[test]
+    fn parse_and_eval_basic() {
+        let s = schema();
+        let q = parse("hiv_pos -> transfusions", &s).unwrap();
+        // world bits: 0 = hiv, 1 = transfusions, 2 = diabetic.
+        assert!(q.eval(0b000));
+        assert!(q.eval(0b010));
+        assert!(!q.eval(0b001));
+        assert!(q.eval(0b011));
+    }
+
+    #[test]
+    fn parse_precedence() {
+        let s = schema();
+        // & binds tighter than |, which binds tighter than ->.
+        let q = parse("hiv_pos | transfusions & diabetic -> hiv_pos", &s).unwrap();
+        match q {
+            Query::Implies(lhs, _) => match *lhs {
+                Query::Or(_, rhs) => assert!(matches!(*rhs, Query::And(_, _))),
+                other => panic!("expected Or on the left, got {other:?}"),
+            },
+            other => panic!("expected Implies at top, got {other:?}"),
+        }
+        // -> is right associative.
+        let q = parse("hiv_pos -> transfusions -> diabetic", &s).unwrap();
+        match q {
+            Query::Implies(_, rhs) => assert!(matches!(*rhs, Query::Implies(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = schema();
+        assert!(parse("unknown_rec", &s).is_err());
+        assert!(parse("hiv_pos &", &s).is_err());
+        assert!(parse("(hiv_pos", &s).is_err());
+        assert!(parse("hiv_pos extra", &s).is_err());
+        assert!(parse("", &s).is_err());
+    }
+
+    #[test]
+    fn compile_matches_eval() {
+        let s = schema();
+        let q = parse("!(hiv_pos & !transfusions) | diabetic", &s).unwrap();
+        let set = q.compile(&s);
+        for w in 0..8u32 {
+            assert_eq!(set.contains(epi_core::WorldId(w)), q.eval(w));
+        }
+    }
+
+    #[test]
+    fn monotonicity_detection() {
+        let s = schema();
+        assert!(parse("hiv_pos & transfusions", &s).unwrap().is_monotone(&s));
+        assert!(parse("hiv_pos | diabetic", &s).unwrap().is_monotone(&s));
+        assert!(!parse("!hiv_pos", &s).unwrap().is_monotone(&s));
+        assert!(!parse("hiv_pos -> transfusions", &s).unwrap().is_monotone(&s));
+        assert!(parse("true", &s).unwrap().is_monotone(&s));
+    }
+
+    #[test]
+    fn atoms_and_display() {
+        let s = schema();
+        let q = parse("diabetic -> hiv_pos & diabetic", &s).unwrap();
+        assert_eq!(q.atoms(), vec![RecordId(0), RecordId(2)]);
+        let rendered = q.display(&s).to_string();
+        assert_eq!(rendered, "diabetic -> (hiv_pos & diabetic)");
+        // Round-trip.
+        let q2 = parse(&rendered, &s).unwrap();
+        for w in 0..8u32 {
+            assert_eq!(q.eval(w), q2.eval(w));
+        }
+    }
+
+    fn arb_query(depth: u32) -> BoxedStrategy<Query> {
+        let leaf = prop_oneof![
+            (0u32..3).prop_map(|i| Query::Present(RecordId(i))),
+            any::<bool>().prop_map(Query::Const),
+        ];
+        leaf.prop_recursive(depth, 32, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Query::not),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::and(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::or(a, b)),
+                (inner.clone(), inner).prop_map(|(a, b)| Query::implies(a, b)),
+            ]
+        })
+        .boxed()
+    }
+
+    proptest! {
+        /// Display → parse round-trips semantically.
+        #[test]
+        fn prop_display_parse_roundtrip(q in arb_query(4)) {
+            let s = schema();
+            let rendered = q.display(&s).to_string();
+            let q2 = parse(&rendered, &s).unwrap();
+            for w in 0..8u32 {
+                prop_assert_eq!(q.eval(w), q2.eval(w));
+            }
+        }
+
+        /// Compilation respects the Boolean algebra.
+        #[test]
+        fn prop_compile_homomorphic(a in arb_query(3), b in arb_query(3)) {
+            let s = schema();
+            let sa = a.compile(&s);
+            let sb = b.compile(&s);
+            prop_assert_eq!(Query::and(a.clone(), b.clone()).compile(&s), sa.intersection(&sb));
+            prop_assert_eq!(Query::or(a.clone(), b.clone()).compile(&s), sa.union(&sb));
+            prop_assert_eq!(Query::not(a.clone()).compile(&s), sa.complement());
+            prop_assert_eq!(
+                Query::implies(a, b).compile(&s),
+                sa.complement().union(&sb)
+            );
+        }
+    }
+}

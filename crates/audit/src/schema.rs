@@ -1,0 +1,216 @@
+//! Records, schemas and database states.
+//!
+//! Following the paper's setting, a database is a subset of a universe of
+//! *records*; the auditor fixes the set of records relevant to an audit
+//! (the paper notes in Section 6 that after PROJECT/SELECT the "number `N`
+//! of possible relevant worlds could be very small"), and the possible
+//! worlds are the `2ⁿ` presence patterns over those `n` records.
+
+use epi_boolean::Cube;
+use std::fmt;
+
+/// Identifier of a record within a schema (index into the record list).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RecordId(pub u32);
+
+/// A record under audit: an atomic fact whose presence in the database is
+/// the unit of disclosure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record {
+    /// Short unique name, usable in the query language (e.g. `hiv_pos`).
+    pub name: String,
+    /// Human-readable description for audit reports.
+    pub description: String,
+}
+
+/// The set of records relevant to one audit, fixing `Ω = {0,1}ⁿ`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    records: Vec<Record>,
+}
+
+impl Schema {
+    /// Builds a schema from records; names must be unique, non-empty,
+    /// and start with a letter (so the query parser can reference them).
+    pub fn new(records: Vec<Record>) -> Result<Schema, SchemaError> {
+        if records.is_empty() || records.len() > epi_boolean::cube::MAX_DIMS {
+            return Err(SchemaError::BadSize(records.len()));
+        }
+        for (i, r) in records.iter().enumerate() {
+            let mut chars = r.name.chars();
+            let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+            if !head_ok || !r.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(SchemaError::BadName(r.name.clone()));
+            }
+            if records[..i].iter().any(|other| other.name == r.name) {
+                return Err(SchemaError::DuplicateName(r.name.clone()));
+            }
+        }
+        Ok(Schema { records })
+    }
+
+    /// Convenience: a schema of records named after the given strings.
+    pub fn from_names<S: Into<String> + Clone>(names: &[S]) -> Result<Schema, SchemaError> {
+        Schema::new(
+            names
+                .iter()
+                .map(|n| Record {
+                    name: n.clone().into(),
+                    description: String::new(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of records `n`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff the schema has no records (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The Boolean cube `{0,1}ⁿ` of presence patterns.
+    pub fn cube(&self) -> Cube {
+        Cube::new(self.records.len())
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Looks a record up by name.
+    pub fn record_id(&self, name: &str) -> Option<RecordId> {
+        self.records
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RecordId(i as u32))
+    }
+
+    /// The record behind an id.
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id.0 as usize]
+    }
+}
+
+/// A database state: which relevant records are present.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DatabaseState {
+    mask: u32,
+}
+
+impl DatabaseState {
+    /// State from a presence bitmask (bit `i` = record `i` present).
+    pub fn from_mask(mask: u32) -> DatabaseState {
+        DatabaseState { mask }
+    }
+
+    /// State from the list of present records.
+    pub fn from_present(ids: impl IntoIterator<Item = RecordId>) -> DatabaseState {
+        DatabaseState {
+            mask: ids.into_iter().fold(0, |m, id| m | (1 << id.0)),
+        }
+    }
+
+    /// The presence bitmask (the world `ω* ∈ {0,1}ⁿ`).
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Whether a record is present.
+    pub fn contains(&self, id: RecordId) -> bool {
+        self.mask >> id.0 & 1 == 1
+    }
+
+    /// State with one record inserted (e.g. Bob contracting HIV in 2006:
+    /// the database evolves between disclosures).
+    pub fn with(&self, id: RecordId) -> DatabaseState {
+        DatabaseState {
+            mask: self.mask | (1 << id.0),
+        }
+    }
+
+    /// State with one record removed.
+    pub fn without(&self, id: RecordId) -> DatabaseState {
+        DatabaseState {
+            mask: self.mask & !(1 << id.0),
+        }
+    }
+}
+
+/// Schema construction errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// No records, or more than the supported maximum.
+    BadSize(usize),
+    /// A record name is not a valid identifier.
+    BadName(String),
+    /// Two records share a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::BadSize(n) => write!(
+                f,
+                "schema must have 1..={} records, got {n}",
+                epi_boolean::cube::MAX_DIMS
+            ),
+            SchemaError::BadName(n) => write!(f, "record name {n:?} is not a valid identifier"),
+            SchemaError::DuplicateName(n) => write!(f, "duplicate record name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_construction_and_lookup() {
+        let s = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.record_id("hiv_pos"), Some(RecordId(0)));
+        assert_eq!(s.record_id("transfusions"), Some(RecordId(1)));
+        assert_eq!(s.record_id("nope"), None);
+        assert_eq!(s.cube().dims(), 2);
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(matches!(
+            Schema::from_names::<&str>(&[]),
+            Err(SchemaError::BadSize(0))
+        ));
+        assert!(matches!(
+            Schema::from_names(&["ok", "ok"]),
+            Err(SchemaError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            Schema::from_names(&["1bad"]),
+            Err(SchemaError::BadName(_))
+        ));
+        assert!(matches!(
+            Schema::from_names(&["bad name"]),
+            Err(SchemaError::BadName(_))
+        ));
+        assert!(Schema::from_names(&["_ok", "a1"]).is_ok());
+    }
+
+    #[test]
+    fn database_state_transitions() {
+        let db = DatabaseState::from_present([RecordId(1)]);
+        assert!(db.contains(RecordId(1)));
+        assert!(!db.contains(RecordId(0)));
+        let db2 = db.with(RecordId(0));
+        assert_eq!(db2.mask(), 0b11);
+        assert_eq!(db2.without(RecordId(1)).mask(), 0b01);
+        assert_eq!(DatabaseState::from_mask(0b10), db);
+    }
+}

@@ -1,0 +1,40 @@
+//! E10 — the Theorem 6.2 hard family: Positivstellensatz refutation time
+//! on MAX-CUT threshold systems as the graph grows. The superpolynomial
+//! growth of this curve is the practical face of the theorem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_sdp::SdpOptions;
+use epi_solver::hardness::{maxcut_system, Graph};
+use epi_sos::psatz_refute;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_hardness");
+    g.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    for t in [3usize, 4, 5] {
+        let graph = Graph::random(t, 0.6, &mut rng);
+        let k = graph.max_cut() + 1; // empty K: refutation exists
+        let (ineqs, eqs) = maxcut_system(&graph, k);
+        g.bench_with_input(BenchmarkId::new("maxcut_exhaustive", t), &t, |bench, _| {
+            bench.iter(|| black_box(&graph).max_cut())
+        });
+        g.bench_with_input(BenchmarkId::new("psatz_refute_d1", t), &t, |bench, _| {
+            bench.iter(|| {
+                psatz_refute(
+                    black_box(&ineqs),
+                    black_box(&eqs),
+                    1,
+                    2,
+                    SdpOptions::default(),
+                )
+                .is_some()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

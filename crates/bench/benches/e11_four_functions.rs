@@ -1,0 +1,60 @@
+//! E11 — the Four Functions Theorem machinery: the pointwise condition
+//! (quadratic in `2ⁿ`), log-supermodularity checks, Ising sampling, and
+//! the Π_m⁺ criteria built on them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_bench::PairShape;
+use epi_boolean::criteria::supermodular;
+use epi_boolean::distributions::{is_log_supermodular, IsingModel};
+use epi_boolean::four_functions::{pointwise_condition, CubeFn};
+use epi_boolean::Cube;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_four_functions");
+    for n in [3usize, 4, 5] {
+        let cube = Cube::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let p = IsingModel::random(n, 0.8, 1.2, &mut rng).to_distribution();
+        let f = CubeFn::new(p.weights().to_vec());
+        g.bench_with_input(BenchmarkId::new("pointwise_condition", n), &n, |bench, _| {
+            bench.iter(|| {
+                pointwise_condition(
+                    black_box(&cube),
+                    black_box(&f),
+                    black_box(&f),
+                    black_box(&f),
+                    black_box(&f),
+                    1e-12,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("is_log_supermodular", n), &n, |bench, _| {
+            bench.iter(|| is_log_supermodular(black_box(&cube), black_box(&p), 1e-9))
+        });
+        g.bench_with_input(BenchmarkId::new("ising_to_distribution", n), &n, |bench, _| {
+            let m = IsingModel::random(n, 0.8, 1.2, &mut rng);
+            bench.iter(|| black_box(&m).to_distribution())
+        });
+        let (a, b) = PairShape::MonotoneNo.sample(&cube, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("prop_5_4_sufficient", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    supermodular::sufficient_supermodular(black_box(&cube), black_box(&a), black_box(&b))
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("prop_5_2_necessary", n), &n, |bench, _| {
+            bench.iter(|| {
+                supermodular::necessary_supermodular(black_box(&cube), black_box(&a), black_box(&b))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E12 — end-to-end audit throughput: full audits of random disclosure
+//! logs under each prior assumption, and the hospital scenario as the
+//! fixed reference point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_audit::auditor::{Auditor, PriorAssumption};
+use epi_audit::query::parse;
+use epi_audit::workload::{hospital_scenario, random_workload, WorkloadParams};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_composition");
+    g.sample_size(10);
+
+    let scenario = hospital_scenario();
+    let hiv = parse("hiv_pos", &scenario.schema).unwrap();
+    for assumption in [
+        PriorAssumption::Unrestricted,
+        PriorAssumption::Product,
+        PriorAssumption::LogSupermodular,
+    ] {
+        g.bench_function(
+            BenchmarkId::new("hospital_scenario", format!("{assumption:?}")),
+            |bench| {
+                let auditor = Auditor::new(assumption);
+                bench.iter(|| auditor.audit(black_box(&scenario.log), black_box(&hiv)))
+            },
+        );
+    }
+
+    for records in [3usize, 4, 5] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let w = random_workload(
+            WorkloadParams {
+                records,
+                users: 3,
+                disclosures: 12,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let q = parse("r0", &w.schema).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("random_log_product_audit", records),
+            &records,
+            |bench, _| {
+                let auditor = Auditor::new(PriorAssumption::Product);
+                bench.iter(|| auditor.audit(black_box(&w.log), black_box(&q)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1 — §1.1 HIV example: latency of each decision route on the paper's
+//! headline pair (the auditor's hot path for a single disclosure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epi_bench::hiv_pair;
+use epi_core::{possibilistic, unrestricted, PossKnowledge};
+use epi_solver::{decide_product_pipeline, ProductSolverOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (cube, a, b) = hiv_pair();
+    let k = PossKnowledge::unrestricted(cube.size());
+
+    let mut g = c.benchmark_group("e1_hiv_example");
+    g.bench_function("theorem_3_11_closed_form", |bench| {
+        bench.iter(|| unrestricted::safe_unrestricted(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("definition_3_1_explicit_k", |bench| {
+        bench.iter(|| possibilistic::is_safe(black_box(&k), black_box(&a), black_box(&b)))
+    });
+    g.bench_function("product_pipeline", |bench| {
+        bench.iter(|| {
+            decide_product_pipeline(
+                black_box(&cube),
+                black_box(&a),
+                black_box(&b),
+                ProductSolverOptions::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E2 — Figure 1: the interval machinery on the 14×7 rectangle grid, and
+//! the batch-audit payoff of precomputing the safety margin β
+//! (Proposition 4.1's "compute the mapping β once, use it to test every
+//! Bᵢ").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use epi_core::families::RectangleFamily;
+use epi_core::intervals::margin::SafetyMargin;
+use epi_core::intervals::minimal::minimal_intervals;
+use epi_core::intervals::{safe_via_intervals, IntervalOracle};
+use epi_core::WorldSet;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn figure1_not_a(f: &RectangleFamily) -> WorldSet {
+    let mut not_a = WorldSet::empty(f.universe_size());
+    for (x, y) in [
+        (3, 3), (4, 2), (5, 1), (4, 4), (5, 3), (6, 2), (6, 1), (5, 4), (6, 3),
+        (7, 2), (7, 1), (6, 4), (7, 3), (8, 2), (8, 3), (7, 4), (8, 4), (9, 2), (9, 3),
+    ] {
+        not_a.insert(f.pixel(x, y));
+    }
+    not_a
+}
+
+fn bench(c: &mut Criterion) {
+    let f = RectangleFamily::figure1();
+    let not_a = figure1_not_a(&f);
+    let a = not_a.complement();
+    let w1 = f.pixel(1, 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let disclosures: Vec<WorldSet> = (0..64)
+        .map(|_| {
+            WorldSet::from_predicate(f.universe_size(), |_| rng.gen::<f64>() < 0.5)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("e2_figure1");
+    g.bench_function("interval_query", |bench| {
+        bench.iter(|| f.interval(black_box(w1), black_box(f.pixel(8, 2))))
+    });
+    g.bench_function("minimal_intervals_to_not_a", |bench| {
+        bench.iter(|| minimal_intervals(black_box(&f), black_box(w1), black_box(&not_a)))
+    });
+    g.bench_function("safe_via_intervals_one_disclosure", |bench| {
+        bench.iter(|| safe_via_intervals(black_box(&f), black_box(&a), black_box(&disclosures[0])))
+    });
+    // The batch-audit comparison Proposition 4.1 motivates.
+    g.bench_function("batch64_direct", |bench| {
+        bench.iter(|| {
+            disclosures
+                .iter()
+                .filter(|b| safe_via_intervals(&f, &a, b))
+                .count()
+        })
+    });
+    g.bench_function("batch64_margin_precomputed", |bench| {
+        bench.iter_batched(
+            || SafetyMargin::compute(&f, &a, true),
+            |margin| disclosures.iter().filter(|b| margin.screen(b)).count(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

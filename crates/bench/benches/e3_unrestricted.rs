@@ -1,0 +1,37 @@
+//! E3 — Theorem 3.11: the closed-form unconditional test vs the explicit
+//! Definition 3.1 evaluation, as the universe grows. The closed form is
+//! the pipeline's stage-1 screen; this measures the gap it buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_core::{possibilistic, unrestricted, PossKnowledge, WorldSet};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_unrestricted");
+    for n in [4usize, 8, 12] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = WorldSet::from_predicate(n, |_| rng.gen());
+        let b = WorldSet::from_predicate(n, |_| rng.gen());
+        g.bench_with_input(BenchmarkId::new("closed_form", n), &n, |bench, _| {
+            bench.iter(|| unrestricted::safe_unrestricted(black_box(&a), black_box(&b)))
+        });
+        // The explicit K has n·2^(n−1) pairs; n = 12 is the practical cap.
+        let k = PossKnowledge::unrestricted(n);
+        g.bench_with_input(BenchmarkId::new("definition_3_1", n), &n, |bench, _| {
+            bench.iter(|| possibilistic::is_safe(black_box(&k), black_box(&a), black_box(&b)))
+        });
+    }
+    // Refutation construction cost.
+    let n = 64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let a = WorldSet::from_predicate(n, |_| rng.gen());
+    let b = WorldSet::from_predicate(n, |_| rng.gen());
+    g.bench_function("refute_unrestricted_n64", |bench| {
+        bench.iter(|| unrestricted::refute_unrestricted(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E4 — Theorem 5.11: cost of the exhaustive inclusion check, and the
+//! per-criterion cost on single pairs as `n` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_bench::PairShape;
+use epi_boolean::criteria::{cancellation, miklau_suciu, monotonicity};
+use epi_boolean::Cube;
+use epi_core::world::all_nonempty_subsets;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_criteria_inclusion");
+    // Exhaustive Theorem 5.11 validation at n = 2 (the n = 3 sweep runs in
+    // the experiments binary; 65k pairs is too slow for a sampling bench).
+    g.bench_function("exhaustive_n2", |bench| {
+        let cube = Cube::new(2);
+        bench.iter(|| {
+            let mut ok = true;
+            for a in all_nonempty_subsets(4) {
+                for b in all_nonempty_subsets(4) {
+                    let ms = miklau_suciu::independent(&cube, &a, &b);
+                    let mono = monotonicity::safe_monotone(&cube, &a, &b);
+                    if ms || mono {
+                        ok &= cancellation::cancellation(&cube, &a, &b);
+                    }
+                }
+            }
+            ok
+        })
+    });
+    // Per-criterion single-pair cost.
+    for n in [4usize, 6, 8, 10] {
+        let cube = Cube::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (a, b) = PairShape::Random.sample(&cube, &mut rng);
+        g.bench_with_input(BenchmarkId::new("miklau_suciu", n), &n, |bench, _| {
+            bench.iter(|| miklau_suciu::independent(black_box(&cube), black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("monotonicity", n), &n, |bench, _| {
+            bench.iter(|| monotonicity::safe_monotone(black_box(&cube), black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("cancellation", n), &n, |bench, _| {
+            bench.iter(|| cancellation::cancellation(black_box(&cube), black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

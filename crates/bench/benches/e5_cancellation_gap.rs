@@ -1,0 +1,47 @@
+//! E5 — Remark 5.12: cost of detecting the cancellation gap and of closing
+//! it with the §6 machinery (deficit report, SOS certificate, full
+//! pipeline) on the paper's counterexample pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epi_bench::remark_5_12_pair;
+use epi_boolean::criteria::cancellation;
+use epi_num::Rational;
+use epi_poly::indicator;
+use epi_solver::{decide_product_safety, ProductSolverOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (cube, a, b) = remark_5_12_pair();
+    let gap = indicator::safety_gap_polynomial::<Rational>(3, &a, &b).map_coeffs(|x| x.to_f64());
+
+    let mut g = c.benchmark_group("e5_cancellation_gap");
+    g.bench_function("cancellation_criterion", |bench| {
+        bench.iter(|| cancellation::cancellation(black_box(&cube), black_box(&a), black_box(&b)))
+    });
+    g.bench_function("deficit_report", |bench| {
+        bench.iter(|| {
+            cancellation::cancellation_deficits(black_box(&cube), black_box(&a), black_box(&b))
+        })
+    });
+    g.bench_function("gap_polynomial_construction", |bench| {
+        bench.iter(|| indicator::safety_gap_polynomial::<Rational>(3, black_box(&a), black_box(&b)))
+    });
+    g.sample_size(20);
+    g.bench_function("sos_box_certificate", |bench| {
+        bench.iter(|| epi_sos::certify_nonneg_on_box(black_box(&gap), 0, Default::default()))
+    });
+    g.bench_function("full_solver_with_sos_fallback", |bench| {
+        bench.iter(|| {
+            decide_product_safety(
+                black_box(&cube),
+                black_box(&a),
+                black_box(&b),
+                ProductSolverOptions::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E6 — K-preservation (Definition 3.9): checking preservation and the
+//! composition rule on explicit knowledge sets of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_core::{preserving, PossKnowledge, WorldSet};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_preserving");
+    for n in [4usize, 8, 12] {
+        let k = PossKnowledge::unrestricted(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let b: WorldSet = WorldSet::from_predicate(n, |_| rng.gen());
+        g.bench_with_input(
+            BenchmarkId::new("is_preserving_unrestricted", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| preserving::is_preserving_poss(black_box(&k), black_box(&b)))
+            },
+        );
+    }
+    // Sequential acquisition over long disclosure chains.
+    let n = 256;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let s = WorldSet::full(n);
+    let chain: Vec<WorldSet> = (0..64)
+        .map(|_| WorldSet::from_predicate(n, |_| rng.gen::<f64>() < 0.9))
+        .collect();
+    let refs: Vec<&WorldSet> = chain.iter().collect();
+    g.bench_function("acquire_sequence_64_disclosures_n256", |bench| {
+        bench.iter(|| preserving::acquire_sequence(black_box(&s), black_box(&refs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E7 — criteria throughput on mixed workloads, plus the cancellation
+//! ablation: the grouped one-pass `Circ(w)` counting vs the naive `3ⁿ`
+//! per-vector scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_bench::PairShape;
+use epi_boolean::criteria::{cancellation, necessary, supermodular};
+use epi_boolean::Cube;
+use epi_core::WorldSet;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pairs(cube: &Cube, count: usize, seed: u64) -> Vec<(WorldSet, WorldSet)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| PairShape::all()[i % 4].sample(cube, &mut rng))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_criteria_quality");
+    for n in [4usize, 6, 8] {
+        let cube = Cube::new(n);
+        let workload = pairs(&cube, 16, 8);
+        g.bench_with_input(BenchmarkId::new("cancellation_grouped", n), &n, |bench, _| {
+            bench.iter(|| {
+                workload
+                    .iter()
+                    .filter(|(a, b)| cancellation::cancellation(black_box(&cube), a, b))
+                    .count()
+            })
+        });
+        // The naive ablation is 3ⁿ-per-pair; cap it at n = 6.
+        if n <= 6 {
+            g.bench_with_input(BenchmarkId::new("cancellation_naive", n), &n, |bench, _| {
+                bench.iter(|| {
+                    workload
+                        .iter()
+                        .filter(|(a, b)| cancellation::cancellation_naive(black_box(&cube), a, b))
+                        .count()
+                })
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("box_necessary", n), &n, |bench, _| {
+            bench.iter(|| {
+                workload
+                    .iter()
+                    .filter(|(a, b)| necessary::necessary_product(black_box(&cube), a, b))
+                    .count()
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("supermodular_sufficient", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    workload
+                        .iter()
+                        .filter(|(a, b)| {
+                            supermodular::sufficient_supermodular(black_box(&cube), a, b)
+                        })
+                        .count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

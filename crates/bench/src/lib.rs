@@ -1,0 +1,121 @@
+//! # epi-bench
+//!
+//! The experiment harness of the `epistemic-privacy` workspace: shared
+//! workload builders used by both the Criterion benches (`benches/`, one
+//! per experiment of DESIGN.md) and the table-producing `experiments`
+//! binary whose output is recorded in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use epi_boolean::{generate, Cube};
+use epi_core::WorldSet;
+use rand::Rng;
+
+/// The §1.1 pair over `{0,1}²`: `A` = "Bob is HIV-positive" (bit 1),
+/// `B` = "HIV-positive ⟹ transfusions" (bit 0 = transfusions).
+pub fn hiv_pair() -> (Cube, WorldSet, WorldSet) {
+    let cube = Cube::new(2);
+    let a = cube.set_from_masks([0b10, 0b11]);
+    let b = cube.set_from_masks([0b00, 0b01, 0b11]);
+    (cube, a, b)
+}
+
+/// The Remark 5.12 pair over `{0,1}³` (defeats cancellation, is safe).
+pub fn remark_5_12_pair() -> (Cube, WorldSet, WorldSet) {
+    let cube = Cube::new(3);
+    let a = cube.set_from_masks([0b011, 0b100, 0b110, 0b111]);
+    let b = cube.set_from_masks([0b010, 0b101, 0b110, 0b111]);
+    (cube, a, b)
+}
+
+/// The workload mixes of experiment E7: each generator produces `(A, B)`
+/// pairs of a named shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairShape {
+    /// Independent uniform-density random sets.
+    Random,
+    /// `A` up-closure, `B` complement of an up-closure (Remark 5.6 shape).
+    MonotoneNo,
+    /// `B` strongly correlated with `A`.
+    Correlated,
+    /// `B` an implication `atom ⟹ atom` (the §1.1 shape).
+    Implication,
+}
+
+impl PairShape {
+    /// All shapes, for sweep loops.
+    pub fn all() -> [PairShape; 4] {
+        [
+            PairShape::Random,
+            PairShape::MonotoneNo,
+            PairShape::Correlated,
+            PairShape::Implication,
+        ]
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PairShape::Random => "random",
+            PairShape::MonotoneNo => "monotone-no",
+            PairShape::Correlated => "correlated",
+            PairShape::Implication => "implication",
+        }
+    }
+
+    /// Draws one pair of this shape.
+    pub fn sample(self, cube: &Cube, rng: &mut impl Rng) -> (WorldSet, WorldSet) {
+        match self {
+            PairShape::Random => (
+                generate::random_nonempty_set(cube, 0.4, rng),
+                generate::random_nonempty_set(cube, 0.4, rng),
+            ),
+            PairShape::MonotoneNo => {
+                let a = cube.up_closure(&generate::random_set(cube, 0.15, rng));
+                let b = cube
+                    .up_closure(&generate::random_set(cube, 0.15, rng))
+                    .complement();
+                (nonempty(cube, a, rng), nonempty(cube, b, rng))
+            }
+            PairShape::Correlated => generate::correlated_pair(cube, 0.4, 0.7, rng),
+            PairShape::Implication => (
+                generate::random_nonempty_set(cube, 0.4, rng),
+                generate::random_implication(cube, rng),
+            ),
+        }
+    }
+}
+
+fn nonempty(cube: &Cube, mut s: WorldSet, rng: &mut impl Rng) -> WorldSet {
+    if s.is_empty() {
+        s.insert(epi_core::WorldId(rng.gen_range(0..cube.size() as u32)));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixtures_are_the_paper_pairs() {
+        let (_, a, b) = hiv_pair();
+        assert!(epi_core::unrestricted::safe_unrestricted(&a, &b));
+        let (cube, a, b) = remark_5_12_pair();
+        assert!(!epi_boolean::criteria::cancellation::cancellation(&cube, &a, &b));
+    }
+
+    #[test]
+    fn shapes_sample_nonempty() {
+        let cube = Cube::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(271);
+        for shape in PairShape::all() {
+            for _ in 0..20 {
+                let (a, b) = shape.sample(&cube, &mut rng);
+                assert!(!a.is_empty() && !b.is_empty(), "{}", shape.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The cancellation criterion (Proposition 5.9) — the paper's headline
+//! sufficient test for product-distribution safety.
+//!
+//! For a product distribution `P` the safety gap factors through the
+//! standard identity
+//!
+//! ```text
+//! P[A]·P[B] − P[AB]  =  P[AB̄]·P[ĀB] − P[AB]·P[ĀB̄]
+//! ```
+//!
+//! and each product `P[X]·P[Y]` expands into monomials indexed by match
+//! vectors: the pair `(u, v)` contributes
+//! `μ_w(p) = Π pᵢ² / (1−pᵢ)² / pᵢ(1−pᵢ)` according to `Match(u, v) = w`.
+//! Cancelling identical monomials, the gap is
+//!
+//! ```text
+//! Σ_w ( |AB̄×ĀB ∩ Circ(w)| − |AB×ĀB̄ ∩ Circ(w)| ) · μ_w(p)
+//! ```
+//!
+//! Since every `μ_w(p) ≥ 0` on `[0,1]ⁿ`, non-negativity of every coefficient
+//! is sufficient for `Safe_{Π_m⁰}(A, B)`:
+//!
+//! ```text
+//! ∀ w ∈ {0,1,*}ⁿ:  |AB̄×ĀB ∩ Circ(w)|  ≥  |AB×ĀB̄ ∩ Circ(w)|
+//! ```
+//!
+//! The criterion is *not* necessary (Remark 5.12), but strictly subsumes
+//! both the Miklau–Suciu and the monotonicity criteria (Theorem 5.11).
+
+use super::Regions;
+use crate::cube::Cube;
+use crate::match_vec::{circ_count_single, circ_counts, MatchVector};
+use epi_core::WorldSet;
+use std::collections::HashMap;
+
+/// Tests the cancellation criterion of Proposition 5.9. `true` certifies
+/// `Safe_{Π_m⁰}(A, B)`; `false` is inconclusive.
+pub fn cancellation(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    let r = Regions::new(cube, a, b);
+    cancellation_on_regions(&r)
+}
+
+/// [`cancellation`] on a precomputed region partition.
+pub fn cancellation_on_regions(r: &Regions) -> bool {
+    // Positive-coefficient pairs: AB̄ × ĀB; negative: AB × ĀB̄.
+    let neg = circ_counts(&r.ab, &r.neither);
+    if neg.is_empty() {
+        return true; // no negative monomials at all
+    }
+    let pos = circ_counts(&r.a_not_b, &r.b_not_a);
+    neg.iter()
+        .all(|(w, &c)| pos.get(w).copied().unwrap_or(0) >= c)
+}
+
+/// A match vector whose monomial coefficient is negative, refuting the
+/// criterion (not necessarily refuting safety — see Remark 5.12).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Deficit {
+    /// The offending match vector.
+    pub vector: MatchVector,
+    /// `|AB̄×ĀB ∩ Circ(w)|`.
+    pub positive: u64,
+    /// `|AB×ĀB̄ ∩ Circ(w)|`.
+    pub negative: u64,
+}
+
+/// Full report: every match vector with a strictly negative coefficient.
+/// Empty ⟺ the criterion holds.
+pub fn cancellation_deficits(cube: &Cube, a: &WorldSet, b: &WorldSet) -> Vec<Deficit> {
+    let r = Regions::new(cube, a, b);
+    let pos = circ_counts(&r.a_not_b, &r.b_not_a);
+    let neg = circ_counts(&r.ab, &r.neither);
+    let mut out: Vec<Deficit> = neg
+        .iter()
+        .filter_map(|(w, &c)| {
+            let p = pos.get(w).copied().unwrap_or(0);
+            (p < c).then_some(Deficit {
+                vector: *w,
+                positive: p,
+                negative: c,
+            })
+        })
+        .collect();
+    out.sort_by_key(|d| (d.vector.stars, d.vector.values));
+    out
+}
+
+/// The signed coefficient table of the expanded gap polynomial, keyed by
+/// match vector: `coeff(w) = |AB̄×ĀB ∩ Circ(w)| − |AB×ĀB̄ ∩ Circ(w)|`.
+/// Used by `epi-solver` to hand the exact polynomial to the algebraic
+/// back-ends.
+pub fn gap_coefficients(cube: &Cube, a: &WorldSet, b: &WorldSet) -> HashMap<MatchVector, i64> {
+    let r = Regions::new(cube, a, b);
+    let pos = circ_counts(&r.a_not_b, &r.b_not_a);
+    let neg = circ_counts(&r.ab, &r.neither);
+    let mut out: HashMap<MatchVector, i64> = HashMap::new();
+    for (w, c) in pos {
+        *out.entry(w).or_insert(0) += c as i64;
+    }
+    for (w, c) in neg {
+        *out.entry(w).or_insert(0) -= c as i64;
+    }
+    out.retain(|_, c| *c != 0);
+    out
+}
+
+/// Naive evaluation of Proposition 5.9 — an explicit `3ⁿ` loop over match
+/// vectors with per-vector pair scans. Quadratically slower than
+/// [`cancellation`]; retained as the benchmark ablation baseline.
+pub fn cancellation_naive(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    let r = Regions::new(cube, a, b);
+    for w in MatchVector::all(cube.dims()) {
+        let pos = circ_count_single(w, &r.a_not_b, &r.b_not_a);
+        let neg = circ_count_single(w, &r.ab, &r.neither);
+        if pos < neg {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::ProductDist;
+    use epi_core::world::all_nonempty_subsets;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn remark_5_12_counterexample() {
+        // A = {011, 100, 110, 111}, B = {010, 101, 110, 111}: the criterion
+        // fails at w = *** with counts 0 vs 2, yet Safe_{Π_m⁰}(A,B) holds.
+        let cube = Cube::new(3);
+        let a = cube.set_from_masks([0b011, 0b100, 0b110, 0b111]);
+        let b = cube.set_from_masks([0b010, 0b101, 0b110, 0b111]);
+        assert!(!cancellation(&cube, &a, &b));
+        let deficits = cancellation_deficits(&cube, &a, &b);
+        let all_stars = MatchVector::new(0b111, 0);
+        let d = deficits
+            .iter()
+            .find(|d| d.vector == all_stars)
+            .expect("deficit at ***");
+        assert_eq!(d.positive, 0);
+        assert_eq!(d.negative, 2);
+        // Numerical evidence of actual safety (exact proof in epi-solver):
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for _ in 0..20_000 {
+            let p = ProductDist::random(3, &mut rng);
+            assert!(
+                p.prob(&a.intersection(&b)) <= p.prob(&a) * p.prob(&b) + 1e-12,
+                "breach at {:?}",
+                p.probs()
+            );
+        }
+    }
+
+    #[test]
+    fn criterion_soundness_sampled() {
+        // Whenever the criterion passes, no sampled product prior breaches.
+        let cube = Cube::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let mut accepted = 0;
+        while accepted < 30 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            if !cancellation(&cube, &a, &b) {
+                continue;
+            }
+            accepted += 1;
+            for _ in 0..200 {
+                let p = ProductDist::random(4, &mut rng);
+                assert!(
+                    p.prob(&a.intersection(&b)) <= p.prob(&a) * p.prob(&b) + 1e-12,
+                    "criterion accepted a breachable pair A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_matches_naive() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+        for _ in 0..200 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            assert_eq!(
+                cancellation(&cube, &a, &b),
+                cancellation_naive(&cube, &a, &b),
+                "A={a:?} B={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_coefficients_evaluate_to_gap() {
+        // Σ coeff(w)·μ_w(p) must equal P[A]P[B] − P[AB] for sampled p.
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        for _ in 0..50 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let coeffs = gap_coefficients(&cube, &a, &b);
+            let p = ProductDist::random(3, &mut rng);
+            let mu = |w: &MatchVector| -> f64 {
+                (0..3)
+                    .map(|i| {
+                        let pi = p.probs()[i];
+                        if w.stars >> i & 1 == 1 {
+                            pi * (1.0 - pi)
+                        } else if w.values >> i & 1 == 1 {
+                            pi * pi
+                        } else {
+                            (1.0 - pi) * (1.0 - pi)
+                        }
+                    })
+                    .product()
+            };
+            let via_coeffs: f64 = coeffs.iter().map(|(w, &c)| c as f64 * mu(w)).sum();
+            let direct = p.prob(&a) * p.prob(&b) - p.prob(&a.intersection(&b));
+            assert!(
+                (via_coeffs - direct).abs() < 1e-10,
+                "expansion mismatch: {via_coeffs} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let cube = Cube::new(2);
+        // B = Ω: disclosing a tautology is always certified.
+        for a in all_nonempty_subsets(4) {
+            assert!(cancellation(&cube, &a, &cube.full_set()));
+        }
+        // A ∩ B = ∅ with A ∪ B = Ω.
+        let a = cube.set_from_masks([0b00, 0b01]);
+        let b = a.complement();
+        assert!(cancellation(&cube, &a, &b));
+    }
+
+    #[test]
+    fn deficits_empty_iff_criterion_holds() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        for _ in 0..100 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            assert_eq!(
+                cancellation(&cube, &a, &b),
+                cancellation_deficits(&cube, &a, &b).is_empty()
+            );
+        }
+    }
+}

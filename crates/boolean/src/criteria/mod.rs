@@ -1,0 +1,108 @@
+//! The privacy criteria of Section 5 of the paper.
+//!
+//! All criteria decide (or partially decide) the predicate
+//! `Safe_Π(A, B) ⟺ ∀ P ∈ Π: P[AB] ≤ P[A]·P[B]` for structured families
+//! `Π` over `Ω = {0,1}ⁿ`:
+//!
+//! | Module | Result | Family | Direction |
+//! |---|---|---|---|
+//! | [`miklau_suciu`] | Thm 5.7 | `Π_m⁰` (product) | sufficient |
+//! | [`monotonicity`] | Cor 5.5 + mask | `Π_m⁺` ⊇ `Π_m⁰` | sufficient |
+//! | [`cancellation`] | Prop 5.9 | `Π_m⁰` | sufficient |
+//! | [`supermodular`] | Prop 5.2 / 5.4 | `Π_m⁺` | necessary / sufficient |
+//! | [`necessary`] | Prop 5.10 | `Π_m⁰` | necessary |
+//!
+//! Theorem 5.11 (validated exhaustively in this crate's tests and measured
+//! in experiment E4) orders the sufficient criteria: Miklau–Suciu and
+//! monotonicity each imply cancellation.
+
+pub mod cancellation;
+pub mod miklau_suciu;
+pub mod monotonicity;
+pub mod necessary;
+pub mod supermodular;
+
+use crate::cube::Cube;
+use epi_core::WorldSet;
+
+/// The four-way partition of `Ω` by membership in `A` and `B`, computed once
+/// and shared by the criteria: `AB`, `AB̄`, `ĀB`, `ĀB̄`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Regions {
+    /// `A ∩ B`.
+    pub ab: WorldSet,
+    /// `A − B`.
+    pub a_not_b: WorldSet,
+    /// `B − A`.
+    pub b_not_a: WorldSet,
+    /// `Ω − (A ∪ B)`.
+    pub neither: WorldSet,
+}
+
+impl Regions {
+    /// Partitions the cube by `A` and `B`.
+    pub fn new(cube: &Cube, a: &WorldSet, b: &WorldSet) -> Regions {
+        assert_eq!(a.universe_size(), cube.size(), "A not over this cube");
+        assert_eq!(b.universe_size(), cube.size(), "B not over this cube");
+        Regions {
+            ab: a.intersection(b),
+            a_not_b: a.difference(b),
+            b_not_a: b.difference(a),
+            neither: a.union(b).complement(),
+        }
+    }
+
+    /// `true` iff the partition covers Ω (sanity invariant).
+    pub fn is_partition(&self) -> bool {
+        let mut u = self.ab.clone();
+        u.union_with(&self.a_not_b);
+        u.union_with(&self.b_not_a);
+        u.union_with(&self.neither);
+        u.is_full()
+            && self.ab.is_disjoint(&self.a_not_b)
+            && self.ab.is_disjoint(&self.b_not_a)
+            && self.ab.is_disjoint(&self.neither)
+            && self.a_not_b.is_disjoint(&self.b_not_a)
+            && self.a_not_b.is_disjoint(&self.neither)
+            && self.b_not_a.is_disjoint(&self.neither)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_core::world::all_nonempty_subsets;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn regions_partition() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            assert!(Regions::new(&cube, &a, &b).is_partition());
+        }
+    }
+
+    /// Theorem 5.11, exhaustive for n = 2 and n = 3: Miklau–Suciu or
+    /// monotonicity implies cancellation.
+    #[test]
+    fn theorem_5_11_exhaustive() {
+        for n in [2usize, 3] {
+            let cube = Cube::new(n);
+            for a in all_nonempty_subsets(1 << n) {
+                for b in all_nonempty_subsets(1 << n) {
+                    let ms = miklau_suciu::independent(&cube, &a, &b);
+                    let mono = monotonicity::monotone_mask(&cube, &a, &b).is_some();
+                    if ms || mono {
+                        assert!(
+                            cancellation::cancellation(&cube, &a, &b),
+                            "Thm 5.11 violated at n={n} A={a:?} B={b:?} (ms={ms}, mono={mono})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The monotonicity criterion (Corollary 5.5 and the masked generalization
+//! of Section 5.1).
+//!
+//! If `A` is an up-set and `B` is a down-set (or vice versa), then
+//! `Safe_{Π_m⁺}(A, B)` — and a fortiori `Safe_{Π_m⁰}(A, B)` — holds
+//! (Corollary 5.5): "it is OK to disclose a negative fact while protecting a
+//! positive fact" (Remark 5.6). More generally, it suffices that some mask
+//! `z ∈ Ω` makes `z ⊕ A` an up-set and `z ⊕ B` a down-set.
+//!
+//! The mask search is coordinate-wise: `z ⊕ A` is an up-set iff for every
+//! coordinate `i`, `A` is monotone in direction `zᵢ` — so the admissible
+//! `zᵢ` are determined per coordinate and a valid `z` exists iff every
+//! coordinate admits a compatible choice. This runs in `O(n · 2ⁿ)` instead
+//! of `O(4ⁿ)` for a naive mask enumeration.
+
+use crate::cube::Cube;
+use epi_core::{WorldId, WorldSet};
+
+/// Per-coordinate monotonicity of a set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoordMonotonicity {
+    /// Closed under `0 → 1` flips of this coordinate.
+    pub nondecreasing: bool,
+    /// Closed under `1 → 0` flips of this coordinate.
+    pub nonincreasing: bool,
+}
+
+/// Computes, for every coordinate, whether `s` is non-decreasing and/or
+/// non-increasing in it.
+pub fn coordinate_monotonicity(cube: &Cube, s: &WorldSet) -> Vec<CoordMonotonicity> {
+    (0..cube.dims())
+        .map(|i| {
+            let bit = 1u32 << i;
+            let mut nondecreasing = true;
+            let mut nonincreasing = true;
+            for w in cube.worlds() {
+                if w & bit != 0 {
+                    continue;
+                }
+                let lo = s.contains(WorldId(w));
+                let hi = s.contains(WorldId(w | bit));
+                if lo && !hi {
+                    nondecreasing = false;
+                }
+                if hi && !lo {
+                    nonincreasing = false;
+                }
+                if !nondecreasing && !nonincreasing {
+                    break;
+                }
+            }
+            CoordMonotonicity {
+                nondecreasing,
+                nonincreasing,
+            }
+        })
+        .collect()
+}
+
+/// Searches for a mask `z` with `z ⊕ A` an up-set and `z ⊕ B` a down-set
+/// (the generalized monotonicity criterion). Returns the mask when found.
+pub fn monotone_mask(cube: &Cube, a: &WorldSet, b: &WorldSet) -> Option<u32> {
+    let ma = coordinate_monotonicity(cube, a);
+    let mb = coordinate_monotonicity(cube, b);
+    let mut z = 0u32;
+    for i in 0..cube.dims() {
+        // zᵢ = 0: need A non-decreasing and B non-increasing in i.
+        // zᵢ = 1: need A non-increasing and B non-decreasing in i.
+        if ma[i].nondecreasing && mb[i].nonincreasing {
+            // zᵢ = 0
+        } else if ma[i].nonincreasing && mb[i].nondecreasing {
+            z |= 1 << i;
+        } else {
+            return None;
+        }
+    }
+    Some(z)
+}
+
+/// The monotonicity *privacy* criterion: a mask exists ⟹
+/// `Safe_{Π_m⁺}(A, B)` (hence `Safe_{Π_m⁰}`).
+pub fn safe_monotone(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    monotone_mask(cube, a, b).is_some()
+}
+
+/// Corollary 5.5 verbatim: `A` up-set and `B` down-set, or vice versa.
+/// (The `z = 0` and `z = full` special cases of the mask search.)
+pub fn corollary_5_5(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    (cube.is_up_set(a) && cube.is_down_set(b)) || (cube.is_down_set(a) && cube.is_up_set(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn up_down_pair_accepted() {
+        let cube = Cube::new(3);
+        let a = cube.up_closure(&cube.set_from_masks([0b011]));
+        let b = cube.down_closure(&cube.set_from_masks([0b100]));
+        assert!(corollary_5_5(&cube, &a, &b));
+        assert_eq!(monotone_mask(&cube, &a, &b), Some(0));
+        // Swapped roles use the full mask.
+        assert!(safe_monotone(&cube, &b, &a));
+    }
+
+    #[test]
+    fn masked_pair_accepted() {
+        let cube = Cube::new(3);
+        // A is an up-set after flipping coordinate 1.
+        let z = 0b010u32;
+        let up = cube.up_closure(&cube.set_from_masks([0b001]));
+        let a = cube.translate(z, &up);
+        let down = cube.down_closure(&cube.set_from_masks([0b100]));
+        let b = cube.translate(z, &down);
+        assert!(!corollary_5_5(&cube, &a, &b));
+        let found = monotone_mask(&cube, &a, &b).expect("mask must exist");
+        assert!(cube.is_up_set(&cube.translate(found, &a)));
+        assert!(cube.is_down_set(&cube.translate(found, &b)));
+    }
+
+    #[test]
+    fn mask_search_matches_naive_enumeration() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..300 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let fast = monotone_mask(&cube, &a, &b).is_some();
+            let naive = (0..cube.size() as u32).any(|z| {
+                cube.is_up_set(&cube.translate(z, &a)) && cube.is_down_set(&cube.translate(z, &b))
+            });
+            assert_eq!(fast, naive, "A={a:?} B={b:?}");
+        }
+    }
+
+    #[test]
+    fn two_up_sets_rejected_unless_degenerate() {
+        let cube = Cube::new(3);
+        let a = cube.up_closure(&cube.set_from_masks([0b001]));
+        let b = cube.up_closure(&cube.set_from_masks([0b001, 0b010]));
+        // Both genuinely increasing in coordinate 0 ⇒ no mask.
+        assert!(monotone_mask(&cube, &a, &b).is_none());
+        // Degenerate sets (constant) are monotone both ways.
+        assert!(safe_monotone(&cube, &cube.full_set(), &a));
+        assert!(safe_monotone(&cube, &cube.empty_set(), &b));
+    }
+
+    #[test]
+    fn remark_5_6_negative_answer_protects_positive_fact() {
+        // A = "some record of a monotone audit query is present" (up-set);
+        // B = "a monotone user query returned NO" (down-set): always safe.
+        let cube = Cube::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        for _ in 0..50 {
+            let seed_a = cube.set_from_predicate(|_| rng.gen::<f64>() < 0.2);
+            let seed_b = cube.set_from_predicate(|_| rng.gen::<f64>() < 0.2);
+            let a = cube.up_closure(&seed_a);
+            let b_yes = cube.up_closure(&seed_b);
+            let b_no = b_yes.complement(); // "no" answer: complement of an up-set
+            assert!(
+                safe_monotone(&cube, &a, &b_no),
+                "negative monotone answers must pass the criterion"
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The box-counting necessary criterion (Proposition 5.10).
+//!
+//! Evaluating the safety polynomial at the "corner" product distributions —
+//! `pᵢ ∈ {0, 1}` on the fixed coordinates of a match vector `w` and
+//! `pᵢ = ½` on its stars — turns probabilities into box occupancies:
+//! `P[X] = |X ∩ Box(w)| / 2^{stars}`. Safety therefore *requires*
+//!
+//! ```text
+//! ∀ w ∈ {0,1,*}ⁿ:
+//!   |AB̄ ∩ Box(w)| · |ĀB ∩ Box(w)|  ≥  |AB ∩ Box(w)| · |ĀB̄ ∩ Box(w)|
+//! ```
+//!
+//! A failing `w` yields an explicit refuting product prior
+//! ([`refute_product_by_boxes`]), certifying `¬Safe_{Π_m⁰}(A, B)`.
+
+use super::Regions;
+use crate::cube::Cube;
+use crate::distributions::ProductDist;
+use crate::match_vec::{box_count, MatchVector};
+use epi_core::WorldSet;
+
+/// Proposition 5.10: necessary criterion for `Safe_{Π_m⁰}(A, B)`.
+/// `false` certifies unsafety; `true` is inconclusive.
+pub fn necessary_product(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    failing_box(cube, a, b).is_none()
+}
+
+/// Finds a match vector violating the box inequality, if any.
+pub fn failing_box(cube: &Cube, a: &WorldSet, b: &WorldSet) -> Option<MatchVector> {
+    let r = Regions::new(cube, a, b);
+    MatchVector::all(cube.dims()).into_iter().find(|&w| {
+        let pos = box_count(w, &r.a_not_b) as u64 * box_count(w, &r.b_not_a) as u64;
+        let neg = box_count(w, &r.ab) as u64 * box_count(w, &r.neither) as u64;
+        pos < neg
+    })
+}
+
+/// Builds the refuting product distribution for a failing box: `pᵢ` equals
+/// the fixed bit of `w` on non-star coordinates and `½` on stars. By
+/// construction `P[A]·P[B] < P[AB]`, so this prior gains confidence in `A`
+/// from `B`.
+pub fn refute_product_by_boxes(cube: &Cube, a: &WorldSet, b: &WorldSet) -> Option<ProductDist> {
+    let w = failing_box(cube, a, b)?;
+    let probs = (0..cube.dims())
+        .map(|i| {
+            if w.stars >> i & 1 == 1 {
+                0.5
+            } else if w.values >> i & 1 == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Some(ProductDist::new(probs).expect("corner probabilities are valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::cancellation::cancellation;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn refutation_witness_breaches() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(89);
+        let mut refuted = 0;
+        while refuted < 40 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let Some(p) = refute_product_by_boxes(&cube, &a, &b) else {
+                continue;
+            };
+            refuted += 1;
+            let gain = p.prob(&a.intersection(&b)) - p.prob(&a) * p.prob(&b);
+            assert!(
+                gain > 1e-12,
+                "box refutation must breach: A={a:?} B={b:?} p={:?} gain={gain}",
+                p.probs()
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_implies_necessary() {
+        // Sufficient criterion ⟹ necessary criterion (both bracket the
+        // exact predicate).
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        for _ in 0..500 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            if cancellation(&cube, &a, &b) {
+                assert!(
+                    necessary_product(&cube, &a, &b),
+                    "sufficient passed but necessary failed: A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_disclosure_fails_necessary() {
+        // B = A (nontrivial) always breaches under the uniform prior; the
+        // box criterion must catch it at w = *…*.
+        let cube = Cube::new(3);
+        let a = cube.set_from_masks([0b001, 0b010, 0b100]);
+        assert!(!necessary_product(&cube, &a, &a));
+        assert!(failing_box(&cube, &a, &a).is_some());
+        // The all-stars box (uniform prior) fails too: AB̄ = ĀB = ∅ while
+        // AB and ĀB̄ are non-empty.
+        let r = Regions::new(&cube, &a, &a);
+        let all_stars = MatchVector::new(cube.full_mask(), 0);
+        let pos = box_count(all_stars, &r.a_not_b) * box_count(all_stars, &r.b_not_a);
+        let neg = box_count(all_stars, &r.ab) * box_count(all_stars, &r.neither);
+        assert!(pos < neg);
+    }
+
+    #[test]
+    fn remark_5_12_pair_passes_necessary() {
+        // The pair that defeats the cancellation criterion is genuinely
+        // safe, so the necessary criterion must pass it.
+        let cube = Cube::new(3);
+        let a = cube.set_from_masks([0b011, 0b100, 0b110, 0b111]);
+        let b = cube.set_from_masks([0b010, 0b101, 0b110, 0b111]);
+        assert!(necessary_product(&cube, &a, &b));
+    }
+
+    #[test]
+    fn tautology_and_disjoint_cases_pass() {
+        let cube = Cube::new(2);
+        let a = cube.set_from_masks([0b01, 0b11]);
+        assert!(necessary_product(&cube, &a, &cube.full_set()));
+        assert!(necessary_product(&cube, &a, &a.complement()));
+    }
+}

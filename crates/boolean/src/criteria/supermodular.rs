@@ -1,0 +1,241 @@
+//! Criteria for log-supermodular priors (Propositions 5.2 and 5.4,
+//! Corollary 5.5).
+//!
+//! Throughout, safety is evaluated through the identity
+//! `P[A]P[B] − P[AB] = P[AB̄]·P[ĀB] − P[AB]·P[ĀB̄]`, so
+//! `Safe_{Π_m⁺}(A,B) ⟺ ∀ P ∈ Π_m⁺: P[AB]·P[ĀB̄] ≤ P[AB̄]·P[ĀB]`.
+//!
+//! * **Sufficient** (Proposition 5.4): by the Four Functions Theorem with
+//!   `α = β = γ = δ = P`, log-supermodularity gives
+//!   `P[X]·P[Y] ≤ P[X∨Y]·P[X∧Y]` for all sets. Taking `X = AB`,
+//!   `Y = ĀB̄`, safety follows when the lattice images land in the right
+//!   regions:
+//!   - `AB ∧ ĀB̄ ⊆ A−B` and `AB ∨ ĀB̄ ⊆ B−A`, or
+//!   - `AB ∨ ĀB̄ ⊆ A−B` and `AB ∧ ĀB̄ ⊆ B−A`.
+//! * **Necessary** (Proposition 5.2): for every `ω₁ ∈ AB`, `ω₂ ∈ ĀB̄`, the
+//!   meet and join must land in `{A−B, B−A}` in *opposite* regions;
+//!   otherwise a four-point log-supermodular prior supported on
+//!   `{ω₁∧ω₂, ω₁, ω₂, ω₁∨ω₂}` gains confidence in `A` from `B`
+//!   ([`refute_supermodular`] constructs it).
+
+use super::Regions;
+use crate::cube::Cube;
+use epi_core::{Distribution, WorldId, WorldSet};
+
+/// Proposition 5.4 — sufficient criterion for `Safe_{Π_m⁺}(A, B)`.
+pub fn sufficient_supermodular(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    let r = Regions::new(cube, a, b);
+    if r.ab.is_empty() || r.neither.is_empty() {
+        // X or Y empty: P[AB]·P[ĀB̄] = 0 ≤ P[AB̄]·P[ĀB] always.
+        return true;
+    }
+    let meet = cube.meet_set(&r.ab, &r.neither);
+    let join = cube.join_set(&r.ab, &r.neither);
+    (meet.is_subset(&r.a_not_b) && join.is_subset(&r.b_not_a))
+        || (join.is_subset(&r.a_not_b) && meet.is_subset(&r.b_not_a))
+}
+
+/// Corollary 5.5: `A` up-set and `B` down-set (or vice versa) implies
+/// `Safe_{Π_m⁺}(A, B)`. A special case of [`sufficient_supermodular`].
+pub fn corollary_5_5(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    super::monotonicity::corollary_5_5(cube, a, b)
+}
+
+/// Proposition 5.2 — necessary criterion for `Safe_{Π_m⁺}(A, B)`:
+///
+/// ```text
+/// ∀ ω₁ ∈ AB, ∀ ω₂ ∈ ĀB̄:
+///     (ω₁∧ω₂ ∈ A−B  ∧  ω₁∨ω₂ ∈ B−A)  ∨  (ω₁∧ω₂ ∈ B−A  ∧  ω₁∨ω₂ ∈ A−B)
+/// ```
+///
+/// `false` certifies *unsafety* for `Π_m⁺` (a refuting prior exists, see
+/// [`refute_supermodular`]); `true` is inconclusive.
+pub fn necessary_supermodular(cube: &Cube, a: &WorldSet, b: &WorldSet) -> bool {
+    violating_pair(cube, a, b).is_none()
+}
+
+/// Finds a pair `(ω₁, ω₂) ∈ AB × ĀB̄` violating Proposition 5.2's
+/// condition, if any.
+pub fn violating_pair(cube: &Cube, a: &WorldSet, b: &WorldSet) -> Option<(u32, u32)> {
+    let r = Regions::new(cube, a, b);
+    for w1 in &r.ab {
+        for w2 in &r.neither {
+            let m = w1.0 & w2.0;
+            let j = w1.0 | w2.0;
+            let ok = (r.a_not_b.contains(WorldId(m)) && r.b_not_a.contains(WorldId(j)))
+                || (r.b_not_a.contains(WorldId(m)) && r.a_not_b.contains(WorldId(j)));
+            if !ok {
+                return Some((w1.0, w2.0));
+            }
+        }
+    }
+    None
+}
+
+/// When the necessary criterion fails, constructs an explicit
+/// log-supermodular prior `P` with `P[AB] > P[A]·P[B]` — the proof object
+/// behind Proposition 5.2. The prior is supported on the sublattice
+/// `{ω₁∧ω₂, ω₁, ω₂, ω₁∨ω₂}` of a violating pair; masses are found by a
+/// small grid search subject to the only nontrivial log-supermodularity
+/// constraint `P(ω₁)·P(ω₂) ≤ P(ω₁∧ω₂)·P(ω₁∨ω₂)`.
+///
+/// Returns `None` when the criterion holds (no violating pair).
+pub fn refute_supermodular(cube: &Cube, a: &WorldSet, b: &WorldSet) -> Option<Distribution> {
+    let (w1, w2) = violating_pair(cube, a, b)?;
+    let m = w1 & w2;
+    let j = w1 | w2;
+    let ab = a.intersection(b);
+    let size = cube.size();
+    let grid = [0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8];
+    let mut best: Option<(f64, Distribution)> = None;
+    for &pm in &grid {
+        for &p1 in &grid {
+            for &p2 in &grid {
+                let pj: f64 = 1.0 - pm - p1 - p2;
+                if pj < -1e-12 || p1 <= 0.0 {
+                    continue;
+                }
+                let pj = pj.max(0.0);
+                let mut weights = vec![0.0; size];
+                // Accumulate (m or j may coincide with w1/w2 when the
+                // worlds are comparable).
+                weights[m as usize] += pm;
+                weights[w1 as usize] += p1;
+                weights[w2 as usize] += p2;
+                weights[j as usize] += pj;
+                // Log-supermodularity on the support reduces to the single
+                // incomparable-pair constraint.
+                if weights[w1 as usize] * weights[w2 as usize]
+                    > weights[m as usize] * weights[j as usize] + 1e-15
+                    && m != w2
+                {
+                    continue;
+                }
+                let p = match Distribution::new(weights) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                let gain = p.prob(&ab) - p.prob(a) * p.prob(b);
+                if gain > 1e-9 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((gain, p));
+                }
+            }
+        }
+    }
+    let (_, p) = best.expect("Proposition 5.2: a violating pair admits a refuting prior");
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{is_log_supermodular, IsingModel};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn corollary_5_5_instances_pass_sufficient() {
+        let cube = Cube::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        for _ in 0..100 {
+            let a = cube.up_closure(&cube.set_from_predicate(|_| rng.gen::<f64>() < 0.15));
+            let b = cube.down_closure(&cube.set_from_predicate(|_| rng.gen::<f64>() < 0.15));
+            assert!(corollary_5_5(&cube, &a, &b));
+            assert!(
+                sufficient_supermodular(&cube, &a, &b),
+                "Cor 5.5 must be a special case of Prop 5.4: A={a:?} B={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sufficient_implies_necessary() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        for _ in 0..500 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            if sufficient_supermodular(&cube, &a, &b) {
+                assert!(
+                    necessary_supermodular(&cube, &a, &b),
+                    "sufficient ⊆ necessary violated at A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sufficient_soundness_against_ising_priors() {
+        // Whenever Prop 5.4 certifies, no sampled log-supermodular prior
+        // may breach.
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        let mut accepted = 0;
+        while accepted < 25 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            if a.is_empty() || b.is_empty() || !sufficient_supermodular(&cube, &a, &b) {
+                continue;
+            }
+            accepted += 1;
+            for _ in 0..40 {
+                let p = IsingModel::random(3, 1.0, 2.0, &mut rng).to_distribution();
+                assert!(
+                    p.prob(&a.intersection(&b)) <= p.prob(&a) * p.prob(&b) + 1e-9,
+                    "Prop 5.4 accepted a breachable pair A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn necessary_failure_yields_refuting_prior() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+        let mut refuted = 0;
+        while refuted < 30 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let Some(p) = refute_supermodular(&cube, &a, &b) else {
+                continue;
+            };
+            refuted += 1;
+            // The witness must be log-supermodular and actually breach.
+            assert!(
+                is_log_supermodular(&cube, &p, 1e-12),
+                "refuting prior must lie in Π_m⁺"
+            );
+            let gain = p.prob(&a.intersection(&b)) - p.prob(&a) * p.prob(&b);
+            assert!(gain > 1e-10, "refuting prior must show a confidence gain");
+            // Consistency: some world of B has positive mass (the pair
+            // (ω, P) is in K after discarding ω ∉ B).
+            assert!(p.support().intersects(&b));
+        }
+    }
+
+    #[test]
+    fn comparable_pair_two_point_refutation() {
+        // ω₂ ≺ ω₁ with ω₁ ∈ AB, ω₂ ∈ ĀB̄ and nothing in A−B / B−A on the
+        // chain: necessarily unsafe (two-point prior).
+        let cube = Cube::new(2);
+        let a = cube.set_from_masks([0b11]);
+        let b = cube.set_from_masks([0b11]);
+        // ω₁ = 11 ∈ AB, ω₂ = 00 ∈ ĀB̄; meet = 00 ∈ ĀB̄, join = 11 ∈ AB.
+        assert!(!necessary_supermodular(&cube, &a, &b));
+        let p = refute_supermodular(&cube, &a, &b).unwrap();
+        assert!(is_log_supermodular(&cube, &p, 1e-12));
+        assert!(p.prob(&a.intersection(&b)) > p.prob(&a) * p.prob(&b));
+    }
+
+    #[test]
+    fn hiv_example_passes_both() {
+        // §1.1: A = {10, 11}, B = {00, 01, 11} over n = 2
+        // (bit 1 = r₁ "HIV+", bit 0 = r₂ "transfusions").
+        let cube = Cube::new(2);
+        let a = cube.set_from_masks([0b10, 0b11]);
+        let b = cube.set_from_masks([0b00, 0b01, 0b11]);
+        assert!(necessary_supermodular(&cube, &a, &b));
+        // AB = {11}, ĀB̄ = {10}? No: Ā = {00,01}, B̄ = {10} →
+        // ĀB̄ = ∅ … then sufficiency is immediate.
+        assert!(sufficient_supermodular(&cube, &a, &b));
+    }
+}

@@ -1,0 +1,396 @@
+//! Distributions over the Boolean cube: product, log-supermodular,
+//! log-submodular (Definition 5.1).
+//!
+//! * A distribution `P` is **log-supermodular** (`Π_m⁺`) when
+//!   `P(ω₁)·P(ω₂) ≤ P(ω₁∧ω₂)·P(ω₁∨ω₂)` for all worlds — "no negative
+//!   correlations between positive events" (FKG-style priors, e.g. disease
+//!   incidence models).
+//! * **Log-submodular** (`Π_m⁻`) flips the inequality.
+//! * **Product** distributions (`Π_m⁰`) satisfy both with equality
+//!   (`Π_m⁰ = Π_m⁻ ∩ Π_m⁺`, eq. (18)); each corresponds to a Bernoulli
+//!   vector `(p₁, …, pₙ)` via eq. (17).
+//!
+//! Random log-supermodular priors are generated as ferromagnetic Ising
+//! models: `P(ω) ∝ exp(Σ hᵢ ωᵢ + Σ_{i<j} J_{ij} ωᵢ ωⱼ)` with `J ≥ 0`; the
+//! exponent is supermodular, hence `P` is log-supermodular.
+
+use crate::cube::Cube;
+use epi_core::{CoreError, Distribution, WorldId, WorldSet};
+use epi_num::Rational;
+use rand::Rng;
+
+/// A product distribution over `{0,1}ⁿ`, i.e. a Bernoulli probability per
+/// coordinate (eq. (17) of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use epi_boolean::{Cube, ProductDist};
+/// let cube = Cube::new(2);
+/// let p = ProductDist::new(vec![0.5, 0.25]).unwrap();
+/// let a = cube.set_from_masks([0b11]);
+/// assert!((p.prob(&a) - 0.125).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProductDist {
+    probs: Vec<f64>,
+}
+
+impl ProductDist {
+    /// Creates a product distribution from per-coordinate probabilities in
+    /// `[0, 1]`.
+    pub fn new(probs: Vec<f64>) -> Result<ProductDist, CoreError> {
+        if probs.is_empty() || probs.len() > crate::cube::MAX_DIMS {
+            return Err(CoreError::InvalidDistribution {
+                reason: format!("product distribution needs 1..=20 coordinates, got {}", probs.len()),
+            });
+        }
+        if let Some((i, &p)) = probs
+            .iter()
+            .enumerate()
+            .find(|(_, &p)| !(0.0..=1.0).contains(&p) || p.is_nan())
+        {
+            return Err(CoreError::InvalidDistribution {
+                reason: format!("coordinate {i} probability {p} outside [0, 1]"),
+            });
+        }
+        Ok(ProductDist { probs })
+    }
+
+    /// The uniform product distribution (`pᵢ = ½`).
+    pub fn uniform(n: usize) -> ProductDist {
+        ProductDist::new(vec![0.5; n]).expect("valid")
+    }
+
+    /// Number of coordinates.
+    pub fn dims(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The Bernoulli vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// `P(ω)` for a single world bitmask (eq. (17)).
+    pub fn weight(&self, w: u32) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if w >> i & 1 == 1 { p } else { 1.0 - p })
+            .product()
+    }
+
+    /// `P[A]` by summation over the members of `A`.
+    pub fn prob(&self, a: &WorldSet) -> f64 {
+        assert_eq!(a.universe_size(), 1 << self.dims(), "set not over this cube");
+        a.iter().map(|w| self.weight(w.0)).sum()
+    }
+
+    /// The dense expansion of this distribution over all `2ⁿ` worlds.
+    pub fn to_dense(&self) -> Distribution {
+        let n = self.dims();
+        Distribution::from_unnormalized((0..1u32 << n).map(|w| self.weight(w)).collect())
+            .expect("product weights sum to 1")
+    }
+
+    /// Draws a random product distribution with `pᵢ ~ U[0,1]`.
+    pub fn random(n: usize, rng: &mut impl Rng) -> ProductDist {
+        ProductDist::new((0..n).map(|_| rng.gen()).collect()).expect("valid")
+    }
+}
+
+/// An exact-rational product distribution, for criteria that must avoid
+/// floating-point verdicts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RationalProductDist {
+    probs: Vec<Rational>,
+}
+
+impl RationalProductDist {
+    /// Creates from per-coordinate rational probabilities in `[0, 1]`.
+    pub fn new(probs: Vec<Rational>) -> Result<RationalProductDist, CoreError> {
+        let one = Rational::ONE;
+        if probs.is_empty() || probs.len() > crate::cube::MAX_DIMS {
+            return Err(CoreError::InvalidDistribution {
+                reason: "rational product distribution needs 1..=20 coordinates".into(),
+            });
+        }
+        if probs.iter().any(|p| p.is_negative() || *p > one) {
+            return Err(CoreError::InvalidDistribution {
+                reason: "coordinate probability outside [0, 1]".into(),
+            });
+        }
+        Ok(RationalProductDist { probs })
+    }
+
+    /// Number of coordinates.
+    pub fn dims(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `P(ω)` exactly.
+    pub fn weight(&self, w: u32) -> Rational {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if w >> i & 1 == 1 {
+                    p
+                } else {
+                    Rational::ONE - p
+                }
+            })
+            .product()
+    }
+
+    /// `P[A]` exactly.
+    pub fn prob(&self, a: &WorldSet) -> Rational {
+        a.iter().map(|w| self.weight(w.0)).sum()
+    }
+
+    /// The exact safety gap `P[A]·P[B] − P[AB]`; non-negative ⟺ this
+    /// distribution does not breach (Proposition 3.8 form).
+    pub fn safety_gap(&self, a: &WorldSet, b: &WorldSet) -> Rational {
+        self.prob(a) * self.prob(b) - self.prob(&a.intersection(b))
+    }
+}
+
+/// Tests log-supermodularity (Definition 5.1) of a dense distribution over
+/// `{0,1}ⁿ`: `P(ω₁)P(ω₂) ≤ P(ω₁∧ω₂)P(ω₁∨ω₂)` for all pairs. `tol` absorbs
+/// float rounding (use `0.0` for exact data).
+pub fn is_log_supermodular(cube: &Cube, p: &Distribution, tol: f64) -> bool {
+    modularity_violation(cube, p, Side::Super) <= tol
+}
+
+/// Tests log-submodularity: the flipped inequality.
+pub fn is_log_submodular(cube: &Cube, p: &Distribution, tol: f64) -> bool {
+    modularity_violation(cube, p, Side::Sub) <= tol
+}
+
+/// Tests the product characterization (eq. (18)): equality in both.
+pub fn is_product(cube: &Cube, p: &Distribution, tol: f64) -> bool {
+    is_log_supermodular(cube, p, tol) && is_log_submodular(cube, p, tol)
+}
+
+enum Side {
+    Super,
+    Sub,
+}
+
+/// The largest violation of the (super/sub)modularity inequality over all
+/// world pairs; ≤ 0 means the property holds.
+fn modularity_violation(cube: &Cube, p: &Distribution, side: Side) -> f64 {
+    assert_eq!(p.universe_size(), cube.size(), "distribution not over this cube");
+    let mut worst = f64::NEG_INFINITY;
+    for w1 in cube.worlds() {
+        for w2 in cube.worlds() {
+            if w2 < w1 {
+                continue; // symmetric
+            }
+            let lhs = p.weight(WorldId(w1)) * p.weight(WorldId(w2));
+            let rhs =
+                p.weight(WorldId(w1 & w2)) * p.weight(WorldId(w1 | w2));
+            let v = match side {
+                Side::Super => lhs - rhs,
+                Side::Sub => rhs - lhs,
+            };
+            worst = worst.max(v);
+        }
+    }
+    worst
+}
+
+/// A ferromagnetic Ising model over `{0,1}ⁿ` — a parametric family of
+/// log-supermodular distributions used as the random workload generator for
+/// `Π_m⁺` experiments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IsingModel {
+    n: usize,
+    /// External fields `hᵢ` (any sign).
+    pub fields: Vec<f64>,
+    /// Couplings `J_{ij} ≥ 0`, stored for `i < j` row-major.
+    pub couplings: Vec<f64>,
+}
+
+impl IsingModel {
+    /// Creates a model; couplings must be non-negative (ferromagnetic) to
+    /// guarantee log-supermodularity.
+    pub fn new(fields: Vec<f64>, couplings: Vec<f64>) -> Result<IsingModel, CoreError> {
+        let n = fields.len();
+        if couplings.len() != n * (n - 1) / 2 {
+            return Err(CoreError::InvalidDistribution {
+                reason: format!(
+                    "expected {} couplings for {} spins, got {}",
+                    n * (n - 1) / 2,
+                    n,
+                    couplings.len()
+                ),
+            });
+        }
+        if couplings.iter().any(|&j| j < 0.0 || j.is_nan()) {
+            return Err(CoreError::InvalidDistribution {
+                reason: "ferromagnetic model requires J ≥ 0".into(),
+            });
+        }
+        Ok(IsingModel {
+            n,
+            fields,
+            couplings,
+        })
+    }
+
+    /// Draws a random model with `hᵢ ~ U[-h_max, h_max]`,
+    /// `J_{ij} ~ U[0, j_max]`.
+    pub fn random(n: usize, h_max: f64, j_max: f64, rng: &mut impl Rng) -> IsingModel {
+        let fields = (0..n).map(|_| rng.gen_range(-h_max..=h_max)).collect();
+        let couplings = (0..n * (n - 1) / 2)
+            .map(|_| rng.gen_range(0.0..=j_max))
+            .collect();
+        IsingModel::new(fields, couplings).expect("constructed valid")
+    }
+
+    fn coupling_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // Row-major upper triangle.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// The (supermodular) energy `E(ω) = Σ hᵢωᵢ + Σ_{i<j} J_{ij} ωᵢωⱼ`.
+    pub fn energy(&self, w: u32) -> f64 {
+        let mut e = 0.0;
+        for i in 0..self.n {
+            if w >> i & 1 == 1 {
+                e += self.fields[i];
+                for j in (i + 1)..self.n {
+                    if w >> j & 1 == 1 {
+                        e += self.couplings[self.coupling_index(i, j)];
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// The induced distribution `P(ω) ∝ exp(E(ω))`, dense over `2ⁿ` worlds.
+    pub fn to_distribution(&self) -> Distribution {
+        let weights: Vec<f64> = (0..1u32 << self.n).map(|w| self.energy(w).exp()).collect();
+        Distribution::from_unnormalized(weights).expect("exp weights positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn product_weights_sum_to_one() {
+        let p = ProductDist::new(vec![0.3, 0.7, 0.5]).unwrap();
+        let total: f64 = (0..8u32).map(|w| p.weight(w)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let dense = p.to_dense();
+        for w in 0..8u32 {
+            assert!((dense.weight(WorldId(w)) - p.weight(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_validation() {
+        assert!(ProductDist::new(vec![]).is_err());
+        assert!(ProductDist::new(vec![1.5]).is_err());
+        assert!(ProductDist::new(vec![f64::NAN]).is_err());
+        assert!(ProductDist::new(vec![0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn rational_product_exactness() {
+        let p = RationalProductDist::new(vec![Rational::new(1, 2), Rational::new(1, 3)]).unwrap();
+        // P(11) = 1/2 · 1/3 = 1/6.
+        assert_eq!(p.weight(0b11), Rational::new(1, 6));
+        assert_eq!(p.weight(0b00), Rational::new(1, 3));
+        let total: Rational = (0..4u32).map(|w| p.weight(w)).sum();
+        assert_eq!(total, Rational::ONE);
+    }
+
+    #[test]
+    fn rational_safety_gap_hiv_example() {
+        // §1.1 with independent records at arbitrary rational probabilities:
+        // A = {10, 11} (r₁ present), B = {00, 01, 11}.
+        let a = WorldSet::from_indices(4, [2, 3]);
+        let b = WorldSet::from_indices(4, [0, 1, 3]);
+        for (p1, p2) in [(1, 2, 1, 3), (2, 3, 1, 7), (9, 10, 9, 10)].map(|(a_, b_, c, d)| {
+            (Rational::new(a_, b_), Rational::new(c, d))
+        }) {
+            let p = RationalProductDist::new(vec![p2, p1]).unwrap();
+            assert!(
+                !p.safety_gap(&a, &b).is_negative(),
+                "gap must be ≥ 0 for every product prior"
+            );
+        }
+    }
+
+    #[test]
+    fn product_is_both_super_and_submodular() {
+        let cube = Cube::new(3);
+        let p = ProductDist::new(vec![0.2, 0.6, 0.9]).unwrap().to_dense();
+        assert!(is_log_supermodular(&cube, &p, 1e-12));
+        assert!(is_log_submodular(&cube, &p, 1e-12));
+        assert!(is_product(&cube, &p, 1e-12));
+    }
+
+    #[test]
+    fn ising_is_log_supermodular() {
+        let cube = Cube::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let m = IsingModel::random(4, 1.0, 2.0, &mut rng);
+            let p = m.to_distribution();
+            assert!(
+                is_log_supermodular(&cube, &p, 1e-9),
+                "ferromagnetic Ising must be log-supermodular"
+            );
+        }
+    }
+
+    #[test]
+    fn antiferromagnetic_coupling_rejected_and_submodular() {
+        // J < 0 is rejected by the constructor...
+        assert!(IsingModel::new(vec![0.0, 0.0], vec![-1.0]).is_err());
+        // ...and indeed produces a log-SUBmodular (not supermodular) law:
+        // build it manually.
+        let cube = Cube::new(2);
+        let weights: Vec<f64> = (0..4u32)
+            .map(|w| {
+                let e = if w == 0b11 { -1.0 } else { 0.0 };
+                f64::exp(e)
+            })
+            .collect();
+        let p = Distribution::from_unnormalized(weights).unwrap();
+        assert!(!is_log_supermodular(&cube, &p, 1e-12));
+        assert!(is_log_submodular(&cube, &p, 1e-12));
+    }
+
+    #[test]
+    fn coupling_index_is_bijective() {
+        let m = IsingModel::new(vec![0.0; 5], vec![0.0; 10]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let idx = m.coupling_index(i, j);
+                assert!(idx < 10);
+                assert!(seen.insert(idx), "duplicate index for ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn nonuniform_dense_is_not_product() {
+        let cube = Cube::new(2);
+        // Perfectly correlated bits: P(00) = P(11) = 1/2.
+        let p = Distribution::new(vec![0.5, 0.0, 0.0, 0.5]).unwrap();
+        assert!(is_log_supermodular(&cube, &p, 1e-12));
+        assert!(!is_log_submodular(&cube, &p, 1e-12));
+        assert!(!is_product(&cube, &p, 1e-12));
+    }
+}

@@ -1,0 +1,220 @@
+//! The Four Functions Theorem of Ahlswede–Daykin (Theorem 5.3).
+//!
+//! For functions `α, β, γ, δ : L → ℝ₊` on a (finite distributive) lattice —
+//! here the Boolean cube — the inequality
+//!
+//! ```text
+//! α[A]·β[B] ≤ γ[A∨B]·δ[A∧B]     for all sets A, B ⊆ L
+//! ```
+//!
+//! holds iff it holds pointwise on one-element sets:
+//! `α(a)·β(b) ≤ γ(a∨b)·δ(a∧b)`. The paper uses it (Proposition 5.4) to turn
+//! log-supermodularity of a prior — exactly the pointwise condition with
+//! `α = β = γ = δ = P` — into set-level inequalities
+//! `P[X]·P[Y] ≤ P[X∨Y]·P[X∧Y]` that establish `Π_m⁺`-safety.
+
+use crate::cube::Cube;
+use epi_core::{WorldId, WorldSet};
+
+/// A function `{0,1}ⁿ → ℝ₊` stored densely.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CubeFn {
+    values: Vec<f64>,
+}
+
+impl CubeFn {
+    /// Creates from explicit non-negative values, one per world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or NaN, or if the length is not a
+    /// power of two.
+    pub fn new(values: Vec<f64>) -> CubeFn {
+        assert!(values.len().is_power_of_two(), "length must be 2ⁿ");
+        assert!(
+            values.iter().all(|v| *v >= 0.0 && !v.is_nan()),
+            "Four Functions Theorem requires non-negative functions"
+        );
+        CubeFn { values }
+    }
+
+    /// Builds from a closure over world bitmasks.
+    pub fn from_fn(cube: &Cube, f: impl Fn(u32) -> f64) -> CubeFn {
+        CubeFn::new(cube.worlds().map(f).collect())
+    }
+
+    /// `f(ω)`.
+    pub fn at(&self, w: u32) -> f64 {
+        self.values[w as usize]
+    }
+
+    /// `f[A] = Σ_{a ∈ A} f(a)`.
+    pub fn sum_over(&self, a: &WorldSet) -> f64 {
+        assert_eq!(a.universe_size(), self.values.len(), "set/function mismatch");
+        a.iter().map(|w| self.values[w.index()]).sum()
+    }
+}
+
+/// Checks the pointwise hypothesis of Theorem 5.3:
+/// `α(a)·β(b) ≤ γ(a∨b)·δ(a∧b)` for all worlds `a, b`, within `tol`.
+pub fn pointwise_condition(
+    cube: &Cube,
+    alpha: &CubeFn,
+    beta: &CubeFn,
+    gamma: &CubeFn,
+    delta: &CubeFn,
+    tol: f64,
+) -> bool {
+    for a in cube.worlds() {
+        for b in cube.worlds() {
+            if alpha.at(a) * beta.at(b) > gamma.at(a | b) * delta.at(a & b) + tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks the set-level conclusion of Theorem 5.3 on one pair of sets:
+/// `α[A]·β[B] ≤ γ[A∨B]·δ[A∧B]`.
+#[allow(clippy::too_many_arguments)] // mirrors the theorem's (α,β,γ,δ,A,B) signature
+pub fn set_condition(
+    cube: &Cube,
+    alpha: &CubeFn,
+    beta: &CubeFn,
+    gamma: &CubeFn,
+    delta: &CubeFn,
+    a: &WorldSet,
+    b: &WorldSet,
+    tol: f64,
+) -> bool {
+    let join = cube.join_set(a, b);
+    let meet = cube.meet_set(a, b);
+    alpha.sum_over(a) * beta.sum_over(b) <= gamma.sum_over(&join) * delta.sum_over(&meet) + tol
+}
+
+/// Exhaustively checks the set-level conclusion over *all* pairs of subsets
+/// (validation harness for small `n`; `2^(2·2ⁿ)` pairs, guarded to `n ≤ 3`).
+pub fn set_condition_exhaustive(
+    cube: &Cube,
+    alpha: &CubeFn,
+    beta: &CubeFn,
+    gamma: &CubeFn,
+    delta: &CubeFn,
+    tol: f64,
+) -> bool {
+    assert!(cube.dims() <= 3, "exhaustive set check guarded to n ≤ 3");
+    let size = cube.size();
+    for a in epi_core::world::all_subsets(size) {
+        for b in epi_core::world::all_subsets(size) {
+            if !set_condition(cube, alpha, beta, gamma, delta, &a, &b, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The FKG-style corollary used in Proposition 5.4's proof: for a
+/// log-supermodular `P` (pointwise condition with all four functions equal),
+/// every pair of sets satisfies `P[X]·P[Y] ≤ P[X∨Y]·P[X∧Y]`.
+pub fn supermodular_set_inequality(
+    cube: &Cube,
+    p: &epi_core::Distribution,
+    x: &WorldSet,
+    y: &WorldSet,
+) -> f64 {
+    let f = CubeFn::new((0..cube.size() as u32).map(|w| p.weight(WorldId(w))).collect());
+    let join = cube.join_set(x, y);
+    let meet = cube.meet_set(x, y);
+    f.sum_over(&join) * f.sum_over(&meet) - f.sum_over(x) * f.sum_over(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{is_log_supermodular, IsingModel};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn theorem_5_3_forward_direction() {
+        // Pointwise condition ⟹ set condition, validated on random
+        // non-negative quadruples that satisfy the pointwise hypothesis.
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut tested = 0;
+        while tested < 10 {
+            // Log-supermodular construction guarantees the pointwise
+            // condition with α=β=γ=δ.
+            let m = IsingModel::random(3, 0.5, 1.0, &mut rng);
+            let p = m.to_distribution();
+            let f = CubeFn::new(p.weights().to_vec());
+            if !pointwise_condition(&cube, &f, &f, &f, &f, 1e-12) {
+                continue;
+            }
+            assert!(
+                set_condition_exhaustive(&cube, &f, &f, &f, &f, 1e-9),
+                "Four Functions Theorem violated"
+            );
+            tested += 1;
+        }
+    }
+
+    #[test]
+    fn theorem_5_3_reverse_direction() {
+        // Set condition ⟹ pointwise condition (trivially: singletons are
+        // sets). Validate the contrapositive on random quadruples: when the
+        // pointwise condition fails, some pair of (singleton) sets fails.
+        let cube = Cube::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let rand_fn =
+                |rng: &mut rand::rngs::StdRng| CubeFn::new((0..4).map(|_| rng.gen::<f64>()).collect());
+            let (alpha, beta, gamma, delta) = (
+                rand_fn(&mut rng),
+                rand_fn(&mut rng),
+                rand_fn(&mut rng),
+                rand_fn(&mut rng),
+            );
+            if pointwise_condition(&cube, &alpha, &beta, &gamma, &delta, 0.0) {
+                continue;
+            }
+            assert!(
+                !set_condition_exhaustive(&cube, &alpha, &beta, &gamma, &delta, 0.0),
+                "set condition cannot hold when pointwise fails on singletons"
+            );
+        }
+    }
+
+    #[test]
+    fn fkg_inequality_for_ising() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        for _ in 0..20 {
+            let m = IsingModel::random(3, 1.0, 1.5, &mut rng);
+            let p = m.to_distribution();
+            assert!(is_log_supermodular(&cube, &p, 1e-9));
+            // Random set pair.
+            let x = cube.set_from_predicate(|_| rng.gen());
+            let y = cube.set_from_predicate(|_| rng.gen());
+            assert!(
+                supermodular_set_inequality(&cube, &p, &x, &y) >= -1e-9,
+                "FKG-style inequality must hold for log-supermodular P"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_function_rejected() {
+        let _ = CubeFn::new(vec![1.0, -0.5, 0.0, 0.2]);
+    }
+
+    #[test]
+    fn cube_fn_sums() {
+        let f = CubeFn::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let s = WorldSet::from_indices(4, [0, 3]);
+        assert_eq!(f.sum_over(&s), 5.0);
+        assert_eq!(f.at(2), 3.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Workload generators for experiments and benchmarks.
+//!
+//! The paper evaluates no datasets; its claims are about criteria on set
+//! pairs `(A, B)` and prior families. These generators produce the
+//! structured random workloads used by the experiment harness (`epi-bench`):
+//! uniform random sets, density-controlled sets, random monotone sets,
+//! random query-shaped sets (conjunctions/implications over record atoms),
+//! and correlated `(A, B)` pairs with a controlled overlap.
+
+use crate::cube::Cube;
+use epi_core::WorldSet;
+use rand::Rng;
+
+/// A random subset of the cube where each world is included independently
+/// with probability `density`.
+pub fn random_set(cube: &Cube, density: f64, rng: &mut impl Rng) -> WorldSet {
+    assert!((0.0..=1.0).contains(&density));
+    cube.set_from_predicate(|_| rng.gen::<f64>() < density)
+}
+
+/// Like [`random_set`] but guaranteed non-empty (resamples a world when the
+/// draw comes out empty).
+pub fn random_nonempty_set(cube: &Cube, density: f64, rng: &mut impl Rng) -> WorldSet {
+    let mut s = random_set(cube, density, rng);
+    if s.is_empty() {
+        s.insert(epi_core::WorldId(rng.gen_range(0..cube.size() as u32)));
+    }
+    s
+}
+
+/// A random up-set: the up-closure of a sparse random seed set.
+pub fn random_up_set(cube: &Cube, seed_density: f64, rng: &mut impl Rng) -> WorldSet {
+    cube.up_closure(&random_set(cube, seed_density, rng))
+}
+
+/// A random down-set: the down-closure of a sparse random seed set.
+pub fn random_down_set(cube: &Cube, seed_density: f64, rng: &mut impl Rng) -> WorldSet {
+    cube.down_closure(&random_set(cube, seed_density, rng))
+}
+
+/// The set of worlds satisfying a random conjunction of `k` literals — the
+/// shape of `SELECT`-style Boolean queries ("records i, j present, record k
+/// absent").
+pub fn random_conjunction(cube: &Cube, k: usize, rng: &mut impl Rng) -> WorldSet {
+    let k = k.min(cube.dims());
+    // Choose k distinct coordinates.
+    let mut coords: Vec<usize> = (0..cube.dims()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..coords.len());
+        coords.swap(i, j);
+    }
+    let mut mask = 0u32;
+    let mut values = 0u32;
+    for &c in &coords[..k] {
+        mask |= 1 << c;
+        if rng.gen() {
+            values |= 1 << c;
+        }
+    }
+    cube.set_from_predicate(|w| w & mask == values)
+}
+
+/// The set for a random implication `presence(i) ⟹ presence(j)` with
+/// `i ≠ j` — the §1.1 "HIV ⟹ transfusions" query shape.
+pub fn random_implication(cube: &Cube, rng: &mut impl Rng) -> WorldSet {
+    let n = cube.dims();
+    assert!(n >= 2, "implication needs two coordinates");
+    let i = rng.gen_range(0..n);
+    let j = loop {
+        let j = rng.gen_range(0..n);
+        if j != i {
+            break j;
+        }
+    };
+    cube.set_from_predicate(|w| w >> i & 1 == 0 || w >> j & 1 == 1)
+}
+
+/// A correlated pair `(A, B)`: `B` copies each world's membership in `A`
+/// with probability `correlation` and resamples it otherwise. At
+/// `correlation = 1` the pair is `(A, A)` (maximally breaching); at `0` the
+/// sets are independent.
+pub fn correlated_pair(
+    cube: &Cube,
+    density: f64,
+    correlation: f64,
+    rng: &mut impl Rng,
+) -> (WorldSet, WorldSet) {
+    let a = random_nonempty_set(cube, density, rng);
+    let b = cube.set_from_predicate(|w| {
+        if rng.gen::<f64>() < correlation {
+            a.contains(epi_core::WorldId(w))
+        } else {
+            rng.gen::<f64>() < density
+        }
+    });
+    let mut b = b;
+    if b.is_empty() {
+        b.insert(a.first().expect("a is non-empty"));
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn densities_are_respected() {
+        let cube = Cube::new(8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let s = random_set(&cube, 0.3, &mut rng);
+        let frac = s.len() as f64 / cube.size() as f64;
+        assert!((frac - 0.3).abs() < 0.1, "density far off: {frac}");
+        assert!(!random_nonempty_set(&cube, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn monotone_generators_produce_monotone_sets() {
+        let cube = Cube::new(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+        for _ in 0..20 {
+            assert!(cube.is_up_set(&random_up_set(&cube, 0.1, &mut rng)));
+            assert!(cube.is_down_set(&random_down_set(&cube, 0.1, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn conjunction_is_a_subcube() {
+        let cube = Cube::new(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(107);
+        for k in 0..=5 {
+            let s = random_conjunction(&cube, k, &mut rng);
+            assert_eq!(s.len(), 1usize << (5 - k));
+        }
+    }
+
+    #[test]
+    fn implication_has_three_quarters_density() {
+        let cube = Cube::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(109);
+        for _ in 0..10 {
+            let s = random_implication(&cube, &mut rng);
+            assert_eq!(s.len(), cube.size() * 3 / 4);
+        }
+    }
+
+    #[test]
+    fn correlation_extremes() {
+        let cube = Cube::new(6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(113);
+        let (a, b) = correlated_pair(&cube, 0.5, 1.0, &mut rng);
+        assert_eq!(a, b);
+        let (a, b) = correlated_pair(&cube, 0.5, 0.0, &mut rng);
+        // Independent draws almost surely differ somewhere.
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! # epi-boolean
+//!
+//! Section 5 of the *Epistemic Privacy* paper (Evfimievski–Fagin–Woodruff,
+//! PODS 2008): privacy criteria over the Boolean cube `Ω = {0,1}ⁿ` under
+//! modularity assumptions on the user's prior.
+//!
+//! * [`cube`] — the lattice `{0,1}ⁿ`, up/down-sets, critical coordinates;
+//! * [`match_vec`] — match vectors, `Box(w)`, `Circ(w)` (Definition 5.8);
+//! * [`distributions`] — product, log-supermodular (`Π_m⁺`) and
+//!   log-submodular (`Π_m⁻`) priors; ferromagnetic Ising generators;
+//! * [`four_functions`] — the Ahlswede–Daykin Four Functions Theorem
+//!   (Theorem 5.3) and its FKG corollary;
+//! * [`criteria`] — the decision criteria: Miklau–Suciu (Theorem 5.7),
+//!   monotonicity (Corollary 5.5), **cancellation** (Proposition 5.9), the
+//!   `Π_m⁺` necessary/sufficient pair (Propositions 5.2/5.4), and the
+//!   box-counting necessary criterion (Proposition 5.10);
+//! * [`generate`] — random workload generators for the experiments.
+//!
+//! # Quick start
+//!
+//! ```
+//! use epi_boolean::{criteria, Cube};
+//!
+//! let cube = Cube::new(3);
+//! // A: "record 2 present". B: "record 2 present ⟹ record 0 present".
+//! let a = cube.set_from_predicate(|w| w & 0b100 != 0);
+//! let b = cube.set_from_predicate(|w| w & 0b100 == 0 || w & 0b001 != 0);
+//!
+//! // Certified safe for every product prior by the cancellation criterion,
+//! // even though A and B share the critical record 2:
+//! assert!(criteria::cancellation::cancellation(&cube, &a, &b));
+//! assert!(!criteria::miklau_suciu::independent(&cube, &a, &b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod criteria;
+pub mod cube;
+pub mod distributions;
+pub mod four_functions;
+pub mod generate;
+pub mod match_vec;
+
+pub use cube::Cube;
+pub use distributions::{IsingModel, ProductDist, RationalProductDist};
+pub use match_vec::MatchVector;

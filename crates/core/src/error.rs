@@ -1,0 +1,72 @@
+//! Error types for `epi-core`.
+
+use std::fmt;
+
+/// Errors produced while constructing knowledge structures or evaluating
+/// privacy predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A knowledge world `(ω, S)` violated the consistency requirement
+    /// `ω ∈ S` (Remark 2.3).
+    InconsistentKnowledgeWorld {
+        /// Index of the offending world.
+        world: u32,
+    },
+    /// A probabilistic knowledge world `(ω, P)` violated `P(ω) > 0`.
+    ZeroProbabilityWorld {
+        /// Index of the offending world.
+        world: u32,
+    },
+    /// A second-level knowledge set was empty (∅ is not valid, §2).
+    EmptyKnowledge,
+    /// Two structures over different universes were combined.
+    UniverseMismatch {
+        /// Universe size of the first operand.
+        expected: usize,
+        /// Universe size of the offending operand.
+        found: usize,
+    },
+    /// A probability vector did not sum to 1 (within tolerance) or contained
+    /// a negative entry.
+    InvalidDistribution {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A disclosure set `B` was inconsistent with the required actual world
+    /// (`ω* ∉ B`): `B` must be true to have been disclosed (§3).
+    DisclosureExcludesActualWorld {
+        /// Index of the actual world.
+        world: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InconsistentKnowledgeWorld { world } => write!(
+                f,
+                "knowledge world (ω{world}, S) is inconsistent: ω{world} ∉ S"
+            ),
+            CoreError::ZeroProbabilityWorld { world } => write!(
+                f,
+                "probabilistic knowledge world (ω{world}, P) is inconsistent: P(ω{world}) = 0"
+            ),
+            CoreError::EmptyKnowledge => {
+                write!(f, "the empty set is not a valid second-level knowledge set")
+            }
+            CoreError::UniverseMismatch { expected, found } => write!(
+                f,
+                "universe size mismatch: expected {expected} worlds, found {found}"
+            ),
+            CoreError::InvalidDistribution { reason } => {
+                write!(f, "invalid probability distribution: {reason}")
+            }
+            CoreError::DisclosureExcludesActualWorld { world } => write!(
+                f,
+                "disclosure B excludes the actual world ω{world}; a disclosed property must be true"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

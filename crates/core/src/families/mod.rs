@@ -1,0 +1,24 @@
+//! Concrete intersection-closed knowledge families.
+//!
+//! Each family implements [`crate::intervals::IntervalOracle`] with a
+//! closed-form interval computation (no enumeration of `K`), and offers a
+//! `to_knowledge()` materialization for cross-validation on small instances.
+//!
+//! * [`rectangles`] — integer sub-rectangles of a pixel grid
+//!   (Example 4.9 / Figure 1 of the paper);
+//! * [`subcubes`] — subcubes of `{0,1}ⁿ` (partial-assignment knowledge, the
+//!   natural model for users who learned the values of some record slots);
+//! * [`upsets`] — up-sets of `{0,1}ⁿ` (knowledge closed upward: users who
+//!   can only rule worlds out from below);
+//! * [`trivial`] — the rigid family `Σ = {Ω}` of Remark 4.2, the standard
+//!   counterexample for tightness and preservation.
+
+pub mod rectangles;
+pub mod subcubes;
+pub mod trivial;
+pub mod upsets;
+
+pub use rectangles::RectangleFamily;
+pub use subcubes::SubcubeFamily;
+pub use trivial::TrivialFamily;
+pub use upsets::UpsetFamily;

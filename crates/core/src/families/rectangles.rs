@@ -1,0 +1,345 @@
+//! The integer-rectangle knowledge family of Example 4.9 / Figure 1.
+//!
+//! `Ω` is a `width × height` grid of pixels (worlds); the user's permitted
+//! knowledge sets `Σ` are the *integer sub-rectangles* — rectangles whose
+//! corners have integer coordinates, i.e. unions of whole pixels forming an
+//! axis-aligned box. `Σ` is ∩-closed (the intersection of two rectangles
+//! containing a common pixel is a rectangle), and the `K`-interval
+//! `I_K(ω₁, ω₂)` is the bounding rectangle of the two pixels — exactly the
+//! light-grey rectangles of Figure 1.
+//!
+//! Pixels are identified with their 0-based column/row pair `(x, y)`; the
+//! pixel `(x, y)` occupies the unit square from corner `(x, y)` to corner
+//! `(x+1, y+1)`, matching the paper's corner-coordinate convention (the
+//! figure's "rectangle from point (1,1) to point (4,4)" contains pixels
+//! `x ∈ {1,2,3}`, `y ∈ {1,2,3}`).
+
+use crate::intervals::IntervalOracle;
+use crate::knowledge::{KnowledgeWorld, PossKnowledge};
+use crate::world::{WorldId, WorldSet};
+
+/// The auditor's knowledge `K = Ω ⊗ Σ` where `Σ` is the family of integer
+/// sub-rectangles of a `width × height` pixel grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RectangleFamily {
+    width: usize,
+    height: usize,
+}
+
+/// An integer rectangle given by inclusive pixel ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PixelRect {
+    /// Smallest column index.
+    pub x0: usize,
+    /// Smallest row index.
+    pub y0: usize,
+    /// Largest column index (inclusive).
+    pub x1: usize,
+    /// Largest row index (inclusive).
+    pub y1: usize,
+}
+
+impl PixelRect {
+    /// The rectangle's description in the paper's corner coordinates:
+    /// `(x0, y0) − (x1+1, y1+1)`.
+    pub fn corner_form(&self) -> ((usize, usize), (usize, usize)) {
+        ((self.x0, self.y0), (self.x1 + 1, self.y1 + 1))
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> usize {
+        (self.x1 - self.x0 + 1) * (self.y1 - self.y0 + 1)
+    }
+}
+
+impl RectangleFamily {
+    /// Creates the family over a `width × height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid.
+    pub fn new(width: usize, height: usize) -> RectangleFamily {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        RectangleFamily { width, height }
+    }
+
+    /// The 14 × 7 grid of Figure 1.
+    pub fn figure1() -> RectangleFamily {
+        RectangleFamily::new(14, 7)
+    }
+
+    /// Grid width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// World id of the pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of the grid.
+    pub fn pixel(&self, x: usize, y: usize) -> WorldId {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) outside grid");
+        WorldId((y * self.width + x) as u32)
+    }
+
+    /// Column/row pair of a world id.
+    pub fn coords(&self, w: WorldId) -> (usize, usize) {
+        (w.index() % self.width, w.index() / self.width)
+    }
+
+    /// The [`WorldSet`] covered by a rectangle.
+    pub fn rect_set(&self, r: PixelRect) -> WorldSet {
+        assert!(r.x0 <= r.x1 && r.y0 <= r.y1 && r.x1 < self.width && r.y1 < self.height);
+        WorldSet::from_predicate(self.width * self.height, |w| {
+            let (x, y) = self.coords(w);
+            (r.x0..=r.x1).contains(&x) && (r.y0..=r.y1).contains(&y)
+        })
+    }
+
+    /// The bounding rectangle of a non-empty set, if the set is exactly an
+    /// integer rectangle; `None` otherwise.
+    pub fn as_rect(&self, s: &WorldSet) -> Option<PixelRect> {
+        let r = self.bounding_rect(s)?;
+        (r.area() == s.len()).then_some(r)
+    }
+
+    /// The bounding rectangle of a non-empty set.
+    pub fn bounding_rect(&self, s: &WorldSet) -> Option<PixelRect> {
+        let mut it = s.iter();
+        let first = it.next()?;
+        let (mut x0, mut y0) = self.coords(first);
+        let (mut x1, mut y1) = (x0, y0);
+        for w in it {
+            let (x, y) = self.coords(w);
+            x0 = x0.min(x);
+            y0 = y0.min(y);
+            x1 = x1.max(x);
+            y1 = y1.max(y);
+        }
+        Some(PixelRect { x0, y0, x1, y1 })
+    }
+
+    /// Materializes `K = Ω ⊗ Σ` explicitly (quadratic number of rectangles
+    /// times pixels; guarded to small grids for cross-validation).
+    pub fn to_knowledge(&self) -> PossKnowledge {
+        assert!(
+            self.width * self.height <= 64,
+            "explicit materialization guarded to ≤ 64 pixels"
+        );
+        let mut pairs = Vec::new();
+        for x0 in 0..self.width {
+            for x1 in x0..self.width {
+                for y0 in 0..self.height {
+                    for y1 in y0..self.height {
+                        let set = self.rect_set(PixelRect { x0, y0, x1, y1 });
+                        for w in &set {
+                            pairs.push(KnowledgeWorld::new(w, set.clone()).unwrap());
+                        }
+                    }
+                }
+            }
+        }
+        PossKnowledge::from_pairs(pairs).expect("non-empty grid yields non-empty K")
+    }
+
+    /// Renders an ASCII picture of the grid in the style of Figure 1:
+    /// `#` marks worlds of `mark_a` (e.g. `Ā`), `+` marks worlds of
+    /// `mark_b`, `*` marks worlds in both, `.` the rest.
+    pub fn render(&self, mark_a: &WorldSet, mark_b: &WorldSet) -> String {
+        let mut out = String::new();
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                let w = self.pixel(x, y);
+                let c = match (mark_a.contains(w), mark_b.contains(w)) {
+                    (true, true) => '*',
+                    (true, false) => '#',
+                    (false, true) => '+',
+                    (false, false) => '·',
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl IntervalOracle for RectangleFamily {
+    fn universe_size(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn interval(&self, w1: WorldId, w2: WorldId) -> Option<WorldSet> {
+        // Every pixel pair lies in some rectangle, and the smallest one is
+        // their bounding box.
+        let (x1, y1) = self.coords(w1);
+        let (x2, y2) = self.coords(w2);
+        Some(self.rect_set(PixelRect {
+            x0: x1.min(x2),
+            y0: y1.min(y2),
+            x1: x1.max(x2),
+            y1: y1.max(y2),
+        }))
+    }
+
+    fn contains_pair(&self, world: WorldId, set: &WorldSet) -> bool {
+        self.as_rect(set).is_some() && set.contains(world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::{
+        margin::has_tight_intervals, minimal::minimal_intervals, safe_via_intervals,
+        ExplicitOracle,
+    };
+    use crate::possibilistic;
+    use crate::world::all_nonempty_subsets;
+
+    #[test]
+    fn pixel_indexing_roundtrip() {
+        let f = RectangleFamily::new(14, 7);
+        for y in 0..7 {
+            for x in 0..14 {
+                let w = f.pixel(x, y);
+                assert_eq!(f.coords(w), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_interval_examples() {
+        // "For ω₁ and ω₂ in Figure 1, the interval I_K(ω₁, ω₂) is the
+        // light-grey rectangle from point (1,1) to point (4,4); for ω₁ and
+        // ω₂′, … from point (1,1) to point (9,3)."
+        let f = RectangleFamily::figure1();
+        let w1 = f.pixel(1, 1);
+        let w2 = f.pixel(3, 3);
+        let i = f.interval(w1, w2).unwrap();
+        let rect = f.as_rect(&i).unwrap();
+        assert_eq!(rect.corner_form(), ((1, 1), (4, 4)));
+
+        let w2p = f.pixel(8, 2);
+        let i = f.interval(w1, w2p).unwrap();
+        let rect = f.as_rect(&i).unwrap();
+        assert_eq!(rect.corner_form(), ((1, 1), (9, 3)));
+    }
+
+    #[test]
+    fn intervals_match_explicit_enumeration() {
+        let f = RectangleFamily::new(4, 3);
+        let k = f.to_knowledge();
+        assert!(k.is_inter_closed());
+        let explicit = ExplicitOracle::new(&k);
+        for i in 0..12u32 {
+            for j in 0..12u32 {
+                assert_eq!(
+                    f.interval(WorldId(i), WorldId(j)),
+                    explicit.interval(WorldId(i), WorldId(j)),
+                    "interval mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn safety_matches_definition_exhaustively() {
+        // Closed-form oracle vs Definition 3.1 on a 4×3 grid (2¹² subsets is
+        // too many; sample structured A, B).
+        let f = RectangleFamily::new(2, 2);
+        let k = f.to_knowledge();
+        for a in all_nonempty_subsets(4) {
+            for b in all_nonempty_subsets(4) {
+                assert_eq!(
+                    possibilistic::is_safe(&k, &a, &b),
+                    safe_via_intervals(&f, &a, &b),
+                    "A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rectangles_have_tight_intervals() {
+        // Every interior pixel of a bounding box induces a strictly smaller
+        // bounding box unless it is the far corner — which only happens for
+        // the target. (Definition 4.13 holds for this family.)
+        let f = RectangleFamily::new(4, 3);
+        assert!(has_tight_intervals(&f));
+    }
+
+    #[test]
+    fn figure1_minimal_intervals() {
+        // Reconstruct the Ā of Figure 1 far enough to reproduce its three
+        // minimal intervals from ω₁: the rectangles (1,1)−(4,4),
+        // (1,1)−(5,3) and (1,1)−(6,2).
+        let f = RectangleFamily::figure1();
+        let n = f.universe_size();
+        let w1 = f.pixel(1, 1);
+        // Ā: an ellipse-like blob whose lower-left frontier passes through
+        // pixels (3,3), (4,2), (5,1).
+        let mut not_a = WorldSet::empty(n);
+        for (x, y) in [
+            (3, 3),
+            (4, 2),
+            (5, 1),
+            (4, 4),
+            (5, 3),
+            (6, 2),
+            (6, 1),
+            (5, 4),
+            (6, 3),
+            (7, 2),
+            (7, 1),
+            (6, 4),
+            (7, 3),
+            (8, 2),
+            (8, 3),
+            (7, 4),
+            (8, 4),
+            (9, 2),
+            (9, 3),
+        ] {
+            not_a.insert(f.pixel(x, y));
+        }
+        let ms = minimal_intervals(&f, w1, &not_a);
+        let mut corner_forms: Vec<_> = ms
+            .iter()
+            .map(|m| f.as_rect(&m.interval).unwrap().corner_form())
+            .collect();
+        corner_forms.sort();
+        assert_eq!(
+            corner_forms,
+            vec![((1, 1), (4, 4)), ((1, 1), (5, 3)), ((1, 1), (6, 2))],
+            "Figure 1's three minimal intervals"
+        );
+    }
+
+    #[test]
+    fn as_rect_rejects_non_rectangles() {
+        let f = RectangleFamily::new(4, 3);
+        let mut s = f.rect_set(PixelRect { x0: 0, y0: 0, x1: 1, y1: 1 });
+        assert!(f.as_rect(&s).is_some());
+        s.insert(f.pixel(3, 2));
+        assert!(f.as_rect(&s).is_none());
+        assert!(f.bounding_rect(&s).is_some());
+        assert!(f.as_rect(&WorldSet::empty(12)).is_none());
+    }
+
+    #[test]
+    fn render_shape() {
+        let f = RectangleFamily::new(3, 2);
+        let a = f.rect_set(PixelRect { x0: 0, y0: 0, x1: 0, y1: 1 });
+        let b = f.rect_set(PixelRect { x0: 0, y0: 1, x1: 2, y1: 1 });
+        let pic = f.render(&a, &b);
+        // Top row rendered first (y = 1): a∩b at x=0, then b.
+        assert_eq!(pic, "*++\n#··\n");
+    }
+}

@@ -1,0 +1,189 @@
+//! The subcube knowledge family over `Ω = {0,1}ⁿ`.
+//!
+//! Worlds are bit-vectors (subsets of `n` database records, as in Section 5
+//! of the paper); the permitted knowledge sets are *subcubes* — sets of the
+//! form "coordinates in `F` are fixed to given values, the rest are free".
+//! This models a user who has learned the exact presence/absence of some
+//! records and knows nothing about the others. Subcubes are ∩-closed, and
+//! the interval `I_K(ω₁, ω₂)` fixes exactly the coordinates on which `ω₁`
+//! and `ω₂` agree.
+
+use crate::intervals::IntervalOracle;
+use crate::knowledge::{KnowledgeWorld, PossKnowledge};
+use crate::world::{WorldId, WorldSet};
+
+/// The family `K = Ω ⊗ {subcubes of {0,1}ⁿ}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubcubeFamily {
+    n: usize,
+}
+
+impl SubcubeFamily {
+    /// Creates the family over `{0,1}ⁿ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > 20` (the universe has `2ⁿ` worlds).
+    pub fn new(n: usize) -> SubcubeFamily {
+        assert!((1..=20).contains(&n), "subcube family supports 1 ≤ n ≤ 20");
+        SubcubeFamily { n }
+    }
+
+    /// Number of coordinates `n`.
+    pub fn dims(&self) -> usize {
+        self.n
+    }
+
+    /// World id of a bitmask.
+    pub fn world(&self, mask: u32) -> WorldId {
+        assert!(mask < (1u32 << self.n));
+        WorldId(mask)
+    }
+
+    /// The subcube with coordinates in `fixed_mask` pinned to the bits of
+    /// `values` (bits of `values` outside `fixed_mask` are ignored).
+    pub fn subcube(&self, fixed_mask: u32, values: u32) -> WorldSet {
+        let v = values & fixed_mask;
+        WorldSet::from_predicate(1 << self.n, |w| (w.0 & fixed_mask) == v)
+    }
+
+    /// If `s` is exactly a subcube, returns `(fixed_mask, values)`.
+    pub fn as_subcube(&self, s: &WorldSet) -> Option<(u32, u32)> {
+        let first = s.first()?;
+        // Coordinates where all members agree.
+        let mut fixed = (1u32 << self.n) - 1;
+        for w in s {
+            fixed &= !(w.0 ^ first.0);
+        }
+        let free = self.n as u32 - fixed.count_ones();
+        (s.len() == 1usize << free).then_some((fixed, first.0 & fixed))
+    }
+
+    /// Materializes `K` explicitly (guarded to `n ≤ 4` — `3ⁿ` subcubes with
+    /// `2^(free)` members each).
+    pub fn to_knowledge(&self) -> PossKnowledge {
+        assert!(self.n <= 4, "explicit materialization guarded to n ≤ 4");
+        let mut pairs = Vec::new();
+        let full_mask = (1u32 << self.n) - 1;
+        for fixed in 0..=full_mask {
+            // Enumerate values on the fixed coordinates via subset trick.
+            let mut v = fixed;
+            loop {
+                let set = self.subcube(fixed, v);
+                for w in &set {
+                    pairs.push(KnowledgeWorld::new(w, set.clone()).unwrap());
+                }
+                if v == 0 {
+                    break;
+                }
+                v = (v - 1) & fixed;
+            }
+        }
+        PossKnowledge::from_pairs(pairs).expect("non-empty")
+    }
+}
+
+impl IntervalOracle for SubcubeFamily {
+    fn universe_size(&self) -> usize {
+        1 << self.n
+    }
+
+    fn interval(&self, w1: WorldId, w2: WorldId) -> Option<WorldSet> {
+        // Smallest subcube containing both: fix the agreeing coordinates.
+        let agree = !(w1.0 ^ w2.0) & ((1u32 << self.n) - 1);
+        Some(self.subcube(agree, w1.0))
+    }
+
+    fn contains_pair(&self, world: WorldId, set: &WorldSet) -> bool {
+        self.as_subcube(set).is_some() && set.contains(world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::{
+        margin::has_tight_intervals, safe_via_intervals, ExplicitOracle,
+    };
+    use crate::possibilistic;
+    use crate::world::all_nonempty_subsets;
+
+    #[test]
+    fn subcube_construction() {
+        let f = SubcubeFamily::new(3);
+        // Fix coordinate 0 (lsb) to 1: worlds {001, 011, 101, 111}.
+        let s = f.subcube(0b001, 0b001);
+        assert_eq!(s, WorldSet::from_indices(8, [1, 3, 5, 7]));
+        assert_eq!(f.as_subcube(&s), Some((0b001, 0b001)));
+        // Entire cube.
+        let all = f.subcube(0, 0);
+        assert!(all.is_full());
+        assert_eq!(f.as_subcube(&all), Some((0, 0)));
+    }
+
+    #[test]
+    fn as_subcube_rejects_non_cubes() {
+        let f = SubcubeFamily::new(2);
+        let s = WorldSet::from_indices(4, [0, 3]); // diagonal, not a cube
+        assert!(f.as_subcube(&s).is_none());
+        let s = WorldSet::from_indices(4, [0, 1, 3]);
+        assert!(f.as_subcube(&s).is_none());
+    }
+
+    #[test]
+    fn interval_fixes_agreement() {
+        let f = SubcubeFamily::new(3);
+        // ω₁ = 010, ω₂ = 011 agree on coords 1, 2 → interval = {010, 011}.
+        let i = f.interval(WorldId(0b010), WorldId(0b011)).unwrap();
+        assert_eq!(i, WorldSet::from_indices(8, [2, 3]));
+        // Antipodal worlds: interval is the whole cube.
+        let i = f.interval(WorldId(0b000), WorldId(0b111)).unwrap();
+        assert!(i.is_full());
+    }
+
+    #[test]
+    fn matches_explicit_enumeration() {
+        let f = SubcubeFamily::new(3);
+        let k = f.to_knowledge();
+        assert!(k.is_inter_closed());
+        let explicit = ExplicitOracle::new(&k);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                assert_eq!(
+                    f.interval(WorldId(i), WorldId(j)),
+                    explicit.interval(WorldId(i), WorldId(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn safety_matches_definition() {
+        let f = SubcubeFamily::new(2);
+        let k = f.to_knowledge();
+        for a in all_nonempty_subsets(4) {
+            for b in all_nonempty_subsets(4) {
+                assert_eq!(
+                    possibilistic::is_safe(&k, &a, &b),
+                    safe_via_intervals(&f, &a, &b),
+                    "A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subcubes_lack_tight_intervals() {
+        // The interval {0,1}² from 00 to 11 contains 01, whose interval from
+        // 00 is {00, 01} — fine; but it also contains 10 and 11, and the
+        // interval to 01 is not a *subset chain* through every world:
+        // tightness demands I(00, w) ⊊ I(00, 11) for ALL w ≠ 11 in it, which
+        // holds; but I(00,11) itself viewed from target 01... Verify
+        // computationally rather than by hand:
+        let f = SubcubeFamily::new(2);
+        // For subcubes, tightness actually holds: agreeing-coordinate cubes
+        // shrink strictly as the target moves closer. Assert the computed
+        // truth so regressions surface.
+        assert!(has_tight_intervals(&f));
+    }
+}

@@ -1,0 +1,101 @@
+//! The rigid family `Σ = {Ω}` of Remark 4.2.
+//!
+//! Every user is assumed to know nothing (`S = Ω`). This tiny family is the
+//! paper's canonical counterexample: it is ∩-closed but does not have tight
+//! intervals, no safety-margin function `β` exists for it
+//! (Remark 4.2), and no strict disclosure is `K`-preserving.
+
+use crate::intervals::IntervalOracle;
+use crate::knowledge::{KnowledgeWorld, PossKnowledge};
+use crate::world::{WorldId, WorldSet};
+
+/// The family `K = Ω ⊗ {Ω}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrivialFamily {
+    universe: usize,
+}
+
+impl TrivialFamily {
+    /// Creates the family over a universe of the given size.
+    pub fn new(universe: usize) -> TrivialFamily {
+        assert!(universe > 0);
+        TrivialFamily { universe }
+    }
+
+    /// Materializes `K` explicitly.
+    pub fn to_knowledge(&self) -> PossKnowledge {
+        let full = WorldSet::full(self.universe);
+        let pairs = (0..self.universe as u32)
+            .map(|i| KnowledgeWorld::new(WorldId(i), full.clone()).unwrap())
+            .collect();
+        PossKnowledge::from_pairs(pairs).expect("non-empty")
+    }
+}
+
+impl IntervalOracle for TrivialFamily {
+    fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    fn interval(&self, _w1: WorldId, _w2: WorldId) -> Option<WorldSet> {
+        Some(WorldSet::full(self.universe))
+    }
+
+    fn contains_pair(&self, _world: WorldId, set: &WorldSet) -> bool {
+        set.is_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::{margin::has_tight_intervals, safe_via_intervals, ExplicitOracle};
+    use crate::possibilistic;
+    use crate::preserving::is_preserving_poss;
+    use crate::world::all_nonempty_subsets;
+
+    #[test]
+    fn matches_explicit() {
+        let f = TrivialFamily::new(3);
+        let k = f.to_knowledge();
+        let explicit = ExplicitOracle::new(&k);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                assert_eq!(
+                    f.interval(WorldId(i), WorldId(j)),
+                    explicit.interval(WorldId(i), WorldId(j))
+                );
+            }
+        }
+        for a in all_nonempty_subsets(3) {
+            for b in all_nonempty_subsets(3) {
+                assert_eq!(
+                    possibilistic::is_safe(&k, &a, &b),
+                    safe_via_intervals(&f, &a, &b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remark_4_2_counterexample() {
+        // Ω = {1,2,3} (indices 0,1,2), A = {3} (index 2): B₁ = {1,3} and
+        // B₂ = {2,3} both protect A, yet B₁ ∩ B₂ = {3} does not.
+        let f = TrivialFamily::new(3);
+        let a = WorldSet::from_indices(3, [2]);
+        let b1 = WorldSet::from_indices(3, [0, 2]);
+        let b2 = WorldSet::from_indices(3, [1, 2]);
+        assert!(safe_via_intervals(&f, &a, &b1));
+        assert!(safe_via_intervals(&f, &a, &b2));
+        assert!(!safe_via_intervals(&f, &a, &b1.intersection(&b2)));
+    }
+
+    #[test]
+    fn not_tight_and_not_preserving() {
+        let f = TrivialFamily::new(3);
+        assert!(!has_tight_intervals(&f));
+        let k = f.to_knowledge();
+        assert!(!is_preserving_poss(&k, &WorldSet::from_indices(3, [0, 2])));
+        assert!(is_preserving_poss(&k, &WorldSet::full(3)));
+    }
+}

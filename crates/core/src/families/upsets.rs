@@ -1,0 +1,156 @@
+//! The up-set knowledge family over `Ω = {0,1}ⁿ`.
+//!
+//! Knowledge sets are the non-empty *up-sets* of the subset lattice: sets
+//! `S` with `ω ∈ S ∧ ω ≼ ω′ ⟹ ω′ ∈ S`. This models users whose evidence
+//! only ever rules out records' *absence* — e.g. they may learn "record `r`
+//! is in the database" but never "record `r` is absent", so the worlds they
+//! consider possible stay closed upward. Up-sets are ∩-closed; the interval
+//! `I_K(ω₁, ω₂)` is the up-closure of `{ω₁, ω₂}`.
+
+use crate::intervals::IntervalOracle;
+use crate::knowledge::{KnowledgeWorld, PossKnowledge};
+use crate::world::{WorldId, WorldSet};
+
+/// The family `K = Ω ⊗ {non-empty up-sets of {0,1}ⁿ}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpsetFamily {
+    n: usize,
+}
+
+impl UpsetFamily {
+    /// Creates the family over `{0,1}ⁿ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > 20`.
+    pub fn new(n: usize) -> UpsetFamily {
+        assert!((1..=20).contains(&n), "up-set family supports 1 ≤ n ≤ 20");
+        UpsetFamily { n }
+    }
+
+    /// Number of coordinates.
+    pub fn dims(&self) -> usize {
+        self.n
+    }
+
+    /// The up-closure `↑X = {ω : ∃ x ∈ X, x ≼ ω}`.
+    pub fn up_closure(&self, x: &WorldSet) -> WorldSet {
+        WorldSet::from_predicate(1 << self.n, |w| {
+            x.iter().any(|gen| gen.0 & w.0 == gen.0)
+        })
+    }
+
+    /// `true` iff `s` is an up-set.
+    pub fn is_upset(&self, s: &WorldSet) -> bool {
+        let full = (1u32 << self.n) - 1;
+        s.iter().all(|w| {
+            // All single-bit additions stay in s.
+            let mut missing = full & !w.0;
+            while missing != 0 {
+                let bit = missing & missing.wrapping_neg();
+                if !s.contains(WorldId(w.0 | bit)) {
+                    return false;
+                }
+                missing &= missing - 1;
+            }
+            true
+        })
+    }
+
+    /// Materializes `K` explicitly (guarded to `n ≤ 3`; the number of
+    /// up-sets is the Dedekind number).
+    pub fn to_knowledge(&self) -> PossKnowledge {
+        assert!(self.n <= 3, "explicit materialization guarded to n ≤ 3");
+        let size = 1usize << self.n;
+        let mut pairs = Vec::new();
+        for s in crate::world::all_nonempty_subsets(size) {
+            if self.is_upset(&s) {
+                for w in &s {
+                    pairs.push(KnowledgeWorld::new(w, s.clone()).unwrap());
+                }
+            }
+        }
+        PossKnowledge::from_pairs(pairs).expect("non-empty")
+    }
+}
+
+impl IntervalOracle for UpsetFamily {
+    fn universe_size(&self) -> usize {
+        1 << self.n
+    }
+
+    fn interval(&self, w1: WorldId, w2: WorldId) -> Option<WorldSet> {
+        // Smallest up-set containing both worlds: ↑{ω₁, ω₂}.
+        let pair = {
+            let mut s = WorldSet::empty(1 << self.n);
+            s.insert(w1);
+            s.insert(w2);
+            s
+        };
+        Some(self.up_closure(&pair))
+    }
+
+    fn contains_pair(&self, world: WorldId, set: &WorldSet) -> bool {
+        set.contains(world) && self.is_upset(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::{safe_via_intervals, ExplicitOracle};
+    use crate::possibilistic;
+    use crate::world::all_nonempty_subsets;
+
+    #[test]
+    fn up_closure_basics() {
+        let f = UpsetFamily::new(3);
+        let x = WorldSet::from_indices(8, [0b010]);
+        let up = f.up_closure(&x);
+        assert_eq!(up, WorldSet::from_indices(8, [0b010, 0b011, 0b110, 0b111]));
+        assert!(f.is_upset(&up));
+        assert!(!f.is_upset(&x));
+    }
+
+    #[test]
+    fn interval_is_up_closure_of_pair() {
+        let f = UpsetFamily::new(2);
+        let i = f.interval(WorldId(0b01), WorldId(0b10)).unwrap();
+        assert_eq!(i, WorldSet::from_indices(4, [0b01, 0b10, 0b11]));
+        // Comparable worlds: up-closure of the smaller.
+        let i = f.interval(WorldId(0b00), WorldId(0b11)).unwrap();
+        assert!(i.is_full());
+    }
+
+    #[test]
+    fn matches_explicit_enumeration() {
+        let f = UpsetFamily::new(3);
+        let k = f.to_knowledge();
+        assert!(k.is_inter_closed());
+        let explicit = ExplicitOracle::new(&k);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                assert_eq!(
+                    f.interval(WorldId(i), WorldId(j)),
+                    explicit.interval(WorldId(i), WorldId(j)),
+                    "interval mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn safety_matches_definition() {
+        let f = UpsetFamily::new(2);
+        let k = f.to_knowledge();
+        for a in all_nonempty_subsets(4) {
+            for b in all_nonempty_subsets(4) {
+                assert_eq!(
+                    possibilistic::is_safe(&k, &a, &b),
+                    safe_via_intervals(&f, &a, &b),
+                    "A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Safety margins (Proposition 4.1, Definition 4.13, Corollary 4.14).
+//!
+//! Proposition 4.1 associates with every audited property `A` a *safety
+//! margin* function `β : A → P(Ω − A)` such that
+//!
+//! ```text
+//! (∀ ω ∈ A∩B:  β(ω) ⊆ B)   ⟹   Safe_K(A, B)                     (12)
+//! ```
+//!
+//! with the converse (13) holding for `K`-preserving `B`. When `K` is
+//! ∩-closed and has *tight intervals* (Definition 4.13), Corollary 4.14 gives
+//! the margin in closed form: `β(ω₁) = ⋃ Δ_K(Ā, ω₁)`, and the implication
+//! becomes an equivalence for all `B`. The auditor computes `β` once per
+//! audit query `A` and then screens any number of disclosures `B₁ … B_N`
+//! with a subset test each — the batch-auditing mode the paper highlights.
+
+use super::partition::delta_partition;
+use super::IntervalOracle;
+use crate::world::{WorldId, WorldSet};
+
+/// A precomputed safety margin `β : A → P(Ω − A)` for one audit query `A`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafetyMargin {
+    a: WorldSet,
+    /// `margins[i]` is `β(ωᵢ)` for the `i`-th world of `A` in index order.
+    margins: Vec<WorldSet>,
+    /// Whether the margin test is exact (`K` has tight intervals) or only
+    /// sufficient-and-(for `K`-preserving `B`)-necessary.
+    exact: bool,
+}
+
+/// Tests whether an ∩-closed `K` has *tight intervals* (Definition 4.13):
+/// for every interval, every interior world other than the target generates
+/// a strictly smaller interval:
+///
+/// ```text
+/// ∀ ω₂′ ∈ I_K(ω₁, ω₂):  ω₂′ ≠ ω₂  ⟹  I_K(ω₁, ω₂′) ⊊ I_K(ω₁, ω₂)
+/// ```
+pub fn has_tight_intervals(oracle: &impl IntervalOracle) -> bool {
+    let n = oracle.universe_size();
+    for w1 in 0..n as u32 {
+        for w2 in 0..n as u32 {
+            let Some(interval) = oracle.interval(WorldId(w1), WorldId(w2)) else {
+                continue;
+            };
+            for w2p in &interval {
+                if w2p == WorldId(w2) {
+                    continue;
+                }
+                match oracle.interval(WorldId(w1), w2p) {
+                    Some(sub) if sub.is_proper_subset(&interval) => {}
+                    _ => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+impl SafetyMargin {
+    /// Computes the margin of Corollary 4.14: `β(ω₁) = ⋃ Δ_K(Ā, ω₁)`.
+    ///
+    /// `exact` is set when the caller has verified tight intervals (or the
+    /// family guarantees them structurally); with tight intervals the margin
+    /// test is a complete characterization of `Safe_K(A, ·)`.
+    pub fn compute(oracle: &impl IntervalOracle, a: &WorldSet, exact: bool) -> SafetyMargin {
+        let margins = a
+            .iter()
+            .map(|w1| {
+                let delta = delta_partition(oracle, a, w1);
+                let mut beta = WorldSet::empty(a.universe_size());
+                for class in &delta.classes {
+                    beta.union_with(class);
+                }
+                beta
+            })
+            .collect();
+        SafetyMargin {
+            a: a.clone(),
+            margins,
+            exact,
+        }
+    }
+
+    /// Computes the margin, deciding exactness by running the tight-interval
+    /// test (quadratic in `|Ω|` interval queries).
+    pub fn compute_checked(oracle: &impl IntervalOracle, a: &WorldSet) -> SafetyMargin {
+        let exact = has_tight_intervals(oracle);
+        Self::compute(oracle, a, exact)
+    }
+
+    /// The audit query this margin was computed for.
+    pub fn audited(&self) -> &WorldSet {
+        &self.a
+    }
+
+    /// Whether [`Self::screen`] is a complete characterization of safety.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// `β(ω)` for `ω ∈ A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ω ∉ A`.
+    pub fn margin_of(&self, w: WorldId) -> &WorldSet {
+        let idx = self
+            .a
+            .iter()
+            .position(|x| x == w)
+            .expect("margin_of: world not in audited set A");
+        &self.margins[idx]
+    }
+
+    /// Screens a disclosure `B` with the margin condition of
+    /// Proposition 4.1 / Corollary 4.14:
+    /// `∀ ω ∈ A∩B: β(ω) ⊆ B`.
+    ///
+    /// When [`Self::is_exact`], the result equals `Safe_K(A, B)`; otherwise
+    /// `true` still guarantees safety (the sound direction (12)).
+    pub fn screen(&self, b: &WorldSet) -> bool {
+        self.a
+            .iter()
+            .zip(&self.margins)
+            .filter(|(w, _)| b.contains(*w))
+            .all(|(_, beta)| beta.is_subset(b))
+    }
+}
+
+/// Tight-interval structural check specialized to one source world; exposed
+/// for families that prove tightness locally.
+pub fn tight_from(oracle: &impl IntervalOracle, w1: WorldId) -> bool {
+    let n = oracle.universe_size();
+    for w2 in 0..n as u32 {
+        let Some(interval) = oracle.interval(w1, WorldId(w2)) else {
+            continue;
+        };
+        for w2p in &interval {
+            if w2p == WorldId(w2) {
+                continue;
+            }
+            match oracle.interval(w1, w2p) {
+                Some(sub) if sub.is_proper_subset(&interval) => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::{safe_via_intervals, ExplicitOracle};
+    use crate::knowledge::{KnowledgeWorld, PossKnowledge};
+    use crate::world::all_nonempty_subsets;
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    #[test]
+    fn powerset_family_has_tight_intervals() {
+        let k = PossKnowledge::unrestricted(4);
+        let oracle = ExplicitOracle::new(&k);
+        assert!(has_tight_intervals(&oracle));
+    }
+
+    #[test]
+    fn remark_4_2_family_lacks_tight_intervals() {
+        // K = Ω ⊗ {Ω}: I(ω₁, ω₂) = Ω for all pairs, so interior worlds do
+        // not shrink the interval.
+        let n = 3;
+        let full = WorldSet::full(n);
+        let pairs: Vec<_> = (0..n as u32)
+            .map(|i| KnowledgeWorld::new(WorldId(i), full.clone()).unwrap())
+            .collect();
+        let k = PossKnowledge::from_pairs(pairs).unwrap();
+        let oracle = ExplicitOracle::new(&k);
+        assert!(!has_tight_intervals(&oracle));
+    }
+
+    #[test]
+    fn corollary_4_14_margin_is_exact_with_tight_intervals() {
+        let n = 4;
+        let k = PossKnowledge::unrestricted(n);
+        let oracle = ExplicitOracle::new(&k);
+        assert!(has_tight_intervals(&oracle));
+        for a in all_nonempty_subsets(n) {
+            let margin = SafetyMargin::compute(&oracle, &a, true);
+            for b in all_nonempty_subsets(n) {
+                assert_eq!(
+                    margin.screen(&b),
+                    safe_via_intervals(&oracle, &a, &b),
+                    "Cor 4.14 failed at A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remark_4_2_margin_has_no_exact_beta() {
+        // Ω = {0,1,2}, K = Ω ⊗ {Ω}, A = {2}: B₁ = {0,2} and B₂ = {1,2} are
+        // safe but B₁∩B₂ = {2} is not, so no β can characterize safety —
+        // the margin remains sound (direction (12)) but incomplete.
+        let n = 3;
+        let full = WorldSet::full(n);
+        let pairs: Vec<_> = (0..n as u32)
+            .map(|i| KnowledgeWorld::new(WorldId(i), full.clone()).unwrap())
+            .collect();
+        let k = PossKnowledge::from_pairs(pairs).unwrap();
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(n, &[2]);
+        let margin = SafetyMargin::compute_checked(&oracle, &a);
+        assert!(!margin.is_exact());
+        // Soundness always holds:
+        for b in all_nonempty_subsets(n) {
+            if margin.screen(&b) {
+                assert!(safe_via_intervals(&oracle, &a, &b));
+            }
+        }
+        // Incompleteness is witnessed by B₁ = {0,2}: safe, yet the screen
+        // (β(2) = Ā = {0,1} ⊆ B?) rejects it.
+        let b1 = ws(n, &[0, 2]);
+        assert!(safe_via_intervals(&oracle, &a, &b1));
+        assert!(!margin.screen(&b1));
+    }
+
+    #[test]
+    fn margin_of_accessor() {
+        let k = PossKnowledge::unrestricted(3);
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(3, &[0, 1]);
+        let margin = SafetyMargin::compute(&oracle, &a, true);
+        // β(0) = Ā = {2} (powerset: every Ā world is its own class).
+        assert_eq!(*margin.margin_of(WorldId(0)), ws(3, &[2]));
+        assert_eq!(*margin.margin_of(WorldId(1)), ws(3, &[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in audited set")]
+    fn margin_of_outside_a_panics() {
+        let k = PossKnowledge::unrestricted(3);
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(3, &[0]);
+        let margin = SafetyMargin::compute(&oracle, &a, true);
+        let _ = margin.margin_of(WorldId(2));
+    }
+
+    #[test]
+    fn batch_screening_matches_individual_checks() {
+        // The batch-audit usage: one margin, many disclosures.
+        let n = 4;
+        let k = PossKnowledge::unrestricted(n);
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(n, &[1, 2]);
+        let margin = SafetyMargin::compute(&oracle, &a, true);
+        let disclosures: Vec<WorldSet> = all_nonempty_subsets(n).collect();
+        let screened: Vec<bool> = disclosures.iter().map(|b| margin.screen(b)).collect();
+        let direct: Vec<bool> = disclosures
+            .iter()
+            .map(|b| safe_via_intervals(&oracle, &a, b))
+            .collect();
+        assert_eq!(screened, direct);
+    }
+}

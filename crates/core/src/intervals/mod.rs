@@ -1,0 +1,354 @@
+//! Interval machinery for intersection-closed knowledge (Section 4.1).
+//!
+//! When two or more possibilistic agents collude their knowledge sets
+//! intersect, so an auditor accounting for collusion works with an
+//! intersection-closed `K` (Definition 4.3). For such `K` the *interval*
+//!
+//! ```text
+//! I_K(ω₁, ω₂)  =  ⋂ { S : (ω₁, S) ∈ K, ω₂ ∈ S }
+//! ```
+//!
+//! (Definition 4.4) is the smallest knowledge set a user at world `ω₁` can
+//! hold while still considering `ω₂` possible, and privacy testing reduces to
+//! conditions on intervals alone (Proposition 4.5) — storing `|Ω|³` bits
+//! instead of `|Ω|·2^|Ω|` (Remark 4.6).
+//!
+//! The sub-modules refine this further:
+//!
+//! * [`minimal`] — minimal intervals (Definition 4.7, Proposition 4.8);
+//! * [`partition`] — the interval-induced partition `Δ_K(Ā, ω₁)`
+//!   (Proposition 4.10, Corollary 4.12);
+//! * [`margin`] — safety margins `β` (Proposition 4.1, Definition 4.13,
+//!   Corollary 4.14).
+
+pub mod margin;
+pub mod minimal;
+pub mod partition;
+
+use crate::knowledge::PossKnowledge;
+use crate::world::{WorldId, WorldSet};
+
+/// An oracle answering interval queries for an intersection-closed
+/// second-level knowledge set `K`.
+///
+/// Implementations must guarantee the `K` they describe is ∩-closed
+/// (Definition 4.3); the generic algorithms in this module are only sound
+/// under that assumption. Concrete families (integer rectangles, subcubes,
+/// up-sets, …) implement this trait with closed-form interval computations;
+/// [`ExplicitOracle`] derives intervals from an explicit pair list.
+pub trait IntervalOracle {
+    /// Size of the underlying universe `Ω`.
+    fn universe_size(&self) -> usize;
+
+    /// The interval `I_K(ω₁, ω₂)`, or `None` when it does not exist, i.e.
+    /// when condition (14) fails: `ω₁ ∉ π₁(K)` or no `S` with
+    /// `(ω₁, S) ∈ K` contains `ω₂`.
+    fn interval(&self, w1: WorldId, w2: WorldId) -> Option<WorldSet>;
+
+    /// Whether the pair `(ω, S)` belongs to `K`; used by cross-validation
+    /// and by families whose membership test is cheaper than enumeration.
+    fn contains_pair(&self, world: WorldId, set: &WorldSet) -> bool;
+}
+
+/// Interval oracle over an explicitly enumerated ∩-closed `K`.
+pub struct ExplicitOracle<'a> {
+    k: &'a PossKnowledge,
+}
+
+impl<'a> ExplicitOracle<'a> {
+    /// Wraps an explicit `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `K` is not intersection-closed; close it first with
+    /// [`PossKnowledge::inter_closure`].
+    pub fn new(k: &'a PossKnowledge) -> ExplicitOracle<'a> {
+        assert!(
+            k.is_inter_closed(),
+            "ExplicitOracle requires an intersection-closed K (Definition 4.3)"
+        );
+        ExplicitOracle { k }
+    }
+
+    /// The wrapped knowledge set.
+    pub fn knowledge(&self) -> &PossKnowledge {
+        self.k
+    }
+}
+
+impl IntervalOracle for ExplicitOracle<'_> {
+    fn universe_size(&self) -> usize {
+        self.k.universe_size()
+    }
+
+    fn interval(&self, w1: WorldId, w2: WorldId) -> Option<WorldSet> {
+        let mut acc: Option<WorldSet> = None;
+        for pair in self.k.pairs() {
+            if pair.world() == w1 && pair.set().contains(w2) {
+                match &mut acc {
+                    None => acc = Some(pair.set().clone()),
+                    Some(cur) => cur.intersect_with(pair.set()),
+                }
+            }
+        }
+        // For an ∩-closed K the pointwise intersection of all qualifying
+        // sets is itself a qualifying set, hence the smallest one.
+        acc
+    }
+
+    fn contains_pair(&self, world: WorldId, set: &WorldSet) -> bool {
+        self.k.contains_pair(world, set)
+    }
+}
+
+/// Tests `Safe_K(A, B)` via Proposition 4.5:
+///
+/// ```text
+/// ∀ I_K(ω₁, ω₂):  ω₁ ∈ AB ∧ ω₂ ∉ A  ⟹  I_K(ω₁,ω₂) ∩ (B − A) ≠ ∅
+/// ```
+///
+/// Sound and complete for ∩-closed `K`. Complexity: one interval query per
+/// `(ω₁, ω₂) ∈ AB × Ā`.
+pub fn safe_via_intervals(oracle: &impl IntervalOracle, a: &WorldSet, b: &WorldSet) -> bool {
+    let ab = a.intersection(b);
+    let not_a = a.complement();
+    let b_minus_a = b.difference(a);
+    for w1 in &ab {
+        for w2 in &not_a {
+            if let Some(interval) = oracle.interval(w1, w2) {
+                if !interval.intersects(&b_minus_a) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A violation of Proposition 4.5's condition: the offending interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntervalViolation {
+    /// World `ω₁ ∈ A∩B`.
+    pub w1: WorldId,
+    /// World `ω₂ ∉ A` reachable from `ω₁`.
+    pub w2: WorldId,
+    /// The interval `I_K(ω₁, ω₂)` that misses `B − A`.
+    pub interval: WorldSet,
+}
+
+/// Like [`safe_via_intervals`] but returns the violating interval, which the
+/// auditor can surface as an explanation of the breach.
+pub fn check_via_intervals(
+    oracle: &impl IntervalOracle,
+    a: &WorldSet,
+    b: &WorldSet,
+) -> Result<(), IntervalViolation> {
+    let ab = a.intersection(b);
+    let not_a = a.complement();
+    let b_minus_a = b.difference(a);
+    for w1 in &ab {
+        for w2 in &not_a {
+            if let Some(interval) = oracle.interval(w1, w2) {
+                if !interval.intersects(&b_minus_a) {
+                    return Err(IntervalViolation { w1, w2, interval });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Materializes the full interval table `I_K : Ω × Ω → P(Ω) ∪ {⊥}`
+/// (Remark 4.6: at most `|Ω|³` bits). Entry `[w1][w2]` is `None` when the
+/// interval does not exist.
+pub fn interval_table(oracle: &impl IntervalOracle) -> Vec<Vec<Option<WorldSet>>> {
+    let n = oracle.universe_size();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| oracle.interval(WorldId(i as u32), WorldId(j as u32)))
+                .collect()
+        })
+        .collect()
+}
+
+/// An oracle reading from a precomputed [`interval_table`]; used when the
+/// same audit query `A` is tested against many disclosures `B₁ … B_N`
+/// (the batch-auditing usage highlighted after Proposition 4.1).
+pub struct TableOracle {
+    table: Vec<Vec<Option<WorldSet>>>,
+}
+
+impl TableOracle {
+    /// Precomputes all intervals of `oracle`.
+    pub fn precompute(oracle: &impl IntervalOracle) -> TableOracle {
+        TableOracle {
+            table: interval_table(oracle),
+        }
+    }
+}
+
+impl IntervalOracle for TableOracle {
+    fn universe_size(&self) -> usize {
+        self.table.len()
+    }
+
+    fn interval(&self, w1: WorldId, w2: WorldId) -> Option<WorldSet> {
+        self.table[w1.index()][w2.index()].clone()
+    }
+
+    fn contains_pair(&self, world: WorldId, set: &WorldSet) -> bool {
+        // A pair (ω, S) belongs to an ∩-closed K iff S is a union-point of
+        // intervals from ω; the table cannot decide membership exactly, so
+        // we answer conservatively via the interval reconstruction: S must
+        // contain I(ω, ω') for each ω' ∈ S and equal their union-closure.
+        // Table oracles are only used for interval-based algorithms, which
+        // never call this; keep a strict failure to avoid silent misuse.
+        let _ = (world, set);
+        unimplemented!("TableOracle cannot decide pair membership; use the source oracle")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeWorld;
+    use crate::possibilistic;
+    use crate::world::all_nonempty_subsets;
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    /// Builds the unrestricted K (which is ∩-closed) for small n.
+    fn unrestricted(n: usize) -> PossKnowledge {
+        PossKnowledge::unrestricted(n)
+    }
+
+    #[test]
+    fn interval_in_powerset_family_is_pair() {
+        // In K = Ω ⊗ P(Ω), the smallest S ∋ ω₁, ω₂ is {ω₁, ω₂}.
+        let k = unrestricted(4);
+        let oracle = ExplicitOracle::new(&k);
+        let i = oracle.interval(WorldId(0), WorldId(2)).unwrap();
+        assert_eq!(i, ws(4, &[0, 2]));
+        let i = oracle.interval(WorldId(1), WorldId(1)).unwrap();
+        assert_eq!(i, ws(4, &[1]));
+    }
+
+    #[test]
+    fn interval_nonexistent_when_world_missing() {
+        // K with a single pair (0, {0,1}): intervals from ω₂=2 don't exist.
+        let k = PossKnowledge::from_pairs(vec![
+            KnowledgeWorld::new(WorldId(0), ws(3, &[0, 1])).unwrap()
+        ])
+        .unwrap();
+        let oracle = ExplicitOracle::new(&k);
+        assert!(oracle.interval(WorldId(2), WorldId(0)).is_none());
+        assert!(oracle.interval(WorldId(0), WorldId(2)).is_none());
+        assert_eq!(oracle.interval(WorldId(0), WorldId(1)), Some(ws(3, &[0, 1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "intersection-closed")]
+    fn explicit_oracle_rejects_non_closed() {
+        let k = PossKnowledge::from_pairs(vec![
+            KnowledgeWorld::new(WorldId(0), ws(3, &[0, 1])).unwrap(),
+            KnowledgeWorld::new(WorldId(0), ws(3, &[0, 2])).unwrap(),
+        ])
+        .unwrap();
+        let _ = ExplicitOracle::new(&k);
+    }
+
+    #[test]
+    fn proposition_4_5_exhaustive() {
+        // Safe per Definition 3.1 ⟺ the interval condition, over every
+        // (A, B) for the unrestricted ∩-closed K with |Ω| = 4.
+        let k = unrestricted(4);
+        let oracle = ExplicitOracle::new(&k);
+        for a in all_nonempty_subsets(4) {
+            for b in all_nonempty_subsets(4) {
+                assert_eq!(
+                    possibilistic::is_safe(&k, &a, &b),
+                    safe_via_intervals(&oracle, &a, &b),
+                    "Prop 4.5 failed at A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_4_5_on_random_closed_families() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 5;
+        for _ in 0..40 {
+            // Random family of sets, closed under intersection, paired with
+            // all of their members.
+            let sigma: Vec<WorldSet> = (0..4)
+                .map(|_| {
+                    let mut s = WorldSet::from_predicate(n, |_| rng.gen::<bool>());
+                    if s.is_empty() {
+                        s.insert(WorldId(rng.gen_range(0..n as u32)));
+                    }
+                    s
+                })
+                .collect();
+            let k = match PossKnowledge::product(&WorldSet::full(n), &sigma) {
+                Ok(k) => k.inter_closure(),
+                Err(_) => continue,
+            };
+            let oracle = ExplicitOracle::new(&k);
+            for a in all_nonempty_subsets(n) {
+                for b in all_nonempty_subsets(n) {
+                    assert_eq!(
+                        possibilistic::is_safe(&k, &a, &b),
+                        safe_via_intervals(&oracle, &a, &b),
+                        "Prop 4.5 failed on random family at A={a:?} B={b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn violation_witness_is_accurate() {
+        let k = unrestricted(3);
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(3, &[1]);
+        let b = ws(3, &[1, 2]);
+        // Disclosing B lets a user with S = {0,1} ∩ B = {1} learn A? No:
+        // S∩B={1}⊆A but wait S={0,1}: S∩B = {1} ⊆ A and S ⊄ A — breach.
+        match check_via_intervals(&oracle, &a, &b) {
+            Err(v) => {
+                assert!(a.contains(v.w1) && b.contains(v.w1));
+                assert!(!a.contains(v.w2));
+                assert!(!v.interval.intersects(&b.difference(&a)));
+            }
+            Ok(()) => panic!("expected a violation"),
+        }
+    }
+
+    #[test]
+    fn table_oracle_matches_source() {
+        let k = unrestricted(4);
+        let oracle = ExplicitOracle::new(&k);
+        let table = TableOracle::precompute(&oracle);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert_eq!(
+                    oracle.interval(WorldId(i), WorldId(j)),
+                    table.interval(WorldId(i), WorldId(j))
+                );
+            }
+        }
+        for a in all_nonempty_subsets(4) {
+            for b in all_nonempty_subsets(4) {
+                assert_eq!(
+                    safe_via_intervals(&oracle, &a, &b),
+                    safe_via_intervals(&table, &a, &b)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Interval-induced partitions of `Ā` (Proposition 4.10, Definition 4.11,
+//! Corollary 4.12).
+//!
+//! For an ∩-closed `K`, a set `A` and a world `ω₁ ∈ A`, the minimal
+//! `K`-intervals from `ω₁` to `Ā = Ω − A` partition `Ā` into disjoint
+//! equivalence classes
+//!
+//! ```text
+//! Ā = D₁ ∪ D₂ ∪ … ∪ D_m ∪ D∞
+//! ```
+//!
+//! where two worlds share a class `D_i` iff they lie in the same minimal
+//! interval, and `D∞` collects the worlds of `Ā` in *no* minimal interval.
+//! `Δ_K(Ā, ω₁) := {D₁, …, D_m}` (Definition 4.11), and `Safe_K(A,B)` holds
+//! iff every `ω₁ ∈ AB` has `B ∩ D_i ≠ ∅` for each of its classes
+//! (Corollary 4.12).
+
+use super::minimal::minimal_intervals;
+use super::IntervalOracle;
+use crate::world::{WorldId, WorldSet};
+
+/// The partition of `Ā` induced by the minimal intervals from one world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaPartition {
+    /// The source world `ω₁ ∈ A`.
+    pub source: WorldId,
+    /// The classes `Δ_K(Ā, ω₁) = {D₁, …, D_m}` — intersections of `Ā` with
+    /// the minimal intervals; pairwise disjoint by Proposition 4.10.
+    pub classes: Vec<WorldSet>,
+    /// The residual class `D∞`: worlds of `Ā` in no minimal interval.
+    pub residual: WorldSet,
+}
+
+/// Computes `Δ_K(Ā, ω₁)` together with the residual class
+/// (Proposition 4.10 / Definition 4.11).
+pub fn delta_partition(
+    oracle: &impl IntervalOracle,
+    a: &WorldSet,
+    source: WorldId,
+) -> DeltaPartition {
+    let not_a = a.complement();
+    let minimal = minimal_intervals(oracle, source, &not_a);
+    let mut classes: Vec<WorldSet> = Vec::with_capacity(minimal.len());
+    let mut covered = WorldSet::empty(a.universe_size());
+    for m in &minimal {
+        let class = m.interval.intersection(&not_a);
+        covered.union_with(&class);
+        classes.push(class);
+    }
+    DeltaPartition {
+        source,
+        classes,
+        residual: not_a.difference(&covered),
+    }
+}
+
+impl DeltaPartition {
+    /// Verifies the disjointness guaranteed by Proposition 4.10; used by
+    /// tests and by debug assertions in callers.
+    pub fn is_disjoint(&self) -> bool {
+        for (i, c1) in self.classes.iter().enumerate() {
+            for c2 in &self.classes[i + 1..] {
+                if c1.intersects(c2) {
+                    return false;
+                }
+            }
+            if c1.intersects(&self.residual) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The union of the classes and the residual (must equal `Ā`).
+    pub fn union_all(&self) -> WorldSet {
+        let mut out = self.residual.clone();
+        for c in &self.classes {
+            out.union_with(c);
+        }
+        out
+    }
+}
+
+/// Tests `Safe_K(A, B)` via Corollary 4.12:
+///
+/// ```text
+/// ∀ ω₁ ∈ AB, ∀ D_i ∈ Δ_K(Ā, ω₁):  B ∩ D_i ≠ ∅
+/// ```
+pub fn safe_via_delta(oracle: &impl IntervalOracle, a: &WorldSet, b: &WorldSet) -> bool {
+    let ab = a.intersection(b);
+    for w1 in &ab {
+        let delta = delta_partition(oracle, a, w1);
+        debug_assert!(delta.is_disjoint(), "Proposition 4.10 violated");
+        if delta.classes.iter().any(|d| !b.intersects(d)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::{safe_via_intervals, ExplicitOracle};
+    use crate::knowledge::PossKnowledge;
+    use crate::world::all_nonempty_subsets;
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    #[test]
+    fn partition_covers_complement_disjointly() {
+        let k = PossKnowledge::unrestricted(5);
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(5, &[0, 1]);
+        for w1 in &a {
+            let delta = delta_partition(&oracle, &a, w1);
+            assert!(delta.is_disjoint(), "Prop 4.10: classes must be disjoint");
+            assert_eq!(delta.union_all(), a.complement());
+        }
+    }
+
+    #[test]
+    fn powerset_classes_are_singletons() {
+        // In Ω ⊗ P(Ω) the minimal intervals are pairs, so each class is a
+        // singleton and the residual is empty.
+        let k = PossKnowledge::unrestricted(4);
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(4, &[0]);
+        let delta = delta_partition(&oracle, &a, WorldId(0));
+        assert_eq!(delta.classes.len(), 3);
+        assert!(delta.classes.iter().all(|c| c.len() == 1));
+        assert!(delta.residual.is_empty());
+    }
+
+    #[test]
+    fn residual_class_appears_when_worlds_unreachable() {
+        // K with knowledge sets only {0,1} and its subsets at world 0:
+        // world 2 is unreachable from 0, landing in the residual.
+        let sigma = vec![ws(3, &[0, 1]), ws(3, &[0]), ws(3, &[1])];
+        let k = PossKnowledge::product(&WorldSet::full(3), &sigma)
+            .unwrap()
+            .inter_closure();
+        let oracle = ExplicitOracle::new(&k);
+        let a = ws(3, &[0]);
+        let delta = delta_partition(&oracle, &a, WorldId(0));
+        assert!(delta.residual.contains(WorldId(2)));
+        assert_eq!(delta.classes, vec![ws(3, &[1])]);
+    }
+
+    #[test]
+    fn corollary_4_12_exhaustive() {
+        let n = 4;
+        let k = PossKnowledge::unrestricted(n);
+        let oracle = ExplicitOracle::new(&k);
+        for a in all_nonempty_subsets(n) {
+            for b in all_nonempty_subsets(n) {
+                assert_eq!(
+                    safe_via_intervals(&oracle, &a, &b),
+                    safe_via_delta(&oracle, &a, &b),
+                    "Cor 4.12 failed at A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_4_12_on_random_closed_families() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let n = 5;
+        for _ in 0..30 {
+            let sigma: Vec<WorldSet> = (0..4)
+                .map(|_| {
+                    let mut s = WorldSet::from_predicate(n, |_| rng.gen::<bool>());
+                    if s.is_empty() {
+                        s.insert(WorldId(rng.gen_range(0..n as u32)));
+                    }
+                    s
+                })
+                .collect();
+            let k = match PossKnowledge::product(&WorldSet::full(n), &sigma) {
+                Ok(k) => k.inter_closure(),
+                Err(_) => continue,
+            };
+            let oracle = ExplicitOracle::new(&k);
+            for a in all_nonempty_subsets(n) {
+                for b in all_nonempty_subsets(n) {
+                    assert_eq!(
+                        safe_via_intervals(&oracle, &a, &b),
+                        safe_via_delta(&oracle, &a, &b),
+                        "Cor 4.12 failed on random family at A={a:?} B={b:?}"
+                    );
+                }
+            }
+        }
+    }
+}

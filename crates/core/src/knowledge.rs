@@ -1,0 +1,391 @@
+//! Knowledge worlds and second-level knowledge sets (Section 2 of the paper).
+//!
+//! A *possibilistic knowledge world* is a pair `(ω, S)` with `ω ∈ S ⊆ Ω`
+//! (Definition 2.1): `ω` is the actual database and `S` the set of worlds the
+//! user considers possible. The auditor's information about the user is a
+//! *second-level knowledge set* `K ⊆ Ω_poss`, a set of such pairs that must
+//! contain the actual pair `(ω*, S*)`.
+//!
+//! The common special case where the auditor separates her knowledge of the
+//! database (`C ⊆ Ω`) from her assumptions about the user (a family
+//! `Σ ⊆ P(Ω)`) is the product `C ⊗ Σ` of Definition 2.5, which drops the
+//! inconsistent pairs (those with `ω ∉ S`).
+
+use crate::world::{WorldId, WorldSet};
+use crate::CoreError;
+
+/// A consistent possibilistic knowledge world `(ω, S)` with `ω ∈ S`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct KnowledgeWorld {
+    world: WorldId,
+    set: WorldSet,
+}
+
+impl KnowledgeWorld {
+    /// Creates `(ω, S)`, enforcing the consistency requirement `ω ∈ S` of
+    /// Remark 2.3.
+    pub fn new(world: WorldId, set: WorldSet) -> Result<KnowledgeWorld, CoreError> {
+        if !set.contains(world) {
+            return Err(CoreError::InconsistentKnowledgeWorld {
+                world: world.0,
+            });
+        }
+        Ok(KnowledgeWorld { world, set })
+    }
+
+    /// The actual world `ω` of this pair.
+    pub fn world(&self) -> WorldId {
+        self.world
+    }
+
+    /// The user's knowledge set `S`.
+    pub fn set(&self) -> &WorldSet {
+        &self.set
+    }
+
+    /// The user's posterior pair after acquiring a disclosure `B`
+    /// (Section 3.3): `(ω, S ∩ B)`.
+    ///
+    /// Returns `None` when `ω ∉ B`, i.e. when the pair is inconsistent with
+    /// the disclosure ever having happened.
+    pub fn acquire(&self, b: &WorldSet) -> Option<KnowledgeWorld> {
+        if !b.contains(self.world) {
+            return None;
+        }
+        Some(KnowledgeWorld {
+            world: self.world,
+            set: self.set.intersection(b),
+        })
+    }
+
+    /// `true` iff the agent *knows* property `A`, i.e. `S ⊆ A`.
+    pub fn knows(&self, a: &WorldSet) -> bool {
+        self.set.is_subset(a)
+    }
+
+    /// `true` iff the agent considers property `A` *possible*, i.e.
+    /// `S ∩ A ≠ ∅`.
+    pub fn considers_possible(&self, a: &WorldSet) -> bool {
+        self.set.intersects(a)
+    }
+}
+
+/// An explicit second-level knowledge set `K ⊆ Ω_poss` — the auditor's
+/// (assumed) knowledge about the user, as a finite list of consistent pairs.
+///
+/// # Examples
+///
+/// ```
+/// use epi_core::{PossKnowledge, WorldId, WorldSet};
+/// // Auditor knows the database is ω₀ but nothing about the user:
+/// // K = {ω₀} ⊗ P(Ω).
+/// let c = WorldSet::singleton(3, WorldId(0));
+/// let k = PossKnowledge::product_with_powerset(&c);
+/// assert_eq!(k.len(), 4); // the four subsets of Ω containing ω₀
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PossKnowledge {
+    universe: usize,
+    pairs: Vec<KnowledgeWorld>,
+}
+
+impl PossKnowledge {
+    /// Builds `K` from explicit pairs.
+    ///
+    /// Fails when the list is empty (∅ is not a valid second-level knowledge
+    /// set) or when the pairs disagree about the universe size.
+    pub fn from_pairs(pairs: Vec<KnowledgeWorld>) -> Result<PossKnowledge, CoreError> {
+        let universe = pairs
+            .first()
+            .ok_or(CoreError::EmptyKnowledge)?
+            .set()
+            .universe_size();
+        if let Some(bad) = pairs.iter().find(|p| p.set().universe_size() != universe) {
+            return Err(CoreError::UniverseMismatch {
+                expected: universe,
+                found: bad.set().universe_size(),
+            });
+        }
+        Ok(PossKnowledge { universe, pairs })
+    }
+
+    /// The product `C ⊗ Σ` of Definition 2.5: all pairs `(ω, S)` with
+    /// `ω ∈ C`, `S ∈ Σ` and `ω ∈ S`.
+    ///
+    /// Fails when the product is empty (the pair `(C, Σ)` is inconsistent).
+    pub fn product(c: &WorldSet, sigma: &[WorldSet]) -> Result<PossKnowledge, CoreError> {
+        let universe = c.universe_size();
+        let mut pairs = Vec::new();
+        for s in sigma {
+            if s.universe_size() != universe {
+                return Err(CoreError::UniverseMismatch {
+                    expected: universe,
+                    found: s.universe_size(),
+                });
+            }
+            for w in &c.intersection(s) {
+                pairs.push(KnowledgeWorld {
+                    world: w,
+                    set: s.clone(),
+                });
+            }
+        }
+        if pairs.is_empty() {
+            return Err(CoreError::EmptyKnowledge);
+        }
+        Ok(PossKnowledge { universe, pairs })
+    }
+
+    /// The product `C ⊗ P(Ω)`: the auditor knows `C` about the database and
+    /// assumes nothing about the user. Exponential in `|Ω|`; guarded to small
+    /// universes.
+    pub fn product_with_powerset(c: &WorldSet) -> PossKnowledge {
+        let universe = c.universe_size();
+        assert!(
+            universe <= 16,
+            "product_with_powerset enumerates 2^|Ω| sets; universe too large"
+        );
+        let sigma: Vec<WorldSet> = crate::world::all_nonempty_subsets(universe).collect();
+        Self::product(c, &sigma).expect("C ⊗ P(Ω) is consistent for non-empty C")
+    }
+
+    /// The fully unrestricted `K = Ω_poss = Ω ⊗ P(Ω)`.
+    pub fn unrestricted(universe: usize) -> PossKnowledge {
+        Self::product_with_powerset(&WorldSet::full(universe))
+    }
+
+    /// Number of pairs in `K`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` iff `K` has no pairs (never constructible via the public API).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Universe size shared by all pairs.
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// The pairs of `K`.
+    pub fn pairs(&self) -> &[KnowledgeWorld] {
+        &self.pairs
+    }
+
+    /// `true` iff `(ω, S) ∈ K`.
+    pub fn contains_pair(&self, world: WorldId, set: &WorldSet) -> bool {
+        self.pairs
+            .iter()
+            .any(|p| p.world() == world && p.set() == set)
+    }
+
+    /// The projection `π₁(K)`: all worlds appearing as first components.
+    pub fn worlds(&self) -> WorldSet {
+        let mut out = WorldSet::empty(self.universe);
+        for p in &self.pairs {
+            out.insert(p.world());
+        }
+        out
+    }
+
+    /// The projection `π₂(K)`: the distinct knowledge sets appearing as
+    /// second components.
+    pub fn knowledge_sets(&self) -> Vec<WorldSet> {
+        let mut out: Vec<WorldSet> = Vec::new();
+        for p in &self.pairs {
+            if !out.contains(p.set()) {
+                out.push(p.set().clone());
+            }
+        }
+        out
+    }
+
+    /// `true` iff `K` is intersection-closed (Definition 4.3): whenever
+    /// `(ω, S₁) ∈ K` and `(ω, S₂) ∈ K`, also `(ω, S₁ ∩ S₂) ∈ K`.
+    pub fn is_inter_closed(&self) -> bool {
+        for (i, p1) in self.pairs.iter().enumerate() {
+            for p2 in &self.pairs[i + 1..] {
+                if p1.world() != p2.world() {
+                    continue;
+                }
+                let inter = p1.set().intersection(p2.set());
+                if inter != *p1.set()
+                    && inter != *p2.set()
+                    && !self.contains_pair(p1.world(), &inter)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The smallest intersection-closed superset of `K` (closes the pairs at
+    /// each world under `∩`; collusion closure per Section 4.1).
+    pub fn inter_closure(&self) -> PossKnowledge {
+        let mut pairs = self.pairs.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot_len = pairs.len();
+            for i in 0..snapshot_len {
+                for j in (i + 1)..snapshot_len {
+                    if pairs[i].world() != pairs[j].world() {
+                        continue;
+                    }
+                    let inter = pairs[i].set().intersection(pairs[j].set());
+                    let w = pairs[i].world();
+                    if !pairs.iter().any(|p| p.world() == w && *p.set() == inter) {
+                        pairs.push(KnowledgeWorld {
+                            world: w,
+                            set: inter,
+                        });
+                        changed = true;
+                    }
+                }
+            }
+        }
+        PossKnowledge {
+            universe: self.universe,
+            pairs,
+        }
+    }
+
+    /// Restricts `K` to the pairs consistent with a disclosure `B`
+    /// (the auditor "discards from `K` all pairs `(ω, S)` such that `ω ∉ B`",
+    /// Section 3.1), without updating the knowledge sets.
+    pub fn restrict_to(&self, b: &WorldSet) -> Vec<&KnowledgeWorld> {
+        self.pairs.iter().filter(|p| b.contains(p.world())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    #[test]
+    fn knowledge_world_requires_consistency() {
+        let s = ws(4, &[1, 2]);
+        assert!(KnowledgeWorld::new(WorldId(1), s.clone()).is_ok());
+        assert!(matches!(
+            KnowledgeWorld::new(WorldId(0), s),
+            Err(CoreError::InconsistentKnowledgeWorld { world: 0 })
+        ));
+    }
+
+    #[test]
+    fn acquisition_updates_knowledge() {
+        let kw = KnowledgeWorld::new(WorldId(1), ws(4, &[0, 1, 2])).unwrap();
+        let b = ws(4, &[1, 2, 3]);
+        let post = kw.acquire(&b).unwrap();
+        assert_eq!(*post.set(), ws(4, &[1, 2]));
+        assert_eq!(post.world(), WorldId(1));
+        // ω ∉ B ⇒ inconsistent with the disclosure.
+        let b2 = ws(4, &[0, 2]);
+        assert!(kw.acquire(&b2).is_none());
+    }
+
+    #[test]
+    fn knows_and_possible() {
+        let kw = KnowledgeWorld::new(WorldId(1), ws(4, &[1, 2])).unwrap();
+        assert!(kw.knows(&ws(4, &[0, 1, 2])));
+        assert!(!kw.knows(&ws(4, &[1, 3])));
+        assert!(kw.considers_possible(&ws(4, &[2, 3])));
+        assert!(!kw.considers_possible(&ws(4, &[0, 3])));
+    }
+
+    #[test]
+    fn product_drops_inconsistent_pairs() {
+        let c = ws(3, &[0, 1]);
+        let sigma = vec![ws(3, &[0, 2]), ws(3, &[1]), ws(3, &[2])];
+        let k = PossKnowledge::product(&c, &sigma).unwrap();
+        // (0, {0,2}), (1, {1}) — pairs with ω ∉ S or ω ∉ C are dropped.
+        assert_eq!(k.len(), 2);
+        assert!(k.contains_pair(WorldId(0), &ws(3, &[0, 2])));
+        assert!(k.contains_pair(WorldId(1), &ws(3, &[1])));
+        assert!(!k.contains_pair(WorldId(2), &ws(3, &[2])));
+    }
+
+    #[test]
+    fn product_empty_is_error() {
+        let c = ws(3, &[0]);
+        let sigma = vec![ws(3, &[1, 2])];
+        assert!(matches!(
+            PossKnowledge::product(&c, &sigma),
+            Err(CoreError::EmptyKnowledge)
+        ));
+    }
+
+    #[test]
+    fn powerset_product_counts() {
+        // For |Ω| = 3 and C = {ω₀}: subsets containing ω₀ are 2² = 4.
+        let k = PossKnowledge::product_with_powerset(&WorldSet::singleton(3, WorldId(0)));
+        assert_eq!(k.len(), 4);
+        // Unrestricted: Σ_{ω} 2^{n−1} = n·2^{n−1} = 12 pairs for n = 3.
+        let k = PossKnowledge::unrestricted(3);
+        assert_eq!(k.len(), 12);
+    }
+
+    #[test]
+    fn projections() {
+        let c = ws(3, &[0, 1]);
+        let sigma = vec![ws(3, &[0, 1]), ws(3, &[1, 2])];
+        let k = PossKnowledge::product(&c, &sigma).unwrap();
+        assert_eq!(k.worlds(), ws(3, &[0, 1]));
+        let sets = k.knowledge_sets();
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn inter_closure_adds_missing_intersections() {
+        // Two sets at the same world whose intersection is absent.
+        let pairs = vec![
+            KnowledgeWorld::new(WorldId(0), ws(3, &[0, 1])).unwrap(),
+            KnowledgeWorld::new(WorldId(0), ws(3, &[0, 2])).unwrap(),
+        ];
+        let k = PossKnowledge::from_pairs(pairs).unwrap();
+        assert!(!k.is_inter_closed());
+        let closed = k.inter_closure();
+        assert!(closed.is_inter_closed());
+        assert!(closed.contains_pair(WorldId(0), &ws(3, &[0])));
+        assert_eq!(closed.len(), 3);
+    }
+
+    #[test]
+    fn closure_of_closed_is_identity() {
+        let k = PossKnowledge::unrestricted(3);
+        assert!(k.is_inter_closed());
+        assert_eq!(k.inter_closure().len(), k.len());
+    }
+
+    #[test]
+    fn restrict_to_discards_inconsistent() {
+        let k = PossKnowledge::unrestricted(3);
+        let b = ws(3, &[1]);
+        let restricted = k.restrict_to(&b);
+        assert!(restricted.iter().all(|p| p.world() == WorldId(1)));
+        assert_eq!(restricted.len(), 4);
+    }
+
+    #[test]
+    fn from_pairs_rejects_empty_and_mismatched() {
+        assert!(matches!(
+            PossKnowledge::from_pairs(vec![]),
+            Err(CoreError::EmptyKnowledge)
+        ));
+        let pairs = vec![
+            KnowledgeWorld::new(WorldId(0), ws(3, &[0])).unwrap(),
+            KnowledgeWorld::new(WorldId(0), ws(4, &[0])).unwrap(),
+        ];
+        assert!(matches!(
+            PossKnowledge::from_pairs(pairs),
+            Err(CoreError::UniverseMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! # epi-core
+//!
+//! Core framework of the *Epistemic Privacy* reproduction (Evfimievski,
+//! Fagin, Woodruff — PODS 2008).
+//!
+//! The paper defines privacy of a sensitive property `A ⊆ Ω` given the
+//! disclosure of a property `B ⊆ Ω` as the impossibility of any admissible
+//! user *gaining confidence* in `A` by learning `B`; losing confidence is
+//! explicitly allowed. This crate implements the paper's Sections 2–4:
+//!
+//! * [`world`] — finite universes of possible worlds (databases) and dense
+//!   sets of worlds;
+//! * [`knowledge`] — possibilistic knowledge worlds `(ω, S)` and the
+//!   auditor's second-level knowledge sets `K`, including the products
+//!   `C ⊗ Σ` of Definition 2.5;
+//! * [`possibilistic`] — the privacy predicate `Safe_K(A,B)` of
+//!   Definition 3.1 and its family form (Proposition 3.3);
+//! * [`probabilistic`] — distributions over worlds, probabilistic knowledge
+//!   worlds, `Safe_K(A,B)` of Definition 3.4, the family forms of
+//!   Propositions 3.6/3.8, and liftability (Definition 3.7);
+//! * [`preserving`] — `K`-preserving disclosures and the composition rules
+//!   of Proposition 3.10;
+//! * [`unrestricted`] — the closed-form characterization of privacy under
+//!   unrestricted priors (Theorem 3.11);
+//! * [`intervals`] — the interval machinery for intersection-closed `K`
+//!   (Definitions 4.3–4.13, Propositions 4.1–4.10, Corollaries 4.12/4.14);
+//! * [`families`] — concrete intersection-closed knowledge families,
+//!   including the integer-rectangle family of Example 4.9 / Figure 1.
+//!
+//! # Quick start
+//!
+//! ```
+//! use epi_core::{possibilistic, unrestricted, PossKnowledge, WorldSet};
+//!
+//! // Ω = {0,1}²: world index = 2·[Bob is HIV+] + [Bob had transfusions].
+//! let a = WorldSet::from_indices(4, [2, 3]);     // "Bob is HIV-positive"
+//! let b = WorldSet::from_indices(4, [0, 1, 3]);  // "HIV+ ⟹ transfusions"
+//!
+//! // Safe even with NO assumptions on the user's prior knowledge:
+//! assert!(unrestricted::safe_unrestricted(&a, &b));
+//! let k = PossKnowledge::unrestricted(4);
+//! assert!(possibilistic::is_safe(&k, &a, &b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod families;
+pub mod intervals;
+pub mod knowledge;
+pub mod possibilistic;
+pub mod preserving;
+pub mod probabilistic;
+pub mod unrestricted;
+pub mod world;
+
+pub use error::CoreError;
+pub use knowledge::{KnowledgeWorld, PossKnowledge};
+pub use probabilistic::{Distribution, ProbKnowledge, ProbKnowledgeWorld};
+pub use world::{WorldId, WorldSet};

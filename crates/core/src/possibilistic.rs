@@ -1,0 +1,261 @@
+//! Possibilistic privacy: Definition 3.1, Proposition 3.3 and the
+//! grade-of-confidence semantics of Section 3.1.
+//!
+//! In the possibilistic model a user has only two grades of confidence in a
+//! property `A`: he either *knows* it (`S ⊆ A`) or he does not. The user
+//! gains confidence through a disclosure `B` exactly when he did not know `A`
+//! before (`S ⊄ A`) and knows it after (`S ∩ B ⊆ A`). Privacy of `A` given
+//! `B` therefore requires, for every pair the auditor considers possible and
+//! consistent with the disclosure:
+//!
+//! ```text
+//! ∀ (ω, S) ∈ K:  ω ∈ B  ∧  S ∩ B ⊆ A   ⟹   S ⊆ A        (Definition 3.1)
+//! ```
+
+use crate::knowledge::{KnowledgeWorld, PossKnowledge};
+use crate::world::WorldSet;
+
+/// Evidence that a disclosure breaches privacy: the knowledge world that
+/// gains confidence in `A` upon learning `B`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PossBreach {
+    /// The pair `(ω, S)` that witnesses the breach.
+    pub witness: KnowledgeWorld,
+}
+
+/// Tests `Safe_K(A, B)` per Definition 3.1 for an explicit second-level
+/// knowledge set `K`.
+///
+/// Returns `Ok(())` when `A` is `K`-private given the disclosure of `B`, and
+/// `Err(breach)` carrying a witnessing pair otherwise.
+///
+/// # Examples
+///
+/// The Alice/Bob example of Section 1.1 with `Ω = {0,1}²` encoded as
+/// `ω = 2·[r₁∈ω] + [r₂∈ω]`: `A` = "Bob is HIV-positive" = `{2, 3}`, and
+/// `B` = "`r₁ ∈ ω ⟹ r₂ ∈ ω`" = `{0, 1, 3}`. `A` is private given `B` even
+/// under a fully unrestricted prior:
+///
+/// ```
+/// use epi_core::{possibilistic, PossKnowledge, WorldSet};
+/// let k = PossKnowledge::unrestricted(4);
+/// let a = WorldSet::from_indices(4, [2, 3]);
+/// let b = WorldSet::from_indices(4, [0, 1, 3]);
+/// assert!(possibilistic::safe(&k, &a, &b).is_ok());
+/// ```
+pub fn safe(k: &PossKnowledge, a: &WorldSet, b: &WorldSet) -> Result<(), PossBreach> {
+    for pair in k.pairs() {
+        if !b.contains(pair.world()) {
+            continue; // inconsistent with the disclosure of B
+        }
+        let posterior_knows_a = pair.set().intersection(b).is_subset(a);
+        let prior_knows_a = pair.set().is_subset(a);
+        if posterior_knows_a && !prior_knows_a {
+            return Err(PossBreach {
+                witness: pair.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Boolean convenience wrapper around [`safe`].
+pub fn is_safe(k: &PossKnowledge, a: &WorldSet, b: &WorldSet) -> bool {
+    safe(k, a, b).is_ok()
+}
+
+/// Tests `Safe_{C,Σ}(A, B)` via the equivalent formulation of
+/// Proposition 3.3, without materializing the product `C ⊗ Σ`:
+///
+/// ```text
+/// ∀ S ∈ Σ:  S∩B∩C ≠ ∅  ∧  S∩B ⊆ A   ⟹   S ⊆ A
+/// ```
+///
+/// This form is what a production auditor evaluates when her database
+/// knowledge `C` and her user-model `Σ` are kept separate; it touches each
+/// `S ∈ Σ` once instead of once per `(ω, S)` pair.
+pub fn safe_family(c: &WorldSet, sigma: &[WorldSet], a: &WorldSet, b: &WorldSet) -> bool {
+    sigma.iter().all(|s| {
+        let sb = s.intersection(b);
+        // SBC = ∅  ∨  SB ⊄ A  ∨  S ⊆ A
+        !sb.intersects(c) || !sb.is_subset(a) || s.is_subset(a)
+    })
+}
+
+/// The two-grade confidence of a possibilistic agent in `A`: `true` iff the
+/// agent knows `A`.
+pub fn confidence(s: &WorldSet, a: &WorldSet) -> bool {
+    s.is_subset(a)
+}
+
+/// Whether an agent with prior knowledge `S` *gains confidence* in `A` upon
+/// learning `B` (the quantity Definition 3.1 forbids).
+pub fn gains_confidence(s: &WorldSet, a: &WorldSet, b: &WorldSet) -> bool {
+    !confidence(s, a) && confidence(&s.intersection(b), a)
+}
+
+/// Whether an agent with prior knowledge `S` *loses confidence* in `A` upon
+/// learning `B`. In the possibilistic model knowledge can never be lost
+/// (posterior `S∩B ⊆ S`), so this is always `false`; it exists to make the
+/// gain/loss asymmetry of the paper executable and testable.
+pub fn loses_confidence(s: &WorldSet, a: &WorldSet, b: &WorldSet) -> bool {
+    confidence(s, a) && !confidence(&s.intersection(b), a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeWorld;
+    use crate::world::{all_nonempty_subsets, WorldId};
+    use proptest::prelude::*;
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    /// Section 1.1 example: r₁ = "Bob is HIV-positive", r₂ = "Bob had blood
+    /// transfusions"; world index = 2·[r₁] + [r₂].
+    #[test]
+    fn hiv_example_is_safe_unrestricted() {
+        let k = PossKnowledge::unrestricted(4);
+        let a = ws(4, &[2, 3]); // r₁ ∈ ω
+        let b = ws(4, &[0, 1, 3]); // r₁ ∈ ω ⟹ r₂ ∈ ω (rules out ω = 2)
+        assert!(safe(&k, &a, &b).is_ok());
+    }
+
+    #[test]
+    fn direct_disclosure_is_unsafe() {
+        let k = PossKnowledge::unrestricted(4);
+        let a = ws(4, &[2, 3]);
+        // Disclosing A itself breaches privacy of A.
+        let breach = safe(&k, &a, &a).unwrap_err();
+        assert!(b_contains_world(&a, &breach));
+        // Witness must not have known A a priori but know it a posteriori.
+        assert!(!breach.witness.set().is_subset(&a));
+        assert!(breach.witness.set().intersection(&a).is_subset(&a));
+    }
+
+    fn b_contains_world(b: &WorldSet, breach: &PossBreach) -> bool {
+        b.contains(breach.witness.world())
+    }
+
+    #[test]
+    fn proposition_3_3_agrees_with_definition_3_1() {
+        // Exhaustive over a small universe: for every C, every Σ drawn from a
+        // pool, and every (A, B), the product-based and family-based
+        // evaluations agree.
+        let n = 4;
+        let sigma: Vec<WorldSet> = all_nonempty_subsets(n).collect();
+        let c = ws(n, &[0, 2]);
+        let k = PossKnowledge::product(&c, &sigma).unwrap();
+        for a in all_nonempty_subsets(n) {
+            for b in all_nonempty_subsets(n) {
+                assert_eq!(
+                    is_safe(&k, &a, &b),
+                    safe_family(&c, &sigma, &a, &b),
+                    "disagreement at A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        // Remark 3.2: Safe_K(A,B) and K' ⊆ K imply Safe_K'(A,B).
+        let n = 4;
+        let k = PossKnowledge::unrestricted(n);
+        let a = ws(n, &[2, 3]);
+        let b = ws(n, &[0, 1, 3]);
+        assert!(is_safe(&k, &a, &b));
+        // Any sub-knowledge-set keeps safety.
+        let sub =
+            PossKnowledge::from_pairs(k.pairs().iter().take(5).cloned().collect()).unwrap();
+        assert!(is_safe(&sub, &a, &b));
+    }
+
+    #[test]
+    fn gain_loss_asymmetry() {
+        let s = ws(4, &[0, 2]);
+        let a = ws(4, &[2, 3]);
+        let b = ws(4, &[2]);
+        // learning B = {2} makes S∩B = {2} ⊆ A: gain.
+        assert!(gains_confidence(&s, &a, &b));
+        // knowledge can never be lost possibilistically.
+        for s in all_nonempty_subsets(4) {
+            for a in all_nonempty_subsets(4) {
+                for b in all_nonempty_subsets(4) {
+                    if s.intersects(&b) {
+                        assert!(!loses_confidence(&s, &a, &b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breach_witness_is_genuine() {
+        let n = 3;
+        let k = PossKnowledge::unrestricted(n);
+        let a = ws(n, &[1]);
+        let b = ws(n, &[1, 2]);
+        match safe(&k, &a, &b) {
+            Err(breach) => {
+                let s = breach.witness.set();
+                assert!(gains_confidence(s, &a, &b));
+                assert!(b.contains(breach.witness.world()));
+            }
+            Ok(()) => panic!("expected a breach: B narrows {{0,1,2}} → {{1}} ⊆ A"),
+        }
+    }
+
+    #[test]
+    fn full_knowledge_user_never_gains() {
+        // A user who already knows the exact world cannot gain confidence.
+        let n = 4;
+        for w in 0..n as u32 {
+            let pair = KnowledgeWorld::new(WorldId(w), WorldSet::singleton(n, WorldId(w))).unwrap();
+            let k = PossKnowledge::from_pairs(vec![pair]).unwrap();
+            for a in all_nonempty_subsets(n) {
+                for b in all_nonempty_subsets(n) {
+                    assert!(is_safe(&k, &a, &b));
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Safety is antitone in K: removing pairs preserves safety
+        /// (Remark 3.2), checked on random subsets of the unrestricted K.
+        #[test]
+        fn prop_safe_antitone_in_k(
+            a_bits in 1u8..15, b_bits in 1u8..15, keep in proptest::collection::vec(any::<bool>(), 32)
+        ) {
+            let n = 4;
+            let k = PossKnowledge::unrestricted(n);
+            let a = WorldSet::from_predicate(n, |w| a_bits >> w.0 & 1 == 1);
+            let b = WorldSet::from_predicate(n, |w| b_bits >> w.0 & 1 == 1);
+            if is_safe(&k, &a, &b) {
+                let pairs: Vec<_> = k
+                    .pairs()
+                    .iter()
+                    .zip(keep.iter().cycle())
+                    .filter(|(_, &keep)| keep)
+                    .map(|(p, _)| p.clone())
+                    .collect();
+                if let Ok(sub) = PossKnowledge::from_pairs(pairs) {
+                    prop_assert!(is_safe(&sub, &a, &b));
+                }
+            }
+        }
+
+        /// B ⊇ A-complement-union trick: disclosing a tautology (B = Ω) is
+        /// always safe.
+        #[test]
+        fn prop_tautology_always_safe(a_bits in 1u8..15) {
+            let n = 4;
+            let k = PossKnowledge::unrestricted(n);
+            let a = WorldSet::from_predicate(n, |w| a_bits >> w.0 & 1 == 1);
+            prop_assert!(is_safe(&k, &a, &WorldSet::full(n)));
+        }
+    }
+}

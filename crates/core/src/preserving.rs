@@ -1,0 +1,243 @@
+//! Knowledge acquisition and `K`-preserving disclosures (Section 3.3,
+//! Definition 3.9, Proposition 3.10).
+//!
+//! When the auditor's second-level knowledge set `K` encodes an *assumption*
+//! about users rather than exact knowledge, she may require that the
+//! assumption stays valid after each disclosure. A set `B` is *`K`-preserving*
+//! when for every `(ω, S) ∈ K` with `ω ∈ B`, the posterior pair
+//! `(ω, S ∩ B)` is again in `K` (resp. `(ω, P(·|B)) ∈ K` probabilistically).
+//!
+//! Proposition 3.10 then composes disclosures: if `B₁` and `B₂` are both
+//! individually safe for `A` and at least one of them is `K`-preserving, the
+//! combined disclosure `B₁ ∩ B₂` is safe too.
+
+use crate::knowledge::PossKnowledge;
+use crate::probabilistic::ProbKnowledge;
+use crate::world::WorldSet;
+
+/// Tests whether `B` is `K`-preserving for a possibilistic `K`
+/// (Definition 3.9).
+pub fn is_preserving_poss(k: &PossKnowledge, b: &WorldSet) -> bool {
+    k.pairs().iter().all(|pair| match pair.acquire(b) {
+        None => true, // ω ∉ B: pair not constrained
+        Some(post) => k.contains_pair(post.world(), post.set()),
+    })
+}
+
+/// Tests whether `B` is `K`-preserving for a probabilistic `K`
+/// (Definition 3.9). Posterior distributions are compared with an `L∞`
+/// tolerance of `1e-12` to absorb float rounding in the conditioning.
+pub fn is_preserving_prob(k: &ProbKnowledge, b: &WorldSet) -> bool {
+    k.pairs().iter().all(|pair| match pair.acquire(b) {
+        None => true,
+        Some(post) => k.pairs().iter().any(|q| {
+            q.world() == post.world() && q.dist().linf_distance(post.dist()) < 1e-12
+        }),
+    })
+}
+
+/// Part 1 of Proposition 3.10, executable form: given that `B₁` and `B₂` are
+/// both `K`-preserving, checks (and returns) that `B₁ ∩ B₂` is
+/// `K`-preserving.
+///
+/// # Panics
+///
+/// Panics if the precondition fails — callers use [`is_preserving_poss`]
+/// first; the function exists to make the proposition testable.
+pub fn preserving_intersection_poss(
+    k: &PossKnowledge,
+    b1: &WorldSet,
+    b2: &WorldSet,
+) -> WorldSet {
+    assert!(
+        is_preserving_poss(k, b1) && is_preserving_poss(k, b2),
+        "preserving_intersection_poss requires both sets to be K-preserving"
+    );
+    let b12 = b1.intersection(b2);
+    debug_assert!(is_preserving_poss(k, &b12), "Proposition 3.10(1) violated");
+    b12
+}
+
+/// The sequential-acquisition identity of Section 3.3: acquiring `B₁` then
+/// `B₂` equals acquiring `B₁ ∩ B₂`. Returns the posterior knowledge set.
+pub fn acquire_sequence(s: &WorldSet, disclosures: &[&WorldSet]) -> WorldSet {
+    let mut out = s.clone();
+    for b in disclosures {
+        out.intersect_with(b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeWorld;
+    use crate::possibilistic;
+    use crate::probabilistic::{self, Distribution, ProbKnowledgeWorld};
+    use crate::world::{all_nonempty_subsets, WorldId};
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    #[test]
+    fn unrestricted_k_preserves_everything() {
+        // K = Ω ⊗ P(Ω) contains every consistent pair, so every B preserves.
+        let k = PossKnowledge::unrestricted(4);
+        for b in all_nonempty_subsets(4) {
+            assert!(is_preserving_poss(&k, &b));
+        }
+    }
+
+    #[test]
+    fn rigid_k_is_not_preserved() {
+        // Remark 4.2 family: K = Ω ⊗ {Ω} — only the vacuous knowledge set.
+        // Any strict B breaks the assumption.
+        let n = 3;
+        let full = WorldSet::full(n);
+        let pairs: Vec<_> = (0..n as u32)
+            .map(|i| KnowledgeWorld::new(WorldId(i), full.clone()).unwrap())
+            .collect();
+        let k = PossKnowledge::from_pairs(pairs).unwrap();
+        assert!(is_preserving_poss(&k, &full));
+        assert!(!is_preserving_poss(&k, &ws(n, &[0, 1])));
+    }
+
+    #[test]
+    fn proposition_3_10_part1_possibilistic() {
+        // Exhaustive: for an ∩-closed K built from a family of down-closed
+        // prefixes, B₁, B₂ preserving ⟹ B₁∩B₂ preserving.
+        let n = 4;
+        let k = PossKnowledge::unrestricted(n);
+        let preserving: Vec<WorldSet> = all_nonempty_subsets(n)
+            .filter(|b| is_preserving_poss(&k, b))
+            .collect();
+        for b1 in &preserving {
+            for b2 in &preserving {
+                if b1.intersects(b2) {
+                    let b12 = preserving_intersection_poss(&k, b1, b2);
+                    assert!(is_preserving_poss(&k, &b12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_3_10_part2_possibilistic() {
+        // Safe(A,B₁) ∧ Safe(A,B₂) ∧ (B₁ or B₂ K-preserving) ⟹ Safe(A,B₁∩B₂).
+        // Exhaustive over a 4-world universe with K unrestricted (every B is
+        // preserving there, so the composition always holds).
+        let n = 4;
+        let k = PossKnowledge::unrestricted(n);
+        let subsets: Vec<WorldSet> = all_nonempty_subsets(n).collect();
+        for a in &subsets {
+            for b1 in &subsets {
+                if !possibilistic::is_safe(&k, a, b1) {
+                    continue;
+                }
+                for b2 in &subsets {
+                    if !possibilistic::is_safe(&k, a, b2) || b1.is_disjoint(b2) {
+                        continue;
+                    }
+                    let b12 = b1.intersection(b2);
+                    assert!(
+                        possibilistic::is_safe(&k, a, &b12),
+                        "Prop 3.10(2) violated: A={a:?} B1={b1:?} B2={b2:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_preserving_composition_can_breach() {
+        // Remark 4.2: Ω = {1,2,3} (indices 0,1,2), K = Ω ⊗ {Ω}, A = {2}.
+        // B₁ = {0,2} and B₂ = {1,2} are each safe, but B₁∩B₂ = {2} is not —
+        // and indeed neither B₁ nor B₂ is K-preserving.
+        let n = 3;
+        let full = WorldSet::full(n);
+        let pairs: Vec<_> = (0..n as u32)
+            .map(|i| KnowledgeWorld::new(WorldId(i), full.clone()).unwrap())
+            .collect();
+        let k = PossKnowledge::from_pairs(pairs).unwrap();
+        let a = ws(n, &[2]);
+        let b1 = ws(n, &[0, 2]);
+        let b2 = ws(n, &[1, 2]);
+        assert!(possibilistic::is_safe(&k, &a, &b1));
+        assert!(possibilistic::is_safe(&k, &a, &b2));
+        assert!(!possibilistic::is_safe(&k, &a, &b1.intersection(&b2)));
+        assert!(!is_preserving_poss(&k, &b1));
+        assert!(!is_preserving_poss(&k, &b2));
+    }
+
+    #[test]
+    fn sequential_acquisition_is_intersection() {
+        let s = ws(5, &[0, 1, 2, 3]);
+        let b1 = ws(5, &[1, 2, 3, 4]);
+        let b2 = ws(5, &[0, 2, 3]);
+        assert_eq!(
+            acquire_sequence(&s, &[&b1, &b2]),
+            s.intersection(&b1.intersection(&b2))
+        );
+    }
+
+    #[test]
+    fn probabilistic_preserving() {
+        // A family closed under conditioning on B: point masses.
+        let n = 3;
+        let pairs: Vec<_> = (0..n as u32)
+            .map(|i| {
+                ProbKnowledgeWorld::new(WorldId(i), Distribution::point_mass(n, WorldId(i)))
+                    .unwrap()
+            })
+            .collect();
+        let k = ProbKnowledge::from_pairs(pairs).unwrap();
+        for b in all_nonempty_subsets(n) {
+            assert!(is_preserving_prob(&k, &b), "point masses are closed under conditioning");
+        }
+        // A singleton family {uniform} is not preserved by strict B.
+        let k1 = ProbKnowledge::from_pairs(vec![ProbKnowledgeWorld::new(
+            WorldId(0),
+            Distribution::uniform(n),
+        )
+        .unwrap()])
+        .unwrap();
+        assert!(is_preserving_prob(&k1, &WorldSet::full(n)));
+        assert!(!is_preserving_prob(&k1, &ws(n, &[0, 1])));
+    }
+
+    #[test]
+    fn proposition_3_10_part2_probabilistic() {
+        // With a conditioning-closed probabilistic K (point masses plus all
+        // conditionals of a base distribution), verify composition on a
+        // concrete instance.
+        let n = 3;
+        let base = Distribution::from_unnormalized(vec![1.0, 2.0, 3.0]).unwrap();
+        let mut dists = vec![base.clone()];
+        for b in all_nonempty_subsets(n) {
+            if let Some(c) = base.condition(&b) {
+                if dists.iter().all(|d: &Distribution| d.linf_distance(&c) > 1e-12) {
+                    dists.push(c);
+                }
+            }
+        }
+        let k = ProbKnowledge::product(&WorldSet::full(n), &dists).unwrap();
+        for b in all_nonempty_subsets(n) {
+            assert!(is_preserving_prob(&k, &b));
+        }
+        let a = ws(n, &[2]);
+        let safe_bs: Vec<WorldSet> = all_nonempty_subsets(n)
+            .filter(|b| probabilistic::is_safe(&k, &a, b))
+            .collect();
+        for b1 in &safe_bs {
+            for b2 in &safe_bs {
+                if b1.intersects(b2) {
+                    assert!(
+                        probabilistic::is_safe(&k, &a, &b1.intersection(b2)),
+                        "Prop 3.10(2) probabilistic violated: B1={b1:?} B2={b2:?}"
+                    );
+                }
+            }
+        }
+    }
+}

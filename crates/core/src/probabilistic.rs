@@ -1,0 +1,577 @@
+//! Probabilistic privacy: Definitions 2.2 and 3.4, Propositions 3.6 and 3.8.
+//!
+//! A probabilistic agent's knowledge is a distribution `P` over `Ω` with
+//! `P(ω*) > 0`. The agent's confidence in `A` is `P[A]`; learning `B`
+//! replaces `P` with the conditional `P(·|B)`. Privacy of `A` given `B`
+//! demands `P[A|B] ≤ P[A]` for every pair `(ω, P) ∈ K` with `ω ∈ B`
+//! (Definition 3.4); for a product `C ⊗ Π` this is equivalent to
+//!
+//! ```text
+//! ∀ P ∈ Π:  P[BC] > 0  ⟹  P[AB] ≤ P[A]·P[B]          (Proposition 3.6)
+//! ```
+//!
+//! and, for `C`-liftable families (Definition 3.7), to the unconditional
+//! `Safe_Π(A,B) ⟺ ∀ P ∈ Π: P[AB] ≤ P[A]·P[B]` (Proposition 3.8).
+
+use crate::world::{WorldId, WorldSet};
+use crate::CoreError;
+
+/// Relative tolerance used when validating that probabilities sum to one.
+const NORMALIZATION_TOL: f64 = 1e-9;
+
+/// A probability distribution over a finite universe `Ω`, stored densely.
+///
+/// # Examples
+///
+/// ```
+/// use epi_core::{Distribution, WorldSet};
+/// let p = Distribution::uniform(4);
+/// let a = WorldSet::from_indices(4, [0, 1]);
+/// assert!((p.prob(&a) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Distribution {
+    weights: Vec<f64>,
+}
+
+impl Distribution {
+    /// Creates a distribution from explicit weights, which must be
+    /// non-negative and sum to 1 within a relative tolerance of `1e-9`.
+    pub fn new(weights: Vec<f64>) -> Result<Distribution, CoreError> {
+        if weights.is_empty() {
+            return Err(CoreError::InvalidDistribution {
+                reason: "empty weight vector".into(),
+            });
+        }
+        if let Some((i, &w)) = weights
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| !(0.0..=1.0 + NORMALIZATION_TOL).contains(&w) || w.is_nan())
+        {
+            return Err(CoreError::InvalidDistribution {
+                reason: format!("weight {w} at world {i} outside [0, 1]"),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > NORMALIZATION_TOL {
+            return Err(CoreError::InvalidDistribution {
+                reason: format!("weights sum to {total}, not 1"),
+            });
+        }
+        Ok(Distribution { weights })
+    }
+
+    /// Creates a distribution by normalizing arbitrary non-negative weights.
+    pub fn from_unnormalized(weights: Vec<f64>) -> Result<Distribution, CoreError> {
+        let total: f64 = weights.iter().sum();
+        if total.is_nan() || total <= 0.0 {
+            return Err(CoreError::InvalidDistribution {
+                reason: format!("unnormalized weights sum to {total}"),
+            });
+        }
+        Distribution::new(weights.iter().map(|w| w / total).collect()).map_err(|e| match e {
+            CoreError::InvalidDistribution { reason } => CoreError::InvalidDistribution {
+                reason: format!("after normalization: {reason}"),
+            },
+            other => other,
+        })
+    }
+
+    /// The uniform distribution over a universe of the given size.
+    pub fn uniform(universe: usize) -> Distribution {
+        assert!(universe > 0, "uniform distribution needs a non-empty universe");
+        Distribution {
+            weights: vec![1.0 / universe as f64; universe],
+        }
+    }
+
+    /// A point mass on `ω`.
+    pub fn point_mass(universe: usize, w: WorldId) -> Distribution {
+        assert!(w.index() < universe);
+        let mut weights = vec![0.0; universe];
+        weights[w.index()] = 1.0;
+        Distribution { weights }
+    }
+
+    /// Universe size.
+    pub fn universe_size(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `P(ω)` for a single world.
+    pub fn weight(&self, w: WorldId) -> f64 {
+        self.weights[w.index()]
+    }
+
+    /// `P[A] = Σ_{ω ∈ A} P(ω)`.
+    pub fn prob(&self, a: &WorldSet) -> f64 {
+        assert_eq!(a.universe_size(), self.weights.len(), "universe mismatch");
+        a.iter().map(|w| self.weights[w.index()]).sum()
+    }
+
+    /// The conditional distribution `P(· | B)` of Section 3.3.
+    ///
+    /// Returns `None` when `P[B] = 0` (conditioning undefined).
+    pub fn condition(&self, b: &WorldSet) -> Option<Distribution> {
+        let pb = self.prob(b);
+        if pb <= 0.0 {
+            return None;
+        }
+        let weights = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                if b.contains(WorldId(i as u32)) {
+                    w / pb
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Some(Distribution { weights })
+    }
+
+    /// The support `supp(P) = {ω : P(ω) > 0}` (Remark 2.3).
+    pub fn support(&self) -> WorldSet {
+        WorldSet::from_predicate(self.weights.len(), |w| self.weights[w.index()] > 0.0)
+    }
+
+    /// `‖P − Q‖_∞`, the norm used in the liftability Definition 3.7.
+    pub fn linf_distance(&self, other: &Distribution) -> f64 {
+        assert_eq!(self.weights.len(), other.weights.len(), "universe mismatch");
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mixes `(1−t)·self + t·other`; the lifting construction used to verify
+    /// Definition 3.7 for convex families.
+    pub fn mix(&self, other: &Distribution, t: f64) -> Distribution {
+        assert!((0.0..=1.0).contains(&t));
+        assert_eq!(self.weights.len(), other.weights.len(), "universe mismatch");
+        Distribution {
+            weights: self
+                .weights
+                .iter()
+                .zip(&other.weights)
+                .map(|(a, b)| (1.0 - t) * a + t * b)
+                .collect(),
+        }
+    }
+
+    /// The raw weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// A consistent probabilistic knowledge world `(ω, P)` with `P(ω) > 0`
+/// (Definition 2.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbKnowledgeWorld {
+    world: WorldId,
+    dist: Distribution,
+}
+
+impl ProbKnowledgeWorld {
+    /// Creates `(ω, P)`, enforcing `P(ω) > 0`.
+    pub fn new(world: WorldId, dist: Distribution) -> Result<ProbKnowledgeWorld, CoreError> {
+        if dist.weight(world) <= 0.0 {
+            return Err(CoreError::ZeroProbabilityWorld { world: world.0 });
+        }
+        Ok(ProbKnowledgeWorld { world, dist })
+    }
+
+    /// The actual world of the pair.
+    pub fn world(&self) -> WorldId {
+        self.world
+    }
+
+    /// The user's prior distribution.
+    pub fn dist(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// Posterior pair after acquiring `B`: `(ω, P(·|B))`, or `None` when
+    /// `ω ∉ B`.
+    pub fn acquire(&self, b: &WorldSet) -> Option<ProbKnowledgeWorld> {
+        if !b.contains(self.world) {
+            return None;
+        }
+        let dist = self
+            .dist
+            .condition(b)
+            .expect("P[B] ≥ P(ω) > 0 since ω ∈ B");
+        Some(ProbKnowledgeWorld {
+            world: self.world,
+            dist,
+        })
+    }
+}
+
+/// An explicit probabilistic second-level knowledge set `K ⊆ Ω_prob`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbKnowledge {
+    universe: usize,
+    pairs: Vec<ProbKnowledgeWorld>,
+}
+
+impl ProbKnowledge {
+    /// Builds `K` from explicit consistent pairs.
+    pub fn from_pairs(pairs: Vec<ProbKnowledgeWorld>) -> Result<ProbKnowledge, CoreError> {
+        let universe = pairs
+            .first()
+            .ok_or(CoreError::EmptyKnowledge)?
+            .dist()
+            .universe_size();
+        if let Some(bad) = pairs
+            .iter()
+            .find(|p| p.dist().universe_size() != universe)
+        {
+            return Err(CoreError::UniverseMismatch {
+                expected: universe,
+                found: bad.dist().universe_size(),
+            });
+        }
+        Ok(ProbKnowledge { universe, pairs })
+    }
+
+    /// The product `C ⊗ Π` (Definition 2.5): all `(ω, P)` with `ω ∈ C`,
+    /// `P ∈ Π` and `P(ω) > 0`.
+    pub fn product(c: &WorldSet, pi: &[Distribution]) -> Result<ProbKnowledge, CoreError> {
+        let universe = c.universe_size();
+        let mut pairs = Vec::new();
+        for p in pi {
+            if p.universe_size() != universe {
+                return Err(CoreError::UniverseMismatch {
+                    expected: universe,
+                    found: p.universe_size(),
+                });
+            }
+            for w in &c.intersection(&p.support()) {
+                pairs.push(ProbKnowledgeWorld {
+                    world: w,
+                    dist: p.clone(),
+                });
+            }
+        }
+        if pairs.is_empty() {
+            return Err(CoreError::EmptyKnowledge);
+        }
+        Ok(ProbKnowledge { universe, pairs })
+    }
+
+    /// The pairs of `K`.
+    pub fn pairs(&self) -> &[ProbKnowledgeWorld] {
+        &self.pairs
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` iff no pairs (not constructible via the public API).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Universe size.
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+}
+
+/// Evidence of a probabilistic privacy breach: the pair `(ω, P)` and the
+/// posterior/prior confidences showing the gain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbBreach {
+    /// The breaching knowledge world.
+    pub witness: ProbKnowledgeWorld,
+    /// Prior confidence `P[A]`.
+    pub prior: f64,
+    /// Posterior confidence `P[A|B]`.
+    pub posterior: f64,
+}
+
+/// Tests `Safe_K(A, B)` per Definition 3.4: for all `(ω, P) ∈ K` with
+/// `ω ∈ B`, `P[A|B] ≤ P[A]`.
+///
+/// Comparisons are exact on the `f64` values; the auditor decides the
+/// tolerance policy upstream by choosing how `K` was built.
+pub fn safe(k: &ProbKnowledge, a: &WorldSet, b: &WorldSet) -> Result<(), ProbBreach> {
+    for pair in k.pairs() {
+        if !b.contains(pair.world()) {
+            continue;
+        }
+        let p = pair.dist();
+        let pa = p.prob(a);
+        let pb = p.prob(b);
+        debug_assert!(pb > 0.0, "P[B] ≥ P(ω) > 0 since ω ∈ B");
+        let pab = p.prob(&a.intersection(b));
+        let posterior = pab / pb;
+        if posterior > pa {
+            return Err(ProbBreach {
+                witness: pair.clone(),
+                prior: pa,
+                posterior,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Boolean convenience wrapper around [`safe`].
+pub fn is_safe(k: &ProbKnowledge, a: &WorldSet, b: &WorldSet) -> bool {
+    safe(k, a, b).is_ok()
+}
+
+/// Tests `Safe_{C,Π}(A, B)` via Proposition 3.6 without materializing
+/// `C ⊗ Π`:
+///
+/// ```text
+/// ∀ P ∈ Π:  P[BC] > 0  ⟹  P[AB] ≤ P[A]·P[B]
+/// ```
+pub fn safe_family(c: &WorldSet, pi: &[Distribution], a: &WorldSet, b: &WorldSet) -> bool {
+    let bc = b.intersection(c);
+    pi.iter().all(|p| {
+        p.prob(&bc) <= 0.0 || p.prob(&a.intersection(b)) <= p.prob(a) * p.prob(b)
+    })
+}
+
+/// Tests `Safe_Π(A, B)` per Proposition 3.8 (the `C`-liftable form):
+///
+/// ```text
+/// ∀ P ∈ Π:  P[AB] ≤ P[A]·P[B]
+/// ```
+pub fn safe_pi(pi: &[Distribution], a: &WorldSet, b: &WorldSet) -> bool {
+    let ab = a.intersection(b);
+    pi.iter().all(|p| p.prob(&ab) <= p.prob(a) * p.prob(b))
+}
+
+/// Verifies the `ω`-liftability condition of Definition 3.7 for an
+/// explicitly given finite family, for a given `ε`: every `P ∈ Π` with
+/// `P(ω) = 0` must have some `P' ∈ Π` with `P'(ω) > 0` and
+/// `‖P − P'‖_∞ < ε`.
+///
+/// For a *finite* family this checks the condition at one fixed `ε` (the
+/// definition quantifies over all `ε > 0`, which a finite family can only
+/// satisfy degenerately); the function's purpose is to validate lifting
+/// witnesses produced by convex-family constructions, see
+/// [`lift_towards`].
+pub fn is_omega_liftable_at(pi: &[Distribution], w: WorldId, epsilon: f64) -> bool {
+    pi.iter().all(|p| {
+        p.weight(w) > 0.0
+            || pi
+                .iter()
+                .any(|q| q.weight(w) > 0.0 && p.linf_distance(q) < epsilon)
+    })
+}
+
+/// Produces the lifting witness for a convex family: given `P` with
+/// `P(ω) = 0` and any `Q` in the family with `Q(ω) > 0`, the mixture
+/// `(1−t)·P + t·Q` has positive mass at `ω` and is within `t·‖P−Q‖_∞ ≤ t`
+/// of `P`. This is the standard argument showing product distributions and
+/// other convex families are `Ω`-liftable.
+pub fn lift_towards(p: &Distribution, q: &Distribution, t: f64) -> Distribution {
+    p.mix(q, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(Distribution::new(vec![0.5, 0.5]).is_ok());
+        assert!(Distribution::new(vec![0.5, 0.6]).is_err());
+        assert!(Distribution::new(vec![-0.1, 1.1]).is_err());
+        assert!(Distribution::new(vec![]).is_err());
+        assert!(Distribution::from_unnormalized(vec![2.0, 6.0]).is_ok());
+        assert!(Distribution::from_unnormalized(vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn probabilities_and_conditioning() {
+        let p = Distribution::new(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let a = ws(4, &[1, 3]);
+        assert!((p.prob(&a) - 0.6).abs() < 1e-12);
+        let cond = p.condition(&a).unwrap();
+        assert!((cond.weight(WorldId(1)) - 0.2 / 0.6).abs() < 1e-12);
+        assert_eq!(cond.weight(WorldId(0)), 0.0);
+        assert!((cond.prob(&WorldSet::full(4)) - 1.0).abs() < 1e-12);
+        // Conditioning on a null set is undefined.
+        let p0 = Distribution::new(vec![1.0, 0.0]).unwrap();
+        assert!(p0.condition(&ws(2, &[1])).is_none());
+    }
+
+    #[test]
+    fn support_and_point_mass() {
+        let p = Distribution::new(vec![0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(p.support(), ws(3, &[1]));
+        assert_eq!(p, Distribution::point_mass(3, WorldId(1)));
+    }
+
+    #[test]
+    fn knowledge_world_consistency() {
+        let p = Distribution::new(vec![0.0, 1.0]).unwrap();
+        assert!(matches!(
+            ProbKnowledgeWorld::new(WorldId(0), p.clone()),
+            Err(CoreError::ZeroProbabilityWorld { world: 0 })
+        ));
+        assert!(ProbKnowledgeWorld::new(WorldId(1), p).is_ok());
+    }
+
+    #[test]
+    fn acquisition() {
+        let p = Distribution::new(vec![0.25, 0.25, 0.25, 0.25]).unwrap();
+        let kw = ProbKnowledgeWorld::new(WorldId(1), p).unwrap();
+        let b = ws(4, &[1, 2]);
+        let post = kw.acquire(&b).unwrap();
+        assert!((post.dist().weight(WorldId(1)) - 0.5).abs() < 1e-12);
+        assert!(kw.acquire(&ws(4, &[0])).is_none());
+    }
+
+    /// The §1.1 HIV example: under *any* prior, learning
+    /// `B = (r₁∈ω ⟹ r₂∈ω)` cannot raise the probability of `A = (r₁∈ω)`.
+    /// World index = 2·[r₁] + [r₂]; B rules out ω = 2 only, which is in A.
+    #[test]
+    fn hiv_example_safe_for_random_priors() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = ws(4, &[2, 3]);
+        let b = ws(4, &[0, 1, 3]);
+        let ab = a.intersection(&b);
+        for _ in 0..2000 {
+            let raw: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+            let p = Distribution::from_unnormalized(raw).unwrap();
+            assert!(
+                p.prob(&ab) <= p.prob(&a) * p.prob(&b) + 1e-12,
+                "P[AB] > P[A]P[B] for P = {:?}",
+                p.weights()
+            );
+        }
+    }
+
+    #[test]
+    fn unsafe_pair_detected() {
+        // A = B = {1}: learning B reveals A to a uniform prior.
+        let p = Distribution::uniform(3);
+        let kw = ProbKnowledgeWorld::new(WorldId(1), p).unwrap();
+        let k = ProbKnowledge::from_pairs(vec![kw]).unwrap();
+        let a = ws(3, &[1]);
+        let breach = safe(&k, &a, &a).unwrap_err();
+        assert!(breach.posterior > breach.prior);
+        assert!((breach.posterior - 1.0).abs() < 1e-12);
+        assert!((breach.prior - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_drops_zero_mass_pairs() {
+        let c = WorldSet::full(3);
+        let p = Distribution::new(vec![0.5, 0.5, 0.0]).unwrap();
+        let k = ProbKnowledge::product(&c, &[p]).unwrap();
+        assert_eq!(k.len(), 2); // (ω₀, P), (ω₁, P); (ω₂, P) inconsistent
+    }
+
+    #[test]
+    fn proposition_3_6_matches_definition_3_4() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 4;
+        for _ in 0..200 {
+            let pi: Vec<Distribution> = (0..3)
+                .map(|_| {
+                    Distribution::from_unnormalized(
+                        (0..n).map(|_| rng.gen::<f64>() + 1e-3).collect(),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let c = WorldSet::from_predicate(n, |_| rng.gen::<bool>());
+            if c.is_empty() {
+                continue;
+            }
+            let a = WorldSet::from_predicate(n, |_| rng.gen::<bool>());
+            let b = WorldSet::from_predicate(n, |_| rng.gen::<bool>());
+            if b.intersection(&c).is_empty() {
+                continue;
+            }
+            let k = match ProbKnowledge::product(&c, &pi) {
+                Ok(k) => k,
+                Err(_) => continue,
+            };
+            // Tolerance-free comparison can flip on boundary cases; only
+            // compare when the margin is clear.
+            let margin = pi
+                .iter()
+                .map(|p| {
+                    (p.prob(&a.intersection(&b)) - p.prob(&a) * p.prob(&b)).abs()
+                })
+                .fold(f64::INFINITY, f64::min);
+            if margin < 1e-9 {
+                continue;
+            }
+            assert_eq!(
+                is_safe(&k, &a, &b),
+                safe_family(&c, &pi, &a, &b),
+                "A={a:?} B={b:?} C={c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn liftability_of_mixtures() {
+        let p = Distribution::new(vec![0.5, 0.5, 0.0]).unwrap();
+        let q = Distribution::uniform(3);
+        for t in [0.5, 0.1, 1e-3, 1e-9] {
+            let lifted = lift_towards(&p, &q, t);
+            assert!(lifted.weight(WorldId(2)) > 0.0);
+            assert!(lifted.linf_distance(&p) <= t + 1e-15);
+        }
+        let family = vec![p, q.clone()];
+        assert!(is_omega_liftable_at(&family, WorldId(2), 1.0));
+        // With only the deficient distribution, not liftable.
+        let lonely = vec![Distribution::new(vec![0.5, 0.5, 0.0]).unwrap()];
+        assert!(!is_omega_liftable_at(&lonely, WorldId(2), 0.5));
+    }
+
+    proptest! {
+        /// P[A|B] ≤ P[A] ⟺ P[AB] ≤ P[A]P[B] whenever P[B] > 0 — the
+        /// equivalence underlying Proposition 3.6.
+        #[test]
+        fn prop_conditional_vs_product_form(
+            raw in proptest::collection::vec(0.01f64..1.0, 6),
+            a_bits in 0u8..63, b_bits in 1u8..63
+        ) {
+            let p = Distribution::from_unnormalized(raw).unwrap();
+            let a = WorldSet::from_predicate(6, |w| a_bits >> w.0 & 1 == 1);
+            let b = WorldSet::from_predicate(6, |w| b_bits >> w.0 & 1 == 1);
+            prop_assume!(p.prob(&b) > 1e-9);
+            let lhs = p.prob(&a.intersection(&b)) / p.prob(&b) <= p.prob(&a) + 1e-12;
+            let rhs = p.prob(&a.intersection(&b)) <= p.prob(&a) * p.prob(&b) + 1e-12;
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        /// Conditioning is idempotent: P(·|B)(·|B) = P(·|B).
+        #[test]
+        fn prop_condition_idempotent(
+            raw in proptest::collection::vec(0.01f64..1.0, 6),
+            b_bits in 1u8..63
+        ) {
+            let p = Distribution::from_unnormalized(raw).unwrap();
+            let b = WorldSet::from_predicate(6, |w| b_bits >> w.0 & 1 == 1);
+            let once = p.condition(&b).unwrap();
+            let twice = once.condition(&b).unwrap();
+            prop_assert!(once.linf_distance(&twice) < 1e-12);
+        }
+    }
+}

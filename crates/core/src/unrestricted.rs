@@ -1,0 +1,196 @@
+//! Privacy under unrestricted prior knowledge: Theorem 3.11.
+//!
+//! When the auditor assumes nothing about the user, the privacy relation
+//! collapses to a purely combinatorial condition. For all `A, B ⊆ Ω` and
+//! `ω* ∈ B`, the following are equivalent (Theorem 3.11):
+//!
+//! 1. `A ∩ B = ∅` or `A ∪ B = Ω`;
+//! 2. `Safe_K(A,B)` for `K = Ω_poss`;
+//! 3. `Safe_K(A,B)` for `K = Ω_prob`;
+//! 4. `Safe_K(A,B)` for `K = {ω*} ⊗ P_prob(Ω)`.
+//!
+//! And `Safe_K(A,B)` for the possibilistic `K = {ω*} ⊗ P(Ω)` holds iff
+//! `A∩B = ∅`, `A∪B = Ω`, or `ω* ∈ B − A`.
+//!
+//! Remark 3.12: in auditing practice `ω* ∈ A ∩ B` (both the protected and
+//! the disclosed property are true), so unconditional privacy reduces to
+//! checking whether `A ∪ B = Ω`, i.e. whether "`A` or `B`" is a tautology.
+
+use crate::probabilistic::Distribution;
+use crate::world::{WorldId, WorldSet};
+
+/// The combinatorial condition (1) of Theorem 3.11:
+/// `A ∩ B = ∅ ∨ A ∪ B = Ω`. Equivalent to `Safe` for the fully unrestricted
+/// possibilistic and probabilistic knowledge sets.
+pub fn safe_unrestricted(a: &WorldSet, b: &WorldSet) -> bool {
+    a.is_disjoint(b) || a.union(b).is_full()
+}
+
+/// `Safe` for `K = {ω*} ⊗ P(Ω)` (auditor knows the database, assumes nothing
+/// about the possibilistic user): `A∩B = ∅ ∨ A∪B = Ω ∨ ω* ∈ B − A`.
+pub fn safe_known_world_poss(a: &WorldSet, b: &WorldSet, actual: WorldId) -> bool {
+    safe_unrestricted(a, b) || (b.contains(actual) && !a.contains(actual))
+}
+
+/// `Safe` for `K = {ω*} ⊗ P_prob(Ω)`: by Theorem 3.11 this coincides with
+/// the fully unrestricted condition (knowing the world does not help the
+/// probabilistic auditor).
+pub fn safe_known_world_prob(a: &WorldSet, b: &WorldSet, _actual: WorldId) -> bool {
+    safe_unrestricted(a, b)
+}
+
+/// Remark 3.12's practical test: when `ω* ∈ A ∩ B`, unconditional privacy
+/// holds iff `A ∪ B = Ω`.
+pub fn safe_both_true(a: &WorldSet, b: &WorldSet, actual: WorldId) -> bool {
+    debug_assert!(a.contains(actual) && b.contains(actual));
+    a.union(b).is_full()
+}
+
+/// A two-point prior distribution witnessing that `(A, B)` is *not* safe
+/// under unrestricted probabilistic priors, together with the actual world
+/// placing the witness in `K`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnrestrictedRefutation {
+    /// The breaching prior.
+    pub prior: Distribution,
+    /// The actual world `ω ∈ B` with `P(ω) > 0`.
+    pub world: WorldId,
+    /// `P[A]` before the disclosure.
+    pub prior_confidence: f64,
+    /// `P[A|B]` after the disclosure.
+    pub posterior_confidence: f64,
+}
+
+/// When condition (1) of Theorem 3.11 fails, constructs the explicit
+/// refuting prior used in its proof: pick `ω₁ ∈ A∩B` and `ω₂ ∉ A∪B` and let
+/// `P(ω₁) = P(ω₂) = ½`. Then `P[A] = P[B] = ½` but `P[A|B] = 1 > ½`.
+///
+/// Returns `None` when `(A, B)` *is* unconditionally safe.
+pub fn refute_unrestricted(a: &WorldSet, b: &WorldSet) -> Option<UnrestrictedRefutation> {
+    if safe_unrestricted(a, b) {
+        return None;
+    }
+    let n = a.universe_size();
+    let w1 = a.intersection(b).first().expect("A∩B ≠ ∅ since not safe");
+    let w2 = a
+        .union(b)
+        .complement()
+        .first()
+        .expect("A∪B ≠ Ω since not safe");
+    let mut weights = vec![0.0; n];
+    weights[w1.index()] = 0.5;
+    weights[w2.index()] = 0.5;
+    let prior = Distribution::new(weights).expect("two-point mass is valid");
+    let pa = prior.prob(a);
+    let pb = prior.prob(b);
+    let pab = prior.prob(&a.intersection(b));
+    Some(UnrestrictedRefutation {
+        world: w1,
+        prior_confidence: pa,
+        posterior_confidence: pab / pb,
+        prior,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::PossKnowledge;
+    use crate::possibilistic;
+    use crate::world::all_nonempty_subsets;
+
+    #[test]
+    fn condition_matches_possibilistic_definition_exhaustively() {
+        // Theorem 3.11, (1) ⟺ (2): compare with Definition 3.1 evaluated on
+        // the explicit unrestricted K, over every (A, B) for |Ω| = 4.
+        let n = 4;
+        let k = PossKnowledge::unrestricted(n);
+        for a in all_nonempty_subsets(n) {
+            for b in all_nonempty_subsets(n) {
+                assert_eq!(
+                    safe_unrestricted(&a, &b),
+                    possibilistic::is_safe(&k, &a, &b),
+                    "Theorem 3.11 (1)⟺(2) failed at A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_world_possibilistic_exhaustive() {
+        // Theorem 3.11 second part: K = {ω*} ⊗ P(Ω).
+        let n = 4;
+        for actual in 0..n as u32 {
+            let actual = WorldId(actual);
+            let c = WorldSet::singleton(n, actual);
+            let k = PossKnowledge::product_with_powerset(&c);
+            for a in all_nonempty_subsets(n) {
+                for b in all_nonempty_subsets(n) {
+                    if !b.contains(actual) {
+                        continue; // theorem assumes ω* ∈ B
+                    }
+                    assert_eq!(
+                        safe_known_world_poss(&a, &b, actual),
+                        possibilistic::is_safe(&k, &a, &b),
+                        "failed at A={a:?} B={b:?} ω*={actual:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refutation_is_genuine() {
+        let n = 5;
+        for a in all_nonempty_subsets(n) {
+            for b in all_nonempty_subsets(n) {
+                match refute_unrestricted(&a, &b) {
+                    None => assert!(safe_unrestricted(&a, &b)),
+                    Some(r) => {
+                        assert!(!safe_unrestricted(&a, &b));
+                        assert!(b.contains(r.world));
+                        assert!(r.prior.weight(r.world) > 0.0);
+                        assert!(
+                            r.posterior_confidence > r.prior_confidence,
+                            "refutation must show a confidence gain"
+                        );
+                        assert_eq!(r.posterior_confidence, 1.0);
+                        assert_eq!(r.prior_confidence, 0.5);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_true_reduction() {
+        // Remark 3.12: with ω* ∈ A∩B, safety ⟺ A∪B = Ω.
+        let n = 4;
+        for a in all_nonempty_subsets(n) {
+            for b in all_nonempty_subsets(n) {
+                let ab = a.intersection(&b);
+                if let Some(actual) = ab.first() {
+                    assert_eq!(
+                        safe_both_true(&a, &b, actual),
+                        safe_unrestricted(&a, &b),
+                        "A={a:?} B={b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hiv_example_unconditionally_safe() {
+        // §1.1: A = {2,3} ("HIV+"), B = {0,1,3} ("HIV+ ⟹ transfusions"):
+        // A ∪ B = Ω, so safe under *any* prior.
+        let a = WorldSet::from_indices(4, [2, 3]);
+        let b = WorldSet::from_indices(4, [0, 1, 3]);
+        assert!(safe_unrestricted(&a, &b));
+        // But disclosing B' = {1,3} ("Bob had transfusions") is not.
+        let b2 = WorldSet::from_indices(4, [1, 3]);
+        assert!(!safe_unrestricted(&a, &b2));
+        let r = refute_unrestricted(&a, &b2).unwrap();
+        assert!(r.posterior_confidence > r.prior_confidence);
+    }
+}

@@ -1,0 +1,527 @@
+//! Possible worlds and dense sets of worlds.
+//!
+//! Following Section 2 of the paper, the set `Ω` of all possible databases is
+//! finite; a *world* `ω ∈ Ω` is a database, and every property of the
+//! database is a subset `A ⊆ Ω`. Worlds are represented as `u32` indices into
+//! a universe of known size, and subsets of `Ω` as dense bitsets
+//! ([`WorldSet`]) so that the set algebra that dominates every privacy test
+//! (`∩`, `∪`, `⊆`, complements, cardinalities) runs at memory bandwidth.
+
+use std::fmt;
+
+/// An index identifying one world `ω ∈ Ω`.
+///
+/// A `WorldId` is only meaningful relative to a universe size carried by the
+/// [`WorldSet`]s it is used with; the library checks bounds at the `WorldSet`
+/// boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorldId(pub u32);
+
+impl WorldId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for WorldId {
+    fn from(i: u32) -> Self {
+        WorldId(i)
+    }
+}
+
+impl From<usize> for WorldId {
+    fn from(i: usize) -> Self {
+        WorldId(u32::try_from(i).expect("world index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for WorldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ω{}", self.0)
+    }
+}
+
+impl fmt::Display for WorldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ω{}", self.0)
+    }
+}
+
+const BLOCK_BITS: usize = 64;
+
+/// A subset of a finite universe `Ω = {ω₀, …, ω_{n−1}}`, stored as a dense
+/// bitset.
+///
+/// All binary operations require both operands to share the same universe
+/// size and panic otherwise — mixing universes is always a logic error in
+/// this domain (a property of one database schema applied to another).
+///
+/// # Examples
+///
+/// ```
+/// use epi_core::{WorldId, WorldSet};
+/// let mut a = WorldSet::empty(8);
+/// a.insert(WorldId(1));
+/// a.insert(WorldId(3));
+/// let b = WorldSet::from_indices(8, [3, 4]);
+/// assert_eq!(a.intersection(&b).len(), 1);
+/// assert!(a.union(&b).contains(WorldId(4)));
+/// assert!(!a.is_subset(&b));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct WorldSet {
+    universe: usize,
+    blocks: Vec<u64>,
+}
+
+impl WorldSet {
+    /// The empty subset of a universe with `universe` worlds.
+    pub fn empty(universe: usize) -> WorldSet {
+        WorldSet {
+            universe,
+            blocks: vec![0; universe.div_ceil(BLOCK_BITS)],
+        }
+    }
+
+    /// The full universe `Ω` of the given size.
+    pub fn full(universe: usize) -> WorldSet {
+        let mut s = WorldSet::empty(universe);
+        for b in &mut s.blocks {
+            *b = u64::MAX;
+        }
+        s.clear_padding();
+        s
+    }
+
+    /// The singleton `{ω}`.
+    pub fn singleton(universe: usize, w: WorldId) -> WorldSet {
+        let mut s = WorldSet::empty(universe);
+        s.insert(w);
+        s
+    }
+
+    /// Builds a set from world indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_indices<I: IntoIterator<Item = u32>>(universe: usize, iter: I) -> WorldSet {
+        let mut s = WorldSet::empty(universe);
+        for i in iter {
+            s.insert(WorldId(i));
+        }
+        s
+    }
+
+    /// Builds a set from a membership predicate evaluated on every world.
+    pub fn from_predicate(universe: usize, mut pred: impl FnMut(WorldId) -> bool) -> WorldSet {
+        let mut s = WorldSet::empty(universe);
+        for i in 0..universe {
+            let w = WorldId(i as u32);
+            if pred(w) {
+                s.insert(w);
+            }
+        }
+        s
+    }
+
+    fn clear_padding(&mut self) {
+        let tail = self.universe % BLOCK_BITS;
+        if tail != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    fn assert_same_universe(&self, other: &WorldSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "WorldSet universe mismatch: {} vs {}",
+            self.universe, other.universe
+        );
+    }
+
+    /// Number of worlds in the universe (not in this set).
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of worlds in this set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `true` iff the set equals the whole universe.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of bounds for this universe.
+    pub fn contains(&self, w: WorldId) -> bool {
+        let i = w.index();
+        assert!(i < self.universe, "world {} out of universe {}", i, self.universe);
+        self.blocks[i / BLOCK_BITS] >> (i % BLOCK_BITS) & 1 == 1
+    }
+
+    /// Inserts a world; returns `true` if it was newly added.
+    pub fn insert(&mut self, w: WorldId) -> bool {
+        let i = w.index();
+        assert!(i < self.universe, "world {} out of universe {}", i, self.universe);
+        let block = &mut self.blocks[i / BLOCK_BITS];
+        let mask = 1u64 << (i % BLOCK_BITS);
+        let fresh = *block & mask == 0;
+        *block |= mask;
+        fresh
+    }
+
+    /// Removes a world; returns `true` if it was present.
+    pub fn remove(&mut self, w: WorldId) -> bool {
+        let i = w.index();
+        assert!(i < self.universe, "world {} out of universe {}", i, self.universe);
+        let block = &mut self.blocks[i / BLOCK_BITS];
+        let mask = 1u64 << (i % BLOCK_BITS);
+        let present = *block & mask != 0;
+        *block &= !mask;
+        present
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(&self, other: &WorldSet) -> WorldSet {
+        self.assert_same_universe(other);
+        WorldSet {
+            universe: self.universe,
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&other.blocks)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &WorldSet) -> WorldSet {
+        self.assert_same_universe(other);
+        WorldSet {
+            universe: self.universe,
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&other.blocks)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// `self − other`.
+    pub fn difference(&self, other: &WorldSet) -> WorldSet {
+        self.assert_same_universe(other);
+        WorldSet {
+            universe: self.universe,
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&other.blocks)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// `Ω − self`.
+    pub fn complement(&self) -> WorldSet {
+        let mut s = WorldSet {
+            universe: self.universe,
+            blocks: self.blocks.iter().map(|b| !b).collect(),
+        };
+        s.clear_padding();
+        s
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &WorldSet) {
+        self.assert_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn union_with(&mut self, other: &WorldSet) {
+        self.assert_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &WorldSet) -> bool {
+        self.assert_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` iff `self ⊂ other` strictly.
+    pub fn is_proper_subset(&self, other: &WorldSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// `true` iff `self ∩ other = ∅`, without allocating.
+    pub fn is_disjoint(&self, other: &WorldSet) -> bool {
+        self.assert_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` iff `self ∩ other ≠ ∅`, without allocating.
+    pub fn intersects(&self, other: &WorldSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_len(&self, other: &WorldSet) -> usize {
+        self.assert_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(&self) -> WorldSetIter<'_> {
+        WorldSetIter {
+            set: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<WorldId> {
+        self.iter().next()
+    }
+
+    /// An arbitrary member (the smallest), if any.
+    pub fn any_member(&self) -> Option<WorldId> {
+        self.first()
+    }
+}
+
+impl fmt::Debug for WorldSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", w.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`WorldSet`].
+pub struct WorldSetIter<'a> {
+    set: &'a WorldSet,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for WorldSetIter<'_> {
+    type Item = WorldId;
+
+    fn next(&mut self) -> Option<WorldId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(WorldId((self.block_idx * BLOCK_BITS + bit) as u32));
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.set.blocks.len() {
+                return None;
+            }
+            self.current = self.set.blocks[self.block_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WorldSet {
+    type Item = WorldId;
+    type IntoIter = WorldSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Enumerates every subset of a universe of size `n` (for exhaustive
+/// validation on small universes; `n ≤ 20` enforced).
+pub fn all_subsets(universe: usize) -> impl Iterator<Item = WorldSet> {
+    assert!(universe <= 20, "all_subsets is exponential; universe too large");
+    (0u64..(1u64 << universe)).map(move |mask| {
+        let mut s = WorldSet::empty(universe);
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros();
+            s.insert(WorldId(i));
+            m &= m - 1;
+        }
+        s
+    })
+}
+
+/// Enumerates every *non-empty* subset of a universe of size `n`.
+pub fn all_nonempty_subsets(universe: usize) -> impl Iterator<Item = WorldSet> {
+    all_subsets(universe).filter(|s| !s.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = WorldSet::empty(70);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = WorldSet::full(70);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 70);
+        assert!(f.contains(WorldId(69)));
+        assert_eq!(f.complement(), e);
+        assert_eq!(e.complement(), f);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = WorldSet::empty(100);
+        assert!(s.insert(WorldId(63)));
+        assert!(s.insert(WorldId(64)));
+        assert!(!s.insert(WorldId(63)));
+        assert!(s.contains(WorldId(63)));
+        assert!(s.contains(WorldId(64)));
+        assert!(!s.contains(WorldId(65)));
+        assert!(s.remove(WorldId(63)));
+        assert!(!s.remove(WorldId(63)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_bounds_contains_panics() {
+        WorldSet::empty(4).contains(WorldId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let a = WorldSet::empty(4);
+        let b = WorldSet::empty(5);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = WorldSet::from_indices(10, [1, 2, 3]);
+        let b = WorldSet::from_indices(10, [3, 4]);
+        assert_eq!(a.intersection(&b), WorldSet::from_indices(10, [3]));
+        assert_eq!(a.union(&b), WorldSet::from_indices(10, [1, 2, 3, 4]));
+        assert_eq!(a.difference(&b), WorldSet::from_indices(10, [1, 2]));
+        assert!(a.intersects(&b));
+        assert!(!a.is_disjoint(&b));
+        assert_eq!(a.intersection_len(&b), 1);
+        assert!(WorldSet::from_indices(10, [1, 2]).is_subset(&a));
+        assert!(WorldSet::from_indices(10, [1, 2]).is_proper_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = WorldSet::from_indices(130, [0, 63, 64, 127, 129]);
+        let got: Vec<u32> = s.iter().map(|w| w.0).collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 129]);
+        assert_eq!(s.first(), Some(WorldId(0)));
+    }
+
+    #[test]
+    fn from_predicate_matches_manual() {
+        let s = WorldSet::from_predicate(16, |w| w.0 % 3 == 0);
+        assert_eq!(s, WorldSet::from_indices(16, [0, 3, 6, 9, 12, 15]));
+    }
+
+    #[test]
+    fn all_subsets_count() {
+        assert_eq!(all_subsets(4).count(), 16);
+        assert_eq!(all_nonempty_subsets(4).count(), 15);
+        // Every generated set is within bounds.
+        for s in all_subsets(4) {
+            assert!(s.len() <= 4);
+            assert_eq!(s.universe_size(), 4);
+        }
+    }
+
+    fn arb_set(universe: usize) -> impl Strategy<Value = WorldSet> {
+        proptest::collection::vec(any::<bool>(), universe).prop_map(move |bits| {
+            WorldSet::from_predicate(universe, |w| bits[w.index()])
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_de_morgan(a in arb_set(80), b in arb_set(80)) {
+            prop_assert_eq!(
+                a.union(&b).complement(),
+                a.complement().intersection(&b.complement())
+            );
+            prop_assert_eq!(
+                a.intersection(&b).complement(),
+                a.complement().union(&b.complement())
+            );
+        }
+
+        #[test]
+        fn prop_difference_is_intersection_with_complement(a in arb_set(80), b in arb_set(80)) {
+            prop_assert_eq!(a.difference(&b), a.intersection(&b.complement()));
+        }
+
+        #[test]
+        fn prop_len_inclusion_exclusion(a in arb_set(80), b in arb_set(80)) {
+            prop_assert_eq!(
+                a.union(&b).len() + a.intersection(&b).len(),
+                a.len() + b.len()
+            );
+        }
+
+        #[test]
+        fn prop_subset_iff_difference_empty(a in arb_set(40), b in arb_set(40)) {
+            prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+        }
+
+        #[test]
+        fn prop_iter_roundtrip(a in arb_set(100)) {
+            let rebuilt = WorldSet::from_indices(100, a.iter().map(|w| w.0));
+            prop_assert_eq!(rebuilt, a);
+        }
+
+        #[test]
+        fn prop_intersection_len_matches(a in arb_set(100), b in arb_set(100)) {
+            prop_assert_eq!(a.intersection_len(&b), a.intersection(&b).len());
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Matrix decompositions: Cholesky, LDLᵀ, Gaussian-elimination solve, and
+//! the cyclic Jacobi symmetric eigendecomposition.
+//!
+//! These are the numerical kernels of the projection-based SDP solver in
+//! `epi-sdp`: the eigendecomposition drives the projection onto the PSD
+//! cone, Cholesky certifies positive semidefiniteness of SOS Gram matrices,
+//! and the linear solver projects onto affine constraint subspaces.
+
+use crate::matrix::Matrix;
+
+/// Error from a decomposition routine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Cholesky hit a non-positive pivot: the matrix is not positive
+    /// definite (within tolerance).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value of the failing pivot.
+        value: f64,
+    },
+    /// Gaussian elimination hit a (numerically) singular pivot.
+    Singular {
+        /// Index of the failing pivot column.
+        pivot: usize,
+    },
+    /// The Jacobi sweep did not converge within the iteration budget.
+    NoConvergence {
+        /// Off-diagonal norm at give-up time.
+        off_diagonal: f64,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix not positive definite: pivot {pivot} = {value}")
+            }
+            LinalgError::Singular { pivot } => write!(f, "singular matrix at pivot {pivot}"),
+            LinalgError::NoConvergence { off_diagonal } => {
+                write!(f, "Jacobi eigensolver did not converge (off-diag {off_diagonal})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower-triangular `L`.
+///
+/// `A` must be symmetric (only the lower triangle is read). Fails with
+/// [`LinalgError::NotPositiveDefinite`] when a pivot drops below
+/// `tol` (use a small positive `tol` to accept semidefinite matrices with a
+/// ridge added by the caller).
+pub fn cholesky(a: &Matrix, tol: f64) -> Result<Matrix, LinalgError> {
+    assert!(a.is_square(), "Cholesky requires a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= tol {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
+        }
+        let dj = d.sqrt();
+        l[(j, j)] = dj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / dj;
+        }
+    }
+    Ok(l)
+}
+
+/// `true` iff the symmetric matrix is positive semidefinite within `tol`,
+/// decided by attempting Cholesky on `A + tol·I`.
+pub fn is_psd(a: &Matrix, tol: f64) -> bool {
+    let n = a.rows();
+    let ridged = Matrix::from_fn(n, n, |i, j| a[(i, j)] + if i == j { tol } else { 0.0 });
+    cholesky(&ridged, 0.0).is_ok()
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    assert!(a.is_square(), "solve requires a square matrix");
+    let n = a.rows();
+    assert_eq!(b.len(), n, "right-hand side length mismatch");
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[(r, col)].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(LinalgError::Singular { pivot: col });
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[(col, col)];
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = m[(col, j)];
+                m[(r, j)] -= factor * v;
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in (i + 1)..n {
+            s -= m[(i, j)] * x[j];
+        }
+        x[i] = s / m[(i, i)];
+    }
+    Ok(x)
+}
+
+/// The symmetric eigendecomposition `A = Q·Λ·Qᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as the *columns* of `Q`, ordered to match.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Robust and simple; `O(n³)` per sweep with typically 6–12 sweeps. The
+/// input is symmetrized first (asymmetries below `1e-9` are tolerated,
+/// larger ones panic — feeding a genuinely asymmetric matrix here is a
+/// logic error upstream).
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen, LinalgError> {
+    assert!(a.is_square(), "eigendecomposition requires a square matrix");
+    assert!(
+        a.asymmetry() < 1e-9,
+        "sym_eigen requires a symmetric matrix (asymmetry {})",
+        a.asymmetry()
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut q = Matrix::identity(n);
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 * (1.0 + m.frobenius_norm()) {
+            return Ok(collect_eigen(m, q));
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apr = m[(p, r)];
+                if apr.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let arr = m[(r, r)];
+                // Classical Jacobi rotation angle.
+                let theta = 0.5 * (arr - app) / apr;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation J(p, r, θ): M ← JᵀMJ, Q ← QJ.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkr = m[(k, r)];
+                    m[(k, p)] = c * mkp - s * mkr;
+                    m[(k, r)] = s * mkp + c * mkr;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mrk = m[(r, k)];
+                    m[(p, k)] = c * mpk - s * mrk;
+                    m[(r, k)] = s * mpk + c * mrk;
+                }
+                for k in 0..n {
+                    let qkp = q[(k, p)];
+                    let qkr = q[(k, r)];
+                    q[(k, p)] = c * qkp - s * qkr;
+                    q[(k, r)] = s * qkp + c * qkr;
+                }
+            }
+        }
+    }
+    let mut off = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            off += m[(i, j)] * m[(i, j)];
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        off_diagonal: off.sqrt(),
+    })
+}
+
+fn collect_eigen(m: Matrix, q: Matrix) -> SymEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].total_cmp(&m[(j, j)]));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| q[(i, order[j])]);
+    SymEigen { values, vectors }
+}
+
+/// Projects a symmetric matrix onto the PSD cone (Frobenius-nearest):
+/// eigendecompose and clamp negative eigenvalues to zero.
+pub fn project_psd(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let eig = sym_eigen(a)?;
+    let n = a.rows();
+    let mut out = Matrix::zeros(n, n);
+    for (k, &lambda) in eig.values.iter().enumerate() {
+        if lambda <= 0.0 {
+            continue;
+        }
+        for i in 0..n {
+            let vik = eig.vectors[(i, k)];
+            if vik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[(i, j)] += lambda * vik * eig.vectors[(j, k)];
+            }
+        }
+    }
+    out.symmetrize();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sym(n: usize, rng: &mut impl Rng) -> Matrix {
+        let mut m = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        m.symmetrize();
+        m
+    }
+
+    fn random_psd(n: usize, rng: &mut impl Rng) -> Matrix {
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        &b * &b.transpose()
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(139);
+        for _ in 0..20 {
+            let a = {
+                // PSD + ridge to make it definite.
+                let p = random_psd(5, &mut rng);
+                &p + &Matrix::identity(5).scale(0.5)
+            };
+            let l = cholesky(&a, 0.0).expect("positive definite");
+            let rebuilt = &l * &l.transpose();
+            assert!((&rebuilt - &a).frobenius_norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, −1
+        assert!(matches!(
+            cholesky(&a, 0.0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(!is_psd(&a, 1e-9));
+        assert!(is_psd(&Matrix::identity(3), 0.0));
+        // Semidefinite accepted with tolerance.
+        let semi = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(is_psd(&semi, 1e-9));
+    }
+
+    #[test]
+    fn solve_linear_systems() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(149);
+        for _ in 0..20 {
+            let a = {
+                let m = random_sym(6, &mut rng);
+                &m + &Matrix::identity(6).scale(3.0) // well-conditioned
+            };
+            let x_true: Vec<f64> = (0..6).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b = a.mul_vec(&x_true);
+            let x = solve(&a, &b).unwrap();
+            let err: f64 = x
+                .iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "solve error {err}");
+        }
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn eigen_reconstruction_and_orthogonality() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(151);
+        for _ in 0..10 {
+            let a = random_sym(6, &mut rng);
+            let eig = sym_eigen(&a).unwrap();
+            // Q·Λ·Qᵀ = A
+            let lambda = Matrix::diagonal(&eig.values);
+            let rebuilt = &(&eig.vectors * &lambda) * &eig.vectors.transpose();
+            assert!((&rebuilt - &a).frobenius_norm() < 1e-9);
+            // QᵀQ = I
+            let qtq = &eig.vectors.transpose() * &eig.vectors;
+            assert!((&qtq - &Matrix::identity(6)).frobenius_norm() < 1e-9);
+            // Ascending order.
+            for w in eig.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_known_values() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = sym_eigen(&a).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psd_projection_properties() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(157);
+        for _ in 0..10 {
+            let a = random_sym(5, &mut rng);
+            let p = project_psd(&a).unwrap();
+            assert!(is_psd(&p, 1e-9), "projection must be PSD");
+            // Projection is idempotent.
+            let pp = project_psd(&p).unwrap();
+            assert!((&pp - &p).frobenius_norm() < 1e-9);
+            // Already-PSD matrices are fixed points.
+            let q = random_psd(5, &mut rng);
+            let pq = project_psd(&q).unwrap();
+            assert!((&pq - &q).frobenius_norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn psd_projection_is_frobenius_nearest() {
+        // For a diagonal matrix, the projection clamps negatives; any other
+        // PSD matrix is farther in Frobenius norm.
+        let a = Matrix::diagonal(&[2.0, -3.0]);
+        let p = project_psd(&a).unwrap();
+        assert!((&p - &Matrix::diagonal(&[2.0, 0.0])).frobenius_norm() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn eigen_rejects_asymmetric_input() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let _ = sym_eigen(&a);
+    }
+
+    #[test]
+    fn eigen_handles_repeated_eigenvalues() {
+        // The identity: every direction is an eigenvector; the decomposition
+        // must still reconstruct and stay orthonormal.
+        let eig = sym_eigen(&Matrix::identity(6).scale(3.0)).unwrap();
+        assert!(eig.values.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+        let qtq = &eig.vectors.transpose() * &eig.vectors;
+        assert!((&qtq - &Matrix::identity(6)).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_rank_deficient() {
+        // Rank-1 outer product: one positive eigenvalue, rest ~0.
+        let v = [1.0, 2.0, -1.0, 0.5];
+        let a = Matrix::from_fn(4, 4, |i, j| v[i] * v[j]);
+        let eig = sym_eigen(&a).unwrap();
+        let norm2: f64 = v.iter().map(|x| x * x).sum();
+        assert!((eig.values[3] - norm2).abs() < 1e-10);
+        for &l in &eig.values[..3] {
+            assert!(l.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn larger_random_eigen_reconstruction() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let n = 24;
+        let mut a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        a.symmetrize();
+        let eig = sym_eigen(&a).unwrap();
+        let rebuilt = &(&eig.vectors * &Matrix::diagonal(&eig.values)) * &eig.vectors.transpose();
+        assert!((&rebuilt - &a).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_consistency() {
+        // x from solve() satisfies L·Lᵀ·x = b for the Cholesky factor.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let b_mat = Matrix::from_fn(5, 5, |_, _| rng.gen_range(-1.0..1.0));
+        let a = &(&b_mat * &b_mat.transpose()) + &Matrix::identity(5).scale(0.1);
+        let rhs: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x = solve(&a, &rhs).unwrap();
+        let l = cholesky(&a, 0.0).unwrap();
+        let llt_x = (&l * &l.transpose()).mul_vec(&x);
+        for (got, want) in llt_x.iter().zip(&rhs) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # epi-linalg
+//!
+//! Dense linear algebra substrate for the `epistemic-privacy` workspace —
+//! the numerical kernels under the SDP solver (`epi-sdp`) and the
+//! sum-of-squares pipeline (`epi-sos`): matrices, Cholesky and LDL-style
+//! factorizations, Gaussian elimination, the cyclic Jacobi symmetric
+//! eigendecomposition, and Frobenius-nearest projection onto the positive
+//! semidefinite cone.
+//!
+//! Everything is implemented from scratch on `Vec<f64>` storage; the sizes
+//! involved (SOS Gram matrices over monomial bases) stay in the dozens to a
+//! few hundreds of rows, where simple `O(n³)` kernels are entirely adequate
+//! and easy to audit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decomp;
+mod matrix;
+
+pub use decomp::{cholesky, is_psd, project_psd, solve, sym_eigen, LinalgError, SymEigen};
+pub use matrix::Matrix;

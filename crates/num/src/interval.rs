@@ -1,0 +1,383 @@
+//! Closed `f64` intervals with outward-rounded arithmetic.
+//!
+//! The branch-and-bound decision procedure for product distributions
+//! (`epi-solver::product`) needs *rigorous* range bounds of polynomials over
+//! boxes `[lo, hi]ⁿ ⊆ [0,1]ⁿ`: if the interval evaluation of the safety
+//! polynomial over a box is ≤ 0, the box contains no counterexample to
+//! privacy and can be discarded. Plain `f64` arithmetic could round a
+//! positive supremum down to a non-positive one; here every upper endpoint is
+//! rounded up and every lower endpoint down by one ulp-scale step
+//! ([`Interval::widen`]), which is sound (if slightly conservative) without
+//! requiring access to the FPU rounding mode.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` of `f64`s with `lo ≤ hi`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+/// Next representable `f64` above `x` (toward `+∞`).
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    f64::from_bits(if x > 0.0 { bits + 1 } else { bits - 1 })
+}
+
+/// Next representable `f64` below `x` (toward `-∞`).
+fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+impl Interval {
+    /// The degenerate interval `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+    /// The degenerate interval `[1, 1]`.
+    pub const ONE: Interval = Interval { lo: 1.0, hi: 1.0 };
+    /// The unit interval `[0, 1]`.
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(!lo.is_nan() && !hi.is_nan(), "Interval bounds must not be NaN");
+        assert!(lo <= hi, "Interval requires lo <= hi, got [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Interval {
+        Interval::new(x, x)
+    }
+
+    /// Lower endpoint.
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// `hi - lo`.
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint `(lo + hi) / 2`, clamped into the interval.
+    pub fn midpoint(self) -> f64 {
+        let m = self.lo + 0.5 * (self.hi - self.lo);
+        m.clamp(self.lo, self.hi)
+    }
+
+    /// `true` iff `x ∈ [lo, hi]`.
+    pub fn contains(self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// `true` iff `other ⊆ self`.
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Smallest interval containing both inputs.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Widens both endpoints outward by one representable step; the sound
+    /// post-processing applied after every arithmetic operation.
+    pub fn widen(self) -> Interval {
+        Interval {
+            lo: next_down(self.lo),
+            hi: next_up(self.hi),
+        }
+    }
+
+    /// Splits at the midpoint into `(left, right)` halves.
+    pub fn split(self) -> (Interval, Interval) {
+        let m = self.midpoint();
+        (Interval::new(self.lo, m), Interval::new(m, self.hi))
+    }
+
+    /// Interval power for non-negative integer exponents, sharp on monotone
+    /// pieces (handles even powers straddling zero).
+    pub fn powi(self, exp: u32) -> Interval {
+        if exp == 0 {
+            return Interval::ONE;
+        }
+        let a = self.lo.powi(exp as i32);
+        let b = self.hi.powi(exp as i32);
+        let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+        if exp.is_multiple_of(2) && self.contains(0.0) {
+            lo = 0.0;
+        }
+        let _ = &mut hi;
+        Interval { lo, hi }.widen()
+    }
+
+    /// `max(0, hi)` — a quick upper bound on the positive part.
+    pub fn positive_part_hi(self) -> f64 {
+        self.hi.max(0.0)
+    }
+
+    /// `true` iff every point of the interval is ≤ `bound`.
+    pub fn all_le(self, bound: f64) -> bool {
+        self.hi <= bound
+    }
+
+    /// `true` iff every point of the interval is ≥ `bound`.
+    pub fn all_ge(self, bound: f64) -> bool {
+        self.lo >= bound
+    }
+}
+
+impl From<f64> for Interval {
+    fn from(x: f64) -> Self {
+        Interval::point(x)
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+        .widen()
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
+        .widen()
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in candidates {
+            // 0 * inf = NaN cannot arise: endpoints are finite by
+            // construction, but guard anyway.
+            if c.is_nan() {
+                continue;
+            }
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval { lo, hi }.widen()
+    }
+}
+
+impl Div for Interval {
+    type Output = Interval;
+    /// Interval division.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the divisor contains zero.
+    fn div(self, rhs: Interval) -> Interval {
+        assert!(
+            !rhs.contains(0.0),
+            "Interval division by an interval containing zero"
+        );
+        self * Interval {
+            lo: 1.0 / rhs.hi,
+            hi: 1.0 / rhs.lo,
+        }
+        .widen()
+    }
+}
+
+impl Mul<f64> for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: f64) -> Interval {
+        self * Interval::point(rhs)
+    }
+}
+
+impl Add<f64> for Interval {
+    type Output = Interval;
+    fn add(self, rhs: f64) -> Interval {
+        self + Interval::point(rhs)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let i = Interval::new(-1.0, 2.0);
+        assert_eq!(i.lo(), -1.0);
+        assert_eq!(i.hi(), 2.0);
+        assert_eq!(i.width(), 3.0);
+        assert!(i.contains(0.0));
+        assert!(!i.contains(2.5));
+        assert_eq!(Interval::point(3.0).width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_bounds_panic() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn arithmetic_encloses_pointwise() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-3.0, 0.5);
+        let sum = a + b;
+        assert!(sum.contains(1.0 + -3.0));
+        assert!(sum.contains(2.0 + 0.5));
+        let prod = a * b;
+        assert!(prod.contains(1.0 * -3.0));
+        assert!(prod.contains(2.0 * 0.5));
+        let diff = a - b;
+        assert!(diff.contains(1.0 - 0.5));
+        assert!(diff.contains(2.0 - -3.0));
+    }
+
+    #[test]
+    fn division() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(2.0, 4.0);
+        let q = a / b;
+        assert!(q.contains(0.25));
+        assert!(q.contains(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "containing zero")]
+    fn division_by_zero_interval_panics() {
+        let _ = Interval::new(1.0, 2.0) / Interval::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn powers() {
+        let i = Interval::new(-2.0, 3.0);
+        let sq = i.powi(2);
+        assert!(sq.lo() <= 0.0 && sq.contains(9.0) && sq.contains(4.0));
+        let cube = i.powi(3);
+        assert!(cube.contains(-8.0) && cube.contains(27.0));
+        assert_eq!(i.powi(0), Interval::ONE);
+    }
+
+    #[test]
+    fn hull_and_intersect() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(0.5, 2.0);
+        assert_eq!(a.hull(b), Interval::new(0.0, 2.0));
+        assert_eq!(a.intersect(b), Some(Interval::new(0.5, 1.0)));
+        assert_eq!(a.intersect(Interval::new(3.0, 4.0)), None);
+    }
+
+    #[test]
+    fn split_covers() {
+        let i = Interval::new(0.0, 1.0);
+        let (l, r) = i.split();
+        assert_eq!(l.hi(), r.lo());
+        assert_eq!(l.lo(), 0.0);
+        assert_eq!(r.hi(), 1.0);
+    }
+
+    #[test]
+    fn next_up_down() {
+        assert!(super::next_up(1.0) > 1.0);
+        assert!(super::next_down(1.0) < 1.0);
+        assert!(super::next_up(0.0) > 0.0);
+        assert!(super::next_down(0.0) < 0.0);
+        assert!(super::next_up(-1.0) > -1.0);
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-100.0f64..100.0, 0.0f64..50.0).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_soundness(a in arb_interval(), b in arb_interval(),
+                              ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+            let x = a.lo() + ta * a.width();
+            let y = b.lo() + tb * b.width();
+            prop_assert!((a * b).contains(x * y));
+        }
+
+        #[test]
+        fn prop_add_soundness(a in arb_interval(), b in arb_interval(),
+                              ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+            let x = a.lo() + ta * a.width();
+            let y = b.lo() + tb * b.width();
+            prop_assert!((a + b).contains(x + y));
+            prop_assert!((a - b).contains(x - y));
+        }
+
+        #[test]
+        fn prop_pow_soundness(a in arb_interval(), t in 0.0f64..1.0, e in 0u32..5) {
+            let x = a.lo() + t * a.width();
+            prop_assert!(a.powi(e).contains(x.powi(e as i32)));
+        }
+
+        #[test]
+        fn prop_hull_contains_both(a in arb_interval(), b in arb_interval()) {
+            let h = a.hull(b);
+            prop_assert!(h.contains_interval(a));
+            prop_assert!(h.contains_interval(b));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # epi-num
+//!
+//! Numeric substrate for the `epistemic-privacy` workspace.
+//!
+//! Two number types are provided:
+//!
+//! * [`Rational`] — an exact rational number over checked `i128` arithmetic.
+//!   Used wherever the library must reason *exactly*: the combinatorial
+//!   privacy criteria of Section 5 of the paper, polynomial identity checks,
+//!   and the cancellation criterion's monomial bookkeeping. All arithmetic is
+//!   overflow-checked; the panicking operator impls report the operation that
+//!   overflowed, and `checked_*` variants are available when the caller wants
+//!   to recover.
+//! * [`Interval`] — a closed `f64` interval with outward-rounded arithmetic,
+//!   used by the branch-and-bound solver in `epi-solver` to obtain rigorous
+//!   range bounds of multilinear polynomials over boxes.
+//!
+//! Both types are deliberately small and dependency-free so that every crate
+//! in the workspace can use them without pulling in a bignum stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod rational;
+
+pub use interval::Interval;
+pub use rational::{ParseRationalError, Rational};

@@ -1,0 +1,676 @@
+//! Exact rational arithmetic over checked `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1`.
+///
+/// The representation is always canonical, so `==` is structural equality and
+/// hashing is consistent with `==`. Arithmetic is overflow-checked on the
+/// underlying `i128`s; the operator impls panic with a descriptive message on
+/// overflow (which, for the workloads in this workspace — counting monomials
+/// of indicator polynomials over `{0,1}ⁿ` with `n ≤ 25` — cannot occur in
+/// practice), while the `checked_*` methods let callers recover.
+///
+/// # Examples
+///
+/// ```
+/// use epi_num::Rational;
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// assert_eq!((a - b) * Rational::from(6), Rational::from(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative `i128`s (binary GCD).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0);
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational `num / den`, reducing to canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        Self::checked_new(num, den).expect("Rational::new: zero denominator or overflow")
+    }
+
+    /// Creates `num / den` in canonical form, or `None` if `den == 0` or the
+    /// sign normalization overflows (only possible for `i128::MIN`).
+    pub fn checked_new(num: i128, den: i128) -> Option<Rational> {
+        if den == 0 {
+            return None;
+        }
+        let (mut num, mut den) = (num, den);
+        if den < 0 {
+            num = num.checked_neg()?;
+            den = den.checked_neg()?;
+        }
+        let g = gcd(num.unsigned_abs().try_into().ok()?, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Some(Rational { num, den })
+    }
+
+    /// The numerator of the canonical form (carries the sign).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The (strictly positive) denominator of the canonical form.
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff this rational is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff this rational is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff this rational is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the denominator is 1.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// The sign of the rational: `-1`, `0` or `1`.
+    pub fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse, or `None` when zero.
+    pub fn recip(self) -> Option<Rational> {
+        if self.num == 0 {
+            None
+        } else if self.num < 0 {
+            Some(Rational {
+                num: -self.den,
+                den: -self.num,
+            })
+        } else {
+            Some(Rational {
+                num: self.den,
+                den: self.num,
+            })
+        }
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Rational) -> Option<Rational> {
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let l = self.den.checked_mul(lhs_scale)?;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        Self::checked_new(num, l)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Rational) -> Option<Rational> {
+        self.checked_add(rhs.checked_neg()?)
+    }
+
+    /// Checked negation.
+    pub fn checked_neg(self) -> Option<Rational> {
+        Some(Rational {
+            num: self.num.checked_neg()?,
+            den: self.den,
+        })
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: Rational) -> Option<Rational> {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num.unsigned_abs().try_into().ok()?, rhs.den);
+        let g2 = gcd(rhs.num.unsigned_abs().try_into().ok()?, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational { num, den })
+    }
+
+    /// Checked division; `None` on overflow or division by zero.
+    pub fn checked_div(self, rhs: Rational) -> Option<Rational> {
+        self.checked_mul(rhs.recip()?)
+    }
+
+    /// Raises to a non-negative integer power by repeated squaring.
+    pub fn checked_pow(self, mut exp: u32) -> Option<Rational> {
+        let mut base = self;
+        let mut acc = Rational::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.checked_mul(base)?;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.checked_mul(base)?;
+            }
+        }
+        Some(acc)
+    }
+
+    /// Nearest `f64` approximation.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact conversion from an `f64` whose value is a dyadic rational small
+    /// enough to fit; `None` for NaN, infinities, or out-of-range values.
+    pub fn from_f64_exact(x: f64) -> Option<Rational> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Rational::ZERO);
+        }
+        // Decompose x = m · 2^e with m an odd integer.
+        let bits = x.abs().to_bits();
+        let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mut mantissa, mut exp) = if exp_bits == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        let tz = mantissa.trailing_zeros() as i64;
+        mantissa >>= tz;
+        exp += tz;
+        let sign = if x < 0.0 { -1i128 } else { 1i128 };
+        let m = i128::from(mantissa).checked_mul(sign)?;
+        if exp >= 0 {
+            if exp >= 127 {
+                return None;
+            }
+            Some(Rational::new(m.checked_mul(1i128.checked_shl(exp as u32)?)?, 1))
+        } else {
+            let shift = (-exp) as u32;
+            if shift >= 127 {
+                return None;
+            }
+            Some(Rational::new(m, 1i128 << shift))
+        }
+    }
+
+    /// Rounds down to the nearest integer.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Rounds up to the nearest integer.
+    pub fn ceil(self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// The smaller of `self` and `other`.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from(i128::from(n))
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from(i128::from(n))
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(n: u32) -> Self {
+        Rational::from(i128::from(n))
+    }
+}
+
+macro_rules! forward_op {
+    ($trait:ident, $method:ident, $checked:ident, $msg:literal) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$checked(rhs).expect($msg)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                self.$checked(*rhs).expect($msg)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (*self).$checked(rhs).expect($msg)
+            }
+        }
+        impl $trait<&Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (*self).$checked(*rhs).expect($msg)
+            }
+        }
+    };
+}
+
+forward_op!(Add, add, checked_add, "Rational addition overflowed i128");
+forward_op!(Sub, sub, checked_sub, "Rational subtraction overflowed i128");
+forward_op!(Mul, mul, checked_mul, "Rational multiplication overflowed i128");
+forward_op!(
+    Div,
+    div,
+    checked_div,
+    "Rational division by zero or overflow"
+);
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.checked_neg().expect("Rational negation overflowed")
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -*self
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ONE, |a, b| a * b)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b ? c/d  ⟺  a·d ? c·b (denominators positive). Compare via
+        // i128 when safe; fall back to wide arithmetic via f64-free path by
+        // cross-reduction otherwise.
+        let g1 = gcd(self.den, other.den);
+        let lhs = self.num.checked_mul(other.den / g1);
+        let rhs = other.num.checked_mul(self.den / g1);
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            // Extremely unlikely for our magnitudes; resolve via subtraction
+            // of continued-fraction style reduction.
+            _ => compare_wide(*self, *other),
+        }
+    }
+}
+
+/// Slow-path comparison that never overflows: compares integer parts, then
+/// recurses on the reciprocals of the fractional parts (Stern–Brocot style).
+fn compare_wide(a: Rational, b: Rational) -> Ordering {
+    let (fa, fb) = (a.floor(), b.floor());
+    if fa != fb {
+        return fa.cmp(&fb);
+    }
+    let ra = a - Rational::from(fa);
+    let rb = b - Rational::from(fb);
+    match (ra.is_zero(), rb.is_zero()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => {
+            // ra, rb ∈ (0,1): a < b ⟺ 1/ra > 1/rb.
+            compare_wide(rb.recip().unwrap(), ra.recip().unwrap())
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned by `Rational::from_str`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"n"`, `"n/d"`, or a plain decimal such as `"0.25"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseRationalError(s.to_owned());
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i128 = n.trim().parse().map_err(|_| bad())?;
+            let d: i128 = d.trim().parse().map_err(|_| bad())?;
+            Rational::checked_new(n, d).ok_or_else(bad)
+        } else if let Some((int, frac)) = s.split_once('.') {
+            let negative = int.trim_start().starts_with('-');
+            let int: i128 = if int.trim() == "-" {
+                0
+            } else {
+                int.trim().parse().map_err(|_| bad())?
+            };
+            if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            let scale = 10i128
+                .checked_pow(frac.len() as u32)
+                .ok_or_else(bad)?;
+            let frac_num: i128 = frac.parse().map_err(|_| bad())?;
+            let signed_frac = if negative { -frac_num } else { frac_num };
+            let num = int.checked_mul(scale).and_then(|v| v.checked_add(signed_frac));
+            Rational::checked_new(num.ok_or_else(bad)?, scale).ok_or_else(bad)
+        } else {
+            let n: i128 = s.trim().parse().map_err(|_| bad())?;
+            Ok(Rational::from(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+        assert_eq!(Rational::new(1, 2).denom(), 2);
+        assert_eq!(Rational::new(-3, 6).numer(), -1);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(Rational::checked_new(1, 0).is_none());
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::from(2));
+        assert_eq!(-a, Rational::new(-1, 3));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(
+            Rational::new(2, 3).checked_pow(3).unwrap(),
+            Rational::new(8, 27)
+        );
+        assert_eq!(Rational::new(2, 3).checked_pow(0).unwrap(), Rational::ONE);
+        assert_eq!(Rational::new(-2, 5).recip().unwrap(), Rational::new(-5, 2));
+        assert!(Rational::ZERO.recip().is_none());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert!(Rational::new(7, 7) == Rational::ONE);
+        let big = Rational::new(i128::MAX / 2, 3);
+        let bigger = Rational::new(i128::MAX / 2, 2);
+        assert!(big < bigger);
+    }
+
+    #[test]
+    fn wide_comparison_does_not_overflow() {
+        // Numerator·denominator products overflow i128, forcing the
+        // Stern–Brocot slow path.
+        let a = Rational::new(i128::MAX / 3, i128::MAX / 5);
+        let b = Rational::new(i128::MAX / 4, i128::MAX / 7);
+        // a ≈ 5/3 ≈ 1.667, b ≈ 7/4 = 1.75
+        assert!(a < b);
+        assert_eq!(compare_wide(a, a), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from(5).floor(), 5);
+        assert_eq!(Rational::from(5).ceil(), 5);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for x in [0.0, 0.5, -0.25, 3.0, -1024.125, 1.0 / 1048576.0] {
+            let r = Rational::from_f64_exact(x).unwrap();
+            assert_eq!(r.to_f64(), x, "roundtrip failed for {x}");
+        }
+        assert!(Rational::from_f64_exact(f64::NAN).is_none());
+        assert!(Rational::from_f64_exact(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), Rational::new(3, 4));
+        assert_eq!("-6/8".parse::<Rational>().unwrap(), Rational::new(-3, 4));
+        assert_eq!("0.25".parse::<Rational>().unwrap(), Rational::new(1, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), Rational::new(-1, 2));
+        assert_eq!("42".parse::<Rational>().unwrap(), Rational::from(42));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+        assert!("1.x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn sum_product_iterators() {
+        let xs = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        assert_eq!(xs.iter().copied().sum::<Rational>(), Rational::ONE);
+        assert_eq!(
+            xs.iter().copied().product::<Rational>(),
+            Rational::new(1, 36)
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Rational::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rational::from(-2).to_string(), "-2");
+    }
+
+    fn arb_rational() -> impl Strategy<Value = Rational> {
+        (-10_000i128..10_000, 1i128..10_000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_distributive(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_inverse(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn prop_div_inverse(a in arb_rational(), b in arb_rational()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!(a * b / b, a);
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_f64(a in arb_rational(), b in arb_rational()) {
+            // f64 has enough precision for these small rationals.
+            let fa = a.to_f64();
+            let fb = b.to_f64();
+            if (fa - fb).abs() > 1e-9 {
+                prop_assert_eq!(a < b, fa < fb);
+            }
+        }
+
+        #[test]
+        fn prop_canonical(a in arb_rational()) {
+            prop_assert!(a.denom() > 0);
+            let g = super::gcd(a.numer().unsigned_abs() as i128, a.denom());
+            prop_assert!(a.numer() == 0 || g == 1);
+        }
+
+        #[test]
+        fn prop_floor_ceil_bracket(a in arb_rational()) {
+            let f = Rational::from(a.floor());
+            let c = Rational::from(a.ceil());
+            prop_assert!(f <= a && a <= c);
+            prop_assert!(c - f <= Rational::ONE);
+        }
+    }
+}

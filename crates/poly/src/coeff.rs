@@ -1,0 +1,119 @@
+//! Coefficient rings for polynomials.
+//!
+//! The algebraic machinery of Section 6 runs in two modes: exact (rational
+//! coefficients — criteria verdicts, polynomial identities) and numeric
+//! (`f64` — the SDP/SOS pipeline). [`Coeff`] abstracts the common ring
+//! interface so `Polynomial<C>` serves both.
+
+use epi_num::Rational;
+
+/// A commutative ring with identity, as needed by [`crate::Polynomial`].
+pub trait Coeff: Clone + PartialEq + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `self + other`.
+    fn add(&self, other: &Self) -> Self;
+    /// `self - other`.
+    fn sub(&self, other: &Self) -> Self;
+    /// `self * other`.
+    fn mul(&self, other: &Self) -> Self;
+    /// `-self`.
+    fn neg(&self) -> Self;
+    /// `true` iff this is the additive identity (exact for [`Rational`],
+    /// bitwise for `f64`).
+    fn is_zero(&self) -> bool;
+    /// Embedding of the integers.
+    fn from_i64(v: i64) -> Self;
+    /// Nearest `f64` (for numeric hand-off and display).
+    fn to_f64(&self) -> f64;
+}
+
+impl Coeff for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl Coeff for Rational {
+    fn zero() -> Self {
+        Rational::ZERO
+    }
+    fn one() -> Self {
+        Rational::ONE
+    }
+    fn add(&self, other: &Self) -> Self {
+        *self + *other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        *self - *other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        *self * *other
+    }
+    fn neg(&self) -> Self {
+        -*self
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(*self)
+    }
+    fn from_i64(v: i64) -> Self {
+        Rational::from(i128::from(v))
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_ring_laws() {
+        assert_eq!(<f64 as Coeff>::zero(), 0.0);
+        assert_eq!(<f64 as Coeff>::one(), 1.0);
+        assert_eq!(Coeff::add(&2.0, &3.0), 5.0);
+        assert_eq!(Coeff::mul(&2.0, &3.0), 6.0);
+        assert_eq!(Coeff::neg(&2.0), -2.0);
+        assert!(Coeff::is_zero(&0.0));
+        assert_eq!(<f64 as Coeff>::from_i64(-7), -7.0);
+    }
+
+    #[test]
+    fn rational_ring_laws() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(Coeff::add(&a, &b), Rational::new(5, 6));
+        assert_eq!(Coeff::sub(&a, &b), Rational::new(1, 6));
+        assert_eq!(Coeff::mul(&a, &b), Rational::new(1, 6));
+        assert!(Coeff::is_zero(&Rational::ZERO));
+        assert_eq!(<Rational as Coeff>::from_i64(4), Rational::from(4));
+        assert_eq!(Coeff::to_f64(&a), 0.5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Indicator-set polynomials for product distributions (Section 6.1).
+//!
+//! For `Ω = {0,1}ⁿ` and a product distribution with Bernoulli vector
+//! `p = (p₁, …, pₙ)`, the probability of a set `A` is the polynomial
+//!
+//! ```text
+//! P[A](p) = Σ_{ω ∈ A} Π pᵢ^{ω[i]} · (1 − pᵢ)^{1−ω[i]}        (eq. 17)
+//! ```
+//!
+//! The *safety-gap polynomial* `gap(p) = P[A](p)·P[B](p) − P[AB](p)` is the
+//! object the Section 6 decision procedures operate on:
+//! `Safe_{Π_m⁰}(A, B) ⟺ gap(p) ≥ 0 on [0,1]ⁿ` — i.e. the semialgebraic
+//! set `K(A, B, Π_m⁰)` of Proposition 6.1 is empty.
+
+use crate::coeff::Coeff;
+use crate::polynomial::Polynomial;
+use epi_core::WorldSet;
+
+/// Builds `P[A](p₁ … pₙ)` as a polynomial in `n` variables over ring `C`.
+///
+/// # Panics
+///
+/// Panics when `a`'s universe is not `2ⁿ`.
+pub fn prob_polynomial<C: Coeff>(n: usize, a: &WorldSet) -> Polynomial<C> {
+    assert_eq!(a.universe_size(), 1 << n, "set is not over {{0,1}}^{n}");
+    let one = Polynomial::constant(n, C::one());
+    let mut out = Polynomial::zero(n);
+    for w in a {
+        let mut term = Polynomial::constant(n, C::one());
+        for i in 0..n {
+            let xi = Polynomial::var(n, i);
+            let factor = if w.0 >> i & 1 == 1 {
+                xi
+            } else {
+                one.sub(&xi)
+            };
+            term = term.mul(&factor);
+        }
+        out = out.add(&term);
+    }
+    out
+}
+
+/// Builds the safety-gap polynomial
+/// `gap(p) = P[A](p)·P[B](p) − P[A∩B](p)`.
+///
+/// `gap ≥ 0` on `[0,1]ⁿ` ⟺ `Safe_{Π_m⁰}(A, B)` (Propositions 3.8/6.1).
+pub fn safety_gap_polynomial<C: Coeff>(n: usize, a: &WorldSet, b: &WorldSet) -> Polynomial<C> {
+    let pa = prob_polynomial::<C>(n, a);
+    let pb = prob_polynomial::<C>(n, b);
+    let pab = prob_polynomial::<C>(n, &a.intersection(b));
+    pa.mul(&pb).sub(&pab)
+}
+
+/// The equivalent four-region form of the gap via the identity
+/// `P[A]P[B] − P[AB] = P[AB̄]·P[ĀB] − P[AB]·P[ĀB̄]`; exercised by tests
+/// and used as a cheaper construction when the regions are small.
+pub fn safety_gap_regions<C: Coeff>(n: usize, a: &WorldSet, b: &WorldSet) -> Polynomial<C> {
+    let ab = a.intersection(b);
+    let a_not_b = a.difference(b);
+    let b_not_a = b.difference(a);
+    let neither = a.union(b).complement();
+    let p1 = prob_polynomial::<C>(n, &a_not_b).mul(&prob_polynomial::<C>(n, &b_not_a));
+    let p2 = prob_polynomial::<C>(n, &ab).mul(&prob_polynomial::<C>(n, &neither));
+    p1.sub(&p2)
+}
+
+/// The monomial `μ_w(p)` of the cancellation expansion for a match vector
+/// given as `(stars, values)`: `pᵢ(1−pᵢ)` on stars, `pᵢ²` on ones,
+/// `(1−pᵢ)²` on zeros.
+pub fn match_monomial<C: Coeff>(n: usize, stars: u32, values: u32) -> Polynomial<C> {
+    let one = Polynomial::constant(n, C::one());
+    let mut out = Polynomial::constant(n, C::one());
+    for i in 0..n {
+        let xi = Polynomial::var(n, i);
+        let f = if stars >> i & 1 == 1 {
+            xi.mul(&one.sub(&Polynomial::var(n, i)))
+        } else if values >> i & 1 == 1 {
+            xi.pow(2)
+        } else {
+            one.sub(&xi).pow(2)
+        };
+        out = out.mul(&f);
+    }
+    out
+}
+
+/// Degree-aware size estimate: number of monomials of `P[A]` is at most
+/// `3ⁿ` after expansion; exposed so callers can guard costs.
+pub fn max_terms(n: usize) -> usize {
+    // Each variable contributes exponent 0, 1, or 2 in the gap polynomial.
+    3usize.pow(n as u32)
+}
+
+/// A convenience: the multilinear expansion of `P[A]` has one term per
+/// subset of coordinates; verify a polynomial is within that budget.
+pub fn is_within_budget<C: Coeff>(p: &Polynomial<C>, n: usize) -> bool {
+    p.term_count() <= max_terms(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_num::Rational;
+    use rand::{Rng, SeedableRng};
+
+    fn set(n: usize, masks: &[u32]) -> WorldSet {
+        WorldSet::from_indices(1 << n, masks.iter().copied())
+    }
+
+    #[test]
+    fn prob_polynomial_single_world() {
+        // A = {10}: P[A] = p₂·(1−p₁) with variables (x0, x1) = (p₁, p₂).
+        let p = prob_polynomial::<f64>(2, &set(2, &[0b10]));
+        assert!((p.eval_f64(&[0.3, 0.7]) - (1.0 - 0.3) * 0.7).abs() < 1e-15);
+        assert!(p.is_multilinear());
+    }
+
+    #[test]
+    fn prob_polynomial_full_set_is_one() {
+        let p = prob_polynomial::<Rational>(3, &WorldSet::full(8));
+        assert_eq!(p.term_count(), 1);
+        assert_eq!(p.eval_f64(&[0.1, 0.5, 0.9]), 1.0);
+    }
+
+    #[test]
+    fn prob_matches_direct_summation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(127);
+        let n = 4;
+        for _ in 0..20 {
+            let a = WorldSet::from_predicate(1 << n, |_| rng.gen());
+            let poly = prob_polynomial::<f64>(n, &a);
+            let point: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+            let direct: f64 = a
+                .iter()
+                .map(|w| {
+                    (0..n)
+                        .map(|i| {
+                            if w.0 >> i & 1 == 1 {
+                                point[i]
+                            } else {
+                                1.0 - point[i]
+                            }
+                        })
+                        .product::<f64>()
+                })
+                .sum();
+            assert!((poly.eval_f64(&point) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gap_forms_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(131);
+        let n = 3;
+        for _ in 0..20 {
+            let a = WorldSet::from_predicate(1 << n, |_| rng.gen());
+            let b = WorldSet::from_predicate(1 << n, |_| rng.gen());
+            let g1 = safety_gap_polynomial::<Rational>(n, &a, &b);
+            let g2 = safety_gap_regions::<Rational>(n, &a, &b);
+            assert_eq!(g1, g2, "the two gap identities must agree exactly");
+        }
+    }
+
+    #[test]
+    fn hiv_gap_is_provably_nonneg_pointwise() {
+        // §1.1: gap = P[A]P[B] − P[AB] for A = {10,11}, B = {00,01,11}
+        // equals p₁(1−p₁)(1−p₂)·… — sample the unit box.
+        let a = set(2, &[0b10, 0b11]);
+        let b = set(2, &[0b00, 0b01, 0b11]);
+        let gap = safety_gap_polynomial::<f64>(2, &a, &b);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(137);
+        for _ in 0..2000 {
+            let p = [rng.gen::<f64>(), rng.gen::<f64>()];
+            assert!(gap.eval_f64(&p) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn match_monomial_evaluates_correctly() {
+        // w = 1*0 over n = 3 (bit2=1 fixed... stars bit1): variables x0..x2.
+        let stars = 0b010u32;
+        let values = 0b100u32;
+        let m = match_monomial::<f64>(3, stars, values);
+        let p = [0.2, 0.3, 0.4];
+        let expected = (1.0 - 0.2) * (1.0 - 0.2) * (0.3 * (1.0 - 0.3)) * (0.4 * 0.4);
+        assert!((m.eval_f64(&p) - expected).abs() < 1e-12);
+        assert_eq!(m.degree(), 6);
+    }
+
+    #[test]
+    fn gap_degree_bounds() {
+        let a = set(2, &[0b01, 0b10]);
+        let b = set(2, &[0b11]);
+        let gap = safety_gap_polynomial::<Rational>(2, &a, &b);
+        // Degree ≤ 2 per variable, total ≤ 2n.
+        assert!(gap.degree_in(0) <= 2 && gap.degree_in(1) <= 2);
+        assert!(is_within_budget(&gap, 2));
+    }
+}

@@ -1,0 +1,26 @@
+//! # epi-poly
+//!
+//! Sparse multivariate polynomial algebra for the Section 6 machinery of the
+//! *Epistemic Privacy* paper: the algebraic description of prior families,
+//! the safety-gap polynomials whose non-negativity on `[0,1]ⁿ` is
+//! equivalent to product-distribution privacy (Proposition 6.1), and the
+//! monomial bases of the sum-of-squares pipeline.
+//!
+//! * [`Monomial`] — exponent vectors with graded-lex ordering;
+//! * [`Polynomial`] — sparse terms over a generic [`Coeff`] ring (`f64` or
+//!   exact [`epi_num::Rational`]); arithmetic, derivatives, substitution,
+//!   point and rigorous interval evaluation;
+//! * [`indicator`] — `P[A](p)` indicator polynomials and safety-gap
+//!   polynomials over `{0,1}ⁿ`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coeff;
+pub mod indicator;
+mod monomial;
+mod polynomial;
+
+pub use coeff::Coeff;
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;

@@ -1,0 +1,236 @@
+//! Monomials: exponent vectors with a fixed arity.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A monomial `x₁^{e₁} ⋯ x_s^{e_s}`, stored as its exponent vector.
+///
+/// Ordering is graded lexicographic (total degree first, then lex), the
+/// conventional term order for the SOS basis construction.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    exps: Vec<u32>,
+}
+
+impl Monomial {
+    /// The constant monomial `1` in `arity` variables.
+    pub fn one(arity: usize) -> Monomial {
+        Monomial {
+            exps: vec![0; arity],
+        }
+    }
+
+    /// A single variable `xᵢ`.
+    pub fn var(arity: usize, i: usize) -> Monomial {
+        assert!(i < arity, "variable index {i} out of arity {arity}");
+        let mut exps = vec![0; arity];
+        exps[i] = 1;
+        Monomial { exps }
+    }
+
+    /// From an explicit exponent vector.
+    pub fn new(exps: Vec<u32>) -> Monomial {
+        Monomial { exps }
+    }
+
+    /// The exponent vector.
+    pub fn exponents(&self) -> &[u32] {
+        &self.exps
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Exponent of variable `i`.
+    pub fn exp(&self, i: usize) -> u32 {
+        self.exps[i]
+    }
+
+    /// Total degree `Σ eᵢ`.
+    pub fn degree(&self) -> u32 {
+        self.exps.iter().sum()
+    }
+
+    /// Product of two monomials (exponent-wise sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        assert_eq!(self.arity(), other.arity(), "monomial arity mismatch");
+        Monomial {
+            exps: self
+                .exps
+                .iter()
+                .zip(&other.exps)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// `true` iff every exponent is 0 or 1.
+    pub fn is_multilinear(&self) -> bool {
+        self.exps.iter().all(|&e| e <= 1)
+    }
+
+    /// Evaluates at a point.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.arity(), "evaluation point arity mismatch");
+        self.exps
+            .iter()
+            .zip(point)
+            .map(|(&e, &x)| x.powi(e as i32))
+            .product()
+    }
+
+    /// Enumerates all monomials in `arity` variables of total degree ≤
+    /// `max_degree`, in graded-lex order — the standard SOS basis.
+    pub fn all_up_to_degree(arity: usize, max_degree: u32) -> Vec<Monomial> {
+        let caps = vec![max_degree; arity];
+        Self::all_with_profile(&caps, max_degree)
+    }
+
+    /// Enumerates monomials with a per-variable exponent cap and a total
+    /// degree bound — the Newton-polytope-style restricted SOS bases (for
+    /// safety-gap polynomials, whose per-variable degree is ≤ 2, this
+    /// shrinks Gram blocks from `C(n+d, d)` to `2ⁿ`-sized multilinear
+    /// bases).
+    pub fn all_with_profile(caps: &[u32], max_total: u32) -> Vec<Monomial> {
+        let mut out = Vec::new();
+        let mut current = vec![0u32; caps.len()];
+        collect_profiled(caps, max_total, 0, &mut current, &mut out);
+        out.sort();
+        out
+    }
+}
+
+fn collect_profiled(
+    caps: &[u32],
+    remaining: u32,
+    var: usize,
+    current: &mut Vec<u32>,
+    out: &mut Vec<Monomial>,
+) {
+    if var == caps.len() {
+        out.push(Monomial {
+            exps: current.clone(),
+        });
+        return;
+    }
+    for e in 0..=remaining.min(caps[var]) {
+        current[var] = e;
+        collect_profiled(caps, remaining - e, var + 1, current, out);
+    }
+    current[var] = 0;
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Monomial) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Monomial) -> Ordering {
+        self.degree()
+            .cmp(&other.degree())
+            .then_with(|| self.exps.cmp(&other.exps))
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.degree() == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (i, &e) in self.exps.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "x{}", i)?;
+            } else {
+                write!(f, "x{}^{}", i, e)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let m = Monomial::var(3, 1);
+        assert_eq!(m.exponents(), &[0, 1, 0]);
+        assert_eq!(m.degree(), 1);
+        assert_eq!(Monomial::one(3).degree(), 0);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = Monomial::new(vec![1, 2, 0]);
+        let b = Monomial::new(vec![0, 1, 3]);
+        assert_eq!(a.mul(&b).exponents(), &[1, 3, 3]);
+    }
+
+    #[test]
+    fn grlex_order() {
+        let one = Monomial::one(2);
+        let x = Monomial::var(2, 0);
+        let y = Monomial::var(2, 1);
+        let x2 = Monomial::new(vec![2, 0]);
+        let xy = Monomial::new(vec![1, 1]);
+        assert!(one < x && one < y);
+        assert!(x < x2 && y < x2);
+        assert!(xy < x2); // same degree: lex on exponent vectors [1,1] < [2,0]
+    }
+
+    #[test]
+    fn basis_enumeration() {
+        // |{monomials of degree ≤ d in s vars}| = C(s + d, d).
+        assert_eq!(Monomial::all_up_to_degree(2, 2).len(), 6);
+        assert_eq!(Monomial::all_up_to_degree(3, 2).len(), 10);
+        assert_eq!(Monomial::all_up_to_degree(1, 5).len(), 6);
+        // Sorted and unique.
+        let b = Monomial::all_up_to_degree(3, 3);
+        let mut sorted = b.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(b, sorted);
+    }
+
+    #[test]
+    fn evaluation() {
+        let m = Monomial::new(vec![2, 1]);
+        assert_eq!(m.eval_f64(&[3.0, 4.0]), 36.0);
+        assert_eq!(Monomial::one(2).eval_f64(&[5.0, 6.0]), 1.0);
+    }
+
+    #[test]
+    fn multilinearity() {
+        assert!(Monomial::new(vec![1, 0, 1]).is_multilinear());
+        assert!(!Monomial::new(vec![2, 0]).is_multilinear());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Monomial::new(vec![1, 0, 2]).to_string(), "x0·x2^2");
+        assert_eq!(Monomial::one(2).to_string(), "1");
+    }
+}

@@ -1,0 +1,440 @@
+//! Sparse multivariate polynomials.
+
+use crate::coeff::Coeff;
+use crate::monomial::Monomial;
+use epi_num::Interval;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sparse multivariate polynomial with coefficients in `C`, stored as a
+/// term map in graded-lex order.
+///
+/// # Examples
+///
+/// ```
+/// use epi_poly::{Monomial, Polynomial};
+/// // f(x, y) = x² − 2·x·y + 1 over f64
+/// let f = Polynomial::<f64>::from_terms(
+///     2,
+///     [
+///         (Monomial::new(vec![2, 0]), 1.0),
+///         (Monomial::new(vec![1, 1]), -2.0),
+///         (Monomial::one(2), 1.0),
+///     ],
+/// );
+/// assert_eq!(f.eval_f64(&[3.0, 1.0]), 4.0);
+/// assert_eq!(f.degree(), 2);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Polynomial<C: Coeff> {
+    arity: usize,
+    terms: BTreeMap<Monomial, C>,
+}
+
+impl<C: Coeff> Polynomial<C> {
+    /// The zero polynomial in `arity` variables.
+    pub fn zero(arity: usize) -> Polynomial<C> {
+        Polynomial {
+            arity,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The constant polynomial.
+    pub fn constant(arity: usize, c: C) -> Polynomial<C> {
+        let mut p = Polynomial::zero(arity);
+        if !c.is_zero() {
+            p.terms.insert(Monomial::one(arity), c);
+        }
+        p
+    }
+
+    /// The variable `xᵢ`.
+    pub fn var(arity: usize, i: usize) -> Polynomial<C> {
+        let mut p = Polynomial::zero(arity);
+        p.terms.insert(Monomial::var(arity, i), C::one());
+        p
+    }
+
+    /// Builds from explicit terms, combining duplicates and dropping zeros.
+    pub fn from_terms<I: IntoIterator<Item = (Monomial, C)>>(
+        arity: usize,
+        terms: I,
+    ) -> Polynomial<C> {
+        let mut p = Polynomial::zero(arity);
+        for (m, c) in terms {
+            assert_eq!(m.arity(), arity, "term arity mismatch");
+            p.add_term(m, c);
+        }
+        p
+    }
+
+    /// Adds a single term in place.
+    pub fn add_term(&mut self, m: Monomial, c: C) {
+        assert_eq!(m.arity(), self.arity, "term arity mismatch");
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(m);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let sum = o.get().add(&c);
+                if sum.is_zero() {
+                    o.remove();
+                } else {
+                    o.insert(sum);
+                }
+            }
+        }
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The terms in graded-lex order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &C)> {
+        self.terms.iter()
+    }
+
+    /// Number of non-zero terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Largest exponent of variable `i` appearing in any term.
+    pub fn degree_in(&self, i: usize) -> u32 {
+        self.terms.keys().map(|m| m.exp(i)).max().unwrap_or(0)
+    }
+
+    /// `true` iff every term is multilinear (degree ≤ 1 in each variable).
+    pub fn is_multilinear(&self) -> bool {
+        self.terms.keys().all(Monomial::is_multilinear)
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, other: &Polynomial<C>) -> Polynomial<C> {
+        assert_eq!(self.arity, other.arity, "polynomial arity mismatch");
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.add_term(m.clone(), c.clone());
+        }
+        out
+    }
+
+    /// Polynomial difference.
+    pub fn sub(&self, other: &Polynomial<C>) -> Polynomial<C> {
+        self.add(&other.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Polynomial<C> {
+        Polynomial {
+            arity: self.arity,
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, c)| (m.clone(), c.neg()))
+                .collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, c: &C) -> Polynomial<C> {
+        if c.is_zero() {
+            return Polynomial::zero(self.arity);
+        }
+        Polynomial {
+            arity: self.arity,
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, k)| (m.clone(), k.mul(c)))
+                .collect(),
+        }
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Polynomial<C>) -> Polynomial<C> {
+        assert_eq!(self.arity, other.arity, "polynomial arity mismatch");
+        let mut out = Polynomial::zero(self.arity);
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                out.add_term(m1.mul(m2), c1.mul(c2));
+            }
+        }
+        out
+    }
+
+    /// Non-negative integer power by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> Polynomial<C> {
+        let mut base = self.clone();
+        let mut acc = Polynomial::constant(self.arity, C::one());
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Partial derivative `∂/∂xᵢ`.
+    pub fn derivative(&self, i: usize) -> Polynomial<C> {
+        assert!(i < self.arity, "variable index out of range");
+        let mut out = Polynomial::zero(self.arity);
+        for (m, c) in &self.terms {
+            let e = m.exp(i);
+            if e == 0 {
+                continue;
+            }
+            let mut exps = m.exponents().to_vec();
+            exps[i] -= 1;
+            out.add_term(Monomial::new(exps), c.mul(&C::from_i64(i64::from(e))));
+        }
+        out
+    }
+
+    /// Substitutes `xᵢ := g` (a polynomial in the same variables).
+    pub fn substitute(&self, i: usize, g: &Polynomial<C>) -> Polynomial<C> {
+        assert!(i < self.arity);
+        assert_eq!(g.arity(), self.arity, "substitution arity mismatch");
+        let mut out = Polynomial::zero(self.arity);
+        for (m, c) in &self.terms {
+            let e = m.exp(i);
+            let mut exps = m.exponents().to_vec();
+            exps[i] = 0;
+            let rest = Polynomial::from_terms(self.arity, [(Monomial::new(exps), c.clone())]);
+            out = out.add(&rest.mul(&g.pow(e)));
+        }
+        out
+    }
+
+    /// Evaluates at an `f64` point (via `C::to_f64`).
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.arity, "evaluation point arity mismatch");
+        self.terms
+            .iter()
+            .map(|(m, c)| c.to_f64() * m.eval_f64(point))
+            .sum()
+    }
+
+    /// Rigorous interval range bound over a box (see
+    /// `epi_num::Interval`): the true range of the polynomial over the box
+    /// is contained in the returned interval.
+    pub fn eval_interval(&self, bx: &[Interval]) -> Interval {
+        assert_eq!(bx.len(), self.arity, "box arity mismatch");
+        let mut acc = Interval::ZERO;
+        for (m, c) in &self.terms {
+            let mut term = Interval::point(c.to_f64()).widen();
+            for (i, &e) in m.exponents().iter().enumerate() {
+                if e > 0 {
+                    term = term * bx[i].powi(e);
+                }
+            }
+            acc = acc + term;
+        }
+        acc
+    }
+
+    /// Converts the coefficients into another ring.
+    pub fn map_coeffs<D: Coeff>(&self, f: impl Fn(&C) -> D) -> Polynomial<D> {
+        Polynomial {
+            arity: self.arity,
+            terms: self
+                .terms
+                .iter()
+                .filter_map(|(m, c)| {
+                    let d = f(c);
+                    (!d.is_zero()).then(|| (m.clone(), d))
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<C: Coeff> fmt::Debug for Polynomial<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{:?}·{}", c, m)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_num::Rational;
+    use proptest::prelude::*;
+
+    fn x() -> Polynomial<f64> {
+        Polynomial::var(2, 0)
+    }
+    fn y() -> Polynomial<f64> {
+        Polynomial::var(2, 1)
+    }
+
+    #[test]
+    fn construction_and_eval() {
+        // f = (x + y)² = x² + 2xy + y²
+        let f = x().add(&y()).pow(2);
+        assert_eq!(f.term_count(), 3);
+        assert_eq!(f.degree(), 2);
+        assert_eq!(f.eval_f64(&[2.0, 3.0]), 25.0);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let f = x().add(&y());
+        let g = x().sub(&y());
+        // (x+y)(x−y) = x² − y²
+        let h = f.mul(&g);
+        assert_eq!(h.term_count(), 2);
+        assert_eq!(h.eval_f64(&[3.0, 2.0]), 5.0);
+        // f − f = 0
+        assert!(f.sub(&f).is_zero());
+    }
+
+    #[test]
+    fn derivative_rules() {
+        // d/dx (x²y + 3x) = 2xy + 3
+        let f = x().pow(2).mul(&y()).add(&x().scale(&3.0));
+        let df = f.derivative(0);
+        assert_eq!(df.eval_f64(&[2.0, 5.0]), 2.0 * 2.0 * 5.0 + 3.0);
+        // d/dy of the same: x²
+        let dy = f.derivative(1);
+        assert_eq!(dy.eval_f64(&[2.0, 5.0]), 4.0);
+    }
+
+    #[test]
+    fn substitution() {
+        // f(x,y) = x·y; x := y + 1 gives y² + y.
+        let f = x().mul(&y());
+        let g = f.substitute(0, &y().add(&Polynomial::constant(2, 1.0)));
+        assert_eq!(g.eval_f64(&[0.0, 3.0]), 12.0);
+        assert_eq!(g.degree(), 2);
+    }
+
+    #[test]
+    fn exact_rational_arithmetic() {
+        let x = Polynomial::<Rational>::var(1, 0);
+        let half = Polynomial::constant(1, Rational::new(1, 2));
+        // (x − ½)² = x² − x + ¼
+        let f = x.sub(&half).pow(2);
+        assert_eq!(f.term_count(), 3);
+        let quarter = f
+            .terms()
+            .find(|(m, _)| m.degree() == 0)
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(quarter, Rational::new(1, 4));
+    }
+
+    #[test]
+    fn degrees_and_multilinearity() {
+        let f = x().mul(&y()).add(&x());
+        assert!(f.is_multilinear());
+        assert_eq!(f.degree_in(0), 1);
+        let g = x().pow(3);
+        assert!(!g.is_multilinear());
+        assert_eq!(g.degree_in(0), 3);
+        assert_eq!(g.degree_in(1), 0);
+    }
+
+    #[test]
+    fn map_coeffs_roundtrip() {
+        let f = x().scale(&0.5).add(&y().pow(2));
+        let r = f.map_coeffs(|c| Rational::from_f64_exact(*c).unwrap());
+        let back = r.map_coeffs(|c| c.to_f64());
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn interval_eval_soundness_basic() {
+        let f = x().mul(&y()).sub(&x().pow(2));
+        let bx = [Interval::new(0.0, 1.0), Interval::new(-1.0, 2.0)];
+        let range = f.eval_interval(&bx);
+        for &(px, py) in &[(0.0, -1.0), (1.0, 2.0), (0.5, 0.5), (1.0, -1.0)] {
+            assert!(range.contains(f.eval_f64(&[px, py])));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_matches_eval(
+            coeffs1 in proptest::collection::vec(-5i64..5, 4),
+            coeffs2 in proptest::collection::vec(-5i64..5, 4),
+            px in -2.0f64..2.0, py in -2.0f64..2.0
+        ) {
+            // Random quadratics in two variables.
+            let basis = [
+                Monomial::one(2),
+                Monomial::var(2, 0),
+                Monomial::var(2, 1),
+                Monomial::new(vec![1, 1]),
+            ];
+            let f = Polynomial::<f64>::from_terms(
+                2, basis.iter().cloned().zip(coeffs1.iter().map(|&c| c as f64)));
+            let g = Polynomial::<f64>::from_terms(
+                2, basis.iter().cloned().zip(coeffs2.iter().map(|&c| c as f64)));
+            let fg = f.mul(&g);
+            let direct = f.eval_f64(&[px, py]) * g.eval_f64(&[px, py]);
+            prop_assert!((fg.eval_f64(&[px, py]) - direct).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_interval_eval_sound(
+            coeffs in proptest::collection::vec(-3i64..3, 4),
+            tx in 0.0f64..1.0, ty in 0.0f64..1.0
+        ) {
+            let basis = [
+                Monomial::one(2),
+                Monomial::new(vec![2, 0]),
+                Monomial::new(vec![1, 1]),
+                Monomial::new(vec![0, 2]),
+            ];
+            let f = Polynomial::<f64>::from_terms(
+                2, basis.iter().cloned().zip(coeffs.iter().map(|&c| c as f64)));
+            let bx = [Interval::new(-1.0, 1.0), Interval::new(0.0, 2.0)];
+            let px = -1.0 + 2.0 * tx;
+            let py = 2.0 * ty;
+            prop_assert!(f.eval_interval(&bx).contains(f.eval_f64(&[px, py])));
+        }
+
+        #[test]
+        fn prop_derivative_linear(
+            c1 in -5i64..5, c2 in -5i64..5, px in -2.0f64..2.0
+        ) {
+            // d/dx (c1·x² + c2·x) = 2c1·x + c2
+            let x = Polynomial::<f64>::var(1, 0);
+            let f = x.pow(2).scale(&(c1 as f64)).add(&x.scale(&(c2 as f64)));
+            let df = f.derivative(0);
+            let expected = 2.0 * c1 as f64 * px + c2 as f64;
+            prop_assert!((df.eval_f64(&[px]) - expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! General algebraic prior families and the `K(A, B, Π)` emptiness driver
+//! (Section 6 / Proposition 6.1).
+//!
+//! An *algebraic family* `Π` is described by polynomial inequalities
+//! `αᵢ(p) ≥ 0` and equalities over the distribution parameters — either the
+//! dense parametrization (one variable `p_x` per world `x ∈ {0,1}ⁿ`, with
+//! the simplex constraints) or a structural one such as the product
+//! parametrization (`n` Bernoulli variables). Proposition 6.1:
+//!
+//! ```text
+//! Safe_Π(A, B)  ⟺  K(A, B, Π) = ∅
+//! where K(A, B, Π) = { p ∈ Π : P[AB] > P[A]·P[B] }
+//! ```
+//!
+//! The driver attacks emptiness from both sides:
+//!
+//! * **refute safety** — a penalized hill-climb searches for a feasible
+//!   point of `K`; any hit is re-validated and returned as a breach
+//!   witness;
+//! * **certify safety** — the strict inequality is relaxed to
+//!   `P[AB] − P[A]·P[B] ≥ ε` and the Positivstellensatz heuristic of
+//!   `epi-sos` searches for an emptiness certificate; success proves every
+//!   prior in `Π` gains less than `ε` (*ε-safety*, the documented
+//!   tolerance-gap semantics).
+
+use crate::verdict::{SafeEvidence, Verdict};
+use epi_core::WorldSet;
+use epi_poly::Polynomial;
+use epi_sdp::SdpOptions;
+use epi_sos::psatz_refute;
+use rand::Rng;
+
+/// A prior family described by polynomial constraints on its parameters.
+#[derive(Clone, Debug)]
+pub struct AlgebraicFamily {
+    /// Human-readable name for audit reports.
+    pub name: String,
+    /// Number of parameters.
+    pub arity: usize,
+    /// Constraints `α(p) ≥ 0`.
+    pub inequalities: Vec<Polynomial<f64>>,
+    /// Constraints `g(p) = 0`.
+    pub equalities: Vec<Polynomial<f64>>,
+    /// The probability of a set as a polynomial in the parameters.
+    prob: ProbForm,
+}
+
+/// How `P[S]` is expressed in the parameters.
+#[derive(Clone, Debug)]
+enum ProbForm {
+    /// Dense: parameter `x` is the mass of world `x`; `P[S] = Σ_{x∈S} p_x`.
+    Dense,
+    /// Product over `{0,1}ⁿ`: parameters are Bernoulli probabilities.
+    Product {
+        /// Cube dimension.
+        n: usize,
+    },
+    /// Exchangeable over `{0,1}ⁿ`: parameter `k` is the (shared) mass of
+    /// every world of Hamming weight `k`, so
+    /// `P[S] = Σ_k |S ∩ weight_k| · q_k`.
+    Exchangeable {
+        /// Cube dimension.
+        n: usize,
+    },
+}
+
+impl AlgebraicFamily {
+    /// The family of *all* distributions over `2ⁿ` worlds (dense simplex):
+    /// `p_x ≥ 0`, `Σ p_x = 1`.
+    pub fn dense_unconstrained(n_worlds: usize) -> AlgebraicFamily {
+        let arity = n_worlds;
+        let inequalities = (0..arity)
+            .map(|i| Polynomial::var(arity, i))
+            .collect();
+        let mut sum = Polynomial::zero(arity);
+        for i in 0..arity {
+            sum = sum.add(&Polynomial::var(arity, i));
+        }
+        let equalities = vec![sum.sub(&Polynomial::constant(arity, 1.0))];
+        AlgebraicFamily {
+            name: "dense-unconstrained".into(),
+            arity,
+            inequalities,
+            equalities,
+            prob: ProbForm::Dense,
+        }
+    }
+
+    /// The dense log-supermodular family `Π_m⁺`: simplex constraints plus
+    /// `p_{u∧v}·p_{u∨v} − p_u·p_v ≥ 0` for every incomparable pair.
+    pub fn dense_log_supermodular(n: usize) -> AlgebraicFamily {
+        let mut family = Self::dense_unconstrained(1 << n);
+        family.name = "dense-log-supermodular".into();
+        let arity = family.arity;
+        for u in 0..(1u32 << n) {
+            for v in (u + 1)..(1u32 << n) {
+                let meet = u & v;
+                let join = u | v;
+                if meet == u || meet == v {
+                    continue; // comparable: constraint is trivial
+                }
+                let pu = Polynomial::<f64>::var(arity, u as usize);
+                let pv = Polynomial::<f64>::var(arity, v as usize);
+                let pm = Polynomial::<f64>::var(arity, meet as usize);
+                let pj = Polynomial::<f64>::var(arity, join as usize);
+                family.inequalities.push(pm.mul(&pj).sub(&pu.mul(&pv)));
+            }
+        }
+        family
+    }
+
+    /// The dense log-submodular family `Π_m⁻` (flipped inequalities).
+    pub fn dense_log_submodular(n: usize) -> AlgebraicFamily {
+        let mut family = Self::dense_log_supermodular(n);
+        family.name = "dense-log-submodular".into();
+        let simplex = 1 << n; // the first `simplex` inequalities are p_x ≥ 0
+        for ineq in family.inequalities.iter_mut().skip(simplex) {
+            *ineq = ineq.neg();
+        }
+        family
+    }
+
+    /// The exchangeable family of §6.1 — "a family of distributions for
+    /// which `p_x = p_y` whenever the Hamming weight of `x` and `y` are
+    /// equal is described by `n + 1` variables": parameters
+    /// `q_0 … q_n ≥ 0` with `Σ_k C(n,k)·q_k = 1`. Every probability is
+    /// *linear* in the parameters, so the breach polynomial is a quadratic
+    /// in `n + 1` variables regardless of `2ⁿ`.
+    pub fn exchangeable(n: usize) -> AlgebraicFamily {
+        let arity = n + 1;
+        let inequalities = (0..arity)
+            .map(|k| Polynomial::<f64>::var(arity, k))
+            .collect();
+        let mut sum = Polynomial::zero(arity);
+        for k in 0..arity {
+            sum = sum.add(&Polynomial::var(arity, k).scale(&(binomial(n, k) as f64)));
+        }
+        let equalities = vec![sum.sub(&Polynomial::constant(arity, 1.0))];
+        AlgebraicFamily {
+            name: "exchangeable".into(),
+            arity,
+            inequalities,
+            equalities,
+            prob: ProbForm::Exchangeable { n },
+        }
+    }
+
+    /// The product family `Π_m⁰` in its `n`-variable Bernoulli
+    /// parametrization: box constraints `pᵢ ≥ 0`, `1 − pᵢ ≥ 0`.
+    pub fn product(n: usize) -> AlgebraicFamily {
+        let inequalities = (0..n)
+            .flat_map(|i| {
+                let xi = Polynomial::<f64>::var(n, i);
+                [xi.clone(), Polynomial::constant(n, 1.0).sub(&xi)]
+            })
+            .collect();
+        AlgebraicFamily {
+            name: "product".into(),
+            arity: n,
+            inequalities,
+            equalities: Vec::new(),
+            prob: ProbForm::Product { n },
+        }
+    }
+
+    /// `P[S]` as a polynomial in the family's parameters.
+    pub fn prob_polynomial(&self, s: &WorldSet) -> Polynomial<f64> {
+        match self.prob {
+            ProbForm::Dense => {
+                assert_eq!(s.universe_size(), self.arity, "set/parametrization mismatch");
+                let mut out = Polynomial::zero(self.arity);
+                for w in s {
+                    out = out.add(&Polynomial::var(self.arity, w.index()));
+                }
+                out
+            }
+            ProbForm::Product { n } => {
+                epi_poly::indicator::prob_polynomial::<f64>(n, s)
+            }
+            ProbForm::Exchangeable { n } => {
+                assert_eq!(s.universe_size(), 1 << n, "set/parametrization mismatch");
+                let mut counts = vec![0i64; n + 1];
+                for w in s {
+                    counts[w.0.count_ones() as usize] += 1;
+                }
+                let mut out = Polynomial::zero(self.arity);
+                for (k, &c) in counts.iter().enumerate() {
+                    if c != 0 {
+                        out = out.add(&Polynomial::var(self.arity, k).scale(&(c as f64)));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The breach polynomial `gain(p) = P[AB] − P[A]·P[B]`; `K(A, B, Π)`
+    /// is its positivity set within the family.
+    pub fn breach_polynomial(&self, a: &WorldSet, b: &WorldSet) -> Polynomial<f64> {
+        let pa = self.prob_polynomial(a);
+        let pb = self.prob_polynomial(b);
+        let pab = self.prob_polynomial(&a.intersection(b));
+        pab.sub(&pa.mul(&pb))
+    }
+
+    /// Largest constraint violation at a parameter point (0 = feasible).
+    pub fn violation(&self, point: &[f64]) -> f64 {
+        let ineq = self
+            .inequalities
+            .iter()
+            .map(|f| (-f.eval_f64(point)).max(0.0))
+            .fold(0.0f64, f64::max);
+        let eq = self
+            .equalities
+            .iter()
+            .map(|g| g.eval_f64(point).abs())
+            .fold(0.0f64, f64::max);
+        ineq.max(eq)
+    }
+}
+
+/// Binomial coefficient `C(n, k)` (small arguments only).
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut out = 1u64;
+    for i in 0..k {
+        out = out * (n - i) as u64 / (i + 1) as u64;
+    }
+    out
+}
+
+/// A feasible point of `K(A, B, Π)` — a breaching prior in parameter form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgebraicWitness {
+    /// Parameter values of the breaching prior.
+    pub parameters: Vec<f64>,
+    /// `P[AB] − P[A]·P[B]` at the witness (strictly positive).
+    pub gain: f64,
+    /// Residual family-constraint violation (≤ the validation tolerance).
+    pub violation: f64,
+}
+
+/// Options for [`decide_algebraic`].
+#[derive(Clone, Copy, Debug)]
+pub struct AlgebraicOptions {
+    /// Restarts of the penalized hill-climb.
+    pub search_restarts: usize,
+    /// Steps per restart.
+    pub search_steps: usize,
+    /// Feasibility tolerance for accepting a breach witness.
+    pub feasibility_tol: f64,
+    /// The ε of the ε-safety certificate (strictness relaxation).
+    pub epsilon: f64,
+    /// Positivstellensatz degree level.
+    pub psatz_degree: u32,
+    /// SDP options for the certificate search.
+    pub sdp: SdpOptions,
+    /// Skip the (expensive) certification stage.
+    pub certify: bool,
+}
+
+impl Default for AlgebraicOptions {
+    fn default() -> Self {
+        AlgebraicOptions {
+            search_restarts: 12,
+            search_steps: 400,
+            feasibility_tol: 1e-7,
+            epsilon: 1e-4,
+            psatz_degree: 2,
+            sdp: SdpOptions::default(),
+            certify: true,
+        }
+    }
+}
+
+/// Searches for a feasible point of `K(A, B, Π)` by penalized hill-climb.
+pub fn find_breach(
+    family: &AlgebraicFamily,
+    a: &WorldSet,
+    b: &WorldSet,
+    options: &AlgebraicOptions,
+    rng: &mut impl Rng,
+) -> Option<AlgebraicWitness> {
+    let gain_poly = family.breach_polynomial(a, b);
+    let penalty = |point: &[f64]| -> f64 {
+        let mut p = 0.0;
+        for f in &family.inequalities {
+            let v = f.eval_f64(point);
+            if v < 0.0 {
+                p += v * v;
+            }
+        }
+        for g in &family.equalities {
+            let v = g.eval_f64(point);
+            p += v * v;
+        }
+        p
+    };
+    let score = |point: &[f64]| gain_poly.eval_f64(point) - 1e3 * penalty(point);
+
+    for _ in 0..options.search_restarts {
+        let mut point: Vec<f64> = (0..family.arity).map(|_| rng.gen()).collect();
+        // Normalize starts onto the family's mass constraint.
+        match family.prob {
+            ProbForm::Dense => {
+                let total: f64 = point.iter().sum();
+                for x in &mut point {
+                    *x /= total;
+                }
+            }
+            ProbForm::Exchangeable { n } => {
+                let total: f64 = point
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &q)| binomial(n, k) as f64 * q)
+                    .sum();
+                for x in &mut point {
+                    *x /= total;
+                }
+            }
+            ProbForm::Product { .. } => {}
+        }
+        let mut current = score(&point);
+        let mut scale = 0.25;
+        for step in 0..options.search_steps {
+            // Alternate single-coordinate moves with mass transfers, which
+            // preserve simplex equalities exactly and let dense families
+            // move along the constraint surface instead of fighting the
+            // penalty.
+            if step % 2 == 0 || family.arity < 2 {
+                let idx = rng.gen_range(0..family.arity);
+                let delta = rng.gen_range(-scale..=scale);
+                let old = point[idx];
+                point[idx] = (old + delta).max(0.0);
+                let cand = score(&point);
+                if cand > current {
+                    current = cand;
+                } else {
+                    point[idx] = old;
+                    scale = (scale * 0.995).max(1e-4);
+                }
+            } else {
+                let i = rng.gen_range(0..family.arity);
+                let j = rng.gen_range(0..family.arity);
+                if i == j {
+                    continue;
+                }
+                let delta = rng.gen_range(0.0..=scale).min(point[j]);
+                point[i] += delta;
+                point[j] -= delta;
+                let cand = score(&point);
+                if cand > current {
+                    current = cand;
+                } else {
+                    point[i] -= delta;
+                    point[j] += delta;
+                    scale = (scale * 0.995).max(1e-4);
+                }
+            }
+        }
+        // Validate the candidate strictly.
+        let gain = gain_poly.eval_f64(&point);
+        let violation = family.violation(&point);
+        if gain > 10.0 * options.feasibility_tol && violation < options.feasibility_tol {
+            return Some(AlgebraicWitness {
+                parameters: point,
+                gain,
+                violation,
+            });
+        }
+    }
+    None
+}
+
+/// Attempts an ε-safety certificate: Positivstellensatz emptiness of
+/// `K_ε = Π ∩ {gain ≥ ε}`.
+pub fn certify_eps_safe(
+    family: &AlgebraicFamily,
+    a: &WorldSet,
+    b: &WorldSet,
+    options: &AlgebraicOptions,
+) -> Option<f64> {
+    let gain = family.breach_polynomial(a, b);
+    let mut inequalities = family.inequalities.clone();
+    // Scale `gain − ε ≥ 0` by 1/ε so the refutation certificate has
+    // O(1) coefficients (the unscaled form needs Gram entries of size 1/ε,
+    // which the projection solver reaches only slowly).
+    let scaled = gain
+        .scale(&(1.0 / options.epsilon))
+        .sub(&Polynomial::constant(family.arity, 1.0));
+    inequalities.push(scaled);
+    psatz_refute(
+        &inequalities,
+        &family.equalities,
+        options.psatz_degree,
+        2,
+        options.sdp,
+    )
+    .map(|r| r.cone_certificate.residual)
+}
+
+/// Full driver: refute, then certify, else `Unknown`.
+pub fn decide_algebraic(
+    family: &AlgebraicFamily,
+    a: &WorldSet,
+    b: &WorldSet,
+    options: &AlgebraicOptions,
+    rng: &mut impl Rng,
+) -> Verdict<AlgebraicWitness> {
+    if let Some(w) = find_breach(family, a, b, options, rng) {
+        return Verdict::Unsafe(w);
+    }
+    if options.certify {
+        if let Some(residual) = certify_eps_safe(family, a, b, options) {
+            return Verdict::Safe(SafeEvidence::SosCertificate { residual });
+        }
+    }
+    Verdict::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_core::unrestricted;
+    use rand::SeedableRng;
+
+    fn ws(universe: usize, ids: &[u32]) -> WorldSet {
+        WorldSet::from_indices(universe, ids.iter().copied())
+    }
+
+    #[test]
+    fn dense_family_matches_theorem_3_11() {
+        // For the unconstrained dense family, breach existence must agree
+        // with Theorem 3.11 on every small pair.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(211);
+        let family = AlgebraicFamily::dense_unconstrained(4);
+        let options = AlgebraicOptions {
+            certify: false,
+            ..Default::default()
+        };
+        for a_bits in 1u8..15 {
+            for b_bits in 1u8..15 {
+                let a = WorldSet::from_predicate(4, |w| a_bits >> w.0 & 1 == 1);
+                let b = WorldSet::from_predicate(4, |w| b_bits >> w.0 & 1 == 1);
+                let safe = unrestricted::safe_unrestricted(&a, &b);
+                let breach = find_breach(&family, &a, &b, &options, &mut rng);
+                if safe {
+                    assert!(breach.is_none(), "A={a:?} B={b:?}: spurious breach");
+                } else {
+                    assert!(
+                        breach.is_some(),
+                        "A={a:?} B={b:?}: breach exists (Thm 3.11) but search missed it"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breach_witnesses_are_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(223);
+        let family = AlgebraicFamily::dense_unconstrained(8);
+        let a = ws(8, &[1, 3, 5]);
+        let b = ws(8, &[1, 2, 3]);
+        let w = find_breach(&family, &a, &b, &AlgebraicOptions::default(), &mut rng)
+            .expect("A∩B ≠ ∅ and A∪B ≠ Ω: breachable");
+        assert!(w.gain > 0.0);
+        assert!(w.violation < 1e-6);
+        // Replay through epi-core.
+        let dist = epi_core::Distribution::from_unnormalized(w.parameters.clone()).unwrap();
+        assert!(dist.prob(&a.intersection(&b)) > dist.prob(&a) * dist.prob(&b) - 1e-9);
+    }
+
+    #[test]
+    fn product_family_breach_agrees_with_bnb() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(227);
+        let cube = epi_boolean::Cube::new(3);
+        let family = AlgebraicFamily::product(3);
+        let options = AlgebraicOptions {
+            certify: false,
+            ..Default::default()
+        };
+        for _ in 0..25 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let bnb = crate::product::decide_product_safety(
+                &cube,
+                &a,
+                &b,
+                crate::product::ProductSolverOptions::default(),
+            )
+            .0;
+            let breach = find_breach(&family, &a, &b, &options, &mut rng);
+            if bnb.is_safe() {
+                assert!(breach.is_none(), "A={a:?} B={b:?}");
+            }
+            if let Some(w) = &breach {
+                assert!(bnb.is_unsafe(), "A={a:?} B={b:?} gain={}", w.gain);
+            }
+        }
+    }
+
+    #[test]
+    fn log_supermodular_family_constraint_count() {
+        let family = AlgebraicFamily::dense_log_supermodular(3);
+        // 8 simplex non-negativity + incomparable pairs.
+        assert!(family.inequalities.len() > 8);
+        assert_eq!(family.equalities.len(), 1);
+        // Uniform distribution is feasible.
+        let uniform = vec![0.125; 8];
+        assert!(family.violation(&uniform) < 1e-12);
+        // A supermodularity-violating point is caught.
+        let mut bad = vec![0.125; 8];
+        bad[0b011] = 0.3;
+        bad[0b101] = 0.3;
+        bad[0b001] = 0.01;
+        bad[0b111] = 0.01;
+        let rest: f64 = (1.0 - 0.3 - 0.3 - 0.01 - 0.01) / 4.0;
+        for (i, v) in bad.iter_mut().enumerate() {
+            if ![0b011, 0b101, 0b001, 0b111].contains(&i) {
+                *v = rest;
+            }
+        }
+        assert!(family.violation(&bad) > 1e-3);
+    }
+
+    #[test]
+    fn certification_on_tiny_safe_instance() {
+        // n = 1 product family, A = {1}, B = {0,1} (tautology): gain ≡ 0,
+        // so K_ε is empty and the certificate must be found at low degree.
+        let family = AlgebraicFamily::product(1);
+        let a = ws(2, &[1]);
+        let b = ws(2, &[0, 1]);
+        let res = certify_eps_safe(&family, &a, &b, &AlgebraicOptions::default());
+        assert!(res.is_some(), "ε-safety certificate must exist");
+    }
+
+    #[test]
+    fn decide_pipeline_three_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(229);
+        let family = AlgebraicFamily::product(2);
+        // Unsafe: B = A.
+        let a = ws(4, &[0b01, 0b11]);
+        let v = decide_algebraic(&family, &a, &a, &AlgebraicOptions::default(), &mut rng);
+        assert!(v.is_unsafe());
+        // Safe (tautology).
+        let b = WorldSet::full(4);
+        let v = decide_algebraic(&family, &a, &b, &AlgebraicOptions::default(), &mut rng);
+        assert!(!v.is_unsafe());
+    }
+}
+
+#[cfg(test)]
+mod exchangeable_tests {
+    use super::*;
+    use epi_boolean::Cube;
+    use rand::SeedableRng;
+
+    fn exchangeable_dense(n: usize, q: &[f64]) -> epi_core::Distribution {
+        let weights: Vec<f64> = (0..1u32 << n).map(|w| q[w.count_ones() as usize]).collect();
+        epi_core::Distribution::from_unnormalized(weights).unwrap()
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(5, 3), 10);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn prob_polynomial_matches_dense_expansion() {
+        use rand::Rng;
+        let n = 4;
+        let family = AlgebraicFamily::exchangeable(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(251);
+        for _ in 0..20 {
+            let s = WorldSet::from_predicate(1 << n, |_| rng.gen());
+            let poly = family.prob_polynomial(&s);
+            // A feasible random parameter point.
+            let raw: Vec<f64> = (0..=n).map(|_| rng.gen::<f64>() + 0.01).collect();
+            let total: f64 = raw
+                .iter()
+                .enumerate()
+                .map(|(k, &q)| binomial(n, k) as f64 * q)
+                .sum();
+            let q: Vec<f64> = raw.iter().map(|x| x / total).collect();
+            assert!(family.violation(&q) < 1e-12);
+            let dense = exchangeable_dense(n, &q);
+            assert!((poly.eval_f64(&q) - dense.prob(&s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_is_feasible_and_breaches_match_unrestricted_structure() {
+        // Exchangeable ⊆ all distributions, and contains the uniform
+        // distribution; so unconditional safety ⟹ exchangeable safety,
+        // and a found exchangeable breach must be a genuine distributional
+        // breach.
+        let n = 3;
+        let cube = Cube::new(n);
+        let family = AlgebraicFamily::exchangeable(n);
+        let options = AlgebraicOptions {
+            certify: false,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(257);
+        use rand::Rng;
+        for _ in 0..40 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            let breach = find_breach(&family, &a, &b, &options, &mut rng);
+            if epi_core::unrestricted::safe_unrestricted(&a, &b) {
+                assert!(breach.is_none(), "A={a:?} B={b:?}");
+            }
+            if let Some(w) = &breach {
+                // Replay through the dense expansion.
+                let dense = exchangeable_dense(n, &w.parameters);
+                assert!(
+                    dense.prob(&a.intersection(&b)) > dense.prob(&a) * dense.prob(&b) - 1e-9,
+                    "exchangeable witness must replay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_symmetric_pairs_where_exchangeable_differs_from_unrestricted() {
+        // A pair that is breachable in general but safe for exchangeable
+        // priors: A and B symmetric with gap zero by symmetry.
+        // Take A = "weight ≥ 2", B = "weight ≤ 1" over n = 3:
+        // AB = ∅ → unconditionally safe; instead take A = B = "weight ∈
+        // {1,2}": direct disclosure breaches every family containing a
+        // nondegenerate prior, including exchangeable.
+        let n = 3;
+        let cube = Cube::new(n);
+        let a = cube.set_from_predicate(|w| (1..=2).contains(&w.count_ones()));
+        let family = AlgebraicFamily::exchangeable(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(263);
+        let breach = find_breach(
+            &family,
+            &a,
+            &a,
+            &AlgebraicOptions {
+                certify: false,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(breach.is_some(), "self-disclosure breaches exchangeable priors");
+    }
+}

@@ -1,0 +1,224 @@
+//! The hardness construction of Theorem 6.2 (MAX-CUT flavor).
+//!
+//! Theorem 6.2 shows that for some algebraic families `Π` with `poly(N)`
+//! constraints of degree ≤ 2, deciding `Safe_Π(A, B)` is NP-hard, by a
+//! reduction from (a restricted decision version of) MAX-CUT; the authors
+//! defer the gadget details to the (unpublished) full paper. As documented
+//! in DESIGN.md we build a faithful *flavor* of the construction rather
+//! than guess the exact gadget: a family of degree-≤2 constraints that
+//! encodes a graph so that the associated emptiness question
+//!
+//! ```text
+//! K ≠ ∅  ⟺  maxcut(G) ≥ k
+//! ```
+//!
+//! holds, and we measure how the Section 6 machinery scales on it
+//! (experiment E10). The encoding uses one parameter `p_v ∈ [0,1]` per
+//! vertex, integrality constraints `p_v(1 − p_v) = 0` (degree 2), and the
+//! cut-size constraint `Σ_{(u,v)∈E} (p_u + p_v − 2·p_u·p_v) ≥ k`
+//! (degree 2) — the same `{αᵢ of degree ≤ 2}` regime as the theorem.
+
+use epi_poly::Polynomial;
+use epi_sdp::SdpOptions;
+use epi_sos::psatz_refute;
+use rand::Rng;
+
+/// An undirected graph on `vertices` nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Undirected edges `(u, v)` with `u < v`, deduplicated.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph, normalizing and deduplicating the edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn new(vertices: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Graph {
+        let mut normalized: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(u, v)| {
+                assert!(u != v, "self-loop");
+                assert!(u < vertices && v < vertices, "endpoint out of range");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        normalized.sort_unstable();
+        normalized.dedup();
+        Graph {
+            vertices,
+            edges: normalized,
+        }
+    }
+
+    /// An Erdős–Rényi random graph `G(n, p)`.
+    pub fn random(vertices: usize, edge_prob: f64, rng: &mut impl Rng) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..vertices {
+            for v in (u + 1)..vertices {
+                if rng.gen::<f64>() < edge_prob {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::new(vertices, edges)
+    }
+
+    /// The size of the cut induced by the vertex set encoded in `mask`.
+    pub fn cut_size(&self, mask: u64) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| (mask >> u & 1) != (mask >> v & 1))
+            .count()
+    }
+
+    /// Exact MAX-CUT by exhaustive search (guarded to ≤ 24 vertices).
+    pub fn max_cut(&self) -> usize {
+        assert!(self.vertices <= 24, "exhaustive MAX-CUT guarded to ≤ 24 vertices");
+        (0u64..(1u64 << self.vertices))
+            .map(|mask| self.cut_size(mask))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The degree-≤2 constraint system whose feasibility encodes
+/// `maxcut(G) ≥ k`: returns `(inequalities, equalities)` over one variable
+/// per vertex.
+pub fn maxcut_system(graph: &Graph, k: usize) -> (Vec<Polynomial<f64>>, Vec<Polynomial<f64>>) {
+    let n = graph.vertices;
+    let one = Polynomial::constant(n, 1.0);
+    // Box inequalities keep the search bounded (and give the psatz cone
+    // usable generators).
+    let mut inequalities: Vec<Polynomial<f64>> = Vec::new();
+    for v in 0..n {
+        let xv = Polynomial::<f64>::var(n, v);
+        inequalities.push(xv.clone());
+        inequalities.push(one.sub(&xv));
+    }
+    // Cut size ≥ k.
+    let mut cut = Polynomial::zero(n);
+    for &(u, v) in &graph.edges {
+        let xu = Polynomial::<f64>::var(n, u);
+        let xv = Polynomial::<f64>::var(n, v);
+        cut = cut
+            .add(&xu)
+            .add(&xv)
+            .sub(&xu.mul(&xv).scale(&2.0));
+    }
+    inequalities.push(cut.sub(&Polynomial::constant(n, k as f64)));
+    // Integrality: p_v(1 − p_v) = 0.
+    let equalities = (0..n)
+        .map(|v| {
+            let xv = Polynomial::<f64>::var(n, v);
+            xv.mul(&one.sub(&xv))
+        })
+        .collect();
+    (inequalities, equalities)
+}
+
+/// Decides `maxcut(G) ≥ k` through the constraint system: a hill-climb
+/// over cut masks finds feasible points (completeness comes from the
+/// exhaustive fallback for small graphs), and the Positivstellensatz
+/// attempts emptiness refutations. Returns `(answer, used_psatz)`.
+///
+/// This is the instrumented driver behind experiment E10: wall-clock
+/// scaling of the refutation step on instances with `k = maxcut + 1`
+/// (empty `K`) is the hardness signal.
+pub fn decide_cut_threshold(graph: &Graph, k: usize, psatz_degree: u32) -> CutDecision {
+    // Feasible side: exact for the guarded sizes.
+    if graph.max_cut() >= k {
+        return CutDecision {
+            feasible: true,
+            refuted: false,
+        };
+    }
+    let (ineqs, eqs) = maxcut_system(graph, k);
+    let refuted = psatz_refute(&ineqs, &eqs, psatz_degree, 2, SdpOptions::default()).is_some();
+    CutDecision {
+        feasible: false,
+        refuted,
+    }
+}
+
+/// Outcome of [`decide_cut_threshold`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CutDecision {
+    /// `maxcut(G) ≥ k` (ground truth from exhaustive search).
+    pub feasible: bool,
+    /// Whether the Positivstellensatz refuted feasibility (only meaningful
+    /// when `feasible` is false; `false` there means the degree level was
+    /// too low — the expected behavior as instances grow, per Thm 6.2).
+    pub refuted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_basics() {
+        let g = Graph::new(4, [(0, 1), (1, 0), (2, 3)]);
+        assert_eq!(g.edges.len(), 2, "duplicates removed");
+        assert_eq!(g.cut_size(0b0011), 0); // {0,1} vs {2,3}: edges inside parts
+        assert_eq!(g.cut_size(0b0101), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let _ = Graph::new(2, [(1, 1)]);
+    }
+
+    #[test]
+    fn max_cut_known_graphs() {
+        // Triangle: max cut = 2.
+        let triangle = Graph::new(3, [(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle.max_cut(), 2);
+        // C4: bipartite, max cut = 4.
+        let c4 = Graph::new(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(c4.max_cut(), 4);
+        // K4: max cut = 4.
+        let k4 = Graph::new(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(k4.max_cut(), 4);
+    }
+
+    #[test]
+    fn system_feasibility_matches_maxcut() {
+        // Integral points of the system are exactly cuts of size ≥ k.
+        let g = Graph::new(3, [(0, 1), (1, 2), (0, 2)]);
+        let (ineqs, eqs) = maxcut_system(&g, 2);
+        for mask in 0u64..8 {
+            let point: Vec<f64> = (0..3).map(|v| (mask >> v & 1) as f64).collect();
+            let feasible = ineqs.iter().all(|f| f.eval_f64(&point) >= -1e-12)
+                && eqs.iter().all(|gq| gq.eval_f64(&point).abs() < 1e-12);
+            assert_eq!(feasible, g.cut_size(mask) >= 2, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn decide_respects_ground_truth() {
+        let triangle = Graph::new(3, [(0, 1), (1, 2), (0, 2)]);
+        let d = decide_cut_threshold(&triangle, 2, 1);
+        assert!(d.feasible);
+        let d = decide_cut_threshold(&triangle, 3, 1);
+        assert!(!d.feasible);
+        // Refutation at low degree may or may not land; if it claims a
+        // refutation, the instance must indeed be infeasible (soundness is
+        // inherited from the verified psatz certificates).
+    }
+
+    #[test]
+    fn random_graph_edge_count_reasonable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(233);
+        let g = Graph::random(10, 0.5, &mut rng);
+        let max_edges = 45;
+        assert!(g.edges.len() <= max_edges);
+        assert!(g.edges.len() >= 10, "p = 0.5 should yield a dense-ish graph");
+    }
+}

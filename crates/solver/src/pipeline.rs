@@ -1,0 +1,205 @@
+//! The production decision pipeline for product-distribution privacy.
+//!
+//! Orders the Section 5/6 machinery from cheapest to most expensive, the
+//! way an auditor would deploy it:
+//!
+//! 1. **unconditional** — Theorem 3.11 (`AB = ∅` or `A ∪ B = Ω`): safe for
+//!    *every* prior, not just products;
+//! 2. **Miklau–Suciu** (Theorem 5.7) — linear scan of critical coordinates;
+//! 3. **monotonicity** (Corollary 5.5 + mask search) — `O(n·2ⁿ)`;
+//! 4. **cancellation** (Proposition 5.9) — one pass over the region pairs;
+//! 5. **box-counting necessary criterion** (Proposition 5.10) — a failing
+//!    box yields an exact refuting product prior;
+//! 6. **branch-and-bound** (Section 6.1 substitute) — complete, with exact
+//!    rational refutation witnesses and ε-margin safety certificates.
+//!
+//! The pipeline records which stage decided, so experiments E7/E8 can
+//! report stage hit-rates.
+
+use crate::product::{decide_product_safety, ProductSolverOptions, ProductWitness};
+use crate::verdict::{SafeEvidence, Verdict};
+use epi_boolean::criteria::{cancellation, miklau_suciu, monotonicity, necessary};
+use epi_boolean::Cube;
+use epi_core::{unrestricted, WorldSet};
+use epi_num::Rational;
+
+/// Which pipeline stage produced the decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Theorem 3.11.
+    Unconditional,
+    /// Theorem 5.7.
+    MiklauSuciu,
+    /// Corollary 5.5 / masked monotonicity.
+    Monotonicity,
+    /// Proposition 5.9.
+    Cancellation,
+    /// Proposition 5.10 (refutation only).
+    BoxNecessary,
+    /// Complete branch-and-bound.
+    BranchAndBound,
+}
+
+impl Stage {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Unconditional => "unconditional (Thm 3.11)",
+            Stage::MiklauSuciu => "Miklau–Suciu (Thm 5.7)",
+            Stage::Monotonicity => "monotonicity (Cor 5.5)",
+            Stage::Cancellation => "cancellation (Prop 5.9)",
+            Stage::BoxNecessary => "box criterion (Prop 5.10)",
+            Stage::BranchAndBound => "branch-and-bound (§6.1)",
+        }
+    }
+}
+
+/// A pipeline decision with provenance.
+#[derive(Clone, Debug)]
+pub struct PipelineDecision {
+    /// The three-valued verdict (witnesses from the refuting stages).
+    pub verdict: Verdict<ProductWitness>,
+    /// The stage that decided.
+    pub stage: Stage,
+}
+
+/// Runs the full cascade for `Safe_{Π_m⁰}(A, B)`.
+pub fn decide_product_pipeline(
+    cube: &Cube,
+    a: &WorldSet,
+    b: &WorldSet,
+    bnb_options: ProductSolverOptions,
+) -> PipelineDecision {
+    if unrestricted::safe_unrestricted(a, b) {
+        return PipelineDecision {
+            verdict: Verdict::Safe(SafeEvidence::Unconditional),
+            stage: Stage::Unconditional,
+        };
+    }
+    if miklau_suciu::safe_miklau_suciu(cube, a, b) {
+        return PipelineDecision {
+            verdict: Verdict::Safe(SafeEvidence::Criterion("Miklau–Suciu")),
+            stage: Stage::MiklauSuciu,
+        };
+    }
+    if monotonicity::safe_monotone(cube, a, b) {
+        return PipelineDecision {
+            verdict: Verdict::Safe(SafeEvidence::Criterion("monotonicity")),
+            stage: Stage::Monotonicity,
+        };
+    }
+    if cancellation::cancellation(cube, a, b) {
+        return PipelineDecision {
+            verdict: Verdict::Safe(SafeEvidence::Criterion("cancellation")),
+            stage: Stage::Cancellation,
+        };
+    }
+    if let Some(p) = necessary::refute_product_by_boxes(cube, a, b) {
+        // Corner priors are rational by construction; rebuild exactly.
+        let probs: Vec<Rational> = p
+            .probs()
+            .iter()
+            .map(|&x| Rational::from_f64_exact(x).expect("corner prior is dyadic"))
+            .collect();
+        let gap = exact_gap(cube, a, b, &probs);
+        debug_assert!(gap.is_negative());
+        return PipelineDecision {
+            verdict: Verdict::Unsafe(ProductWitness { probs, gap }),
+            stage: Stage::BoxNecessary,
+        };
+    }
+    let (verdict, _) = decide_product_safety(cube, a, b, bnb_options);
+    PipelineDecision {
+        verdict,
+        stage: Stage::BranchAndBound,
+    }
+}
+
+/// Exact `P[A]·P[B] − P[AB]` under a rational product prior.
+fn exact_gap(cube: &Cube, a: &WorldSet, b: &WorldSet, probs: &[Rational]) -> Rational {
+    let p = epi_boolean::RationalProductDist::new(probs.to_vec()).expect("valid probs");
+    let _ = cube;
+    p.safety_gap(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn stages_fire_in_order() {
+        let cube = Cube::new(3);
+        // Unconditional: B tautology.
+        let a = cube.set_from_masks([0b001]);
+        let d = decide_product_pipeline(&cube, &a, &cube.full_set(), Default::default());
+        assert_eq!(d.stage, Stage::Unconditional);
+        assert!(d.verdict.is_safe());
+
+        // Miklau–Suciu: disjoint coordinates (and not unconditional).
+        let a = cube.set_from_predicate(|w| w & 1 == 1);
+        let b = cube.set_from_predicate(|w| w & 0b010 != 0);
+        let d = decide_product_pipeline(&cube, &a, &b, Default::default());
+        assert_eq!(d.stage, Stage::MiklauSuciu);
+
+        // Cancellation: the implication pair shares a critical coordinate
+        // and is not (masked-)monotone-compatible… choose §1.1-like shape
+        // embedded in 3 dims with an extra twist to defeat monotonicity.
+        let a = cube.set_from_predicate(|w| w & 0b100 != 0);
+        let b = cube.set_from_predicate(|w| w & 0b100 == 0 || (w & 0b001 != 0) != (w & 0b010 != 0));
+        let d = decide_product_pipeline(&cube, &a, &b, Default::default());
+        assert!(
+            d.verdict.is_safe() || d.verdict.is_unsafe(),
+            "pipeline always decides at n = 3"
+        );
+    }
+
+    #[test]
+    fn refutations_carry_exact_witnesses() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(239);
+        let mut refuted = 0;
+        while refuted < 25 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let d = decide_product_pipeline(&cube, &a, &b, Default::default());
+            if let Verdict::Unsafe(w) = &d.verdict {
+                refuted += 1;
+                assert!(w.gap.is_negative(), "stage {:?}", d.stage);
+                assert_eq!(w.probs.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_agrees_with_direct_bnb() {
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(241);
+        for _ in 0..50 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let pipeline = decide_product_pipeline(&cube, &a, &b, Default::default());
+            let direct = decide_product_safety(&cube, &a, &b, Default::default()).0;
+            assert_eq!(
+                pipeline.verdict.is_safe(),
+                direct.is_safe(),
+                "A={a:?} B={b:?} stage={:?}",
+                pipeline.stage
+            );
+        }
+    }
+
+    #[test]
+    fn stage_labels_nonempty() {
+        for s in [
+            Stage::Unconditional,
+            Stage::MiklauSuciu,
+            Stage::Monotonicity,
+            Stage::Cancellation,
+            Stage::BoxNecessary,
+            Stage::BranchAndBound,
+        ] {
+            assert!(!s.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Three-valued verdicts for privacy decision procedures.
+//!
+//! Every numeric decision procedure in this crate reports one of three
+//! outcomes — never a bare boolean — so that a heuristic failure can never
+//! masquerade as a safety proof (the workspace-wide "no silent false
+//! positives" policy from DESIGN.md).
+
+use std::fmt;
+
+/// The outcome of a safety decision for a pair `(A, B)` against a family of
+/// priors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict<W> {
+    /// `Safe_Π(A, B)` holds, with an explanation of the certificate.
+    Safe(SafeEvidence),
+    /// A concrete prior in the family gains confidence in `A` from `B`.
+    Unsafe(W),
+    /// The procedure could not decide within its budget.
+    Unknown,
+}
+
+impl<W> Verdict<W> {
+    /// `true` iff certified safe.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe(_))
+    }
+
+    /// `true` iff refuted.
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, Verdict::Unsafe(_))
+    }
+
+    /// `true` iff undecided.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown)
+    }
+
+    /// The refutation witness, if any.
+    pub fn witness(&self) -> Option<&W> {
+        match self {
+            Verdict::Unsafe(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// How a safety verdict was certified.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SafeEvidence {
+    /// A combinatorial criterion fired (named for the audit report).
+    Criterion(&'static str),
+    /// Branch-and-bound exhausted the box with rigorous interval bounds.
+    BranchAndBound {
+        /// Boxes processed before exhaustion.
+        boxes_processed: usize,
+    },
+    /// A sum-of-squares / Positivstellensatz certificate was found and
+    /// post-verified.
+    SosCertificate {
+        /// Residual of the verified decomposition.
+        residual: f64,
+    },
+    /// Theorem 3.11: unconditionally safe under unrestricted priors.
+    Unconditional,
+}
+
+impl fmt::Display for SafeEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafeEvidence::Criterion(name) => write!(f, "criterion: {name}"),
+            SafeEvidence::BranchAndBound { boxes_processed } => {
+                write!(f, "branch-and-bound ({boxes_processed} boxes)")
+            }
+            SafeEvidence::SosCertificate { residual } => {
+                write!(f, "SOS certificate (residual {residual:.2e})")
+            }
+            SafeEvidence::Unconditional => write!(f, "unconditional (Theorem 3.11)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accessors() {
+        let safe: Verdict<()> = Verdict::Safe(SafeEvidence::Criterion("cancellation"));
+        assert!(safe.is_safe() && !safe.is_unsafe() && !safe.is_unknown());
+        assert!(safe.witness().is_none());
+        let unsafe_v: Verdict<u32> = Verdict::Unsafe(7);
+        assert!(unsafe_v.is_unsafe());
+        assert_eq!(unsafe_v.witness(), Some(&7));
+        let unknown: Verdict<u32> = Verdict::Unknown;
+        assert!(unknown.is_unknown());
+    }
+
+    #[test]
+    fn evidence_display() {
+        assert_eq!(
+            SafeEvidence::Criterion("miklau-suciu").to_string(),
+            "criterion: miklau-suciu"
+        );
+        assert!(SafeEvidence::BranchAndBound { boxes_processed: 42 }
+            .to_string()
+            .contains("42"));
+        assert!(SafeEvidence::SosCertificate { residual: 1e-9 }
+            .to_string()
+            .contains("SOS"));
+    }
+}

@@ -1,0 +1,356 @@
+//! High-level certification entry points (Section 6.2 of the paper).
+//!
+//! * [`sos_lower_bound`] — the Shor relaxation: the largest `λ` with
+//!   `f − λ ∈ Σ²`, found by bisection over [`crate::is_sos`] exactly as the
+//!   paper describes ("via a binary search on λ"). A lower bound on
+//!   `min f` over `ℝˢ` that "in practice almost always agrees with the true
+//!   minimum".
+//! * [`certify_nonneg_on_box`] — a Putinar-style certificate
+//!   `f = σ₀ + Σᵢ σᵢ·xᵢ(1−xᵢ)` proving `f ≥ 0` on `[0,1]ⁿ`; applied to the
+//!   safety-gap polynomial this certifies `Safe_{Π_m⁰}(A, B)`.
+//! * [`psatz_refute`] — the Positivstellensatz emptiness heuristic
+//!   (Theorem 6.7): for `K = {x : fᵢ(x) ≥ 0, gⱼ(x) = 0}`, search for a
+//!   degree-bounded refutation `−1 = F + H` with `F` in the algebraic cone
+//!   `A(f₁, …)` and `H` in the ideal of the equalities, by semidefinite
+//!   programming — "efficient for constant `D`, which usually suffices in
+//!   practice".
+
+use crate::gram::{is_sos, SosResult};
+use crate::program::{WeightedSosCertificate, WeightedSosProgram};
+use epi_poly::{Monomial, Polynomial};
+use epi_sdp::SdpOptions;
+
+/// Result of the bisection lower bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LowerBound {
+    /// The certified bound: `f − bound ∈ Σ²` (within numeric tolerance).
+    pub bound: f64,
+    /// Bisection iterations performed.
+    pub iterations: usize,
+}
+
+/// The largest `λ ∈ [lo, hi]` (within `precision`) such that
+/// `f − λ ∈ Σ²`, by bisection (Proposition 6.4 + binary search).
+///
+/// Returns `None` when even `f − lo` is not certifiable.
+pub fn sos_lower_bound(
+    f: &Polynomial<f64>,
+    lo: f64,
+    hi: f64,
+    precision: f64,
+) -> Option<LowerBound> {
+    assert!(lo <= hi && precision > 0.0);
+    let shifted = |lambda: f64| f.sub(&Polynomial::constant(f.arity(), lambda));
+    if !is_sos(&shifted(lo)).is_certified() {
+        return None;
+    }
+    let mut lo = lo;
+    let mut hi = hi;
+    let mut iterations = 0;
+    while hi - lo > precision {
+        iterations += 1;
+        let mid = 0.5 * (lo + hi);
+        if is_sos(&shifted(mid)).is_certified() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(LowerBound {
+        bound: lo,
+        iterations,
+    })
+}
+
+/// Which multiplier family a box certificate is searched over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoxMultipliers {
+    /// `{1} ∪ {xᵢ(1−xᵢ)} ∪ {xᵢ(1−xᵢ)·xⱼ(1−xⱼ)}` — small SDPs, decisive
+    /// for interior-zero-surface gaps (the Remark 5.12 class).
+    PairedBoxes,
+    /// Degree-capped products `Π tᵢ`, `tᵢ ∈ {1, xᵢ, 1−xᵢ, xᵢ(1−xᵢ)}` —
+    /// the full Schmüdgen generator set for the box; needed for gaps such
+    /// as `x₀x₁x₂(1−x₀x₂)` whose facets appear singly. Block set capped at
+    /// `dim_budget` total Gram dimension (largest-σ-freedom blocks first).
+    FacetProducts {
+        /// Maximum total SDP dimension.
+        dim_budget: usize,
+    },
+}
+
+/// Searches for a Schmüdgen-style certificate
+///
+/// ```text
+/// f = Σ_T σ_T · h_T,   σ_T ∈ Σ²,   h_T from the chosen multiplier family
+/// ```
+///
+/// proving `f ≥ 0` on the unit box. Tries [`BoxMultipliers::PairedBoxes`]
+/// first (fast), then [`BoxMultipliers::FacetProducts`] (complete at this
+/// degree level for more instances). Gram bases are Newton-polytope
+/// restricted to the target's per-variable degree profile; `extra_degree`
+/// raises all budgets (hierarchy level).
+pub fn certify_nonneg_on_box(
+    f: &Polynomial<f64>,
+    extra_degree: u32,
+    options: SdpOptions,
+) -> Option<WeightedSosCertificate> {
+    certify_nonneg_on_box_with(f, extra_degree, options, BoxMultipliers::PairedBoxes).or_else(
+        || {
+            certify_nonneg_on_box_with(
+                f,
+                extra_degree,
+                options,
+                BoxMultipliers::FacetProducts { dim_budget: 300 },
+            )
+        },
+    )
+}
+
+/// [`certify_nonneg_on_box`] over one explicit multiplier family.
+pub fn certify_nonneg_on_box_with(
+    f: &Polynomial<f64>,
+    extra_degree: u32,
+    options: SdpOptions,
+    family: BoxMultipliers,
+) -> Option<WeightedSosCertificate> {
+    let arity = f.arity();
+    let d = f.degree();
+    let one = Polynomial::constant(arity, 1.0);
+    // Degree budget, rounded UP to even: odd-degree targets (e.g.
+    // x₀(1−x₀)(1−x₁), degree 3) only decompose with degree-(d+1) terms
+    // that cancel, so the working degree is the next even number.
+    let working_degree = 2 * d.div_ceil(2) + 2 * extra_degree;
+    // Per-variable budget, likewise rounded up to even.
+    let profile: Vec<u32> = (0..arity)
+        .map(|j| 2 * f.degree_in(j).div_ceil(2) + 2 * extra_degree)
+        .collect();
+    let boxes: Vec<Polynomial<f64>> = (0..arity)
+        .map(|i| {
+            let xi = Polynomial::<f64>::var(arity, i);
+            xi.mul(&one.sub(&xi))
+        })
+        .collect();
+    let (mut multipliers, dim_budget) = match family {
+        BoxMultipliers::PairedBoxes => {
+            let mut ms = vec![one.clone()];
+            ms.extend(boxes.iter().cloned());
+            for i in 0..arity {
+                for j in (i + 1)..arity {
+                    ms.push(boxes[i].mul(&boxes[j]));
+                }
+            }
+            (ms, usize::MAX)
+        }
+        BoxMultipliers::FacetProducts { dim_budget } => {
+            let mut ms: Vec<Polynomial<f64>> = vec![one.clone()];
+            for (i, box_i) in boxes.iter().enumerate() {
+                let xi = Polynomial::<f64>::var(arity, i);
+                let facets = [xi.clone(), one.sub(&xi), box_i.clone()];
+                let mut extended = Vec::new();
+                for m in &ms {
+                    for fct in &facets {
+                        let prod = m.mul(fct);
+                        if prod.degree() <= working_degree
+                            && (0..arity).all(|j| prod.degree_in(j) <= profile[j])
+                        {
+                            extended.push(prod);
+                        }
+                    }
+                }
+                ms.extend(extended);
+            }
+            (ms, dim_budget)
+        }
+    };
+    // Prefer low-degree multipliers (largest σ freedom); dropped blocks
+    // only lose completeness at this level, never soundness.
+    multipliers.sort_by_key(Polynomial::degree);
+    let mut prog = WeightedSosProgram::new(f.clone());
+    for h in multipliers {
+        if h.degree() > working_degree {
+            continue;
+        }
+        // Newton-polytope-style restriction: a square in σ's Gram form
+        // reaches per-variable degree 2·cap, so cap each variable at
+        // ⌈(profile_j − deg_j(h)) / 2⌉. For safety-gap polynomials
+        // (deg_i ≤ 2 ∀i) this yields multilinear bases of size ≤ 2ⁿ
+        // instead of C(n + d, d).
+        let caps: Vec<u32> = (0..arity)
+            .map(|j| profile[j].saturating_sub(h.degree_in(j)).div_ceil(2))
+            .collect();
+        let half = (working_degree - h.degree()).div_ceil(2);
+        let basis = Monomial::all_with_profile(&caps, half);
+        if basis.is_empty() || prog.dimension() + basis.len() > dim_budget {
+            continue;
+        }
+        prog.add_sos_block_with_basis(h, basis);
+    }
+    prog.solve(options)
+}
+
+/// A Positivstellensatz refutation: the semialgebraic set is empty because
+/// `F + G² = 0` with `F` in the algebraic cone and `G` in the
+/// multiplicative monoid.
+#[derive(Clone, Debug)]
+pub struct PsatzRefutation {
+    /// The monoid element `G` used; with no `≠ 0` constraints in our
+    /// `K`-descriptions this is always the empty product `1`.
+    pub monoid_element: Polynomial<f64>,
+    /// The cone decomposition of `F = −G²`.
+    pub cone_certificate: WeightedSosCertificate,
+}
+
+/// Tries to refute non-emptiness of
+/// `K = {x : f(x) ≥ 0 ∀f ∈ inequalities, g(x) = 0 ∀g ∈ equalities}`
+/// by the Positivstellensatz (Theorem 6.7).
+///
+/// Our `K`-descriptions carry no `≠ 0` constraints, so the multiplicative
+/// monoid degenerates to `M = {1}` and Stengle's condition
+/// `F + G² + H = 0` (with `F ∈ A(f)`, `G ∈ M`, `H ∈ I(g)`) specializes to
+/// the classic refutation
+///
+/// ```text
+/// −1  =  F + H,   F ∈ A(f₁, …),   H ∈ I(g₁, …)
+/// ```
+///
+/// searched at a degree level `degree_bound` with cone products of at most
+/// `max_products` inequality factors, exactly the "choose a degree bound
+/// `D`, check by semidefinite programming" heuristic of Section 6.2.
+///
+/// `Some(..)` certifies `K = ∅` up to the numeric tolerances; `None` is
+/// inconclusive (the hierarchy level may simply be too low).
+pub fn psatz_refute(
+    inequalities: &[Polynomial<f64>],
+    equalities: &[Polynomial<f64>],
+    degree_bound: u32,
+    max_products: usize,
+    options: SdpOptions,
+) -> Option<PsatzRefutation> {
+    let arity = inequalities
+        .first()
+        .or(equalities.first())
+        .map(Polynomial::arity)?;
+    let one = Polynomial::constant(arity, 1.0);
+    let target = Polynomial::constant(arity, -1.0);
+    let mut prog = WeightedSosProgram::new(target);
+    // Cone: SOS-weighted products of at most `max_products` distinct
+    // inequality factors, degree-capped.
+    let mut products: Vec<Polynomial<f64>> = vec![one.clone()];
+    let mut frontier: Vec<(usize, Polynomial<f64>)> = vec![(0, one.clone())];
+    for _ in 0..max_products {
+        let mut next = Vec::new();
+        for (start, base) in &frontier {
+            for (idx, fi) in inequalities.iter().enumerate().skip(*start) {
+                let prod = base.mul(fi);
+                if prod.degree() <= 2 * degree_bound {
+                    products.push(prod.clone());
+                    next.push((idx + 1, prod));
+                }
+            }
+        }
+        frontier = next;
+    }
+    for h in &products {
+        let budget = (2 * degree_bound).saturating_sub(h.degree()) / 2;
+        prog.add_sos_block(h.clone(), budget);
+    }
+    // Ideal: free polynomial multipliers for the equalities.
+    for g in equalities {
+        let budget = (2 * degree_bound).saturating_sub(g.degree());
+        prog.add_free_block(g.clone(), budget);
+    }
+    prog.solve(options).map(|cert| PsatzRefutation {
+        monoid_element: one,
+        cone_certificate: cert,
+    })
+}
+
+/// Convenience wrapper: `true` iff `f ∈ Σ²` (certified).
+pub fn is_sum_of_squares(f: &Polynomial<f64>) -> bool {
+    matches!(is_sos(f), SosResult::Certified(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(arity: usize, i: usize) -> Polynomial<f64> {
+        Polynomial::var(arity, i)
+    }
+
+    #[test]
+    fn lower_bound_of_shifted_square() {
+        // f = (x−1)² + 2: minimum 2.
+        let f = x(1, 0)
+            .sub(&Polynomial::constant(1, 1.0))
+            .pow(2)
+            .add(&Polynomial::constant(1, 2.0));
+        let lb = sos_lower_bound(&f, 0.0, 5.0, 1e-3).expect("certifiable at 0");
+        assert!(
+            (lb.bound - 2.0).abs() < 5e-3,
+            "Shor bound should be tight here, got {}",
+            lb.bound
+        );
+    }
+
+    #[test]
+    fn lower_bound_none_when_uncertifiable() {
+        // f = x (odd degree): f − λ never SOS.
+        let f = x(1, 0);
+        assert!(sos_lower_bound(&f, 0.0, 1.0, 1e-2).is_none());
+    }
+
+    #[test]
+    fn box_certificate_for_indefinite_polynomial() {
+        // f = x(1−x) is negative outside [0,1] but ≥ 0 on the box; only the
+        // weighted certificate can prove it.
+        let xx = x(1, 0);
+        let f = xx.mul(&Polynomial::constant(1, 1.0).sub(&xx));
+        assert!(!is_sum_of_squares(&f));
+        let cert = certify_nonneg_on_box(&f, 0, SdpOptions::default());
+        assert!(cert.is_some(), "box certificate must exist");
+    }
+
+    #[test]
+    fn box_certificate_rejects_negative_on_box() {
+        // f = x − ½ is negative at x = 0 ∈ [0,1]; no certificate can exist.
+        let f = x(1, 0).sub(&Polynomial::constant(1, 0.5));
+        assert!(certify_nonneg_on_box(&f, 0, SdpOptions::default()).is_none());
+        assert!(certify_nonneg_on_box(&f, 1, SdpOptions::default()).is_none());
+    }
+
+    #[test]
+    fn psatz_refutes_empty_interval_system() {
+        // {x ≥ 1} ∩ {x ≤ 0} = ∅: inequalities x − 1 ≥ 0 and −x ≥ 0.
+        // Cone refutation: (x−1)·σ + (−x)·σ′ + σ₀ = −1 with σ = σ′ = 1:
+        // (x − 1) + (−x) = −1 exactly.
+        let f1 = x(1, 0).sub(&Polynomial::constant(1, 1.0));
+        let f2 = x(1, 0).neg();
+        let refutation = psatz_refute(&[f1, f2], &[], 2, 2, SdpOptions::default());
+        assert!(refutation.is_some(), "must refute an empty system");
+    }
+
+    #[test]
+    fn psatz_inconclusive_on_nonempty_system() {
+        // {x ≥ 0} is non-empty: no refutation at any level.
+        let f1 = x(1, 0);
+        assert!(psatz_refute(&[f1], &[], 3, 2, SdpOptions::default()).is_none());
+    }
+
+    #[test]
+    fn psatz_uses_equalities() {
+        // {x² + 1 = 0} over ℝ is empty. Refutation in the −1 = F + H
+        // form: −1 = x² + (−1)·(x² + 1), i.e. F = x² ∈ Σ² and the ideal
+        // multiplier λ = −1.
+        let g = x(1, 0).pow(2).add(&Polynomial::constant(1, 1.0));
+        let refutation = psatz_refute(&[], &[g], 2, 1, SdpOptions::default());
+        assert!(refutation.is_some(), "x² + 1 = 0 must be refuted");
+    }
+
+    #[test]
+    fn psatz_keeps_nonempty_equality_system() {
+        // {x² = 1} is non-empty.
+        let g = x(1, 0).pow(2).sub(&Polynomial::constant(1, 1.0));
+        assert!(psatz_refute(&[], &[g], 2, 1, SdpOptions::default()).is_none());
+    }
+}

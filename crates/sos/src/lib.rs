@@ -1,0 +1,27 @@
+//! # epi-sos
+//!
+//! The sum-of-squares machinery of Section 6.2 of the *Epistemic Privacy*
+//! paper: Gram-matrix SOS membership (Proposition 6.4), the Shor lower
+//! bound by bisection, Putinar-style box-nonnegativity certificates for the
+//! safety-gap polynomial, and the simplified Positivstellensatz
+//! (Theorem 6.7) emptiness heuristic over algebraic cones and
+//! multiplicative monoids.
+//!
+//! All certificates are *post-verified*: Gram matrices are re-checked PSD
+//! by ridged Cholesky and decompositions are reconstructed symbolically and
+//! compared to the target coefficient-by-coefficient, so a returned
+//! certificate never rests on solver-internal state alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod certify;
+mod gram;
+mod program;
+
+pub use certify::{
+    certify_nonneg_on_box, certify_nonneg_on_box_with, is_sum_of_squares, psatz_refute,
+    sos_lower_bound, BoxMultipliers, LowerBound, PsatzRefutation,
+};
+pub use gram::{is_sos, is_sos_with_basis, sos_basis, SosCertificate, SosResult};
+pub use program::{WeightedSosCertificate, WeightedSosProgram};

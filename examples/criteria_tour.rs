@@ -1,0 +1,64 @@
+//! A tour of the Section 5 criteria across structured workloads: how many
+//! pairs each criterion certifies per workload shape, how the criteria
+//! nest (Theorem 5.11), and which pipeline stage ends up deciding.
+//!
+//! Run with `cargo run --release --example criteria_tour`.
+
+use epi_bench::PairShape;
+use epi_boolean::criteria::{cancellation, miklau_suciu, monotonicity, necessary, supermodular};
+use epi_boolean::Cube;
+use epi_solver::{decide_product_pipeline, ProductSolverOptions, Stage};
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn main() {
+    let n = 4;
+    let trials = 150;
+    let cube = Cube::new(n);
+
+    println!("Criteria acceptance per workload shape ({{0,1}}^{n}, {trials} pairs each)\n");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>9} {:>8}",
+        "shape", "safe", "MS", "mono", "canc", "Πm⁺-suf", "nec-ref"
+    );
+    let mut stage_hits: HashMap<Stage, usize> = HashMap::new();
+    for shape in PairShape::all() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20080609); // PODS'08
+        let (mut safe, mut ms, mut mono, mut canc, mut suf, mut nec_ref) =
+            (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
+        for _ in 0..trials {
+            let (a, b) = shape.sample(&cube, &mut rng);
+            let m = miklau_suciu::independent(&cube, &a, &b);
+            let mo = monotonicity::safe_monotone(&cube, &a, &b);
+            let ca = cancellation::cancellation(&cube, &a, &b);
+            assert!(!(m || mo) || ca, "Theorem 5.11 violated");
+            ms += m as usize;
+            mono += mo as usize;
+            canc += ca as usize;
+            suf += supermodular::sufficient_supermodular(&cube, &a, &b) as usize;
+            nec_ref += (!necessary::necessary_product(&cube, &a, &b)) as usize;
+            let decision = decide_product_pipeline(&cube, &a, &b, ProductSolverOptions::default());
+            *stage_hits.entry(decision.stage).or_default() += 1;
+            safe += decision.verdict.is_safe() as usize;
+        }
+        println!(
+            "{:<14} {safe:>6} {ms:>6} {mono:>6} {canc:>6} {suf:>9} {nec_ref:>8}",
+            shape.label()
+        );
+    }
+
+    println!("\ndeciding pipeline stage, all shapes pooled:");
+    let mut rows: Vec<_> = stage_hits.into_iter().collect();
+    rows.sort_by_key(|(s, _)| format!("{s:?}"));
+    for (stage, count) in rows {
+        println!("  {:<28} {count:>5}", stage.label());
+    }
+    println!(
+        "\nTakeaways, as the paper argues: on 'monotone-no' workloads (negative \
+         answers to monotone queries) almost everything is safe and the cheap \
+         criteria prove it; on random/correlated workloads the box criterion \
+         refutes almost everything instantly; the cancellation criterion \
+         strictly dominates Miklau–Suciu + monotonicity (Thm 5.11) and nearly \
+         matches the exact solver, at purely combinatorial cost."
+    );
+}

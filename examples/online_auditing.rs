@@ -1,0 +1,77 @@
+//! The proactive (online) auditing extension: the intro's Bob example as
+//! an executable analysis.
+//!
+//! Bob must fix an answering strategy for the question "are you
+//! HIV-positive?" *before* knowing how his status will evolve. The
+//! strategy is public; Alice conditions on it, so a denial is itself an
+//! answer to an implicit query. This example audits four strategies and
+//! reproduces the introduction's conclusions, including footnote 2 (the
+//! proactive implication leaks through its "false" branch even though the
+//! corresponding offline disclosure is safe).
+//!
+//! Run with `cargo run --example online_auditing`.
+
+use epi_audit::online::{
+    audit_strategy, observation_preimages, AlwaysAnswer, AlwaysDeny, DataIndependentDeny,
+    DenyWhenSensitive, Strategy,
+};
+use epi_audit::query::parse;
+use epi_audit::Schema;
+use epi_core::unrestricted;
+
+fn main() {
+    let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+    let audited = parse("hiv_pos", &schema).unwrap();
+    let queries = [
+        "hiv_pos",
+        "hiv_pos -> transfusions",
+        "transfusions",
+        "true",
+    ];
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(AlwaysAnswer),
+        Box::new(DenyWhenSensitive {
+            sensitive: audited.clone(),
+        }),
+        Box::new(AlwaysDeny),
+        Box::new(DataIndependentDeny {
+            audited: audited.clone(),
+        }),
+    ];
+
+    println!("Proactive audit of strategies protecting `hiv_pos`\n");
+    for strategy in &strategies {
+        println!("strategy: {}", strategy.name());
+        for q in &queries {
+            let query = parse(q, &schema).unwrap();
+            match audit_strategy(&schema, strategy.as_ref(), &audited, &query) {
+                Ok(()) => println!("  `{q}`  →  safe"),
+                Err(breach) => println!(
+                    "  `{q}`  →  BREACH via `{}` (implicit disclosure {:?})",
+                    breach.observation, breach.implicit_disclosure
+                ),
+            }
+        }
+        println!();
+    }
+
+    // Footnote 2, spelled out: the offline disclosure of the implication
+    // being TRUE is safe; the proactive strategy answering it both ways is
+    // not, because the FALSE pre-image pins the sensitive set.
+    let implication = parse("hiv_pos -> transfusions", &schema).unwrap();
+    let a = audited.compile(&schema);
+    let b_true = implication.compile(&schema);
+    println!("footnote 2:");
+    println!(
+        "  offline disclosure of `implication = true`:  safe = {}",
+        unrestricted::safe_unrestricted(&a, &b_true)
+    );
+    for (o, pre) in observation_preimages(&schema, &AlwaysAnswer, &implication) {
+        println!(
+            "  proactive observation `{o}`: pre-image {pre:?}, safe = {}",
+            unrestricted::safe_unrestricted(&a, &pre)
+        );
+    }
+    println!("\nConclusion, as in the paper: \"The safest bet for Bob is to always");
+    println!("refuse an answer\" — or to deny in a data-independent way.");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: the §1.1 example of the paper, end to end.
+//!
+//! The hospital database has two records about Bob: `hiv_pos` and
+//! `transfusions`. The sensitive property `A` is "Bob is HIV-positive";
+//! Alice's query `B` is "if Bob is HIV-positive then he had blood
+//! transfusions". The paper's headline observation: disclosing `B` can only
+//! *lower* anyone's confidence in `A`, so it is private — with **no
+//! assumptions at all** on Alice's prior knowledge — even though `A` and
+//! `B` share the critical record `hiv_pos` and perfect secrecy
+//! (Miklau–Suciu) would reject it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use epi_audit::query::parse;
+use epi_audit::Schema;
+use epi_boolean::criteria::{cancellation, miklau_suciu};
+use epi_core::{possibilistic, unrestricted, PossKnowledge};
+use epi_solver::{decide_product_pipeline, ProductSolverOptions};
+
+fn main() {
+    let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+    let cube = schema.cube();
+
+    let a = parse("hiv_pos", &schema).unwrap().compile(&schema);
+    let b = parse("hiv_pos -> transfusions", &schema)
+        .unwrap()
+        .compile(&schema);
+
+    println!("Ω = {{0,1}}² (records: hiv_pos, transfusions)");
+    println!("A = \"Bob is HIV-positive\"            = {a:?}");
+    println!("B = \"hiv_pos -> transfusions\"        = {b:?}\n");
+
+    // 1. Unrestricted priors (Theorem 3.11): A∪B = Ω, so B is safe for
+    //    every possible prior belief about the database.
+    println!(
+        "Theorem 3.11 (no prior assumptions): safe = {}",
+        unrestricted::safe_unrestricted(&a, &b)
+    );
+
+    // 2. The possibilistic model, Definition 3.1, evaluated against every
+    //    consistent knowledge world.
+    let k = PossKnowledge::unrestricted(cube.size());
+    println!(
+        "Definition 3.1 over K = Ω ⊗ P(Ω):     safe = {}",
+        possibilistic::is_safe(&k, &a, &b)
+    );
+
+    // 3. Product priors: perfect secrecy would reject (shared critical
+    //    record), but the cancellation criterion certifies safety.
+    println!(
+        "Miklau–Suciu independence (Thm 5.7):  {}",
+        miklau_suciu::independent(&cube, &a, &b)
+    );
+    println!(
+        "Cancellation criterion (Prop 5.9):    safe = {}",
+        cancellation::cancellation(&cube, &a, &b)
+    );
+
+    // 4. The full decision pipeline with provenance.
+    let decision = decide_product_pipeline(&cube, &a, &b, ProductSolverOptions::default());
+    println!(
+        "Pipeline verdict: safe = {} (decided by {})",
+        decision.verdict.is_safe(),
+        decision.stage.label()
+    );
+
+    // 5. Contrast: disclosing "transfusions" alone is NOT safe for A —
+    //    a prior correlating the records gains confidence.
+    let b2 = parse("transfusions", &schema).unwrap().compile(&schema);
+    let refutation = unrestricted::refute_unrestricted(&a, &b2).expect("breachable");
+    println!(
+        "\nContrast: disclosing `transfusions` is unsafe — a two-point prior \
+         raises P[A] from {} to {}",
+        refutation.prior_confidence, refutation.posterior_confidence
+    );
+}

@@ -1,0 +1,197 @@
+//! Integration tests for consistency *between* the knowledge models and
+//! solver layers: possibilistic vs probabilistic verdicts, family oracles
+//! vs explicit enumerations, criteria vs solvers, audit layer vs core.
+
+use epi_audit::query::{parse, Query};
+use epi_audit::{AuditLog, DatabaseState, Schema};
+use epi_boolean::criteria::supermodular;
+use epi_boolean::distributions::is_log_supermodular;
+use epi_boolean::{generate, Cube};
+use epi_core::families::{SubcubeFamily, UpsetFamily};
+use epi_core::intervals::{safe_via_intervals, ExplicitOracle};
+use epi_core::world::all_nonempty_subsets;
+use epi_core::{possibilistic, preserving, Distribution, PossKnowledge, WorldSet};
+use epi_solver::logsupermod;
+use rand::{Rng, SeedableRng};
+
+/// Possibilistic safety is implied by probabilistic safety over the
+/// support-matched family: if no distribution gains, no knowledge set can
+/// flip from not-knowing to knowing (Remark 2.3's correspondence).
+#[test]
+fn probabilistic_safety_implies_possibilistic() {
+    let n = 4;
+    let k_poss = PossKnowledge::unrestricted(n);
+    for a in all_nonempty_subsets(n) {
+        for b in all_nonempty_subsets(n) {
+            // Probabilistic safety over ALL priors ⟺ Thm 3.11 condition,
+            // which also characterizes possibilistic safety.
+            let prob_safe = epi_core::unrestricted::safe_unrestricted(&a, &b);
+            let poss_safe = possibilistic::is_safe(&k_poss, &a, &b);
+            assert_eq!(prob_safe, poss_safe);
+        }
+    }
+}
+
+/// The subcube and up-set family oracles agree with brute-force
+/// enumeration on safety across every (A, B) for n = 2 (exhaustive) —
+/// closing the loop between closed-form intervals and Definition 3.1.
+#[test]
+fn family_oracles_vs_definition() {
+    let sub = SubcubeFamily::new(2);
+    let up = UpsetFamily::new(2);
+    let k_sub = sub.to_knowledge();
+    let k_up = up.to_knowledge();
+    let sub_explicit = ExplicitOracle::new(&k_sub);
+    let up_explicit = ExplicitOracle::new(&k_up);
+    for a in all_nonempty_subsets(4) {
+        for b in all_nonempty_subsets(4) {
+            assert_eq!(
+                safe_via_intervals(&sub, &a, &b),
+                safe_via_intervals(&sub_explicit, &a, &b)
+            );
+            assert_eq!(
+                safe_via_intervals(&up, &a, &b),
+                safe_via_intervals(&up_explicit, &a, &b)
+            );
+        }
+    }
+}
+
+/// Sequential acquisition (Section 3.3) matches the audit layer's
+/// cumulative disclosure on random logs.
+#[test]
+fn acquisition_matches_cumulative_disclosure() {
+    let schema = Schema::from_names(&["r0", "r1", "r2"]).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    for _ in 0..20 {
+        let mut log = AuditLog::new(schema.clone());
+        let state = DatabaseState::from_mask(rng.gen_range(0..8));
+        let mut sets = Vec::new();
+        for t in 0..5u64 {
+            let q = epi_audit::workload::random_query(&schema, &mut rng);
+            log.record("eve", t, q.clone(), state).unwrap();
+            let d = log.entries().last().unwrap();
+            sets.push(d.disclosed_set(&schema));
+        }
+        let refs: Vec<&WorldSet> = sets.iter().collect();
+        let direct = preserving::acquire_sequence(&schema.cube().full_set(), &refs);
+        assert_eq!(direct, log.cumulative_disclosure("eve", 10));
+        // The actual world is never ruled out (truthful answers).
+        assert!(direct.contains(epi_core::WorldId(state.mask())));
+    }
+}
+
+/// Π_m⁺ verdicts are internally consistent: the sufficient criterion never
+/// contradicts the refuter, and refuter witnesses always satisfy the
+/// family constraint.
+#[test]
+fn supermodular_layers_agree() {
+    let cube = Cube::new(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    for _ in 0..60 {
+        let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let sufficient = supermodular::sufficient_supermodular(&cube, &a, &b);
+        let verdict = logsupermod::search_supermodular(
+            &cube,
+            &a,
+            &b,
+            Default::default(),
+            &mut rng,
+        );
+        if sufficient {
+            assert!(
+                !verdict.is_unsafe(),
+                "refuter contradicted the sufficient criterion at A={a:?} B={b:?}"
+            );
+        }
+        if let Some(w) = verdict.witness() {
+            assert!(is_log_supermodular(&cube, &w.prior, 1e-9));
+            assert!(w.gain > 0.0);
+        }
+    }
+}
+
+/// Probabilistic knowledge acquisition is consistent with the audit
+/// pipeline's conditional reasoning: conditioning a prior on a user's
+/// cumulative disclosure reproduces Definition 3.4's posterior.
+#[test]
+fn conditioning_pipeline() {
+    let schema = Schema::from_names(&["r0", "r1"]).unwrap();
+    let mut log = AuditLog::new(schema.clone());
+    let state = DatabaseState::from_mask(0b11);
+    log.record("u", 1, parse("r0 | r1", &schema).unwrap(), state)
+        .unwrap();
+    log.record("u", 2, parse("r1", &schema).unwrap(), state)
+        .unwrap();
+    let b = log.cumulative_disclosure("u", 5);
+    let prior = Distribution::from_unnormalized(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+    let posterior = prior.condition(&b).unwrap();
+    // Chained conditioning equals conditioning on the intersection.
+    let b1 = parse("r0 | r1", &schema).unwrap().compile(&schema);
+    let b2 = parse("r1", &schema).unwrap().compile(&schema);
+    let chained = prior.condition(&b1).unwrap().condition(&b2).unwrap();
+    assert!(posterior.linf_distance(&chained) < 1e-12);
+}
+
+/// Possibilistic breaches found by Definition 3.1 always have a
+/// probabilistic counterpart (a prior concentrated near the breaching
+/// knowledge set gains confidence too) — the two models tell one story.
+#[test]
+fn possibilistic_breach_has_probabilistic_shadow() {
+    let n = 4;
+    let k = PossKnowledge::unrestricted(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut checked = 0;
+    while checked < 30 {
+        let a = WorldSet::from_predicate(n, |_| rng.gen());
+        let b = WorldSet::from_predicate(n, |_| rng.gen());
+        if a.is_empty() || b.is_empty() {
+            continue;
+        }
+        let Err(breach) = possibilistic::safe(&k, &a, &b) else {
+            continue;
+        };
+        checked += 1;
+        // Uniform prior over the breaching knowledge set S.
+        let s = breach.witness.set();
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                if s.contains(epi_core::WorldId(i as u32)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let p = Distribution::from_unnormalized(weights).unwrap();
+        let pb = p.prob(&b);
+        assert!(pb > 0.0);
+        let gain = p.prob(&a.intersection(&b)) / pb - p.prob(&a);
+        assert!(
+            gain > 1e-12,
+            "possibilistic breach must shadow probabilistically: A={a:?} B={b:?} S={s:?}"
+        );
+    }
+}
+
+/// Query-language compilation, the cube layer, and WorldSet agree on
+/// random queries (three-layer consistency).
+#[test]
+fn query_cube_worldset_consistency() {
+    let schema = Schema::from_names(&["r0", "r1", "r2", "r3"]).unwrap();
+    let cube = schema.cube();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+    for _ in 0..100 {
+        let q = epi_audit::workload::random_query(&schema, &mut rng);
+        let set = q.compile(&schema);
+        // Evaluation agreement on every world.
+        for w in cube.worlds() {
+            assert_eq!(q.eval(w), set.contains(epi_core::WorldId(w)));
+        }
+        // Monotonicity agreement.
+        assert_eq!(q.is_monotone(&schema), cube.is_up_set(&set));
+        // Negation duality.
+        assert_eq!(Query::not(q).compile(&schema), set.complement());
+    }
+}

@@ -1,0 +1,96 @@
+//! Exhaustive ground-truth validation at `n = 2`: every pair of non-empty
+//! sets over `{0,1}²` (225 pairs), with product-distribution safety decided
+//! three independent ways — the complete solver, a dense rational grid with
+//! exact arithmetic, and the criteria bracket — all of which must agree.
+
+use epi_boolean::{Cube, RationalProductDist};
+use epi_core::world::all_nonempty_subsets;
+use epi_core::WorldSet;
+use epi_num::Rational;
+use epi_solver::{decide_product_pipeline, decide_product_safety, ProductSolverOptions, Verdict};
+
+/// Exact rational grid refutation: scan a 33×33 grid of dyadic Bernoulli
+/// vectors; any exactly-negative gap is a rigorous breach witness.
+fn grid_refutes(a: &WorldSet, b: &WorldSet) -> bool {
+    for i in 0..=32 {
+        for j in 0..=32 {
+            let p = RationalProductDist::new(vec![
+                Rational::new(i, 32),
+                Rational::new(j, 32),
+            ])
+            .unwrap();
+            if p.safety_gap(a, b).is_negative() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn n2_exhaustive_three_way_agreement() {
+    let cube = Cube::new(2);
+    let mut solver_safe = 0usize;
+    let mut grid_breaches = 0usize;
+    for a in all_nonempty_subsets(4) {
+        for b in all_nonempty_subsets(4) {
+            let (verdict, _) =
+                decide_product_safety(&cube, &a, &b, ProductSolverOptions::default());
+            let refuted_on_grid = grid_refutes(&a, &b);
+            match &verdict {
+                Verdict::Safe(_) => {
+                    solver_safe += 1;
+                    assert!(
+                        !refuted_on_grid,
+                        "solver Safe but grid refutes: A={a:?} B={b:?}"
+                    );
+                }
+                Verdict::Unsafe(w) => {
+                    grid_breaches += refuted_on_grid as usize;
+                    assert!(w.gap.is_negative());
+                }
+                Verdict::Unknown => panic!("Unknown at n = 2: A={a:?} B={b:?}"),
+            }
+            // Pipeline and direct solver agree.
+            let pipeline = decide_product_pipeline(&cube, &a, &b, ProductSolverOptions::default());
+            assert_eq!(pipeline.verdict.is_safe(), verdict.is_safe());
+        }
+    }
+    // Sanity on the counts: a substantial number of both classes exists.
+    assert!(solver_safe > 50, "expected many safe pairs, got {solver_safe}");
+    assert!(grid_breaches > 50, "expected many grid-refutable pairs");
+}
+
+/// The grid sweep and the box-counting necessary criterion never disagree
+/// in the direction they are allowed to speak.
+#[test]
+fn n2_grid_vs_necessary_criterion() {
+    use epi_boolean::criteria::necessary;
+    let cube = Cube::new(2);
+    for a in all_nonempty_subsets(4) {
+        for b in all_nonempty_subsets(4) {
+            if !necessary::necessary_product(&cube, &a, &b) {
+                // Criterion refutes ⟹ grid must find a breach too (the
+                // refuting corner priors live on the grid).
+                assert!(grid_refutes(&a, &b), "A={a:?} B={b:?}");
+            }
+        }
+    }
+}
+
+/// Every solver refutation witness at n = 2 replays exactly on the
+/// rational product distribution it names.
+#[test]
+fn n2_witnesses_replay_exactly() {
+    let cube = Cube::new(2);
+    for a in all_nonempty_subsets(4) {
+        for b in all_nonempty_subsets(4) {
+            let (verdict, _) =
+                decide_product_safety(&cube, &a, &b, ProductSolverOptions::default());
+            if let Verdict::Unsafe(w) = verdict {
+                let p = RationalProductDist::new(w.probs.clone()).unwrap();
+                assert_eq!(p.safety_gap(&a, &b), w.gap, "A={a:?} B={b:?}");
+            }
+        }
+    }
+}

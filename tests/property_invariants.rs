@@ -1,0 +1,173 @@
+//! Cross-crate property tests for the symmetry laws the theory demands.
+//!
+//! `Safe_Π(A, B) ⟺ ∀P: P[AB] ≤ P[A]·P[B]` is symmetric in `A` and `B`,
+//! invariant under relabeling coordinates, and (for the coordinate-wise
+//! families) invariant under flipping all bits (`pᵢ ↦ 1 − pᵢ`). Every
+//! criterion and solver must respect these symmetries — a cheap, brutal
+//! detector of asymmetric implementation bugs.
+
+use epi_boolean::criteria::{cancellation, miklau_suciu, monotonicity, necessary, supermodular};
+use epi_boolean::{generate, Cube};
+use epi_core::{WorldId, WorldSet};
+use epi_solver::{decide_product_safety, ProductSolverOptions};
+use rand::{Rng, SeedableRng};
+
+fn permute_set(cube: &Cube, s: &WorldSet, perm: &[usize]) -> WorldSet {
+    cube.set_from_predicate(|w| {
+        // Apply the inverse permutation to the world before membership.
+        let mut orig = 0u32;
+        for (new_pos, &old_pos) in perm.iter().enumerate() {
+            if w >> new_pos & 1 == 1 {
+                orig |= 1 << old_pos;
+            }
+        }
+        s.contains(WorldId(orig))
+    })
+}
+
+fn flip_set(cube: &Cube, s: &WorldSet) -> WorldSet {
+    cube.translate(cube.full_mask(), s)
+}
+
+#[test]
+fn criteria_are_symmetric_in_a_and_b() {
+    let cube = Cube::new(4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    for _ in 0..200 {
+        let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        assert_eq!(
+            miklau_suciu::independent(&cube, &a, &b),
+            miklau_suciu::independent(&cube, &b, &a)
+        );
+        assert_eq!(
+            monotonicity::safe_monotone(&cube, &a, &b),
+            monotonicity::safe_monotone(&cube, &b, &a)
+        );
+        assert_eq!(
+            cancellation::cancellation(&cube, &a, &b),
+            cancellation::cancellation(&cube, &b, &a),
+            "cancellation must be symmetric: A={a:?} B={b:?}"
+        );
+        assert_eq!(
+            necessary::necessary_product(&cube, &a, &b),
+            necessary::necessary_product(&cube, &b, &a)
+        );
+        assert_eq!(
+            supermodular::necessary_supermodular(&cube, &a, &b),
+            supermodular::necessary_supermodular(&cube, &b, &a)
+        );
+    }
+}
+
+#[test]
+fn solver_is_symmetric_in_a_and_b() {
+    let cube = Cube::new(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+    for _ in 0..60 {
+        let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let ab = decide_product_safety(&cube, &a, &b, ProductSolverOptions::default()).0;
+        let ba = decide_product_safety(&cube, &b, &a, ProductSolverOptions::default()).0;
+        assert_eq!(ab.is_safe(), ba.is_safe(), "A={a:?} B={b:?}");
+        assert_eq!(ab.is_unsafe(), ba.is_unsafe());
+    }
+}
+
+#[test]
+fn criteria_invariant_under_coordinate_permutation() {
+    let cube = Cube::new(4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    for _ in 0..100 {
+        let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        // Random permutation of the 4 coordinates.
+        let mut perm: Vec<usize> = (0..4).collect();
+        for i in 0..4 {
+            let j = rng.gen_range(i..4);
+            perm.swap(i, j);
+        }
+        let pa = permute_set(&cube, &a, &perm);
+        let pb = permute_set(&cube, &b, &perm);
+        assert_eq!(pa.len(), a.len());
+        assert_eq!(
+            cancellation::cancellation(&cube, &a, &b),
+            cancellation::cancellation(&cube, &pa, &pb),
+            "cancellation must be permutation-invariant"
+        );
+        assert_eq!(
+            miklau_suciu::independent(&cube, &a, &b),
+            miklau_suciu::independent(&cube, &pa, &pb)
+        );
+        assert_eq!(
+            monotonicity::safe_monotone(&cube, &a, &b),
+            monotonicity::safe_monotone(&cube, &pa, &pb)
+        );
+        assert_eq!(
+            necessary::necessary_product(&cube, &a, &b),
+            necessary::necessary_product(&cube, &pa, &pb)
+        );
+    }
+}
+
+#[test]
+fn criteria_invariant_under_global_bit_flip() {
+    // pᵢ ↦ 1 − pᵢ maps the product family onto itself, so flipping every
+    // coordinate of both sets preserves product-safety — and each
+    // coordinate-wise criterion.
+    let cube = Cube::new(4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+    for _ in 0..100 {
+        let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let fa = flip_set(&cube, &a);
+        let fb = flip_set(&cube, &b);
+        assert_eq!(
+            cancellation::cancellation(&cube, &a, &b),
+            cancellation::cancellation(&cube, &fa, &fb)
+        );
+        assert_eq!(
+            miklau_suciu::independent(&cube, &a, &b),
+            miklau_suciu::independent(&cube, &fa, &fb)
+        );
+        assert_eq!(
+            monotonicity::safe_monotone(&cube, &a, &b),
+            monotonicity::safe_monotone(&cube, &fa, &fb)
+        );
+        assert_eq!(
+            necessary::necessary_product(&cube, &a, &b),
+            necessary::necessary_product(&cube, &fa, &fb)
+        );
+    }
+}
+
+#[test]
+fn solver_invariant_under_global_bit_flip() {
+    let cube = Cube::new(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+    for _ in 0..60 {
+        let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        let fa = flip_set(&cube, &a);
+        let fb = flip_set(&cube, &b);
+        let orig = decide_product_safety(&cube, &a, &b, ProductSolverOptions::default()).0;
+        let flipped = decide_product_safety(&cube, &fa, &fb, ProductSolverOptions::default()).0;
+        assert_eq!(orig.is_safe(), flipped.is_safe(), "A={a:?} B={b:?}");
+    }
+}
+
+#[test]
+fn tautologies_and_contradictions_are_universally_safe() {
+    // B = Ω discloses nothing; B with A∩B = ∅ discloses "not A".
+    let cube = Cube::new(4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+    for _ in 0..50 {
+        let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+        assert!(cancellation::cancellation(&cube, &a, &cube.full_set()));
+        let not_a = a.complement();
+        if !not_a.is_empty() {
+            let v = decide_product_safety(&cube, &a, &not_a, ProductSolverOptions::default()).0;
+            assert!(v.is_safe(), "disclosing ¬A cannot raise confidence in A");
+        }
+    }
+}
