@@ -126,7 +126,11 @@ impl AuditReport {
             };
             out.push_str(&format!(
                 "  [{:>12}] t={:<6} {:<10} {:<12} — {}\n",
-                e.user, e.time, kind, e.finding.to_string(), e.explanation
+                e.user,
+                e.time,
+                kind,
+                e.finding.to_string(),
+                e.explanation
             ));
         }
         out
@@ -185,17 +189,17 @@ impl Auditor {
                         Finding::Flagged,
                         format!(
                             "product prior p = {:?} gains {} (stage {})",
-                            w.probs
-                                .iter()
-                                .map(|r| r.to_f64())
-                                .collect::<Vec<_>>(),
+                            w.probs.iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
                             (-w.gap.to_f64()),
                             decision.stage.label()
                         ),
                     ),
                     Verdict::Unknown => (
                         Finding::Inconclusive,
-                        format!("budget exhausted at stage {}", Stage::BranchAndBound.label()),
+                        format!(
+                            "budget exhausted at stage {}",
+                            Stage::BranchAndBound.label()
+                        ),
                     ),
                 }
             }
@@ -331,11 +335,7 @@ mod tests {
         let report = auditor.audit(&log, &q);
         assert_eq!(report.flagged_users(), vec!["mallory"]);
         // Alice/Cindy entries cite the negative-result rule.
-        let alice = report
-            .entries
-            .iter()
-            .find(|e| e.user == "alice")
-            .unwrap();
+        let alice = report.entries.iter().find(|e| e.user == "alice").unwrap();
         assert_eq!(alice.finding, Finding::Safe);
         assert!(alice.explanation.contains("not protected"));
     }

@@ -188,7 +188,10 @@ mod tests {
         let db = DatabaseState::from_present([RecordId(0)]); // HIV+, no transfusions
         let q = parse("hiv_pos -> transfusions", &schema).unwrap();
         let d = log.record("alice", 1, q, db).unwrap();
-        assert!(!d.answer, "HIV+ without transfusions falsifies the implication");
+        assert!(
+            !d.answer,
+            "HIV+ without transfusions falsifies the implication"
+        );
         // Disclosed set is the complement of the query set.
         let set = d.disclosed_set(&schema).clone();
         assert_eq!(set, WorldSet::from_indices(4, [1])); // only world 01 (hiv, no transf)
@@ -212,8 +215,13 @@ mod tests {
     fn cumulative_disclosure_is_intersection() {
         let (schema, mut log) = setup();
         let db = DatabaseState::from_present([RecordId(0), RecordId(1)]);
-        log.record("alice", 1, parse("hiv_pos | transfusions", &schema).unwrap(), db)
-            .unwrap();
+        log.record(
+            "alice",
+            1,
+            parse("hiv_pos | transfusions", &schema).unwrap(),
+            db,
+        )
+        .unwrap();
         log.record("alice", 2, parse("transfusions", &schema).unwrap(), db)
             .unwrap();
         log.record("mallory", 3, parse("hiv_pos", &schema).unwrap(), db)

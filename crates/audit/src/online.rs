@@ -266,17 +266,13 @@ mod tests {
     fn always_answer_breaches_direct_query() {
         let s = schema();
         let audited = parse("hiv_pos", &s).unwrap();
-        let breach =
-            audit_strategy(&s, &AlwaysAnswer, &audited, &audited).unwrap_err();
+        let breach = audit_strategy(&s, &AlwaysAnswer, &audited, &audited).unwrap_err();
         assert_eq!(breach.observation, Observation::True);
         // Footnote 2, executable:
         let implication = parse("hiv_pos -> transfusions", &s).unwrap();
-        let breach =
-            audit_strategy(&s, &AlwaysAnswer, &audited, &implication).unwrap_err();
+        let breach = audit_strategy(&s, &AlwaysAnswer, &audited, &implication).unwrap_err();
         assert_eq!(breach.observation, Observation::False);
-        assert!(breach
-            .implicit_disclosure
-            .is_subset(&audited.compile(&s)));
+        assert!(breach.implicit_disclosure.is_subset(&audited.compile(&s)));
     }
 
     /// The data-independent denial strategy never leaks through denials:
@@ -318,14 +314,10 @@ mod tests {
     fn workload_audit_collects_breaches() {
         let s = schema();
         let audited = parse("hiv_pos", &s).unwrap();
-        let queries: Vec<Query> = [
-            "hiv_pos",
-            "hiv_pos -> transfusions",
-            "transfusions",
-        ]
-        .iter()
-        .map(|q| parse(q, &s).unwrap())
-        .collect();
+        let queries: Vec<Query> = ["hiv_pos", "hiv_pos -> transfusions", "transfusions"]
+            .iter()
+            .map(|q| parse(q, &s).unwrap())
+            .collect();
         let breaches = audit_strategy_workload(&s, &AlwaysAnswer, &audited, &queries);
         let breached: Vec<String> = breaches
             .iter()

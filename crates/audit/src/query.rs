@@ -111,7 +111,10 @@ impl Query {
 
     /// Renders with the schema's record names.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
-        QueryDisplay { query: self, schema }
+        QueryDisplay {
+            query: self,
+            schema,
+        }
     }
 }
 
@@ -357,7 +360,9 @@ mod tests {
         assert!(parse("hiv_pos & transfusions", &s).unwrap().is_monotone(&s));
         assert!(parse("hiv_pos | diabetic", &s).unwrap().is_monotone(&s));
         assert!(!parse("!hiv_pos", &s).unwrap().is_monotone(&s));
-        assert!(!parse("hiv_pos -> transfusions", &s).unwrap().is_monotone(&s));
+        assert!(!parse("hiv_pos -> transfusions", &s)
+            .unwrap()
+            .is_monotone(&s));
         assert!(parse("true", &s).unwrap().is_monotone(&s));
     }
 

@@ -38,8 +38,15 @@ impl Schema {
         }
         for (i, r) in records.iter().enumerate() {
             let mut chars = r.name.chars();
-            let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
-            if !head_ok || !r.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            let head_ok = chars
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+            if !head_ok
+                || !r
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
                 return Err(SchemaError::BadName(r.name.clone()));
             }
             if records[..i].iter().any(|other| other.name == r.name) {

@@ -18,32 +18,46 @@ fn bench(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let p = IsingModel::random(n, 0.8, 1.2, &mut rng).to_distribution();
         let f = CubeFn::new(p.weights().to_vec());
-        g.bench_with_input(BenchmarkId::new("pointwise_condition", n), &n, |bench, _| {
-            bench.iter(|| {
-                pointwise_condition(
-                    black_box(&cube),
-                    black_box(&f),
-                    black_box(&f),
-                    black_box(&f),
-                    black_box(&f),
-                    1e-12,
-                )
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("is_log_supermodular", n), &n, |bench, _| {
-            bench.iter(|| is_log_supermodular(black_box(&cube), black_box(&p), 1e-9))
-        });
-        g.bench_with_input(BenchmarkId::new("ising_to_distribution", n), &n, |bench, _| {
-            let m = IsingModel::random(n, 0.8, 1.2, &mut rng);
-            bench.iter(|| black_box(&m).to_distribution())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pointwise_condition", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    pointwise_condition(
+                        black_box(&cube),
+                        black_box(&f),
+                        black_box(&f),
+                        black_box(&f),
+                        black_box(&f),
+                        1e-12,
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("is_log_supermodular", n),
+            &n,
+            |bench, _| bench.iter(|| is_log_supermodular(black_box(&cube), black_box(&p), 1e-9)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("ising_to_distribution", n),
+            &n,
+            |bench, _| {
+                let m = IsingModel::random(n, 0.8, 1.2, &mut rng);
+                bench.iter(|| black_box(&m).to_distribution())
+            },
+        );
         let (a, b) = PairShape::MonotoneNo.sample(&cube, &mut rng);
         g.bench_with_input(
             BenchmarkId::new("prop_5_4_sufficient", n),
             &n,
             |bench, _| {
                 bench.iter(|| {
-                    supermodular::sufficient_supermodular(black_box(&cube), black_box(&a), black_box(&b))
+                    supermodular::sufficient_supermodular(
+                        black_box(&cube),
+                        black_box(&a),
+                        black_box(&b),
+                    )
                 })
             },
         );

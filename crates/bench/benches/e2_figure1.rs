@@ -15,8 +15,25 @@ use std::hint::black_box;
 fn figure1_not_a(f: &RectangleFamily) -> WorldSet {
     let mut not_a = WorldSet::empty(f.universe_size());
     for (x, y) in [
-        (3, 3), (4, 2), (5, 1), (4, 4), (5, 3), (6, 2), (6, 1), (5, 4), (6, 3),
-        (7, 2), (7, 1), (6, 4), (7, 3), (8, 2), (8, 3), (7, 4), (8, 4), (9, 2), (9, 3),
+        (3, 3),
+        (4, 2),
+        (5, 1),
+        (4, 4),
+        (5, 3),
+        (6, 2),
+        (6, 1),
+        (5, 4),
+        (6, 3),
+        (7, 2),
+        (7, 1),
+        (6, 4),
+        (7, 3),
+        (8, 2),
+        (8, 3),
+        (7, 4),
+        (8, 4),
+        (9, 2),
+        (9, 3),
     ] {
         not_a.insert(f.pixel(x, y));
     }
@@ -30,9 +47,7 @@ fn bench(c: &mut Criterion) {
     let w1 = f.pixel(1, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let disclosures: Vec<WorldSet> = (0..64)
-        .map(|_| {
-            WorldSet::from_predicate(f.universe_size(), |_| rng.gen::<f64>() < 0.5)
-        })
+        .map(|_| WorldSet::from_predicate(f.universe_size(), |_| rng.gen::<f64>() < 0.5))
         .collect();
 
     let mut g = c.benchmark_group("e2_figure1");

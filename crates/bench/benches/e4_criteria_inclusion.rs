@@ -38,10 +38,13 @@ fn bench(c: &mut Criterion) {
             bench.iter(|| miklau_suciu::independent(black_box(&cube), black_box(&a), black_box(&b)))
         });
         g.bench_with_input(BenchmarkId::new("monotonicity", n), &n, |bench, _| {
-            bench.iter(|| monotonicity::safe_monotone(black_box(&cube), black_box(&a), black_box(&b)))
+            bench.iter(|| {
+                monotonicity::safe_monotone(black_box(&cube), black_box(&a), black_box(&b))
+            })
         });
         g.bench_with_input(BenchmarkId::new("cancellation", n), &n, |bench, _| {
-            bench.iter(|| cancellation::cancellation(black_box(&cube), black_box(&a), black_box(&b)))
+            bench
+                .iter(|| cancellation::cancellation(black_box(&cube), black_box(&a), black_box(&b)))
         });
     }
     g.finish();

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("is_preserving_unrestricted", n),
             &n,
-            |bench, _| {
-                bench.iter(|| preserving::is_preserving_poss(black_box(&k), black_box(&b)))
-            },
+            |bench, _| bench.iter(|| preserving::is_preserving_poss(black_box(&k), black_box(&b))),
         );
     }
     // Sequential acquisition over long disclosure chains.

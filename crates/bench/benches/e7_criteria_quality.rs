@@ -22,14 +22,18 @@ fn bench(c: &mut Criterion) {
     for n in [4usize, 6, 8] {
         let cube = Cube::new(n);
         let workload = pairs(&cube, 16, 8);
-        g.bench_with_input(BenchmarkId::new("cancellation_grouped", n), &n, |bench, _| {
-            bench.iter(|| {
-                workload
-                    .iter()
-                    .filter(|(a, b)| cancellation::cancellation(black_box(&cube), a, b))
-                    .count()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cancellation_grouped", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    workload
+                        .iter()
+                        .filter(|(a, b)| cancellation::cancellation(black_box(&cube), a, b))
+                        .count()
+                })
+            },
+        );
         // The naive ablation is 3ⁿ-per-pair; cap it at n = 6.
         if n <= 6 {
             g.bench_with_input(BenchmarkId::new("cancellation_naive", n), &n, |bench, _| {

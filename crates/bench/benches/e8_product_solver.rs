@@ -64,7 +64,9 @@ fn bench(c: &mut Criterion) {
     ];
     for (name, opts) in configs {
         g.bench_function(BenchmarkId::new("remark512_ablation", name), |bench| {
-            bench.iter(|| decide_product_safety(black_box(&cube), black_box(&a), black_box(&b), opts))
+            bench.iter(|| {
+                decide_product_safety(black_box(&cube), black_box(&a), black_box(&b), opts)
+            })
         });
     }
     g.finish();

@@ -23,9 +23,7 @@ use epi_core::world::all_nonempty_subsets;
 use epi_core::{possibilistic, preserving, unrestricted, PossKnowledge, WorldSet};
 use epi_solver::hardness::{decide_cut_threshold, Graph};
 use epi_solver::logsupermod::{self, SupermodularSearchOptions};
-use epi_solver::{
-    decide_product_pipeline, decide_product_safety, ProductSolverOptions, Stage,
-};
+use epi_solver::{decide_product_pipeline, decide_product_safety, ProductSolverOptions, Stage};
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -121,12 +119,37 @@ fn e2_figure1() {
     let i2 = f.as_rect(&f.interval(w1, f.pixel(8, 2)).unwrap()).unwrap();
     println!("| quantity | paper | measured |");
     println!("|---|---|---|");
-    println!("| I_K(ω₁, ω₂)  | (1,1)–(4,4) | {:?}–{:?} |", i1.corner_form().0, i1.corner_form().1);
-    println!("| I_K(ω₁, ω₂′) | (1,1)–(9,3) | {:?}–{:?} |", i2.corner_form().0, i2.corner_form().1);
+    println!(
+        "| I_K(ω₁, ω₂)  | (1,1)–(4,4) | {:?}–{:?} |",
+        i1.corner_form().0,
+        i1.corner_form().1
+    );
+    println!(
+        "| I_K(ω₁, ω₂′) | (1,1)–(9,3) | {:?}–{:?} |",
+        i2.corner_form().0,
+        i2.corner_form().1
+    );
     let mut not_a = WorldSet::empty(f.universe_size());
     for (x, y) in [
-        (3, 3), (4, 2), (5, 1), (4, 4), (5, 3), (6, 2), (6, 1), (5, 4), (6, 3),
-        (7, 2), (7, 1), (6, 4), (7, 3), (8, 2), (8, 3), (7, 4), (8, 4), (9, 2), (9, 3),
+        (3, 3),
+        (4, 2),
+        (5, 1),
+        (4, 4),
+        (5, 3),
+        (6, 2),
+        (6, 1),
+        (5, 4),
+        (6, 3),
+        (7, 2),
+        (7, 1),
+        (6, 4),
+        (7, 3),
+        (8, 2),
+        (8, 3),
+        (7, 4),
+        (8, 4),
+        (9, 2),
+        (9, 3),
     ] {
         not_a.insert(f.pixel(x, y));
     }
@@ -144,7 +167,10 @@ fn e2_figure1() {
     );
     let a = not_a.complement();
     let margin = SafetyMargin::compute_checked(&f, &a);
-    println!("| tight intervals / exact β | yes (Cor 4.14 applies) | {} |\n", margin.is_exact());
+    println!(
+        "| tight intervals / exact β | yes (Cor 4.14 applies) | {} |\n",
+        margin.is_exact()
+    );
 }
 
 /// E3 — Theorem 3.11, validated exhaustively.
@@ -176,7 +202,9 @@ fn e3_unrestricted() {
 /// E4 — Theorem 5.11: criteria inclusion, exhaustive counts.
 fn e4_criteria_inclusion() {
     println!("## E4 — Theorem 5.11 (criteria inclusion), exhaustive counts\n");
-    println!("| n | pairs | Miklau–Suciu | monotonicity | MS ∪ mono | cancellation | Thm 5.11 holds |");
+    println!(
+        "| n | pairs | Miklau–Suciu | monotonicity | MS ∪ mono | cancellation | Thm 5.11 holds |"
+    );
     println!("|---|---|---|---|---|---|---|");
     for n in [2usize, 3] {
         let cube = Cube::new(n);
@@ -214,13 +242,21 @@ fn e5_cancellation_gap() {
     println!("| |AB×ĀB̄ ∩ Circ(***)| | 2 | {} |", d.negative);
     println!(
         "| cancellation criterion | fails | {} |",
-        if cancellation::cancellation(&cube, &a, &b) { "passes" } else { "fails" }
+        if cancellation::cancellation(&cube, &a, &b) {
+            "passes"
+        } else {
+            "fails"
+        }
     );
     let t = Instant::now();
     let decision = decide_product_pipeline(&cube, &a, &b, ProductSolverOptions::default());
     println!(
         "| Safe_Πm0(A,B) | holds | {} via {} ({:?}) |",
-        if decision.verdict.is_safe() { "holds" } else { "FAILS" },
+        if decision.verdict.is_safe() {
+            "holds"
+        } else {
+            "FAILS"
+        },
         decision.stage.label(),
         t.elapsed()
     );
@@ -313,7 +349,9 @@ fn e7_criteria_quality() {
             );
         }
     }
-    println!("\n(canc recall = fraction of exactly-safe pairs the cancellation criterion certifies)\n");
+    println!(
+        "\n(canc recall = fraction of exactly-safe pairs the cancellation criterion certifies)\n"
+    );
 }
 
 /// E8 — the product solver: verdict mix and ablations.
@@ -385,9 +423,7 @@ fn e8_product_solver() {
         .collect();
     let reference: Vec<bool> = pairs
         .iter()
-        .map(|(a, b)| {
-            decide_product_safety(&cube, a, b, configs[0].1).0.is_safe()
-        })
+        .map(|(a, b)| decide_product_safety(&cube, a, b, configs[0].1).0.is_safe())
         .collect();
     for (name, opts) in &configs {
         let t = Instant::now();
@@ -590,7 +626,9 @@ fn e11_four_functions() {
     println!("| quantity | expected | measured |");
     println!("|---|---|---|");
     println!("| Prop 5.2 failures refuted by an explicit Π_m⁺ prior | all | {refuted_of_those}/{nec_fail} |");
-    println!("| Prop 5.4 passes contradicted by the refuter | 0 | {suf_contradicted}/{suf_pass} |\n");
+    println!(
+        "| Prop 5.4 passes contradicted by the refuter | 0 | {suf_contradicted}/{suf_pass} |\n"
+    );
     if let Some(w) = logsupermod::search_supermodular(
         &cube,
         &cube.set_from_masks([0b111]),

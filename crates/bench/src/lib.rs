@@ -104,7 +104,9 @@ mod tests {
         let (_, a, b) = hiv_pair();
         assert!(epi_core::unrestricted::safe_unrestricted(&a, &b));
         let (cube, a, b) = remark_5_12_pair();
-        assert!(!epi_boolean::criteria::cancellation::cancellation(&cube, &a, &b));
+        assert!(!epi_boolean::criteria::cancellation::cancellation(
+            &cube, &a, &b
+        ));
     }
 
     #[test]

@@ -155,7 +155,15 @@ mod tests {
     #[test]
     fn constant_sets_always_independent() {
         let cube = Cube::new(3);
-        assert!(independent(&cube, &cube.full_set(), &cube.set_from_masks([1, 5])));
-        assert!(independent(&cube, &cube.empty_set(), &cube.set_from_masks([2])));
+        assert!(independent(
+            &cube,
+            &cube.full_set(),
+            &cube.set_from_masks([1, 5])
+        ));
+        assert!(independent(
+            &cube,
+            &cube.empty_set(),
+            &cube.set_from_masks([2])
+        ));
     }
 }

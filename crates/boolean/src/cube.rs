@@ -202,8 +202,7 @@ impl Cube {
     pub fn is_critical(&self, a: &WorldSet, i: usize) -> bool {
         assert!(i < self.n);
         let bit = 1u32 << i;
-        (0..self.size() as u32)
-            .any(|w| a.contains(WorldId(w)) != a.contains(WorldId(w ^ bit)))
+        (0..self.size() as u32).any(|w| a.contains(WorldId(w)) != a.contains(WorldId(w ^ bit)))
     }
 
     /// The set of critical coordinates of `A`, as a bitmask.

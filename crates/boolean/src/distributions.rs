@@ -42,7 +42,10 @@ impl ProductDist {
     pub fn new(probs: Vec<f64>) -> Result<ProductDist, CoreError> {
         if probs.is_empty() || probs.len() > crate::cube::MAX_DIMS {
             return Err(CoreError::InvalidDistribution {
-                reason: format!("product distribution needs 1..=20 coordinates, got {}", probs.len()),
+                reason: format!(
+                    "product distribution needs 1..=20 coordinates, got {}",
+                    probs.len()
+                ),
             });
         }
         if let Some((i, &p)) = probs
@@ -83,7 +86,11 @@ impl ProductDist {
 
     /// `P[A]` by summation over the members of `A`.
     pub fn prob(&self, a: &WorldSet) -> f64 {
-        assert_eq!(a.universe_size(), 1 << self.dims(), "set not over this cube");
+        assert_eq!(
+            a.universe_size(),
+            1 << self.dims(),
+            "set not over this cube"
+        );
         a.iter().map(|w| self.weight(w.0)).sum()
     }
 
@@ -181,7 +188,11 @@ enum Side {
 /// The largest violation of the (super/sub)modularity inequality over all
 /// world pairs; ≤ 0 means the property holds.
 fn modularity_violation(cube: &Cube, p: &Distribution, side: Side) -> f64 {
-    assert_eq!(p.universe_size(), cube.size(), "distribution not over this cube");
+    assert_eq!(
+        p.universe_size(),
+        cube.size(),
+        "distribution not over this cube"
+    );
     let mut worst = f64::NEG_INFINITY;
     for w1 in cube.worlds() {
         for w2 in cube.worlds() {
@@ -189,8 +200,7 @@ fn modularity_violation(cube: &Cube, p: &Distribution, side: Side) -> f64 {
                 continue; // symmetric
             }
             let lhs = p.weight(WorldId(w1)) * p.weight(WorldId(w2));
-            let rhs =
-                p.weight(WorldId(w1 & w2)) * p.weight(WorldId(w1 | w2));
+            let rhs = p.weight(WorldId(w1 & w2)) * p.weight(WorldId(w1 | w2));
             let v = match side {
                 Side::Super => lhs - rhs,
                 Side::Sub => rhs - lhs,
@@ -319,9 +329,9 @@ mod tests {
         // A = {10, 11} (r₁ present), B = {00, 01, 11}.
         let a = WorldSet::from_indices(4, [2, 3]);
         let b = WorldSet::from_indices(4, [0, 1, 3]);
-        for (p1, p2) in [(1, 2, 1, 3), (2, 3, 1, 7), (9, 10, 9, 10)].map(|(a_, b_, c, d)| {
-            (Rational::new(a_, b_), Rational::new(c, d))
-        }) {
+        for (p1, p2) in [(1, 2, 1, 3), (2, 3, 1, 7), (9, 10, 9, 10)]
+            .map(|(a_, b_, c, d)| (Rational::new(a_, b_), Rational::new(c, d)))
+        {
             let p = RationalProductDist::new(vec![p2, p1]).unwrap();
             assert!(
                 !p.safety_gap(&a, &b).is_negative(),

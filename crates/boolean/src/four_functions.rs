@@ -50,7 +50,11 @@ impl CubeFn {
 
     /// `f[A] = Σ_{a ∈ A} f(a)`.
     pub fn sum_over(&self, a: &WorldSet) -> f64 {
-        assert_eq!(a.universe_size(), self.values.len(), "set/function mismatch");
+        assert_eq!(
+            a.universe_size(),
+            self.values.len(),
+            "set/function mismatch"
+        );
         a.iter().map(|w| self.values[w.index()]).sum()
     }
 }
@@ -124,7 +128,11 @@ pub fn supermodular_set_inequality(
     x: &WorldSet,
     y: &WorldSet,
 ) -> f64 {
-    let f = CubeFn::new((0..cube.size() as u32).map(|w| p.weight(WorldId(w))).collect());
+    let f = CubeFn::new(
+        (0..cube.size() as u32)
+            .map(|w| p.weight(WorldId(w)))
+            .collect(),
+    );
     let join = cube.join_set(x, y);
     let meet = cube.meet_set(x, y);
     f.sum_over(&join) * f.sum_over(&meet) - f.sum_over(x) * f.sum_over(y)
@@ -168,8 +176,9 @@ mod tests {
         let cube = Cube::new(2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         for _ in 0..50 {
-            let rand_fn =
-                |rng: &mut rand::rngs::StdRng| CubeFn::new((0..4).map(|_| rng.gen::<f64>()).collect());
+            let rand_fn = |rng: &mut rand::rngs::StdRng| {
+                CubeFn::new((0..4).map(|_| rng.gen::<f64>()).collect())
+            };
             let (alpha, beta, gamma, delta) = (
                 rand_fn(&mut rng),
                 rand_fn(&mut rng),

@@ -95,7 +95,11 @@ impl MatchVector {
 
 impl fmt::Debug for MatchVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MatchVector(stars={:b}, values={:b})", self.stars, self.values)
+        write!(
+            f,
+            "MatchVector(stars={:b}, values={:b})",
+            self.stars, self.values
+        )
     }
 }
 
@@ -194,7 +198,12 @@ mod tests {
         let grouped = circ_counts(&x, &y);
         for w in MatchVector::all(3) {
             let naive = circ_count_single(w, &x, &y);
-            assert_eq!(grouped.get(&w).copied().unwrap_or(0), naive, "w = {}", w.display(3));
+            assert_eq!(
+                grouped.get(&w).copied().unwrap_or(0),
+                naive,
+                "w = {}",
+                w.display(3)
+            );
         }
         // Total pairs.
         let total: u64 = grouped.values().sum();

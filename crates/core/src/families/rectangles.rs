@@ -84,7 +84,10 @@ impl RectangleFamily {
     ///
     /// Panics when out of the grid.
     pub fn pixel(&self, x: usize, y: usize) -> WorldId {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) outside grid");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) outside grid"
+        );
         WorldId((y * self.width + x) as u32)
     }
 
@@ -197,8 +200,7 @@ impl IntervalOracle for RectangleFamily {
 mod tests {
     use super::*;
     use crate::intervals::{
-        margin::has_tight_intervals, minimal::minimal_intervals, safe_via_intervals,
-        ExplicitOracle,
+        margin::has_tight_intervals, minimal::minimal_intervals, safe_via_intervals, ExplicitOracle,
     };
     use crate::possibilistic;
     use crate::world::all_nonempty_subsets;
@@ -325,7 +327,12 @@ mod tests {
     #[test]
     fn as_rect_rejects_non_rectangles() {
         let f = RectangleFamily::new(4, 3);
-        let mut s = f.rect_set(PixelRect { x0: 0, y0: 0, x1: 1, y1: 1 });
+        let mut s = f.rect_set(PixelRect {
+            x0: 0,
+            y0: 0,
+            x1: 1,
+            y1: 1,
+        });
         assert!(f.as_rect(&s).is_some());
         s.insert(f.pixel(3, 2));
         assert!(f.as_rect(&s).is_none());
@@ -336,8 +343,18 @@ mod tests {
     #[test]
     fn render_shape() {
         let f = RectangleFamily::new(3, 2);
-        let a = f.rect_set(PixelRect { x0: 0, y0: 0, x1: 0, y1: 1 });
-        let b = f.rect_set(PixelRect { x0: 0, y0: 1, x1: 2, y1: 1 });
+        let a = f.rect_set(PixelRect {
+            x0: 0,
+            y0: 0,
+            x1: 0,
+            y1: 1,
+        });
+        let b = f.rect_set(PixelRect {
+            x0: 0,
+            y0: 1,
+            x1: 2,
+            y1: 1,
+        });
         let pic = f.render(&a, &b);
         // Top row rendered first (y = 1): a∩b at x=0, then b.
         assert_eq!(pic, "*++\n#··\n");

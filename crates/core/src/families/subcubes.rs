@@ -102,9 +102,7 @@ impl IntervalOracle for SubcubeFamily {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::intervals::{
-        margin::has_tight_intervals, safe_via_intervals, ExplicitOracle,
-    };
+    use crate::intervals::{margin::has_tight_intervals, safe_via_intervals, ExplicitOracle};
     use crate::possibilistic;
     use crate::world::all_nonempty_subsets;
 

@@ -35,9 +35,7 @@ impl UpsetFamily {
 
     /// The up-closure `↑X = {ω : ∃ x ∈ X, x ≼ ω}`.
     pub fn up_closure(&self, x: &WorldSet) -> WorldSet {
-        WorldSet::from_predicate(1 << self.n, |w| {
-            x.iter().any(|gen| gen.0 & w.0 == gen.0)
-        })
+        WorldSet::from_predicate(1 << self.n, |w| x.iter().any(|gen| gen.0 & w.0 == gen.0))
     }
 
     /// `true` iff `s` is an up-set.

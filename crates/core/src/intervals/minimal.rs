@@ -178,7 +178,10 @@ mod tests {
         let ms = minimal_intervals(&oracle, WorldId(0), &x);
         let mut seen = std::collections::HashSet::new();
         for m in &ms {
-            assert!(seen.insert(format!("{:?}", m.interval)), "duplicate interval");
+            assert!(
+                seen.insert(format!("{:?}", m.interval)),
+                "duplicate interval"
+            );
         }
     }
 }

@@ -246,7 +246,10 @@ mod tests {
         let oracle = ExplicitOracle::new(&k);
         assert!(oracle.interval(WorldId(2), WorldId(0)).is_none());
         assert!(oracle.interval(WorldId(0), WorldId(2)).is_none());
-        assert_eq!(oracle.interval(WorldId(0), WorldId(1)), Some(ws(3, &[0, 1])));
+        assert_eq!(
+            oracle.interval(WorldId(0), WorldId(1)),
+            Some(ws(3, &[0, 1]))
+        );
     }
 
     #[test]

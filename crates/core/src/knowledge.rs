@@ -26,9 +26,7 @@ impl KnowledgeWorld {
     /// Remark 2.3.
     pub fn new(world: WorldId, set: WorldSet) -> Result<KnowledgeWorld, CoreError> {
         if !set.contains(world) {
-            return Err(CoreError::InconsistentKnowledgeWorld {
-                world: world.0,
-            });
+            return Err(CoreError::InconsistentKnowledgeWorld { world: world.0 });
         }
         Ok(KnowledgeWorld { world, set })
     }
@@ -257,7 +255,10 @@ impl PossKnowledge {
     /// (the auditor "discards from `K` all pairs `(ω, S)` such that `ω ∉ B`",
     /// Section 3.1), without updating the knowledge sets.
     pub fn restrict_to(&self, b: &WorldSet) -> Vec<&KnowledgeWorld> {
-        self.pairs.iter().filter(|p| b.contains(p.world())).collect()
+        self.pairs
+            .iter()
+            .filter(|p| b.contains(p.world()))
+            .collect()
     }
 }
 

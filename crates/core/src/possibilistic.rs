@@ -168,8 +168,7 @@ mod tests {
         let b = ws(n, &[0, 1, 3]);
         assert!(is_safe(&k, &a, &b));
         // Any sub-knowledge-set keeps safety.
-        let sub =
-            PossKnowledge::from_pairs(k.pairs().iter().take(5).cloned().collect()).unwrap();
+        let sub = PossKnowledge::from_pairs(k.pairs().iter().take(5).cloned().collect()).unwrap();
         assert!(is_safe(&sub, &a, &b));
     }
 

@@ -30,9 +30,10 @@ pub fn is_preserving_poss(k: &PossKnowledge, b: &WorldSet) -> bool {
 pub fn is_preserving_prob(k: &ProbKnowledge, b: &WorldSet) -> bool {
     k.pairs().iter().all(|pair| match pair.acquire(b) {
         None => true,
-        Some(post) => k.pairs().iter().any(|q| {
-            q.world() == post.world() && q.dist().linf_distance(post.dist()) < 1e-12
-        }),
+        Some(post) => k
+            .pairs()
+            .iter()
+            .any(|q| q.world() == post.world() && q.dist().linf_distance(post.dist()) < 1e-12),
     })
 }
 
@@ -44,11 +45,7 @@ pub fn is_preserving_prob(k: &ProbKnowledge, b: &WorldSet) -> bool {
 ///
 /// Panics if the precondition fails — callers use [`is_preserving_poss`]
 /// first; the function exists to make the proposition testable.
-pub fn preserving_intersection_poss(
-    k: &PossKnowledge,
-    b1: &WorldSet,
-    b2: &WorldSet,
-) -> WorldSet {
+pub fn preserving_intersection_poss(k: &PossKnowledge, b1: &WorldSet, b2: &WorldSet) -> WorldSet {
     assert!(
         is_preserving_poss(k, b1) && is_preserving_poss(k, b2),
         "preserving_intersection_poss requires both sets to be K-preserving"
@@ -193,7 +190,10 @@ mod tests {
             .collect();
         let k = ProbKnowledge::from_pairs(pairs).unwrap();
         for b in all_nonempty_subsets(n) {
-            assert!(is_preserving_prob(&k, &b), "point masses are closed under conditioning");
+            assert!(
+                is_preserving_prob(&k, &b),
+                "point masses are closed under conditioning"
+            );
         }
         // A singleton family {uniform} is not preserved by strict B.
         let k1 = ProbKnowledge::from_pairs(vec![ProbKnowledgeWorld::new(
@@ -216,7 +216,10 @@ mod tests {
         let mut dists = vec![base.clone()];
         for b in all_nonempty_subsets(n) {
             if let Some(c) = base.condition(&b) {
-                if dists.iter().all(|d: &Distribution| d.linf_distance(&c) > 1e-12) {
+                if dists
+                    .iter()
+                    .all(|d: &Distribution| d.linf_distance(&c) > 1e-12)
+                {
                     dists.push(c);
                 }
             }

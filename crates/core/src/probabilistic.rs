@@ -79,7 +79,10 @@ impl Distribution {
 
     /// The uniform distribution over a universe of the given size.
     pub fn uniform(universe: usize) -> Distribution {
-        assert!(universe > 0, "uniform distribution needs a non-empty universe");
+        assert!(
+            universe > 0,
+            "uniform distribution needs a non-empty universe"
+        );
         Distribution {
             weights: vec![1.0 / universe as f64; universe],
         }
@@ -201,10 +204,7 @@ impl ProbKnowledgeWorld {
         if !b.contains(self.world) {
             return None;
         }
-        let dist = self
-            .dist
-            .condition(b)
-            .expect("P[B] ≥ P(ω) > 0 since ω ∈ B");
+        let dist = self.dist.condition(b).expect("P[B] ≥ P(ω) > 0 since ω ∈ B");
         Some(ProbKnowledgeWorld {
             world: self.world,
             dist,
@@ -227,10 +227,7 @@ impl ProbKnowledge {
             .ok_or(CoreError::EmptyKnowledge)?
             .dist()
             .universe_size();
-        if let Some(bad) = pairs
-            .iter()
-            .find(|p| p.dist().universe_size() != universe)
-        {
+        if let Some(bad) = pairs.iter().find(|p| p.dist().universe_size() != universe) {
             return Err(CoreError::UniverseMismatch {
                 expected: universe,
                 found: bad.dist().universe_size(),
@@ -337,9 +334,8 @@ pub fn is_safe(k: &ProbKnowledge, a: &WorldSet, b: &WorldSet) -> bool {
 /// ```
 pub fn safe_family(c: &WorldSet, pi: &[Distribution], a: &WorldSet, b: &WorldSet) -> bool {
     let bc = b.intersection(c);
-    pi.iter().all(|p| {
-        p.prob(&bc) <= 0.0 || p.prob(&a.intersection(b)) <= p.prob(a) * p.prob(b)
-    })
+    pi.iter()
+        .all(|p| p.prob(&bc) <= 0.0 || p.prob(&a.intersection(b)) <= p.prob(a) * p.prob(b))
 }
 
 /// Tests `Safe_Π(A, B)` per Proposition 3.8 (the `C`-liftable form):
@@ -513,9 +509,7 @@ mod tests {
             // compare when the margin is clear.
             let margin = pi
                 .iter()
-                .map(|p| {
-                    (p.prob(&a.intersection(&b)) - p.prob(&a) * p.prob(&b)).abs()
-                })
+                .map(|p| (p.prob(&a.intersection(&b)) - p.prob(&a) * p.prob(&b)).abs())
                 .fold(f64::INFINITY, f64::min);
             if margin < 1e-9 {
                 continue;

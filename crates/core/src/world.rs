@@ -170,14 +170,24 @@ impl WorldSet {
     /// Panics if `w` is out of bounds for this universe.
     pub fn contains(&self, w: WorldId) -> bool {
         let i = w.index();
-        assert!(i < self.universe, "world {} out of universe {}", i, self.universe);
+        assert!(
+            i < self.universe,
+            "world {} out of universe {}",
+            i,
+            self.universe
+        );
         self.blocks[i / BLOCK_BITS] >> (i % BLOCK_BITS) & 1 == 1
     }
 
     /// Inserts a world; returns `true` if it was newly added.
     pub fn insert(&mut self, w: WorldId) -> bool {
         let i = w.index();
-        assert!(i < self.universe, "world {} out of universe {}", i, self.universe);
+        assert!(
+            i < self.universe,
+            "world {} out of universe {}",
+            i,
+            self.universe
+        );
         let block = &mut self.blocks[i / BLOCK_BITS];
         let mask = 1u64 << (i % BLOCK_BITS);
         let fresh = *block & mask == 0;
@@ -188,7 +198,12 @@ impl WorldSet {
     /// Removes a world; returns `true` if it was present.
     pub fn remove(&mut self, w: WorldId) -> bool {
         let i = w.index();
-        assert!(i < self.universe, "world {} out of universe {}", i, self.universe);
+        assert!(
+            i < self.universe,
+            "world {} out of universe {}",
+            i,
+            self.universe
+        );
         let block = &mut self.blocks[i / BLOCK_BITS];
         let mask = 1u64 << (i % BLOCK_BITS);
         let present = *block & mask != 0;
@@ -372,7 +387,10 @@ impl<'a> IntoIterator for &'a WorldSet {
 /// Enumerates every subset of a universe of size `n` (for exhaustive
 /// validation on small universes; `n ≤ 20` enforced).
 pub fn all_subsets(universe: usize) -> impl Iterator<Item = WorldSet> {
-    assert!(universe <= 20, "all_subsets is exponential; universe too large");
+    assert!(
+        universe <= 20,
+        "all_subsets is exponential; universe too large"
+    );
     (0u64..(1u64 << universe)).map(move |mask| {
         let mut s = WorldSet::empty(universe);
         let mut m = mask;
@@ -477,9 +495,8 @@ mod tests {
     }
 
     fn arb_set(universe: usize) -> impl Strategy<Value = WorldSet> {
-        proptest::collection::vec(any::<bool>(), universe).prop_map(move |bits| {
-            WorldSet::from_predicate(universe, |w| bits[w.index()])
-        })
+        proptest::collection::vec(any::<bool>(), universe)
+            .prop_map(move |bits| WorldSet::from_predicate(universe, |w| bits[w.index()]))
     }
 
     proptest! {

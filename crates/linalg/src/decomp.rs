@@ -39,7 +39,10 @@ impl std::fmt::Display for LinalgError {
             }
             LinalgError::Singular { pivot } => write!(f, "singular matrix at pivot {pivot}"),
             LinalgError::NoConvergence { off_diagonal } => {
-                write!(f, "Jacobi eigensolver did not converge (off-diag {off_diagonal})")
+                write!(
+                    f,
+                    "Jacobi eigensolver did not converge (off-diag {off_diagonal})"
+                )
             }
         }
     }
@@ -321,7 +324,10 @@ mod tests {
     #[test]
     fn solve_detects_singularity() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

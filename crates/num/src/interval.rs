@@ -51,7 +51,10 @@ impl Interval {
     ///
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Interval {
-        assert!(!lo.is_nan() && !hi.is_nan(), "Interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "Interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "Interval requires lo <= hi, got [{lo}, {hi}]");
         Interval { lo, hi }
     }

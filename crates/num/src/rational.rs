@@ -238,7 +238,10 @@ impl Rational {
             if exp >= 127 {
                 return None;
             }
-            Some(Rational::new(m.checked_mul(1i128.checked_shl(exp as u32)?)?, 1))
+            Some(Rational::new(
+                m.checked_mul(1i128.checked_shl(exp as u32)?)?,
+                1,
+            ))
         } else {
             let shift = (-exp) as u32;
             if shift >= 127 {
@@ -337,8 +340,18 @@ macro_rules! forward_op {
 }
 
 forward_op!(Add, add, checked_add, "Rational addition overflowed i128");
-forward_op!(Sub, sub, checked_sub, "Rational subtraction overflowed i128");
-forward_op!(Mul, mul, checked_mul, "Rational multiplication overflowed i128");
+forward_op!(
+    Sub,
+    sub,
+    checked_sub,
+    "Rational subtraction overflowed i128"
+);
+forward_op!(
+    Mul,
+    mul,
+    checked_mul,
+    "Rational multiplication overflowed i128"
+);
 forward_op!(
     Div,
     div,
@@ -487,12 +500,12 @@ impl FromStr for Rational {
             if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
                 return Err(bad());
             }
-            let scale = 10i128
-                .checked_pow(frac.len() as u32)
-                .ok_or_else(bad)?;
+            let scale = 10i128.checked_pow(frac.len() as u32).ok_or_else(bad)?;
             let frac_num: i128 = frac.parse().map_err(|_| bad())?;
             let signed_frac = if negative { -frac_num } else { frac_num };
-            let num = int.checked_mul(scale).and_then(|v| v.checked_add(signed_frac));
+            let num = int
+                .checked_mul(scale)
+                .and_then(|v| v.checked_add(signed_frac));
             Rational::checked_new(num.ok_or_else(bad)?, scale).ok_or_else(bad)
         } else {
             let n: i128 = s.trim().parse().map_err(|_| bad())?;
@@ -598,7 +611,11 @@ mod tests {
 
     #[test]
     fn sum_product_iterators() {
-        let xs = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let xs = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(1, 6),
+        ];
         assert_eq!(xs.iter().copied().sum::<Rational>(), Rational::ONE);
         assert_eq!(
             xs.iter().copied().product::<Rational>(),

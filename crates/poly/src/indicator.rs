@@ -29,11 +29,7 @@ pub fn prob_polynomial<C: Coeff>(n: usize, a: &WorldSet) -> Polynomial<C> {
         let mut term = Polynomial::constant(n, C::one());
         for i in 0..n {
             let xi = Polynomial::var(n, i);
-            let factor = if w.0 >> i & 1 == 1 {
-                xi
-            } else {
-                one.sub(&xi)
-            };
+            let factor = if w.0 >> i & 1 == 1 { xi } else { one.sub(&xi) };
             term = term.mul(&factor);
         }
         out = out.add(&term);

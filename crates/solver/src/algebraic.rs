@@ -69,9 +69,7 @@ impl AlgebraicFamily {
     /// `p_x ≥ 0`, `Σ p_x = 1`.
     pub fn dense_unconstrained(n_worlds: usize) -> AlgebraicFamily {
         let arity = n_worlds;
-        let inequalities = (0..arity)
-            .map(|i| Polynomial::var(arity, i))
-            .collect();
+        let inequalities = (0..arity).map(|i| Polynomial::var(arity, i)).collect();
         let mut sum = Polynomial::zero(arity);
         for i in 0..arity {
             sum = sum.add(&Polynomial::var(arity, i));
@@ -167,16 +165,18 @@ impl AlgebraicFamily {
     pub fn prob_polynomial(&self, s: &WorldSet) -> Polynomial<f64> {
         match self.prob {
             ProbForm::Dense => {
-                assert_eq!(s.universe_size(), self.arity, "set/parametrization mismatch");
+                assert_eq!(
+                    s.universe_size(),
+                    self.arity,
+                    "set/parametrization mismatch"
+                );
                 let mut out = Polynomial::zero(self.arity);
                 for w in s {
                     out = out.add(&Polynomial::var(self.arity, w.index()));
                 }
                 out
             }
-            ProbForm::Product { n } => {
-                epi_poly::indicator::prob_polynomial::<f64>(n, s)
-            }
+            ProbForm::Product { n } => epi_poly::indicator::prob_polynomial::<f64>(n, s),
             ProbForm::Exchangeable { n } => {
                 assert_eq!(s.universe_size(), 1 << n, "set/parametrization mismatch");
                 let mut counts = vec![0i64; n + 1];
@@ -654,6 +654,9 @@ mod exchangeable_tests {
             },
             &mut rng,
         );
-        assert!(breach.is_some(), "self-disclosure breaches exchangeable priors");
+        assert!(
+            breach.is_some(),
+            "self-disclosure breaches exchangeable priors"
+        );
     }
 }

@@ -78,7 +78,10 @@ impl Graph {
 
     /// Exact MAX-CUT by exhaustive search (guarded to ≤ 24 vertices).
     pub fn max_cut(&self) -> usize {
-        assert!(self.vertices <= 24, "exhaustive MAX-CUT guarded to ≤ 24 vertices");
+        assert!(
+            self.vertices <= 24,
+            "exhaustive MAX-CUT guarded to ≤ 24 vertices"
+        );
         (0u64..(1u64 << self.vertices))
             .map(|mask| self.cut_size(mask))
             .max()
@@ -105,10 +108,7 @@ pub fn maxcut_system(graph: &Graph, k: usize) -> (Vec<Polynomial<f64>>, Vec<Poly
     for &(u, v) in &graph.edges {
         let xu = Polynomial::<f64>::var(n, u);
         let xv = Polynomial::<f64>::var(n, v);
-        cut = cut
-            .add(&xu)
-            .add(&xv)
-            .sub(&xu.mul(&xv).scale(&2.0));
+        cut = cut.add(&xu).add(&xv).sub(&xu.mul(&xv).scale(&2.0));
     }
     inequalities.push(cut.sub(&Polynomial::constant(n, k as f64)));
     // Integrality: p_v(1 − p_v) = 0.
@@ -219,6 +219,9 @@ mod tests {
         let g = Graph::random(10, 0.5, &mut rng);
         let max_edges = 45;
         assert!(g.edges.len() <= max_edges);
-        assert!(g.edges.len() >= 10, "p = 0.5 should yield a dense-ish graph");
+        assert!(
+            g.edges.len() >= 10,
+            "p = 0.5 should yield a dense-ish graph"
+        );
     }
 }

@@ -147,7 +147,9 @@ pub fn decide_supermodular(
     rng: &mut impl Rng,
 ) -> Verdict<SupermodularWitness> {
     if supermodular::sufficient_supermodular(cube, a, b) {
-        return Verdict::Safe(SafeEvidence::Criterion("supermodular-sufficient (Prop 5.4)"));
+        return Verdict::Safe(SafeEvidence::Criterion(
+            "supermodular-sufficient (Prop 5.4)",
+        ));
     }
     search_supermodular(cube, a, b, options, rng)
 }

@@ -178,7 +178,13 @@ pub fn decide_product_safety(
                     // The minimum is the exact value at a (dyadic) corner:
                     // a rigorous rational witness candidate.
                     let corner: Vec<f64> = (0..n)
-                        .map(|i| if bound.vertex >> i & 1 == 1 { hi[i] } else { lo[i] })
+                        .map(|i| {
+                            if bound.vertex >> i & 1 == 1 {
+                                hi[i]
+                            } else {
+                                lo[i]
+                            }
+                        })
                         .collect();
                     if let Some(witness) = exact_witness(&gap_exact, &corner) {
                         return (Verdict::Unsafe(witness), stats);
@@ -431,8 +437,7 @@ mod tests {
                 Verdict::Safe(_) => {
                     for _ in 0..200 {
                         let p = ProductDist::random(3, &mut rng);
-                        let gap =
-                            p.prob(&a) * p.prob(&b) - p.prob(&a.intersection(&b));
+                        let gap = p.prob(&a) * p.prob(&b) - p.prob(&a.intersection(&b));
                         assert!(gap >= -1e-9, "sampled breach after Safe verdict");
                     }
                 }
@@ -482,8 +487,9 @@ mod tests {
         let g_exact = indicator::safety_gap_polynomial::<Rational>(3, &a, &b);
         let g = g_exact.map_coeffs(|c| c.to_f64());
         for _ in 0..20 {
-            let probs: Vec<Rational> =
-                (0..3).map(|_| Rational::new(rng.gen_range(0..=64), 64)).collect();
+            let probs: Vec<Rational> = (0..3)
+                .map(|_| Rational::new(rng.gen_range(0..=64), 64))
+                .collect();
             let exact = eval_exact(&g_exact, &probs).unwrap().to_f64();
             let float = g.eval_f64(&probs.iter().map(|r| r.to_f64()).collect::<Vec<_>>());
             assert!((exact - float).abs() < 1e-9);

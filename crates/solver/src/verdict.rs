@@ -101,9 +101,11 @@ mod tests {
             SafeEvidence::Criterion("miklau-suciu").to_string(),
             "criterion: miklau-suciu"
         );
-        assert!(SafeEvidence::BranchAndBound { boxes_processed: 42 }
-            .to_string()
-            .contains("42"));
+        assert!(SafeEvidence::BranchAndBound {
+            boxes_processed: 42
+        }
+        .to_string()
+        .contains("42"));
         assert!(SafeEvidence::SosCertificate { residual: 1e-9 }
             .to_string()
             .contains("SOS"));

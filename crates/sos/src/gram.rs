@@ -51,9 +51,7 @@ pub fn sos_basis(f: &Polynomial<f64>) -> Vec<Monomial> {
     let used: Vec<usize> = (0..arity).filter(|&i| f.degree_in(i) > 0).collect();
     Monomial::all_up_to_degree(arity, d)
         .into_iter()
-        .filter(|m| {
-            (0..arity).all(|i| m.exp(i) == 0 || used.contains(&i))
-        })
+        .filter(|m| (0..arity).all(|i| m.exp(i) == 0 || used.contains(&i)))
         .collect()
 }
 
@@ -152,10 +150,7 @@ fn verify_certificate(f: &Polynomial<f64>, basis: &[Monomial], gram: Matrix) -> 
         }
     }
     let diff = rebuilt.sub(f);
-    let residual = diff
-        .terms()
-        .map(|(_, c)| c.abs())
-        .fold(0.0f64, f64::max);
+    let residual = diff.terms().map(|(_, c)| c.abs()).fold(0.0f64, f64::max);
     if residual > 1e-6 {
         return SosResult::NotFound;
     }
@@ -184,10 +179,12 @@ mod tests {
     #[test]
     fn sum_of_two_squares_is_sos() {
         // x² + y² + (x·y − 1)².
-        let f = x(2, 0)
-            .pow(2)
-            .add(&x(2, 1).pow(2))
-            .add(&x(2, 0).mul(&x(2, 1)).sub(&Polynomial::constant(2, 1.0)).pow(2));
+        let f = x(2, 0).pow(2).add(&x(2, 1).pow(2)).add(
+            &x(2, 0)
+                .mul(&x(2, 1))
+                .sub(&Polynomial::constant(2, 1.0))
+                .pow(2),
+        );
         assert!(is_sos(&f).is_certified());
     }
 

@@ -97,11 +97,7 @@ impl WeightedSosProgram {
     /// Adds a term `h · σ` with an explicit monomial basis for `σ`'s Gram
     /// matrix — callers use profile-restricted (Newton-polytope) bases to
     /// keep the SDP small when the target's per-variable degrees are low.
-    pub fn add_sos_block_with_basis(
-        &mut self,
-        multiplier: Polynomial<f64>,
-        basis: Vec<Monomial>,
-    ) {
+    pub fn add_sos_block_with_basis(&mut self, multiplier: Polynomial<f64>, basis: Vec<Monomial>) {
         assert_eq!(multiplier.arity(), self.arity, "multiplier arity mismatch");
         assert!(
             basis.iter().all(|m| m.arity() == self.arity),
@@ -168,11 +164,8 @@ impl WeightedSosProgram {
                 }
             }
         }
-        let target_coeffs: HashMap<Monomial, f64> = self
-            .target
-            .terms()
-            .map(|(m, c)| (m.clone(), *c))
-            .collect();
+        let target_coeffs: HashMap<Monomial, f64> =
+            self.target.terms().map(|(m, c)| (m.clone(), *c)).collect();
 
         let mut problem = SdpProblem::new(self.dim);
         for m in &support {
@@ -211,9 +204,8 @@ impl WeightedSosProgram {
             let n = blk.basis.len();
             let gram = Matrix::from_fn(n, n, |i, j| x[(blk.offset + i, blk.offset + j)]);
             // Blockwise PSD check with ridge.
-            let ridged = Matrix::from_fn(n, n, |i, j| {
-                gram[(i, j)] + if i == j { 1e-6 } else { 0.0 }
-            });
+            let ridged =
+                Matrix::from_fn(n, n, |i, j| gram[(i, j)] + if i == j { 1e-6 } else { 0.0 });
             if cholesky(&ridged, 0.0).is_err() {
                 return None;
             }
@@ -306,9 +298,7 @@ mod tests {
         // more interestingly: certify γ − x(1−x) with γ = ¼ as plain SOS:
         // ¼ − x + x² = (x − ½)².
         let xx = x(1, 0);
-        let target = Polynomial::constant(1, 0.25)
-            .sub(&xx)
-            .add(&xx.pow(2));
+        let target = Polynomial::constant(1, 0.25).sub(&xx).add(&xx.pow(2));
         let mut prog = WeightedSosProgram::new(target);
         prog.add_sos_block(Polynomial::constant(1, 1.0), 1);
         assert!(prog.solve(SdpOptions::default()).is_some());

@@ -22,12 +22,7 @@ use epi_core::unrestricted;
 fn main() {
     let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
     let audited = parse("hiv_pos", &schema).unwrap();
-    let queries = [
-        "hiv_pos",
-        "hiv_pos -> transfusions",
-        "transfusions",
-        "true",
-    ];
+    let queries = ["hiv_pos", "hiv_pos -> transfusions", "transfusions", "true"];
     let strategies: Vec<Box<dyn Strategy>> = vec![
         Box::new(AlwaysAnswer),
         Box::new(DenyWhenSensitive {

@@ -44,8 +44,24 @@ fn main() {
     // Ā: the ellipse-like sensitive-complement region of the figure.
     let mut not_a = WorldSet::empty(n);
     for (x, y) in [
-        (3, 3), (4, 2), (5, 1), (4, 4), (5, 3), (6, 2), (6, 1), (5, 4), (6, 3),
-        (7, 2), (7, 1), (6, 4), (7, 3), (8, 2), (8, 3), (7, 4), (8, 4), (9, 2),
+        (3, 3),
+        (4, 2),
+        (5, 1),
+        (4, 4),
+        (5, 3),
+        (6, 2),
+        (6, 1),
+        (5, 4),
+        (6, 3),
+        (7, 2),
+        (7, 1),
+        (6, 4),
+        (7, 3),
+        (8, 2),
+        (8, 3),
+        (7, 4),
+        (8, 4),
+        (9, 2),
         (9, 3),
     ] {
         not_a.insert(family.pixel(x, y));

@@ -12,14 +12,17 @@ use epi_boolean::criteria::cancellation;
 use epi_boolean::Cube;
 use epi_num::Rational;
 use epi_poly::{indicator, Polynomial};
-use epi_sos::{certify_nonneg_on_box, is_sum_of_squares, psatz_refute, sos_lower_bound};
 use epi_solver::{decide_product_safety, ProductSolverOptions};
+use epi_sos::{certify_nonneg_on_box, is_sum_of_squares, psatz_refute, sos_lower_bound};
 
 fn main() {
     // 1. Plain SOS membership (Proposition 6.4).
     let x = Polynomial::<f64>::var(2, 0);
     let y = Polynomial::<f64>::var(2, 1);
-    let f = x.sub(&y).pow(2).add(&x.mul(&y).sub(&Polynomial::constant(2, 1.0)).pow(2));
+    let f = x
+        .sub(&y)
+        .pow(2)
+        .add(&x.mul(&y).sub(&Polynomial::constant(2, 1.0)).pow(2));
     println!("(x−y)² + (xy−1)² ∈ Σ²:  {}", is_sum_of_squares(&f));
 
     // 2. The Motzkin polynomial: non-negative but NOT a sum of squares —

@@ -92,13 +92,7 @@ fn supermodular_layers_agree() {
         let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
         let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
         let sufficient = supermodular::sufficient_supermodular(&cube, &a, &b);
-        let verdict = logsupermod::search_supermodular(
-            &cube,
-            &a,
-            &b,
-            Default::default(),
-            &mut rng,
-        );
+        let verdict = logsupermod::search_supermodular(&cube, &a, &b, Default::default(), &mut rng);
         if sufficient {
             assert!(
                 !verdict.is_unsafe(),

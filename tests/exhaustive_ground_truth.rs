@@ -14,11 +14,8 @@ use epi_solver::{decide_product_pipeline, decide_product_safety, ProductSolverOp
 fn grid_refutes(a: &WorldSet, b: &WorldSet) -> bool {
     for i in 0..=32 {
         for j in 0..=32 {
-            let p = RationalProductDist::new(vec![
-                Rational::new(i, 32),
-                Rational::new(j, 32),
-            ])
-            .unwrap();
+            let p =
+                RationalProductDist::new(vec![Rational::new(i, 32), Rational::new(j, 32)]).unwrap();
             if p.safety_gap(a, b).is_negative() {
                 return true;
             }
@@ -57,7 +54,10 @@ fn n2_exhaustive_three_way_agreement() {
         }
     }
     // Sanity on the counts: a substantial number of both classes exists.
-    assert!(solver_safe > 50, "expected many safe pairs, got {solver_safe}");
+    assert!(
+        solver_safe > 50,
+        "expected many safe pairs, got {solver_safe}"
+    );
     assert!(grid_breaches > 50, "expected many grid-refutable pairs");
 }
 

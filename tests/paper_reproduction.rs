@@ -80,8 +80,7 @@ fn theorem_3_11_three_ways() {
         for b in all_nonempty_subsets(n) {
             let closed_form = unrestricted::safe_unrestricted(&a, &b);
             assert_eq!(closed_form, possibilistic::is_safe(&k, &a, &b));
-            let breach =
-                epi_solver::algebraic::find_breach(&family, &a, &b, &options, &mut rng);
+            let breach = epi_solver::algebraic::find_breach(&family, &a, &b, &options, &mut rng);
             assert_eq!(closed_form, breach.is_none(), "A={a:?} B={b:?}");
         }
     }
@@ -95,8 +94,24 @@ fn figure_1_reproduction() {
     let w1 = f.pixel(1, 1);
     let mut not_a = WorldSet::empty(f.universe_size());
     for (x, y) in [
-        (3, 3), (4, 2), (5, 1), (4, 4), (5, 3), (6, 2), (6, 1), (5, 4), (6, 3),
-        (7, 2), (7, 1), (6, 4), (7, 3), (8, 2), (8, 3), (7, 4), (8, 4), (9, 2),
+        (3, 3),
+        (4, 2),
+        (5, 1),
+        (4, 4),
+        (5, 3),
+        (6, 2),
+        (6, 1),
+        (5, 4),
+        (6, 3),
+        (7, 2),
+        (7, 1),
+        (6, 4),
+        (7, 3),
+        (8, 2),
+        (8, 3),
+        (7, 4),
+        (8, 4),
+        (9, 2),
         (9, 3),
     ] {
         not_a.insert(f.pixel(x, y));
@@ -149,9 +164,7 @@ fn theorem_5_11_and_criteria_soundness() {
             // sound: no sampled product prior breaches
             for _ in 0..100 {
                 let p = ProductDist::random(5, &mut rng);
-                assert!(
-                    p.prob(&a.intersection(&b)) <= p.prob(&a) * p.prob(&b) + 1e-12
-                );
+                assert!(p.prob(&a.intersection(&b)) <= p.prob(&a) * p.prob(&b) + 1e-12);
             }
         }
         if !necessary::necessary_product(&cube, &a, &b) {
