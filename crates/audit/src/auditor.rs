@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use std::fmt;
 
 /// The auditor's assumption about users' prior knowledge.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PriorAssumption {
     /// No assumption at all (Theorem 3.11); also covers possibilistic
     /// users by the equivalence of conditions (1)–(3).
@@ -64,7 +64,7 @@ impl fmt::Display for Finding {
 }
 
 /// One line of the audit report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReportEntry {
     /// The user audited.
     pub user: String,
@@ -137,6 +137,25 @@ impl AuditReport {
     }
 }
 
+/// One safety decision for disclosing a world set `B` while the audited
+/// property `A` holds.
+///
+/// This is the unit of work the auditing service batches, caches and
+/// meters: [`Auditor::decide_sets`] produces one `Decision` per distinct
+/// `(A, B)` pair, and [`Auditor::audit`] folds decisions into report
+/// entries. `stage` records which pipeline stage settled the question
+/// when the pipeline was involved (`None` for the log-supermodular
+/// refutation search, which runs outside the pipeline).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Safe, flagged, or inconclusive.
+    pub finding: Finding,
+    /// Human-readable evidence: criterion name, witness prior, or budget.
+    pub explanation: String,
+    /// The pipeline stage that decided, when one did.
+    pub stage: Option<Stage>,
+}
+
 /// The offline auditor.
 pub struct Auditor {
     assumption: PriorAssumption,
@@ -160,47 +179,73 @@ impl Auditor {
         self
     }
 
+    /// The prior assumption this auditor decides under.
+    pub fn assumption(&self) -> PriorAssumption {
+        self.assumption
+    }
+
+    /// The product-solver options this auditor passes to the pipeline.
+    pub fn product_options(&self) -> ProductSolverOptions {
+        self.product_options
+    }
+
     /// Decides safety of disclosing `b` against audited set `a`.
-    fn decide(&self, cube: &Cube, a: &WorldSet, b: &WorldSet) -> (Finding, String) {
+    ///
+    /// This is the reusable per-disclosure entry point: both sets are
+    /// already compiled against `cube`'s schema, so callers that maintain
+    /// their own disclosure state (e.g. a long-running service holding
+    /// cumulative per-user knowledge) can invoke the decision procedure
+    /// directly, once per distinct `(a, b)` pair, and reuse the result.
+    /// The negative-result gate (`A` false at disclosure time) is the
+    /// caller's responsibility — see [`Auditor::audit`].
+    pub fn decide_sets(&self, cube: &Cube, a: &WorldSet, b: &WorldSet) -> Decision {
         match self.assumption {
             PriorAssumption::Unrestricted => {
                 if unrestricted::safe_unrestricted(a, b) {
-                    (Finding::Safe, SafeEvidence::Unconditional.to_string())
+                    Decision {
+                        finding: Finding::Safe,
+                        explanation: SafeEvidence::Unconditional.to_string(),
+                        stage: Some(Stage::Unconditional),
+                    }
                 } else {
                     let r = unrestricted::refute_unrestricted(a, b)
                         .expect("refutation exists when the condition fails");
-                    (
-                        Finding::Flagged,
-                        format!(
+                    Decision {
+                        finding: Finding::Flagged,
+                        explanation: format!(
                             "two-point prior raises P[A] from {} to {}",
                             r.prior_confidence, r.posterior_confidence
                         ),
-                    )
+                        stage: Some(Stage::Unconditional),
+                    }
                 }
             }
             PriorAssumption::Product => {
                 let decision = decide_product_pipeline(cube, a, b, self.product_options);
                 match decision.verdict {
-                    Verdict::Safe(ev) => (
-                        Finding::Safe,
-                        format!("{} via {}", ev, decision.stage.label()),
-                    ),
-                    Verdict::Unsafe(w) => (
-                        Finding::Flagged,
-                        format!(
+                    Verdict::Safe(ev) => Decision {
+                        finding: Finding::Safe,
+                        explanation: format!("{} via {}", ev, decision.stage.label()),
+                        stage: Some(decision.stage),
+                    },
+                    Verdict::Unsafe(w) => Decision {
+                        finding: Finding::Flagged,
+                        explanation: format!(
                             "product prior p = {:?} gains {} (stage {})",
                             w.probs.iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
                             (-w.gap.to_f64()),
                             decision.stage.label()
                         ),
-                    ),
-                    Verdict::Unknown => (
-                        Finding::Inconclusive,
-                        format!(
+                        stage: Some(decision.stage),
+                    },
+                    Verdict::Unknown => Decision {
+                        finding: Finding::Inconclusive,
+                        explanation: format!(
                             "budget exhausted at stage {}",
                             Stage::BranchAndBound.label()
                         ),
-                    ),
+                        stage: Some(Stage::BranchAndBound),
+                    },
                 }
             }
             PriorAssumption::LogSupermodular => {
@@ -213,15 +258,24 @@ impl Auditor {
                     &mut rng,
                 );
                 match verdict {
-                    Verdict::Safe(ev) => (Finding::Safe, ev.to_string()),
-                    Verdict::Unsafe(w) => (
-                        Finding::Flagged,
-                        format!("log-supermodular prior gains {} ({:?})", w.gain, w.source),
-                    ),
-                    Verdict::Unknown => (
-                        Finding::Inconclusive,
-                        "criteria inconclusive and no refutation found".into(),
-                    ),
+                    Verdict::Safe(ev) => Decision {
+                        finding: Finding::Safe,
+                        explanation: ev.to_string(),
+                        stage: None,
+                    },
+                    Verdict::Unsafe(w) => Decision {
+                        finding: Finding::Flagged,
+                        explanation: format!(
+                            "log-supermodular prior gains {} ({:?})",
+                            w.gain, w.source
+                        ),
+                        stage: None,
+                    },
+                    Verdict::Unknown => Decision {
+                        finding: Finding::Inconclusive,
+                        explanation: "criteria inconclusive and no refutation found".into(),
+                        stage: None,
+                    },
                 }
             }
         }
@@ -250,17 +304,17 @@ impl Auditor {
                 continue;
             }
             let b = d.disclosed_set(schema);
-            let (finding, explanation) = self.decide(&cube, &a, &b);
+            let decision = self.decide_sets(&cube, &a, &b);
             entries.push(ReportEntry {
                 user: d.user.clone(),
                 time: d.time,
                 kind: EntryKind::Single,
-                finding,
+                finding: decision.finding,
                 explanation: format!(
                     "query `{}` answered {}: {}",
                     d.query.display(schema),
                     d.answer,
-                    explanation
+                    decision.explanation
                 ),
             });
         }
@@ -291,13 +345,17 @@ impl Auditor {
                 continue;
             }
             let b = log.cumulative_disclosure(user, last.time);
-            let (finding, explanation) = self.decide(&cube, &a, &b);
+            let decision = self.decide_sets(&cube, &a, &b);
             entries.push(ReportEntry {
                 user: user.to_owned(),
                 time: last.time,
                 kind: EntryKind::Cumulative,
-                finding,
-                explanation: format!("{} disclosures combined: {}", relevant.len(), explanation),
+                finding: decision.finding,
+                explanation: format!(
+                    "{} disclosures combined: {}",
+                    relevant.len(),
+                    decision.explanation
+                ),
             });
         }
         AuditReport {

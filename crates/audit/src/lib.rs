@@ -44,9 +44,10 @@ pub mod log;
 pub mod online;
 pub mod query;
 pub mod schema;
+pub mod wire;
 pub mod workload;
 
-pub use auditor::{AuditReport, Auditor, Finding, PriorAssumption};
+pub use auditor::{AuditReport, Auditor, Decision, Finding, PriorAssumption};
 pub use log::{AuditLog, Disclosure};
 pub use query::Query;
 pub use schema::{DatabaseState, Record, RecordId, Schema};

@@ -1,0 +1,235 @@
+//! JSON wire format for audit findings and reports.
+//!
+//! These encodings are what `epi-service` puts on the socket: a
+//! [`ReportEntry`] is one NDJSON decision line, an [`AuditReport`] is the
+//! response to a full offline replay. Derivable field-by-field encodings,
+//! deterministic key order (insertion order of the underlying
+//! [`Json::Obj`](epi_json::Json)), no optional fields.
+
+use crate::auditor::{AuditReport, Decision, EntryKind, Finding, PriorAssumption, ReportEntry};
+use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
+use epi_solver::Stage;
+
+impl Serialize for PriorAssumption {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                PriorAssumption::Unrestricted => "unrestricted",
+                PriorAssumption::Product => "product",
+                PriorAssumption::LogSupermodular => "log_supermodular",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for PriorAssumption {
+    fn from_json(v: &Json) -> Result<PriorAssumption, JsonError> {
+        match v.as_str() {
+            Some("unrestricted") => Ok(PriorAssumption::Unrestricted),
+            Some("product") => Ok(PriorAssumption::Product),
+            Some("log_supermodular") => Ok(PriorAssumption::LogSupermodular),
+            _ => Err(JsonError::decode("unknown prior assumption")),
+        }
+    }
+}
+
+impl Serialize for Finding {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Finding::Safe => "safe",
+                Finding::Flagged => "flagged",
+                Finding::Inconclusive => "inconclusive",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for Finding {
+    fn from_json(v: &Json) -> Result<Finding, JsonError> {
+        match v.as_str() {
+            Some("safe") => Ok(Finding::Safe),
+            Some("flagged") => Ok(Finding::Flagged),
+            Some("inconclusive") => Ok(Finding::Inconclusive),
+            _ => Err(JsonError::decode("unknown finding")),
+        }
+    }
+}
+
+impl Serialize for EntryKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                EntryKind::Single => "single",
+                EntryKind::Cumulative => "cumulative",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for EntryKind {
+    fn from_json(v: &Json) -> Result<EntryKind, JsonError> {
+        match v.as_str() {
+            Some("single") => Ok(EntryKind::Single),
+            Some("cumulative") => Ok(EntryKind::Cumulative),
+            _ => Err(JsonError::decode("unknown entry kind")),
+        }
+    }
+}
+
+impl Serialize for Decision {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("finding", self.finding.to_json()),
+            ("explanation", Json::from(self.explanation.as_str())),
+            (
+                "stage",
+                match self.stage {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Decision {
+    fn from_json(v: &Json) -> Result<Decision, JsonError> {
+        Ok(Decision {
+            finding: field(v, "finding")?,
+            explanation: field(v, "explanation")?,
+            stage: opt_field::<Stage>(v, "stage")?,
+        })
+    }
+}
+
+impl Serialize for ReportEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("user", Json::from(self.user.as_str())),
+            ("time", Json::from(self.time)),
+            ("kind", self.kind.to_json()),
+            ("finding", self.finding.to_json()),
+            ("explanation", Json::from(self.explanation.as_str())),
+        ])
+    }
+}
+
+impl Deserialize for ReportEntry {
+    fn from_json(v: &Json) -> Result<ReportEntry, JsonError> {
+        Ok(ReportEntry {
+            user: field(v, "user")?,
+            time: field(v, "time")?,
+            kind: field(v, "kind")?,
+            finding: field(v, "finding")?,
+            explanation: field(v, "explanation")?,
+        })
+    }
+}
+
+impl Serialize for AuditReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("audit_query", Json::from(self.audit_query.as_str())),
+            ("assumption", self.assumption.to_json()),
+            ("entries", self.entries.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for AuditReport {
+    fn from_json(v: &Json) -> Result<AuditReport, JsonError> {
+        Ok(AuditReport {
+            audit_query: field(v, "audit_query")?,
+            assumption: field(v, "assumption")?,
+            entries: field(v, "entries")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> AuditReport {
+        AuditReport {
+            audit_query: "infected(mallory)".to_owned(),
+            assumption: PriorAssumption::Product,
+            entries: vec![
+                ReportEntry {
+                    user: "alice".to_owned(),
+                    time: 2005,
+                    kind: EntryKind::Single,
+                    finding: Finding::Safe,
+                    explanation: "criterion: cancellation".to_owned(),
+                },
+                ReportEntry {
+                    user: "mallory".to_owned(),
+                    time: 2007,
+                    kind: EntryKind::Cumulative,
+                    finding: Finding::Flagged,
+                    explanation: "product prior gains 1/4".to_owned(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_byte_for_byte() {
+        let report = sample_report();
+        let text = report.to_json().render();
+        let back = AuditReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        // Re-render rather than derive PartialEq on the report: the wire
+        // contract the service relies on is byte-stability of the encoding.
+        assert_eq!(back.to_json().render(), text);
+        assert_eq!(back.flagged_users(), vec!["mallory"]);
+    }
+
+    #[test]
+    fn fieldless_enums_roundtrip() {
+        for a in [
+            PriorAssumption::Unrestricted,
+            PriorAssumption::Product,
+            PriorAssumption::LogSupermodular,
+        ] {
+            let j = Json::parse(&a.to_json().render()).unwrap();
+            assert_eq!(PriorAssumption::from_json(&j).unwrap(), a);
+        }
+        for f in [Finding::Safe, Finding::Flagged, Finding::Inconclusive] {
+            let j = Json::parse(&f.to_json().render()).unwrap();
+            assert_eq!(Finding::from_json(&j).unwrap(), f);
+        }
+        for k in [EntryKind::Single, EntryKind::Cumulative] {
+            let j = Json::parse(&k.to_json().render()).unwrap();
+            assert_eq!(EntryKind::from_json(&j).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn decision_roundtrips_with_and_without_stage() {
+        for d in [
+            Decision {
+                finding: Finding::Safe,
+                explanation: "unconditional".to_owned(),
+                stage: Some(Stage::Unconditional),
+            },
+            Decision {
+                finding: Finding::Inconclusive,
+                explanation: "no refutation found".to_owned(),
+                stage: None,
+            },
+        ] {
+            let j = Json::parse(&d.to_json().render()).unwrap();
+            assert_eq!(Decision::from_json(&j).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let j = Json::parse(r#"{"user":"bob","time":1}"#).unwrap();
+        assert!(ReportEntry::from_json(&j).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! E13 — auditing-service throughput.
+//!
+//! Measures the daemon's batched path (8 workers, verdict cache,
+//! request coalescing) against a single-threaded baseline that calls the
+//! decision procedure once per request with no reuse, on a
+//! duplicate-heavy workload: a handful of distinct `(A, B)` decision
+//! keys, each requested many times — the shape a real audit service
+//! sees, where many users ask variations of the same few questions.
+//!
+//! Run with `cargo bench -p epi-bench --bench e13_service_throughput`.
+//! The acceptance line is the final `speedup:` figure (target ≥ 4x).
+
+use epi_audit::auditor::{Auditor, PriorAssumption};
+use epi_audit::query::parse;
+use epi_audit::{Query, Schema};
+use epi_core::WorldId;
+use epi_service::{AuditOutcome, AuditService, LocalClient, ServiceConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const WORKERS: usize = 8;
+const REPEATS: usize = 40;
+/// Database state for every request: all eight records present, so the
+/// audited property `r0` is true and nothing is excused by the
+/// negative-result gate.
+const STATE_MASK: u32 = 0xFF;
+const AUDIT_QUERY: &str = "r0";
+
+/// The distinct questions users keep re-asking. Eight records (256
+/// worlds) make each pipeline run expensive enough that the decision —
+/// not request plumbing — dominates, which is the regime the service's
+/// cache and coalescing are built for.
+const QUERIES: [&str; 6] = [
+    "r0 -> r1",
+    "(r1 | r2) & (r4 | r5)",
+    "r0 | (r3 & r6)",
+    "(r1 | r2) & !r7",
+    "(r2 & r4) -> r0",
+    "(r1 & r3) | (r5 & r7)",
+];
+
+fn schema() -> Schema {
+    Schema::from_names(&["r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"]).unwrap()
+}
+
+/// One request in the duplicate-heavy stream.
+struct Ask {
+    user: String,
+    time: u64,
+    query_text: &'static str,
+    query: Query,
+}
+
+fn workload(schema: &Schema) -> Vec<Ask> {
+    let mut asks = Vec::new();
+    let mut time = 0;
+    for round in 0..REPEATS {
+        for (qi, text) in QUERIES.iter().enumerate() {
+            time += 1;
+            asks.push(Ask {
+                user: format!("user{}", (round + qi) % 7),
+                time,
+                query_text: text,
+                query: parse(text, schema).unwrap(),
+            });
+        }
+    }
+    asks
+}
+
+/// Baseline: one thread, one full pipeline run per request.
+fn run_unbatched(schema: &Schema, asks: &[Ask]) -> (f64, usize) {
+    let auditor = Auditor::new(PriorAssumption::Product);
+    let cube = schema.cube();
+    let audit = parse(AUDIT_QUERY, schema).unwrap().compile(schema);
+    let started = Instant::now();
+    let mut flagged = 0;
+    for ask in asks {
+        let q = ask.query.compile(schema);
+        let disclosed = if q.contains(WorldId(STATE_MASK)) {
+            q
+        } else {
+            q.complement()
+        };
+        let decision = auditor.decide_sets(&cube, &audit, &disclosed);
+        if decision.finding == epi_audit::Finding::Flagged {
+            flagged += 1;
+        }
+    }
+    (started.elapsed().as_secs_f64(), flagged)
+}
+
+/// Batched path: the service with `WORKERS` decision threads, cache and
+/// coalescing, driven by `WORKERS` client threads splitting the stream.
+fn run_service(schema: &Schema, asks: &[Ask]) -> (f64, usize, epi_service::Snapshot) {
+    let service = Arc::new(AuditService::new(
+        schema.clone(),
+        ServiceConfig {
+            assumption: PriorAssumption::Product,
+            workers: WORKERS,
+            ..ServiceConfig::default()
+        },
+    ));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..WORKERS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let slice: Vec<(String, u64, &'static str)> = asks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % WORKERS == t)
+                .map(|(_, a)| (format!("t{t}:{}", a.user), a.time, a.query_text))
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = LocalClient::new(service);
+                let mut flagged = 0;
+                for (user, time, query) in slice {
+                    let outcome = client
+                        .disclose(&user, time, query, STATE_MASK, AUDIT_QUERY)
+                        .expect("disclose");
+                    if let AuditOutcome::Entry(e) = outcome {
+                        if e.finding == epi_audit::Finding::Flagged {
+                            flagged += 1;
+                        }
+                    }
+                }
+                flagged
+            })
+        })
+        .collect();
+    let flagged = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+    (elapsed, flagged, service.metrics())
+}
+
+fn main() {
+    let schema = schema();
+    let asks = workload(&schema);
+    println!(
+        "E13: service throughput — {} requests over {} distinct (A, B) keys",
+        asks.len(),
+        QUERIES.len()
+    );
+
+    // Warm both paths once so compilation/allocator effects wash out.
+    let _ = run_unbatched(&schema, &asks[..QUERIES.len()]);
+
+    let (base_secs, base_flagged) = run_unbatched(&schema, &asks);
+    let base_rps = asks.len() as f64 / base_secs;
+    println!(
+        "  unbatched 1-thread : {:>10.1} req/s  ({base_secs:.3}s, {base_flagged} flagged)",
+        base_rps
+    );
+
+    let (svc_secs, svc_flagged, stats) = run_service(&schema, &asks);
+    let svc_rps = asks.len() as f64 / svc_secs;
+    println!(
+        "  service {WORKERS}-worker  : {:>10.1} req/s  ({svc_secs:.3}s, {svc_flagged} flagged)",
+        svc_rps
+    );
+    println!(
+        "  cache: {} hits / {} misses / {} coalesced — {} computed of {} decide requests",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.coalesced,
+        stats.computed,
+        stats.decide_requests
+    );
+    assert_eq!(
+        base_flagged, svc_flagged,
+        "both paths must reach identical findings"
+    );
+
+    let speedup = svc_rps / base_rps;
+    println!("  speedup: {speedup:.1}x (target >= 4x at {WORKERS} workers)");
+}

@@ -23,6 +23,7 @@
 
 mod interval;
 mod rational;
+mod wire;
 
 pub use interval::Interval;
 pub use rational::{ParseRationalError, Rational};

@@ -1,0 +1,55 @@
+//! JSON wire format for exact rationals.
+//!
+//! Numerator and denominator are rendered as **strings**, not JSON
+//! numbers: they are `i128` and JSON numbers only carry 53 bits of
+//! integer precision portably.
+
+use crate::Rational;
+use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+
+impl Serialize for Rational {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::Str(self.numer().to_string())),
+            ("d", Json::Str(self.denom().to_string())),
+        ])
+    }
+}
+
+impl Deserialize for Rational {
+    fn from_json(v: &Json) -> Result<Rational, JsonError> {
+        let n: String = field(v, "n")?;
+        let d: String = field(v, "d")?;
+        let n: i128 = n
+            .parse()
+            .map_err(|_| JsonError::decode("rational numerator is not an i128"))?;
+        let d: i128 = d
+            .parse()
+            .map_err(|_| JsonError::decode("rational denominator is not an i128"))?;
+        if d == 0 {
+            return Err(JsonError::decode("rational denominator is zero"));
+        }
+        Ok(Rational::new(n, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_roundtrips_exactly() {
+        for (n, d) in [(0, 1), (1, 3), (-7, 2), (i128::MAX / 2, 3), (5, -10)] {
+            let r = Rational::new(n, d);
+            let back = Rational::from_json(&Json::parse(&r.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn rational_decode_rejects_bad_shapes() {
+        assert!(Rational::from_json(&Json::parse(r#"{"n":"1"}"#).unwrap()).is_err());
+        assert!(Rational::from_json(&Json::parse(r#"{"n":"x","d":"1"}"#).unwrap()).is_err());
+        assert!(Rational::from_json(&Json::parse(r#"{"n":"1","d":"0"}"#).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! LRU cache of completed safety decisions.
+//!
+//! Keyed by the *canonical* form of a decision: the audit set `A` and the
+//! disclosed set `B` as compiled [`WorldSet`]s (dense bitsets, so two
+//! syntactically different queries that denote the same property share a
+//! key) together with the prior assumption. Recency is a `BTreeMap` from
+//! a monotone tick to the key — `O(log n)` touch and eviction without an
+//! intrusive list.
+
+use epi_audit::{Decision, PriorAssumption};
+use epi_core::WorldSet;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// The canonical identity of one safety decision.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DecisionKey {
+    /// The audited property `A`, compiled.
+    pub audit: WorldSet,
+    /// The disclosed property `B` (a single disclosure or a cumulative
+    /// intersection), compiled.
+    pub disclosed: WorldSet,
+    /// The prior assumption the decision was made under.
+    pub assumption: PriorAssumption,
+}
+
+struct Slot {
+    decision: Decision,
+    stamp: u64,
+}
+
+struct LruInner {
+    map: HashMap<DecisionKey, Slot>,
+    recency: BTreeMap<u64, DecisionKey>,
+    tick: u64,
+}
+
+/// A thread-safe LRU map from [`DecisionKey`] to [`Decision`].
+pub struct VerdictCache {
+    inner: Mutex<LruInner>,
+    capacity: usize,
+}
+
+impl VerdictCache {
+    /// Creates a cache that holds at most `capacity` decisions
+    /// (`capacity == 0` disables caching entirely).
+    pub fn new(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                tick: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up a decision, marking it most-recently-used on a hit.
+    pub fn get(&self, key: &DecisionKey) -> Option<Decision> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.map.get_mut(key)?;
+        let old = std::mem::replace(&mut slot.stamp, tick);
+        let decision = slot.decision.clone();
+        inner.recency.remove(&old);
+        inner.recency.insert(tick, key.clone());
+        Some(decision)
+    }
+
+    /// Inserts (or refreshes) a decision; returns how many entries were
+    /// evicted to stay within capacity.
+    pub fn insert(&self, key: DecisionKey, decision: Decision) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner.map.get_mut(&key) {
+            let old = std::mem::replace(&mut slot.stamp, tick);
+            slot.decision = decision;
+            inner.recency.remove(&old);
+            inner.recency.insert(tick, key);
+            return 0;
+        }
+        inner.recency.insert(tick, key.clone());
+        inner.map.insert(
+            key,
+            Slot {
+                decision,
+                stamp: tick,
+            },
+        );
+        let mut evicted = 0;
+        while inner.map.len() > self.capacity {
+            let (&oldest, _) = inner.recency.iter().next().expect("recency tracks map");
+            let victim = inner.recency.remove(&oldest).expect("just read");
+            inner.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of cached decisions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// `true` iff the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_audit::Finding;
+
+    fn key(universe: usize, bits: &[u32]) -> DecisionKey {
+        DecisionKey {
+            audit: WorldSet::from_indices(universe, bits.iter().copied()),
+            disclosed: WorldSet::full(universe),
+            assumption: PriorAssumption::Product,
+        }
+    }
+
+    fn decision(tag: &str) -> Decision {
+        Decision {
+            finding: Finding::Safe,
+            explanation: tag.to_owned(),
+            stage: None,
+        }
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let cache = VerdictCache::new(2);
+        cache.insert(key(4, &[0]), decision("a"));
+        cache.insert(key(4, &[1]), decision("b"));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert_eq!(cache.get(&key(4, &[0])).unwrap().explanation, "a");
+        let evicted = cache.insert(key(4, &[2]), decision("c"));
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&key(4, &[1])).is_none(), "b was evicted");
+        assert!(cache.get(&key(4, &[0])).is_some());
+        assert!(cache.get(&key(4, &[2])).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = VerdictCache::new(2);
+        cache.insert(key(4, &[0]), decision("old"));
+        assert_eq!(cache.insert(key(4, &[0]), decision("new")), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(4, &[0])).unwrap().explanation, "new");
+    }
+
+    #[test]
+    fn assumption_is_part_of_the_key() {
+        let cache = VerdictCache::new(8);
+        let mut k2 = key(4, &[0]);
+        k2.assumption = PriorAssumption::Unrestricted;
+        cache.insert(key(4, &[0]), decision("product"));
+        assert!(cache.get(&k2).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = VerdictCache::new(0);
+        cache.insert(key(4, &[0]), decision("a"));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(4, &[0])).is_none());
+    }
+}

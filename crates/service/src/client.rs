@@ -1,0 +1,179 @@
+//! Clients for the auditing daemon: a TCP client speaking the NDJSON
+//! protocol, and an in-process client that skips the socket entirely.
+//!
+//! Both expose the same convenience calls, so tests and benchmarks can
+//! swap transports without touching call sites.
+
+use crate::metrics::Snapshot;
+use crate::proto::{Request, Response};
+use crate::service::AuditService;
+use epi_audit::auditor::ReportEntry;
+use epi_json::{Deserialize, Json, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent something that is not a valid response, or an
+    /// unexpected response kind.
+    Protocol(String),
+    /// The service answered with an `error` response.
+    Remote(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote(m) => write!(f, "service error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Typed outcome of a disclose/cumulative call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuditOutcome {
+    /// A report entry, identical in shape to the offline auditor's.
+    Entry(ReportEntry),
+    /// No cumulative entry exists (fewer than two disclosures).
+    NoCumulative {
+        /// Disclosures the user has so far.
+        disclosures: u64,
+    },
+}
+
+fn expect_outcome(response: Response) -> Result<AuditOutcome, ClientError> {
+    match response {
+        Response::Entry(entry) => Ok(AuditOutcome::Entry(entry)),
+        Response::NoCumulative { disclosures, .. } => {
+            Ok(AuditOutcome::NoCumulative { disclosures })
+        }
+        Response::Error { message } => Err(ClientError::Remote(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}
+
+fn expect_stats(response: Response) -> Result<Snapshot, ClientError> {
+    match response {
+        Response::Stats(snapshot) => Ok(snapshot),
+        Response::Error { message } => Err(ClientError::Remote(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}
+
+macro_rules! convenience_calls {
+    () => {
+        /// Records a disclosure and returns its safety finding.
+        pub fn disclose(
+            &mut self,
+            user: &str,
+            time: u64,
+            query: &str,
+            state_mask: u32,
+            audit_query: &str,
+        ) -> Result<AuditOutcome, ClientError> {
+            let response = self.call(&Request::Disclose {
+                user: user.to_owned(),
+                time,
+                query: query.to_owned(),
+                state_mask,
+                audit_query: audit_query.to_owned(),
+            })?;
+            expect_outcome(response)
+        }
+
+        /// Audits a user's cumulative knowledge.
+        pub fn cumulative(
+            &mut self,
+            user: &str,
+            audit_query: &str,
+        ) -> Result<AuditOutcome, ClientError> {
+            let response = self.call(&Request::Cumulative {
+                user: user.to_owned(),
+                audit_query: audit_query.to_owned(),
+            })?;
+            expect_outcome(response)
+        }
+
+        /// Fetches a metrics snapshot.
+        pub fn stats(&mut self) -> Result<Snapshot, ClientError> {
+            let response = self.call(&Request::Stats)?;
+            expect_stats(response)
+        }
+    };
+}
+
+/// A blocking TCP client: one request line out, one response line in.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running [`crate::server::Server`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = request.to_json().render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut answer = String::new();
+        let n = self.reader.read_line(&mut answer)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed".to_owned()));
+        }
+        let value = Json::parse(answer.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {}", e.message)))?;
+        Response::from_json(&value)
+            .map_err(|e| ClientError::Protocol(format!("bad response: {}", e.message)))
+    }
+
+    convenience_calls!();
+}
+
+/// An in-process client over a shared [`AuditService`] — same API as
+/// [`Client`], no socket.
+#[derive(Clone)]
+pub struct LocalClient {
+    service: Arc<AuditService>,
+}
+
+impl LocalClient {
+    /// Wraps a shared service.
+    pub fn new(service: Arc<AuditService>) -> LocalClient {
+        LocalClient { service }
+    }
+
+    /// Dispatches one request directly.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        Ok(self.service.handle(request))
+    }
+
+    convenience_calls!();
+}

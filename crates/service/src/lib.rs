@@ -1,0 +1,46 @@
+//! # epi-service
+//!
+//! A long-running, multi-threaded auditing daemon over the `epi-audit`
+//! decision machinery — the "auditing as infrastructure" deployment the
+//! paper's introduction sketches: disclosures arrive continuously, each
+//! must be judged against an audited property *before* more knowledge
+//! accumulates, and the same expensive `(A, B)` decision recurs across
+//! users and connections.
+//!
+//! The crate is std-only (threads, mutexes, condvars, TCP — no async
+//! runtime) and layers as:
+//!
+//! * [`session`] — sharded concurrent per-user sessions holding
+//!   cumulative knowledge as a world-set intersection (Section 3.3);
+//! * [`cache`] — an LRU verdict cache keyed by the canonical
+//!   `(A, B, prior)` triple;
+//! * [`worker`] — a worker pool with a bounded queue that coalesces
+//!   identical in-flight decisions, so the solver pipeline runs once per
+//!   distinct key;
+//! * [`metrics`] — atomic counters plus per-stage latency histograms,
+//!   exported as a [`metrics::Snapshot`];
+//! * [`proto`] — newline-delimited JSON requests/responses;
+//! * [`service`] — the in-process engine tying the above together;
+//! * [`server`] / [`client`] — a TCP front-end and both TCP and
+//!   in-process clients.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod session;
+pub mod worker;
+
+pub use cache::{DecisionKey, VerdictCache};
+pub use client::{AuditOutcome, Client, ClientError, LocalClient};
+pub use metrics::{Metrics, Snapshot};
+pub use proto::{Request, Response};
+pub use server::Server;
+pub use service::{AuditService, ServiceConfig};
+pub use session::{Session, SessionStore};
+pub use worker::DecisionPool;

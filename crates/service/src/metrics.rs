@@ -1,0 +1,283 @@
+//! Lock-free metrics registry for the auditing daemon.
+//!
+//! Counters are plain relaxed atomics: the daemon's hot path (cache
+//! lookups, queue operations) only ever does `fetch_add`, and a
+//! [`Snapshot`] is an unsynchronised read of all of them — fine for
+//! monitoring, where a counter being one tick stale is irrelevant.
+//! Per-stage latency is a power-of-two histogram in microseconds, one
+//! histogram per pipeline [`Stage`] plus one slot for decisions made
+//! outside the pipeline (the log-supermodular refutation search).
+
+use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+use epi_solver::Stage;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of latency-histogram buckets. Bucket `k` counts decisions whose
+/// latency fell in `[2^k, 2^(k+1))` microseconds; the last bucket is a
+/// catch-all, so the histogram spans ~1 µs to ~0.5 s before saturating.
+pub const LATENCY_BUCKETS: usize = 20;
+
+/// One latency slot per pipeline stage, plus one (the last) for
+/// decisions reached outside the pipeline.
+pub const STAGE_SLOTS: usize = 7;
+
+const STAGE_LABELS: [&str; STAGE_SLOTS] = [
+    "unconditional",
+    "miklau_suciu",
+    "monotonicity",
+    "cancellation",
+    "box_necessary",
+    "branch_and_bound",
+    "refutation_search",
+];
+
+fn stage_slot(stage: Option<Stage>) -> usize {
+    match stage {
+        Some(Stage::Unconditional) => 0,
+        Some(Stage::MiklauSuciu) => 1,
+        Some(Stage::Monotonicity) => 2,
+        Some(Stage::Cancellation) => 3,
+        Some(Stage::BoxNecessary) => 4,
+        Some(Stage::BranchAndBound) => 5,
+        None => 6,
+    }
+}
+
+#[derive(Default)]
+struct StageStats {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+/// The daemon's counters. One instance is shared (behind an `Arc`) by the
+/// session store, cache, worker pool and server.
+#[derive(Default)]
+pub struct Metrics {
+    /// Protocol requests handled (all operations).
+    pub requests: AtomicU64,
+    /// Requests that needed a safety decision (disclose/cumulative past
+    /// the negative-result gate).
+    pub decide_requests: AtomicU64,
+    /// Disclosures answered `Safe` because the audited property was false
+    /// at disclosure time — no solver work at all.
+    pub negative_gated: AtomicU64,
+    /// Verdict-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Verdict-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Verdict-cache evictions.
+    pub cache_evictions: AtomicU64,
+    /// Decisions that piggybacked on an identical in-flight decision
+    /// instead of enqueueing their own.
+    pub coalesced: AtomicU64,
+    /// Decisions actually computed by a worker.
+    pub computed: AtomicU64,
+    /// High-water mark of the worker queue depth.
+    pub queue_high_water: AtomicU64,
+    stages: [StageStats; STAGE_SLOTS],
+}
+
+impl Metrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Bumps a counter by one (relaxed).
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the queue high-water mark to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_high_water
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Records one computed decision: which stage settled it and how long
+    /// the solver took.
+    pub fn record_decision(&self, stage: Option<Stage>, micros: u64) {
+        let s = &self.stages[stage_slot(stage)];
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.total_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        s.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads every counter into a plain-data snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Snapshot {
+            requests: read(&self.requests),
+            decide_requests: read(&self.decide_requests),
+            negative_gated: read(&self.negative_gated),
+            cache_hits: read(&self.cache_hits),
+            cache_misses: read(&self.cache_misses),
+            cache_evictions: read(&self.cache_evictions),
+            coalesced: read(&self.coalesced),
+            computed: read(&self.computed),
+            queue_high_water: read(&self.queue_high_water),
+            stages: self
+                .stages
+                .iter()
+                .zip(STAGE_LABELS)
+                .map(|(s, label)| StageSnapshot {
+                    stage: label.to_owned(),
+                    count: read(&s.count),
+                    total_micros: read(&s.total_micros),
+                    buckets: s.buckets.iter().map(read).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`] — what the `stats` protocol
+/// operation returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Protocol requests handled.
+    pub requests: u64,
+    /// Requests that needed a safety decision.
+    pub decide_requests: u64,
+    /// Disclosures short-circuited by the negative-result rule.
+    pub negative_gated: u64,
+    /// Verdict-cache hits.
+    pub cache_hits: u64,
+    /// Verdict-cache misses.
+    pub cache_misses: u64,
+    /// Verdict-cache evictions.
+    pub cache_evictions: u64,
+    /// Decisions coalesced onto an in-flight computation.
+    pub coalesced: u64,
+    /// Decisions computed by workers.
+    pub computed: u64,
+    /// Worker-queue depth high-water mark.
+    pub queue_high_water: u64,
+    /// Per-stage decision counts and latency histograms.
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl Snapshot {
+    /// Cache hit rate in `[0, 1]`; `0` before any lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-stage slice of a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Stage label (`branch_and_bound`, …, or `refutation_search`).
+    pub stage: String,
+    /// Decisions settled at this stage.
+    pub count: u64,
+    /// Total solver time spent in those decisions, microseconds.
+    pub total_micros: u64,
+    /// Power-of-two latency histogram (bucket `k` = `[2^k, 2^(k+1))` µs).
+    pub buckets: Vec<u64>,
+}
+
+impl Serialize for StageSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("stage", Json::from(self.stage.as_str())),
+            ("count", Json::from(self.count)),
+            ("total_micros", Json::from(self.total_micros)),
+            ("buckets", self.buckets.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for StageSnapshot {
+    fn from_json(v: &Json) -> Result<StageSnapshot, JsonError> {
+        Ok(StageSnapshot {
+            stage: field(v, "stage")?,
+            count: field(v, "count")?,
+            total_micros: field(v, "total_micros")?,
+            buckets: field(v, "buckets")?,
+        })
+    }
+}
+
+impl Serialize for Snapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests)),
+            ("decide_requests", Json::from(self.decide_requests)),
+            ("negative_gated", Json::from(self.negative_gated)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
+            ("cache_evictions", Json::from(self.cache_evictions)),
+            ("coalesced", Json::from(self.coalesced)),
+            ("computed", Json::from(self.computed)),
+            ("queue_high_water", Json::from(self.queue_high_water)),
+            ("stages", self.stages.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for Snapshot {
+    fn from_json(v: &Json) -> Result<Snapshot, JsonError> {
+        Ok(Snapshot {
+            requests: field(v, "requests")?,
+            decide_requests: field(v, "decide_requests")?,
+            negative_gated: field(v, "negative_gated")?,
+            cache_hits: field(v, "cache_hits")?,
+            cache_misses: field(v, "cache_misses")?,
+            cache_evictions: field(v, "cache_evictions")?,
+            coalesced: field(v, "coalesced")?,
+            computed: field(v, "computed")?,
+            queue_high_water: field(v, "queue_high_water")?,
+            stages: field(v, "stages")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_lands_in_the_right_bucket() {
+        let m = Metrics::new();
+        m.record_decision(Some(Stage::Cancellation), 1); // bucket 0
+        m.record_decision(Some(Stage::Cancellation), 5); // bucket 2: [4,8)
+        m.record_decision(None, u64::MAX); // catch-all
+        let snap = m.snapshot();
+        let cancel = &snap.stages[3];
+        assert_eq!(cancel.count, 2);
+        assert_eq!(cancel.buckets[0], 1);
+        assert_eq!(cancel.buckets[2], 1);
+        let refute = &snap.stages[6];
+        assert_eq!(refute.stage, "refutation_search");
+        assert_eq!(refute.buckets[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn zero_micros_counts_as_fastest_bucket() {
+        let m = Metrics::new();
+        m.record_decision(Some(Stage::Unconditional), 0);
+        assert_eq!(m.snapshot().stages[0].buckets[0], 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = Metrics::new();
+        Metrics::incr(&m.requests);
+        Metrics::incr(&m.cache_hits);
+        m.observe_queue_depth(17);
+        m.record_decision(Some(Stage::BranchAndBound), 900);
+        let snap = m.snapshot();
+        let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.queue_high_water, 17);
+        assert!((back.cache_hit_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! The daemon's wire protocol: newline-delimited JSON requests and
+//! responses.
+//!
+//! Each line on a connection is one JSON object. Requests carry an `"op"`
+//! tag, responses a `"kind"` tag. A worked example lives in
+//! `docs/PROTOCOL.md` at the repository root.
+
+use epi_audit::auditor::ReportEntry;
+use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+
+use crate::metrics::Snapshot;
+
+/// One protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Record a disclosure for `user` and decide its safety against the
+    /// audit query. The database state at disclosure time is carried as a
+    /// record-presence mask, exactly as [`epi_audit::DatabaseState`]
+    /// stores it; the service evaluates the truthful answer itself.
+    Disclose {
+        /// The user receiving the answer.
+        user: String,
+        /// Logical disclosure time (non-decreasing per user).
+        time: u64,
+        /// The question asked, in the `epi-audit` query language.
+        query: String,
+        /// Record-presence mask of the database at disclosure time.
+        state_mask: u32,
+        /// The audited property, in the same query language.
+        audit_query: String,
+    },
+    /// Decide the safety of `user`'s cumulative knowledge (the
+    /// intersection of everything disclosed to them so far).
+    Cumulative {
+        /// The user to audit cumulatively.
+        user: String,
+        /// The audited property.
+        audit_query: String,
+    },
+    /// Fetch a metrics snapshot.
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+impl Serialize for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Disclose {
+                user,
+                time,
+                query,
+                state_mask,
+                audit_query,
+            } => Json::obj([
+                ("op", Json::from("disclose")),
+                ("user", Json::from(user.as_str())),
+                ("time", Json::from(*time)),
+                ("query", Json::from(query.as_str())),
+                ("state_mask", Json::from(*state_mask)),
+                ("audit_query", Json::from(audit_query.as_str())),
+            ]),
+            Request::Cumulative { user, audit_query } => Json::obj([
+                ("op", Json::from("cumulative")),
+                ("user", Json::from(user.as_str())),
+                ("audit_query", Json::from(audit_query.as_str())),
+            ]),
+            Request::Stats => Json::obj([("op", Json::from("stats"))]),
+            Request::Ping => Json::obj([("op", Json::from("ping"))]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_json(v: &Json) -> Result<Request, JsonError> {
+        match field::<String>(v, "op")?.as_str() {
+            "disclose" => Ok(Request::Disclose {
+                user: field(v, "user")?,
+                time: field(v, "time")?,
+                query: field(v, "query")?,
+                state_mask: field(v, "state_mask")?,
+                audit_query: field(v, "audit_query")?,
+            }),
+            "cumulative" => Ok(Request::Cumulative {
+                user: field(v, "user")?,
+                audit_query: field(v, "audit_query")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            other => Err(JsonError::decode(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// One protocol response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A finding, in exactly the shape the offline auditor's report
+    /// entries take.
+    Entry(ReportEntry),
+    /// A cumulative audit was requested for a user with fewer than two
+    /// disclosures: the cumulative finding coincides with the single
+    /// entry, so none is produced (mirroring the offline report).
+    NoCumulative {
+        /// The user asked about.
+        user: String,
+        /// How many disclosures they have.
+        disclosures: u64,
+    },
+    /// A metrics snapshot.
+    Stats(Snapshot),
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong,
+}
+
+impl Serialize for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Entry(entry) => {
+                Json::obj([("kind", Json::from("entry")), ("entry", entry.to_json())])
+            }
+            Response::NoCumulative { user, disclosures } => Json::obj([
+                ("kind", Json::from("no_cumulative")),
+                ("user", Json::from(user.as_str())),
+                ("disclosures", Json::from(*disclosures)),
+            ]),
+            Response::Stats(snapshot) => {
+                Json::obj([("kind", Json::from("stats")), ("stats", snapshot.to_json())])
+            }
+            Response::Error { message } => Json::obj([
+                ("kind", Json::from("error")),
+                ("message", Json::from(message.as_str())),
+            ]),
+            Response::Pong => Json::obj([("kind", Json::from("pong"))]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_json(v: &Json) -> Result<Response, JsonError> {
+        match field::<String>(v, "kind")?.as_str() {
+            "entry" => Ok(Response::Entry(field(v, "entry")?)),
+            "no_cumulative" => Ok(Response::NoCumulative {
+                user: field(v, "user")?,
+                disclosures: field(v, "disclosures")?,
+            }),
+            "stats" => Ok(Response::Stats(field(v, "stats")?)),
+            "error" => Ok(Response::Error {
+                message: field(v, "message")?,
+            }),
+            "pong" => Ok(Response::Pong),
+            other => Err(JsonError::decode(format!("unknown kind {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_audit::auditor::EntryKind;
+    use epi_audit::Finding;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Disclose {
+                user: "mallory".to_owned(),
+                time: 2007,
+                query: "hiv_pos".to_owned(),
+                state_mask: 0b11,
+                audit_query: "hiv_pos".to_owned(),
+            },
+            Request::Cumulative {
+                user: "eve".to_owned(),
+                audit_query: "secret".to_owned(),
+            },
+            Request::Stats,
+            Request::Ping,
+        ];
+        for r in reqs {
+            let j = Json::parse(&r.to_json().render()).unwrap();
+            assert_eq!(Request::from_json(&j).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Entry(ReportEntry {
+                user: "mallory".to_owned(),
+                time: 2007,
+                kind: EntryKind::Single,
+                finding: Finding::Flagged,
+                explanation: "direct hit".to_owned(),
+            }),
+            Response::NoCumulative {
+                user: "alice".to_owned(),
+                disclosures: 1,
+            },
+            Response::Error {
+                message: "unknown record `zzz`".to_owned(),
+            },
+            Response::Pong,
+        ];
+        for r in resps {
+            let j = Json::parse(&r.to_json().render()).unwrap();
+            assert_eq!(Response::from_json(&j).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unknown_ops_rejected() {
+        let j = Json::parse(r#"{"op":"fire_missiles"}"#).unwrap();
+        assert!(Request::from_json(&j).is_err());
+        let j = Json::parse(r#"{"kind":"shrug"}"#).unwrap();
+        assert!(Response::from_json(&j).is_err());
+    }
+}

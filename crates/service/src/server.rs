@@ -1,0 +1,127 @@
+//! Newline-delimited JSON over TCP, std threads only.
+//!
+//! One acceptor thread, one thread per connection. Each request line is
+//! parsed, dispatched through [`AuditService::handle`], and answered with
+//! one response line. Malformed lines produce an `error` response on the
+//! same connection rather than tearing it down.
+
+use crate::proto::{Request, Response};
+use crate::service::AuditService;
+use epi_json::{Deserialize, Json, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running TCP front-end over an [`AuditService`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) and starts
+    /// accepting connections.
+    pub fn spawn(service: Arc<AuditService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let service = Arc::clone(&service);
+                    let handle = std::thread::spawn(move || handle_connection(&service, stream));
+                    connections
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .push(handle);
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for the acceptor and every connection
+    /// thread to finish. Clients should have disconnected first;
+    /// connection threads run until their peer closes.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the acceptor out of `incoming()`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<_> = self
+            .connections
+            .lock()
+            .expect("connection registry poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(service: &AuditService, stream: TcpStream) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let reader = BufReader::new(peer);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Json::parse(&line) {
+            Ok(value) => match Request::from_json(&value) {
+                Ok(request) => service.handle(&request),
+                Err(e) => Response::Error {
+                    message: format!("bad request: {}", e.message),
+                },
+            },
+            Err(e) => Response::Error {
+                message: format!("bad JSON at byte {}: {}", e.offset, e.message),
+            },
+        };
+        let mut out = response.to_json().render();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() {
+            break;
+        }
+        if writer.flush().is_err() {
+            break;
+        }
+    }
+}

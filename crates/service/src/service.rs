@@ -1,0 +1,375 @@
+//! The in-process core of the auditing daemon.
+//!
+//! [`AuditService`] owns the schema, the sharded [`SessionStore`], the
+//! [`DecisionPool`](crate::worker::DecisionPool) and the [`Metrics`]
+//! registry, and maps protocol [`Request`]s to [`Response`]s. The TCP
+//! server in [`crate::server`] is a thin line-framing layer over
+//! [`AuditService::handle`]; tests and embedders can call it directly.
+
+use crate::cache::DecisionKey;
+use crate::metrics::{Metrics, Snapshot};
+use crate::proto::{Request, Response};
+use crate::session::SessionStore;
+use crate::worker::DecisionPool;
+use epi_audit::auditor::{EntryKind, ReportEntry};
+use epi_audit::query::parse;
+use epi_audit::{Auditor, Finding, PriorAssumption, Schema};
+use epi_core::{WorldId, WorldSet};
+use epi_solver::ProductSolverOptions;
+use std::sync::Arc;
+
+/// Tunables of an [`AuditService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Prior assumption every decision is made under.
+    pub assumption: PriorAssumption,
+    /// Product-solver options passed to the decision pipeline.
+    pub product_options: ProductSolverOptions,
+    /// Decision worker threads.
+    pub workers: usize,
+    /// Bounded decision-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Verdict-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Session-store shard count.
+    pub session_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            assumption: PriorAssumption::Product,
+            product_options: ProductSolverOptions::default(),
+            workers: 8,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            session_shards: 16,
+        }
+    }
+}
+
+/// The auditing daemon's engine: session state, decision workers, cache
+/// and metrics behind a single request-handling entry point.
+pub struct AuditService {
+    schema: Schema,
+    assumption: PriorAssumption,
+    sessions: SessionStore,
+    pool: DecisionPool,
+    metrics: Arc<Metrics>,
+}
+
+impl AuditService {
+    /// Builds a service over a fixed schema.
+    pub fn new(schema: Schema, config: ServiceConfig) -> AuditService {
+        let metrics = Arc::new(Metrics::new());
+        let auditor = Auditor::new(config.assumption).with_product_options(config.product_options);
+        let cube = schema.cube();
+        let pool = DecisionPool::new(
+            config.workers,
+            config.queue_capacity,
+            config.cache_capacity,
+            auditor,
+            cube,
+            Arc::clone(&metrics),
+        );
+        AuditService {
+            sessions: SessionStore::new(config.session_shards, cube.size()),
+            schema,
+            assumption: config.assumption,
+            pool,
+            metrics,
+        }
+    }
+
+    /// The schema this service audits against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A point-in-time copy of the service's counters.
+    pub fn metrics(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Handles one protocol request. Never panics on malformed input —
+    /// every user error comes back as [`Response::Error`].
+    pub fn handle(&self, request: &Request) -> Response {
+        Metrics::incr(&self.metrics.requests);
+        match request {
+            Request::Disclose {
+                user,
+                time,
+                query,
+                state_mask,
+                audit_query,
+            } => self.disclose(user, *time, query, *state_mask, audit_query),
+            Request::Cumulative { user, audit_query } => self.cumulative(user, audit_query),
+            Request::Stats => Response::Stats(self.metrics.snapshot()),
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    fn compile(&self, text: &str) -> Result<(String, WorldSet), Response> {
+        match parse(text, &self.schema) {
+            Ok(q) => {
+                let set = q.compile(&self.schema);
+                Ok((q.display(&self.schema).to_string(), set))
+            }
+            Err(e) => Err(Response::Error {
+                message: format!("cannot parse `{text}`: {e}"),
+            }),
+        }
+    }
+
+    fn disclose(
+        &self,
+        user: &str,
+        time: u64,
+        query_text: &str,
+        state_mask: u32,
+        audit_text: &str,
+    ) -> Response {
+        let (_, audit_set) = match self.compile(audit_text) {
+            Ok(x) => x,
+            Err(resp) => return resp,
+        };
+        let (query_display, query_set) = match self.compile(query_text) {
+            Ok(x) => x,
+            Err(resp) => return resp,
+        };
+        if (state_mask as usize) >= query_set.universe_size() {
+            return Response::Error {
+                message: format!(
+                    "state mask {state_mask:#b} does not denote a world of the {}-record schema",
+                    self.schema.len()
+                ),
+            };
+        }
+        // The truthful answer, exactly as the offline log computes it.
+        let answer = query_set.contains(WorldId(state_mask));
+        let disclosed = if answer {
+            query_set
+        } else {
+            query_set.complement()
+        };
+        // The session update happens unconditionally — cumulative
+        // knowledge accumulates even when this disclosure is excused by
+        // the negative-result rule, exactly like the offline log.
+        if let Err(e) = self
+            .sessions
+            .apply_disclosure(user, time, state_mask, &disclosed)
+        {
+            return Response::Error {
+                message: e.to_string(),
+            };
+        }
+        if !audit_set.contains(WorldId(state_mask)) {
+            Metrics::incr(&self.metrics.negative_gated);
+            return Response::Entry(ReportEntry {
+                user: user.to_owned(),
+                time,
+                kind: EntryKind::Single,
+                finding: Finding::Safe,
+                explanation: "audited property was false at disclosure time (negative results are not protected)".into(),
+            });
+        }
+        Metrics::incr(&self.metrics.decide_requests);
+        let decision = self.pool.decide(DecisionKey {
+            audit: audit_set,
+            disclosed,
+            assumption: self.assumption,
+        });
+        Response::Entry(ReportEntry {
+            user: user.to_owned(),
+            time,
+            kind: EntryKind::Single,
+            finding: decision.finding,
+            explanation: format!(
+                "query `{query_display}` answered {answer}: {}",
+                decision.explanation
+            ),
+        })
+    }
+
+    fn cumulative(&self, user: &str, audit_text: &str) -> Response {
+        let (_, audit_set) = match self.compile(audit_text) {
+            Ok(x) => x,
+            Err(resp) => return resp,
+        };
+        let Some(session) = self.sessions.get(user) else {
+            return Response::Error {
+                message: format!("unknown user `{user}`"),
+            };
+        };
+        if session.disclosures < 2 {
+            // One disclosure: cumulative knowledge coincides with it, so
+            // the offline report emits no cumulative entry either.
+            return Response::NoCumulative {
+                user: user.to_owned(),
+                disclosures: session.disclosures,
+            };
+        }
+        if !audit_set.contains(WorldId(session.last_state_mask)) {
+            Metrics::incr(&self.metrics.negative_gated);
+            return Response::Entry(ReportEntry {
+                user: user.to_owned(),
+                time: session.last_time,
+                kind: EntryKind::Cumulative,
+                finding: Finding::Safe,
+                explanation: "audited property was false at the last disclosure (negative results are not protected)".into(),
+            });
+        }
+        Metrics::incr(&self.metrics.decide_requests);
+        let decision = self.pool.decide(DecisionKey {
+            audit: audit_set,
+            disclosed: session.knowledge.clone(),
+            assumption: self.assumption,
+        });
+        Response::Entry(ReportEntry {
+            user: user.to_owned(),
+            time: session.last_time,
+            kind: EntryKind::Cumulative,
+            finding: decision.finding,
+            explanation: format!(
+                "{} disclosures combined: {}",
+                session.disclosures, decision.explanation
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hospital_service(assumption: PriorAssumption) -> AuditService {
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        AuditService::new(
+            schema,
+            ServiceConfig {
+                assumption,
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn disclose(user: &str, time: u64, query: &str, state_mask: u32) -> Request {
+        Request::Disclose {
+            user: user.to_owned(),
+            time,
+            query: query.to_owned(),
+            state_mask,
+            audit_query: "hiv_pos".to_owned(),
+        }
+    }
+
+    #[test]
+    fn negative_results_are_not_protected() {
+        let svc = hospital_service(PriorAssumption::Unrestricted);
+        // Alice asks while Bob is healthy: state 0b00, hiv_pos false.
+        let resp = svc.handle(&disclose("alice", 2005, "hiv_pos", 0b00));
+        let Response::Entry(entry) = resp else {
+            panic!("expected entry, got {resp:?}");
+        };
+        assert_eq!(entry.finding, Finding::Safe);
+        assert!(entry.explanation.contains("not protected"));
+        assert_eq!(svc.metrics().negative_gated, 1);
+        assert_eq!(svc.metrics().decide_requests, 0);
+    }
+
+    #[test]
+    fn direct_hit_is_flagged_and_then_cached() {
+        let svc = hospital_service(PriorAssumption::Product);
+        let r1 = svc.handle(&disclose("mallory", 2007, "hiv_pos", 0b11));
+        let Response::Entry(e1) = r1 else {
+            panic!("expected entry");
+        };
+        assert_eq!(e1.finding, Finding::Flagged);
+        // A second user asking the same question reuses the verdict.
+        let r2 = svc.handle(&disclose("trent", 2008, "hiv_pos", 0b11));
+        let Response::Entry(e2) = r2 else {
+            panic!("expected entry");
+        };
+        assert_eq!(e2.finding, Finding::Flagged);
+        let m = svc.metrics();
+        assert_eq!(m.computed, 1);
+        assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn cumulative_composes_disclosures() {
+        let schema = Schema::from_names(&["secret", "marker_a", "marker_b"]).unwrap();
+        let svc = AuditService::new(
+            schema,
+            ServiceConfig {
+                assumption: PriorAssumption::Unrestricted,
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let req = |time, query: &str| Request::Disclose {
+            user: "eve".to_owned(),
+            time,
+            query: query.to_owned(),
+            state_mask: 0b011,
+            audit_query: "secret".to_owned(),
+        };
+        // Two disclosures whose intersection pins `secret`: the
+        // cumulative entry must be flagged regardless of how the singles
+        // are judged.
+        let Response::Entry(_) = svc.handle(&req(1, "secret | marker_a")) else {
+            panic!("entry expected");
+        };
+        let Response::Entry(_) = svc.handle(&req(2, "secret | !marker_a")) else {
+            panic!("entry expected");
+        };
+        let resp = svc.handle(&Request::Cumulative {
+            user: "eve".to_owned(),
+            audit_query: "secret".to_owned(),
+        });
+        let Response::Entry(cum) = resp else {
+            panic!("expected cumulative entry, got {resp:?}");
+        };
+        assert_eq!(cum.kind, EntryKind::Cumulative);
+        assert_eq!(cum.finding, Finding::Flagged);
+        assert!(cum.explanation.starts_with("2 disclosures combined:"));
+    }
+
+    #[test]
+    fn single_disclosure_yields_no_cumulative_entry() {
+        let svc = hospital_service(PriorAssumption::Unrestricted);
+        svc.handle(&disclose("alice", 2005, "hiv_pos", 0b00));
+        let resp = svc.handle(&Request::Cumulative {
+            user: "alice".to_owned(),
+            audit_query: "hiv_pos".to_owned(),
+        });
+        assert_eq!(
+            resp,
+            Response::NoCumulative {
+                user: "alice".to_owned(),
+                disclosures: 1
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_queries_become_errors() {
+        let svc = hospital_service(PriorAssumption::Product);
+        let resp = svc.handle(&disclose("alice", 1, "no_such_record", 0));
+        assert!(matches!(resp, Response::Error { .. }));
+        let resp = svc.handle(&Request::Cumulative {
+            user: "nobody".to_owned(),
+            audit_query: "hiv_pos".to_owned(),
+        });
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn out_of_order_disclosures_rejected() {
+        let svc = hospital_service(PriorAssumption::Unrestricted);
+        svc.handle(&disclose("bob", 10, "hiv_pos", 0));
+        let resp = svc.handle(&disclose("bob", 5, "hiv_pos", 0));
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+}

@@ -1,0 +1,183 @@
+//! Sharded per-user session store.
+//!
+//! One session per user, holding the user's *cumulative knowledge*: the
+//! intersection of every property disclosed to them so far (Section 3.3
+//! of the paper — acquiring `B₁` then `B₂` equals acquiring `B₁ ∩ B₂`).
+//! Sessions are spread over `N` independent mutex-guarded shards keyed by
+//! a hash of the user name, so disclosures for different users rarely
+//! contend on the same lock.
+
+use epi_core::WorldSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// One user's accumulated state, as stored (and returned by value from
+/// every store operation so callers never hold a shard lock).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Session {
+    /// Number of disclosures recorded for this user.
+    pub disclosures: u64,
+    /// Logical time of the latest disclosure.
+    pub last_time: u64,
+    /// Database state (record-presence mask) at the latest disclosure.
+    pub last_state_mask: u32,
+    /// The intersection of all disclosed sets — starts as the full set
+    /// (vacuous knowledge).
+    pub knowledge: WorldSet,
+}
+
+/// Rejected session updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// Per-user disclosure times must be non-decreasing.
+    OutOfOrder {
+        /// Time of the rejected disclosure.
+        time: u64,
+        /// Time of the user's last accepted disclosure.
+        last: u64,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::OutOfOrder { time, last } => write!(
+                f,
+                "disclosure at time {time} arrived after the user's disclosure at time {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Concurrent map from user name to [`Session`], sharded for low
+/// contention.
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<String, Session>>>,
+    universe: usize,
+}
+
+impl SessionStore {
+    /// Creates a store with `shards` independent shards over a world
+    /// universe of the given size (the schema's `2^n` worlds).
+    pub fn new(shards: usize, universe: usize) -> SessionStore {
+        let shards = shards.max(1);
+        SessionStore {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            universe,
+        }
+    }
+
+    fn shard(&self, user: &str) -> &Mutex<HashMap<String, Session>> {
+        let mut h = DefaultHasher::new();
+        user.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Records one disclosure: intersects the user's cumulative knowledge
+    /// with `disclosed` and advances their clock. Returns the updated
+    /// session by value.
+    pub fn apply_disclosure(
+        &self,
+        user: &str,
+        time: u64,
+        state_mask: u32,
+        disclosed: &WorldSet,
+    ) -> Result<Session, SessionError> {
+        let mut shard = self.shard(user).lock().expect("session shard poisoned");
+        let session = shard.entry(user.to_owned()).or_insert_with(|| Session {
+            disclosures: 0,
+            last_time: 0,
+            last_state_mask: 0,
+            knowledge: WorldSet::full(self.universe),
+        });
+        if session.disclosures > 0 && time < session.last_time {
+            return Err(SessionError::OutOfOrder {
+                time,
+                last: session.last_time,
+            });
+        }
+        session.disclosures += 1;
+        session.last_time = time;
+        session.last_state_mask = state_mask;
+        session.knowledge.intersect_with(disclosed);
+        Ok(session.clone())
+    }
+
+    /// Looks up a user's session.
+    pub fn get(&self, user: &str) -> Option<Session> {
+        self.shard(user)
+            .lock()
+            .expect("session shard poisoned")
+            .get(user)
+            .cloned()
+    }
+
+    /// Total number of sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("session shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` iff no user has a session yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knowledge_is_the_intersection_of_disclosures() {
+        let store = SessionStore::new(4, 4);
+        let b1 = WorldSet::from_indices(4, [1, 2, 3]);
+        let b2 = WorldSet::from_indices(4, [2, 3]);
+        let s1 = store.apply_disclosure("alice", 1, 0b01, &b1).unwrap();
+        assert_eq!(s1.disclosures, 1);
+        assert_eq!(s1.knowledge, b1);
+        let s2 = store.apply_disclosure("alice", 2, 0b11, &b2).unwrap();
+        assert_eq!(s2.disclosures, 2);
+        assert_eq!(s2.knowledge, WorldSet::from_indices(4, [2, 3]));
+        assert_eq!(s2.last_time, 2);
+        assert_eq!(s2.last_state_mask, 0b11);
+    }
+
+    #[test]
+    fn per_user_chronology_enforced() {
+        let store = SessionStore::new(4, 4);
+        let b = WorldSet::full(4);
+        store.apply_disclosure("bob", 5, 0, &b).unwrap();
+        assert_eq!(
+            store.apply_disclosure("bob", 3, 0, &b),
+            Err(SessionError::OutOfOrder { time: 3, last: 5 })
+        );
+        // Equal timestamps and other users are unaffected.
+        assert!(store.apply_disclosure("bob", 5, 0, &b).is_ok());
+        assert!(store.apply_disclosure("carol", 1, 0, &b).is_ok());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn users_land_in_stable_shards() {
+        let store = SessionStore::new(8, 4);
+        let b = WorldSet::full(4);
+        for i in 0..50 {
+            store
+                .apply_disclosure(&format!("user{i}"), 1, 0, &b)
+                .unwrap();
+        }
+        assert_eq!(store.len(), 50);
+        for i in 0..50 {
+            assert!(store.get(&format!("user{i}")).is_some());
+        }
+        assert!(store.get("nobody").is_none());
+    }
+}

@@ -1,0 +1,283 @@
+//! Worker pool with a bounded queue and request coalescing.
+//!
+//! Safety decisions are the expensive part of serving an audit request —
+//! a single branch-and-bound run can take milliseconds. The pool:
+//!
+//! 1. answers from the [`VerdictCache`] when the canonical `(A, B, prior)`
+//!    key has been decided before;
+//! 2. **coalesces** concurrent requests for the same key onto a single
+//!    in-flight computation, so `decide_product_pipeline` runs once per
+//!    distinct key no matter how many clients ask simultaneously;
+//! 3. otherwise enqueues the key on a bounded queue (blocking the caller
+//!    when the queue is full — backpressure, not unbounded memory) from
+//!    which `N` worker threads drain.
+//!
+//! Everything is std-only: `Mutex` + `Condvar`, no async runtime.
+
+use crate::cache::{DecisionKey, VerdictCache};
+use crate::metrics::Metrics;
+use epi_audit::{Auditor, Decision};
+use epi_boolean::Cube;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A one-shot slot that many threads can wait on.
+struct Gate {
+    slot: Mutex<Option<Decision>>,
+    ready: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn set(&self, decision: Decision) {
+        *self.slot.lock().expect("gate poisoned") = Some(decision);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Decision {
+        let mut slot = self.slot.lock().expect("gate poisoned");
+        loop {
+            if let Some(d) = slot.as_ref() {
+                return d.clone();
+            }
+            slot = self.ready.wait(slot).expect("gate poisoned");
+        }
+    }
+}
+
+struct Queue {
+    items: VecDeque<(DecisionKey, Arc<Gate>)>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    pending: Mutex<HashMap<DecisionKey, Arc<Gate>>>,
+    cache: VerdictCache,
+    auditor: Auditor,
+    cube: Cube,
+    metrics: Arc<Metrics>,
+}
+
+/// The decision worker pool. Dropping it stops the workers after they
+/// drain the queue.
+pub struct DecisionPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DecisionPool {
+    /// Spawns `workers` decision threads sharing one bounded queue of
+    /// `queue_capacity` slots and one verdict cache of `cache_capacity`
+    /// entries.
+    pub fn new(
+        workers: usize,
+        queue_capacity: usize,
+        cache_capacity: usize,
+        auditor: Auditor,
+        cube: Cube,
+        metrics: Arc<Metrics>,
+    ) -> DecisionPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            pending: Mutex::new(HashMap::new()),
+            cache: VerdictCache::new(cache_capacity),
+            auditor,
+            cube,
+            metrics,
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        DecisionPool { shared, workers }
+    }
+
+    /// Decides `(A, B)` under the pool's prior assumption, consulting the
+    /// cache and coalescing with identical in-flight requests. Blocks the
+    /// calling thread until the decision is available.
+    pub fn decide(&self, key: DecisionKey) -> Decision {
+        let shared = &self.shared;
+        if let Some(hit) = shared.cache.get(&key) {
+            Metrics::incr(&shared.metrics.cache_hits);
+            return hit;
+        }
+        Metrics::incr(&shared.metrics.cache_misses);
+
+        let gate = {
+            let mut pending = shared.pending.lock().expect("pending poisoned");
+            if let Some(gate) = pending.get(&key) {
+                Metrics::incr(&shared.metrics.coalesced);
+                let gate = Arc::clone(gate);
+                drop(pending);
+                return gate.wait();
+            }
+            // The computation may have completed between the cache miss
+            // and taking the pending lock; re-check before enqueueing.
+            if let Some(hit) = shared.cache.get(&key) {
+                Metrics::incr(&shared.metrics.cache_hits);
+                return hit;
+            }
+            let gate = Arc::new(Gate::new());
+            pending.insert(key.clone(), Arc::clone(&gate));
+            gate
+        };
+
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        while queue.items.len() >= shared.capacity && !queue.shutdown {
+            queue = shared.not_full.wait(queue).expect("queue poisoned");
+        }
+        queue.items.push_back((key, Arc::clone(&gate)));
+        shared.metrics.observe_queue_depth(queue.items.len());
+        drop(queue);
+        shared.not_empty.notify_one();
+
+        gate.wait()
+    }
+
+    fn worker_loop(shared: &Shared) {
+        loop {
+            let (key, gate) = {
+                let mut queue = shared.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(item) = queue.items.pop_front() {
+                        shared.not_full.notify_one();
+                        break item;
+                    }
+                    if queue.shutdown {
+                        return;
+                    }
+                    queue = shared.not_empty.wait(queue).expect("queue poisoned");
+                }
+            };
+            let started = Instant::now();
+            let decision = shared
+                .auditor
+                .decide_sets(&shared.cube, &key.audit, &key.disclosed);
+            let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            shared.metrics.record_decision(decision.stage, micros);
+            Metrics::incr(&shared.metrics.computed);
+            let evicted = shared.cache.insert(key.clone(), decision.clone());
+            shared
+                .metrics
+                .cache_evictions
+                .fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+            shared
+                .pending
+                .lock()
+                .expect("pending poisoned")
+                .remove(&key);
+            gate.set(decision);
+        }
+    }
+}
+
+impl Drop for DecisionPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_audit::{Finding, PriorAssumption};
+    use epi_boolean::Cube;
+    use epi_core::WorldSet;
+    use std::sync::atomic::Ordering;
+
+    fn pool(workers: usize) -> DecisionPool {
+        DecisionPool::new(
+            workers,
+            8,
+            64,
+            Auditor::new(PriorAssumption::Product),
+            Cube::new(2),
+            Arc::new(Metrics::new()),
+        )
+    }
+
+    fn key(audit_bits: &[u32], disclosed_bits: &[u32]) -> DecisionKey {
+        DecisionKey {
+            audit: WorldSet::from_indices(4, audit_bits.iter().copied()),
+            disclosed: WorldSet::from_indices(4, disclosed_bits.iter().copied()),
+            assumption: PriorAssumption::Product,
+        }
+    }
+
+    #[test]
+    fn decides_and_caches() {
+        let p = pool(2);
+        // §1.1 shape: A = hiv worlds {1,3}, B = implication {0,2,3} — safe.
+        let k = key(&[1, 3], &[0, 2, 3]);
+        let first = p.decide(k.clone());
+        assert_eq!(first.finding, Finding::Safe);
+        let second = p.decide(k);
+        assert_eq!(second, first);
+        let m = p.shared.metrics.snapshot();
+        assert_eq!(m.computed, 1);
+        assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_or_hit_cache() {
+        let p = Arc::new(pool(4));
+        let k = key(&[1, 3], &[1, 3]); // direct hit: flagged
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                let k = k.clone();
+                std::thread::spawn(move || p.decide(k))
+            })
+            .collect();
+        let findings: Vec<Decision> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert!(findings.iter().all(|d| d.finding == Finding::Flagged));
+        assert!(findings.iter().all(|d| *d == findings[0]));
+        let m = p.shared.metrics.snapshot();
+        // Every request either computed (once), coalesced, or hit cache —
+        // and the solver ran exactly once.
+        assert_eq!(m.computed, 1);
+        assert_eq!(m.cache_hits + m.coalesced + m.computed, 8);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share_results() {
+        let p = pool(2);
+        let safe = p.decide(key(&[1, 3], &[0, 1, 2, 3]));
+        let flagged = p.decide(key(&[1, 3], &[1, 3]));
+        assert_eq!(safe.finding, Finding::Safe);
+        assert_eq!(flagged.finding, Finding::Flagged);
+        assert_eq!(
+            p.shared.metrics.computed.load(Ordering::Relaxed),
+            2,
+            "two distinct keys, two computations"
+        );
+    }
+}

@@ -28,6 +28,7 @@ pub mod logsupermod;
 pub mod pipeline;
 pub mod product;
 pub mod verdict;
+pub mod wire;
 
 pub use algebraic::{AlgebraicFamily, AlgebraicOptions, AlgebraicWitness};
 pub use pipeline::{decide_product_pipeline, PipelineDecision, Stage};

@@ -1,0 +1,287 @@
+//! JSON wire format for verdicts, stages, witnesses and solver options.
+//!
+//! Everything the audit service ships across a connection — or a tool
+//! stores next to a report — round-trips through [`epi_json`]:
+//! [`Stage`], [`SafeEvidence`], [`Verdict`], [`ProductWitness`],
+//! [`PipelineDecision`], and [`ProductSolverOptions`]. Encodings are
+//! tagged objects (`{"kind": ...}`) or plain strings for fieldless enums,
+//! so the format stays self-describing.
+
+use crate::pipeline::{PipelineDecision, Stage};
+use crate::product::{BoundMethod, ProductSolverOptions, ProductWitness};
+use crate::verdict::{SafeEvidence, Verdict};
+use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+
+impl Serialize for Stage {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Stage::Unconditional => "unconditional",
+                Stage::MiklauSuciu => "miklau_suciu",
+                Stage::Monotonicity => "monotonicity",
+                Stage::Cancellation => "cancellation",
+                Stage::BoxNecessary => "box_necessary",
+                Stage::BranchAndBound => "branch_and_bound",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for Stage {
+    fn from_json(v: &Json) -> Result<Stage, JsonError> {
+        match v.as_str() {
+            Some("unconditional") => Ok(Stage::Unconditional),
+            Some("miklau_suciu") => Ok(Stage::MiklauSuciu),
+            Some("monotonicity") => Ok(Stage::Monotonicity),
+            Some("cancellation") => Ok(Stage::Cancellation),
+            Some("box_necessary") => Ok(Stage::BoxNecessary),
+            Some("branch_and_bound") => Ok(Stage::BranchAndBound),
+            _ => Err(JsonError::decode("unknown pipeline stage")),
+        }
+    }
+}
+
+/// The criterion names that may appear inside
+/// [`SafeEvidence::Criterion`]. Deserialization interns into this table
+/// because the variant holds a `&'static str`.
+const KNOWN_CRITERIA: &[&str] = &[
+    "Miklau–Suciu",
+    "miklau-suciu",
+    "monotonicity",
+    "cancellation",
+    "supermodular-sufficient (Prop 5.4)",
+];
+
+impl Serialize for SafeEvidence {
+    fn to_json(&self) -> Json {
+        match self {
+            SafeEvidence::Criterion(name) => Json::obj([
+                ("kind", Json::from("criterion")),
+                ("name", Json::from(*name)),
+            ]),
+            SafeEvidence::BranchAndBound { boxes_processed } => Json::obj([
+                ("kind", Json::from("branch_and_bound")),
+                ("boxes_processed", Json::from(*boxes_processed)),
+            ]),
+            SafeEvidence::SosCertificate { residual } => Json::obj([
+                ("kind", Json::from("sos_certificate")),
+                ("residual", Json::from(*residual)),
+            ]),
+            SafeEvidence::Unconditional => Json::obj([("kind", Json::from("unconditional"))]),
+        }
+    }
+}
+
+impl Deserialize for SafeEvidence {
+    fn from_json(v: &Json) -> Result<SafeEvidence, JsonError> {
+        match field::<String>(v, "kind")?.as_str() {
+            "criterion" => {
+                let name: String = field(v, "name")?;
+                let interned = KNOWN_CRITERIA
+                    .iter()
+                    .find(|k| **k == name)
+                    .ok_or_else(|| JsonError::decode(format!("unknown criterion name {name:?}")))?;
+                Ok(SafeEvidence::Criterion(interned))
+            }
+            "branch_and_bound" => Ok(SafeEvidence::BranchAndBound {
+                boxes_processed: field(v, "boxes_processed")?,
+            }),
+            "sos_certificate" => Ok(SafeEvidence::SosCertificate {
+                residual: field(v, "residual")?,
+            }),
+            "unconditional" => Ok(SafeEvidence::Unconditional),
+            other => Err(JsonError::decode(format!(
+                "unknown evidence kind {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for ProductWitness {
+    fn to_json(&self) -> Json {
+        Json::obj([("probs", self.probs.to_json()), ("gap", self.gap.to_json())])
+    }
+}
+
+impl Deserialize for ProductWitness {
+    fn from_json(v: &Json) -> Result<ProductWitness, JsonError> {
+        Ok(ProductWitness {
+            probs: field(v, "probs")?,
+            gap: field(v, "gap")?,
+        })
+    }
+}
+
+impl<W: Serialize> Serialize for Verdict<W> {
+    fn to_json(&self) -> Json {
+        match self {
+            Verdict::Safe(ev) => {
+                Json::obj([("verdict", Json::from("safe")), ("evidence", ev.to_json())])
+            }
+            Verdict::Unsafe(w) => {
+                Json::obj([("verdict", Json::from("unsafe")), ("witness", w.to_json())])
+            }
+            Verdict::Unknown => Json::obj([("verdict", Json::from("unknown"))]),
+        }
+    }
+}
+
+impl<W: Deserialize> Deserialize for Verdict<W> {
+    fn from_json(v: &Json) -> Result<Verdict<W>, JsonError> {
+        match field::<String>(v, "verdict")?.as_str() {
+            "safe" => Ok(Verdict::Safe(field(v, "evidence")?)),
+            "unsafe" => Ok(Verdict::Unsafe(field(v, "witness")?)),
+            "unknown" => Ok(Verdict::Unknown),
+            other => Err(JsonError::decode(format!("unknown verdict tag {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for PipelineDecision {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("verdict", self.verdict.to_json()),
+            ("stage", self.stage.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for PipelineDecision {
+    fn from_json(v: &Json) -> Result<PipelineDecision, JsonError> {
+        Ok(PipelineDecision {
+            verdict: field(v, "verdict")?,
+            stage: field(v, "stage")?,
+        })
+    }
+}
+
+impl Serialize for BoundMethod {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                BoundMethod::Bernstein => "bernstein",
+                BoundMethod::Interval => "interval",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for BoundMethod {
+    fn from_json(v: &Json) -> Result<BoundMethod, JsonError> {
+        match v.as_str() {
+            Some("bernstein") => Ok(BoundMethod::Bernstein),
+            Some("interval") => Ok(BoundMethod::Interval),
+            _ => Err(JsonError::decode("unknown bound method")),
+        }
+    }
+}
+
+impl Serialize for ProductSolverOptions {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("margin", Json::from(self.margin)),
+            ("max_boxes", Json::from(self.max_boxes)),
+            ("coordinate_ascent", Json::from(self.coordinate_ascent)),
+            ("bound_method", self.bound_method.to_json()),
+            ("sos_fallback", Json::from(self.sos_fallback)),
+        ])
+    }
+}
+
+impl Deserialize for ProductSolverOptions {
+    fn from_json(v: &Json) -> Result<ProductSolverOptions, JsonError> {
+        Ok(ProductSolverOptions {
+            margin: field(v, "margin")?,
+            max_boxes: field(v, "max_boxes")?,
+            coordinate_ascent: field(v, "coordinate_ascent")?,
+            bound_method: field(v, "bound_method")?,
+            sos_fallback: field(v, "sos_fallback")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epi_num::Rational;
+
+    /// The service moves verdicts and options between threads; lock the
+    /// auto-traits in so a later edit can't silently lose them.
+    #[test]
+    fn solver_types_are_send_sync_clone() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<Stage>();
+        check::<SafeEvidence>();
+        check::<Verdict<ProductWitness>>();
+        check::<ProductWitness>();
+        check::<PipelineDecision>();
+        check::<ProductSolverOptions>();
+    }
+
+    #[test]
+    fn stage_roundtrips() {
+        for s in [
+            Stage::Unconditional,
+            Stage::MiklauSuciu,
+            Stage::Monotonicity,
+            Stage::Cancellation,
+            Stage::BoxNecessary,
+            Stage::BranchAndBound,
+        ] {
+            let j = Json::parse(&s.to_json().render()).unwrap();
+            assert_eq!(Stage::from_json(&j).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn verdict_roundtrips() {
+        let verdicts: Vec<Verdict<ProductWitness>> = vec![
+            Verdict::Safe(SafeEvidence::Criterion("cancellation")),
+            Verdict::Safe(SafeEvidence::BranchAndBound {
+                boxes_processed: 42,
+            }),
+            Verdict::Safe(SafeEvidence::SosCertificate { residual: 1e-12 }),
+            Verdict::Safe(SafeEvidence::Unconditional),
+            Verdict::Unsafe(ProductWitness {
+                probs: vec![Rational::new(1, 2), Rational::new(1, 4)],
+                gap: Rational::new(-1, 16),
+            }),
+            Verdict::Unknown,
+        ];
+        for v in verdicts {
+            let j = Json::parse(&v.to_json().render()).unwrap();
+            let back = Verdict::<ProductWitness>::from_json(&j).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let opts = ProductSolverOptions {
+            margin: 1e-7,
+            max_boxes: 123,
+            coordinate_ascent: false,
+            bound_method: BoundMethod::Interval,
+            sos_fallback: true,
+        };
+        let j = Json::parse(&opts.to_json().render()).unwrap();
+        let back = ProductSolverOptions::from_json(&j).unwrap();
+        assert_eq!(back.margin, opts.margin);
+        assert_eq!(back.max_boxes, opts.max_boxes);
+        assert_eq!(back.coordinate_ascent, opts.coordinate_ascent);
+        assert_eq!(back.bound_method, opts.bound_method);
+        assert_eq!(back.sos_fallback, opts.sos_fallback);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let j = Json::parse(r#"{"verdict":"maybe"}"#).unwrap();
+        assert!(Verdict::<ProductWitness>::from_json(&j).is_err());
+        let j = Json::parse(r#""warp_drive""#).unwrap();
+        assert!(Stage::from_json(&j).is_err());
+        let j = Json::parse(r#"{"kind":"criterion","name":"made-up"}"#).unwrap();
+        assert!(SafeEvidence::from_json(&j).is_err());
+    }
+}

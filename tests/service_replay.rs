@@ -1,0 +1,182 @@
+//! Integration test: the auditing daemon must agree **byte for byte**
+//! with the offline [`Auditor`] when the same disclosures are replayed
+//! through it — from eight concurrent TCP clients at once — and the
+//! verdict cache must actually absorb the repeated decisions.
+
+use epi_audit::auditor::{Auditor, EntryKind, PriorAssumption, ReportEntry};
+use epi_audit::query::parse;
+use epi_audit::workload::hospital_scenario;
+use epi_audit::{AuditLog, Schema};
+use epi_json::Serialize;
+use epi_service::{AuditOutcome, AuditService, Client, LocalClient, Server, ServiceConfig};
+use std::sync::Arc;
+
+const AUDIT_QUERY: &str = "hiv_pos";
+
+/// Offline reference: the hospital report's entries.
+fn offline_entries(assumption: PriorAssumption) -> Vec<ReportEntry> {
+    let w = hospital_scenario();
+    let audit = parse(AUDIT_QUERY, &w.schema).unwrap();
+    Auditor::new(assumption).audit(&w.log, &audit).entries
+}
+
+/// Replays the hospital log through a client under a per-thread user
+/// namespace, returning entries with the namespace stripped again so
+/// they are directly comparable to the offline report.
+fn replay_hospital(client: &mut Client, prefix: &str) -> Vec<ReportEntry> {
+    let w = hospital_scenario();
+    let mut entries = Vec::new();
+    for (d, state) in w.log.entries_with_state() {
+        let outcome = client
+            .disclose(
+                &format!("{prefix}{}", d.user),
+                d.time,
+                &d.query.display(w.log.schema()).to_string(),
+                state.mask(),
+                AUDIT_QUERY,
+            )
+            .expect("disclose succeeds");
+        let AuditOutcome::Entry(mut entry) = outcome else {
+            panic!("expected an entry for {}", d.user);
+        };
+        entry.user = entry
+            .user
+            .strip_prefix(prefix)
+            .expect("service echoes the namespaced user")
+            .to_owned();
+        entries.push(entry);
+    }
+    // Hospital users each have a single disclosure, so the offline report
+    // contains no cumulative entries; the service must agree.
+    for user in w.log.users() {
+        let outcome = client
+            .cumulative(&format!("{prefix}{user}"), AUDIT_QUERY)
+            .expect("cumulative succeeds");
+        assert_eq!(
+            outcome,
+            AuditOutcome::NoCumulative { disclosures: 1 },
+            "hospital users have one disclosure each"
+        );
+    }
+    entries
+}
+
+#[test]
+fn eight_concurrent_clients_match_the_offline_auditor() {
+    let expected = offline_entries(PriorAssumption::Product);
+    let w = hospital_scenario();
+    let service = Arc::new(AuditService::new(
+        w.schema.clone(),
+        ServiceConfig {
+            assumption: PriorAssumption::Product,
+            workers: 8,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Two passes per thread: the second is guaranteed to find
+                // the verdicts of the first in the cache.
+                let first = replay_hospital(&mut client, &format!("c{i}:"));
+                let second = replay_hospital(&mut client, &format!("c{i}b:"));
+                (first, second)
+            })
+        })
+        .collect();
+
+    for t in threads {
+        let (first, second) = t.join().expect("client thread");
+        for got in [first, second] {
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g, e, "entry mismatch");
+                // Byte-for-byte on the wire encoding too.
+                assert_eq!(g.to_json().render(), e.to_json().render());
+            }
+            let flagged: Vec<&str> = got
+                .iter()
+                .filter(|e| e.finding == epi_audit::Finding::Flagged)
+                .map(|e| e.user.as_str())
+                .collect();
+            assert_eq!(flagged, vec!["mallory"]);
+        }
+    }
+
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    drop(client);
+    server.shutdown();
+
+    // 16 replays share two distinct (A, B) decisions (mallory's direct
+    // query, dave's implication): the solver must have run far fewer
+    // times than it was asked, and the cache must have real hits — not
+    // just in-flight coalescing.
+    assert_eq!(stats.computed, 2, "one computation per distinct (A, B)");
+    assert!(
+        stats.cache_hits > 0,
+        "repeat decisions must hit the cache: {stats:?}"
+    );
+    assert_eq!(stats.cache_hits + stats.coalesced + stats.computed, 32);
+    assert!(
+        stats.cache_hit_rate() >= 0.5,
+        "hit rate {} too low",
+        stats.cache_hit_rate()
+    );
+    assert_eq!(stats.negative_gated, 32, "alice + cindy, 16 replays");
+}
+
+#[test]
+fn cumulative_entries_match_the_offline_auditor() {
+    // The composition scenario: two individually-mild disclosures whose
+    // intersection pins the secret (offline `cumulative_breach` case).
+    let schema = Schema::from_names(&["secret", "marker_a", "marker_b"]).unwrap();
+    let audit = parse("secret", &schema).unwrap();
+    let b1 = parse("secret | marker_a", &schema).unwrap();
+    let b2 = parse("secret | !marker_a", &schema).unwrap();
+    let state =
+        epi_audit::DatabaseState::from_present([epi_audit::RecordId(0), epi_audit::RecordId(1)]);
+    let mut log = AuditLog::new(schema.clone());
+    log.record("eve", 1, b1.clone(), state).unwrap();
+    log.record("eve", 2, b2.clone(), state).unwrap();
+    let offline = Auditor::new(PriorAssumption::Unrestricted).audit(&log, &audit);
+    let offline_cumulative = offline
+        .entries
+        .iter()
+        .find(|e| e.kind == EntryKind::Cumulative)
+        .expect("offline cumulative entry");
+
+    let service = Arc::new(AuditService::new(
+        schema.clone(),
+        ServiceConfig {
+            assumption: PriorAssumption::Unrestricted,
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+    let mut client = LocalClient::new(service);
+    for (d, s) in log.entries_with_state() {
+        client
+            .disclose(
+                &d.user,
+                d.time,
+                &d.query.display(&schema).to_string(),
+                s.mask(),
+                "secret",
+            )
+            .expect("disclose");
+    }
+    let AuditOutcome::Entry(got) = client.cumulative("eve", "secret").expect("cumulative") else {
+        panic!("expected cumulative entry");
+    };
+    assert_eq!(&got, offline_cumulative);
+    assert_eq!(
+        got.to_json().render(),
+        offline_cumulative.to_json().render()
+    );
+    assert_eq!(got.finding, epi_audit::Finding::Flagged);
+}
