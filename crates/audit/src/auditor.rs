@@ -21,6 +21,7 @@ use crate::log::{AuditLog, Disclosure};
 use crate::query::Query;
 use epi_boolean::Cube;
 use epi_core::{unrestricted, WorldId, WorldSet};
+use epi_par::Pool;
 use epi_solver::logsupermod::{self, SupermodularSearchOptions};
 use epi_solver::{decide_product_pipeline, ProductSolverOptions, SafeEvidence, Stage, Verdict};
 use rand::SeedableRng;
@@ -154,6 +155,10 @@ pub struct Decision {
     pub explanation: String,
     /// The pipeline stage that decided, when one did.
     pub stage: Option<Stage>,
+    /// Branch-and-bound boxes the decision cost (0 when a criterion or a
+    /// non-pipeline procedure decided) — the service's throughput metrics
+    /// aggregate this.
+    pub boxes_processed: usize,
 }
 
 /// The offline auditor.
@@ -206,6 +211,7 @@ impl Auditor {
                         finding: Finding::Safe,
                         explanation: SafeEvidence::Unconditional.to_string(),
                         stage: Some(Stage::Unconditional),
+                        boxes_processed: 0,
                     }
                 } else {
                     let r = unrestricted::refute_unrestricted(a, b)
@@ -217,16 +223,19 @@ impl Auditor {
                             r.prior_confidence, r.posterior_confidence
                         ),
                         stage: Some(Stage::Unconditional),
+                        boxes_processed: 0,
                     }
                 }
             }
             PriorAssumption::Product => {
                 let decision = decide_product_pipeline(cube, a, b, self.product_options);
+                let boxes_processed = decision.boxes_processed;
                 match decision.verdict {
                     Verdict::Safe(ev) => Decision {
                         finding: Finding::Safe,
                         explanation: format!("{} via {}", ev, decision.stage.label()),
                         stage: Some(decision.stage),
+                        boxes_processed,
                     },
                     Verdict::Unsafe(w) => Decision {
                         finding: Finding::Flagged,
@@ -237,6 +246,7 @@ impl Auditor {
                             decision.stage.label()
                         ),
                         stage: Some(decision.stage),
+                        boxes_processed,
                     },
                     Verdict::Unknown => Decision {
                         finding: Finding::Inconclusive,
@@ -245,6 +255,7 @@ impl Auditor {
                             Stage::BranchAndBound.label()
                         ),
                         stage: Some(Stage::BranchAndBound),
+                        boxes_processed,
                     },
                 }
             }
@@ -262,6 +273,7 @@ impl Auditor {
                         finding: Finding::Safe,
                         explanation: ev.to_string(),
                         stage: None,
+                        boxes_processed: 0,
                     },
                     Verdict::Unsafe(w) => Decision {
                         finding: Finding::Flagged,
@@ -270,11 +282,13 @@ impl Auditor {
                             w.gain, w.source
                         ),
                         stage: None,
+                        boxes_processed: 0,
                     },
                     Verdict::Unknown => Decision {
                         finding: Finding::Inconclusive,
                         explanation: "criteria inconclusive and no refutation found".into(),
                         stage: None,
+                        boxes_processed: 0,
                     },
                 }
             }
@@ -291,31 +305,34 @@ impl Auditor {
         let schema = log.schema();
         let cube = schema.cube();
         let a = audit_query.compile(schema);
-        let mut entries = Vec::new();
+        // Plan every report entry first: the gated ones (A false at
+        // disclosure time) are already decided, the rest carry the
+        // disclosed set to run through the decision procedure.
+        struct Planned {
+            user: String,
+            time: u64,
+            kind: EntryKind,
+            prefix: String,
+            disclosed: Option<WorldSet>,
+        }
+        let mut plan: Vec<Planned> = Vec::new();
         for (d, state) in log.entries_with_state() {
             if !a.contains(WorldId(state.mask())) {
-                entries.push(ReportEntry {
+                plan.push(Planned {
                     user: d.user.clone(),
                     time: d.time,
                     kind: EntryKind::Single,
-                    finding: Finding::Safe,
-                    explanation: "audited property was false at disclosure time (negative results are not protected)".into(),
+                    prefix: "audited property was false at disclosure time (negative results are not protected)".into(),
+                    disclosed: None,
                 });
                 continue;
             }
-            let b = d.disclosed_set(schema);
-            let decision = self.decide_sets(&cube, &a, &b);
-            entries.push(ReportEntry {
+            plan.push(Planned {
                 user: d.user.clone(),
                 time: d.time,
                 kind: EntryKind::Single,
-                finding: decision.finding,
-                explanation: format!(
-                    "query `{}` answered {}: {}",
-                    d.query.display(schema),
-                    d.answer,
-                    decision.explanation
-                ),
+                prefix: format!("query `{}` answered {}", d.query.display(schema), d.answer),
+                disclosed: Some(d.disclosed_set(schema)),
             });
         }
         // Cumulative per user. The same protection rule as for single
@@ -335,29 +352,51 @@ impl Auditor {
                 continue; // cumulative coincides with the single entry
             }
             if !a.contains(WorldId(last_state.mask())) {
-                entries.push(ReportEntry {
+                plan.push(Planned {
                     user: user.to_owned(),
                     time: last.time,
                     kind: EntryKind::Cumulative,
-                    finding: Finding::Safe,
-                    explanation: "audited property was false at the last disclosure (negative results are not protected)".into(),
+                    prefix: "audited property was false at the last disclosure (negative results are not protected)".into(),
+                    disclosed: None,
                 });
                 continue;
             }
-            let b = log.cumulative_disclosure(user, last.time);
-            let decision = self.decide_sets(&cube, &a, &b);
-            entries.push(ReportEntry {
+            plan.push(Planned {
                 user: user.to_owned(),
                 time: last.time,
                 kind: EntryKind::Cumulative,
-                finding: decision.finding,
-                explanation: format!(
-                    "{} disclosures combined: {}",
-                    relevant.len(),
-                    decision.explanation
-                ),
+                prefix: format!("{} disclosures combined", relevant.len()),
+                disclosed: Some(log.cumulative_disclosure(user, last.time)),
             });
         }
+        // Decide the open entries in parallel. `parallel_map` preserves
+        // order and the default solver mode is deterministic, so the
+        // report is the same at any worker count.
+        let decisions: Vec<Option<Decision>> = Pool::global().parallel_map(&plan, |item| {
+            item.disclosed
+                .as_ref()
+                .map(|b| self.decide_sets(&cube, &a, b))
+        });
+        let entries = plan
+            .iter()
+            .zip(decisions)
+            .map(|(item, decision)| match decision {
+                None => ReportEntry {
+                    user: item.user.clone(),
+                    time: item.time,
+                    kind: item.kind,
+                    finding: Finding::Safe,
+                    explanation: item.prefix.clone(),
+                },
+                Some(d) => ReportEntry {
+                    user: item.user.clone(),
+                    time: item.time,
+                    kind: item.kind,
+                    finding: d.finding,
+                    explanation: format!("{}: {}", item.prefix, d.explanation),
+                },
+            })
+            .collect();
         AuditReport {
             audit_query: audit_query.display(schema).to_string(),
             assumption: self.assumption,

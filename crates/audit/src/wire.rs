@@ -92,6 +92,7 @@ impl Serialize for Decision {
                     None => Json::Null,
                 },
             ),
+            ("boxes_processed", Json::from(self.boxes_processed)),
         ])
     }
 }
@@ -102,6 +103,8 @@ impl Deserialize for Decision {
             finding: field(v, "finding")?,
             explanation: field(v, "explanation")?,
             stage: opt_field::<Stage>(v, "stage")?,
+            // Absent in decisions recorded before the box counter existed.
+            boxes_processed: opt_field(v, "boxes_processed")?.unwrap_or(0),
         })
     }
 }
@@ -215,11 +218,13 @@ mod tests {
                 finding: Finding::Safe,
                 explanation: "unconditional".to_owned(),
                 stage: Some(Stage::Unconditional),
+                boxes_processed: 0,
             },
             Decision {
                 finding: Finding::Inconclusive,
                 explanation: "no refutation found".to_owned(),
                 stage: None,
+                boxes_processed: 4096,
             },
         ] {
             let j = Json::parse(&d.to_json().render()).unwrap();

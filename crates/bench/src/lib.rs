@@ -29,6 +29,49 @@ pub fn remark_5_12_pair() -> (Cube, WorldSet, WorldSet) {
     (cube, a, b)
 }
 
+/// Tensors two pairs on disjoint coordinate blocks: a world of the
+/// composed cube is `w = w_hi · 2^{n_lo} + w_lo`, and membership requires
+/// both block projections to be members. Under a product prior the block
+/// probabilities multiply, so a tensor of safe pairs is safe
+/// (`Pr[Aᵢ∩Bᵢ] ≤ Pr[Aᵢ]·Pr[Bᵢ]` per block, all factors non-negative),
+/// while the gap inherits each block's vanishing surfaces — which is what
+/// makes the composed instances hard to prune.
+pub fn tensor_pair(
+    lo: &(Cube, WorldSet, WorldSet),
+    hi: &(Cube, WorldSet, WorldSet),
+) -> (Cube, WorldSet, WorldSet) {
+    let (cl, al, bl) = lo;
+    let (ch, ah, bh) = hi;
+    let nl = cl.dims();
+    let cube = Cube::new(nl + ch.dims());
+    let member = |s_lo: &WorldSet, s_hi: &WorldSet, w: u32| {
+        s_lo.contains(epi_core::WorldId(w & ((1u32 << nl) - 1)))
+            && s_hi.contains(epi_core::WorldId(w >> nl))
+    };
+    let a = cube.set_from_predicate(|w| member(al, ah, w));
+    let b = cube.set_from_predicate(|w| member(bl, bh, w));
+    (cube, a, b)
+}
+
+/// The E14 hard family: Remark 5.12 blocks composed on disjoint
+/// variables via [`tensor_pair`]. Every instance is safe for all product
+/// priors, defeats the criterion stages, and has a gap vanishing on
+/// interior surfaces — the branch-and-bound must grind through its whole
+/// frontier, which is exactly the workload the parallel engine targets.
+pub fn hard_family() -> Vec<(&'static str, Cube, WorldSet, WorldSet)> {
+    let r = remark_5_12_pair();
+    let h = hiv_pair();
+    let (c5, a5, b5) = tensor_pair(&r, &h);
+    let double = tensor_pair(&r, &r);
+    let (c9, a9, b9) = tensor_pair(&double, &r);
+    let (c6, a6, b6) = double;
+    vec![
+        ("r512xhiv_n5", c5, a5, b5),
+        ("r512x2_n6", c6, a6, b6),
+        ("r512x3_n9", c9, a9, b9),
+    ]
+}
+
 /// The workload mixes of experiment E7: each generator produces `(A, B)`
 /// pairs of a named shape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,6 +150,34 @@ mod tests {
         assert!(!epi_boolean::criteria::cancellation::cancellation(
             &cube, &a, &b
         ));
+    }
+
+    #[test]
+    fn hard_family_composes_safe_blocks() {
+        for (name, cube, a, b) in hard_family() {
+            assert!(!a.is_empty() && !b.is_empty(), "{name}");
+            assert_eq!(a.universe_size(), cube.size(), "{name}");
+            // Tensoring preserves block safety, so the solver must never
+            // refute these pairs — though it may (and on the larger
+            // instances does) run out of budget, which is the point: the
+            // family exists to keep the branch-and-bound busy.
+            if cube.dims() <= 6 {
+                let (verdict, _) = epi_solver::decide_product_safety(
+                    &cube,
+                    &a,
+                    &b,
+                    epi_solver::ProductSolverOptions {
+                        max_boxes: 500,
+                        sos_fallback: false,
+                        ..Default::default()
+                    },
+                );
+                assert!(
+                    !matches!(verdict, epi_solver::Verdict::Unsafe(_)),
+                    "{name}: tensor of safe pairs cannot be refuted"
+                );
+            }
+        }
     }
 
     #[test]

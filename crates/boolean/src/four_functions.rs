@@ -99,6 +99,8 @@ pub fn set_condition(
 
 /// Exhaustively checks the set-level conclusion over *all* pairs of subsets
 /// (validation harness for small `n`; `2^(2·2ⁿ)` pairs, guarded to `n ≤ 3`).
+/// The outer subset loop runs on the [`epi_par`] pool (see
+/// [`crate::sweep`] for the general pair-sweep machinery).
 pub fn set_condition_exhaustive(
     cube: &Cube,
     alpha: &CubeFn,
@@ -109,14 +111,14 @@ pub fn set_condition_exhaustive(
 ) -> bool {
     assert!(cube.dims() <= 3, "exhaustive set check guarded to n ≤ 3");
     let size = cube.size();
-    for a in epi_core::world::all_subsets(size) {
-        for b in epi_core::world::all_subsets(size) {
-            if !set_condition(cube, alpha, beta, gamma, delta, &a, &b, tol) {
-                return false;
-            }
-        }
-    }
-    true
+    let outer: Vec<WorldSet> = epi_core::world::all_subsets(size).collect();
+    epi_par::Pool::global()
+        .parallel_map(&outer, |a| {
+            epi_core::world::all_subsets(size)
+                .all(|b| set_condition(cube, alpha, beta, gamma, delta, a, &b, tol))
+        })
+        .into_iter()
+        .all(|ok| ok)
 }
 
 /// The FKG-style corollary used in Proposition 5.4's proof: for a

@@ -41,6 +41,7 @@ pub mod distributions;
 pub mod four_functions;
 pub mod generate;
 pub mod match_vec;
+pub mod sweep;
 
 pub use cube::Cube;
 pub use distributions::{IsingModel, ProductDist, RationalProductDist};

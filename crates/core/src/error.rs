@@ -38,6 +38,12 @@ pub enum CoreError {
         /// Index of the actual world.
         world: u32,
     },
+    /// A world index did not fit the `u32` world-id space (universes are
+    /// bounded by `2³²` worlds).
+    WorldIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -65,6 +71,9 @@ impl fmt::Display for CoreError {
                 f,
                 "disclosure B excludes the actual world ω{world}; a disclosed property must be true"
             ),
+            CoreError::WorldIndexOutOfRange { index } => {
+                write!(f, "world index {index} exceeds the u32 world-id space")
+            }
         }
     }
 }

@@ -30,9 +30,16 @@ impl From<u32> for WorldId {
     }
 }
 
-impl From<usize> for WorldId {
-    fn from(i: usize) -> Self {
-        WorldId(u32::try_from(i).expect("world index exceeds u32"))
+impl TryFrom<usize> for WorldId {
+    type Error = crate::CoreError;
+
+    /// Converts a raw index, failing (instead of panicking) on indices
+    /// beyond `u32` — universes are bounded by `2³²` worlds, and callers
+    /// deriving indices from untrusted input get a routable error.
+    fn try_from(i: usize) -> Result<Self, Self::Error> {
+        u32::try_from(i)
+            .map(WorldId)
+            .map_err(|_| crate::CoreError::WorldIndexOutOfRange { index: i })
     }
 }
 
@@ -444,6 +451,20 @@ mod tests {
     #[should_panic(expected = "out of universe")]
     fn out_of_bounds_contains_panics() {
         WorldSet::empty(4).contains(WorldId(4));
+    }
+
+    #[test]
+    fn world_id_try_from_usize() {
+        assert_eq!(WorldId::try_from(7usize), Ok(WorldId(7)));
+        assert_eq!(WorldId::try_from(u32::MAX as usize), Ok(WorldId(u32::MAX)));
+        let oversize = u32::MAX as usize + 1;
+        assert_eq!(
+            WorldId::try_from(oversize),
+            Err(crate::CoreError::WorldIndexOutOfRange { index: oversize })
+        );
+        // The error routes through Display rather than a panic message.
+        let err = WorldId::try_from(oversize).unwrap_err();
+        assert!(err.to_string().contains("world index"));
     }
 
     #[test]

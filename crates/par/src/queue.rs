@@ -1,0 +1,232 @@
+//! Blocking best-first work queue with termination detection.
+//!
+//! Branch-and-bound workers both consume boxes and produce subboxes, so
+//! "queue empty" does not mean "search over" — a worker may be about to
+//! push children. The queue therefore tracks how many items are
+//! *checked out* ([`BestFirstQueue::pop`] increments, [`BestFirstQueue::item_done`]
+//! decrements) and [`BestFirstQueue::pop`] returns `None` only when the
+//! heap is empty **and** nothing is checked out (global exhaustion), or
+//! after [`BestFirstQueue::close`] (early termination: witness found or
+//! budget blown).
+//!
+//! Priorities are served largest first ([`std::collections::BinaryHeap`]
+//! is a max-heap); ties break toward the oldest push, so a
+//! single-worker run is deterministic.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Total order on `f64` via [`f64::total_cmp`], for use as a queue
+/// priority (wrap in [`std::cmp::Reverse`] to serve smallest first).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Entry<P, T> {
+    prio: P,
+    seq: u64,
+    item: T,
+}
+
+impl<P: Ord, T> PartialEq for Entry<P, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+
+impl<P: Ord, T> Eq for Entry<P, T> {}
+
+impl<P: Ord, T> PartialOrd for Entry<P, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: Ord, T> Ord for Entry<P, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Higher priority wins; on ties the *older* entry (smaller
+        // sequence number) is greater, i.e. served first.
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<P, T> {
+    heap: BinaryHeap<Entry<P, T>>,
+    checked_out: usize,
+    closed: bool,
+    next_seq: u64,
+}
+
+/// See the module docs. `P` is the priority (max served first), `T` the
+/// work item.
+pub struct BestFirstQueue<P, T> {
+    inner: Mutex<Inner<P, T>>,
+    cv: Condvar,
+}
+
+impl<P: Ord, T> BestFirstQueue<P, T> {
+    pub fn new() -> Self {
+        BestFirstQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                checked_out: 0,
+                closed: false,
+                next_seq: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Add a work item.
+    pub fn push(&self, prio: P, item: T) {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry { prio, seq, item });
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    /// Take the highest-priority item, blocking while other workers
+    /// might still produce more. `None` means the search is over:
+    /// either globally exhausted or closed.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return None;
+            }
+            if let Some(entry) = inner.heap.pop() {
+                inner.checked_out += 1;
+                return Some(entry.item);
+            }
+            if inner.checked_out == 0 {
+                // Exhausted: wake everyone else so they observe it too.
+                drop(inner);
+                self.cv.notify_all();
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Declare the item from the matching [`BestFirstQueue::pop`] fully
+    /// processed (all children pushed). Call exactly once per pop.
+    pub fn item_done(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.checked_out -= 1;
+        if inner.checked_out == 0 && inner.heap.is_empty() {
+            drop(inner);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Terminate the search: current and future `pop`s return `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Whether [`BestFirstQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+impl<P: Ord, T> Default for BestFirstQueue<P, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn pops_in_priority_order_with_fifo_ties() {
+        let q: BestFirstQueue<u32, &str> = BestFirstQueue::new();
+        q.push(1, "low");
+        q.push(5, "high-a");
+        q.push(5, "high-b");
+        q.push(3, "mid");
+        let mut got = Vec::new();
+        while let Some(item) = q.pop() {
+            got.push(item);
+            q.item_done();
+        }
+        assert_eq!(got, vec!["high-a", "high-b", "mid", "low"]);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_across_threads() {
+        let q: BestFirstQueue<Reverse<OrdF64>, u32> = BestFirstQueue::new();
+        for i in 0..100 {
+            q.push(Reverse(OrdF64(f64::from(i))), i);
+        }
+        let total: u32 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut sum = 0;
+                        while let Some(item) = q.pop() {
+                            if item % 7 == 0 && item > 0 && item < 50 {
+                                q.push(Reverse(OrdF64(1e9)), 1000 + item);
+                            }
+                            sum += item;
+                            q.item_done();
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // 0..100 plus the re-pushed 1000+{7,14,21,28,35,42,49}.
+        let expect: u32 = (0..100).sum::<u32>()
+            + [7, 14, 21, 28, 35, 42, 49]
+                .iter()
+                .map(|x| 1000 + x)
+                .sum::<u32>();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn close_unblocks_everyone() {
+        let q: BestFirstQueue<u32, u32> = BestFirstQueue::new();
+        q.push(1, 1);
+        assert_eq!(q.pop(), Some(1));
+        // Item checked out: a second pop would block — close instead.
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn ordf64_total_order() {
+        let mut v = vec![OrdF64(1.5), OrdF64(-2.0), OrdF64(0.0), OrdF64(7.25)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![OrdF64(-2.0), OrdF64(0.0), OrdF64(1.5), OrdF64(7.25)]
+        );
+    }
+}

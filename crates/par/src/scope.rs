@@ -1,0 +1,186 @@
+//! Scoped work-stealing task pool.
+//!
+//! A `scope` call spawns `threads − 1` OS threads (the caller is the
+//! remaining worker), runs the user closure to seed tasks, then drains
+//! the deques until every task — including tasks spawned by tasks —
+//! has finished, and joins the workers before returning. Each worker
+//! owns a deque: it pushes and pops at the back (LIFO, cache-warm) and
+//! thieves take from the front (FIFO, oldest first), the classic
+//! work-stealing discipline. `std::sync::Mutex` guards each deque
+//! instead of a lock-free Chase–Lev buffer because the workspace
+//! forbids `unsafe`; tasks here are coarse (a solver wave, an audit
+//! decision), so lock traffic is noise.
+
+use crate::stats;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A queued task. Receives the scope so it can spawn follow-up work.
+type Job<'env> = Box<dyn for<'a> FnOnce(&'a Scope<'a, 'env>) + Send + 'env>;
+
+/// Handle passed to the closure given to [`crate::Pool::scope`] (and to
+/// every task): spawn tasks onto the pool's deques.
+pub struct Scope<'sc, 'env> {
+    shared: &'sc Shared<'env>,
+}
+
+impl<'sc, 'env> Scope<'sc, 'env> {
+    /// Queue a task. Tasks may run on any worker, in any order; use the
+    /// task's `&Scope` argument to spawn follow-up work.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'a, 'env>) + Send + 'env,
+    {
+        let lanes = self.shared.deques.len();
+        let lane = self.shared.next_lane.fetch_add(1, Ordering::Relaxed) % lanes;
+        self.shared.push(lane, Box::new(f));
+    }
+}
+
+/// Wake-up channel: `epoch` increments on every queue change so a
+/// sleeper can detect "something happened since I last looked" without
+/// missed wakeups (pushes bump it under the same lock sleepers check).
+struct Signal {
+    lock: Mutex<SignalState>,
+    cv: Condvar,
+}
+
+struct SignalState {
+    epoch: u64,
+    closed: bool,
+}
+
+struct Shared<'env> {
+    deques: Vec<Mutex<VecDeque<Job<'env>>>>,
+    /// Tasks queued or currently running.
+    pending: AtomicUsize,
+    next_lane: AtomicUsize,
+    signal: Signal,
+}
+
+/// Decrements `pending` when a task finishes — on the normal path *or*
+/// during unwind, so a panicking task cannot strand the leader in
+/// `drain` (the panic still propagates through the thread join).
+struct PendingGuard<'a, 'env>(&'a Shared<'env>);
+
+impl Drop for PendingGuard<'_, '_> {
+    fn drop(&mut self) {
+        if self.0.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.0.bump();
+        }
+    }
+}
+
+impl<'env> Shared<'env> {
+    fn new(lanes: usize) -> Self {
+        Shared {
+            deques: (0..lanes).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            next_lane: AtomicUsize::new(0),
+            signal: Signal {
+                lock: Mutex::new(SignalState {
+                    epoch: 0,
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+            },
+        }
+    }
+
+    /// Record a queue change and wake sleepers.
+    fn bump(&self) {
+        let mut st = self.signal.lock.lock().unwrap();
+        st.epoch += 1;
+        drop(st);
+        self.signal.cv.notify_all();
+    }
+
+    fn push(&self, lane: usize, job: Job<'env>) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.deques[lane].lock().unwrap().push_back(job);
+        self.bump();
+    }
+
+    /// Pop from our own deque (LIFO) or steal from another (FIFO).
+    fn grab(&self, home: usize) -> Option<Job<'env>> {
+        if let Some(job) = self.deques[home].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        let lanes = self.deques.len();
+        for off in 1..lanes {
+            let victim = (home + off) % lanes;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                stats::record_steal();
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn run(&self, job: Job<'env>) {
+        let _done = PendingGuard(self);
+        let scope = Scope { shared: self };
+        job(&scope);
+        stats::record_task();
+    }
+
+    /// Loop for spawned workers: run tasks until the scope closes.
+    fn worker(&self, home: usize) {
+        loop {
+            let seen = self.signal.lock.lock().unwrap().epoch;
+            if let Some(job) = self.grab(home) {
+                self.run(job);
+                continue;
+            }
+            let mut st = self.signal.lock.lock().unwrap();
+            while st.epoch == seen && !st.closed {
+                st = self.signal.cv.wait(st).unwrap();
+            }
+            if st.closed {
+                return;
+            }
+        }
+    }
+
+    /// Leader loop: run tasks until none are queued *or running*.
+    fn drain(&self, home: usize) {
+        loop {
+            let seen = self.signal.lock.lock().unwrap().epoch;
+            if let Some(job) = self.grab(home) {
+                self.run(job);
+                continue;
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let mut st = self.signal.lock.lock().unwrap();
+            while st.epoch == seen {
+                st = self.signal.cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.signal.lock.lock().unwrap();
+        st.closed = true;
+        st.epoch += 1;
+        drop(st);
+        self.signal.cv.notify_all();
+    }
+}
+
+pub(crate) fn run_scope<'env, T>(threads: usize, f: impl FnOnce(&Scope<'_, 'env>) -> T) -> T {
+    let shared = Shared::new(threads.max(1));
+    std::thread::scope(|s| {
+        for w in 1..threads {
+            let shared = &shared;
+            s.spawn(move || shared.worker(w));
+        }
+        let scope = Scope { shared: &shared };
+        let out = f(&scope);
+        shared.drain(0);
+        shared.close();
+        out
+    })
+}

@@ -1,0 +1,42 @@
+//! Process-wide execution counters, cheap enough to leave always-on.
+//!
+//! Monotonic relaxed atomics; consumers (epi-service's `stats`
+//! operation) snapshot them and compute rates from deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static MAPS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time view of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Scoped tasks executed to completion.
+    pub tasks_executed: u64,
+    /// Successful steals (scoped deques + `parallel_map` range halves).
+    pub steals: u64,
+    /// `parallel_map` calls that actually fanned out (> 1 worker).
+    pub parallel_maps: u64,
+}
+
+/// Snapshot the process-wide counters.
+pub fn stats() -> StatsSnapshot {
+    StatsSnapshot {
+        tasks_executed: TASKS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+        parallel_maps: MAPS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_task() {
+    TASKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_steal() {
+    STEALS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_map() {
+    MAPS.fetch_add(1, Ordering::Relaxed);
+}

@@ -13,15 +13,32 @@
 //! set `K(A, B, Π_m⁰)` of Proposition 6.1 is empty.
 
 use crate::coeff::Coeff;
+use crate::multilinear::{DensePow3, Multilinear};
 use crate::polynomial::Polynomial;
 use epi_core::WorldSet;
 
 /// Builds `P[A](p₁ … pₙ)` as a polynomial in `n` variables over ring `C`.
 ///
+/// Uses the dense multilinear butterfly ([`Multilinear::from_set`],
+/// `O(n·2ⁿ)`) whenever `n` is within the dense limit, falling back to
+/// the world-by-world expansion otherwise. Both constructions produce
+/// identical polynomials over an exact ring.
+///
 /// # Panics
 ///
 /// Panics when `a`'s universe is not `2ⁿ`.
 pub fn prob_polynomial<C: Coeff>(n: usize, a: &WorldSet) -> Polynomial<C> {
+    if n <= Multilinear::<C>::MAX_ARITY {
+        return Multilinear::<C>::from_set(n, a).to_polynomial();
+    }
+    prob_polynomial_generic(n, a)
+}
+
+/// The original world-by-world construction of `P[A]`: expands eq. 17
+/// one world at a time through sparse polynomial products. Kept as the
+/// fallback for arities beyond the dense limit and as the measured
+/// baseline for the dense kernel (E14).
+pub fn prob_polynomial_generic<C: Coeff>(n: usize, a: &WorldSet) -> Polynomial<C> {
     assert_eq!(a.universe_size(), 1 << n, "set is not over {{0,1}}^{n}");
     let one = Polynomial::constant(n, C::one());
     let mut out = Polynomial::zero(n);
@@ -41,11 +58,48 @@ pub fn prob_polynomial<C: Coeff>(n: usize, a: &WorldSet) -> Polynomial<C> {
 /// `gap(p) = P[A](p)·P[B](p) − P[A∩B](p)`.
 ///
 /// `gap ≥ 0` on `[0,1]ⁿ` ⟺ `Safe_{Π_m⁰}(A, B)` (Propositions 3.8/6.1).
+///
+/// For `n` within the dense limit the gap is assembled through the
+/// dense multilinear kernel (see [`safety_gap_pow3`]) and converted to
+/// sparse form once at the end.
 pub fn safety_gap_polynomial<C: Coeff>(n: usize, a: &WorldSet, b: &WorldSet) -> Polynomial<C> {
-    let pa = prob_polynomial::<C>(n, a);
-    let pb = prob_polynomial::<C>(n, b);
-    let pab = prob_polynomial::<C>(n, &a.intersection(b));
+    if n <= DensePow3::<C>::MAX_ARITY {
+        return safety_gap_pow3(n, a, b).to_polynomial();
+    }
+    safety_gap_polynomial_generic(n, a, b)
+}
+
+/// The sparse-pipeline gap construction (indicators world by world,
+/// then a term-map product). Fallback for large arities; baseline for
+/// the dense kernel benchmarks.
+pub fn safety_gap_polynomial_generic<C: Coeff>(
+    n: usize,
+    a: &WorldSet,
+    b: &WorldSet,
+) -> Polynomial<C> {
+    let pa = prob_polynomial_generic::<C>(n, a);
+    let pb = prob_polynomial_generic::<C>(n, b);
+    let pab = prob_polynomial_generic::<C>(n, &a.intersection(b));
     pa.mul(&pb).sub(&pab)
+}
+
+/// The safety gap in the dense base-3 layout: `P[A]·P[B]` accumulated
+/// straight into a [`DensePow3`] and `P[A∩B]` subtracted in place —
+/// no sparse term map anywhere. This is the direct bridge into the
+/// solver's Bernstein coefficient tensor, which shares the
+/// `Σ eᵢ·3ⁱ` indexing.
+///
+/// # Panics
+///
+/// Panics when the universe is not `2ⁿ` or `n` exceeds
+/// [`DensePow3::MAX_ARITY`].
+pub fn safety_gap_pow3<C: Coeff>(n: usize, a: &WorldSet, b: &WorldSet) -> DensePow3<C> {
+    let pa = Multilinear::<C>::from_set(n, a);
+    let pb = Multilinear::<C>::from_set(n, b);
+    let pab = Multilinear::<C>::from_set(n, &a.intersection(b));
+    let mut gap = pa.mul(&pb);
+    gap.sub_multilinear(&pab);
+    gap
 }
 
 /// The equivalent four-region form of the gap via the identity

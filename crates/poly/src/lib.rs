@@ -10,6 +10,8 @@
 //! * [`Polynomial`] — sparse terms over a generic [`Coeff`] ring (`f64` or
 //!   exact [`epi_num::Rational`]); arithmetic, derivatives, substitution,
 //!   point and rigorous interval evaluation;
+//! * [`Multilinear`] / [`DensePow3`] — dense subset-mask-indexed kernels
+//!   for the multilinear polynomials of Prop 6.1 and their products;
 //! * [`indicator`] — `P[A](p)` indicator polynomials and safety-gap
 //!   polynomials over `{0,1}ⁿ`.
 
@@ -19,8 +21,10 @@
 mod coeff;
 pub mod indicator;
 mod monomial;
+mod multilinear;
 mod polynomial;
 
 pub use coeff::Coeff;
 pub use monomial::Monomial;
+pub use multilinear::{DensePow3, Multilinear};
 pub use polynomial::Polynomial;

@@ -1,0 +1,547 @@
+//! Dense multilinear polynomials over `{0,1}ⁿ` — the fast path for the
+//! Section 6.1 machinery.
+//!
+//! Every polynomial the product-distribution decision procedure builds
+//! from world sets is multilinear: the indicator `P[A](p)` of eq. 17 has
+//! degree ≤ 1 in each variable, and the safety gap
+//! `P[A]·P[B] − P[AB]` has degree ≤ 2. A multilinear polynomial in `n`
+//! variables is exactly a coefficient per *subset* of variables, so we
+//! store it as a `Vec<C>` indexed by subset mask:
+//!
+//! ```text
+//! f(x) = Σ_{S ⊆ {1..n}} coeffs[mask(S)] · Π_{i ∈ S} xᵢ
+//! ```
+//!
+//! This replaces the `BTreeMap<Monomial, C>` term maps (one heap node
+//! and an `O(log t)` probe per term merge) with flat array arithmetic:
+//!
+//! * [`Multilinear::from_set`] builds `P[A]` by an in-place butterfly
+//!   (the Möbius transform of the world-indicator vector), `O(n·2ⁿ)` —
+//!   versus the `O(|A| · 2ⁿ log)` world-by-world accumulation;
+//! * add/sub/derivative are single passes over the vector;
+//! * [`Multilinear::eval_f64`] contracts one axis at a time,
+//!   `2ⁿ` fused multiply-adds with no monomial powers;
+//! * [`Multilinear::mul`] lands directly in the dense base-3 layout
+//!   ([`DensePow3`]) that the solver's Bernstein tensor uses, so the
+//!   gap polynomial never round-trips through a sparse term map.
+//!
+//! The generic [`crate::Polynomial`] stays as the representation for
+//! everything non-multilinear (SOS certificates, substitutions).
+
+use crate::coeff::Coeff;
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use epi_core::WorldSet;
+
+/// A dense multilinear polynomial: one coefficient per variable subset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Multilinear<C: Coeff> {
+    arity: usize,
+    coeffs: Vec<C>,
+}
+
+impl<C: Coeff> Multilinear<C> {
+    /// Largest supported arity (the coefficient vector has `2ⁿ`
+    /// entries; 20 keeps it ≤ 1 Mi entries, matching the `WorldSet`
+    /// subset-enumeration guard).
+    pub const MAX_ARITY: usize = 20;
+
+    /// The zero polynomial in `arity` variables.
+    pub fn zero(arity: usize) -> Multilinear<C> {
+        assert!(
+            arity <= Self::MAX_ARITY,
+            "arity {arity} exceeds dense limit"
+        );
+        Multilinear {
+            arity,
+            coeffs: vec![C::zero(); 1 << arity],
+        }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(arity: usize, c: C) -> Multilinear<C> {
+        let mut out = Multilinear::zero(arity);
+        out.coeffs[0] = c;
+        out
+    }
+
+    /// The variable `xᵢ`.
+    pub fn var(arity: usize, i: usize) -> Multilinear<C> {
+        assert!(i < arity, "variable index {i} out of arity {arity}");
+        let mut out = Multilinear::zero(arity);
+        out.coeffs[1 << i] = C::one();
+        out
+    }
+
+    /// Builds the indicator polynomial `P[A](p)` of eq. 17 for a world
+    /// set over `Ω = {0,1}ⁿ`, via the in-place per-axis butterfly
+    /// `(g₀, g₁) ↦ (g₀, g₁ − g₀)` applied to the 0/1 world-membership
+    /// vector. `O(n·2ⁿ)` ring operations, no allocation beyond the
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a`'s universe is not `2ⁿ` or `n` exceeds
+    /// [`Self::MAX_ARITY`].
+    pub fn from_set(n: usize, a: &WorldSet) -> Multilinear<C> {
+        assert!(n <= Self::MAX_ARITY, "arity {n} exceeds dense limit");
+        assert_eq!(a.universe_size(), 1 << n, "set is not over {{0,1}}^{n}");
+        let mut coeffs: Vec<C> = (0..1u32 << n)
+            .map(|w| {
+                if a.contains(epi_core::WorldId(w)) {
+                    C::one()
+                } else {
+                    C::zero()
+                }
+            })
+            .collect();
+        for i in 0..n {
+            let bit = 1usize << i;
+            for mask in 0..coeffs.len() {
+                if mask & bit != 0 {
+                    // The bit-clear slot still holds the value from
+                    // this axis's input — it is never written here.
+                    coeffs[mask] = coeffs[mask].sub(&coeffs[mask ^ bit]);
+                }
+            }
+        }
+        Multilinear { arity: n, coeffs }
+    }
+
+    /// Converts a sparse polynomial, if it is multilinear and within
+    /// the arity limit.
+    pub fn from_polynomial(p: &Polynomial<C>) -> Option<Multilinear<C>> {
+        if p.arity() > Self::MAX_ARITY || !p.is_multilinear() {
+            return None;
+        }
+        let mut out = Multilinear::zero(p.arity());
+        for (m, c) in p.terms() {
+            let mut mask = 0usize;
+            for (i, &e) in m.exponents().iter().enumerate() {
+                if e == 1 {
+                    mask |= 1 << i;
+                }
+            }
+            out.coeffs[mask] = c.clone();
+        }
+        Some(out)
+    }
+
+    /// Converts to the sparse representation (exact: same coefficients,
+    /// zero terms dropped).
+    pub fn to_polynomial(&self) -> Polynomial<C> {
+        Polynomial::from_terms(
+            self.arity,
+            self.coeffs.iter().enumerate().filter_map(|(mask, c)| {
+                if c.is_zero() {
+                    return None;
+                }
+                let exps: Vec<u32> = (0..self.arity)
+                    .map(|i| u32::from(mask >> i & 1 == 1))
+                    .collect();
+                Some((Monomial::new(exps), c.clone()))
+            }),
+        )
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The coefficient of `Π_{i ∈ mask} xᵢ`.
+    pub fn coeff(&self, mask: usize) -> &C {
+        &self.coeffs[mask]
+    }
+
+    /// The full subset-mask-indexed coefficient vector (length `2ⁿ`).
+    pub fn coeffs(&self) -> &[C] {
+        &self.coeffs
+    }
+
+    /// `true` iff all coefficients are zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(Coeff::is_zero)
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &Multilinear<C>) -> Multilinear<C> {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        Multilinear {
+            arity: self.arity,
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a.add(b))
+                .collect(),
+        }
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, other: &Multilinear<C>) -> Multilinear<C> {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        Multilinear {
+            arity: self.arity,
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a.sub(b))
+                .collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, c: &C) -> Multilinear<C> {
+        Multilinear {
+            arity: self.arity,
+            coeffs: self.coeffs.iter().map(|k| k.mul(c)).collect(),
+        }
+    }
+
+    /// Partial derivative `∂/∂xᵢ` (still multilinear: the coefficient
+    /// of `S` becomes the coefficient of `S ∪ {i}`).
+    pub fn derivative(&self, i: usize) -> Multilinear<C> {
+        assert!(i < self.arity, "variable index out of range");
+        let bit = 1usize << i;
+        Multilinear {
+            arity: self.arity,
+            coeffs: (0..self.coeffs.len())
+                .map(|mask| {
+                    if mask & bit == 0 {
+                        self.coeffs[mask | bit].clone()
+                    } else {
+                        C::zero()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluates at a point in the coefficient ring.
+    pub fn eval(&self, point: &[C]) -> C {
+        assert_eq!(point.len(), self.arity, "evaluation point arity mismatch");
+        let mut buf = self.coeffs.clone();
+        contract(&mut buf, point, |a, x, b| a.add(&x.mul(b)));
+        buf.swap_remove(0)
+    }
+
+    /// Evaluates at an `f64` point by per-axis contraction: `2ⁿ`
+    /// multiply-adds, no per-monomial work.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        let mut buf: Vec<f64> = Vec::new();
+        self.eval_f64_with(point, &mut buf)
+    }
+
+    /// As [`Self::eval_f64`], reusing `scratch` so repeated evaluations
+    /// (solver probes) allocate nothing after the first call.
+    pub fn eval_f64_with(&self, point: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        assert_eq!(point.len(), self.arity, "evaluation point arity mismatch");
+        scratch.clear();
+        scratch.extend(self.coeffs.iter().map(Coeff::to_f64));
+        let mut len = scratch.len();
+        for i in (0..self.arity).rev() {
+            let half = len / 2;
+            for m in 0..half {
+                scratch[m] += point[i] * scratch[m + half];
+            }
+            len = half;
+        }
+        scratch[0]
+    }
+
+    /// Product of two multilinear polynomials, accumulated directly in
+    /// the dense per-variable-degree-≤-2 layout ([`DensePow3`]) — the
+    /// layout the solver's Bernstein tensor consumes. `O(t_a · t_b)`
+    /// ring multiplies over the *non-zero* coefficients, with a flat
+    /// array write instead of a term-map probe per product.
+    pub fn mul(&self, other: &Multilinear<C>) -> DensePow3<C> {
+        let mut out = DensePow3::zero(self.arity.max(other.arity));
+        out.add_product(self, other);
+        out
+    }
+}
+
+/// Applies the per-axis contraction `buf[m] = op(buf[m], x_i, buf[m + half])`
+/// folding the top axis first; leaves the result in `buf[0]`.
+fn contract<C: Clone>(buf: &mut [C], point: &[C], op: impl Fn(&C, &C, &C) -> C) {
+    let mut len = buf.len();
+    for i in (0..point.len()).rev() {
+        let half = len / 2;
+        for m in 0..half {
+            buf[m] = op(&buf[m], &point[i], &buf[m + half]);
+        }
+        len = half;
+    }
+}
+
+/// A dense polynomial with per-variable degree ≤ 2, coefficient at
+/// exponent vector `e` stored at index `Σ eᵢ·3ⁱ` — the exact shape of a
+/// product of two multilinear polynomials, and the native layout of the
+/// solver's Bernstein coefficient tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensePow3<C: Coeff> {
+    arity: usize,
+    coeffs: Vec<C>,
+}
+
+impl<C: Coeff> DensePow3<C> {
+    /// Largest supported arity (`3ⁿ` coefficients; 12 keeps the vector
+    /// ≤ ~532k entries, matching the Bernstein tensor guard).
+    pub const MAX_ARITY: usize = 12;
+
+    /// The zero polynomial.
+    pub fn zero(arity: usize) -> DensePow3<C> {
+        assert!(arity <= Self::MAX_ARITY, "arity {arity} exceeds pow3 limit");
+        DensePow3 {
+            arity,
+            coeffs: vec![C::zero(); 3usize.pow(arity as u32)],
+        }
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Coefficients indexed by `Σ eᵢ·3ⁱ`.
+    pub fn coeffs(&self) -> &[C] {
+        &self.coeffs
+    }
+
+    /// Accumulates `a · b` into this polynomial.
+    pub fn add_product(&mut self, a: &Multilinear<C>, b: &Multilinear<C>) {
+        assert!(
+            a.arity <= self.arity && b.arity <= self.arity,
+            "arity mismatch"
+        );
+        let idx3 = idx3_table(self.arity.max(1));
+        for (s, ca) in a.coeffs.iter().enumerate() {
+            if ca.is_zero() {
+                continue;
+            }
+            let base = idx3[s] as usize;
+            for (t, cb) in b.coeffs.iter().enumerate() {
+                if cb.is_zero() {
+                    continue;
+                }
+                let slot = base + idx3[t] as usize;
+                self.coeffs[slot] = self.coeffs[slot].add(&ca.mul(cb));
+            }
+        }
+    }
+
+    /// Subtracts a multilinear polynomial in place.
+    pub fn sub_multilinear(&mut self, m: &Multilinear<C>) {
+        assert!(m.arity <= self.arity, "arity mismatch");
+        let idx3 = idx3_table(self.arity.max(1));
+        for (s, c) in m.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let slot = idx3[s] as usize;
+            self.coeffs[slot] = self.coeffs[slot].sub(c);
+        }
+    }
+
+    /// Converts to the sparse representation (zero terms dropped).
+    pub fn to_polynomial(&self) -> Polynomial<C> {
+        Polynomial::from_terms(
+            self.arity,
+            self.coeffs.iter().enumerate().filter_map(|(idx, c)| {
+                if c.is_zero() {
+                    return None;
+                }
+                let mut rest = idx;
+                let exps: Vec<u32> = (0..self.arity)
+                    .map(|_| {
+                        let e = (rest % 3) as u32;
+                        rest /= 3;
+                        e
+                    })
+                    .collect();
+                Some((Monomial::new(exps), c.clone()))
+            }),
+        )
+    }
+}
+
+/// `idx3[mask] = Σ_{i ∈ mask} 3ⁱ`: where a multilinear subset-mask
+/// lands in the base-3 dense layout.
+fn idx3_table(n: usize) -> Vec<u32> {
+    let pow3: Vec<u32> = (0..n).map(|i| 3u32.pow(i as u32)).collect();
+    let mut idx3 = vec![0u32; 1 << n];
+    for mask in 1..idx3.len() {
+        let low = mask.trailing_zeros() as usize;
+        idx3[mask] = idx3[mask & (mask - 1)] + pow3[low];
+    }
+    idx3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indicator;
+    use epi_num::Rational;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn set(n: usize, masks: &[u32]) -> WorldSet {
+        WorldSet::from_indices(1 << n, masks.iter().copied())
+    }
+
+    #[test]
+    fn from_set_matches_world_by_world_construction() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(211);
+        for n in 1..=5 {
+            for _ in 0..10 {
+                let a = WorldSet::from_predicate(1 << n, |_| rng.gen());
+                let dense = Multilinear::<Rational>::from_set(n, &a).to_polynomial();
+                let legacy = indicator::prob_polynomial_generic::<Rational>(n, &a);
+                assert_eq!(dense, legacy, "n={n} a={a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_small_cases() {
+        // A = {1} over n = 1: P = x.
+        let p = Multilinear::<f64>::from_set(1, &set(1, &[1]));
+        assert_eq!(p.coeffs(), &[0.0, 1.0]);
+        // A = {0} over n = 1: P = 1 − x.
+        let p = Multilinear::<f64>::from_set(1, &set(1, &[0]));
+        assert_eq!(p.coeffs(), &[1.0, -1.0]);
+        // Full set: P ≡ 1.
+        let p = Multilinear::<Rational>::from_set(3, &WorldSet::full(8));
+        assert_eq!(p.coeff(0), &Rational::ONE);
+        assert!(p.coeffs()[1..].iter().all(|c| c.is_zero()));
+    }
+
+    #[test]
+    fn eval_via_contraction_matches_direct_sum() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(223);
+        let n = 6;
+        let a = WorldSet::from_predicate(1 << n, |_| rng.gen());
+        let ml = Multilinear::<f64>::from_set(n, &a);
+        let point: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        let direct: f64 = a
+            .iter()
+            .map(|w| {
+                (0..n)
+                    .map(|i| {
+                        if w.0 >> i & 1 == 1 {
+                            point[i]
+                        } else {
+                            1.0 - point[i]
+                        }
+                    })
+                    .product::<f64>()
+            })
+            .sum();
+        assert!((ml.eval_f64(&point) - direct).abs() < 1e-12);
+        // Probabilities of complementary sets sum to 1.
+        let co = Multilinear::<f64>::from_set(n, &a.complement());
+        assert!((ml.eval_f64(&point) + co.eval_f64(&point) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_through_pow3_matches_sparse_pipeline() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(227);
+        for n in 1..=4 {
+            for _ in 0..8 {
+                let a = WorldSet::from_predicate(1 << n, |_| rng.gen());
+                let b = WorldSet::from_predicate(1 << n, |_| rng.gen());
+                let pa = Multilinear::<Rational>::from_set(n, &a);
+                let pb = Multilinear::<Rational>::from_set(n, &b);
+                let pab = Multilinear::<Rational>::from_set(n, &a.intersection(&b));
+                let mut gap = pa.mul(&pb);
+                gap.sub_multilinear(&pab);
+                let legacy = indicator::safety_gap_polynomial_generic::<Rational>(n, &a, &b);
+                assert_eq!(gap.to_polynomial(), legacy, "n={n}");
+            }
+        }
+    }
+
+    /// A random multilinear polynomial with small integer coefficients,
+    /// alongside its sparse twin.
+    fn random_pair(n: usize, coeffs: &[i64]) -> (Multilinear<Rational>, Polynomial<Rational>) {
+        let mut ml = Multilinear::<Rational>::zero(n);
+        for (mask, &c) in coeffs.iter().enumerate().take(1 << n) {
+            ml.coeffs[mask] = Rational::from(i128::from(c));
+        }
+        let sparse = ml.to_polynomial();
+        (ml, sparse)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_derivative_agree_with_sparse(
+            ca in proptest::collection::vec(-9i64..9, 32),
+            cb in proptest::collection::vec(-9i64..9, 32),
+            var in 0usize..5,
+        ) {
+            let n = 5;
+            let (ma, pa) = random_pair(n, &ca);
+            let (mb, pb) = random_pair(n, &cb);
+            prop_assert_eq!(ma.add(&mb).to_polynomial(), pa.add(&pb));
+            prop_assert_eq!(ma.sub(&mb).to_polynomial(), pa.sub(&pb));
+            prop_assert_eq!(ma.derivative(var).to_polynomial(), pa.derivative(var));
+        }
+
+        #[test]
+        fn prop_mul_agrees_with_sparse(
+            ca in proptest::collection::vec(-9i64..9, 16),
+            cb in proptest::collection::vec(-9i64..9, 16),
+        ) {
+            let n = 4;
+            let (ma, pa) = random_pair(n, &ca);
+            let (mb, pb) = random_pair(n, &cb);
+            prop_assert_eq!(ma.mul(&mb).to_polynomial(), pa.mul(&pb));
+        }
+
+        #[test]
+        fn prop_eval_agrees_with_sparse(
+            ca in proptest::collection::vec(-9i64..9, 32),
+            point in proptest::collection::vec(0.0f64..1.0, 5),
+        ) {
+            let n = 5;
+            let (ma, pa) = random_pair(n, &ca);
+            prop_assert!((ma.eval_f64(&point) - pa.eval_f64(&point)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_roundtrip_through_sparse(
+            ca in proptest::collection::vec(-9i64..9, 32),
+        ) {
+            let n = 5;
+            let (ma, pa) = random_pair(n, &ca);
+            let back = Multilinear::from_polynomial(&pa).expect("multilinear");
+            prop_assert_eq!(back, ma);
+        }
+    }
+
+    #[test]
+    fn exact_eval_in_the_rational_ring() {
+        let (ml, sparse) = random_pair(3, &[1, -2, 3, 0, 5, 0, -1, 2]);
+        let point = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(2, 5),
+        ];
+        let got = ml.eval(&point);
+        let want = sparse
+            .terms()
+            .map(|(m, c)| {
+                let mut acc = *c;
+                for (i, &e) in m.exponents().iter().enumerate() {
+                    for _ in 0..e {
+                        acc *= point[i];
+                    }
+                }
+                acc
+            })
+            .fold(Rational::ZERO, |a, b| a + b);
+        assert_eq!(got, want);
+    }
+}

@@ -131,6 +131,7 @@ mod tests {
             finding: Finding::Safe,
             explanation: tag.to_owned(),
             stage: None,
+            boxes_processed: 0,
         }
     }
 

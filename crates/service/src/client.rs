@@ -70,7 +70,7 @@ fn expect_outcome(response: Response) -> Result<AuditOutcome, ClientError> {
 
 fn expect_stats(response: Response) -> Result<Snapshot, ClientError> {
     match response {
-        Response::Stats(snapshot) => Ok(snapshot),
+        Response::Stats(snapshot) => Ok(*snapshot),
         Response::Error { message } => Err(ClientError::Remote(message)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response {other:?}"

@@ -8,7 +8,7 @@
 //! histogram per pipeline [`Stage`] plus one slot for decisions made
 //! outside the pipeline (the log-supermodular refutation search).
 
-use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
 use epi_solver::Stage;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -75,6 +75,11 @@ pub struct Metrics {
     pub computed: AtomicU64,
     /// High-water mark of the worker queue depth.
     pub queue_high_water: AtomicU64,
+    /// Branch-and-bound boxes committed by computed decisions.
+    pub solver_boxes: AtomicU64,
+    /// Microseconds spent in decisions that ran the branch-and-bound
+    /// (criterion-only decisions are excluded so boxes/sec stays honest).
+    pub solver_micros: AtomicU64,
     stages: [StageStats; STAGE_SLOTS],
 }
 
@@ -93,6 +98,14 @@ impl Metrics {
     pub fn observe_queue_depth(&self, depth: usize) {
         self.queue_high_water
             .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Records branch-and-bound work done by one decision (boxes the
+    /// search committed and the wall time of the decision). Call only for
+    /// decisions that actually entered the box search.
+    pub fn record_solver_work(&self, boxes: u64, micros: u64) {
+        self.solver_boxes.fetch_add(boxes, Ordering::Relaxed);
+        self.solver_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
     /// Records one computed decision: which stage settled it and how long
@@ -118,6 +131,11 @@ impl Metrics {
             coalesced: read(&self.coalesced),
             computed: read(&self.computed),
             queue_high_water: read(&self.queue_high_water),
+            solver_boxes: read(&self.solver_boxes),
+            solver_micros: read(&self.solver_micros),
+            pool_workers: epi_par::Pool::global().threads() as u64,
+            pool_tasks: epi_par::stats().tasks_executed,
+            pool_steals: epi_par::stats().steals,
             stages: self
                 .stages
                 .iter()
@@ -155,6 +173,16 @@ pub struct Snapshot {
     pub computed: u64,
     /// Worker-queue depth high-water mark.
     pub queue_high_water: u64,
+    /// Branch-and-bound boxes committed across computed decisions.
+    pub solver_boxes: u64,
+    /// Wall micros of the decisions that ran the branch-and-bound.
+    pub solver_micros: u64,
+    /// Worker threads in the process-wide [`epi_par`] solver pool.
+    pub pool_workers: u64,
+    /// Tasks the solver pool has executed (process lifetime).
+    pub pool_tasks: u64,
+    /// Work-stealing events in the solver pool (process lifetime).
+    pub pool_steals: u64,
     /// Per-stage decision counts and latency histograms.
     pub stages: Vec<StageSnapshot>,
 }
@@ -167,6 +195,16 @@ impl Snapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Branch-and-bound throughput in boxes per second over the decisions
+    /// that ran the box search; `0` before any solver work.
+    pub fn boxes_per_sec(&self) -> f64 {
+        if self.solver_micros == 0 {
+            0.0
+        } else {
+            self.solver_boxes as f64 / (self.solver_micros as f64 / 1e6)
         }
     }
 }
@@ -218,6 +256,15 @@ impl Serialize for Snapshot {
             ("coalesced", Json::from(self.coalesced)),
             ("computed", Json::from(self.computed)),
             ("queue_high_water", Json::from(self.queue_high_water)),
+            ("solver_boxes", Json::from(self.solver_boxes)),
+            ("solver_micros", Json::from(self.solver_micros)),
+            ("pool_workers", Json::from(self.pool_workers)),
+            ("pool_tasks", Json::from(self.pool_tasks)),
+            ("pool_steals", Json::from(self.pool_steals)),
+            // Derived, for dashboards that read the JSON directly; the
+            // deserializer recomputes them from the counters.
+            ("cache_hit_rate", Json::from(self.cache_hit_rate())),
+            ("boxes_per_sec", Json::from(self.boxes_per_sec())),
             ("stages", self.stages.to_json()),
         ])
     }
@@ -235,6 +282,12 @@ impl Deserialize for Snapshot {
             coalesced: field(v, "coalesced")?,
             computed: field(v, "computed")?,
             queue_high_water: field(v, "queue_high_water")?,
+            // Absent in snapshots from pre-parallel-engine daemons.
+            solver_boxes: opt_field(v, "solver_boxes")?.unwrap_or(0),
+            solver_micros: opt_field(v, "solver_micros")?.unwrap_or(0),
+            pool_workers: opt_field(v, "pool_workers")?.unwrap_or(0),
+            pool_tasks: opt_field(v, "pool_tasks")?.unwrap_or(0),
+            pool_steals: opt_field(v, "pool_steals")?.unwrap_or(0),
             stages: field(v, "stages")?,
         })
     }
@@ -274,10 +327,39 @@ mod tests {
         Metrics::incr(&m.cache_hits);
         m.observe_queue_depth(17);
         m.record_decision(Some(Stage::BranchAndBound), 900);
+        m.record_solver_work(4096, 2_000_000);
         let snap = m.snapshot();
         let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.queue_high_water, 17);
         assert!((back.cache_hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(back.solver_boxes, 4096);
+        assert!((back.boxes_per_sec() - 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_parallel_snapshots_default_solver_fields_to_zero() {
+        // A snapshot serialized by a daemon that predates the parallel
+        // engine has no solver/pool fields.
+        let snap = Metrics::new().snapshot();
+        let mut v = Json::parse(&snap.to_json().render()).unwrap();
+        if let Json::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "solver_boxes"
+                        | "solver_micros"
+                        | "pool_workers"
+                        | "pool_tasks"
+                        | "pool_steals"
+                        | "cache_hit_rate"
+                        | "boxes_per_sec"
+                )
+            });
+        }
+        let back = Snapshot::from_json(&v).unwrap();
+        assert_eq!(back.solver_boxes, 0);
+        assert_eq!(back.pool_workers, 0);
+        assert_eq!(back.boxes_per_sec(), 0.0);
     }
 }

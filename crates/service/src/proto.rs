@@ -108,7 +108,7 @@ pub enum Response {
         disclosures: u64,
     },
     /// A metrics snapshot.
-    Stats(Snapshot),
+    Stats(Box<Snapshot>),
     /// The request could not be served.
     Error {
         /// Human-readable reason.
@@ -149,7 +149,7 @@ impl Deserialize for Response {
                 user: field(v, "user")?,
                 disclosures: field(v, "disclosures")?,
             }),
-            "stats" => Ok(Response::Stats(field(v, "stats")?)),
+            "stats" => Ok(Response::Stats(Box::new(field(v, "stats")?))),
             "error" => Ok(Response::Error {
                 message: field(v, "message")?,
             }),

@@ -104,7 +104,7 @@ impl AuditService {
                 audit_query,
             } => self.disclose(user, *time, query, *state_mask, audit_query),
             Request::Cumulative { user, audit_query } => self.cumulative(user, audit_query),
-            Request::Stats => Response::Stats(self.metrics.snapshot()),
+            Request::Stats => Response::Stats(Box::new(self.metrics.snapshot())),
             Request::Ping => Response::Pong,
         }
     }

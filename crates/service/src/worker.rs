@@ -175,6 +175,11 @@ impl DecisionPool {
                 .decide_sets(&shared.cube, &key.audit, &key.disclosed);
             let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             shared.metrics.record_decision(decision.stage, micros);
+            if decision.boxes_processed > 0 {
+                shared
+                    .metrics
+                    .record_solver_work(decision.boxes_processed as u64, micros);
+            }
             Metrics::incr(&shared.metrics.computed);
             let evicted = shared.cache.insert(key.clone(), decision.clone());
             shared

@@ -14,7 +14,7 @@
 //! The gap polynomial has per-variable degree ≤ 2, so a box carries a dense
 //! `3ⁿ` coefficient tensor — small for the `n ≤ 12` regime of the solver.
 
-use epi_poly::{Coeff, Polynomial};
+use epi_poly::{Coeff, DensePow3, Polynomial};
 
 /// A polynomial of per-variable degree ≤ 2 in dense tensor form:
 /// `coeffs[idx]` with `idx = Σ kᵢ·3^i`, `kᵢ ∈ {0,1,2}` the exponent of
@@ -48,6 +48,23 @@ impl DenseTensor {
             coeffs[idx] += c.to_f64();
         }
         DenseTensor { n, coeffs }
+    }
+
+    /// Adopts a dense base-3 polynomial from the multilinear kernel.
+    /// [`DensePow3`] stores coefficients at exactly the `Σ kᵢ·3ⁱ` index
+    /// this tensor uses, so the conversion is a straight coefficient
+    /// copy — no term iteration, no index arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > 12` (the same guard as [`DenseTensor::from_polynomial`]).
+    pub fn from_dense_pow3(p: &DensePow3<f64>) -> DenseTensor {
+        let n = p.arity();
+        assert!(n <= 12, "dense tensor form guarded to n ≤ 12");
+        DenseTensor {
+            n,
+            coeffs: p.coeffs().to_vec(),
+        }
     }
 
     /// Number of variables.

@@ -32,5 +32,5 @@ pub mod wire;
 
 pub use algebraic::{AlgebraicFamily, AlgebraicOptions, AlgebraicWitness};
 pub use pipeline::{decide_product_pipeline, PipelineDecision, Stage};
-pub use product::{decide_product_safety, ProductSolverOptions, ProductWitness};
+pub use product::{decide_product_safety, ProductSolverOptions, ProductWitness, SearchMode};
 pub use verdict::{SafeEvidence, Verdict};

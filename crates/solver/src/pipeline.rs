@@ -61,6 +61,10 @@ pub struct PipelineDecision {
     pub verdict: Verdict<ProductWitness>,
     /// The stage that decided.
     pub stage: Stage,
+    /// Boxes the branch-and-bound committed (0 when an earlier stage
+    /// decided) — the service aggregates this into its throughput
+    /// metrics.
+    pub boxes_processed: usize,
 }
 
 /// Runs the full cascade for `Safe_{Π_m⁰}(A, B)`.
@@ -74,24 +78,28 @@ pub fn decide_product_pipeline(
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Unconditional),
             stage: Stage::Unconditional,
+            boxes_processed: 0,
         };
     }
     if miklau_suciu::safe_miklau_suciu(cube, a, b) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Criterion("Miklau–Suciu")),
             stage: Stage::MiklauSuciu,
+            boxes_processed: 0,
         };
     }
     if monotonicity::safe_monotone(cube, a, b) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Criterion("monotonicity")),
             stage: Stage::Monotonicity,
+            boxes_processed: 0,
         };
     }
     if cancellation::cancellation(cube, a, b) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Criterion("cancellation")),
             stage: Stage::Cancellation,
+            boxes_processed: 0,
         };
     }
     if let Some(p) = necessary::refute_product_by_boxes(cube, a, b) {
@@ -106,12 +114,14 @@ pub fn decide_product_pipeline(
         return PipelineDecision {
             verdict: Verdict::Unsafe(ProductWitness { probs, gap }),
             stage: Stage::BoxNecessary,
+            boxes_processed: 0,
         };
     }
-    let (verdict, _) = decide_product_safety(cube, a, b, bnb_options);
+    let (verdict, stats) = decide_product_safety(cube, a, b, bnb_options);
     PipelineDecision {
         verdict,
         stage: Stage::BranchAndBound,
+        boxes_processed: stats.boxes_processed,
     }
 }
 

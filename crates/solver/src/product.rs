@@ -19,7 +19,30 @@
 //!
 //! The gap polynomial has *integer* coefficients (sums of ±1 products), so
 //! its `f64` representation is exact for every `n ≤ 20` and the interval
-//! evaluation is sound end-to-end.
+//! evaluation is sound end-to-end. By default it is assembled through the
+//! dense multilinear kernel ([`epi_poly::indicator::safety_gap_pow3`]),
+//! which lands directly in the Bernstein tensor layout; the exact rational
+//! copy used to verify witnesses is built lazily, only when a violation
+//! candidate actually appears.
+//!
+//! # Parallel search
+//!
+//! The branch-and-bound runs on the [`epi_par`] engine in one of two modes:
+//!
+//! * [`SearchMode::Deterministic`] (default) — *wave-synchronous*: the
+//!   frontier of open boxes is evaluated in parallel (a pure function of
+//!   the box), then committed **sequentially in frontier order** — budget
+//!   accounting, the SOS checkpoint, pruning, witness acceptance, splits.
+//!   Because parallelism only changes *who evaluates* a box and never the
+//!   commit order, the verdict, witness and statistics are byte-for-byte
+//!   identical at every thread count; one thread *is* the sequential
+//!   solver.
+//! * [`SearchMode::Opportunistic`] — best-first work stealing: workers pop
+//!   the most promising box (lowest inherited bound) from a shared
+//!   priority queue, share the best-known violation and the global box
+//!   budget through atomics, and the first rigorously verified witness
+//!   terminates everyone. Faster to a refutation, but which witness is
+//!   found (and the box count) may vary run to run.
 //!
 //! A coordinate-ascent warm start (the gap restricted to one coordinate is
 //! a quadratic, minimized in closed form) finds most violations before any
@@ -31,7 +54,10 @@ use crate::verdict::{SafeEvidence, Verdict};
 use epi_boolean::Cube;
 use epi_core::WorldSet;
 use epi_num::{Interval, Rational};
-use epi_poly::{indicator, Polynomial};
+use epi_par::Pool;
+use epi_poly::{indicator, DensePow3, Polynomial};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// A rigorous refutation: a rational product prior with a strictly
 /// negative gap.
@@ -56,6 +82,18 @@ pub enum BoundMethod {
     Interval,
 }
 
+/// How the branch-and-bound explores the frontier (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Wave-synchronous breadth-first search: parallel box evaluation,
+    /// sequential in-order commits. Verdicts and statistics are
+    /// reproducible byte-for-byte at any thread count.
+    Deterministic,
+    /// Best-first work stealing with early termination on the first
+    /// verified witness. Nondeterministic witness identity/box counts.
+    Opportunistic,
+}
+
 /// Options for [`decide_product_safety`].
 #[derive(Clone, Copy, Debug)]
 pub struct ProductSolverOptions {
@@ -74,6 +112,15 @@ pub struct ProductSolverOptions {
     /// safe instances whose gap vanishes on interior surfaces (e.g. the
     /// Remark 5.12 pair, whose gap is `p₁(1−p₁)(p₃−p₂)²`).
     pub sos_fallback: bool,
+    /// Worker threads for the box search; `0` means the [`epi_par`]
+    /// default (`EPI_PAR_THREADS` or the machine's parallelism).
+    pub threads: usize,
+    /// Frontier exploration strategy.
+    pub search_mode: SearchMode,
+    /// Assemble the gap through the dense multilinear kernel (default).
+    /// `false` reinstates the sparse `BTreeMap` construction — the
+    /// pre-kernel baseline, kept for ablations and the E14 benchmark.
+    pub dense_kernel: bool,
 }
 
 impl Default for ProductSolverOptions {
@@ -84,6 +131,9 @@ impl Default for ProductSolverOptions {
             coordinate_ascent: true,
             bound_method: BoundMethod::Bernstein,
             sos_fallback: true,
+            threads: 0,
+            search_mode: SearchMode::Deterministic,
+            dense_kernel: true,
         }
     }
 }
@@ -91,10 +141,90 @@ impl Default for ProductSolverOptions {
 /// Statistics from a solve.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProductSolverStats {
-    /// Boxes popped from the branch-and-bound queue.
+    /// Boxes committed by the branch-and-bound.
     pub boxes_processed: usize,
     /// Whether the witness came from the warm start (vs. box midpoints).
     pub witness_from_ascent: bool,
+    /// Frontier waves committed (deterministic mode; 0 for opportunistic).
+    pub waves: usize,
+}
+
+/// The exact rational gap, materialized only when a witness candidate
+/// needs verification — safe instances never pay for it. `OnceLock`
+/// keeps concurrent first uses building it exactly once.
+struct LazyExactGap<'a> {
+    n: usize,
+    a: &'a WorldSet,
+    b: &'a WorldSet,
+    cell: OnceLock<Polynomial<Rational>>,
+}
+
+impl<'a> LazyExactGap<'a> {
+    fn new(n: usize, a: &'a WorldSet, b: &'a WorldSet) -> Self {
+        LazyExactGap {
+            n,
+            a,
+            b,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn prefilled(n: usize, a: &'a WorldSet, b: &'a WorldSet, p: Polynomial<Rational>) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(p);
+        LazyExactGap { n, a, b, cell }
+    }
+
+    fn get(&self) -> &Polynomial<Rational> {
+        self.cell
+            .get_or_init(|| indicator::safety_gap_polynomial::<Rational>(self.n, self.a, self.b))
+    }
+}
+
+/// Everything a box evaluation needs, shared read-only across workers.
+struct SolveCtx<'a> {
+    options: ProductSolverOptions,
+    /// Bernstein tensor of the gap (present in Bernstein mode).
+    tensor: Option<DenseTensor>,
+    /// Sparse gap (present in Interval mode or legacy construction).
+    sparse: Option<Polynomial<f64>>,
+    /// Dense base-3 gap (dense construction; source for a late sparse).
+    pow3: Option<DensePow3<f64>>,
+    exact: LazyExactGap<'a>,
+}
+
+impl SolveCtx<'_> {
+    /// Point evaluation of the gap, through whichever dense form exists.
+    fn eval_point(&self, p: &[f64]) -> f64 {
+        match (&self.tensor, &self.sparse) {
+            (Some(t), _) => t.eval(p),
+            (None, Some(s)) => s.eval_f64(p),
+            (None, None) => unreachable!("no gap representation"),
+        }
+    }
+
+    /// The sparse gap, building it from the dense form on demand (only
+    /// the SOS fallback needs it outside Interval mode).
+    fn sparse_gap(&self) -> Polynomial<f64> {
+        if let Some(s) = &self.sparse {
+            return s.clone();
+        }
+        self.pow3
+            .as_ref()
+            .expect("dense construction retains pow3")
+            .to_polynomial()
+    }
+}
+
+/// What evaluating one box concluded. A pure function of the box, so
+/// frontier evaluations can run on any thread in any order.
+enum BoxFate {
+    /// Lower bound ≥ −margin: no breach of advantage > ε inside.
+    Pruned,
+    /// A rigorously verified rational violation.
+    Witness(ProductWitness),
+    /// Undecided: split into two children along the widest coordinate.
+    Split(Vec<Interval>, Vec<Interval>),
 }
 
 /// Decides `Safe_{Π_m⁰}(A, B)` by branch-and-bound (see module docs for
@@ -106,118 +236,211 @@ pub fn decide_product_safety(
     options: ProductSolverOptions,
 ) -> (Verdict<ProductWitness>, ProductSolverStats) {
     let n = cube.dims();
-    let gap_exact = indicator::safety_gap_polynomial::<Rational>(n, a, b);
-    // Integer coefficients: the f64 image is exact.
-    let gap = gap_exact.map_coeffs(|c| c.to_f64());
     let mut stats = ProductSolverStats::default();
 
-    if gap.is_zero() {
-        // Independence: gap ≡ 0 (e.g. Miklau–Suciu pairs).
-        return (
-            Verdict::Safe(SafeEvidence::BranchAndBound { boxes_processed: 0 }),
-            stats,
-        );
-    }
+    let dense_ok = options.dense_kernel && n <= DensePow3::<f64>::MAX_ARITY;
+    let ctx = if dense_ok {
+        // Dense path: butterfly indicators, product straight into the
+        // base-3 layout, zero-copy hand-off to the Bernstein tensor.
+        // Coefficients are integers, so the f64 arithmetic is exact.
+        let pow3 = indicator::safety_gap_pow3::<f64>(n, a, b);
+        if pow3.coeffs().iter().all(|&c| c == 0.0) {
+            // Independence: gap ≡ 0 (e.g. Miklau–Suciu pairs).
+            return (
+                Verdict::Safe(SafeEvidence::BranchAndBound { boxes_processed: 0 }),
+                stats,
+            );
+        }
+        let tensor = matches!(options.bound_method, BoundMethod::Bernstein)
+            .then(|| DenseTensor::from_dense_pow3(&pow3));
+        let sparse =
+            matches!(options.bound_method, BoundMethod::Interval).then(|| pow3.to_polynomial());
+        SolveCtx {
+            options,
+            tensor,
+            sparse,
+            pow3: Some(pow3),
+            exact: LazyExactGap::new(n, a, b),
+        }
+    } else {
+        // Legacy path: sparse construction with an eager exact gap.
+        let gap_exact = indicator::safety_gap_polynomial::<Rational>(n, a, b);
+        let gap = gap_exact.map_coeffs(|c| c.to_f64());
+        if gap.is_zero() {
+            return (
+                Verdict::Safe(SafeEvidence::BranchAndBound { boxes_processed: 0 }),
+                stats,
+            );
+        }
+        let tensor = matches!(options.bound_method, BoundMethod::Bernstein)
+            .then(|| DenseTensor::from_polynomial(&gap));
+        SolveCtx {
+            options,
+            tensor,
+            sparse: Some(gap),
+            pow3: None,
+            exact: LazyExactGap::prefilled(n, a, b, gap_exact),
+        }
+    };
 
     // Warm start: coordinate ascent from a few deterministic starts.
     if options.coordinate_ascent {
         for start in starting_points(n) {
-            if let Some(witness) = coordinate_descend(&gap, &gap_exact, start) {
+            if let Some(witness) = coordinate_descend(&ctx, start) {
                 stats.witness_from_ascent = true;
                 return (Verdict::Unsafe(witness), stats);
             }
         }
     }
 
-    // Branch and bound, with an interleaved SOS attempt: after a small
-    // initial box budget (enough to catch most refutable instances via a
-    // midpoint or vertex witness), try the Section 6.2 certificate — it
-    // decides the zero-surface safe instances that no amount of
-    // subdivision can close — and only then spend the remaining budget.
-    let tensor = DenseTensor::from_polynomial(&gap);
+    let pool = Pool::new(options.threads);
+    match options.search_mode {
+        SearchMode::Deterministic => wave_search(&ctx, pool, stats),
+        SearchMode::Opportunistic => opportunistic_search(&ctx, pool, stats),
+    }
+}
+
+/// Evaluates one box: bound it, hunt for a rigorous witness, or split.
+/// Pure — shared state is read-only (the lazy exact gap memoizes
+/// internally), so the result is independent of scheduling.
+fn evaluate_box(ctx: &SolveCtx<'_>, bx: &[Interval]) -> BoxFate {
+    let options = &ctx.options;
+    let n = bx.len();
+    match options.bound_method {
+        BoundMethod::Bernstein => {
+            let tensor = ctx.tensor.as_ref().expect("Bernstein mode has a tensor");
+            let lo: Vec<f64> = bx.iter().map(|iv| iv.lo()).collect();
+            let hi: Vec<f64> = bx.iter().map(|iv| iv.hi()).collect();
+            let bound = bernstein_bound(tensor, &lo, &hi);
+            if bound.min >= -options.margin {
+                return BoxFate::Pruned; // no breach of advantage > ε here
+            }
+            if bound.min_at_vertex {
+                // The minimum is the exact value at a (dyadic) corner:
+                // a rigorous rational witness candidate.
+                let corner: Vec<f64> = (0..n)
+                    .map(|i| {
+                        if bound.vertex >> i & 1 == 1 {
+                            hi[i]
+                        } else {
+                            lo[i]
+                        }
+                    })
+                    .collect();
+                if let Some(witness) = exact_witness(ctx.exact.get(), &corner) {
+                    return BoxFate::Witness(witness);
+                }
+            }
+        }
+        BoundMethod::Interval => {
+            let sparse = ctx.sparse.as_ref().expect("Interval mode has a sparse gap");
+            let range = sparse.eval_interval(bx);
+            if range.lo() >= -options.margin {
+                return BoxFate::Pruned;
+            }
+        }
+    }
+    // Probe the midpoint for a genuine violation.
+    let mid: Vec<f64> = bx.iter().map(|iv| iv.midpoint()).collect();
+    if ctx.eval_point(&mid) < -1e-12 {
+        if let Some(witness) = exact_witness(ctx.exact.get(), &mid) {
+            return BoxFate::Witness(witness);
+        }
+    }
+    // Split along the widest coordinate.
+    let (split_dim, _) = bx
+        .iter()
+        .enumerate()
+        .max_by(|(_, x), (_, y)| x.width().total_cmp(&y.width()))
+        .expect("non-empty box");
+    let (left, right) = bx[split_dim].split();
+    let mut bl = bx.to_vec();
+    bl[split_dim] = left;
+    let mut br = bx.to_vec();
+    br[split_dim] = right;
+    BoxFate::Split(bl, br)
+}
+
+/// Attempts the Section 6.2 sum-of-squares certificate (tier-1
+/// multipliers only: the instances that defeat subdivision — interior
+/// zero surfaces — certify there in milliseconds, while the
+/// facet-product tier can burn minutes of SDP time on instances
+/// subdivision handles anyway).
+fn try_sos(ctx: &SolveCtx<'_>) -> Option<SafeEvidence> {
+    let gap = ctx.sparse_gap();
+    epi_sos::certify_nonneg_on_box_with(
+        &gap,
+        0,
+        epi_sdp::SdpOptions::default(),
+        epi_sos::BoxMultipliers::PairedBoxes,
+    )
+    .map(|cert| SafeEvidence::SosCertificate {
+        residual: cert.residual,
+    })
+}
+
+/// Wave-synchronous deterministic search. Each wave evaluates the open
+/// frontier in parallel (bounded by the remaining box budget), then
+/// commits the outcomes sequentially in frontier order. The verdict is
+/// a deterministic function of the instance — independent of thread
+/// count and scheduling.
+fn wave_search(
+    ctx: &SolveCtx<'_>,
+    pool: Pool,
+    mut stats: ProductSolverStats,
+) -> (Verdict<ProductWitness>, ProductSolverStats) {
+    let options = &ctx.options;
+    let n = ctx
+        .tensor
+        .as_ref()
+        .map(DenseTensor::arity)
+        .or_else(|| ctx.sparse.as_ref().map(Polynomial::arity))
+        .expect("gap representation present");
     let sos_checkpoint = options.max_boxes.min(512);
     let mut sos_tried = false;
-    let mut queue: Vec<Vec<Interval>> = vec![vec![Interval::UNIT; n]];
-    while let Some(bx) = queue.pop() {
-        stats.boxes_processed += 1;
-        if options.sos_fallback
-            && !sos_tried
-            && (stats.boxes_processed > sos_checkpoint || stats.boxes_processed > options.max_boxes)
-        {
-            sos_tried = true;
-            // Tier-1 multipliers only: the instances that defeat
-            // subdivision (interior zero surfaces) certify there in
-            // milliseconds, while the facet-product tier can burn minutes
-            // of SDP time on instances subdivision handles anyway.
-            if let Some(cert) = epi_sos::certify_nonneg_on_box_with(
-                &gap,
-                0,
-                epi_sdp::SdpOptions::default(),
-                epi_sos::BoxMultipliers::PairedBoxes,
-            ) {
-                return (
-                    Verdict::Safe(SafeEvidence::SosCertificate {
-                        residual: cert.residual,
-                    }),
-                    stats,
-                );
-            }
-        }
-        if stats.boxes_processed > options.max_boxes {
-            return (Verdict::Unknown, stats);
-        }
-        match options.bound_method {
-            BoundMethod::Bernstein => {
-                let lo: Vec<f64> = bx.iter().map(|iv| iv.lo()).collect();
-                let hi: Vec<f64> = bx.iter().map(|iv| iv.hi()).collect();
-                let bound = bernstein_bound(&tensor, &lo, &hi);
-                if bound.min >= -options.margin {
-                    continue; // no breach of advantage > margin in this box
-                }
-                if bound.min_at_vertex {
-                    // The minimum is the exact value at a (dyadic) corner:
-                    // a rigorous rational witness candidate.
-                    let corner: Vec<f64> = (0..n)
-                        .map(|i| {
-                            if bound.vertex >> i & 1 == 1 {
-                                hi[i]
-                            } else {
-                                lo[i]
-                            }
-                        })
-                        .collect();
-                    if let Some(witness) = exact_witness(&gap_exact, &corner) {
-                        return (Verdict::Unsafe(witness), stats);
-                    }
+    let mut frontier: Vec<Vec<Interval>> = vec![vec![Interval::UNIT; n]];
+    while !frontier.is_empty() {
+        stats.waves += 1;
+        // Boxes beyond the budget are never inspected: the commit loop
+        // below returns Unknown before reaching them.
+        let eval_count = frontier
+            .len()
+            .min(options.max_boxes.saturating_sub(stats.boxes_processed));
+        let fates: Vec<BoxFate> = if eval_count < 2 * pool.threads() || pool.threads() == 1 {
+            frontier[..eval_count]
+                .iter()
+                .map(|bx| evaluate_box(ctx, bx))
+                .collect()
+        } else {
+            pool.parallel_map(&frontier[..eval_count], |bx| evaluate_box(ctx, bx))
+        };
+        // Sequential commit in frontier order.
+        let mut next: Vec<Vec<Interval>> = Vec::new();
+        for (j, _bx) in frontier.iter().enumerate() {
+            stats.boxes_processed += 1;
+            if options.sos_fallback
+                && !sos_tried
+                && (stats.boxes_processed > sos_checkpoint
+                    || stats.boxes_processed > options.max_boxes)
+            {
+                sos_tried = true;
+                if let Some(evidence) = try_sos(ctx) {
+                    return (Verdict::Safe(evidence), stats);
                 }
             }
-            BoundMethod::Interval => {
-                let range = gap.eval_interval(&bx);
-                if range.lo() >= -options.margin {
-                    continue;
+            if stats.boxes_processed > options.max_boxes {
+                return (Verdict::Unknown, stats);
+            }
+            match &fates[j] {
+                BoxFate::Pruned => {}
+                BoxFate::Witness(w) => return (Verdict::Unsafe(w.clone()), stats),
+                BoxFate::Split(bl, br) => {
+                    next.push(bl.clone());
+                    next.push(br.clone());
                 }
             }
         }
-        // Probe the midpoint for a genuine violation.
-        let mid: Vec<f64> = bx.iter().map(|iv| iv.midpoint()).collect();
-        if gap.eval_f64(&mid) < -1e-12 {
-            if let Some(witness) = exact_witness(&gap_exact, &mid) {
-                return (Verdict::Unsafe(witness), stats);
-            }
-        }
-        // Split along the widest coordinate.
-        let (split_dim, _) = bx
-            .iter()
-            .enumerate()
-            .max_by(|(_, x), (_, y)| x.width().total_cmp(&y.width()))
-            .expect("non-empty box");
-        let (left, right) = bx[split_dim].split();
-        let mut bl = bx.clone();
-        bl[split_dim] = left;
-        let mut br = bx;
-        br[split_dim] = right;
-        queue.push(bl);
-        queue.push(br);
+        frontier = next;
     }
     (
         Verdict::Safe(SafeEvidence::BranchAndBound {
@@ -225,6 +448,191 @@ pub fn decide_product_safety(
         }),
         stats,
     )
+}
+
+/// Best-first work-stealing search: nondeterministic, fastest route to a
+/// refutation. Workers pull the most promising box (most negative lower
+/// bound, computed by its parent), share the deepest violation seen and
+/// the box budget through atomics, and the first verified witness (or
+/// budget exhaustion, or an SOS certificate) closes the queue for
+/// everyone.
+fn opportunistic_search(
+    ctx: &SolveCtx<'_>,
+    pool: Pool,
+    mut stats: ProductSolverStats,
+) -> (Verdict<ProductWitness>, ProductSolverStats) {
+    let options = &ctx.options;
+    let n = ctx
+        .tensor
+        .as_ref()
+        .map(DenseTensor::arity)
+        .or_else(|| ctx.sparse.as_ref().map(Polynomial::arity))
+        .expect("gap representation present");
+    let sos_checkpoint = options.max_boxes.min(512);
+
+    let queue: epi_par::BestFirstQueue<std::cmp::Reverse<epi_par::OrdF64>, Vec<Interval>> =
+        epi_par::BestFirstQueue::new();
+    queue.push(
+        std::cmp::Reverse(epi_par::OrdF64(f64::NEG_INFINITY)),
+        vec![Interval::UNIT; n],
+    );
+    let boxes = AtomicUsize::new(0);
+    let sos_gate = AtomicBool::new(false);
+    // Deepest violation value seen at any probed point, as f64 bits.
+    let best_violation = AtomicU64::new(0f64.to_bits());
+    let outcome: Mutex<Option<Verdict<ProductWitness>>> = Mutex::new(None);
+
+    let settle = |verdict: Verdict<ProductWitness>| {
+        let mut slot = outcome.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(verdict);
+        }
+        drop(slot);
+        queue.close();
+    };
+
+    let worker = || {
+        while let Some(bx) = queue.pop() {
+            let processed = boxes.fetch_add(1, Ordering::SeqCst) + 1;
+            if options.sos_fallback
+                && processed > sos_checkpoint
+                && !sos_gate.swap(true, Ordering::SeqCst)
+            {
+                if let Some(evidence) = try_sos(ctx) {
+                    settle(Verdict::Safe(evidence));
+                    queue.item_done();
+                    return;
+                }
+            }
+            if processed > options.max_boxes {
+                settle(Verdict::Unknown);
+                queue.item_done();
+                return;
+            }
+            match evaluate_box_sharing(ctx, &bx, &best_violation) {
+                (BoxFate::Pruned, _) => {}
+                (BoxFate::Witness(w), _) => {
+                    settle(Verdict::Unsafe(w));
+                    queue.item_done();
+                    return;
+                }
+                (BoxFate::Split(bl, br), bound_min) => {
+                    // Children inherit the parent's computed bound as
+                    // their priority: cheaper than bounding them now, and
+                    // still orders the frontier by promise.
+                    for child in [bl, br] {
+                        queue.push(std::cmp::Reverse(epi_par::OrdF64(bound_min)), child);
+                    }
+                }
+            }
+            queue.item_done();
+        }
+    };
+
+    pool.scope(|s| {
+        for _ in 0..pool.threads() {
+            s.spawn(|_| worker());
+        }
+    });
+
+    stats.boxes_processed = boxes.load(Ordering::SeqCst);
+    let verdict =
+        outcome
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or(Verdict::Safe(SafeEvidence::BranchAndBound {
+                boxes_processed: stats.boxes_processed,
+            }));
+    (verdict, stats)
+}
+
+/// As [`evaluate_box`], but also returns the box's computed lower bound
+/// (the split children's queue priority) and consults the shared
+/// best-known violation to decide whether a midpoint candidate is worth
+/// an exact verification.
+fn evaluate_box_sharing(ctx: &SolveCtx<'_>, bx: &[Interval], best: &AtomicU64) -> (BoxFate, f64) {
+    let options = &ctx.options;
+    let n = bx.len();
+    let bound_min;
+    match options.bound_method {
+        BoundMethod::Bernstein => {
+            let tensor = ctx.tensor.as_ref().expect("Bernstein mode has a tensor");
+            let lo: Vec<f64> = bx.iter().map(|iv| iv.lo()).collect();
+            let hi: Vec<f64> = bx.iter().map(|iv| iv.hi()).collect();
+            let bound = bernstein_bound(tensor, &lo, &hi);
+            bound_min = bound.min;
+            if bound.min >= -options.margin {
+                return (BoxFate::Pruned, bound_min);
+            }
+            if bound.min_at_vertex {
+                let corner: Vec<f64> = (0..n)
+                    .map(|i| {
+                        if bound.vertex >> i & 1 == 1 {
+                            hi[i]
+                        } else {
+                            lo[i]
+                        }
+                    })
+                    .collect();
+                if let Some(witness) = exact_witness(ctx.exact.get(), &corner) {
+                    return (BoxFate::Witness(witness), bound_min);
+                }
+            }
+        }
+        BoundMethod::Interval => {
+            let sparse = ctx.sparse.as_ref().expect("Interval mode has a sparse gap");
+            let range = sparse.eval_interval(bx);
+            bound_min = range.lo();
+            if range.lo() >= -options.margin {
+                return (BoxFate::Pruned, bound_min);
+            }
+        }
+    }
+    let mid: Vec<f64> = bx.iter().map(|iv| iv.midpoint()).collect();
+    let mid_val = ctx.eval_point(&mid);
+    if mid_val < -1e-12 {
+        let deepest = atomic_min_f64(best, mid_val);
+        // Exact rational verification is the expensive step; only spend
+        // it on candidates within 2x of the deepest violation any worker
+        // has seen (a shallower one would round away more often anyway).
+        if mid_val <= 0.5 * deepest {
+            if let Some(witness) = exact_witness(ctx.exact.get(), &mid) {
+                return (BoxFate::Witness(witness), bound_min);
+            }
+        }
+    }
+    let (split_dim, _) = bx
+        .iter()
+        .enumerate()
+        .max_by(|(_, x), (_, y)| x.width().total_cmp(&y.width()))
+        .expect("non-empty box");
+    let (left, right) = bx[split_dim].split();
+    let mut bl = bx.to_vec();
+    bl[split_dim] = left;
+    let mut br = bx.to_vec();
+    br[split_dim] = right;
+    (BoxFate::Split(bl, br), bound_min)
+}
+
+/// Merge `candidate` into the shared minimum (f64 bits, values ≤ 0) and
+/// return the post-merge minimum.
+fn atomic_min_f64(cell: &AtomicU64, candidate: f64) -> f64 {
+    let mut current = f64::from_bits(cell.load(Ordering::Relaxed));
+    loop {
+        if candidate >= current {
+            return current;
+        }
+        match cell.compare_exchange_weak(
+            current.to_bits(),
+            candidate.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return candidate,
+            Err(actual) => current = f64::from_bits(actual),
+        }
+    }
 }
 
 /// Deterministic starting points for the warm start: the center, plus
@@ -242,24 +650,20 @@ fn starting_points(n: usize) -> Vec<Vec<f64>> {
 /// Coordinate descent on the gap: each coordinate restriction is a
 /// quadratic minimized in closed form over `[0,1]`. On reaching a point
 /// with a clearly negative `f64` gap, verify exactly.
-fn coordinate_descend(
-    gap: &Polynomial<f64>,
-    gap_exact: &Polynomial<Rational>,
-    mut point: Vec<f64>,
-) -> Option<ProductWitness> {
+fn coordinate_descend(ctx: &SolveCtx<'_>, mut point: Vec<f64>) -> Option<ProductWitness> {
     let n = point.len();
     for _round in 0..20 {
         let mut improved = false;
         for i in 0..n {
-            let current = gap.eval_f64(&point);
+            let current = ctx.eval_point(&point);
             // Quadratic in coordinate i through three evaluations.
             let mut probe = point.clone();
             probe[i] = 0.0;
-            let f0 = gap.eval_f64(&probe);
+            let f0 = ctx.eval_point(&probe);
             probe[i] = 1.0;
-            let f1 = gap.eval_f64(&probe);
+            let f1 = ctx.eval_point(&probe);
             probe[i] = 0.5;
-            let fh = gap.eval_f64(&probe);
+            let fh = ctx.eval_point(&probe);
             // f(t) = a·t² + b·t + c.
             let c = f0;
             let a = 2.0 * f1 + 2.0 * f0 - 4.0 * fh;
@@ -282,8 +686,8 @@ fn coordinate_descend(
             break;
         }
     }
-    if gap.eval_f64(&point) < -1e-12 {
-        exact_witness(gap_exact, &point)
+    if ctx.eval_point(&point) < -1e-12 {
+        exact_witness(ctx.exact.get(), &point)
     } else {
         None
     }
@@ -475,6 +879,90 @@ mod tests {
             .0;
             assert_eq!(with.is_safe(), without.is_safe(), "A={a:?} B={b:?}");
             assert_eq!(with.is_unsafe(), without.is_unsafe());
+        }
+    }
+
+    #[test]
+    fn dense_kernel_ablation_agrees() {
+        // The dense multilinear construction and the legacy sparse
+        // pipeline must reach the same classification everywhere.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(193);
+        let cube = Cube::new(3);
+        for _ in 0..40 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let dense = decide(&cube, &a, &b);
+            let legacy = decide_product_safety(
+                &cube,
+                &a,
+                &b,
+                ProductSolverOptions {
+                    dense_kernel: false,
+                    ..Default::default()
+                },
+            )
+            .0;
+            assert_eq!(dense.is_safe(), legacy.is_safe(), "A={a:?} B={b:?}");
+            assert_eq!(dense.is_unsafe(), legacy.is_unsafe());
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_is_thread_count_invariant() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(197);
+        let cube = Cube::new(3);
+        for _ in 0..15 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let base = decide_product_safety(
+                &cube,
+                &a,
+                &b,
+                ProductSolverOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            for threads in [2, 8] {
+                let got = decide_product_safety(
+                    &cube,
+                    &a,
+                    &b,
+                    ProductSolverOptions {
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(got.0, base.0, "threads={threads} A={a:?} B={b:?}");
+                assert_eq!(got.1, base.1, "threads={threads} A={a:?} B={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn opportunistic_mode_agrees_on_classification() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(199);
+        let cube = Cube::new(3);
+        for _ in 0..25 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let det = decide(&cube, &a, &b);
+            let opp = decide_product_safety(
+                &cube,
+                &a,
+                &b,
+                ProductSolverOptions {
+                    search_mode: SearchMode::Opportunistic,
+                    threads: 4,
+                    ..Default::default()
+                },
+            )
+            .0;
+            assert_eq!(det.is_safe(), opp.is_safe(), "A={a:?} B={b:?}");
+            assert_eq!(det.is_unsafe(), opp.is_unsafe());
+            if let Verdict::Unsafe(w) = &opp {
+                assert!(w.gap.is_negative(), "opportunistic witness is rigorous");
+            }
         }
     }
 

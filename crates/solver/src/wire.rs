@@ -8,9 +8,9 @@
 //! so the format stays self-describing.
 
 use crate::pipeline::{PipelineDecision, Stage};
-use crate::product::{BoundMethod, ProductSolverOptions, ProductWitness};
+use crate::product::{BoundMethod, ProductSolverOptions, ProductWitness, SearchMode};
 use crate::verdict::{SafeEvidence, Verdict};
-use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
 
 impl Serialize for Stage {
     fn to_json(&self) -> Json {
@@ -143,6 +143,7 @@ impl Serialize for PipelineDecision {
         Json::obj([
             ("verdict", self.verdict.to_json()),
             ("stage", self.stage.to_json()),
+            ("boxes_processed", Json::from(self.boxes_processed)),
         ])
     }
 }
@@ -152,6 +153,9 @@ impl Deserialize for PipelineDecision {
         Ok(PipelineDecision {
             verdict: field(v, "verdict")?,
             stage: field(v, "stage")?,
+            // Absent in pre-parallel-engine reports: those decisions
+            // never counted boxes, so 0 is the faithful default.
+            boxes_processed: opt_field(v, "boxes_processed")?.unwrap_or(0),
         })
     }
 }
@@ -178,6 +182,28 @@ impl Deserialize for BoundMethod {
     }
 }
 
+impl Serialize for SearchMode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SearchMode::Deterministic => "deterministic",
+                SearchMode::Opportunistic => "opportunistic",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for SearchMode {
+    fn from_json(v: &Json) -> Result<SearchMode, JsonError> {
+        match v.as_str() {
+            Some("deterministic") => Ok(SearchMode::Deterministic),
+            Some("opportunistic") => Ok(SearchMode::Opportunistic),
+            _ => Err(JsonError::decode("unknown search mode")),
+        }
+    }
+}
+
 impl Serialize for ProductSolverOptions {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -186,18 +212,27 @@ impl Serialize for ProductSolverOptions {
             ("coordinate_ascent", Json::from(self.coordinate_ascent)),
             ("bound_method", self.bound_method.to_json()),
             ("sos_fallback", Json::from(self.sos_fallback)),
+            ("threads", Json::from(self.threads)),
+            ("search_mode", self.search_mode.to_json()),
+            ("dense_kernel", Json::from(self.dense_kernel)),
         ])
     }
 }
 
 impl Deserialize for ProductSolverOptions {
     fn from_json(v: &Json) -> Result<ProductSolverOptions, JsonError> {
+        // The parallel-engine fields are optional so options recorded by
+        // older builds keep deserializing; defaults match
+        // `ProductSolverOptions::default()`.
         Ok(ProductSolverOptions {
             margin: field(v, "margin")?,
             max_boxes: field(v, "max_boxes")?,
             coordinate_ascent: field(v, "coordinate_ascent")?,
             bound_method: field(v, "bound_method")?,
             sos_fallback: field(v, "sos_fallback")?,
+            threads: opt_field(v, "threads")?.unwrap_or(0),
+            search_mode: opt_field(v, "search_mode")?.unwrap_or(SearchMode::Deterministic),
+            dense_kernel: opt_field(v, "dense_kernel")?.unwrap_or(true),
         })
     }
 }
@@ -265,6 +300,9 @@ mod tests {
             coordinate_ascent: false,
             bound_method: BoundMethod::Interval,
             sos_fallback: true,
+            threads: 4,
+            search_mode: SearchMode::Opportunistic,
+            dense_kernel: false,
         };
         let j = Json::parse(&opts.to_json().render()).unwrap();
         let back = ProductSolverOptions::from_json(&j).unwrap();
@@ -273,6 +311,33 @@ mod tests {
         assert_eq!(back.coordinate_ascent, opts.coordinate_ascent);
         assert_eq!(back.bound_method, opts.bound_method);
         assert_eq!(back.sos_fallback, opts.sos_fallback);
+        assert_eq!(back.threads, opts.threads);
+        assert_eq!(back.search_mode, opts.search_mode);
+        assert_eq!(back.dense_kernel, opts.dense_kernel);
+    }
+
+    #[test]
+    fn legacy_options_deserialize_with_defaults() {
+        // An options object recorded before the parallel engine existed:
+        // no threads / search_mode / dense_kernel keys.
+        let j = Json::parse(
+            r#"{"margin":1e-9,"max_boxes":20000,"coordinate_ascent":true,
+                "bound_method":"bernstein","sos_fallback":true}"#,
+        )
+        .unwrap();
+        let opts = ProductSolverOptions::from_json(&j).unwrap();
+        assert_eq!(opts.threads, 0);
+        assert_eq!(opts.search_mode, SearchMode::Deterministic);
+        assert!(opts.dense_kernel);
+    }
+
+    #[test]
+    fn legacy_decision_deserializes_without_box_count() {
+        let j =
+            Json::parse(r#"{"verdict":{"verdict":"unknown"},"stage":"branch_and_bound"}"#).unwrap();
+        let d = PipelineDecision::from_json(&j).unwrap();
+        assert_eq!(d.boxes_processed, 0);
+        assert_eq!(d.stage, Stage::BranchAndBound);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! The parallel engine's deterministic mode must reproduce the sequential
+//! solver bit-for-bit: identical verdicts (including witness priors and
+//! safe-evidence box counts) and identical statistics at every thread
+//! count, across the E7 instance corpus of every pair shape.
+
+use epi_bench::PairShape;
+use epi_boolean::Cube;
+use epi_solver::{decide_product_safety, ProductSolverOptions, SearchMode};
+use rand::SeedableRng;
+
+#[test]
+fn deterministic_mode_matches_sequential_across_e7_corpus() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for n in [3usize, 4] {
+        let cube = Cube::new(n);
+        for shape in PairShape::all() {
+            for _ in 0..4 {
+                let (a, b) = shape.sample(&cube, &mut rng);
+                let opts = |threads: usize| ProductSolverOptions {
+                    threads,
+                    search_mode: SearchMode::Deterministic,
+                    max_boxes: 800,
+                    ..Default::default()
+                };
+                let sequential = decide_product_safety(&cube, &a, &b, opts(1));
+                for threads in [2usize, 8] {
+                    let parallel = decide_product_safety(&cube, &a, &b, opts(threads));
+                    assert_eq!(
+                        sequential,
+                        parallel,
+                        "shape {} on n={n}: {threads}-thread deterministic run diverged",
+                        shape.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn opportunistic_mode_agrees_on_classification_across_corpus() {
+    // Opportunistic search may find a different witness or box count, but
+    // a rigorous verdict can never flip: Safe stays Safe and Unsafe stays
+    // Unsafe (Unknown may resolve either way under a different ordering,
+    // so budget-limited instances are skipped).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let cube = Cube::new(3);
+    for shape in PairShape::all() {
+        for _ in 0..4 {
+            let (a, b) = shape.sample(&cube, &mut rng);
+            let opts = |mode: SearchMode| ProductSolverOptions {
+                threads: 4,
+                search_mode: mode,
+                ..Default::default()
+            };
+            let (det, _) = decide_product_safety(&cube, &a, &b, opts(SearchMode::Deterministic));
+            let (opp, _) = decide_product_safety(&cube, &a, &b, opts(SearchMode::Opportunistic));
+            let tag = |v: &epi_solver::Verdict<_>| match v {
+                epi_solver::Verdict::Safe(_) => "safe",
+                epi_solver::Verdict::Unsafe(_) => "unsafe",
+                epi_solver::Verdict::Unknown => "unknown",
+            };
+            if tag(&det) != "unknown" && tag(&opp) != "unknown" {
+                assert_eq!(
+                    tag(&det),
+                    tag(&opp),
+                    "shape {}: opportunistic search flipped a rigorous verdict",
+                    shape.label()
+                );
+            }
+        }
+    }
+}
