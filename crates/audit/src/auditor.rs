@@ -20,10 +20,13 @@
 use crate::log::{AuditLog, Disclosure};
 use crate::query::Query;
 use epi_boolean::Cube;
-use epi_core::{unrestricted, WorldId, WorldSet};
+use epi_core::{unrestricted, Deadline, WorldId, WorldSet};
 use epi_par::Pool;
 use epi_solver::logsupermod::{self, SupermodularSearchOptions};
-use epi_solver::{decide_product_pipeline, ProductSolverOptions, SafeEvidence, Stage, Verdict};
+use epi_solver::{
+    decide_product_pipeline_deadline, ProductSolverOptions, SafeEvidence, Stage, UndecidedReason,
+    Verdict,
+};
 use rand::SeedableRng;
 use std::fmt;
 
@@ -159,6 +162,11 @@ pub struct Decision {
     /// non-pipeline procedure decided) — the service's throughput metrics
     /// aggregate this.
     pub boxes_processed: usize,
+    /// Set iff `finding` is [`Finding::Inconclusive`]: why the procedure
+    /// gave up. Deadline/cancellation stops are transient (a retry may
+    /// decide); budget exhaustion is deterministic. Callers must treat
+    /// every inconclusive decision as unsafe regardless of the reason.
+    pub undecided: Option<UndecidedReason>,
 }
 
 /// The offline auditor.
@@ -204,6 +212,20 @@ impl Auditor {
     /// The negative-result gate (`A` false at disclosure time) is the
     /// caller's responsibility — see [`Auditor::audit`].
     pub fn decide_sets(&self, cube: &Cube, a: &WorldSet, b: &WorldSet) -> Decision {
+        self.decide_sets_deadline(cube, a, b, &Deadline::none())
+    }
+
+    /// [`Auditor::decide_sets`] under a [`Deadline`]: the expensive
+    /// decision procedures stop cooperatively once it fires and the
+    /// result is an [`Finding::Inconclusive`] decision with
+    /// [`Decision::undecided`] set — never `Safe` (fail closed).
+    pub fn decide_sets_deadline(
+        &self,
+        cube: &Cube,
+        a: &WorldSet,
+        b: &WorldSet,
+        deadline: &Deadline,
+    ) -> Decision {
         match self.assumption {
             PriorAssumption::Unrestricted => {
                 if unrestricted::safe_unrestricted(a, b) {
@@ -212,6 +234,7 @@ impl Auditor {
                         explanation: SafeEvidence::Unconditional.to_string(),
                         stage: Some(Stage::Unconditional),
                         boxes_processed: 0,
+                        undecided: None,
                     }
                 } else {
                     let r = unrestricted::refute_unrestricted(a, b)
@@ -224,11 +247,13 @@ impl Auditor {
                         ),
                         stage: Some(Stage::Unconditional),
                         boxes_processed: 0,
+                        undecided: None,
                     }
                 }
             }
             PriorAssumption::Product => {
-                let decision = decide_product_pipeline(cube, a, b, self.product_options);
+                let decision =
+                    decide_product_pipeline_deadline(cube, a, b, self.product_options, deadline);
                 let boxes_processed = decision.boxes_processed;
                 match decision.verdict {
                     Verdict::Safe(ev) => Decision {
@@ -236,6 +261,7 @@ impl Auditor {
                         explanation: format!("{} via {}", ev, decision.stage.label()),
                         stage: Some(decision.stage),
                         boxes_processed,
+                        undecided: None,
                     },
                     Verdict::Unsafe(w) => Decision {
                         finding: Finding::Flagged,
@@ -247,19 +273,40 @@ impl Auditor {
                         ),
                         stage: Some(decision.stage),
                         boxes_processed,
+                        undecided: None,
                     },
-                    Verdict::Unknown => Decision {
-                        finding: Finding::Inconclusive,
-                        explanation: format!(
-                            "budget exhausted at stage {}",
-                            Stage::BranchAndBound.label()
-                        ),
-                        stage: Some(Stage::BranchAndBound),
-                        boxes_processed,
-                    },
+                    Verdict::Unknown => {
+                        let reason = decision
+                            .undecided
+                            .unwrap_or(UndecidedReason::BudgetExhausted);
+                        Decision {
+                            finding: Finding::Inconclusive,
+                            explanation: format!(
+                                "{} at stage {}",
+                                reason,
+                                Stage::BranchAndBound.label()
+                            ),
+                            stage: Some(Stage::BranchAndBound),
+                            boxes_processed,
+                            undecided: Some(reason),
+                        }
+                    }
                 }
             }
             PriorAssumption::LogSupermodular => {
+                // The refutation search is not deadline-threaded; honor
+                // the deadline up front so an already-expired request
+                // fails closed instead of burning the whole budget.
+                if let Err(reason) = deadline.check() {
+                    let reason = UndecidedReason::from(reason);
+                    return Decision {
+                        finding: Finding::Inconclusive,
+                        explanation: format!("{reason} before refutation search"),
+                        stage: None,
+                        boxes_processed: 0,
+                        undecided: Some(reason),
+                    };
+                }
                 let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
                 let verdict = logsupermod::decide_supermodular(
                     cube,
@@ -274,6 +321,7 @@ impl Auditor {
                         explanation: ev.to_string(),
                         stage: None,
                         boxes_processed: 0,
+                        undecided: None,
                     },
                     Verdict::Unsafe(w) => Decision {
                         finding: Finding::Flagged,
@@ -283,12 +331,14 @@ impl Auditor {
                         ),
                         stage: None,
                         boxes_processed: 0,
+                        undecided: None,
                     },
                     Verdict::Unknown => Decision {
                         finding: Finding::Inconclusive,
                         explanation: "criteria inconclusive and no refutation found".into(),
                         stage: None,
                         boxes_processed: 0,
+                        undecided: Some(UndecidedReason::BudgetExhausted),
                     },
                 }
             }
@@ -502,6 +552,33 @@ mod tests {
             .expect("cumulative entry present");
         assert_eq!(cumulative.finding, Finding::Flagged);
         assert!(report.render().contains("FLAGGED"));
+    }
+
+    /// A timed-out decision must fail closed: Inconclusive with the
+    /// reason recorded, never Safe.
+    #[test]
+    fn expired_deadline_fails_closed() {
+        use std::time::Duration;
+        let schema = Schema::from_names(&["a", "b", "c"]).unwrap();
+        let cube = schema.cube();
+        // Remark 5.12 shape: defeats every criterion, forcing the
+        // expensive tail where the deadline is consulted.
+        let a = cube.set_from_masks([0b011, 0b100, 0b110, 0b111]);
+        let b = cube.set_from_masks([0b010, 0b101, 0b110, 0b111]);
+        let expired = Deadline::within(Duration::ZERO);
+        for assumption in [PriorAssumption::Product, PriorAssumption::LogSupermodular] {
+            let d = Auditor::new(assumption).decide_sets_deadline(&cube, &a, &b, &expired);
+            assert_eq!(d.finding, Finding::Inconclusive, "{assumption:?}");
+            assert_eq!(
+                d.undecided,
+                Some(UndecidedReason::DeadlineExceeded),
+                "{assumption:?}"
+            );
+        }
+        // Unrestricted decisions are closed-form and always complete.
+        let d = Auditor::new(PriorAssumption::Unrestricted)
+            .decide_sets_deadline(&cube, &a, &b, &expired);
+        assert_ne!(d.finding, Finding::Inconclusive);
     }
 
     #[test]

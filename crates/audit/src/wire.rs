@@ -82,7 +82,7 @@ impl Deserialize for EntryKind {
 
 impl Serialize for Decision {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("finding", self.finding.to_json()),
             ("explanation", Json::from(self.explanation.as_str())),
             (
@@ -93,7 +93,13 @@ impl Serialize for Decision {
                 },
             ),
             ("boxes_processed", Json::from(self.boxes_processed)),
-        ])
+        ];
+        // Emitted only when set so decided lines stay byte-identical to
+        // pre-deadline builds.
+        if let Some(reason) = self.undecided {
+            fields.push(("undecided", reason.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -105,6 +111,7 @@ impl Deserialize for Decision {
             stage: opt_field::<Stage>(v, "stage")?,
             // Absent in decisions recorded before the box counter existed.
             boxes_processed: opt_field(v, "boxes_processed")?.unwrap_or(0),
+            undecided: opt_field(v, "undecided")?,
         })
     }
 }
@@ -219,17 +226,35 @@ mod tests {
                 explanation: "unconditional".to_owned(),
                 stage: Some(Stage::Unconditional),
                 boxes_processed: 0,
+                undecided: None,
             },
             Decision {
                 finding: Finding::Inconclusive,
                 explanation: "no refutation found".to_owned(),
                 stage: None,
                 boxes_processed: 4096,
+                undecided: Some(epi_solver::UndecidedReason::BudgetExhausted),
+            },
+            Decision {
+                finding: Finding::Inconclusive,
+                explanation: "deadline exceeded".to_owned(),
+                stage: Some(Stage::BranchAndBound),
+                boxes_processed: 12,
+                undecided: Some(epi_solver::UndecidedReason::DeadlineExceeded),
             },
         ] {
             let j = Json::parse(&d.to_json().render()).unwrap();
             assert_eq!(Decision::from_json(&j).unwrap(), d);
         }
+        // Decided lines carry no `undecided` key (byte compatibility).
+        let decided = Decision {
+            finding: Finding::Safe,
+            explanation: "ok".to_owned(),
+            stage: None,
+            boxes_processed: 0,
+            undecided: None,
+        };
+        assert!(!decided.to_json().render().contains("undecided"));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Wall-clock deadlines and cooperative cancellation.
+//!
+//! A production auditing service cannot let one Σ₂ᵖ-hard decision (the
+//! product-solver path, §5 of the paper) run unbounded: every request
+//! carries a [`Deadline`], the decision procedures check it at natural
+//! commit points, and a timed-out decision comes back *undecided* — which
+//! callers must treat as unsafe (the paper's deny-by-default posture for
+//! `Safe_K(A,B)`, Definition 3.4, extended to partial failure).
+//!
+//! The two primitives compose:
+//!
+//! * [`CancelToken`] — a shared flag flipped once, checked cheaply from
+//!   any thread. Used for pool-wide shutdown ("stop whatever you are
+//!   computing, the daemon is draining").
+//! * [`Deadline`] — an optional wall-clock cutoff plus an optional
+//!   [`CancelToken`]. [`Deadline::check`] answers "should this
+//!   computation stop, and why" in one call.
+//!
+//! Checks are designed to sit inside hot loops: a `Deadline` with neither
+//! cutoff nor token short-circuits without reading the clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a computation was asked to stop early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The wall-clock budget ran out.
+    DeadlineExceeded,
+    /// The attached [`CancelToken`] was cancelled (e.g. daemon shutdown).
+    Cancelled,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A shared one-way cancellation flag. Cloning yields a handle to the
+/// *same* flag; once [`CancelToken::cancel`] is called every clone
+/// observes it.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A wall-clock budget plus an optional cancellation hook, threaded
+/// through the decision procedures.
+///
+/// `Deadline` is cheap to clone (an `Option<Instant>` and an `Arc`) and
+/// cheap to check: [`Deadline::none`] never touches the clock.
+#[derive(Clone, Debug, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+    token: Option<CancelToken>,
+}
+
+impl Deadline {
+    /// No budget and no cancellation: [`Deadline::check`] always passes.
+    pub fn none() -> Deadline {
+        Deadline::default()
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            at: Some(Instant::now() + budget),
+            token: None,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline {
+            at: Some(instant),
+            token: None,
+        }
+    }
+
+    /// Attaches a cancellation token; [`Deadline::check`] then also fails
+    /// once the token is cancelled.
+    pub fn with_token(mut self, token: CancelToken) -> Deadline {
+        self.token = Some(token);
+        self
+    }
+
+    /// Whether this deadline can ever stop anything (has a cutoff or a
+    /// token). `false` means checks are free.
+    pub fn is_bounded(&self) -> bool {
+        self.at.is_some() || self.token.is_some()
+    }
+
+    /// The wall-clock cutoff, if one was set.
+    pub fn instant(&self) -> Option<Instant> {
+        self.at
+    }
+
+    /// Time left before the cutoff: `None` when unbounded, `Some(0)` when
+    /// already past.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// `Ok(())` to keep going, `Err(reason)` to stop. Cancellation is
+    /// reported ahead of expiry when both hold (shutdown is the more
+    /// specific signal).
+    pub fn check(&self) -> Result<(), StopReason> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Err(StopReason::Cancelled);
+            }
+        }
+        if let Some(at) = self.at {
+            if Instant::now() >= at {
+                return Err(StopReason::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: `true` iff [`Deadline::check`] would fail.
+    pub fn should_stop(&self) -> bool {
+        self.check().is_err()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_deadline_always_passes() {
+        let d = Deadline::none();
+        assert!(!d.is_bounded());
+        assert_eq!(d.check(), Ok(()));
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.is_bounded());
+        assert_eq!(d.check(), Err(StopReason::DeadlineExceeded));
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert_eq!(d.check(), Ok(()));
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let d = Deadline::none().with_token(token.clone());
+        assert_eq!(d.check(), Ok(()));
+        token.clone().cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(d.check(), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_wins_over_expiry() {
+        let token = CancelToken::new();
+        token.cancel();
+        let d = Deadline::within(Duration::ZERO).with_token(token);
+        assert_eq!(d.check(), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn stop_reasons_render() {
+        assert_eq!(
+            StopReason::DeadlineExceeded.to_string(),
+            "deadline exceeded"
+        );
+        assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
+    }
+}

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deadline;
 mod error;
 pub mod families;
 pub mod intervals;
@@ -55,6 +56,7 @@ pub mod probabilistic;
 pub mod unrestricted;
 pub mod world;
 
+pub use deadline::{CancelToken, Deadline, StopReason};
 pub use error::CoreError;
 pub use knowledge::{KnowledgeWorld, PossKnowledge};
 pub use probabilistic::{Distribution, ProbKnowledge, ProbKnowledgeWorld};

@@ -1,0 +1,328 @@
+//! # epi-faults
+//!
+//! A deterministic fault-injection harness for the auditing stack.
+//!
+//! Chaos testing a concurrent daemon is only useful when failures
+//! *reproduce*: a flaky chaos test is worse than none. Everything here is
+//! therefore a pure function of a seed —
+//!
+//! * [`FaultPlan::worker_fault`] scripts what happens inside the decision
+//!   worker on its `i`-th computation (nothing, a panic, or a stall),
+//!   independent of thread interleaving;
+//! * [`FaultPlan::frame_fault`] scripts how the `i`-th NDJSON frame of a
+//!   client connection is mangled on the wire (sent intact, truncated
+//!   mid-frame, a byte smashed into invalid UTF-8, or the connection
+//!   dropped at the frame boundary);
+//! * [`FaultPlan::worker_hook`] packages the worker script as the
+//!   [`FaultHook`] that [`epi_service::AuditService::with_fault_hook`]
+//!   accepts, so faults land inside an otherwise-production service.
+//!
+//! Two runs with the same seed produce the same fault script; two seeds
+//! produce different ones. The chaos suite (`tests/chaos_service.rs` at
+//! the workspace root) drives a seed matrix through the full service and
+//! asserts liveness, fail-closed verdicts, and byte determinism of
+//! successful replies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use epi_service::FaultHook;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// SplitMix64: a tiny, high-quality mixer. Used both to derive per-event
+/// streams from `(seed, index)` and as the engine of [`Rng64`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small deterministic RNG (SplitMix64 stream) for harness code that
+/// wants a sequence rather than indexed access.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// A stream seeded by `seed`.
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// What the fault plan injects into one worker computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The computation panics (exercises `catch_unwind` isolation and the
+    /// `worker_failed` error path).
+    Panic,
+    /// The computation stalls this long before running (exercises
+    /// deadlines, queue backpressure, and shedding).
+    Stall(Duration),
+}
+
+/// How the plan mangles one outbound NDJSON frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Delivered unmodified.
+    Intact,
+    /// Only the first `keep` bytes are sent, then the connection drops —
+    /// a torn frame (`keep` is less than the frame length).
+    Truncate {
+        /// Bytes delivered before the cut.
+        keep: usize,
+    },
+    /// One byte is overwritten with `0xFF` (never valid in UTF-8), so the
+    /// frame arrives complete but unparsable.
+    CorruptUtf8 {
+        /// Offset of the smashed byte.
+        at: usize,
+    },
+    /// The connection drops cleanly at the frame boundary, before any
+    /// byte of this frame is sent.
+    DropConnection,
+}
+
+/// A seeded, stateless fault script. Copy it freely: every method is a
+/// pure function of `(plan, index)`, so concurrent consumers cannot skew
+/// each other's draws.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Out of 1000 worker computations, how many panic.
+    pub panic_per_mille: u32,
+    /// Out of 1000 worker computations, how many stall.
+    pub stall_per_mille: u32,
+    /// How long a stalled computation sleeps.
+    pub stall: Duration,
+    /// Out of 1000 outbound frames, how many are mangled (split evenly
+    /// between truncation, UTF-8 corruption, and connection drops).
+    pub frame_per_mille: u32,
+}
+
+impl FaultPlan {
+    /// A plan with the default chaos mix: 15% panics, 10% stalls of 2 ms,
+    /// 30% mangled frames.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_per_mille: 150,
+            stall_per_mille: 100,
+            stall: Duration::from_millis(2),
+            frame_per_mille: 300,
+        }
+    }
+
+    /// Derives the draw for event stream `stream`, index `index`.
+    fn draw(&self, stream: u64, index: u64) -> u64 {
+        splitmix64(self.seed ^ stream.rotate_left(32) ^ splitmix64(index))
+    }
+
+    /// What happens to the `index`-th worker computation.
+    pub fn worker_fault(&self, index: u64) -> Option<WorkerFault> {
+        let roll = (self.draw(0x77_00, index) % 1000) as u32;
+        if roll < self.panic_per_mille {
+            Some(WorkerFault::Panic)
+        } else if roll < self.panic_per_mille + self.stall_per_mille {
+            Some(WorkerFault::Stall(self.stall))
+        } else {
+            None
+        }
+    }
+
+    /// What happens to the `index`-th outbound frame of `frame_len`
+    /// bytes. Degenerate frames (under 2 bytes) are always intact.
+    pub fn frame_fault(&self, index: u64, frame_len: usize) -> FrameFault {
+        if frame_len < 2 {
+            return FrameFault::Intact;
+        }
+        let roll = (self.draw(0xF0, index) % 1000) as u32;
+        if roll >= self.frame_per_mille {
+            return FrameFault::Intact;
+        }
+        let detail = self.draw(0xF1, index);
+        match roll % 3 {
+            0 => FrameFault::Truncate {
+                keep: 1 + (detail as usize % (frame_len - 1)),
+            },
+            1 => FrameFault::CorruptUtf8 {
+                at: detail as usize % frame_len,
+            },
+            _ => FrameFault::DropConnection,
+        }
+    }
+
+    /// Applies a frame fault to raw bytes: `Some(bytes_to_send)` (the
+    /// connection then drops for torn frames), or `None` when the
+    /// connection drops before sending.
+    pub fn apply_frame_fault(fault: FrameFault, frame: &[u8]) -> Option<Vec<u8>> {
+        match fault {
+            FrameFault::Intact => Some(frame.to_vec()),
+            FrameFault::Truncate { keep } => Some(frame[..keep.min(frame.len())].to_vec()),
+            FrameFault::CorruptUtf8 { at } => {
+                let mut bytes = frame.to_vec();
+                if let Some(b) = bytes.get_mut(at) {
+                    *b = 0xFF;
+                }
+                Some(bytes)
+            }
+            FrameFault::DropConnection => None,
+        }
+    }
+
+    /// The worker script as a service-pluggable hook. Each invocation
+    /// consumes the next index of the worker stream; a scripted panic
+    /// actually panics (the pool's `catch_unwind` turns it into a typed
+    /// error), a scripted stall sleeps.
+    pub fn worker_hook(&self) -> FaultHook {
+        let plan = *self;
+        let calls = Arc::new(AtomicU64::new(0));
+        Arc::new(move |_key| {
+            let i = calls.fetch_add(1, Ordering::SeqCst);
+            match plan.worker_fault(i) {
+                Some(WorkerFault::Panic) => {
+                    panic!("injected fault: worker panic (computation {i})")
+                }
+                Some(WorkerFault::Stall(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        })
+    }
+
+    /// Longest run of consecutive scripted panics in the first `horizon`
+    /// computations — chaos tests size client retry budgets above this so
+    /// a fully-faulted retry chain cannot occur by construction.
+    pub fn max_consecutive_panics(&self, horizon: u64) -> u32 {
+        let (mut longest, mut run) = (0u32, 0u32);
+        for i in 0..horizon {
+            if self.worker_fault(i) == Some(WorkerFault::Panic) {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        longest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a = FaultPlan::new(42);
+        let b = FaultPlan::new(42);
+        for i in 0..2000 {
+            assert_eq!(a.worker_fault(i), b.worker_fault(i));
+            assert_eq!(a.frame_fault(i, 64), b.frame_fault(i, 64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_scripts() {
+        let a = FaultPlan::new(1);
+        let b = FaultPlan::new(2);
+        let differs = (0..500).any(|i| a.worker_fault(i) != b.worker_fault(i));
+        assert!(differs, "seeds 1 and 2 scripted identical worker faults");
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honored() {
+        let plan = FaultPlan::new(7);
+        let n = 10_000u64;
+        let mut panics = 0;
+        let mut stalls = 0;
+        for i in 0..n {
+            match plan.worker_fault(i) {
+                Some(WorkerFault::Panic) => panics += 1,
+                Some(WorkerFault::Stall(_)) => stalls += 1,
+                None => {}
+            }
+        }
+        // 15% ± 5 points, 10% ± 5 points.
+        assert!((1_000..=2_000).contains(&panics), "panics = {panics}");
+        assert!((500..=1_500).contains(&stalls), "stalls = {stalls}");
+    }
+
+    #[test]
+    fn frame_faults_stay_in_bounds() {
+        let plan = FaultPlan::new(3);
+        let frame = br#"{"op":"ping"}"#;
+        for i in 0..2000 {
+            match plan.frame_fault(i, frame.len()) {
+                FrameFault::Intact | FrameFault::DropConnection => {}
+                FrameFault::Truncate { keep } => {
+                    assert!(keep >= 1 && keep < frame.len(), "keep = {keep}");
+                    let sent =
+                        FaultPlan::apply_frame_fault(FrameFault::Truncate { keep }, frame).unwrap();
+                    assert_eq!(&sent[..], &frame[..keep]);
+                }
+                FrameFault::CorruptUtf8 { at } => {
+                    assert!(at < frame.len());
+                    let sent = FaultPlan::apply_frame_fault(FrameFault::CorruptUtf8 { at }, frame)
+                        .unwrap();
+                    assert_eq!(sent.len(), frame.len());
+                    assert_eq!(sent[at], 0xFF);
+                    assert!(String::from_utf8(sent).is_err(), "0xFF must break UTF-8");
+                }
+            }
+        }
+        assert_eq!(
+            FaultPlan::apply_frame_fault(FrameFault::DropConnection, frame),
+            None
+        );
+    }
+
+    #[test]
+    fn degenerate_frames_are_never_mangled() {
+        let plan = FaultPlan::new(9);
+        for i in 0..200 {
+            assert_eq!(plan.frame_fault(i, 0), FrameFault::Intact);
+            assert_eq!(plan.frame_fault(i, 1), FrameFault::Intact);
+        }
+    }
+
+    #[test]
+    fn consecutive_panic_runs_are_measured() {
+        let plan = FaultPlan::new(5);
+        let longest = plan.max_consecutive_panics(5_000);
+        assert!(longest >= 1, "a 15% rate over 5000 draws must repeat");
+        assert!(longest < 12, "astronomically unlikely: {longest}");
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic() {
+        let mut a = Rng64::new(11);
+        let mut b = Rng64::new(11);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let x = Rng64::new(1).next_u64();
+        let y = Rng64::new(2).next_u64();
+        assert_ne!(x, y);
+        let mut r = Rng64::new(13);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

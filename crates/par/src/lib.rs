@@ -24,6 +24,22 @@
 //! call and joined before it returns), so there is no global executor
 //! to shut down and nested parallelism cannot deadlock — inner calls
 //! get their own threads.
+//!
+//! # Fault tolerance
+//!
+//! All primitives are hardened for a long-lived daemon:
+//!
+//! * **Panic isolation** — a panic inside a mapped closure or scoped
+//!   task never kills a pool thread silently: peers finish their work,
+//!   every internal thread is joined, and the first panic payload is
+//!   re-raised on the calling thread.
+//! * **Poison recovery** — internal locks recover from poisoning (the
+//!   guarded state is always updated atomically under the lock), so one
+//!   panicking task cannot wedge subsequent calls.
+//! * **Deadlines** — [`Pool::parallel_map_deadline`] and
+//!   [`BestFirstQueue::pop_deadline`] stop cooperatively at item
+//!   boundaries when a [`Deadline`] expires or its [`CancelToken`]
+//!   fires, returning [`StopReason`] instead of hanging.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +48,7 @@ mod queue;
 mod scope;
 mod stats;
 
+pub use epi_core::{CancelToken, Deadline, StopReason};
 pub use queue::{BestFirstQueue, OrdF64};
 pub use scope::Scope;
 pub use stats::{stats, StatsSnapshot};
@@ -120,6 +137,24 @@ impl Pool {
     {
         map::parallel_map_impl(self.threads, items, &f)
     }
+
+    /// [`Pool::parallel_map`] with a stop condition: workers check the
+    /// [`Deadline`] between items and the call returns `Err(reason)` —
+    /// discarding partial output — once it expires or its token is
+    /// cancelled. An unbounded deadline adds no per-item cost.
+    pub fn parallel_map_deadline<T, U, F>(
+        &self,
+        items: &[T],
+        f: F,
+        deadline: &Deadline,
+    ) -> Result<Vec<U>, StopReason>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        map::parallel_map_deadline_impl(self.threads, items, &f, deadline)
+    }
 }
 
 impl Default for Pool {
@@ -131,6 +166,7 @@ impl Default for Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -191,6 +227,70 @@ mod tests {
             }
         });
         assert_eq!(count.load(Ordering::SeqCst), 8 + 8 * 4);
+    }
+
+    #[test]
+    fn parallel_map_deadline_stops_early() {
+        use std::time::Duration;
+        let items: Vec<u32> = (0..256).collect();
+        let p = Pool::new(4);
+        // Already-expired deadline: no items should survive to output.
+        let d = Deadline::within(Duration::ZERO);
+        let got = p.parallel_map_deadline(&items, |&x| x + 1, &d);
+        assert_eq!(got, Err(StopReason::DeadlineExceeded));
+        // Unbounded deadline: identical to parallel_map.
+        let got = p.parallel_map_deadline(&items, |&x| x + 1, &Deadline::none());
+        let want: Vec<u32> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(got, Ok(want));
+    }
+
+    #[test]
+    fn parallel_map_deadline_observes_cancellation() {
+        let items: Vec<u32> = (0..64).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let d = Deadline::none().with_token(token);
+        let got = Pool::new(2).parallel_map_deadline(&items, |&x| x, &d);
+        assert_eq!(got, Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn parallel_map_panic_propagates_with_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).parallel_map(&items, |&x| {
+                assert!(x != 13, "unlucky item");
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is a string");
+        assert!(msg.contains("unlucky item"), "got: {msg}");
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_after_siblings_ran() {
+        let count = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(2).scope(|s| {
+                for i in 0..16 {
+                    let count = &count;
+                    s.spawn(move |_| {
+                        if i == 3 {
+                            panic!("task blew up");
+                        }
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must surface on the caller");
+        // Isolation: the other 15 tasks all ran despite the panic.
+        assert_eq!(count.load(Ordering::SeqCst), 15);
     }
 
     #[test]

@@ -7,14 +7,30 @@
 //! locality, which matters when items are solver instances whose costs
 //! differ by orders of magnitude — the E8 corpus mixes microsecond
 //! criteria hits with multi-millisecond branch-and-bound runs.
+//!
+//! Fault behavior: a panic in the mapped closure is re-raised on the
+//! calling thread with its original payload (never swallowed, never a
+//! bare `JoinHandle` panic), poisoned span locks are recovered (the span
+//! state is plain bookkeeping that stays consistent), and the
+//! deadline-aware variant stops cooperatively between items, returning
+//! [`StopReason`] instead of a partial output.
 
 use crate::stats;
-use std::sync::Mutex;
+use epi_core::{Deadline, StopReason};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Half-open index range still owned by one worker.
 struct Span {
     lo: usize,
     hi: usize,
+}
+
+/// Lock a span, recovering from poisoning: span state is two indices
+/// mutated atomically under the lock, so a panicking peer cannot leave
+/// it torn.
+fn lock_span(m: &Mutex<Span>) -> std::sync::MutexGuard<'_, Span> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 pub(crate) fn parallel_map_impl<T, U, F>(threads: usize, items: &[T], f: &F) -> Vec<U>
@@ -23,10 +39,32 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    match parallel_map_deadline_impl(threads, items, f, &Deadline::none()) {
+        Ok(out) => out,
+        Err(reason) => unreachable!("unbounded deadline stopped a map: {reason}"),
+    }
+}
+
+pub(crate) fn parallel_map_deadline_impl<T, U, F>(
+    threads: usize,
+    items: &[T],
+    f: &F,
+    deadline: &Deadline,
+) -> Result<Vec<U>, StopReason>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let n = items.len();
     let k = threads.min(n).max(1);
     if k == 1 {
-        return items.iter().map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for item in items {
+            deadline.check()?;
+            out.push(f(item));
+        }
+        return Ok(out);
     }
     stats::record_map();
 
@@ -44,11 +82,30 @@ where
             .collect()
     };
 
+    // Raised by the first worker whose deadline check fails; peers stop
+    // at their next item boundary.
+    let stopped = AtomicBool::new(false);
+    let stop_reason: Mutex<Option<StopReason>> = Mutex::new(None);
+    let bounded = deadline.is_bounded();
+
     let worker = |home: usize| -> Vec<(usize, U)> {
         let mut out = Vec::new();
         loop {
+            if bounded {
+                if stopped.load(Ordering::Relaxed) {
+                    return out;
+                }
+                if let Err(reason) = deadline.check() {
+                    stopped.store(true, Ordering::Relaxed);
+                    stop_reason
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .get_or_insert(reason);
+                    return out;
+                }
+            }
             let next = {
-                let mut span = spans[home].lock().unwrap();
+                let mut span = lock_span(&spans[home]);
                 if span.lo < span.hi {
                     let i = span.lo;
                     span.lo += 1;
@@ -67,7 +124,7 @@ where
                 if v == home {
                     continue;
                 }
-                let span = m.lock().unwrap();
+                let span = lock_span(m);
                 let rem = span.hi - span.lo;
                 if rem > 0 && victim.is_none_or(|(_, best)| rem > best) {
                     victim = Some((v, rem));
@@ -77,7 +134,7 @@ where
                 return out;
             };
             let taken = {
-                let mut span = spans[v].lock().unwrap();
+                let mut span = lock_span(&spans[v]);
                 let rem = span.hi - span.lo;
                 if rem == 0 {
                     continue; // someone beat us to it; rescan
@@ -89,7 +146,7 @@ where
                 stolen
             };
             stats::record_steal();
-            let mut span = spans[home].lock().unwrap();
+            let mut span = lock_span(&spans[home]);
             span.lo = taken.0;
             span.hi = taken.1;
         }
@@ -97,6 +154,7 @@ where
 
     let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|s| {
         let worker = &worker;
         let handles: Vec<_> = (1..k).map(|w| s.spawn(move || worker(w))).collect();
@@ -104,13 +162,28 @@ where
             slots[i] = Some(u);
         }
         for h in handles {
-            for (i, u) in h.join().expect("parallel_map worker panicked") {
-                slots[i] = Some(u);
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, u) in pairs {
+                        slots[i] = Some(u);
+                    }
+                }
+                // Keep the first payload; re-raised below so the panic
+                // surfaces on the caller with its original message.
+                Err(payload) => {
+                    worker_panic.get_or_insert(payload);
+                }
             }
         }
     });
-    slots
+    if let Some(payload) = worker_panic {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(reason) = *stop_reason.lock().unwrap_or_else(PoisonError::into_inner) {
+        return Err(reason);
+    }
+    Ok(slots
         .into_iter()
         .map(|slot| slot.expect("every index mapped exactly once"))
-        .collect()
+        .collect())
 }

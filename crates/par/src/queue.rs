@@ -12,9 +12,21 @@
 //! Priorities are served largest first ([`std::collections::BinaryHeap`]
 //! is a max-heap); ties break toward the oldest push, so a
 //! single-worker run is deterministic.
+//!
+//! Fault behavior: poisoned locks are recovered (heap and counters are
+//! mutated atomically under the lock, never left torn), and
+//! [`BestFirstQueue::pop_deadline`] bounds the blocking wait so a
+//! worker honoring a [`Deadline`] can stop instead of sleeping forever
+//! on a queue whose producers died.
 
+use epi_core::{Deadline, StopReason};
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Longest single sleep inside [`BestFirstQueue::pop_deadline`]: bounds
+/// how stale a cancellation check can get while blocked.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
 
 /// Total order on `f64` via [`f64::total_cmp`], for use as a queue
 /// priority (wrap in [`std::cmp::Reverse`] to serve smallest first).
@@ -92,9 +104,16 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
         }
     }
 
+    /// Lock the queue state, recovering from poisoning: every mutation
+    /// happens in one step under the lock, so a panicking holder cannot
+    /// leave it torn.
+    fn lock(&self) -> MutexGuard<'_, Inner<P, T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Add a work item.
     pub fn push(&self, prio: P, item: T) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.heap.push(Entry { prio, seq, item });
@@ -106,30 +125,58 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
     /// might still produce more. `None` means the search is over:
     /// either globally exhausted or closed.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        match self.pop_deadline(&Deadline::none()) {
+            Ok(item) => item,
+            Err(reason) => unreachable!("unbounded deadline stopped a pop: {reason}"),
+        }
+    }
+
+    /// [`BestFirstQueue::pop`] with a stop condition: returns
+    /// `Err(reason)` once the deadline expires or its token is
+    /// cancelled, instead of blocking until exhaustion. The caller did
+    /// *not* check an item out on the `Err` path (no `item_done` owed).
+    pub fn pop_deadline(&self, deadline: &Deadline) -> Result<Option<T>, StopReason> {
+        let bounded = deadline.is_bounded();
+        let mut inner = self.lock();
         loop {
             if inner.closed {
-                return None;
+                return Ok(None);
+            }
+            if bounded {
+                deadline.check()?;
             }
             if let Some(entry) = inner.heap.pop() {
                 inner.checked_out += 1;
-                return Some(entry.item);
+                return Ok(Some(entry.item));
             }
             if inner.checked_out == 0 {
                 // Exhausted: wake everyone else so they observe it too.
                 drop(inner);
                 self.cv.notify_all();
-                return None;
+                return Ok(None);
             }
-            inner = self.cv.wait(inner).unwrap();
+            inner = if bounded {
+                // Sleep in bounded slices so cancellation and expiry are
+                // noticed even if no producer ever signals again.
+                let slice = match deadline.remaining() {
+                    Some(rem) => rem.min(WAIT_SLICE),
+                    None => WAIT_SLICE,
+                };
+                self.cv
+                    .wait_timeout(inner, slice)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0
+            } else {
+                self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner)
+            };
         }
     }
 
     /// Declare the item from the matching [`BestFirstQueue::pop`] fully
     /// processed (all children pushed). Call exactly once per pop.
     pub fn item_done(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.checked_out -= 1;
+        let mut inner = self.lock();
+        inner.checked_out = inner.checked_out.saturating_sub(1);
         if inner.checked_out == 0 && inner.heap.is_empty() {
             drop(inner);
             self.cv.notify_all();
@@ -138,7 +185,7 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
 
     /// Terminate the search: current and future `pop`s return `None`.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.closed = true;
         drop(inner);
         self.cv.notify_all();
@@ -146,7 +193,7 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
 
     /// Whether [`BestFirstQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        self.lock().closed
     }
 }
 
@@ -218,6 +265,31 @@ mod tests {
         q.close();
         assert_eq!(q.pop(), None);
         assert!(q.is_closed());
+    }
+
+    #[test]
+    fn pop_deadline_times_out_instead_of_blocking() {
+        let q: BestFirstQueue<u32, u32> = BestFirstQueue::new();
+        q.push(1, 1);
+        assert_eq!(q.pop_deadline(&Deadline::none()), Ok(Some(1)));
+        // Item checked out, heap empty: a plain pop would block forever.
+        let d = Deadline::within(Duration::from_millis(20));
+        assert_eq!(q.pop_deadline(&d), Err(StopReason::DeadlineExceeded));
+        // The failed pop checked nothing out; finishing the first item
+        // exhausts the queue.
+        q.item_done();
+        assert_eq!(q.pop_deadline(&Deadline::none()), Ok(None));
+    }
+
+    #[test]
+    fn pop_deadline_observes_cancellation() {
+        use epi_core::CancelToken;
+        let q: BestFirstQueue<u32, u32> = BestFirstQueue::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let d = Deadline::none().with_token(token);
+        q.push(1, 1);
+        assert_eq!(q.pop_deadline(&d), Err(StopReason::Cancelled));
     }
 
     #[test]

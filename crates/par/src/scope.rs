@@ -10,11 +10,24 @@
 //! instead of a lock-free Chase–Lev buffer because the workspace
 //! forbids `unsafe`; tasks here are coarse (a solver wave, an audit
 //! decision), so lock traffic is noise.
+//!
+//! Fault behavior: a panicking task is **isolated** — the worker that
+//! ran it catches the unwind, keeps draining the queue, and the first
+//! panic payload is re-raised on the caller once the scope completes,
+//! so sibling tasks still run and no waiter deadlocks on a dead worker.
+//! Poisoned locks are recovered everywhere (the guarded state — deques
+//! and a wake-up epoch — cannot be left torn by an unwinding holder).
 
 use crate::stats;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock, recovering from poisoning.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A queued task. Receives the scope so it can spawn follow-up work.
 type Job<'env> = Box<dyn for<'a> FnOnce(&'a Scope<'a, 'env>) + Send + 'env>;
@@ -57,11 +70,14 @@ struct Shared<'env> {
     pending: AtomicUsize,
     next_lane: AtomicUsize,
     signal: Signal,
+    /// First panic payload from an isolated task, re-raised on the
+    /// caller after the scope drains.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 /// Decrements `pending` when a task finishes — on the normal path *or*
 /// during unwind, so a panicking task cannot strand the leader in
-/// `drain` (the panic still propagates through the thread join).
+/// `drain` (the panic still propagates through the scope's exit).
 struct PendingGuard<'a, 'env>(&'a Shared<'env>);
 
 impl Drop for PendingGuard<'_, '_> {
@@ -85,12 +101,13 @@ impl<'env> Shared<'env> {
                 }),
                 cv: Condvar::new(),
             },
+            panic: Mutex::new(None),
         }
     }
 
     /// Record a queue change and wake sleepers.
     fn bump(&self) {
-        let mut st = self.signal.lock.lock().unwrap();
+        let mut st = lock(&self.signal.lock);
         st.epoch += 1;
         drop(st);
         self.signal.cv.notify_all();
@@ -98,19 +115,19 @@ impl<'env> Shared<'env> {
 
     fn push(&self, lane: usize, job: Job<'env>) {
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.deques[lane].lock().unwrap().push_back(job);
+        lock(&self.deques[lane]).push_back(job);
         self.bump();
     }
 
     /// Pop from our own deque (LIFO) or steal from another (FIFO).
     fn grab(&self, home: usize) -> Option<Job<'env>> {
-        if let Some(job) = self.deques[home].lock().unwrap().pop_back() {
+        if let Some(job) = lock(&self.deques[home]).pop_back() {
             return Some(job);
         }
         let lanes = self.deques.len();
         for off in 1..lanes {
             let victim = (home + off) % lanes;
-            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+            if let Some(job) = lock(&self.deques[victim]).pop_front() {
                 stats::record_steal();
                 return Some(job);
             }
@@ -121,21 +138,30 @@ impl<'env> Shared<'env> {
     fn run(&self, job: Job<'env>) {
         let _done = PendingGuard(self);
         let scope = Scope { shared: self };
-        job(&scope);
+        // Isolate the task: a panic must not take down the worker (other
+        // queued tasks still need it) — catch, remember the first
+        // payload, keep draining. Re-raised by `run_scope`.
+        if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| job(&scope))) {
+            lock(&self.panic).get_or_insert(payload);
+        }
         stats::record_task();
     }
 
     /// Loop for spawned workers: run tasks until the scope closes.
     fn worker(&self, home: usize) {
         loop {
-            let seen = self.signal.lock.lock().unwrap().epoch;
+            let seen = lock(&self.signal.lock).epoch;
             if let Some(job) = self.grab(home) {
                 self.run(job);
                 continue;
             }
-            let mut st = self.signal.lock.lock().unwrap();
+            let mut st = lock(&self.signal.lock);
             while st.epoch == seen && !st.closed {
-                st = self.signal.cv.wait(st).unwrap();
+                st = self
+                    .signal
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             if st.closed {
                 return;
@@ -146,7 +172,7 @@ impl<'env> Shared<'env> {
     /// Leader loop: run tasks until none are queued *or running*.
     fn drain(&self, home: usize) {
         loop {
-            let seen = self.signal.lock.lock().unwrap().epoch;
+            let seen = lock(&self.signal.lock).epoch;
             if let Some(job) = self.grab(home) {
                 self.run(job);
                 continue;
@@ -154,15 +180,19 @@ impl<'env> Shared<'env> {
             if self.pending.load(Ordering::SeqCst) == 0 {
                 return;
             }
-            let mut st = self.signal.lock.lock().unwrap();
+            let mut st = lock(&self.signal.lock);
             while st.epoch == seen {
-                st = self.signal.cv.wait(st).unwrap();
+                st = self
+                    .signal
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
 
     fn close(&self) {
-        let mut st = self.signal.lock.lock().unwrap();
+        let mut st = lock(&self.signal.lock);
         st.closed = true;
         st.epoch += 1;
         drop(st);
@@ -172,7 +202,7 @@ impl<'env> Shared<'env> {
 
 pub(crate) fn run_scope<'env, T>(threads: usize, f: impl FnOnce(&Scope<'_, 'env>) -> T) -> T {
     let shared = Shared::new(threads.max(1));
-    std::thread::scope(|s| {
+    let out = std::thread::scope(|s| {
         for w in 1..threads {
             let shared = &shared;
             s.spawn(move || shared.worker(w));
@@ -182,5 +212,11 @@ pub(crate) fn run_scope<'env, T>(threads: usize, f: impl FnOnce(&Scope<'_, 'env>
         shared.drain(0);
         shared.close();
         out
-    })
+    });
+    // Every task ran (drain saw pending reach zero); if any panicked,
+    // surface the first payload now that the scope is fully joined.
+    if let Some(payload) = lock(&shared.panic).take() {
+        std::panic::resume_unwind(payload);
+    }
+    out
 }

@@ -10,7 +10,7 @@
 use epi_audit::{Decision, PriorAssumption};
 use epi_core::WorldSet;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The canonical identity of one safety decision.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -55,9 +55,16 @@ impl VerdictCache {
         }
     }
 
+    /// Lock the cache, recovering from poisoning: map/recency/tick are
+    /// kept mutually consistent within each critical section, so a
+    /// panicking holder cannot leave them torn.
+    fn lock(&self) -> MutexGuard<'_, LruInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up a decision, marking it most-recently-used on a hit.
     pub fn get(&self, key: &DecisionKey) -> Option<Decision> {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         let slot = inner.map.get_mut(key)?;
@@ -74,7 +81,7 @@ impl VerdictCache {
         if self.capacity == 0 {
             return 0;
         }
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(slot) = inner.map.get_mut(&key) {
@@ -104,7 +111,7 @@ impl VerdictCache {
 
     /// Number of cached decisions.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock poisoned").map.len()
+        self.lock().map.len()
     }
 
     /// `true` iff the cache is empty.
@@ -132,6 +139,7 @@ mod tests {
             explanation: tag.to_owned(),
             stage: None,
             boxes_processed: 0,
+            undecided: None,
         }
     }
 

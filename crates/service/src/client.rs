@@ -3,15 +3,31 @@
 //!
 //! Both expose the same convenience calls, so tests and benchmarks can
 //! swap transports without touching call sites.
+//!
+//! # Retries
+//!
+//! Both clients accept a [`RetryPolicy`]: capped exponential backoff with
+//! *deterministic* jitter (a seeded xorshift stream, so a replayed
+//! workload backs off identically run to run). Retries re-send the same
+//! request under the same generated request id — the server's dedupe
+//! window turns a retry of an already-settled request into a replay of
+//! the stored response, making retries idempotent even for disclosures.
+//!
+//! What retries: transport failures (the TCP client reconnects first)
+//! and errors the server marks retryable ([`ErrorCode::Overloaded`],
+//! [`ErrorCode::WorkerFailed`]). What does not: bad requests (they can
+//! never succeed), [`ErrorCode::DeadlineExceeded`] (the budget was the
+//! caller's), and [`ErrorCode::Shutdown`] (this instance is going away).
 
 use crate::metrics::Snapshot;
-use crate::proto::{Request, Response};
+use crate::proto::{ErrorCode, Request, RequestMeta, Response};
 use crate::service::AuditService;
 use epi_audit::auditor::ReportEntry;
 use epi_json::{Deserialize, Json, Serialize};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -22,7 +38,14 @@ pub enum ClientError {
     /// unexpected response kind.
     Protocol(String),
     /// The service answered with an `error` response.
-    Remote(String),
+    Remote {
+        /// Machine-readable classification.
+        code: ErrorCode,
+        /// Human-readable reason.
+        message: String,
+        /// Server backoff hint, when given.
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -30,7 +53,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Remote(m) => write!(f, "service error: {m}"),
+            ClientError::Remote { code, message, .. } => {
+                write!(f, "service error ({}): {message}", code.as_str())
+            }
         }
     }
 }
@@ -40,6 +65,96 @@ impl std::error::Error for ClientError {}
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
         ClientError::Io(e)
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per
+    /// retry.
+    pub base_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream *and* the request-id prefix. Two
+    /// clients with the same seed issue the same ids and the same
+    /// backoff schedule — by design, for reproducible harness runs.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_ms: 10,
+            cap_ms: 500,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Retry state carried by a client: the jitter RNG and the id counter.
+#[derive(Clone, Debug)]
+struct RetryState {
+    policy: RetryPolicy,
+    rng: u64,
+    next_id: u64,
+}
+
+impl RetryState {
+    fn new(policy: RetryPolicy) -> RetryState {
+        RetryState {
+            policy,
+            // xorshift needs a nonzero state.
+            rng: policy.seed | 1,
+            next_id: 0,
+        }
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("{:x}-{}", self.policy.seed, self.next_id)
+    }
+
+    /// Deterministic jitter factor in `[0.5, 1.0)` (xorshift64*).
+    fn jitter(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let sample = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        0.5 + sample / 2.0
+    }
+
+    /// The delay before retry number `retry` (0-based), honoring the
+    /// server's hint when it is larger than the local schedule.
+    fn backoff(&mut self, retry: u32, server_hint_ms: Option<u64>) -> Duration {
+        let exp = self
+            .policy
+            .base_ms
+            .saturating_mul(1u64 << retry.min(16))
+            .min(self.policy.cap_ms);
+        let jittered = (exp as f64 * self.jitter()) as u64;
+        Duration::from_millis(jittered.max(server_hint_ms.unwrap_or(0)))
+    }
+}
+
+/// Whether this failure is worth another attempt.
+fn retryable(error: &ClientError) -> bool {
+    match error {
+        ClientError::Io(_) => true,
+        ClientError::Protocol(_) => false,
+        ClientError::Remote { code, .. } => code.is_retryable(),
+    }
+}
+
+fn server_hint(error: &ClientError) -> Option<u64> {
+    match error {
+        ClientError::Remote { retry_after_ms, .. } => *retry_after_ms,
+        _ => None,
     }
 }
 
@@ -55,13 +170,25 @@ pub enum AuditOutcome {
     },
 }
 
+fn remote_error(code: ErrorCode, message: String, retry_after_ms: Option<u64>) -> ClientError {
+    ClientError::Remote {
+        code,
+        message,
+        retry_after_ms,
+    }
+}
+
 fn expect_outcome(response: Response) -> Result<AuditOutcome, ClientError> {
     match response {
         Response::Entry(entry) => Ok(AuditOutcome::Entry(entry)),
         Response::NoCumulative { disclosures, .. } => {
             Ok(AuditOutcome::NoCumulative { disclosures })
         }
-        Response::Error { message } => Err(ClientError::Remote(message)),
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response {other:?}"
         ))),
@@ -71,7 +198,11 @@ fn expect_outcome(response: Response) -> Result<AuditOutcome, ClientError> {
 fn expect_stats(response: Response) -> Result<Snapshot, ClientError> {
     match response {
         Response::Stats(snapshot) => Ok(*snapshot),
-        Response::Error { message } => Err(ClientError::Remote(message)),
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response {other:?}"
         ))),
@@ -120,38 +251,124 @@ macro_rules! convenience_calls {
     };
 }
 
+/// Converts an error-kind response into `Err` so the retry loop can
+/// classify it; all other kinds pass through.
+fn reject_errors(response: Response) -> Result<Response, ClientError> {
+    match response {
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
+        other => Ok(other),
+    }
+}
+
+/// Shared retry loop: `attempt(id)` performs one exchange.
+fn call_with_retries(
+    state: &mut Option<RetryState>,
+    mut attempt: impl FnMut(Option<&str>) -> Result<Response, ClientError>,
+) -> Result<Response, ClientError> {
+    let Some(state) = state.as_mut() else {
+        // No policy: single attempt, no envelope (legacy behaviour).
+        return attempt(None);
+    };
+    let id = state.fresh_id();
+    let max = state.policy.max_attempts.max(1);
+    let mut last = None;
+    for retry in 0..max {
+        if retry > 0 {
+            let hint = last.as_ref().and_then(server_hint);
+            std::thread::sleep(state.backoff(retry - 1, hint));
+        }
+        match attempt(Some(&id)).and_then(reject_errors) {
+            Ok(response) => return Ok(response),
+            Err(e) if retryable(&e) && retry + 1 < max => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("loop stores the error before every retry"))
+}
+
 /// A blocking TCP client: one request line out, one response line in.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    addr: SocketAddr,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+    retry: Option<RetryState>,
 }
 
 impl Client {
     /// Connects to a running [`crate::server::Server`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
-            reader,
-            writer: stream,
-        })
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".to_owned()))?;
+        let mut client = Client {
+            addr,
+            conn: None,
+            retry: None,
+        };
+        client.reconnect()?;
+        Ok(client)
     }
 
-    /// Sends one request and reads one response.
-    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let mut line = request.to_json().render();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        let mut answer = String::new();
-        let n = self.reader.read_line(&mut answer)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("connection closed".to_owned()));
+    /// Enables retries under `policy`. Requests then carry generated ids
+    /// (`"{seed:x}-{n}"`), and transport failures trigger a reconnect
+    /// before the next attempt.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = Some(RetryState::new(policy));
+        self
+    }
+
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some((reader, stream));
+        Ok(())
+    }
+
+    fn exchange(&mut self, request: &Request, id: Option<&str>) -> Result<Response, ClientError> {
+        if self.conn.is_none() {
+            self.reconnect()?;
         }
-        let value = Json::parse(answer.trim_end())
-            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {}", e.message)))?;
-        Response::from_json(&value)
-            .map_err(|e| ClientError::Protocol(format!("bad response: {}", e.message)))
+        let meta = RequestMeta {
+            id: id.map(str::to_owned),
+            deadline_ms: None,
+        };
+        let mut line = meta.decorate(request.to_json()).render();
+        line.push('\n');
+        let result = (|| {
+            let (reader, writer) = self.conn.as_mut().expect("connected above");
+            writer.write_all(line.as_bytes())?;
+            writer.flush()?;
+            let mut answer = String::new();
+            let n = reader.read_line(&mut answer)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("connection closed".to_owned()));
+            }
+            let value = Json::parse(answer.trim_end())
+                .map_err(|e| ClientError::Protocol(format!("bad response JSON: {}", e.message)))?;
+            Response::from_json(&value)
+                .map_err(|e| ClientError::Protocol(format!("bad response: {}", e.message)))
+        })();
+        if matches!(
+            &result,
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))
+        ) {
+            // The stream can be mid-frame; next attempt starts clean.
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Sends one request and reads one response, applying the retry
+    /// policy when one was configured ([`Client::with_retry`]).
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut retry = self.retry.take();
+        let result = call_with_retries(&mut retry, |id| self.exchange(request, id));
+        self.retry = retry;
+        result
     }
 
     convenience_calls!();
@@ -162,18 +379,158 @@ impl Client {
 #[derive(Clone)]
 pub struct LocalClient {
     service: Arc<AuditService>,
+    retry: Option<RetryState>,
 }
 
 impl LocalClient {
     /// Wraps a shared service.
     pub fn new(service: Arc<AuditService>) -> LocalClient {
-        LocalClient { service }
+        LocalClient {
+            service,
+            retry: None,
+        }
     }
 
-    /// Dispatches one request directly.
+    /// Enables retries under `policy` (see [`Client::with_retry`]).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> LocalClient {
+        self.retry = Some(RetryState::new(policy));
+        self
+    }
+
+    /// Dispatches one request directly, applying the retry policy when
+    /// one was configured.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        Ok(self.service.handle(request))
+        let service = Arc::clone(&self.service);
+        let mut retry = self.retry.take();
+        let result = call_with_retries(&mut retry, |id| {
+            let meta = RequestMeta {
+                id: id.map(str::to_owned),
+                deadline_ms: None,
+            };
+            Ok(service.handle_with_meta(request, &meta))
+        });
+        self.retry = retry;
+        result
     }
 
     convenience_calls!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut a = RetryState::new(RetryPolicy::default());
+        let mut b = RetryState::new(RetryPolicy::default());
+        for _ in 0..100 {
+            let (x, y) = (a.jitter(), b.jitter());
+            assert_eq!(x, y, "same seed, same stream");
+            assert!((0.5..1.0).contains(&x), "jitter {x} out of range");
+        }
+        let mut c = RetryState::new(RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        });
+        assert_ne!(a.jitter(), c.jitter(), "different seeds diverge");
+    }
+
+    #[test]
+    fn backoff_grows_honors_cap_and_server_hint() {
+        let mut s = RetryState::new(RetryPolicy {
+            max_attempts: 5,
+            base_ms: 100,
+            cap_ms: 300,
+            seed: 3,
+        });
+        let d0 = s.backoff(0, None);
+        assert!(d0 >= Duration::from_millis(50) && d0 < Duration::from_millis(100));
+        let d3 = s.backoff(3, None);
+        assert!(
+            d3 <= Duration::from_millis(300),
+            "cap respected, got {d3:?}"
+        );
+        let hinted = s.backoff(0, Some(450));
+        assert!(hinted >= Duration::from_millis(450), "server hint wins");
+    }
+
+    #[test]
+    fn ids_are_unique_per_client_and_stable_per_seed() {
+        let mut s = RetryState::new(RetryPolicy {
+            seed: 0xAB,
+            ..RetryPolicy::default()
+        });
+        assert_eq!(s.fresh_id(), "ab-1");
+        assert_eq!(s.fresh_id(), "ab-2");
+        let mut t = RetryState::new(RetryPolicy {
+            seed: 0xAB,
+            ..RetryPolicy::default()
+        });
+        assert_eq!(t.fresh_id(), "ab-1", "same seed, same id sequence");
+    }
+
+    #[test]
+    fn non_retryable_remote_errors_surface_immediately() {
+        use epi_audit::{PriorAssumption, Schema};
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let service = Arc::new(AuditService::new(
+            schema,
+            crate::service::ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 1,
+                ..Default::default()
+            },
+        ));
+        let mut client = LocalClient::new(service).with_retry(RetryPolicy::default());
+        let err = client
+            .disclose("alice", 1, "no_such_record", 0, "hiv_pos")
+            .unwrap_err();
+        let ClientError::Remote { code, .. } = err else {
+            panic!("expected remote error, got {err:?}");
+        };
+        assert_eq!(code, ErrorCode::BadRequest);
+        // Exactly one request hit the service: bad requests never retry.
+        assert_eq!(client.service.metrics().requests, 1);
+    }
+
+    #[test]
+    fn retryable_failures_are_retried_to_success() {
+        use crate::worker::FaultHook;
+        use epi_audit::{PriorAssumption, Schema};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // First two computations panic; the third succeeds.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hook_hits = Arc::clone(&hits);
+        let hook: FaultHook = Arc::new(move |_k| {
+            if hook_hits.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("injected panic");
+            }
+        });
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let service = Arc::new(AuditService::with_fault_hook(
+            schema,
+            crate::service::ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 1,
+                ..Default::default()
+            },
+            Some(hook),
+        ));
+        let mut client = LocalClient::new(service).with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_ms: 1,
+            cap_ms: 5,
+            seed: 11,
+        });
+        let outcome = client
+            .disclose("mallory", 1, "hiv_pos", 0b11, "hiv_pos")
+            .unwrap();
+        let AuditOutcome::Entry(entry) = outcome else {
+            panic!("expected entry");
+        };
+        assert_eq!(entry.finding, epi_audit::Finding::Flagged);
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "two failures, one success");
+        assert_eq!(client.service.metrics().worker_respawns, 2);
+    }
 }

@@ -23,6 +23,17 @@
 //! * [`service`] — the in-process engine tying the above together;
 //! * [`server`] / [`client`] — a TCP front-end and both TCP and
 //!   in-process clients.
+//!
+//! # Fault tolerance
+//!
+//! The daemon is built to degrade, not hang: requests carry deadlines
+//! and time out *fail-closed* (an undecided safety question is never
+//! reported safe); worker panics are isolated per request
+//! ([`worker::DecideError::WorkerFailed`]) and counted as respawns; a
+//! full decision queue can shed load with a retryable `overloaded`
+//! error; clients retry with seeded, deterministic backoff under
+//! idempotent request ids ([`client::RetryPolicy`]); and every internal
+//! lock recovers from poisoning so one crash cannot wedge the service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,10 +48,10 @@ pub mod session;
 pub mod worker;
 
 pub use cache::{DecisionKey, VerdictCache};
-pub use client::{AuditOutcome, Client, ClientError, LocalClient};
+pub use client::{AuditOutcome, Client, ClientError, LocalClient, RetryPolicy};
 pub use metrics::{Metrics, Snapshot};
-pub use proto::{Request, Response};
-pub use server::Server;
+pub use proto::{ErrorCode, Request, RequestMeta, Response};
+pub use server::{Server, ServerOptions};
 pub use service::{AuditService, ServiceConfig};
 pub use session::{Session, SessionStore};
-pub use worker::DecisionPool;
+pub use worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};

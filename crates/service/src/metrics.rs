@@ -80,6 +80,15 @@ pub struct Metrics {
     /// Microseconds spent in decisions that ran the branch-and-bound
     /// (criterion-only decisions are excluded so boxes/sec stays honest).
     pub solver_micros: AtomicU64,
+    /// Worker iterations that caught a solver panic and kept serving —
+    /// each one is a logical worker respawn.
+    pub worker_respawns: AtomicU64,
+    /// Requests rejected with `overloaded` because the decision queue was
+    /// full in shed mode.
+    pub shed_requests: AtomicU64,
+    /// Decisions that came back undecided because their deadline expired
+    /// or the daemon was draining (always reported as *not* safe).
+    pub deadline_exceeded: AtomicU64,
     stages: [StageStats; STAGE_SLOTS],
 }
 
@@ -133,6 +142,9 @@ impl Metrics {
             queue_high_water: read(&self.queue_high_water),
             solver_boxes: read(&self.solver_boxes),
             solver_micros: read(&self.solver_micros),
+            worker_respawns: read(&self.worker_respawns),
+            shed_requests: read(&self.shed_requests),
+            deadline_exceeded: read(&self.deadline_exceeded),
             pool_workers: epi_par::Pool::global().threads() as u64,
             pool_tasks: epi_par::stats().tasks_executed,
             pool_steals: epi_par::stats().steals,
@@ -177,6 +189,12 @@ pub struct Snapshot {
     pub solver_boxes: u64,
     /// Wall micros of the decisions that ran the branch-and-bound.
     pub solver_micros: u64,
+    /// Worker iterations that recovered from a solver panic.
+    pub worker_respawns: u64,
+    /// Requests shed with `overloaded` under queue pressure.
+    pub shed_requests: u64,
+    /// Decisions undecided because of deadline expiry or shutdown.
+    pub deadline_exceeded: u64,
     /// Worker threads in the process-wide [`epi_par`] solver pool.
     pub pool_workers: u64,
     /// Tasks the solver pool has executed (process lifetime).
@@ -258,6 +276,9 @@ impl Serialize for Snapshot {
             ("queue_high_water", Json::from(self.queue_high_water)),
             ("solver_boxes", Json::from(self.solver_boxes)),
             ("solver_micros", Json::from(self.solver_micros)),
+            ("worker_respawns", Json::from(self.worker_respawns)),
+            ("shed_requests", Json::from(self.shed_requests)),
+            ("deadline_exceeded", Json::from(self.deadline_exceeded)),
             ("pool_workers", Json::from(self.pool_workers)),
             ("pool_tasks", Json::from(self.pool_tasks)),
             ("pool_steals", Json::from(self.pool_steals)),
@@ -285,6 +306,10 @@ impl Deserialize for Snapshot {
             // Absent in snapshots from pre-parallel-engine daemons.
             solver_boxes: opt_field(v, "solver_boxes")?.unwrap_or(0),
             solver_micros: opt_field(v, "solver_micros")?.unwrap_or(0),
+            // Absent in snapshots from pre-fault-tolerance daemons.
+            worker_respawns: opt_field(v, "worker_respawns")?.unwrap_or(0),
+            shed_requests: opt_field(v, "shed_requests")?.unwrap_or(0),
+            deadline_exceeded: opt_field(v, "deadline_exceeded")?.unwrap_or(0),
             pool_workers: opt_field(v, "pool_workers")?.unwrap_or(0),
             pool_tasks: opt_field(v, "pool_tasks")?.unwrap_or(0),
             pool_steals: opt_field(v, "pool_steals")?.unwrap_or(0),
@@ -349,6 +374,9 @@ mod tests {
                     k.as_str(),
                     "solver_boxes"
                         | "solver_micros"
+                        | "worker_respawns"
+                        | "shed_requests"
+                        | "deadline_exceeded"
                         | "pool_workers"
                         | "pool_tasks"
                         | "pool_steals"

@@ -4,9 +4,26 @@
 //! Each line on a connection is one JSON object. Requests carry an `"op"`
 //! tag, responses a `"kind"` tag. A worked example lives in
 //! `docs/PROTOCOL.md` at the repository root.
+//!
+//! # Fault-tolerance envelope
+//!
+//! Requests may carry two optional members next to the `"op"` tag
+//! ([`RequestMeta`]):
+//!
+//! * `"id"` — an opaque client-chosen request identifier. The server
+//!   echoes it on the response line and uses it to de-duplicate retries
+//!   of non-retryable outcomes, making retries idempotent.
+//! * `"deadline_ms"` — a wall-clock budget for the decision behind this
+//!   request. Expired decisions fail *closed* (inconclusive, never
+//!   `safe`).
+//!
+//! Error responses carry a machine-readable [`ErrorCode`] and, when the
+//! error is retryable, a `"retry_after_ms"` hint. Both are omitted from
+//! plain bad-request errors so pre-fault-tolerance response lines stay
+//! byte-identical.
 
 use epi_audit::auditor::ReportEntry;
-use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
 
 use crate::metrics::Snapshot;
 
@@ -41,6 +58,45 @@ pub enum Request {
     Stats,
     /// Liveness check.
     Ping,
+}
+
+/// Optional per-request envelope members, parsed from the same JSON
+/// object as the [`Request`] itself. Absent members are `None`; a request
+/// without any envelope members is handled exactly as before the
+/// envelope existed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RequestMeta {
+    /// Client-chosen request identifier, echoed on the response line and
+    /// used for idempotent retry de-duplication.
+    pub id: Option<String>,
+    /// Wall-clock budget for the decision, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl RequestMeta {
+    /// Extracts the envelope from a request object. Missing members are
+    /// fine; present-but-mistyped members are a protocol error.
+    pub fn from_json(v: &Json) -> Result<RequestMeta, JsonError> {
+        Ok(RequestMeta {
+            id: opt_field(v, "id")?,
+            deadline_ms: opt_field(v, "deadline_ms")?,
+        })
+    }
+
+    /// Appends the envelope members to an encoded request object (the
+    /// client-side counterpart of [`RequestMeta::from_json`]).
+    pub fn decorate(&self, encoded: Json) -> Json {
+        let Json::Obj(mut members) = encoded else {
+            return encoded;
+        };
+        if let Some(id) = &self.id {
+            members.push(("id".to_owned(), Json::from(id.as_str())));
+        }
+        if let Some(ms) = self.deadline_ms {
+            members.push(("deadline_ms".to_owned(), Json::from(ms)));
+        }
+        Json::Obj(members)
+    }
 }
 
 impl Serialize for Request {
@@ -92,6 +148,65 @@ impl Deserialize for Request {
     }
 }
 
+/// Machine-readable classification of an `error` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request itself was invalid (bad JSON, unknown op, unparsable
+    /// query, state mask out of range, out-of-order disclosure…).
+    /// Retrying the identical request cannot succeed.
+    #[default]
+    BadRequest,
+    /// The decision queue was full under load-shedding; retry after the
+    /// hinted backoff.
+    Overloaded,
+    /// The request's deadline expired before a decision was attempted.
+    /// The caller set the budget, so retrying with the same budget is
+    /// unlikely to help; treat as an inconclusive (unsafe) outcome.
+    DeadlineExceeded,
+    /// The decision computation failed (worker panic). Possibly
+    /// transient; retryable.
+    WorkerFailed,
+    /// The service is draining; do not retry against this instance.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// Stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::WorkerFailed => "worker_failed",
+            ErrorCode::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether a client retry of the same request can succeed.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::WorkerFailed)
+    }
+}
+
+impl Serialize for ErrorCode {
+    fn to_json(&self) -> Json {
+        Json::from(self.as_str())
+    }
+}
+
+impl Deserialize for ErrorCode {
+    fn from_json(v: &Json) -> Result<ErrorCode, JsonError> {
+        match v.as_str() {
+            Some("bad_request") => Ok(ErrorCode::BadRequest),
+            Some("overloaded") => Ok(ErrorCode::Overloaded),
+            Some("deadline_exceeded") => Ok(ErrorCode::DeadlineExceeded),
+            Some("worker_failed") => Ok(ErrorCode::WorkerFailed),
+            Some("shutdown") => Ok(ErrorCode::Shutdown),
+            _ => Err(JsonError::decode("unknown error code")),
+        }
+    }
+}
+
 /// One protocol response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -111,11 +226,47 @@ pub enum Response {
     Stats(Box<Snapshot>),
     /// The request could not be served.
     Error {
+        /// Machine-readable classification.
+        code: ErrorCode,
         /// Human-readable reason.
         message: String,
+        /// Backoff hint, set on retryable errors (currently
+        /// [`ErrorCode::Overloaded`]).
+        retry_after_ms: Option<u64>,
     },
     /// Reply to [`Request::Ping`].
     Pong,
+}
+
+impl Response {
+    /// A plain [`ErrorCode::BadRequest`] error.
+    pub fn bad_request(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Whether a retry of the originating request could change the
+    /// outcome. Findings and bad requests are final; only explicitly
+    /// retryable errors are not.
+    pub fn is_retryable_error(&self) -> bool {
+        matches!(self, Response::Error { code, .. } if code.is_retryable())
+    }
+
+    /// Encodes the response, echoing the client's request id when one was
+    /// supplied ([`RequestMeta::id`]).
+    pub fn to_json_with_id(&self, id: Option<&str>) -> Json {
+        let encoded = self.to_json();
+        match (id, encoded) {
+            (Some(id), Json::Obj(mut members)) => {
+                members.push(("id".to_owned(), Json::from(id)));
+                Json::Obj(members)
+            }
+            (_, encoded) => encoded,
+        }
+    }
 }
 
 impl Serialize for Response {
@@ -132,10 +283,25 @@ impl Serialize for Response {
             Response::Stats(snapshot) => {
                 Json::obj([("kind", Json::from("stats")), ("stats", snapshot.to_json())])
             }
-            Response::Error { message } => Json::obj([
-                ("kind", Json::from("error")),
-                ("message", Json::from(message.as_str())),
-            ]),
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => {
+                let mut members = vec![
+                    ("kind", Json::from("error")),
+                    ("message", Json::from(message.as_str())),
+                ];
+                // Both omitted on plain bad requests so legacy error
+                // lines stay byte-identical.
+                if *code != ErrorCode::BadRequest {
+                    members.push(("code", code.to_json()));
+                }
+                if let Some(ms) = retry_after_ms {
+                    members.push(("retry_after_ms", Json::from(*ms)));
+                }
+                Json::obj(members)
+            }
             Response::Pong => Json::obj([("kind", Json::from("pong"))]),
         }
     }
@@ -151,7 +317,9 @@ impl Deserialize for Response {
             }),
             "stats" => Ok(Response::Stats(Box::new(field(v, "stats")?))),
             "error" => Ok(Response::Error {
+                code: opt_field(v, "code")?.unwrap_or_default(),
                 message: field(v, "message")?,
+                retry_after_ms: opt_field(v, "retry_after_ms")?,
             }),
             "pong" => Ok(Response::Pong),
             other => Err(JsonError::decode(format!("unknown kind {other:?}"))),
@@ -202,8 +370,16 @@ mod tests {
                 user: "alice".to_owned(),
                 disclosures: 1,
             },
+            Response::bad_request("unknown record `zzz`"),
             Response::Error {
-                message: "unknown record `zzz`".to_owned(),
+                code: ErrorCode::Overloaded,
+                message: "decision queue is full".to_owned(),
+                retry_after_ms: Some(50),
+            },
+            Response::Error {
+                code: ErrorCode::WorkerFailed,
+                message: "decision worker failed".to_owned(),
+                retry_after_ms: None,
             },
             Response::Pong,
         ];
@@ -211,6 +387,65 @@ mod tests {
             let j = Json::parse(&r.to_json().render()).unwrap();
             assert_eq!(Response::from_json(&j).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn bad_request_errors_keep_the_legacy_wire_shape() {
+        let line = Response::bad_request("nope").to_json().render();
+        assert_eq!(line, r#"{"kind":"error","message":"nope"}"#);
+        // And the legacy shape parses back (absent code defaults).
+        let j = Json::parse(r#"{"kind":"error","message":"old daemon"}"#).unwrap();
+        let Response::Error { code, .. } = Response::from_json(&j).unwrap() else {
+            panic!("expected error");
+        };
+        assert_eq!(code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn meta_parses_leniently_and_decorates() {
+        let bare = Json::parse(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(
+            RequestMeta::from_json(&bare).unwrap(),
+            RequestMeta::default()
+        );
+
+        let meta = RequestMeta {
+            id: Some("c0ffee-7".to_owned()),
+            deadline_ms: Some(250),
+        };
+        let line = meta.decorate(Request::Ping.to_json()).render();
+        assert_eq!(line, r#"{"op":"ping","id":"c0ffee-7","deadline_ms":250}"#);
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(Request::from_json(&parsed).unwrap(), Request::Ping);
+        assert_eq!(RequestMeta::from_json(&parsed).unwrap(), meta);
+
+        // Present-but-mistyped members are a protocol error, not a panic.
+        let bad = Json::parse(r#"{"op":"ping","deadline_ms":"soon"}"#).unwrap();
+        assert!(RequestMeta::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn responses_echo_request_ids() {
+        let line = Response::Pong.to_json_with_id(Some("ab-1")).render();
+        assert_eq!(line, r#"{"kind":"pong","id":"ab-1"}"#);
+        let without = Response::Pong.to_json_with_id(None).render();
+        assert_eq!(without, r#"{"kind":"pong"}"#);
+    }
+
+    #[test]
+    fn retryability_follows_the_code() {
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::WorkerFailed.is_retryable());
+        assert!(!ErrorCode::BadRequest.is_retryable());
+        assert!(!ErrorCode::DeadlineExceeded.is_retryable());
+        assert!(!ErrorCode::Shutdown.is_retryable());
+        assert!(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: String::new(),
+            retry_after_ms: Some(50),
+        }
+        .is_retryable_error());
+        assert!(!Response::bad_request("x").is_retryable_error());
     }
 
     #[test]

@@ -1,18 +1,52 @@
 //! Newline-delimited JSON over TCP, std threads only.
 //!
 //! One acceptor thread, one thread per connection. Each request line is
-//! parsed, dispatched through [`AuditService::handle`], and answered with
-//! one response line. Malformed lines produce an `error` response on the
-//! same connection rather than tearing it down.
+//! parsed, dispatched through [`AuditService::handle_with_meta`], and
+//! answered with one response line. Malformed lines produce an `error`
+//! response on the same connection rather than tearing it down.
+//!
+//! # Fault tolerance
+//!
+//! Accepted sockets get read/write timeouts so a dead or silent peer
+//! cannot pin a connection thread forever, request lines are length-
+//! bounded so one hostile client cannot balloon memory, accept-loop
+//! errors are non-fatal, and finished connection handles are pruned as
+//! the server runs (no unbounded growth under connection churn).
 
-use crate::proto::{Request, Response};
+use crate::proto::{Request, RequestMeta, Response};
 use crate::service::AuditService;
 use epi_json::{Deserialize, Json, Serialize};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Socket-level tunables of a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Read timeout on accepted connections: an idle peer is disconnected
+    /// after this long (`None` = wait forever, the pre-fault-tolerance
+    /// behaviour).
+    pub read_timeout: Option<Duration>,
+    /// Write timeout on accepted connections.
+    pub write_timeout: Option<Duration>,
+    /// Maximum request-line length in bytes; longer lines get an error
+    /// response and the connection is closed (the remainder of an
+    /// oversized line cannot be resynchronized reliably).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            read_timeout: Some(Duration::from_secs(60)),
+            write_timeout: Some(Duration::from_secs(60)),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
 
 /// A running TCP front-end over an [`AuditService`].
 pub struct Server {
@@ -24,8 +58,17 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port) and starts
-    /// accepting connections.
+    /// accepting connections, with default [`ServerOptions`].
     pub fn spawn(service: Arc<AuditService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Self::spawn_with(service, addr, ServerOptions::default())
+    }
+
+    /// [`Server::spawn`] with explicit socket options.
+    pub fn spawn_with(
+        service: Arc<AuditService>,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -38,13 +81,15 @@ impl Server {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
+                    // Transient accept failures (EMFILE, aborted
+                    // handshakes…) must not kill the daemon.
                     let Ok(stream) = stream else { continue };
                     let service = Arc::clone(&service);
-                    let handle = std::thread::spawn(move || handle_connection(&service, stream));
-                    connections
-                        .lock()
-                        .expect("connection registry poisoned")
-                        .push(handle);
+                    let handle =
+                        std::thread::spawn(move || handle_connection(&service, stream, options));
+                    let mut registry = connections.lock().unwrap_or_else(PoisonError::into_inner);
+                    registry.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    registry.push(handle);
                 }
             })
         };
@@ -63,7 +108,7 @@ impl Server {
 
     /// Stops accepting, waits for the acceptor and every connection
     /// thread to finish. Clients should have disconnected first;
-    /// connection threads run until their peer closes.
+    /// connection threads run until their peer closes or times out.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -80,7 +125,7 @@ impl Server {
         let handles: Vec<_> = self
             .connections
             .lock()
-            .expect("connection registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
             .collect();
         for h in handles {
@@ -95,27 +140,74 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(service: &AuditService, stream: TcpStream) {
+/// Reads one `\n`-terminated line of at most `limit` bytes.
+///
+/// `Ok(Some(line))` on success, `Ok(None)` at EOF or timeout,
+/// `Err(())` when the line exceeded the limit (protocol violation).
+fn read_bounded_line(
+    reader: &mut std::io::Take<BufReader<TcpStream>>,
+    limit: usize,
+) -> Result<Option<String>, ()> {
+    reader.set_limit(limit as u64 + 1);
+    let mut buf = Vec::new();
+    match reader.read_until(b'\n', &mut buf) {
+        Ok(0) => Ok(None),
+        Ok(_) => {
+            if buf.last() != Some(&b'\n') && buf.len() > limit {
+                // The limit cut the read before any newline: oversized.
+                return Err(());
+            }
+            Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+        }
+        // Timeouts surface as WouldBlock (unix) or TimedOut (windows);
+        // either way the peer went silent past the grace period.
+        Err(_) => Ok(None),
+    }
+}
+
+fn handle_connection(service: &AuditService, stream: TcpStream, options: ServerOptions) {
+    // Best-effort: a socket that rejects timeout configuration still
+    // serves, it just keeps the old wait-forever behaviour.
+    let _ = stream.set_read_timeout(options.read_timeout);
+    let _ = stream.set_write_timeout(options.write_timeout);
     let Ok(peer) = stream.try_clone() else { return };
-    let reader = BufReader::new(peer);
+    let mut reader = BufReader::new(peer).take(0);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match read_bounded_line(&mut reader, options.max_line_bytes) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(()) => {
+                let refusal = Response::bad_request(format!(
+                    "request line exceeds {} bytes",
+                    options.max_line_bytes
+                ));
+                let mut out = refusal.to_json().render();
+                out.push('\n');
+                let _ = writer.write_all(out.as_bytes());
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let response = match Json::parse(&line) {
-            Ok(value) => match Request::from_json(&value) {
-                Ok(request) => service.handle(&request),
-                Err(e) => Response::Error {
-                    message: format!("bad request: {}", e.message),
-                },
-            },
-            Err(e) => Response::Error {
-                message: format!("bad JSON at byte {}: {}", e.offset, e.message),
-            },
+        let (response, id) = match Json::parse(line.trim_end_matches(['\n', '\r'])) {
+            Ok(value) => {
+                // The envelope is read even when the op is bad, so error
+                // responses still echo the client's request id.
+                let meta = RequestMeta::from_json(&value).unwrap_or_default();
+                let response = match Request::from_json(&value) {
+                    Ok(request) => service.handle_with_meta(&request, &meta),
+                    Err(e) => Response::bad_request(format!("bad request: {}", e.message)),
+                };
+                (response, meta.id)
+            }
+            Err(e) => (
+                Response::bad_request(format!("bad JSON at byte {}: {}", e.offset, e.message)),
+                None,
+            ),
         };
-        let mut out = response.to_json().render();
+        let mut out = response.to_json_with_id(id.as_deref()).render();
         out.push('\n');
         if writer.write_all(out.as_bytes()).is_err() {
             break;

@@ -4,19 +4,35 @@
 //! [`DecisionPool`](crate::worker::DecisionPool) and the [`Metrics`]
 //! registry, and maps protocol [`Request`]s to [`Response`]s. The TCP
 //! server in [`crate::server`] is a thin line-framing layer over
-//! [`AuditService::handle`]; tests and embedders can call it directly.
+//! [`AuditService::handle_with_meta`]; tests and embedders can call it
+//! directly.
+//!
+//! # Fault tolerance
+//!
+//! Every request may carry a deadline ([`RequestMeta::deadline_ms`], or
+//! [`ServiceConfig::default_deadline_ms`] when absent). Decisions that
+//! time out come back as **inconclusive** findings — the fail-closed
+//! posture: an auditor that cannot prove safety in time reports the
+//! disclosure as unresolved, never as safe. Pool-level failures surface
+//! as typed [`Response::Error`]s ([`ErrorCode::Overloaded`],
+//! [`ErrorCode::WorkerFailed`], [`ErrorCode::Shutdown`]), and requests
+//! carrying an id are de-duplicated so client retries are idempotent:
+//! a replayed disclosure neither double-counts the session nor recomputes
+//! a settled answer.
 
 use crate::cache::DecisionKey;
 use crate::metrics::{Metrics, Snapshot};
-use crate::proto::{Request, Response};
+use crate::proto::{ErrorCode, Request, RequestMeta, Response};
 use crate::session::SessionStore;
-use crate::worker::DecisionPool;
+use crate::worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};
 use epi_audit::auditor::{EntryKind, ReportEntry};
 use epi_audit::query::parse;
-use epi_audit::{Auditor, Finding, PriorAssumption, Schema};
-use epi_core::{WorldId, WorldSet};
+use epi_audit::{Auditor, Decision, Finding, PriorAssumption, Schema};
+use epi_core::{CancelToken, Deadline, WorldId, WorldSet};
 use epi_solver::ProductSolverOptions;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Tunables of an [`AuditService`].
 #[derive(Clone, Copy, Debug)]
@@ -33,6 +49,17 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Session-store shard count.
     pub session_shards: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// (`None` = unbounded, the pre-fault-tolerance behaviour).
+    pub default_deadline_ms: Option<u64>,
+    /// What happens when the decision queue is full: block the connection
+    /// thread (backpressure) or shed with a retryable error.
+    pub queue_policy: QueuePolicy,
+    /// Backoff hint attached to [`ErrorCode::Overloaded`] errors.
+    pub retry_after_ms: u64,
+    /// Request-id de-duplication window, in remembered responses
+    /// (`0` disables idempotent retries).
+    pub dedupe_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -44,6 +71,61 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             session_shards: 16,
+            default_deadline_ms: None,
+            queue_policy: QueuePolicy::Block,
+            retry_after_ms: 50,
+            dedupe_capacity: 256,
+        }
+    }
+}
+
+/// FIFO-bounded memory of answered request ids, so a client retry of an
+/// already-settled request replays the stored response instead of
+/// re-executing (idempotency). Only *final* outcomes are remembered —
+/// retryable errors must re-execute by definition.
+struct DedupeCache {
+    inner: Mutex<DedupeInner>,
+    capacity: usize,
+}
+
+struct DedupeInner {
+    responses: HashMap<String, Response>,
+    order: VecDeque<String>,
+}
+
+impl DedupeCache {
+    fn new(capacity: usize) -> DedupeCache {
+        DedupeCache {
+            inner: Mutex::new(DedupeInner {
+                responses: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, DedupeInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn get(&self, id: &str) -> Option<Response> {
+        self.lock().responses.get(id).cloned()
+    }
+
+    fn store(&self, id: &str, response: &Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.responses.contains_key(id) {
+            return;
+        }
+        inner.order.push_back(id.to_owned());
+        inner.responses.insert(id.to_owned(), response.clone());
+        while inner.order.len() > self.capacity {
+            if let Some(victim) = inner.order.pop_front() {
+                inner.responses.remove(&victim);
+            }
         }
     }
 }
@@ -56,21 +138,37 @@ pub struct AuditService {
     sessions: SessionStore,
     pool: DecisionPool,
     metrics: Arc<Metrics>,
+    default_deadline: Option<Duration>,
+    retry_after_ms: u64,
+    dedupe: DedupeCache,
 }
 
 impl AuditService {
     /// Builds a service over a fixed schema.
     pub fn new(schema: Schema, config: ServiceConfig) -> AuditService {
+        Self::with_fault_hook(schema, config, None)
+    }
+
+    /// [`AuditService::new`] with a worker-side fault-injection hook —
+    /// the entry point the chaos harness uses to script solver panics
+    /// and stalls inside an otherwise-production service.
+    pub fn with_fault_hook(
+        schema: Schema,
+        config: ServiceConfig,
+        fault_hook: Option<FaultHook>,
+    ) -> AuditService {
         let metrics = Arc::new(Metrics::new());
         let auditor = Auditor::new(config.assumption).with_product_options(config.product_options);
         let cube = schema.cube();
-        let pool = DecisionPool::new(
+        let pool = DecisionPool::with_policy(
             config.workers,
             config.queue_capacity,
             config.cache_capacity,
             auditor,
             cube,
             Arc::clone(&metrics),
+            config.queue_policy,
+            fault_hook,
         );
         AuditService {
             sessions: SessionStore::new(config.session_shards, cube.size()),
@@ -78,6 +176,9 @@ impl AuditService {
             assumption: config.assumption,
             pool,
             metrics,
+            default_deadline: config.default_deadline_ms.map(Duration::from_millis),
+            retry_after_ms: config.retry_after_ms,
+            dedupe: DedupeCache::new(config.dedupe_capacity),
         }
     }
 
@@ -91,22 +192,60 @@ impl AuditService {
         self.metrics.snapshot()
     }
 
-    /// Handles one protocol request. Never panics on malformed input —
-    /// every user error comes back as [`Response::Error`].
+    /// The decision pool's shutdown token: cancelled once the service
+    /// (and its pool) starts dropping.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.pool.cancel_token()
+    }
+
+    /// Handles one protocol request with no envelope (no id, default
+    /// deadline). Never panics on malformed input — every user error
+    /// comes back as [`Response::Error`].
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_with_meta(request, &RequestMeta::default())
+    }
+
+    /// Handles one protocol request under its envelope: applies the
+    /// request deadline (or the configured default), and replays the
+    /// stored response for an id the service has already answered with a
+    /// final (non-retryable) outcome.
+    pub fn handle_with_meta(&self, request: &Request, meta: &RequestMeta) -> Response {
         Metrics::incr(&self.metrics.requests);
-        match request {
+        if let Some(id) = &meta.id {
+            if let Some(replay) = self.dedupe.get(id) {
+                return replay;
+            }
+        }
+        let deadline = match meta
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.default_deadline)
+        {
+            Some(budget) => Deadline::within(budget),
+            None => Deadline::none(),
+        };
+        let response = match request {
             Request::Disclose {
                 user,
                 time,
                 query,
                 state_mask,
                 audit_query,
-            } => self.disclose(user, *time, query, *state_mask, audit_query),
-            Request::Cumulative { user, audit_query } => self.cumulative(user, audit_query),
+            } => self.disclose(user, *time, query, *state_mask, audit_query, &deadline),
+            Request::Cumulative { user, audit_query } => {
+                self.cumulative(user, audit_query, &deadline)
+            }
             Request::Stats => Response::Stats(Box::new(self.metrics.snapshot())),
             Request::Ping => Response::Pong,
+        };
+        if let Some(id) = &meta.id {
+            // Remember only settled outcomes: a retry of an overloaded or
+            // worker-failed request must actually re-execute.
+            if !response.is_retryable_error() {
+                self.dedupe.store(id, &response);
+            }
         }
+        response
     }
 
     fn compile(&self, text: &str) -> Result<(String, WorldSet), Response> {
@@ -115,10 +254,35 @@ impl AuditService {
                 let set = q.compile(&self.schema);
                 Ok((q.display(&self.schema).to_string(), set))
             }
-            Err(e) => Err(Response::Error {
-                message: format!("cannot parse `{text}`: {e}"),
-            }),
+            Err(e) => Err(Response::bad_request(format!("cannot parse `{text}`: {e}"))),
         }
+    }
+
+    /// Submits a decision, translating pool-level failures into the typed
+    /// error envelope. An already-expired deadline short-circuits before
+    /// touching the queue.
+    fn decide(&self, key: DecisionKey, deadline: &Deadline) -> Result<Decision, Response> {
+        if deadline.should_stop() {
+            Metrics::incr(&self.metrics.deadline_exceeded);
+            return Err(Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline expired before the decision was attempted".to_owned(),
+                retry_after_ms: None,
+            });
+        }
+        Metrics::incr(&self.metrics.decide_requests);
+        self.pool.decide_deadline(key, deadline).map_err(|e| {
+            let (code, retry_after_ms) = match e {
+                DecideError::Overloaded => (ErrorCode::Overloaded, Some(self.retry_after_ms)),
+                DecideError::WorkerFailed => (ErrorCode::WorkerFailed, None),
+                DecideError::Shutdown => (ErrorCode::Shutdown, None),
+            };
+            Response::Error {
+                code,
+                message: e.to_string(),
+                retry_after_ms,
+            }
+        })
     }
 
     fn disclose(
@@ -128,6 +292,7 @@ impl AuditService {
         query_text: &str,
         state_mask: u32,
         audit_text: &str,
+        deadline: &Deadline,
     ) -> Response {
         let (_, audit_set) = match self.compile(audit_text) {
             Ok(x) => x,
@@ -138,12 +303,10 @@ impl AuditService {
             Err(resp) => return resp,
         };
         if (state_mask as usize) >= query_set.universe_size() {
-            return Response::Error {
-                message: format!(
-                    "state mask {state_mask:#b} does not denote a world of the {}-record schema",
-                    self.schema.len()
-                ),
-            };
+            return Response::bad_request(format!(
+                "state mask {state_mask:#b} does not denote a world of the {}-record schema",
+                self.schema.len()
+            ));
         }
         // The truthful answer, exactly as the offline log computes it.
         let answer = query_set.contains(WorldId(state_mask));
@@ -159,9 +322,7 @@ impl AuditService {
             .sessions
             .apply_disclosure(user, time, state_mask, &disclosed)
         {
-            return Response::Error {
-                message: e.to_string(),
-            };
+            return Response::bad_request(e.to_string());
         }
         if !audit_set.contains(WorldId(state_mask)) {
             Metrics::incr(&self.metrics.negative_gated);
@@ -173,12 +334,17 @@ impl AuditService {
                 explanation: "audited property was false at disclosure time (negative results are not protected)".into(),
             });
         }
-        Metrics::incr(&self.metrics.decide_requests);
-        let decision = self.pool.decide(DecisionKey {
-            audit: audit_set,
-            disclosed,
-            assumption: self.assumption,
-        });
+        let decision = match self.decide(
+            DecisionKey {
+                audit: audit_set,
+                disclosed,
+                assumption: self.assumption,
+            },
+            deadline,
+        ) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        };
         Response::Entry(ReportEntry {
             user: user.to_owned(),
             time,
@@ -191,15 +357,13 @@ impl AuditService {
         })
     }
 
-    fn cumulative(&self, user: &str, audit_text: &str) -> Response {
+    fn cumulative(&self, user: &str, audit_text: &str, deadline: &Deadline) -> Response {
         let (_, audit_set) = match self.compile(audit_text) {
             Ok(x) => x,
             Err(resp) => return resp,
         };
         let Some(session) = self.sessions.get(user) else {
-            return Response::Error {
-                message: format!("unknown user `{user}`"),
-            };
+            return Response::bad_request(format!("unknown user `{user}`"));
         };
         if session.disclosures < 2 {
             // One disclosure: cumulative knowledge coincides with it, so
@@ -219,12 +383,17 @@ impl AuditService {
                 explanation: "audited property was false at the last disclosure (negative results are not protected)".into(),
             });
         }
-        Metrics::incr(&self.metrics.decide_requests);
-        let decision = self.pool.decide(DecisionKey {
-            audit: audit_set,
-            disclosed: session.knowledge.clone(),
-            assumption: self.assumption,
-        });
+        let decision = match self.decide(
+            DecisionKey {
+                audit: audit_set,
+                disclosed: session.knowledge.clone(),
+                assumption: self.assumption,
+            },
+            deadline,
+        ) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        };
         Response::Entry(ReportEntry {
             user: user.to_owned(),
             time: session.last_time,
@@ -371,5 +540,118 @@ mod tests {
         svc.handle(&disclose("bob", 10, "hiv_pos", 0));
         let resp = svc.handle(&disclose("bob", 5, "hiv_pos", 0));
         assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn expired_deadline_short_circuits_with_a_typed_error() {
+        let svc = hospital_service(PriorAssumption::Product);
+        let meta = RequestMeta {
+            id: None,
+            deadline_ms: Some(0),
+        };
+        let resp = svc.handle_with_meta(&disclose("mallory", 1, "hiv_pos", 0b11), &meta);
+        let Response::Error { code, .. } = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(code, ErrorCode::DeadlineExceeded);
+        assert_eq!(svc.metrics().deadline_exceeded, 1);
+        // The truthful disclosure was still recorded (session state must
+        // not depend on whether the safety decision completed).
+        assert!(svc.sessions.get("mallory").is_some());
+    }
+
+    #[test]
+    fn request_ids_make_retries_idempotent() {
+        let svc = hospital_service(PriorAssumption::Unrestricted);
+        let meta = RequestMeta {
+            id: Some("retry-1".to_owned()),
+            deadline_ms: None,
+        };
+        let req = disclose("alice", 5, "hiv_pos", 0b00);
+        let first = svc.handle_with_meta(&req, &meta);
+        assert!(matches!(first, Response::Entry(_)));
+        let replay = svc.handle_with_meta(&req, &meta);
+        assert_eq!(replay, first);
+        // The replay came from the dedupe window: the session saw exactly
+        // one disclosure, so a duplicate delivery cannot double-count.
+        assert_eq!(svc.sessions.get("alice").unwrap().disclosures, 1);
+        // A different id re-executes (and is rejected as out-of-order
+        // only if the times regress — equal times are fine).
+        let meta2 = RequestMeta {
+            id: Some("retry-2".to_owned()),
+            deadline_ms: None,
+        };
+        let second = svc.handle_with_meta(&req, &meta2);
+        assert!(matches!(second, Response::Entry(_)));
+        assert_eq!(svc.sessions.get("alice").unwrap().disclosures, 2);
+    }
+
+    #[test]
+    fn shed_mode_surfaces_overloaded_with_backoff_hint() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        // One worker that stalls on a flag, capacity-1 queue, shed mode.
+        let stall = Arc::new(AtomicBool::new(true));
+        let entered = Arc::new(AtomicUsize::new(0));
+        let (hook_stall, hook_entered) = (Arc::clone(&stall), Arc::clone(&entered));
+        let hook: FaultHook = Arc::new(move |_k| {
+            hook_entered.fetch_add(1, Ordering::SeqCst);
+            while hook_stall.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let svc = Arc::new(AuditService::with_fault_hook(
+            schema,
+            ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 1,
+                queue_capacity: 1,
+                queue_policy: QueuePolicy::Shed,
+                retry_after_ms: 70,
+                ..ServiceConfig::default()
+            },
+            Some(hook),
+        ));
+        // Occupy the worker with a first decision... (the three requests
+        // disclose *different* sets — distinct decision keys, so none of
+        // them coalesces with another)
+        let svc1 = Arc::clone(&svc);
+        let first = std::thread::spawn(move || {
+            svc1.handle(&disclose("u0", 1, "hiv_pos | transfusions", 0b01))
+        });
+        while entered.load(Ordering::SeqCst) < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // ...fill the single queue slot with a second distinct one...
+        let svc2 = Arc::clone(&svc);
+        let second =
+            std::thread::spawn(move || svc2.handle(&disclose("u1", 1, "transfusions", 0b11)));
+        for _ in 0..500 {
+            if svc.metrics().decide_requests >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The second submission increments `decide_requests` just before
+        // enqueueing; give it a beat to actually occupy the slot.
+        std::thread::sleep(Duration::from_millis(10));
+        let busy = [first, second];
+        let resp = svc.handle(&disclose("mallory", 1, "hiv_pos", 0b11));
+        let Response::Error {
+            code,
+            retry_after_ms,
+            ..
+        } = resp
+        else {
+            panic!("expected overloaded error, got {resp:?}");
+        };
+        assert_eq!(code, ErrorCode::Overloaded);
+        assert_eq!(retry_after_ms, Some(70));
+        assert_eq!(svc.metrics().shed_requests, 1);
+        stall.store(false, Ordering::SeqCst);
+        for h in busy {
+            let r = h.join().unwrap();
+            assert!(matches!(r, Response::Entry(_)), "got {r:?}");
+        }
     }
 }

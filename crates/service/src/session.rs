@@ -12,7 +12,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// One user's accumulated state, as stored (and returned by value from
 /// every store operation so callers never hold a shard lock).
@@ -78,6 +78,15 @@ impl SessionStore {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
+    /// Lock a shard, recovering from poisoning: each critical section
+    /// leaves the session map consistent (updates are plain field stores
+    /// and an intersection), so a panicking holder cannot tear it.
+    fn lock_shard<'a>(
+        shard: &'a Mutex<HashMap<String, Session>>,
+    ) -> MutexGuard<'a, HashMap<String, Session>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Records one disclosure: intersects the user's cumulative knowledge
     /// with `disclosed` and advances their clock. Returns the updated
     /// session by value.
@@ -88,7 +97,7 @@ impl SessionStore {
         state_mask: u32,
         disclosed: &WorldSet,
     ) -> Result<Session, SessionError> {
-        let mut shard = self.shard(user).lock().expect("session shard poisoned");
+        let mut shard = Self::lock_shard(self.shard(user));
         let session = shard.entry(user.to_owned()).or_insert_with(|| Session {
             disclosures: 0,
             last_time: 0,
@@ -110,19 +119,12 @@ impl SessionStore {
 
     /// Looks up a user's session.
     pub fn get(&self, user: &str) -> Option<Session> {
-        self.shard(user)
-            .lock()
-            .expect("session shard poisoned")
-            .get(user)
-            .cloned()
+        Self::lock_shard(self.shard(user)).get(user).cloned()
     }
 
     /// Total number of sessions across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("session shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock_shard(s).len()).sum()
     }
 
     /// `true` iff no user has a session yet.

@@ -31,6 +31,11 @@ pub mod verdict;
 pub mod wire;
 
 pub use algebraic::{AlgebraicFamily, AlgebraicOptions, AlgebraicWitness};
-pub use pipeline::{decide_product_pipeline, PipelineDecision, Stage};
-pub use product::{decide_product_safety, ProductSolverOptions, ProductWitness, SearchMode};
-pub use verdict::{SafeEvidence, Verdict};
+pub use pipeline::{
+    decide_product_pipeline, decide_product_pipeline_deadline, PipelineDecision, Stage,
+};
+pub use product::{
+    decide_product_safety, decide_product_safety_deadline, ProductSolverOptions, ProductWitness,
+    SearchMode,
+};
+pub use verdict::{SafeEvidence, UndecidedReason, Verdict};

@@ -16,11 +16,11 @@
 //! The pipeline records which stage decided, so experiments E7/E8 can
 //! report stage hit-rates.
 
-use crate::product::{decide_product_safety, ProductSolverOptions, ProductWitness};
-use crate::verdict::{SafeEvidence, Verdict};
+use crate::product::{decide_product_safety_deadline, ProductSolverOptions, ProductWitness};
+use crate::verdict::{SafeEvidence, UndecidedReason, Verdict};
 use epi_boolean::criteria::{cancellation, miklau_suciu, monotonicity, necessary};
 use epi_boolean::Cube;
-use epi_core::{unrestricted, WorldSet};
+use epi_core::{unrestricted, Deadline, WorldSet};
 use epi_num::Rational;
 
 /// Which pipeline stage produced the decision.
@@ -65,6 +65,10 @@ pub struct PipelineDecision {
     /// decided) — the service aggregates this into its throughput
     /// metrics.
     pub boxes_processed: usize,
+    /// Set iff `verdict` is `Unknown`: why the decision gave up.
+    /// Deadline/cancellation stops are transient; budget exhaustion is a
+    /// property of the instance. Either way, callers fail closed.
+    pub undecided: Option<UndecidedReason>,
 }
 
 /// Runs the full cascade for `Safe_{Π_m⁰}(A, B)`.
@@ -74,11 +78,29 @@ pub fn decide_product_pipeline(
     b: &WorldSet,
     bnb_options: ProductSolverOptions,
 ) -> PipelineDecision {
+    decide_product_pipeline_deadline(cube, a, b, bnb_options, &Deadline::none())
+}
+
+/// [`decide_product_pipeline`] under a [`Deadline`]. The cheap criteria
+/// stages (1–4) always run to completion — they are microseconds even at
+/// the maximum supported arity — while the expensive tail (box
+/// refutation search, branch-and-bound) is skipped or interrupted once
+/// the deadline fires, yielding `Verdict::Unknown` with
+/// [`PipelineDecision::undecided`] set. Timed-out decisions must be
+/// treated as unsafe by callers (fail closed).
+pub fn decide_product_pipeline_deadline(
+    cube: &Cube,
+    a: &WorldSet,
+    b: &WorldSet,
+    bnb_options: ProductSolverOptions,
+    deadline: &Deadline,
+) -> PipelineDecision {
     if unrestricted::safe_unrestricted(a, b) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Unconditional),
             stage: Stage::Unconditional,
             boxes_processed: 0,
+            undecided: None,
         };
     }
     if miklau_suciu::safe_miklau_suciu(cube, a, b) {
@@ -86,6 +108,7 @@ pub fn decide_product_pipeline(
             verdict: Verdict::Safe(SafeEvidence::Criterion("Miklau–Suciu")),
             stage: Stage::MiklauSuciu,
             boxes_processed: 0,
+            undecided: None,
         };
     }
     if monotonicity::safe_monotone(cube, a, b) {
@@ -93,6 +116,7 @@ pub fn decide_product_pipeline(
             verdict: Verdict::Safe(SafeEvidence::Criterion("monotonicity")),
             stage: Stage::Monotonicity,
             boxes_processed: 0,
+            undecided: None,
         };
     }
     if cancellation::cancellation(cube, a, b) {
@@ -100,6 +124,17 @@ pub fn decide_product_pipeline(
             verdict: Verdict::Safe(SafeEvidence::Criterion("cancellation")),
             stage: Stage::Cancellation,
             boxes_processed: 0,
+            undecided: None,
+        };
+    }
+    // Everything past this point can be expensive; honor the deadline
+    // before starting each tail stage.
+    if let Err(reason) = deadline.check() {
+        return PipelineDecision {
+            verdict: Verdict::Unknown,
+            stage: Stage::BranchAndBound,
+            boxes_processed: 0,
+            undecided: Some(reason.into()),
         };
     }
     if let Some(p) = necessary::refute_product_by_boxes(cube, a, b) {
@@ -115,13 +150,15 @@ pub fn decide_product_pipeline(
             verdict: Verdict::Unsafe(ProductWitness { probs, gap }),
             stage: Stage::BoxNecessary,
             boxes_processed: 0,
+            undecided: None,
         };
     }
-    let (verdict, stats) = decide_product_safety(cube, a, b, bnb_options);
+    let (verdict, stats) = decide_product_safety_deadline(cube, a, b, bnb_options, deadline);
     PipelineDecision {
         verdict,
         stage: Stage::BranchAndBound,
         boxes_processed: stats.boxes_processed,
+        undecided: stats.undecided,
     }
 }
 
@@ -189,7 +226,7 @@ mod tests {
             let a = cube.set_from_predicate(|_| rng.gen());
             let b = cube.set_from_predicate(|_| rng.gen());
             let pipeline = decide_product_pipeline(&cube, &a, &b, Default::default());
-            let direct = decide_product_safety(&cube, &a, &b, Default::default()).0;
+            let direct = crate::product::decide_product_safety(&cube, &a, &b, Default::default()).0;
             assert_eq!(
                 pipeline.verdict.is_safe(),
                 direct.is_safe(),
@@ -197,6 +234,52 @@ mod tests {
                 pipeline.stage
             );
         }
+    }
+
+    #[test]
+    fn expired_deadline_yields_transient_unknown_not_safe() {
+        use std::time::Duration;
+        let cube = Cube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(251);
+        let expired = Deadline::within(Duration::ZERO);
+        let mut hit_tail = 0;
+        for _ in 0..40 {
+            let a = cube.set_from_predicate(|_| rng.gen());
+            let b = cube.set_from_predicate(|_| rng.gen());
+            let d = decide_product_pipeline_deadline(&cube, &a, &b, Default::default(), &expired);
+            match d.undecided {
+                Some(reason) => {
+                    hit_tail += 1;
+                    assert_eq!(reason, UndecidedReason::DeadlineExceeded);
+                    assert!(d.verdict.is_unknown(), "timed out must not certify");
+                }
+                // Criteria stages still decide instantly — that's fine,
+                // those answers are complete proofs, not partial work.
+                None => assert!(!d.verdict.is_unknown()),
+            }
+        }
+        assert!(hit_tail > 0, "some pairs must reach the expensive tail");
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_tail() {
+        use epi_core::CancelToken;
+        let cube = Cube::new(3);
+        // A pair that defeats all criteria (Remark 5.12 shape) so the
+        // pipeline must reach branch-and-bound.
+        let a = cube.set_from_masks([0b011, 0b100, 0b110, 0b111]);
+        let b = cube.set_from_masks([0b010, 0b101, 0b110, 0b111]);
+        let token = CancelToken::new();
+        token.cancel();
+        let d = decide_product_pipeline_deadline(
+            &cube,
+            &a,
+            &b,
+            Default::default(),
+            &Deadline::none().with_token(token),
+        );
+        assert!(d.verdict.is_unknown());
+        assert_eq!(d.undecided, Some(UndecidedReason::Cancelled));
     }
 
     #[test]

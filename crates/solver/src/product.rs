@@ -50,9 +50,9 @@
 //! its effect.
 
 use crate::bernstein::{bernstein_bound, DenseTensor};
-use crate::verdict::{SafeEvidence, Verdict};
+use crate::verdict::{SafeEvidence, UndecidedReason, Verdict};
 use epi_boolean::Cube;
-use epi_core::WorldSet;
+use epi_core::{Deadline, WorldSet};
 use epi_num::{Interval, Rational};
 use epi_par::Pool;
 use epi_poly::{indicator, DensePow3, Polynomial};
@@ -147,6 +147,9 @@ pub struct ProductSolverStats {
     pub witness_from_ascent: bool,
     /// Frontier waves committed (deterministic mode; 0 for opportunistic).
     pub waves: usize,
+    /// Set iff the verdict is `Unknown`: why the search gave up. Callers
+    /// must treat any `Unknown` as unsafe regardless of the reason.
+    pub undecided: Option<UndecidedReason>,
 }
 
 /// The exact rational gap, materialized only when a witness candidate
@@ -235,6 +238,22 @@ pub fn decide_product_safety(
     b: &WorldSet,
     options: ProductSolverOptions,
 ) -> (Verdict<ProductWitness>, ProductSolverStats) {
+    decide_product_safety_deadline(cube, a, b, options, &Deadline::none())
+}
+
+/// [`decide_product_safety`] under a [`Deadline`]: the search checks it
+/// at wave / box-commit boundaries and returns
+/// `(Verdict::Unknown, stats)` with [`ProductSolverStats::undecided`]
+/// set once it fires. A timed-out verdict is **not** a safety proof —
+/// callers must fail closed. An unbounded deadline adds no overhead and
+/// preserves byte-for-byte determinism of the default path.
+pub fn decide_product_safety_deadline(
+    cube: &Cube,
+    a: &WorldSet,
+    b: &WorldSet,
+    options: ProductSolverOptions,
+    deadline: &Deadline,
+) -> (Verdict<ProductWitness>, ProductSolverStats) {
     let n = cube.dims();
     let mut stats = ProductSolverStats::default();
 
@@ -286,6 +305,10 @@ pub fn decide_product_safety(
     // Warm start: coordinate ascent from a few deterministic starts.
     if options.coordinate_ascent {
         for start in starting_points(n) {
+            if let Err(reason) = deadline.check() {
+                stats.undecided = Some(reason.into());
+                return (Verdict::Unknown, stats);
+            }
             if let Some(witness) = coordinate_descend(&ctx, start) {
                 stats.witness_from_ascent = true;
                 return (Verdict::Unsafe(witness), stats);
@@ -295,8 +318,8 @@ pub fn decide_product_safety(
 
     let pool = Pool::new(options.threads);
     match options.search_mode {
-        SearchMode::Deterministic => wave_search(&ctx, pool, stats),
-        SearchMode::Opportunistic => opportunistic_search(&ctx, pool, stats),
+        SearchMode::Deterministic => wave_search(&ctx, pool, stats, deadline),
+        SearchMode::Opportunistic => opportunistic_search(&ctx, pool, stats, deadline),
     }
 }
 
@@ -388,6 +411,7 @@ fn wave_search(
     ctx: &SolveCtx<'_>,
     pool: Pool,
     mut stats: ProductSolverStats,
+    deadline: &Deadline,
 ) -> (Verdict<ProductWitness>, ProductSolverStats) {
     let options = &ctx.options;
     let n = ctx
@@ -407,12 +431,27 @@ fn wave_search(
             .len()
             .min(options.max_boxes.saturating_sub(stats.boxes_processed));
         let fates: Vec<BoxFate> = if eval_count < 2 * pool.threads() || pool.threads() == 1 {
-            frontier[..eval_count]
-                .iter()
-                .map(|bx| evaluate_box(ctx, bx))
-                .collect()
+            let mut out = Vec::with_capacity(eval_count);
+            for bx in &frontier[..eval_count] {
+                if let Err(reason) = deadline.check() {
+                    stats.undecided = Some(reason.into());
+                    return (Verdict::Unknown, stats);
+                }
+                out.push(evaluate_box(ctx, bx));
+            }
+            out
         } else {
-            pool.parallel_map(&frontier[..eval_count], |bx| evaluate_box(ctx, bx))
+            match pool.parallel_map_deadline(
+                &frontier[..eval_count],
+                |bx| evaluate_box(ctx, bx),
+                deadline,
+            ) {
+                Ok(fates) => fates,
+                Err(reason) => {
+                    stats.undecided = Some(reason.into());
+                    return (Verdict::Unknown, stats);
+                }
+            }
         };
         // Sequential commit in frontier order.
         let mut next: Vec<Vec<Interval>> = Vec::new();
@@ -429,6 +468,7 @@ fn wave_search(
                 }
             }
             if stats.boxes_processed > options.max_boxes {
+                stats.undecided = Some(UndecidedReason::BudgetExhausted);
                 return (Verdict::Unknown, stats);
             }
             match &fates[j] {
@@ -460,6 +500,7 @@ fn opportunistic_search(
     ctx: &SolveCtx<'_>,
     pool: Pool,
     mut stats: ProductSolverStats,
+    deadline: &Deadline,
 ) -> (Verdict<ProductWitness>, ProductSolverStats) {
     let options = &ctx.options;
     let n = ctx
@@ -480,39 +521,50 @@ fn opportunistic_search(
     let sos_gate = AtomicBool::new(false);
     // Deepest violation value seen at any probed point, as f64 bits.
     let best_violation = AtomicU64::new(0f64.to_bits());
-    let outcome: Mutex<Option<Verdict<ProductWitness>>> = Mutex::new(None);
+    type Outcome = (Verdict<ProductWitness>, Option<UndecidedReason>);
+    let outcome: Mutex<Option<Outcome>> = Mutex::new(None);
 
-    let settle = |verdict: Verdict<ProductWitness>| {
-        let mut slot = outcome.lock().unwrap();
+    let settle = |verdict: Verdict<ProductWitness>, reason: Option<UndecidedReason>| {
+        let mut slot = outcome
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if slot.is_none() {
-            *slot = Some(verdict);
+            *slot = Some((verdict, reason));
         }
         drop(slot);
         queue.close();
     };
 
-    let worker = || {
-        while let Some(bx) = queue.pop() {
+    let worker = || loop {
+        let bx = match queue.pop_deadline(deadline) {
+            Ok(Some(bx)) => bx,
+            Ok(None) => return,
+            Err(stop) => {
+                settle(Verdict::Unknown, Some(stop.into()));
+                return;
+            }
+        };
+        {
             let processed = boxes.fetch_add(1, Ordering::SeqCst) + 1;
             if options.sos_fallback
                 && processed > sos_checkpoint
                 && !sos_gate.swap(true, Ordering::SeqCst)
             {
                 if let Some(evidence) = try_sos(ctx) {
-                    settle(Verdict::Safe(evidence));
+                    settle(Verdict::Safe(evidence), None);
                     queue.item_done();
                     return;
                 }
             }
             if processed > options.max_boxes {
-                settle(Verdict::Unknown);
+                settle(Verdict::Unknown, Some(UndecidedReason::BudgetExhausted));
                 queue.item_done();
                 return;
             }
             match evaluate_box_sharing(ctx, &bx, &best_violation) {
                 (BoxFate::Pruned, _) => {}
                 (BoxFate::Witness(w), _) => {
-                    settle(Verdict::Unsafe(w));
+                    settle(Verdict::Unsafe(w), None);
                     queue.item_done();
                     return;
                 }
@@ -536,14 +588,17 @@ fn opportunistic_search(
     });
 
     stats.boxes_processed = boxes.load(Ordering::SeqCst);
-    let verdict =
-        outcome
-            .lock()
-            .unwrap()
-            .take()
-            .unwrap_or(Verdict::Safe(SafeEvidence::BranchAndBound {
+    let (verdict, reason) = outcome
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+        .unwrap_or((
+            Verdict::Safe(SafeEvidence::BranchAndBound {
                 boxes_processed: stats.boxes_processed,
-            }));
+            }),
+            None,
+        ));
+    stats.undecided = reason;
     (verdict, stats)
 }
 

@@ -44,6 +44,62 @@ impl<W> Verdict<W> {
     }
 }
 
+/// Why a procedure returned [`Verdict::Unknown`]. Callers must treat
+/// every variant as *not safe* (deny by default); the reason only
+/// controls reporting and retry behavior — a timed-out decision is
+/// transient and retryable, an exhausted budget is deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UndecidedReason {
+    /// The branch-and-bound box budget ran out.
+    BudgetExhausted,
+    /// The wall-clock deadline expired mid-search.
+    DeadlineExceeded,
+    /// The attached cancellation token fired (e.g. daemon shutdown).
+    Cancelled,
+}
+
+impl UndecidedReason {
+    /// Stable lower-snake identifier used on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UndecidedReason::BudgetExhausted => "budget_exhausted",
+            UndecidedReason::DeadlineExceeded => "deadline_exceeded",
+            UndecidedReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`UndecidedReason::as_str`].
+    pub fn parse(s: &str) -> Option<UndecidedReason> {
+        match s {
+            "budget_exhausted" => Some(UndecidedReason::BudgetExhausted),
+            "deadline_exceeded" => Some(UndecidedReason::DeadlineExceeded),
+            "cancelled" => Some(UndecidedReason::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether a retry with the same inputs could plausibly decide (the
+    /// interruption was external, not a property of the instance).
+    pub fn is_transient(self) -> bool {
+        !matches!(self, UndecidedReason::BudgetExhausted)
+    }
+}
+
+impl From<epi_core::StopReason> for UndecidedReason {
+    fn from(reason: epi_core::StopReason) -> UndecidedReason {
+        match reason {
+            epi_core::StopReason::DeadlineExceeded => UndecidedReason::DeadlineExceeded,
+            epi_core::StopReason::Cancelled => UndecidedReason::Cancelled,
+        }
+    }
+}
+
+impl fmt::Display for UndecidedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// How a safety verdict was certified.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SafeEvidence {
@@ -93,6 +149,25 @@ mod tests {
         assert_eq!(unsafe_v.witness(), Some(&7));
         let unknown: Verdict<u32> = Verdict::Unknown;
         assert!(unknown.is_unknown());
+    }
+
+    #[test]
+    fn undecided_reason_roundtrips() {
+        for reason in [
+            UndecidedReason::BudgetExhausted,
+            UndecidedReason::DeadlineExceeded,
+            UndecidedReason::Cancelled,
+        ] {
+            assert_eq!(UndecidedReason::parse(reason.as_str()), Some(reason));
+        }
+        assert_eq!(UndecidedReason::parse("nonsense"), None);
+        assert!(!UndecidedReason::BudgetExhausted.is_transient());
+        assert!(UndecidedReason::DeadlineExceeded.is_transient());
+        assert!(UndecidedReason::Cancelled.is_transient());
+        assert_eq!(
+            UndecidedReason::from(epi_core::StopReason::Cancelled),
+            UndecidedReason::Cancelled
+        );
     }
 
     #[test]

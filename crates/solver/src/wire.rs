@@ -9,8 +9,22 @@
 
 use crate::pipeline::{PipelineDecision, Stage};
 use crate::product::{BoundMethod, ProductSolverOptions, ProductWitness, SearchMode};
-use crate::verdict::{SafeEvidence, Verdict};
+use crate::verdict::{SafeEvidence, UndecidedReason, Verdict};
 use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
+
+impl Serialize for UndecidedReason {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for UndecidedReason {
+    fn from_json(v: &Json) -> Result<UndecidedReason, JsonError> {
+        v.as_str()
+            .and_then(UndecidedReason::parse)
+            .ok_or_else(|| JsonError::decode("unknown undecided reason"))
+    }
+}
 
 impl Serialize for Stage {
     fn to_json(&self) -> Json {
@@ -140,11 +154,17 @@ impl<W: Deserialize> Deserialize for Verdict<W> {
 
 impl Serialize for PipelineDecision {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("verdict", self.verdict.to_json()),
             ("stage", self.stage.to_json()),
             ("boxes_processed", Json::from(self.boxes_processed)),
-        ])
+        ];
+        // Emitted only when set so decided reports stay byte-identical
+        // to pre-deadline builds.
+        if let Some(reason) = self.undecided {
+            fields.push(("undecided", reason.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -156,6 +176,7 @@ impl Deserialize for PipelineDecision {
             // Absent in pre-parallel-engine reports: those decisions
             // never counted boxes, so 0 is the faithful default.
             boxes_processed: opt_field(v, "boxes_processed")?.unwrap_or(0),
+            undecided: opt_field(v, "undecided")?,
         })
     }
 }
@@ -338,6 +359,35 @@ mod tests {
         let d = PipelineDecision::from_json(&j).unwrap();
         assert_eq!(d.boxes_processed, 0);
         assert_eq!(d.stage, Stage::BranchAndBound);
+        assert_eq!(d.undecided, None);
+    }
+
+    #[test]
+    fn undecided_reason_roundtrips_and_stays_off_the_wire_when_absent() {
+        let decided = PipelineDecision {
+            verdict: Verdict::Safe(SafeEvidence::Unconditional),
+            stage: Stage::Unconditional,
+            boxes_processed: 0,
+            undecided: None,
+        };
+        assert!(!decided.to_json().render().contains("undecided"));
+        let timed_out = PipelineDecision {
+            verdict: Verdict::Unknown,
+            stage: Stage::BranchAndBound,
+            boxes_processed: 17,
+            undecided: Some(UndecidedReason::DeadlineExceeded),
+        };
+        let j = Json::parse(&timed_out.to_json().render()).unwrap();
+        let back = PipelineDecision::from_json(&j).unwrap();
+        assert_eq!(back.undecided, Some(UndecidedReason::DeadlineExceeded));
+        for reason in [
+            UndecidedReason::BudgetExhausted,
+            UndecidedReason::DeadlineExceeded,
+            UndecidedReason::Cancelled,
+        ] {
+            let j = Json::parse(&reason.to_json().render()).unwrap();
+            assert_eq!(UndecidedReason::from_json(&j).unwrap(), reason);
+        }
     }
 
     #[test]
