@@ -24,8 +24,8 @@ use epi_core::{unrestricted, Deadline, WorldId, WorldSet};
 use epi_par::Pool;
 use epi_solver::logsupermod::{self, SupermodularSearchOptions};
 use epi_solver::{
-    decide_product_pipeline_deadline, ProductSolverOptions, SafeEvidence, Stage, UndecidedReason,
-    Verdict,
+    decide_product_pipeline_observed, ProductSolverOptions, SafeEvidence, Stage, StageObserver,
+    UndecidedReason, Verdict,
 };
 use rand::SeedableRng;
 use std::fmt;
@@ -226,9 +226,39 @@ impl Auditor {
         b: &WorldSet,
         deadline: &Deadline,
     ) -> Decision {
+        self.decide_sets_observed(cube, a, b, deadline, &mut |_, _| {})
+    }
+
+    /// [`Auditor::decide_sets_deadline`] reporting each attempted stage
+    /// check and its wall time (in microseconds) to `observe`, so a
+    /// caller building per-request traces or stage-latency histograms
+    /// sees where a decision spent its time. Observation is a pure side
+    /// channel: the decision is identical with any observer.
+    ///
+    /// The product pipeline reports every stage it attempted, including
+    /// ones that did not decide (their rejection still cost time). The
+    /// log-supermodular refutation search runs outside the staged
+    /// pipeline and reports nothing here — callers wanting to time it
+    /// should wrap this call and attribute the elapsed time to their
+    /// own refutation-search bucket (the decision comes back with
+    /// [`Decision::stage`] `None`, which identifies that path).
+    pub fn decide_sets_observed(
+        &self,
+        cube: &Cube,
+        a: &WorldSet,
+        b: &WorldSet,
+        deadline: &Deadline,
+        observe: StageObserver<'_>,
+    ) -> Decision {
         match self.assumption {
             PriorAssumption::Unrestricted => {
-                if unrestricted::safe_unrestricted(a, b) {
+                let started = std::time::Instant::now();
+                let safe = unrestricted::safe_unrestricted(a, b);
+                observe(
+                    Stage::Unconditional,
+                    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                );
+                if safe {
                     Decision {
                         finding: Finding::Safe,
                         explanation: SafeEvidence::Unconditional.to_string(),
@@ -252,8 +282,14 @@ impl Auditor {
                 }
             }
             PriorAssumption::Product => {
-                let decision =
-                    decide_product_pipeline_deadline(cube, a, b, self.product_options, deadline);
+                let decision = decide_product_pipeline_observed(
+                    cube,
+                    a,
+                    b,
+                    self.product_options,
+                    deadline,
+                    observe,
+                );
                 let boxes_processed = decision.boxes_processed;
                 match decision.verdict {
                     Verdict::Safe(ev) => Decision {

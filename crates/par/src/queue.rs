@@ -135,7 +135,25 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
     /// `Err(reason)` once the deadline expires or its token is
     /// cancelled, instead of blocking until exhaustion. The caller did
     /// *not* check an item out on the `Err` path (no `item_done` owed).
+    ///
+    /// Time spent blocked waiting for producers is accumulated into the
+    /// process-wide [`crate::stats`] counters (`queue_waits`,
+    /// `queue_wait_micros`) — the solver-pool starvation signal the
+    /// service's metrics exposition surfaces.
     pub fn pop_deadline(&self, deadline: &Deadline) -> Result<Option<T>, StopReason> {
+        let mut waited = Duration::ZERO;
+        let result = self.pop_deadline_waiting(deadline, &mut waited);
+        if !waited.is_zero() {
+            crate::stats::record_queue_wait(waited.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        result
+    }
+
+    fn pop_deadline_waiting(
+        &self,
+        deadline: &Deadline,
+        waited: &mut Duration,
+    ) -> Result<Option<T>, StopReason> {
         let bounded = deadline.is_bounded();
         let mut inner = self.lock();
         loop {
@@ -155,6 +173,7 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
                 self.cv.notify_all();
                 return Ok(None);
             }
+            let blocked = std::time::Instant::now();
             inner = if bounded {
                 // Sleep in bounded slices so cancellation and expiry are
                 // noticed even if no producer ever signals again.
@@ -169,6 +188,7 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
             } else {
                 self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner)
             };
+            *waited += blocked.elapsed();
         }
     }
 
@@ -290,6 +310,25 @@ mod tests {
         let d = Deadline::none().with_token(token);
         q.push(1, 1);
         assert_eq!(q.pop_deadline(&d), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn blocked_pops_account_their_wait_time() {
+        let before = crate::stats();
+        let q: BestFirstQueue<u32, u32> = BestFirstQueue::new();
+        q.push(1, 1);
+        assert_eq!(q.pop_deadline(&Deadline::none()), Ok(Some(1)));
+        // Heap empty with an item checked out: the pop below must block
+        // until the deadline fires, and that wait must be accounted.
+        let d = Deadline::within(Duration::from_millis(15));
+        assert_eq!(q.pop_deadline(&d), Err(StopReason::DeadlineExceeded));
+        let after = crate::stats();
+        assert!(after.queue_waits > before.queue_waits);
+        assert!(
+            after.queue_wait_micros >= before.queue_wait_micros + 10_000,
+            "blocked ~15ms, accounted {} µs",
+            after.queue_wait_micros - before.queue_wait_micros
+        );
     }
 
     #[test]

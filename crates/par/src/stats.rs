@@ -8,6 +8,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static TASKS: AtomicU64 = AtomicU64::new(0);
 static STEALS: AtomicU64 = AtomicU64::new(0);
 static MAPS: AtomicU64 = AtomicU64::new(0);
+static QUEUE_WAITS: AtomicU64 = AtomicU64::new(0);
+static QUEUE_WAIT_MICROS: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time view of the counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -18,6 +20,12 @@ pub struct StatsSnapshot {
     pub steals: u64,
     /// `parallel_map` calls that actually fanned out (> 1 worker).
     pub parallel_maps: u64,
+    /// Best-first queue pops that had to block for work.
+    pub queue_waits: u64,
+    /// Total microseconds spent blocked in best-first queue pops — the
+    /// starvation signal: high wait with low steals means the search
+    /// front is too narrow for the worker count.
+    pub queue_wait_micros: u64,
 }
 
 /// Snapshot the process-wide counters.
@@ -26,6 +34,8 @@ pub fn stats() -> StatsSnapshot {
         tasks_executed: TASKS.load(Ordering::Relaxed),
         steals: STEALS.load(Ordering::Relaxed),
         parallel_maps: MAPS.load(Ordering::Relaxed),
+        queue_waits: QUEUE_WAITS.load(Ordering::Relaxed),
+        queue_wait_micros: QUEUE_WAIT_MICROS.load(Ordering::Relaxed),
     }
 }
 
@@ -39,4 +49,9 @@ pub(crate) fn record_steal() {
 
 pub(crate) fn record_map() {
     MAPS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_queue_wait(micros: u64) {
+    QUEUE_WAITS.fetch_add(1, Ordering::Relaxed);
+    QUEUE_WAIT_MICROS.fetch_add(micros, Ordering::Relaxed);
 }

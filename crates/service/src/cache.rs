@@ -63,16 +63,29 @@ impl VerdictCache {
     }
 
     /// Looks up a decision, marking it most-recently-used on a hit.
+    ///
+    /// Only a hit consumes a recency tick: a miss leaves the LRU order
+    /// untouched, so scanning for absent keys cannot skew which resident
+    /// entry gets evicted next.
     pub fn get(&self, key: &DecisionKey) -> Option<Decision> {
         let mut inner = self.lock();
+        if !inner.map.contains_key(key) {
+            return None;
+        }
         inner.tick += 1;
         let tick = inner.tick;
-        let slot = inner.map.get_mut(key)?;
+        let slot = inner.map.get_mut(key).expect("checked above");
         let old = std::mem::replace(&mut slot.stamp, tick);
         let decision = slot.decision.clone();
         inner.recency.remove(&old);
         inner.recency.insert(tick, key.clone());
         Some(decision)
+    }
+
+    /// The current LRU tick — advanced only by hits and inserts.
+    #[cfg(test)]
+    fn tick(&self) -> u64 {
+        self.lock().tick
     }
 
     /// Inserts (or refreshes) a decision; returns how many entries were
@@ -173,6 +186,24 @@ mod tests {
         k2.assumption = PriorAssumption::Unrestricted;
         cache.insert(key(4, &[0]), decision("product"));
         assert!(cache.get(&k2).is_none());
+    }
+
+    #[test]
+    fn misses_leave_recency_untouched() {
+        let cache = VerdictCache::new(2);
+        cache.insert(key(4, &[0]), decision("a"));
+        cache.insert(key(4, &[1]), decision("b"));
+        let before = cache.tick();
+        // A storm of misses must not advance the clock...
+        for _ in 0..100 {
+            assert!(cache.get(&key(4, &[3])).is_none());
+        }
+        assert_eq!(cache.tick(), before, "misses consumed LRU ticks");
+        // ...or disturb the eviction order: "a" is still the LRU victim.
+        let evicted = cache.insert(key(4, &[2]), decision("c"));
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&key(4, &[0])).is_none(), "a was evicted");
+        assert!(cache.get(&key(4, &[1])).is_some());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! caller's), and [`ErrorCode::Shutdown`] (this instance is going away).
 
 use crate::metrics::Snapshot;
-use crate::proto::{ErrorCode, Request, RequestMeta, Response};
+use crate::proto::{ErrorCode, Request, RequestMeta, Response, WireSpan};
 use crate::service::AuditService;
 use epi_audit::auditor::ReportEntry;
 use epi_json::{Deserialize, Json, Serialize};
@@ -209,6 +209,34 @@ fn expect_stats(response: Response) -> Result<Snapshot, ClientError> {
     }
 }
 
+fn expect_trace(response: Response) -> Result<Vec<WireSpan>, ClientError> {
+    match response {
+        Response::Trace(spans) => Ok(spans),
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}
+
+fn expect_metrics_text(response: Response) -> Result<String, ClientError> {
+    match response {
+        Response::MetricsText(text) => Ok(text),
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}
+
 macro_rules! convenience_calls {
     () => {
         /// Records a disclosure and returns its safety finding.
@@ -247,6 +275,63 @@ macro_rules! convenience_calls {
         pub fn stats(&mut self) -> Result<Snapshot, ClientError> {
             let response = self.call(&Request::Stats)?;
             expect_stats(response)
+        }
+
+        /// Records a disclosure under a client-minted trace id, so the
+        /// server's per-request spans can be fetched later with
+        /// [`Self::trace`].
+        pub fn disclose_traced(
+            &mut self,
+            user: &str,
+            time: u64,
+            query: &str,
+            state_mask: u32,
+            audit_query: &str,
+            trace: &str,
+        ) -> Result<AuditOutcome, ClientError> {
+            let response = self.call_traced(
+                &Request::Disclose {
+                    user: user.to_owned(),
+                    time,
+                    query: query.to_owned(),
+                    state_mask,
+                    audit_query: audit_query.to_owned(),
+                },
+                Some(trace),
+            )?;
+            expect_outcome(response)
+        }
+
+        /// Fetches recent spans, optionally filtered to one trace id.
+        pub fn trace(
+            &mut self,
+            trace: Option<&str>,
+            limit: Option<u64>,
+        ) -> Result<Vec<WireSpan>, ClientError> {
+            let response = self.call(&Request::Trace {
+                trace: trace.map(str::to_owned),
+                limit,
+                slow: false,
+            })?;
+            expect_trace(response)
+        }
+
+        /// Fetches the slow-decision log (spans over the server's
+        /// configured threshold).
+        pub fn slow_log(&mut self, limit: Option<u64>) -> Result<Vec<WireSpan>, ClientError> {
+            let response = self.call(&Request::Trace {
+                trace: None,
+                limit,
+                slow: true,
+            })?;
+            expect_trace(response)
+        }
+
+        /// Fetches the metrics registry in Prometheus text exposition
+        /// format.
+        pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+            let response = self.call(&Request::MetricsText)?;
+            expect_metrics_text(response)
         }
     };
 }
@@ -328,13 +413,19 @@ impl Client {
         Ok(())
     }
 
-    fn exchange(&mut self, request: &Request, id: Option<&str>) -> Result<Response, ClientError> {
+    fn exchange(
+        &mut self,
+        request: &Request,
+        id: Option<&str>,
+        trace: Option<&str>,
+    ) -> Result<Response, ClientError> {
         if self.conn.is_none() {
             self.reconnect()?;
         }
         let meta = RequestMeta {
             id: id.map(str::to_owned),
             deadline_ms: None,
+            trace: trace.map(str::to_owned),
         };
         let mut line = meta.decorate(request.to_json()).render();
         line.push('\n');
@@ -365,8 +456,18 @@ impl Client {
     /// Sends one request and reads one response, applying the retry
     /// policy when one was configured ([`Client::with_retry`]).
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.call_traced(request, None)
+    }
+
+    /// Like [`Client::call`], tagging the request with a trace id the
+    /// server threads through every span it records for it.
+    pub fn call_traced(
+        &mut self,
+        request: &Request,
+        trace: Option<&str>,
+    ) -> Result<Response, ClientError> {
         let mut retry = self.retry.take();
-        let result = call_with_retries(&mut retry, |id| self.exchange(request, id));
+        let result = call_with_retries(&mut retry, |id| self.exchange(request, id, trace));
         self.retry = retry;
         result
     }
@@ -400,12 +501,23 @@ impl LocalClient {
     /// Dispatches one request directly, applying the retry policy when
     /// one was configured.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.call_traced(request, None)
+    }
+
+    /// Like [`LocalClient::call`], tagging the request with a trace id
+    /// the service threads through every span it records for it.
+    pub fn call_traced(
+        &mut self,
+        request: &Request,
+        trace: Option<&str>,
+    ) -> Result<Response, ClientError> {
         let service = Arc::clone(&self.service);
         let mut retry = self.retry.take();
         let result = call_with_retries(&mut retry, |id| {
             let meta = RequestMeta {
                 id: id.map(str::to_owned),
                 deadline_ms: None,
+                trace: trace.map(str::to_owned),
             };
             Ok(service.handle_with_meta(request, &meta))
         });

@@ -34,6 +34,17 @@
 //! error; clients retry with seeded, deterministic backoff under
 //! idempotent request ids ([`client::RetryPolicy`]); and every internal
 //! lock recovers from poisoning so one crash cannot wedge the service.
+//!
+//! # Observability
+//!
+//! Requests may carry a client-minted `trace` id in the envelope; the
+//! service threads it through every span it records for that request —
+//! connection handling, cache lookup, queue wait, worker compute, and
+//! individual solver stages — into a bounded in-memory ring
+//! (`epi-trace`). The `trace` protocol op reads spans back (optionally
+//! filtered by id, or the slow-decision log), and the `metrics` op
+//! renders every counter and per-stage latency histogram in Prometheus
+//! text exposition format ([`metrics::Snapshot::render_prometheus`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,7 +61,7 @@ pub mod worker;
 pub use cache::{DecisionKey, VerdictCache};
 pub use client::{AuditOutcome, Client, ClientError, LocalClient, RetryPolicy};
 pub use metrics::{Metrics, Snapshot};
-pub use proto::{ErrorCode, Request, RequestMeta, Response};
+pub use proto::{ErrorCode, Request, RequestMeta, Response, WireSpan};
 pub use server::{Server, ServerOptions};
 pub use service::{AuditService, ServiceConfig};
 pub use session::{Session, SessionStore};

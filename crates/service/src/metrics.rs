@@ -148,6 +148,14 @@ impl Metrics {
             pool_workers: epi_par::Pool::global().threads() as u64,
             pool_tasks: epi_par::stats().tasks_executed,
             pool_steals: epi_par::stats().steals,
+            pool_queue_waits: epi_par::stats().queue_waits,
+            pool_queue_wait_micros: epi_par::stats().queue_wait_micros,
+            // The trace ring lives beside the registry (in the service),
+            // which overwrites these after snapshotting; a bare registry
+            // reports zeros.
+            trace_spans: 0,
+            trace_dropped: 0,
+            slow_decisions: 0,
             stages: self
                 .stages
                 .iter()
@@ -201,6 +209,17 @@ pub struct Snapshot {
     pub pool_tasks: u64,
     /// Work-stealing events in the solver pool (process lifetime).
     pub pool_steals: u64,
+    /// Best-first queue pops that had to block for work (process
+    /// lifetime) — the solver-pool starvation signal.
+    pub pool_queue_waits: u64,
+    /// Total microseconds those pops spent blocked (process lifetime).
+    pub pool_queue_wait_micros: u64,
+    /// Spans recorded into the daemon's trace ring since startup.
+    pub trace_spans: u64,
+    /// Spans whose ring slot has since been overwritten (ring laps).
+    pub trace_dropped: u64,
+    /// Spans that crossed the slow-decision threshold since startup.
+    pub slow_decisions: u64,
     /// Per-stage decision counts and latency histograms.
     pub stages: Vec<StageSnapshot>,
 }
@@ -224,6 +243,171 @@ impl Snapshot {
         } else {
             self.solver_boxes as f64 / (self.solver_micros as f64 / 1e6)
         }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4): every counter, the gauges, and one
+    /// `epi_stage_latency_micros` histogram series per pipeline stage
+    /// with cumulative `le` buckets, `_sum` and `_count`.
+    ///
+    /// Bucket `k` of the internal power-of-two histogram counts
+    /// latencies in `[2^k, 2^(k+1))` µs, so its exposition upper bound
+    /// is `le="2^(k+1)"`; the saturating last bucket maps to `le="+Inf"`
+    /// (which, being cumulative, always equals `_count`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "epi_requests_total",
+            "Protocol requests handled.",
+            self.requests,
+        );
+        counter(
+            "epi_decide_requests_total",
+            "Requests that needed a safety decision.",
+            self.decide_requests,
+        );
+        counter(
+            "epi_negative_gated_total",
+            "Disclosures short-circuited by the negative-result rule.",
+            self.negative_gated,
+        );
+        counter(
+            "epi_cache_hits_total",
+            "Verdict-cache hits.",
+            self.cache_hits,
+        );
+        counter(
+            "epi_cache_misses_total",
+            "Verdict-cache misses.",
+            self.cache_misses,
+        );
+        counter(
+            "epi_cache_evictions_total",
+            "Verdict-cache evictions.",
+            self.cache_evictions,
+        );
+        counter(
+            "epi_coalesced_total",
+            "Decisions coalesced onto an in-flight computation.",
+            self.coalesced,
+        );
+        counter(
+            "epi_computed_total",
+            "Decisions computed by workers.",
+            self.computed,
+        );
+        counter(
+            "epi_solver_boxes_total",
+            "Branch-and-bound boxes committed across computed decisions.",
+            self.solver_boxes,
+        );
+        counter(
+            "epi_solver_micros_total",
+            "Wall micros of decisions that ran the branch-and-bound.",
+            self.solver_micros,
+        );
+        counter(
+            "epi_worker_respawns_total",
+            "Worker iterations that recovered from a solver panic.",
+            self.worker_respawns,
+        );
+        counter(
+            "epi_shed_requests_total",
+            "Requests shed with `overloaded` under queue pressure.",
+            self.shed_requests,
+        );
+        counter(
+            "epi_deadline_exceeded_total",
+            "Decisions undecided because of deadline expiry or shutdown.",
+            self.deadline_exceeded,
+        );
+        counter(
+            "epi_pool_tasks_total",
+            "Tasks executed by the process-wide solver pool.",
+            self.pool_tasks,
+        );
+        counter(
+            "epi_pool_steals_total",
+            "Work-stealing events in the solver pool.",
+            self.pool_steals,
+        );
+        counter(
+            "epi_pool_queue_waits_total",
+            "Best-first queue pops that blocked for work.",
+            self.pool_queue_waits,
+        );
+        counter(
+            "epi_pool_queue_wait_micros_total",
+            "Microseconds best-first queue pops spent blocked.",
+            self.pool_queue_wait_micros,
+        );
+        counter(
+            "epi_trace_spans_total",
+            "Spans recorded into the trace ring.",
+            self.trace_spans,
+        );
+        counter(
+            "epi_trace_dropped_total",
+            "Trace-ring spans overwritten by newer ones.",
+            self.trace_dropped,
+        );
+        counter(
+            "epi_slow_decisions_total",
+            "Spans that crossed the slow-decision threshold.",
+            self.slow_decisions,
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            "epi_queue_high_water",
+            "Worker-queue depth high-water mark.",
+            self.queue_high_water,
+        );
+        gauge(
+            "epi_pool_workers",
+            "Worker threads in the process-wide solver pool.",
+            self.pool_workers,
+        );
+        out.push_str(concat!(
+            "# HELP epi_stage_latency_micros Decision latency by deciding pipeline stage.\n",
+            "# TYPE epi_stage_latency_micros histogram\n",
+        ));
+        for stage in &self.stages {
+            let mut cumulative = 0u64;
+            for (k, &n) in stage.buckets.iter().enumerate() {
+                cumulative += n;
+                if k + 1 == stage.buckets.len() {
+                    out.push_str(&format!(
+                        "epi_stage_latency_micros_bucket{{stage=\"{}\",le=\"+Inf\"}} {}\n",
+                        stage.stage, cumulative
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "epi_stage_latency_micros_bucket{{stage=\"{}\",le=\"{}\"}} {}\n",
+                        stage.stage,
+                        1u64 << (k + 1),
+                        cumulative
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "epi_stage_latency_micros_sum{{stage=\"{}\"}} {}\n",
+                stage.stage, stage.total_micros
+            ));
+            out.push_str(&format!(
+                "epi_stage_latency_micros_count{{stage=\"{}\"}} {}\n",
+                stage.stage, stage.count
+            ));
+        }
+        out
     }
 }
 
@@ -282,6 +466,14 @@ impl Serialize for Snapshot {
             ("pool_workers", Json::from(self.pool_workers)),
             ("pool_tasks", Json::from(self.pool_tasks)),
             ("pool_steals", Json::from(self.pool_steals)),
+            ("pool_queue_waits", Json::from(self.pool_queue_waits)),
+            (
+                "pool_queue_wait_micros",
+                Json::from(self.pool_queue_wait_micros),
+            ),
+            ("trace_spans", Json::from(self.trace_spans)),
+            ("trace_dropped", Json::from(self.trace_dropped)),
+            ("slow_decisions", Json::from(self.slow_decisions)),
             // Derived, for dashboards that read the JSON directly; the
             // deserializer recomputes them from the counters.
             ("cache_hit_rate", Json::from(self.cache_hit_rate())),
@@ -296,13 +488,17 @@ impl Deserialize for Snapshot {
         Ok(Snapshot {
             requests: field(v, "requests")?,
             decide_requests: field(v, "decide_requests")?,
-            negative_gated: field(v, "negative_gated")?,
+            // Tolerant decode for counters that some daemon generations
+            // omit: a snapshot from an older (or minimally-configured)
+            // daemon must parse, with absent counters reading as zero.
+            // Requiring these used to reject otherwise-valid snapshots.
+            negative_gated: opt_field(v, "negative_gated")?.unwrap_or(0),
             cache_hits: field(v, "cache_hits")?,
             cache_misses: field(v, "cache_misses")?,
             cache_evictions: field(v, "cache_evictions")?,
-            coalesced: field(v, "coalesced")?,
+            coalesced: opt_field(v, "coalesced")?.unwrap_or(0),
             computed: field(v, "computed")?,
-            queue_high_water: field(v, "queue_high_water")?,
+            queue_high_water: opt_field(v, "queue_high_water")?.unwrap_or(0),
             // Absent in snapshots from pre-parallel-engine daemons.
             solver_boxes: opt_field(v, "solver_boxes")?.unwrap_or(0),
             solver_micros: opt_field(v, "solver_micros")?.unwrap_or(0),
@@ -313,6 +509,12 @@ impl Deserialize for Snapshot {
             pool_workers: opt_field(v, "pool_workers")?.unwrap_or(0),
             pool_tasks: opt_field(v, "pool_tasks")?.unwrap_or(0),
             pool_steals: opt_field(v, "pool_steals")?.unwrap_or(0),
+            // Absent in snapshots from pre-tracing daemons.
+            pool_queue_waits: opt_field(v, "pool_queue_waits")?.unwrap_or(0),
+            pool_queue_wait_micros: opt_field(v, "pool_queue_wait_micros")?.unwrap_or(0),
+            trace_spans: opt_field(v, "trace_spans")?.unwrap_or(0),
+            trace_dropped: opt_field(v, "trace_dropped")?.unwrap_or(0),
+            slow_decisions: opt_field(v, "slow_decisions")?.unwrap_or(0),
             stages: field(v, "stages")?,
         })
     }
@@ -365,14 +567,19 @@ mod tests {
     #[test]
     fn pre_parallel_snapshots_default_solver_fields_to_zero() {
         // A snapshot serialized by a daemon that predates the parallel
-        // engine has no solver/pool fields.
+        // engine has no solver/pool fields — and one from a minimal
+        // daemon generation may also omit `negative_gated`, `coalesced`
+        // and `queue_high_water`. All must decode to zero, not reject.
         let snap = Metrics::new().snapshot();
         let mut v = Json::parse(&snap.to_json().render()).unwrap();
         if let Json::Obj(fields) = &mut v {
             fields.retain(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "solver_boxes"
+                    "negative_gated"
+                        | "coalesced"
+                        | "queue_high_water"
+                        | "solver_boxes"
                         | "solver_micros"
                         | "worker_respawns"
                         | "shed_requests"
@@ -380,14 +587,137 @@ mod tests {
                         | "pool_workers"
                         | "pool_tasks"
                         | "pool_steals"
+                        | "pool_queue_waits"
+                        | "pool_queue_wait_micros"
+                        | "trace_spans"
+                        | "trace_dropped"
+                        | "slow_decisions"
                         | "cache_hit_rate"
                         | "boxes_per_sec"
                 )
             });
         }
         let back = Snapshot::from_json(&v).unwrap();
+        assert_eq!(back.negative_gated, 0);
+        assert_eq!(back.coalesced, 0);
+        assert_eq!(back.queue_high_water, 0);
         assert_eq!(back.solver_boxes, 0);
         assert_eq!(back.pool_workers, 0);
+        assert_eq!(back.trace_spans, 0);
+        assert_eq!(back.slow_decisions, 0);
         assert_eq!(back.boxes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn exact_powers_of_two_land_in_their_own_bucket() {
+        // Bucket `k` covers [2^k, 2^(k+1)): the lower boundary 2^k must
+        // land in bucket k, and 2^k - 1 in bucket k-1.
+        for k in 1..LATENCY_BUCKETS - 1 {
+            let m = Metrics::new();
+            m.record_decision(Some(Stage::BranchAndBound), 1u64 << k);
+            m.record_decision(Some(Stage::BranchAndBound), (1u64 << k) - 1);
+            let buckets = &m.snapshot().stages[5].buckets;
+            assert_eq!(buckets[k], 1, "2^{k} must land in bucket {k}");
+            assert_eq!(buckets[k - 1], 1, "2^{k}-1 must land in bucket {}", k - 1);
+        }
+    }
+
+    #[test]
+    fn last_bucket_saturates() {
+        // 2^(LATENCY_BUCKETS-1) is the first latency the catch-all
+        // bucket owns; everything above stays there instead of indexing
+        // out of bounds.
+        let m = Metrics::new();
+        let edge = 1u64 << (LATENCY_BUCKETS - 1);
+        m.record_decision(Some(Stage::Monotonicity), edge - 1);
+        m.record_decision(Some(Stage::Monotonicity), edge);
+        m.record_decision(Some(Stage::Monotonicity), edge * 2);
+        m.record_decision(Some(Stage::Monotonicity), u64::MAX);
+        let buckets = &m.snapshot().stages[2].buckets;
+        assert_eq!(buckets[LATENCY_BUCKETS - 2], 1);
+        assert_eq!(buckets[LATENCY_BUCKETS - 1], 3);
+    }
+
+    #[test]
+    fn snapshot_with_trace_fields_roundtrips() {
+        let m = Metrics::new();
+        Metrics::incr(&m.requests);
+        m.record_decision(Some(Stage::Unconditional), 3);
+        let mut snap = m.snapshot();
+        // The service layer fills these from the trace recorder.
+        snap.trace_spans = 12;
+        snap.trace_dropped = 4;
+        snap.slow_decisions = 2;
+        snap.pool_queue_waits = 7;
+        snap.pool_queue_wait_micros = 31_000;
+        let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.trace_spans, 12);
+        assert_eq!(back.slow_decisions, 2);
+        assert_eq!(back.pool_queue_wait_micros, 31_000);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_counters_and_stages() {
+        let m = Metrics::new();
+        Metrics::incr(&m.requests);
+        Metrics::incr(&m.cache_hits);
+        m.observe_queue_depth(5);
+        m.record_decision(Some(Stage::BranchAndBound), 900); // bucket 9: [512, 1024)
+        m.record_decision(None, 10);
+        let mut snap = m.snapshot();
+        snap.trace_spans = 3;
+        let text = snap.render_prometheus();
+        for name in [
+            "epi_requests_total",
+            "epi_decide_requests_total",
+            "epi_negative_gated_total",
+            "epi_cache_hits_total",
+            "epi_cache_misses_total",
+            "epi_cache_evictions_total",
+            "epi_coalesced_total",
+            "epi_computed_total",
+            "epi_solver_boxes_total",
+            "epi_solver_micros_total",
+            "epi_worker_respawns_total",
+            "epi_shed_requests_total",
+            "epi_deadline_exceeded_total",
+            "epi_pool_tasks_total",
+            "epi_pool_steals_total",
+            "epi_pool_queue_waits_total",
+            "epi_pool_queue_wait_micros_total",
+            "epi_trace_spans_total",
+            "epi_trace_dropped_total",
+            "epi_slow_decisions_total",
+            "epi_queue_high_water",
+            "epi_pool_workers",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing {name} in exposition:\n{text}"
+            );
+        }
+        // All 7 stage histograms appear with cumulative buckets.
+        for label in STAGE_LABELS {
+            assert!(
+                text.contains(&format!(
+                    "epi_stage_latency_micros_count{{stage=\"{label}\"}}"
+                )),
+                "missing stage {label}"
+            );
+            assert!(text.contains(&format!(
+                "epi_stage_latency_micros_bucket{{stage=\"{label}\",le=\"+Inf\"}}"
+            )));
+        }
+        // 900 µs lands in [512, 1024): cumulative count at le="1024" is 1,
+        // at le="512" still 0.
+        assert!(text
+            .contains("epi_stage_latency_micros_bucket{stage=\"branch_and_bound\",le=\"512\"} 0"));
+        assert!(text
+            .contains("epi_stage_latency_micros_bucket{stage=\"branch_and_bound\",le=\"1024\"} 1"));
+        assert!(text
+            .contains("epi_stage_latency_micros_bucket{stage=\"branch_and_bound\",le=\"+Inf\"} 1"));
+        assert!(text.contains("epi_stage_latency_micros_sum{stage=\"branch_and_bound\"} 900"));
+        assert!(text.contains("epi_trace_spans_total 3"));
     }
 }

@@ -16,6 +16,11 @@
 //! * `"deadline_ms"` — a wall-clock budget for the decision behind this
 //!   request. Expired decisions fail *closed* (inconclusive, never
 //!   `safe`).
+//! * `"trace"` — a client-minted trace identifier. Every span the request
+//!   produces inside the daemon (accept, session, cache, queue, solver
+//!   stages) carries it, and the `trace` operation filters by it. Absent
+//!   on pre-tracing clients; responses never echo it (the `id` member
+//!   already correlates lines).
 //!
 //! Error responses carry a machine-readable [`ErrorCode`] and, when the
 //! error is retryable, a `"retry_after_ms"` hint. Both are omitted from
@@ -56,6 +61,20 @@ pub enum Request {
     },
     /// Fetch a metrics snapshot.
     Stats,
+    /// Fetch recent spans from the daemon's trace ring, optionally
+    /// filtered by the trace id the client attached to earlier requests.
+    Trace {
+        /// Only spans carrying this trace id (all spans when `None`).
+        trace: Option<String>,
+        /// At most this many spans, newest kept (server default applies
+        /// when `None`).
+        limit: Option<u64>,
+        /// Read the slow-decision log instead of the main ring.
+        slow: bool,
+    },
+    /// Fetch the metrics registry rendered in Prometheus text exposition
+    /// format.
+    MetricsText,
     /// Liveness check.
     Ping,
 }
@@ -71,6 +90,9 @@ pub struct RequestMeta {
     pub id: Option<String>,
     /// Wall-clock budget for the decision, in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Client-minted trace identifier propagated onto every span this
+    /// request produces inside the daemon.
+    pub trace: Option<String>,
 }
 
 impl RequestMeta {
@@ -80,6 +102,7 @@ impl RequestMeta {
         Ok(RequestMeta {
             id: opt_field(v, "id")?,
             deadline_ms: opt_field(v, "deadline_ms")?,
+            trace: opt_field(v, "trace")?,
         })
     }
 
@@ -94,6 +117,9 @@ impl RequestMeta {
         }
         if let Some(ms) = self.deadline_ms {
             members.push(("deadline_ms".to_owned(), Json::from(ms)));
+        }
+        if let Some(trace) = &self.trace {
+            members.push(("trace".to_owned(), Json::from(trace.as_str())));
         }
         Json::Obj(members)
     }
@@ -122,6 +148,20 @@ impl Serialize for Request {
                 ("audit_query", Json::from(audit_query.as_str())),
             ]),
             Request::Stats => Json::obj([("op", Json::from("stats"))]),
+            Request::Trace { trace, limit, slow } => {
+                let mut members = vec![("op", Json::from("trace"))];
+                if let Some(trace) = trace {
+                    members.push(("trace", Json::from(trace.as_str())));
+                }
+                if let Some(limit) = limit {
+                    members.push(("limit", Json::from(*limit)));
+                }
+                if *slow {
+                    members.push(("slow", Json::from(true)));
+                }
+                Json::obj(members)
+            }
+            Request::MetricsText => Json::obj([("op", Json::from("metrics"))]),
             Request::Ping => Json::obj([("op", Json::from("ping"))]),
         }
     }
@@ -142,6 +182,12 @@ impl Deserialize for Request {
                 audit_query: field(v, "audit_query")?,
             }),
             "stats" => Ok(Request::Stats),
+            "trace" => Ok(Request::Trace {
+                trace: opt_field(v, "trace")?,
+                limit: opt_field(v, "limit")?,
+                slow: opt_field(v, "slow")?.unwrap_or(false),
+            }),
+            "metrics" => Ok(Request::MetricsText),
             "ping" => Ok(Request::Ping),
             other => Err(JsonError::decode(format!("unknown op {other:?}"))),
         }
@@ -207,6 +253,57 @@ impl Deserialize for ErrorCode {
     }
 }
 
+/// One span from the daemon's trace ring, as the `trace` operation
+/// returns it. Wire counterpart of `epi_trace::SpanRecord` with owned
+/// strings so it round-trips through JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Ring sequence number: a total order on spans (monotonic, gapless
+    /// per daemon lifetime even when the ring laps).
+    pub seq: u64,
+    /// The request's trace id, when the request carried one.
+    pub trace: Option<String>,
+    /// Stage label (`server.handle`, `queue.wait`, `solver.branch_and_bound`, …).
+    pub label: String,
+    /// Span start, microseconds since the daemon's trace epoch.
+    pub start_micros: u64,
+    /// Span duration in microseconds.
+    pub duration_micros: u64,
+    /// Optional free-form annotation (cache outcome, finding, …).
+    pub detail: Option<String>,
+}
+
+impl Serialize for WireSpan {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("seq", Json::from(self.seq)),
+            ("label", Json::from(self.label.as_str())),
+            ("start_micros", Json::from(self.start_micros)),
+            ("duration_micros", Json::from(self.duration_micros)),
+        ];
+        if let Some(trace) = &self.trace {
+            members.push(("trace", Json::from(trace.as_str())));
+        }
+        if let Some(detail) = &self.detail {
+            members.push(("detail", Json::from(detail.as_str())));
+        }
+        Json::obj(members)
+    }
+}
+
+impl Deserialize for WireSpan {
+    fn from_json(v: &Json) -> Result<WireSpan, JsonError> {
+        Ok(WireSpan {
+            seq: field(v, "seq")?,
+            trace: opt_field(v, "trace")?,
+            label: field(v, "label")?,
+            start_micros: field(v, "start_micros")?,
+            duration_micros: field(v, "duration_micros")?,
+            detail: opt_field(v, "detail")?,
+        })
+    }
+}
+
 /// One protocol response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -224,6 +321,10 @@ pub enum Response {
     },
     /// A metrics snapshot.
     Stats(Box<Snapshot>),
+    /// Spans matching a [`Request::Trace`] query, oldest first.
+    Trace(Vec<WireSpan>),
+    /// The metrics registry in Prometheus text exposition format.
+    MetricsText(String),
     /// The request could not be served.
     Error {
         /// Machine-readable classification.
@@ -283,6 +384,13 @@ impl Serialize for Response {
             Response::Stats(snapshot) => {
                 Json::obj([("kind", Json::from("stats")), ("stats", snapshot.to_json())])
             }
+            Response::Trace(spans) => {
+                Json::obj([("kind", Json::from("trace")), ("spans", spans.to_json())])
+            }
+            Response::MetricsText(text) => Json::obj([
+                ("kind", Json::from("metrics")),
+                ("text", Json::from(text.as_str())),
+            ]),
             Response::Error {
                 code,
                 message,
@@ -316,6 +424,8 @@ impl Deserialize for Response {
                 disclosures: field(v, "disclosures")?,
             }),
             "stats" => Ok(Response::Stats(Box::new(field(v, "stats")?))),
+            "trace" => Ok(Response::Trace(field(v, "spans")?)),
+            "metrics" => Ok(Response::MetricsText(field(v, "text")?)),
             "error" => Ok(Response::Error {
                 code: opt_field(v, "code")?.unwrap_or_default(),
                 message: field(v, "message")?,
@@ -348,11 +458,72 @@ mod tests {
                 audit_query: "secret".to_owned(),
             },
             Request::Stats,
+            Request::Trace {
+                trace: Some("t-42".to_owned()),
+                limit: Some(16),
+                slow: false,
+            },
+            Request::Trace {
+                trace: None,
+                limit: None,
+                slow: true,
+            },
+            Request::MetricsText,
             Request::Ping,
         ];
         for r in reqs {
             let j = Json::parse(&r.to_json().render()).unwrap();
             assert_eq!(Request::from_json(&j).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn trace_envelope_member_roundtrips_and_stays_optional() {
+        // A pre-tracing request line has no `trace` member and parses to
+        // `None` — backward compatible.
+        let bare = Json::parse(r#"{"op":"ping","id":"a-1"}"#).unwrap();
+        assert_eq!(RequestMeta::from_json(&bare).unwrap().trace, None);
+        let meta = RequestMeta {
+            id: Some("a-1".to_owned()),
+            deadline_ms: None,
+            trace: Some("t-7".to_owned()),
+        };
+        let line = meta.decorate(Request::Ping.to_json()).render();
+        assert_eq!(line, r#"{"op":"ping","id":"a-1","trace":"t-7"}"#);
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(RequestMeta::from_json(&parsed).unwrap(), meta);
+        // Present-but-mistyped trace is a protocol error.
+        let bad = Json::parse(r#"{"op":"ping","trace":17}"#).unwrap();
+        assert!(RequestMeta::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_responses_roundtrip() {
+        let resps = vec![
+            Response::Trace(vec![
+                WireSpan {
+                    seq: 3,
+                    trace: Some("t-42".to_owned()),
+                    label: "queue.wait".to_owned(),
+                    start_micros: 100,
+                    duration_micros: 250,
+                    detail: None,
+                },
+                WireSpan {
+                    seq: 4,
+                    trace: None,
+                    label: "worker.compute".to_owned(),
+                    start_micros: 350,
+                    duration_micros: 9000,
+                    detail: Some("finding=safe".to_owned()),
+                },
+            ]),
+            Response::Trace(Vec::new()),
+            Response::MetricsText("# TYPE epi_requests_total counter\n".to_owned()),
+        ];
+        for r in resps {
+            let j = Json::parse(&r.to_json().render()).unwrap();
+            assert_eq!(Response::from_json(&j).unwrap(), r);
         }
     }
 
@@ -412,6 +583,7 @@ mod tests {
         let meta = RequestMeta {
             id: Some("c0ffee-7".to_owned()),
             deadline_ms: Some(250),
+            trace: None,
         };
         let line = meta.decorate(Request::Ping.to_json()).render();
         assert_eq!(line, r#"{"op":"ping","id":"c0ffee-7","deadline_ms":250}"#);

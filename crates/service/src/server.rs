@@ -197,7 +197,14 @@ fn handle_connection(service: &AuditService, stream: TcpStream, options: ServerO
                 // responses still echo the client's request id.
                 let meta = RequestMeta::from_json(&value).unwrap_or_default();
                 let response = match Request::from_json(&value) {
-                    Ok(request) => service.handle_with_meta(&request, &meta),
+                    Ok(request) => {
+                        let span = service
+                            .tracer()
+                            .start(meta.trace.as_deref(), "server.handle");
+                        let response = service.handle_with_meta(&request, &meta);
+                        drop(span);
+                        response
+                    }
                     Err(e) => Response::bad_request(format!("bad request: {}", e.message)),
                 };
                 (response, meta.id)

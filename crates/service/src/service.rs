@@ -22,7 +22,7 @@
 
 use crate::cache::DecisionKey;
 use crate::metrics::{Metrics, Snapshot};
-use crate::proto::{ErrorCode, Request, RequestMeta, Response};
+use crate::proto::{ErrorCode, Request, RequestMeta, Response, WireSpan};
 use crate::session::SessionStore;
 use crate::worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};
 use epi_audit::auditor::{EntryKind, ReportEntry};
@@ -30,6 +30,7 @@ use epi_audit::query::parse;
 use epi_audit::{Auditor, Decision, Finding, PriorAssumption, Schema};
 use epi_core::{CancelToken, Deadline, WorldId, WorldSet};
 use epi_solver::ProductSolverOptions;
+use epi_trace::{Recorder, SpanRecord};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
@@ -60,6 +61,12 @@ pub struct ServiceConfig {
     /// Request-id de-duplication window, in remembered responses
     /// (`0` disables idempotent retries).
     pub dedupe_capacity: usize,
+    /// Span-ring capacity of the request tracer (`0` disables tracing
+    /// entirely — every span call becomes a no-op).
+    pub trace_capacity: usize,
+    /// Decisions (spans) at least this slow, in microseconds, are copied
+    /// into the slow-decision log (`None` disables the slow log).
+    pub slow_threshold_micros: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +82,8 @@ impl Default for ServiceConfig {
             queue_policy: QueuePolicy::Block,
             retry_after_ms: 50,
             dedupe_capacity: 256,
+            trace_capacity: 4096,
+            slow_threshold_micros: None,
         }
     }
 }
@@ -138,9 +147,25 @@ pub struct AuditService {
     sessions: SessionStore,
     pool: DecisionPool,
     metrics: Arc<Metrics>,
+    tracer: Arc<Recorder>,
     default_deadline: Option<Duration>,
     retry_after_ms: u64,
     dedupe: DedupeCache,
+}
+
+/// Default span count returned by a `trace` request with no `limit`.
+const DEFAULT_TRACE_LIMIT: usize = 256;
+
+/// Maps a recorded span onto its wire shape.
+fn wire_span(s: SpanRecord) -> WireSpan {
+    WireSpan {
+        seq: s.seq,
+        trace: s.trace.as_deref().map(str::to_owned),
+        label: s.label.to_owned(),
+        start_micros: s.start_micros,
+        duration_micros: s.duration_micros,
+        detail: s.detail,
+    }
 }
 
 impl AuditService {
@@ -158,9 +183,13 @@ impl AuditService {
         fault_hook: Option<FaultHook>,
     ) -> AuditService {
         let metrics = Arc::new(Metrics::new());
+        let tracer = Arc::new(Recorder::new(config.trace_capacity));
+        if let Some(threshold) = config.slow_threshold_micros {
+            tracer.set_slow_threshold_micros(threshold);
+        }
         let auditor = Auditor::new(config.assumption).with_product_options(config.product_options);
         let cube = schema.cube();
-        let pool = DecisionPool::with_policy(
+        let pool = DecisionPool::with_policy_traced(
             config.workers,
             config.queue_capacity,
             config.cache_capacity,
@@ -169,6 +198,7 @@ impl AuditService {
             Arc::clone(&metrics),
             config.queue_policy,
             fault_hook,
+            Arc::clone(&tracer),
         );
         AuditService {
             sessions: SessionStore::new(config.session_shards, cube.size()),
@@ -176,6 +206,7 @@ impl AuditService {
             assumption: config.assumption,
             pool,
             metrics,
+            tracer,
             default_deadline: config.default_deadline_ms.map(Duration::from_millis),
             retry_after_ms: config.retry_after_ms,
             dedupe: DedupeCache::new(config.dedupe_capacity),
@@ -187,9 +218,20 @@ impl AuditService {
         &self.schema
     }
 
-    /// A point-in-time copy of the service's counters.
+    /// A point-in-time copy of the service's counters, with the trace
+    /// recorder's totals folded in.
     pub fn metrics(&self) -> Snapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.trace_spans = self.tracer.spans_recorded();
+        snap.trace_dropped = self.tracer.spans_dropped();
+        snap.slow_decisions = self.tracer.slow_total();
+        snap
+    }
+
+    /// The service's span recorder — for embedders that want to read (or
+    /// record into) the trace ring without going through the protocol.
+    pub fn tracer(&self) -> &Recorder {
+        &self.tracer
     }
 
     /// The decision pool's shutdown token: cancelled once the service
@@ -211,8 +253,11 @@ impl AuditService {
     /// final (non-retryable) outcome.
     pub fn handle_with_meta(&self, request: &Request, meta: &RequestMeta) -> Response {
         Metrics::incr(&self.metrics.requests);
+        let trace = meta.trace.as_deref();
         if let Some(id) = &meta.id {
             if let Some(replay) = self.dedupe.get(id) {
+                self.tracer
+                    .event(trace, "dedupe.replay", Some(format!("id={id}")));
                 return replay;
             }
         }
@@ -231,11 +276,25 @@ impl AuditService {
                 query,
                 state_mask,
                 audit_query,
-            } => self.disclose(user, *time, query, *state_mask, audit_query, &deadline),
+            } => self.disclose(
+                user,
+                *time,
+                query,
+                *state_mask,
+                audit_query,
+                &deadline,
+                trace,
+            ),
             Request::Cumulative { user, audit_query } => {
-                self.cumulative(user, audit_query, &deadline)
+                self.cumulative(user, audit_query, &deadline, trace)
             }
-            Request::Stats => Response::Stats(Box::new(self.metrics.snapshot())),
+            Request::Stats => Response::Stats(Box::new(self.metrics())),
+            Request::Trace {
+                trace: wanted,
+                limit,
+                slow,
+            } => self.read_trace(wanted.as_deref(), *limit, *slow),
+            Request::MetricsText => Response::MetricsText(self.metrics().render_prometheus()),
             Request::Ping => Response::Pong,
         };
         if let Some(id) = &meta.id {
@@ -246,6 +305,29 @@ impl AuditService {
             }
         }
         response
+    }
+
+    /// Serves a `trace` request: recent spans (or the slow log) mapped
+    /// onto their wire shape, oldest first.
+    fn read_trace(&self, wanted: Option<&str>, limit: Option<u64>, slow: bool) -> Response {
+        let limit = limit.map_or(DEFAULT_TRACE_LIMIT, |n| {
+            usize::try_from(n).unwrap_or(usize::MAX)
+        });
+        let spans = if slow {
+            // The slow log is small; filter by trace after the fact so
+            // `limit` still bounds the response size.
+            let mut spans = self.tracer.slow(usize::MAX);
+            if let Some(t) = wanted {
+                spans.retain(|s| s.trace.as_deref() == Some(t));
+            }
+            if spans.len() > limit {
+                spans.drain(..spans.len() - limit);
+            }
+            spans
+        } else {
+            self.tracer.recent(wanted, limit)
+        };
+        Response::Trace(spans.into_iter().map(wire_span).collect())
     }
 
     fn compile(&self, text: &str) -> Result<(String, WorldSet), Response> {
@@ -261,7 +343,12 @@ impl AuditService {
     /// Submits a decision, translating pool-level failures into the typed
     /// error envelope. An already-expired deadline short-circuits before
     /// touching the queue.
-    fn decide(&self, key: DecisionKey, deadline: &Deadline) -> Result<Decision, Response> {
+    fn decide(
+        &self,
+        key: DecisionKey,
+        deadline: &Deadline,
+        trace: Option<&str>,
+    ) -> Result<Decision, Response> {
         if deadline.should_stop() {
             Metrics::incr(&self.metrics.deadline_exceeded);
             return Err(Response::Error {
@@ -271,7 +358,7 @@ impl AuditService {
             });
         }
         Metrics::incr(&self.metrics.decide_requests);
-        self.pool.decide_deadline(key, deadline).map_err(|e| {
+        self.pool.decide_traced(key, deadline, trace).map_err(|e| {
             let (code, retry_after_ms) = match e {
                 DecideError::Overloaded => (ErrorCode::Overloaded, Some(self.retry_after_ms)),
                 DecideError::WorkerFailed => (ErrorCode::WorkerFailed, None),
@@ -285,6 +372,7 @@ impl AuditService {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn disclose(
         &self,
         user: &str,
@@ -293,6 +381,7 @@ impl AuditService {
         state_mask: u32,
         audit_text: &str,
         deadline: &Deadline,
+        trace: Option<&str>,
     ) -> Response {
         let (_, audit_set) = match self.compile(audit_text) {
             Ok(x) => x,
@@ -318,10 +407,12 @@ impl AuditService {
         // The session update happens unconditionally — cumulative
         // knowledge accumulates even when this disclosure is excused by
         // the negative-result rule, exactly like the offline log.
-        if let Err(e) = self
-            .sessions
-            .apply_disclosure(user, time, state_mask, &disclosed)
-        {
+        let applied = {
+            let _span = self.tracer.start(trace, "session.apply");
+            self.sessions
+                .apply_disclosure(user, time, state_mask, &disclosed)
+        };
+        if let Err(e) = applied {
             return Response::bad_request(e.to_string());
         }
         if !audit_set.contains(WorldId(state_mask)) {
@@ -341,6 +432,7 @@ impl AuditService {
                 assumption: self.assumption,
             },
             deadline,
+            trace,
         ) {
             Ok(d) => d,
             Err(resp) => return resp,
@@ -357,7 +449,13 @@ impl AuditService {
         })
     }
 
-    fn cumulative(&self, user: &str, audit_text: &str, deadline: &Deadline) -> Response {
+    fn cumulative(
+        &self,
+        user: &str,
+        audit_text: &str,
+        deadline: &Deadline,
+        trace: Option<&str>,
+    ) -> Response {
         let (_, audit_set) = match self.compile(audit_text) {
             Ok(x) => x,
             Err(resp) => return resp,
@@ -390,6 +488,7 @@ impl AuditService {
                 assumption: self.assumption,
             },
             deadline,
+            trace,
         ) {
             Ok(d) => d,
             Err(resp) => return resp,
@@ -548,6 +647,7 @@ mod tests {
         let meta = RequestMeta {
             id: None,
             deadline_ms: Some(0),
+            trace: None,
         };
         let resp = svc.handle_with_meta(&disclose("mallory", 1, "hiv_pos", 0b11), &meta);
         let Response::Error { code, .. } = resp else {
@@ -566,6 +666,7 @@ mod tests {
         let meta = RequestMeta {
             id: Some("retry-1".to_owned()),
             deadline_ms: None,
+            trace: None,
         };
         let req = disclose("alice", 5, "hiv_pos", 0b00);
         let first = svc.handle_with_meta(&req, &meta);
@@ -580,6 +681,7 @@ mod tests {
         let meta2 = RequestMeta {
             id: Some("retry-2".to_owned()),
             deadline_ms: None,
+            trace: None,
         };
         let second = svc.handle_with_meta(&req, &meta2);
         assert!(matches!(second, Response::Entry(_)));

@@ -153,6 +153,18 @@ mod tests {
     }
 
     #[test]
+    fn zero_shards_clamps_to_one_instead_of_panicking() {
+        // A shard count of 0 would make `shard()` divide by zero on the
+        // first lookup; the constructor clamps it to a single shard.
+        let store = SessionStore::new(0, 4);
+        let b = WorldSet::from_indices(4, [1, 2]);
+        let s = store.apply_disclosure("dana", 1, 0, &b).unwrap();
+        assert_eq!(s.knowledge, b);
+        assert_eq!(store.get("dana").unwrap().disclosures, 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
     fn per_user_chronology_enforced() {
         let store = SessionStore::new(4, 4);
         let b = WorldSet::full(4);

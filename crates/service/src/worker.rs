@@ -39,12 +39,26 @@ use crate::metrics::Metrics;
 use epi_audit::{Auditor, Decision};
 use epi_boolean::Cube;
 use epi_core::{CancelToken, Deadline};
-use epi_solver::UndecidedReason;
+use epi_solver::{Stage, UndecidedReason};
+use epi_trace::Recorder;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Trace label for a solver stage span — `solver.` + the stage's metric
+/// label, as static strings (span labels name code locations).
+fn solver_span_label(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Unconditional => "solver.unconditional",
+        Stage::MiklauSuciu => "solver.miklau_suciu",
+        Stage::Monotonicity => "solver.monotonicity",
+        Stage::Cancellation => "solver.cancellation",
+        Stage::BoxNecessary => "solver.box_necessary",
+        Stage::BranchAndBound => "solver.branch_and_bound",
+    }
+}
 
 /// Why a decision could not be produced. Each variant maps onto one
 /// typed protocol error; none of them is ever reported as `Safe`.
@@ -134,6 +148,12 @@ struct QueueItem {
     key: DecisionKey,
     gate: Arc<Gate>,
     deadline: Deadline,
+    /// Trace id of the submitting request (coalesced waiters ride the
+    /// first submitter's trace, like they ride its deadline).
+    trace: Option<Arc<str>>,
+    /// When the item entered the queue — the worker turns this into a
+    /// `queue.wait` span at pop time.
+    enqueued: Instant,
 }
 
 struct Queue {
@@ -157,6 +177,9 @@ struct Shared {
     /// of running out their box budgets (bounded-grace drain).
     cancel: CancelToken,
     fault_hook: Option<FaultHook>,
+    /// Span recorder shared with the service (a disabled recorder when
+    /// the embedder did not opt into tracing — every call is a no-op).
+    tracer: Arc<Recorder>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -208,6 +231,35 @@ impl DecisionPool {
         policy: QueuePolicy,
         fault_hook: Option<FaultHook>,
     ) -> DecisionPool {
+        Self::with_policy_traced(
+            workers,
+            queue_capacity,
+            cache_capacity,
+            auditor,
+            cube,
+            metrics,
+            policy,
+            fault_hook,
+            Arc::new(Recorder::disabled()),
+        )
+    }
+
+    /// [`DecisionPool::with_policy`] sharing a span [`Recorder`] with the
+    /// embedder: the pool then emits `cache.lookup`, `dedupe.coalesced`,
+    /// `queue.wait`, `worker.compute` and `solver.*` spans, carrying the
+    /// trace id of the request that submitted each decision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_policy_traced(
+        workers: usize,
+        queue_capacity: usize,
+        cache_capacity: usize,
+        auditor: Auditor,
+        cube: Cube,
+        metrics: Arc<Metrics>,
+        policy: QueuePolicy,
+        fault_hook: Option<FaultHook>,
+        tracer: Arc<Recorder>,
+    ) -> DecisionPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 items: VecDeque::new(),
@@ -224,6 +276,7 @@ impl DecisionPool {
             metrics,
             cancel: CancelToken::new(),
             fault_hook,
+            tracer,
         });
         let workers = (0..workers.max(1))
             .map(|_| {
@@ -259,10 +312,28 @@ impl DecisionPool {
         key: DecisionKey,
         deadline: &Deadline,
     ) -> Result<Decision, DecideError> {
+        self.decide_traced(key, deadline, None)
+    }
+
+    /// [`DecisionPool::decide_deadline`] under a request trace id: the
+    /// cache lookup, any coalescing, the queue wait and the worker
+    /// computation (including individual solver stages) are recorded as
+    /// spans carrying `trace`.
+    pub fn decide_traced(
+        &self,
+        key: DecisionKey,
+        deadline: &Deadline,
+        trace: Option<&str>,
+    ) -> Result<Decision, DecideError> {
         let shared = &self.shared;
-        if let Some(hit) = shared.cache.get(&key) {
-            Metrics::incr(&shared.metrics.cache_hits);
-            return Ok(hit);
+        {
+            let mut lookup = shared.tracer.start(trace, "cache.lookup");
+            if let Some(hit) = shared.cache.get(&key) {
+                Metrics::incr(&shared.metrics.cache_hits);
+                lookup.detail("hit");
+                return Ok(hit);
+            }
+            lookup.detail("miss");
         }
         Metrics::incr(&shared.metrics.cache_misses);
 
@@ -270,6 +341,7 @@ impl DecisionPool {
             let mut pending = lock(&shared.pending);
             if let Some(gate) = pending.get(&key) {
                 Metrics::incr(&shared.metrics.coalesced);
+                shared.tracer.event(trace, "dedupe.coalesced", None);
                 let gate = Arc::clone(gate);
                 drop(pending);
                 return gate.wait();
@@ -278,6 +350,9 @@ impl DecisionPool {
             // and taking the pending lock; re-check before enqueueing.
             if let Some(hit) = shared.cache.get(&key) {
                 Metrics::incr(&shared.metrics.cache_hits);
+                shared
+                    .tracer
+                    .event(trace, "cache.lookup", Some("late hit".to_owned()));
                 return Ok(hit);
             }
             let gate = Arc::new(Gate::new());
@@ -310,6 +385,8 @@ impl DecisionPool {
             key,
             gate: Arc::clone(&gate),
             deadline: deadline.clone(),
+            trace: trace.map(Arc::from),
+            enqueued: Instant::now(),
         });
         shared.metrics.observe_queue_depth(queue.items.len());
         drop(queue);
@@ -343,15 +420,34 @@ impl DecisionPool {
                         .unwrap_or_else(PoisonError::into_inner);
                 }
             };
+            // The wait ends here: the start happened on the submitting
+            // thread, so the span is recorded with explicit timing.
+            let waited = item
+                .enqueued
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            shared.tracer.record(
+                item.trace.clone(),
+                "queue.wait",
+                shared.tracer.now_micros().saturating_sub(waited),
+                waited,
+                None,
+            );
             // Isolate the computation: a solver panic must answer the
             // waiters and leave the worker serving (a logical respawn).
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                Self::compute(shared, &item.key, &item.deadline)
+                Self::compute(shared, &item.key, &item.deadline, item.trace.as_deref())
             }));
             let outcome = match outcome {
                 Ok(decision) => Ok(decision),
                 Err(_panic) => {
                     Metrics::incr(&shared.metrics.worker_respawns);
+                    shared.tracer.event(
+                        item.trace.as_deref(),
+                        "worker.panic",
+                        Some("decision panicked; worker respawned".to_owned()),
+                    );
                     Err(DecideError::WorkerFailed)
                 }
             };
@@ -362,7 +458,13 @@ impl DecisionPool {
 
     /// One decision computation, run on a worker thread under panic
     /// isolation.
-    fn compute(shared: &Shared, key: &DecisionKey, deadline: &Deadline) -> Decision {
+    fn compute(
+        shared: &Shared,
+        key: &DecisionKey,
+        deadline: &Deadline,
+        trace: Option<&str>,
+    ) -> Decision {
+        let mut compute_span = shared.tracer.start(trace, "worker.compute");
         if let Some(hook) = &shared.fault_hook {
             hook(key);
         }
@@ -375,13 +477,35 @@ impl DecisionPool {
         }
         .with_token(shared.cancel.clone());
         let started = Instant::now();
-        let decision = shared.auditor.decide_sets_deadline(
+        let decision = shared.auditor.decide_sets_observed(
             &shared.cube,
             &key.audit,
             &key.disclosed,
             &effective,
+            &mut |stage, stage_micros| {
+                shared.tracer.record(
+                    trace.map(Arc::from),
+                    solver_span_label(stage),
+                    shared.tracer.now_micros().saturating_sub(stage_micros),
+                    stage_micros,
+                    None,
+                );
+            },
         );
         let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        if decision.stage.is_none() {
+            // The log-supermodular refutation search runs outside the
+            // staged pipeline, so the observer saw nothing; attribute the
+            // whole decision to its own span.
+            shared.tracer.record(
+                trace.map(Arc::from),
+                "solver.refutation_search",
+                shared.tracer.now_micros().saturating_sub(micros),
+                micros,
+                None,
+            );
+        }
+        compute_span.detail(format!("finding={}", decision.finding));
         shared.metrics.record_decision(decision.stage, micros);
         if decision.boxes_processed > 0 {
             shared

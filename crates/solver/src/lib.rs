@@ -32,7 +32,8 @@ pub mod wire;
 
 pub use algebraic::{AlgebraicFamily, AlgebraicOptions, AlgebraicWitness};
 pub use pipeline::{
-    decide_product_pipeline, decide_product_pipeline_deadline, PipelineDecision, Stage,
+    decide_product_pipeline, decide_product_pipeline_deadline, decide_product_pipeline_observed,
+    PipelineDecision, Stage, StageObserver,
 };
 pub use product::{
     decide_product_safety, decide_product_safety_deadline, ProductSolverOptions, ProductWitness,

@@ -22,6 +22,7 @@ use epi_boolean::criteria::{cancellation, miklau_suciu, monotonicity, necessary}
 use epi_boolean::Cube;
 use epi_core::{unrestricted, Deadline, WorldSet};
 use epi_num::Rational;
+use std::time::Instant;
 
 /// Which pipeline stage produced the decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -52,7 +53,27 @@ impl Stage {
             Stage::BranchAndBound => "branch-and-bound (§6.1)",
         }
     }
+
+    /// Machine-friendly label: lower_snake_case, stable across releases —
+    /// the spelling metrics registries and trace spans key on.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            Stage::Unconditional => "unconditional",
+            Stage::MiklauSuciu => "miklau_suciu",
+            Stage::Monotonicity => "monotonicity",
+            Stage::Cancellation => "cancellation",
+            Stage::BoxNecessary => "box_necessary",
+            Stage::BranchAndBound => "branch_and_bound",
+        }
+    }
 }
+
+/// Callback invoked once per *attempted* pipeline stage with the stage
+/// and its elapsed microseconds — including stages that did not decide
+/// (their rejection still cost time). Used by the auditing service to
+/// emit per-stage trace spans without the solver depending on any
+/// tracing crate.
+pub type StageObserver<'a> = &'a mut dyn FnMut(Stage, u64);
 
 /// A pipeline decision with provenance.
 #[derive(Clone, Debug)]
@@ -95,7 +116,34 @@ pub fn decide_product_pipeline_deadline(
     bnb_options: ProductSolverOptions,
     deadline: &Deadline,
 ) -> PipelineDecision {
-    if unrestricted::safe_unrestricted(a, b) {
+    decide_product_pipeline_observed(cube, a, b, bnb_options, deadline, &mut |_, _| {})
+}
+
+/// [`decide_product_pipeline_deadline`] reporting each attempted stage
+/// and its wall time to `observe`. Observation is a pure side channel:
+/// the decision and its witnesses are identical with any observer, so
+/// byte-for-byte determinism of traced runs is preserved.
+pub fn decide_product_pipeline_observed(
+    cube: &Cube,
+    a: &WorldSet,
+    b: &WorldSet,
+    bnb_options: ProductSolverOptions,
+    deadline: &Deadline,
+    observe: StageObserver<'_>,
+) -> PipelineDecision {
+    // Times one stage attempt and reports it whether or not it decided.
+    let timed = |stage: Stage, observe: &mut dyn FnMut(Stage, u64), f: &mut dyn FnMut() -> bool| {
+        let started = Instant::now();
+        let decided = f();
+        observe(
+            stage,
+            started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+        decided
+    };
+    if timed(Stage::Unconditional, observe, &mut || {
+        unrestricted::safe_unrestricted(a, b)
+    }) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Unconditional),
             stage: Stage::Unconditional,
@@ -103,7 +151,9 @@ pub fn decide_product_pipeline_deadline(
             undecided: None,
         };
     }
-    if miklau_suciu::safe_miklau_suciu(cube, a, b) {
+    if timed(Stage::MiklauSuciu, observe, &mut || {
+        miklau_suciu::safe_miklau_suciu(cube, a, b)
+    }) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Criterion("Miklau–Suciu")),
             stage: Stage::MiklauSuciu,
@@ -111,7 +161,9 @@ pub fn decide_product_pipeline_deadline(
             undecided: None,
         };
     }
-    if monotonicity::safe_monotone(cube, a, b) {
+    if timed(Stage::Monotonicity, observe, &mut || {
+        monotonicity::safe_monotone(cube, a, b)
+    }) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Criterion("monotonicity")),
             stage: Stage::Monotonicity,
@@ -119,7 +171,9 @@ pub fn decide_product_pipeline_deadline(
             undecided: None,
         };
     }
-    if cancellation::cancellation(cube, a, b) {
+    if timed(Stage::Cancellation, observe, &mut || {
+        cancellation::cancellation(cube, a, b)
+    }) {
         return PipelineDecision {
             verdict: Verdict::Safe(SafeEvidence::Criterion("cancellation")),
             stage: Stage::Cancellation,
@@ -137,7 +191,13 @@ pub fn decide_product_pipeline_deadline(
             undecided: Some(reason.into()),
         };
     }
-    if let Some(p) = necessary::refute_product_by_boxes(cube, a, b) {
+    let started = Instant::now();
+    let refutation = necessary::refute_product_by_boxes(cube, a, b);
+    observe(
+        Stage::BoxNecessary,
+        started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+    );
+    if let Some(p) = refutation {
         // Corner priors are rational by construction; rebuild exactly.
         let probs: Vec<Rational> = p
             .probs()
@@ -153,7 +213,12 @@ pub fn decide_product_pipeline_deadline(
             undecided: None,
         };
     }
+    let started = Instant::now();
     let (verdict, stats) = decide_product_safety_deadline(cube, a, b, bnb_options, deadline);
+    observe(
+        Stage::BranchAndBound,
+        started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+    );
     PipelineDecision {
         verdict,
         stage: Stage::BranchAndBound,

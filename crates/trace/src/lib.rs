@@ -1,0 +1,460 @@
+//! # epi-trace
+//!
+//! Request-scoped structured tracing for the auditing daemon, std-only
+//! (atomics and per-slot mutexes — no async runtime, no external
+//! subscriber framework).
+//!
+//! The paper's knowledge-based guarantees are only auditable when the
+//! evaluation trace itself is inspectable: "which stage of the decision
+//! pipeline did *this* request spend its deadline in?" is a question the
+//! aggregate counters cannot answer. This crate provides the substrate:
+//!
+//! * [`Recorder`] — a bounded ring buffer of [`SpanRecord`]s with
+//!   monotonic sequence numbers. Sequence allocation is a single
+//!   lock-free `fetch_add`; each ring slot is independently guarded, so
+//!   two writers only ever contend when the ring laps itself inside one
+//!   write (capacity is sized so that never happens in practice).
+//!   Recording never blocks readers for longer than one slot clone.
+//! * [`Span`] — an RAII guard that measures wall time from creation to
+//!   drop and records itself; [`Recorder::event`] records zero-duration
+//!   marks.
+//! * A **slow log** — spans whose duration meets a configurable
+//!   threshold are copied into a second bounded buffer, so the handful
+//!   of pathological decisions survive long after the main ring has
+//!   wrapped past them.
+//!
+//! Spans carry an optional **trace id** (an opaque client-minted
+//! string), letting a reader reassemble everything one request did
+//! across threads: connection handler, queue wait, worker compute,
+//! individual solver stages. Recording is strictly a side channel — it
+//! never changes control flow, so byte-for-byte determinism of the
+//! traced system is preserved.
+//!
+//! ```
+//! use epi_trace::Recorder;
+//! let rec = Recorder::new(64);
+//! {
+//!     let mut span = rec.start(Some("req-1"), "worker.compute");
+//!     span.detail("direct hit");
+//! } // recorded on drop
+//! rec.event(Some("req-1"), "cache.miss", None);
+//! let spans = rec.recent(Some("req-1"), 16);
+//! assert_eq!(spans.len(), 2);
+//! assert!(spans[0].seq < spans[1].seq);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// One recorded span (or zero-duration event).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotonic sequence number, unique per [`Recorder`]; total order
+    /// of recording, not of span *start* (a long span records at its
+    /// end, after shorter spans that started later).
+    pub seq: u64,
+    /// The request's trace id, when the request carried one.
+    pub trace: Option<Arc<str>>,
+    /// Stage label (`"queue.wait"`, `"worker.compute"`,
+    /// `"solver.branch_and_bound"`, …). Static by construction: labels
+    /// name code locations, not data.
+    pub label: &'static str,
+    /// Span start, microseconds since the recorder's epoch.
+    pub start_micros: u64,
+    /// Span duration in microseconds (0 for events).
+    pub duration_micros: u64,
+    /// Optional free-form annotation (`"hit"`, `"miss"`, a finding…).
+    pub detail: Option<String>,
+}
+
+/// A ring slot: `published` is `seq + 1` of the span held in `data`
+/// (0 = never written), bumped only after the write completes so readers
+/// can skip half-written generations without blocking on them.
+struct Slot {
+    published: AtomicU64,
+    data: Mutex<Option<SpanRecord>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bounded span recorder. Cheap enough to leave always-on: recording is
+/// one atomic `fetch_add`, one uncontended per-slot lock, and a handful
+/// of stores. Capacity 0 disables recording entirely (every call becomes
+/// a no-op), which is how embedders opt out without `Option`s at every
+/// call site.
+pub struct Recorder {
+    epoch: Instant,
+    next_seq: AtomicU64,
+    slots: Vec<Slot>,
+    slow_threshold_micros: AtomicU64,
+    slow_total: AtomicU64,
+    slow: Mutex<Vec<SpanRecord>>,
+    slow_capacity: usize,
+}
+
+impl Recorder {
+    /// A recorder holding the last `capacity` spans (`0` disables
+    /// recording). The slow log holds `capacity / 4` spans (at least 16
+    /// when enabled) and starts disabled — see
+    /// [`Recorder::set_slow_threshold_micros`].
+    pub fn new(capacity: usize) -> Recorder {
+        Recorder {
+            epoch: Instant::now(),
+            next_seq: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    published: AtomicU64::new(0),
+                    data: Mutex::new(None),
+                })
+                .collect(),
+            slow_threshold_micros: AtomicU64::new(u64::MAX),
+            slow_total: AtomicU64::new(0),
+            slow: Mutex::new(Vec::new()),
+            slow_capacity: if capacity == 0 {
+                0
+            } else {
+                (capacity / 4).max(16)
+            },
+        }
+    }
+
+    /// A recorder that records nothing (capacity 0).
+    pub fn disabled() -> Recorder {
+        Recorder::new(0)
+    }
+
+    /// Whether this recorder keeps spans at all.
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Microseconds since the recorder's epoch — the time base of every
+    /// [`SpanRecord::start_micros`].
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Spans whose duration is at least this many microseconds are
+    /// copied into the slow log (`u64::MAX`, the initial value,
+    /// disables it).
+    pub fn set_slow_threshold_micros(&self, micros: u64) {
+        self.slow_threshold_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Total spans recorded over the recorder's lifetime (including
+    /// those the ring has since overwritten).
+    pub fn spans_recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Spans no longer in the ring because newer ones lapped them.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_recorded()
+            .saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Spans that ever crossed the slow threshold (including those the
+    /// bounded slow log has since evicted).
+    pub fn slow_total(&self) -> u64 {
+        self.slow_total.load(Ordering::Relaxed)
+    }
+
+    /// Records a span with explicit timing — the building block under
+    /// [`Span`] and [`Recorder::event`]. Callers that measured a
+    /// duration themselves (e.g. a queue wait whose start happened on
+    /// another thread) use this directly.
+    pub fn record(
+        &self,
+        trace: Option<Arc<str>>,
+        label: &'static str,
+        start_micros: u64,
+        duration_micros: u64,
+        detail: Option<String>,
+    ) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let record = SpanRecord {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            trace,
+            label,
+            start_micros,
+            duration_micros,
+            detail,
+        };
+        if duration_micros >= self.slow_threshold_micros.load(Ordering::Relaxed) {
+            self.slow_total.fetch_add(1, Ordering::Relaxed);
+            let mut slow = lock(&self.slow);
+            if slow.len() >= self.slow_capacity {
+                slow.remove(0);
+            }
+            slow.push(record.clone());
+        }
+        let slot = &self.slots[(record.seq % self.slots.len() as u64) as usize];
+        let seq = record.seq;
+        *lock(&slot.data) = Some(record);
+        slot.published.store(seq + 1, Ordering::Release);
+    }
+
+    /// Records a zero-duration event stamped "now".
+    pub fn event(&self, trace: Option<&str>, label: &'static str, detail: Option<String>) {
+        if self.slots.is_empty() {
+            return;
+        }
+        self.record(trace.map(Arc::from), label, self.now_micros(), 0, detail);
+    }
+
+    /// Starts a span that records itself when dropped.
+    pub fn start<'a>(&'a self, trace: Option<&str>, label: &'static str) -> Span<'a> {
+        Span {
+            recorder: self,
+            trace: if self.is_enabled() {
+                trace.map(Arc::from)
+            } else {
+                None
+            },
+            label,
+            started: Instant::now(),
+            start_micros: if self.is_enabled() {
+                self.now_micros()
+            } else {
+                0
+            },
+            detail: None,
+        }
+    }
+
+    /// The most recent `limit` spans, oldest first, optionally filtered
+    /// by trace id. Reads are a consistent-enough snapshot for
+    /// monitoring: a span being written concurrently is either seen
+    /// complete or not at all, never torn.
+    pub fn recent(&self, trace: Option<&str>, limit: usize) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = self
+            .slots
+            .iter()
+            .filter(|slot| slot.published.load(Ordering::Acquire) != 0)
+            .filter_map(|slot| lock(&slot.data).clone())
+            .filter(|s| match trace {
+                Some(t) => s.trace.as_deref() == Some(t),
+                None => true,
+            })
+            .collect();
+        spans.sort_by_key(|s| s.seq);
+        if spans.len() > limit {
+            spans.drain(..spans.len() - limit);
+        }
+        spans
+    }
+
+    /// The most recent `limit` slow-log entries, oldest first.
+    pub fn slow(&self, limit: usize) -> Vec<SpanRecord> {
+        let slow = lock(&self.slow);
+        let skip = slow.len().saturating_sub(limit);
+        slow[skip..].to_vec()
+    }
+}
+
+/// RAII span: measures wall time from [`Recorder::start`] to drop, then
+/// records itself. Dropping is the only way to finish — matching how
+/// scope-shaped the traced pipeline stages are.
+pub struct Span<'a> {
+    recorder: &'a Recorder,
+    trace: Option<Arc<str>>,
+    label: &'static str,
+    started: Instant,
+    start_micros: u64,
+    detail: Option<String>,
+}
+
+impl Span<'_> {
+    /// Attaches (or replaces) the span's free-form annotation.
+    pub fn detail(&mut self, detail: impl Into<String>) {
+        self.detail = Some(detail.into());
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let micros = self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.recorder.record(
+            self.trace.take(),
+            self.label,
+            self.start_micros,
+            micros,
+            self.detail.take(),
+        );
+    }
+}
+
+/// Starts a [`Span`] on a recorder: `span!(rec, trace_opt, "label")`.
+/// Expands to [`Recorder::start`]; exists so call sites read as
+/// annotations rather than plumbing.
+#[macro_export]
+macro_rules! span {
+    ($recorder:expr, $trace:expr, $label:expr) => {
+        $recorder.start($trace, $label)
+    };
+}
+
+/// Records a zero-duration event: `event!(rec, trace_opt, "label")` or
+/// `event!(rec, trace_opt, "label", detail)`.
+#[macro_export]
+macro_rules! event {
+    ($recorder:expr, $trace:expr, $label:expr) => {
+        $recorder.event($trace, $label, None)
+    };
+    ($recorder:expr, $trace:expr, $label:expr, $detail:expr) => {
+        $recorder.event($trace, $label, Some($detail.into()))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_monotonic_and_dense() {
+        let rec = Recorder::new(8);
+        for i in 0..5 {
+            rec.event(None, "tick", Some(format!("{i}")));
+        }
+        let spans = rec.recent(None, 100);
+        assert_eq!(spans.len(), 5);
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rec.spans_recorded(), 5);
+        assert_eq!(rec.spans_dropped(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let rec = Recorder::new(4);
+        for i in 0..10u32 {
+            rec.event(None, "tick", Some(i.to_string()));
+        }
+        let spans = rec.recent(None, 100);
+        assert_eq!(spans.len(), 4, "ring capacity bounds retention");
+        let details: Vec<&str> = spans.iter().filter_map(|s| s.detail.as_deref()).collect();
+        assert_eq!(details, vec!["6", "7", "8", "9"]);
+        assert_eq!(rec.spans_dropped(), 6);
+    }
+
+    #[test]
+    fn trace_filter_and_limit() {
+        let rec = Recorder::new(32);
+        for i in 0..6 {
+            let trace = if i % 2 == 0 { "even" } else { "odd" };
+            rec.event(Some(trace), "tick", Some(i.to_string()));
+        }
+        let evens = rec.recent(Some("even"), 100);
+        assert_eq!(evens.len(), 3);
+        assert!(evens.iter().all(|s| s.trace.as_deref() == Some("even")));
+        let last_two = rec.recent(None, 2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[1].detail.as_deref(), Some("5"));
+        assert!(rec.recent(Some("nope"), 100).is_empty());
+    }
+
+    #[test]
+    fn spans_measure_and_record_on_drop() {
+        let rec = Recorder::new(8);
+        {
+            let mut s = rec.start(Some("t1"), "work");
+            s.detail("unit");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = rec.recent(Some("t1"), 10);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label, "work");
+        assert!(spans[0].duration_micros >= 1_000, "slept 2ms");
+        assert_eq!(spans[0].detail.as_deref(), Some("unit"));
+    }
+
+    #[test]
+    fn slow_log_captures_threshold_crossers() {
+        let rec = Recorder::new(64);
+        rec.set_slow_threshold_micros(500);
+        rec.record(None, "fast", 0, 10, None);
+        rec.record(Some(Arc::from("slowpoke")), "slow", 0, 1_000, None);
+        rec.record(None, "edge", 0, 500, None);
+        assert_eq!(rec.slow_total(), 2, "threshold is inclusive");
+        let slow = rec.slow(10);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].label, "slow");
+        assert_eq!(slow[1].label, "edge");
+        // The main ring still has all three.
+        assert_eq!(rec.recent(None, 10).len(), 3);
+    }
+
+    #[test]
+    fn slow_log_is_bounded() {
+        let rec = Recorder::new(64); // slow capacity = 16
+        rec.set_slow_threshold_micros(1);
+        for i in 0..40u64 {
+            rec.record(None, "slow", 0, 10 + i, None);
+        }
+        assert_eq!(rec.slow(100).len(), 16);
+        assert_eq!(rec.slow_total(), 40);
+        // The newest survive.
+        assert_eq!(rec.slow(100).last().unwrap().duration_micros, 49);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.event(Some("t"), "tick", None);
+        {
+            let _s = rec.start(Some("t"), "work");
+        }
+        assert_eq!(rec.spans_recorded(), 0);
+        assert!(rec.recent(None, 10).is_empty());
+        assert!(rec.slow(10).is_empty());
+    }
+
+    #[test]
+    fn macros_expand_to_recorder_calls() {
+        let rec = Recorder::new(8);
+        {
+            let mut s = span!(rec, Some("m"), "macro.span");
+            s.detail("via macro");
+        }
+        event!(rec, Some("m"), "macro.event");
+        event!(rec, Some("m"), "macro.event", "with detail");
+        let spans = rec.recent(Some("m"), 10);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].label, "macro.span");
+        assert_eq!(spans[2].detail.as_deref(), Some("with detail"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_ordered() {
+        let rec = Arc::new(Recorder::new(1024));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        rec.event(Some("shared"), "tick", Some(format!("{t}:{i}")));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.spans_recorded(), 800);
+        let spans = rec.recent(None, 2000);
+        assert_eq!(spans.len(), 800);
+        assert!(spans.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

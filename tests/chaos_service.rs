@@ -252,6 +252,7 @@ fn expired_deadlines_are_never_reported_safe() {
             &RequestMeta {
                 id: None,
                 deadline_ms: Some(0),
+                trace: None,
             },
         );
         let Response::Error { code, .. } = response else {
@@ -267,6 +268,7 @@ fn expired_deadlines_are_never_reported_safe() {
                 &RequestMeta {
                     id: None,
                     deadline_ms: Some(1),
+                    trace: None,
                 },
             );
             match response {
