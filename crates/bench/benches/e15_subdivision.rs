@@ -1,0 +1,104 @@
+//! E15 — microbenches for the incremental subdivision kernel: the
+//! `Interval` ring primitives on the legacy bound path, point evaluation
+//! (`Multilinear::eval_f64_with` contraction vs a Bernstein vertex-
+//! coefficient lookup, which is free once a box carries its tensor), and
+//! the tentpole comparison — de Casteljau halving of a parent Bernstein
+//! tensor vs recomputing the child tensor from scratch
+//! (`restrict_to_box` + `bernstein_coefficients`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_bench::hard_family;
+use epi_num::Interval;
+use epi_poly::{indicator, subdivision, Multilinear};
+use epi_solver::bernstein::DenseTensor;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_subdivision");
+
+    // Interval ring ops: the inner loop of the legacy interval bound.
+    let x = Interval::new(0.125, 0.625);
+    let y = Interval::new(0.25, 0.875);
+    g.bench_function("interval_add_mul", |b| {
+        b.iter(|| {
+            let mut acc = Interval::point(0.0);
+            for _ in 0..64 {
+                acc = acc + black_box(x) * black_box(y);
+            }
+            acc
+        })
+    });
+
+    for (name, cube, a, b_set) in hard_family() {
+        let n = cube.dims();
+        let pow3 = indicator::safety_gap_pow3::<f64>(n, &a, &b_set);
+        let tensor = DenseTensor::from_dense_pow3(&pow3);
+        let mut bern = tensor.coeffs().to_vec();
+        subdivision::pow3_to_bernstein(&mut bern, n);
+
+        // Point evaluation: multilinear contraction at a corner vs the
+        // vertex-coefficient lookup the incremental engine gets for free.
+        let ml: Multilinear<f64> = Multilinear::from_set(n, &a);
+        let corner: Vec<f64> = (0..n).map(|i| f64::from((i % 2) as u8)).collect();
+        let mask: u32 = corner
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > 0.5)
+            .map(|(i, _)| 1u32 << i)
+            .sum();
+        g.bench_with_input(
+            BenchmarkId::new("eval_multilinear_contraction", name),
+            &n,
+            |bench, _| {
+                let mut scratch = Vec::new();
+                bench.iter(|| ml.eval_f64_with(black_box(&corner), &mut scratch))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("eval_bernstein_vertex_lookup", name),
+            &n,
+            |bench, _| bench.iter(|| bern[subdivision::vertex_index(n, black_box(mask))]),
+        );
+
+        // The tentpole: halving the parent tensor along one axis vs
+        // rebuilding both child tensors from the root polynomial.
+        let dim = n / 2;
+        g.bench_with_input(
+            BenchmarkId::new("split_incremental_halving", name),
+            &n,
+            |bench, _| {
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                bench.iter(|| {
+                    subdivision::split_halves(black_box(&bern), n, dim, &mut left, &mut right);
+                    (left[0], right[0])
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("split_recompute_from_root", name),
+            &n,
+            |bench, _| {
+                let mut lo = vec![0.0; n];
+                let mut hi = vec![1.0; n];
+                bench.iter(|| {
+                    hi[dim] = 0.5;
+                    let left = tensor
+                        .restrict_to_box(black_box(&lo), &hi)
+                        .bernstein_coefficients();
+                    hi[dim] = 1.0;
+                    lo[dim] = 0.5;
+                    let right = tensor
+                        .restrict_to_box(&lo, black_box(&hi))
+                        .bernstein_coefficients();
+                    lo[dim] = 0.0;
+                    (left[0], right[0])
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

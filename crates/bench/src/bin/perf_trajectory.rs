@@ -1,38 +1,49 @@
-//! Perf-trajectory harness for the parallel solver engine: times the E8
-//! (product solver), E12 (audit composition) and E14 (parallel scaling /
-//! dense kernel) workloads against the pre-engine sequential baseline and
-//! writes the results to `BENCH_PR2.json` alongside the human-readable
-//! tables, so future PRs can diff the numbers machine-readably.
+//! Perf-trajectory harness for the solver engine: times the E8 (product
+//! solver), E12 (audit composition), E14 (parallel scaling / dense
+//! kernel) and E15 (incremental subdivision / zero-allocation hot path)
+//! workloads against the recorded baselines and writes the results to
+//! `BENCH_PR5.json` alongside the human-readable tables, so future PRs
+//! can diff the numbers machine-readably.
 //!
-//! Run:  `cargo run --release --bin perf_trajectory [-- out.json]`
+//! Run:  `cargo run --release --bin perf_trajectory [-- out.json [baseline.json]]`
 //!
-//! The baseline configuration (`dense_kernel: false, threads: 1`) is the
-//! seed solver verbatim: eager exact-rational gap assembly through the
-//! `BTreeMap` polynomial followed by the same Bernstein branch-and-bound.
-//! On this container `available_parallelism` may be 1, in which case the
-//! thread-count sweep is flat and every reported speedup is algorithmic —
-//! the dense multilinear kernel — not hardware scaling; the JSON records
-//! the core count so readers can tell the two apart.
+//! The `legacy_seq` configuration (`dense_kernel: false, threads: 1`) is
+//! the seed solver verbatim: eager exact-rational gap assembly through
+//! the `BTreeMap` polynomial followed by the same Bernstein
+//! branch-and-bound. E15 additionally compares the incremental
+//! subdivision engine against the recompute-per-box path and against the
+//! committed `BENCH_PR2.json` numbers, reporting boxes/sec and — thanks
+//! to the counting global allocator this binary installs —
+//! allocations/box. On this container `available_parallelism` may be 1,
+//! in which case the thread-count sweep is flat and every reported
+//! speedup is algorithmic; the JSON records the core count so readers
+//! can tell the two apart.
 
 use epi_bench::{hard_family, PairShape};
 use epi_boolean::Cube;
 use epi_core::WorldSet;
 use epi_json::Json;
-use epi_solver::{decide_product_safety, ProductSolverOptions, Verdict};
+use epi_solver::{decide_product_safety, ProductSolverOptions, SubdivisionMode, Verdict};
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// Median-of-3 wall time in milliseconds.
+/// Every allocation in this binary goes through the counting allocator,
+/// so the E15 rows can report allocations per box on the solver hot path.
+#[global_allocator]
+static ALLOC: epi_bench::alloc::CountingAllocator = epi_bench::alloc::CountingAllocator;
+
+/// Best-of-9 wall time in milliseconds. Box counts are deterministic —
+/// only scheduling noise varies between runs — so the minimum is the
+/// faithful estimate of a configuration's cost (a single descheduled
+/// run would skew a mean, and can even skew a median-of-3).
 fn time_ms(mut f: impl FnMut()) -> f64 {
-    let mut walls: Vec<f64> = (0..3)
+    (0..9)
         .map(|_| {
             let t = Instant::now();
             f();
             t.elapsed().as_secs_f64() * 1e3
         })
-        .collect();
-    walls.sort_by(f64::total_cmp);
-    walls[1]
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn verdict_tag(v: &Verdict<epi_solver::ProductWitness>) -> &'static str {
@@ -244,12 +255,185 @@ fn e14() -> (Json, f64) {
     (Json::arr(rows), aggregate)
 }
 
+/// The E15 instance set: the adversarial (verdict-unknown) rows of the
+/// E14 hard family — the instances where the branch-and-bound grinds its
+/// full box budget, so per-box kernel cost is exactly what the wall
+/// clock measures.
+fn e15_instances() -> Vec<(String, Cube, WorldSet, WorldSet, usize)> {
+    hard_family()
+        .into_iter()
+        .map(|(name, cube, a, b)| {
+            let budget = if cube.dims() >= 9 { 1_000 } else { 8_000 };
+            (name.to_string(), cube, a, b, budget)
+        })
+        .collect()
+}
+
+/// Per-instance `dense_1t` boxes/sec recorded in `BENCH_PR2.json`, keyed
+/// by instance name. Missing file or rows simply yield no baseline (the
+/// speedup fields are then omitted).
+fn pr2_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let Some(Json::Arr(rows)) = doc.get("e14") else {
+        return Vec::new();
+    };
+    for row in rows {
+        let (Some(name), Some(boxes), Some(wall_ms)) = (
+            row.get("instance").and_then(Json::as_str),
+            row.get("boxes_processed").and_then(Json::as_f64),
+            row.get("dense_1t")
+                .and_then(|w| w.get("wall_ms"))
+                .and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        if wall_ms > 0.0 {
+            out.push((name.to_owned(), boxes / (wall_ms / 1e3)));
+        }
+    }
+    out
+}
+
+fn e15(baseline_path: &str) -> (Json, f64, Option<f64>) {
+    println!("\n## E15 — incremental subdivision kernel (adversarial hard family)\n");
+    let baseline = pr2_baseline(baseline_path);
+    let mut rows = Vec::new();
+    let mut total_boxes = 0.0f64;
+    let mut total_secs = 0.0f64;
+    let mut total_base_secs = 0.0f64;
+    let mut have_all_baselines = !baseline.is_empty();
+    for (name, cube, a, b, max_boxes) in e15_instances() {
+        let base = ProductSolverOptions {
+            max_boxes,
+            coordinate_ascent: false,
+            sos_fallback: false,
+            ..Default::default()
+        };
+        let configs = [
+            (
+                "recompute_1t",
+                ProductSolverOptions {
+                    subdivision: SubdivisionMode::Recompute,
+                    threads: 1,
+                    ..base
+                },
+            ),
+            (
+                "incremental_1t",
+                ProductSolverOptions {
+                    subdivision: SubdivisionMode::Incremental,
+                    threads: 1,
+                    ..base
+                },
+            ),
+            (
+                "incremental_8t",
+                ProductSolverOptions {
+                    subdivision: SubdivisionMode::Incremental,
+                    threads: 8,
+                    ..base
+                },
+            ),
+        ];
+        let mut cells = Vec::new();
+        let mut boxes = 0usize;
+        let mut verdicts = Vec::new();
+        for (tag, opts) in configs {
+            // Warm the arenas first so the steady state is what's timed,
+            // then measure allocations over one solve.
+            let (v, stats) = decide_product_safety(&cube, &a, &b, opts);
+            let allocs_before = epi_par::heap_allocations();
+            let _ = decide_product_safety(&cube, &a, &b, opts);
+            let allocs = epi_par::heap_allocations() - allocs_before;
+            let wall = time_ms(|| {
+                let _ = decide_product_safety(&cube, &a, &b, opts);
+            });
+            boxes = stats.boxes_processed;
+            verdicts.push(verdict_tag(&v));
+            let allocs_per_box = allocs as f64 / stats.boxes_processed.max(1) as f64;
+            cells.push((tag, wall, allocs_per_box));
+        }
+        assert!(
+            verdicts.iter().all(|v| *v == verdicts[0]),
+            "{name}: subdivision engines must agree"
+        );
+        let inc_1t = cells[1].1;
+        let inc_8t = cells[2].1;
+        let boxes_per_sec_1t = boxes as f64 / (inc_1t / 1e3);
+        total_boxes += boxes as f64;
+        total_secs += inc_1t / 1e3;
+        let base_bps = baseline
+            .iter()
+            .find(|(b_name, _)| b_name == &name)
+            .map(|(_, bps)| *bps);
+        if base_bps.is_none() {
+            have_all_baselines = false;
+        } else if let Some(bps) = base_bps {
+            total_base_secs += boxes as f64 / bps;
+        }
+        println!(
+            "{name} (n={}, {} boxes, {}): {}  boxes/sec_1t={boxes_per_sec_1t:.0}{}",
+            cube.dims(),
+            boxes,
+            verdicts[0],
+            cells
+                .iter()
+                .map(|(t, w, apb)| format!("{t}={w:.1}ms({apb:.2}allocs/box)"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            base_bps
+                .map(|bps| format!(" speedup_vs_pr2={:.2}x", boxes_per_sec_1t / bps))
+                .unwrap_or_default()
+        );
+        let mut fields = vec![
+            ("instance", Json::from(name.as_str())),
+            ("n", Json::from(cube.dims())),
+            ("max_boxes", Json::from(max_boxes)),
+            ("boxes_processed", Json::from(boxes)),
+            ("verdict", Json::from(verdicts[0])),
+            ("boxes_per_sec_1t", Json::from(boxes_per_sec_1t)),
+            ("speedup_8t_vs_1t", Json::from(inc_1t / inc_8t)),
+        ];
+        if let Some(bps) = base_bps {
+            fields.push(("pr2_boxes_per_sec", Json::from(bps)));
+            fields.push(("speedup_vs_pr2", Json::from(boxes_per_sec_1t / bps)));
+        }
+        fields.extend(cells.iter().map(|(t, w, apb)| {
+            (
+                *t,
+                Json::obj([
+                    ("wall_ms", Json::from(*w)),
+                    ("allocs_per_box", Json::from(*apb)),
+                ]),
+            )
+        }));
+        rows.push(Json::obj(fields));
+    }
+    let aggregate_bps = total_boxes / total_secs;
+    let aggregate_speedup =
+        (have_all_baselines && total_base_secs > 0.0).then(|| total_base_secs / total_secs);
+    println!("\naggregate incremental_1t throughput: {aggregate_bps:.0} boxes/sec");
+    if let Some(s) = aggregate_speedup {
+        println!("aggregate speedup vs PR2 dense_1t: {s:.2}x");
+    }
+    (Json::arr(rows), aggregate_bps, aggregate_speedup)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let baseline_path = std::env::args()
+        .nth(2)
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
-    println!("# Perf trajectory — PR 2 parallel solver engine");
+    println!("# Perf trajectory — PR 5 incremental subdivision kernel");
     println!("available_parallelism={cores}");
 
     let e8_configs: Vec<(&str, ProductSolverOptions)> = vec![
@@ -279,9 +463,10 @@ fn main() {
     let e8_json = e8(&e8_configs);
     let e12_json = e12();
     let (e14_json, aggregate) = e14();
+    let (e15_json, e15_bps, e15_speedup) = e15(&baseline_path);
 
-    let doc = Json::obj([
-        ("pr", Json::from(2usize)),
+    let mut fields = vec![
+        ("pr", Json::from(5usize)),
         ("generated_by", Json::from("perf_trajectory")),
         ("available_parallelism", Json::from(cores)),
         (
@@ -292,15 +477,24 @@ fn main() {
             "note",
             Json::from(
                 "baseline legacy_seq is the pre-engine solver (BTreeMap rational gap \
-                 assembly, one thread); on a single-core container the thread sweep is \
-                 flat and all speedup is algorithmic (dense multilinear kernel)",
+                 assembly, one thread); E15 compares the incremental Bernstein \
+                 subdivision engine against recompute-per-box and the committed \
+                 BENCH_PR2.json dense_1t numbers. On a single-core container the \
+                 thread sweep is flat and all speedup is algorithmic; allocs/box is \
+                 measured by the counting global allocator over a warm (second) solve",
             ),
         ),
         ("e8", e8_json),
         ("e12", e12_json),
         ("e14", e14_json),
         ("e14_aggregate_speedup_8t", Json::from(aggregate)),
-    ]);
+        ("e15", e15_json),
+        ("e15_aggregate_boxes_per_sec_1t", Json::from(e15_bps)),
+    ];
+    if let Some(s) = e15_speedup {
+        fields.push(("e15_aggregate_speedup_vs_pr2", Json::from(s)));
+    }
+    let doc = Json::obj(fields);
     std::fs::write(&out_path, doc.render() + "\n").expect("write BENCH json");
     println!("\nwrote {out_path}");
 }

@@ -17,6 +17,12 @@
 //!   detection, for best-first branch-and-bound where workers both
 //!   consume and produce boxes.
 //!
+//! Around them, two allocation-discipline helpers: [`BufferPool`] and
+//! the thread-local scratch shelf ([`take_scratch_f64`]) recycle the
+//! hot-path buffers of the box search, and [`ChunkPolicy`] decides when
+//! a frontier wave is big enough to be worth fanning out at all
+//! (`EPI_PAR_MIN_WAVE`).
+//!
 //! Worker counts resolve, in order: an explicit count passed to
 //! [`Pool::new`], the `EPI_PAR_THREADS` environment variable, and
 //! finally [`std::thread::available_parallelism`]. All pools are
@@ -43,11 +49,18 @@
 
 #![forbid(unsafe_code)]
 
+mod arena;
+mod chunk;
 mod map;
 mod queue;
 mod scope;
 mod stats;
 
+pub use arena::{
+    give_scratch_f64, heap_allocations, heap_bytes_allocated, record_heap_alloc, take_scratch_f64,
+    BufferPool,
+};
+pub use chunk::{ChunkPolicy, MIN_WAVE_ENV};
 pub use epi_core::{CancelToken, Deadline, StopReason};
 pub use queue::{BestFirstQueue, OrdF64};
 pub use scope::Scope;

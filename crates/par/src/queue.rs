@@ -215,6 +215,16 @@ impl<P: Ord, T> BestFirstQueue<P, T> {
     pub fn is_closed(&self) -> bool {
         self.lock().closed
     }
+
+    /// Remove and return every item still parked in the queue, in no
+    /// particular order. For the owner's cleanup pass *after* the search
+    /// has ended (workers joined): items abandoned by a close or budget
+    /// stop often hold pooled buffers that should be checked back in
+    /// rather than dropped.
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        inner.heap.drain().map(|entry| entry.item).collect()
+    }
 }
 
 impl<P: Ord, T> Default for BestFirstQueue<P, T> {
@@ -227,6 +237,19 @@ impl<P: Ord, T> Default for BestFirstQueue<P, T> {
 mod tests {
     use super::*;
     use std::cmp::Reverse;
+
+    #[test]
+    fn drain_remaining_empties_a_closed_queue() {
+        let q: BestFirstQueue<u32, u32> = BestFirstQueue::new();
+        q.push(1, 10);
+        q.push(2, 20);
+        q.close();
+        assert_eq!(q.pop(), None, "closed queue serves nothing");
+        let mut left = q.drain_remaining();
+        left.sort_unstable();
+        assert_eq!(left, vec![10, 20], "abandoned items are recoverable");
+        assert!(q.drain_remaining().is_empty());
+    }
 
     #[test]
     fn pops_in_priority_order_with_fifo_ties() {

@@ -10,6 +10,11 @@ static STEALS: AtomicU64 = AtomicU64::new(0);
 static MAPS: AtomicU64 = AtomicU64::new(0);
 static QUEUE_WAITS: AtomicU64 = AtomicU64::new(0);
 static QUEUE_WAIT_MICROS: AtomicU64 = AtomicU64::new(0);
+static ARENA_CHECKOUTS: AtomicU64 = AtomicU64::new(0);
+static ARENA_MISSES: AtomicU64 = AtomicU64::new(0);
+static ARENA_HIGH_WATER_BYTES: AtomicU64 = AtomicU64::new(0);
+static WAVES_SEQUENTIAL: AtomicU64 = AtomicU64::new(0);
+static WAVES_PARALLEL: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time view of the counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,6 +31,17 @@ pub struct StatsSnapshot {
     /// starvation signal: high wait with low steals means the search
     /// front is too narrow for the worker count.
     pub queue_wait_micros: u64,
+    /// Arena buffer checkouts (pooled tensors/boxes + thread scratch).
+    pub arena_checkouts: u64,
+    /// Checkouts that had to allocate — a warm hot path keeps this flat
+    /// while `arena_checkouts` climbs.
+    pub arena_misses: u64,
+    /// High-water mark of bytes parked across all buffer pools.
+    pub arena_high_water_bytes: u64,
+    /// Frontier waves the chunk policy kept on the calling thread.
+    pub waves_sequential: u64,
+    /// Frontier waves the chunk policy fanned out across workers.
+    pub waves_parallel: u64,
 }
 
 /// Snapshot the process-wide counters.
@@ -36,6 +52,11 @@ pub fn stats() -> StatsSnapshot {
         parallel_maps: MAPS.load(Ordering::Relaxed),
         queue_waits: QUEUE_WAITS.load(Ordering::Relaxed),
         queue_wait_micros: QUEUE_WAIT_MICROS.load(Ordering::Relaxed),
+        arena_checkouts: ARENA_CHECKOUTS.load(Ordering::Relaxed),
+        arena_misses: ARENA_MISSES.load(Ordering::Relaxed),
+        arena_high_water_bytes: ARENA_HIGH_WATER_BYTES.load(Ordering::Relaxed),
+        waves_sequential: WAVES_SEQUENTIAL.load(Ordering::Relaxed),
+        waves_parallel: WAVES_PARALLEL.load(Ordering::Relaxed),
     }
 }
 
@@ -54,4 +75,23 @@ pub(crate) fn record_map() {
 pub(crate) fn record_queue_wait(micros: u64) {
     QUEUE_WAITS.fetch_add(1, Ordering::Relaxed);
     QUEUE_WAIT_MICROS.fetch_add(micros, Ordering::Relaxed);
+}
+
+pub(crate) fn record_arena_checkout(miss: bool) {
+    ARENA_CHECKOUTS.fetch_add(1, Ordering::Relaxed);
+    if miss {
+        ARENA_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn record_arena_high_water(resident_bytes: u64) {
+    ARENA_HIGH_WATER_BYTES.fetch_max(resident_bytes, Ordering::Relaxed);
+}
+
+pub(crate) fn record_wave(parallel: bool) {
+    if parallel {
+        WAVES_PARALLEL.fetch_add(1, Ordering::Relaxed);
+    } else {
+        WAVES_SEQUENTIAL.fetch_add(1, Ordering::Relaxed);
+    }
 }

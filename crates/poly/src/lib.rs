@@ -13,7 +13,10 @@
 //! * [`Multilinear`] / [`DensePow3`] — dense subset-mask-indexed kernels
 //!   for the multilinear polynomials of Prop 6.1 and their products;
 //! * [`indicator`] — `P[A](p)` indicator polynomials and safety-gap
-//!   polynomials over `{0,1}ⁿ`.
+//!   polynomials over `{0,1}ⁿ`;
+//! * [`subdivision`] — de Casteljau halving kernels, Bernstein range
+//!   scans and split-axis heuristics for the solver's incremental
+//!   branch-and-bound.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod indicator;
 mod monomial;
 mod multilinear;
 mod polynomial;
+pub mod subdivision;
 
 pub use coeff::Coeff;
 pub use monomial::Monomial;

@@ -150,6 +150,11 @@ impl Metrics {
             pool_steals: epi_par::stats().steals,
             pool_queue_waits: epi_par::stats().queue_waits,
             pool_queue_wait_micros: epi_par::stats().queue_wait_micros,
+            pool_arena_checkouts: epi_par::stats().arena_checkouts,
+            pool_arena_misses: epi_par::stats().arena_misses,
+            pool_arena_high_water_bytes: epi_par::stats().arena_high_water_bytes,
+            pool_waves_sequential: epi_par::stats().waves_sequential,
+            pool_waves_parallel: epi_par::stats().waves_parallel,
             // The trace ring lives beside the registry (in the service),
             // which overwrites these after snapshotting; a bare registry
             // reports zeros.
@@ -214,6 +219,17 @@ pub struct Snapshot {
     pub pool_queue_waits: u64,
     /// Total microseconds those pops spent blocked (process lifetime).
     pub pool_queue_wait_micros: u64,
+    /// Solver arena buffer checkouts (process lifetime).
+    pub pool_arena_checkouts: u64,
+    /// Arena checkouts that had to allocate — flat while `checkouts`
+    /// climbs means the zero-allocation hot path is holding.
+    pub pool_arena_misses: u64,
+    /// High-water mark of bytes parked across the solver buffer pools.
+    pub pool_arena_high_water_bytes: u64,
+    /// Frontier waves the chunk policy kept sequential (process lifetime).
+    pub pool_waves_sequential: u64,
+    /// Frontier waves the chunk policy fanned out (process lifetime).
+    pub pool_waves_parallel: u64,
     /// Spans recorded into the daemon's trace ring since startup.
     pub trace_spans: u64,
     /// Spans whose ring slot has since been overwritten (ring laps).
@@ -347,6 +363,26 @@ impl Snapshot {
             self.pool_queue_wait_micros,
         );
         counter(
+            "epi_pool_arena_checkouts_total",
+            "Solver arena buffer checkouts.",
+            self.pool_arena_checkouts,
+        );
+        counter(
+            "epi_pool_arena_misses_total",
+            "Arena checkouts that had to allocate.",
+            self.pool_arena_misses,
+        );
+        counter(
+            "epi_pool_waves_sequential_total",
+            "Frontier waves kept sequential by the chunk policy.",
+            self.pool_waves_sequential,
+        );
+        counter(
+            "epi_pool_waves_parallel_total",
+            "Frontier waves fanned out by the chunk policy.",
+            self.pool_waves_parallel,
+        );
+        counter(
             "epi_trace_spans_total",
             "Spans recorded into the trace ring.",
             self.trace_spans,
@@ -375,6 +411,11 @@ impl Snapshot {
             "epi_pool_workers",
             "Worker threads in the process-wide solver pool.",
             self.pool_workers,
+        );
+        gauge(
+            "epi_pool_arena_high_water_bytes",
+            "High-water mark of bytes parked in the solver buffer pools.",
+            self.pool_arena_high_water_bytes,
         );
         out.push_str(concat!(
             "# HELP epi_stage_latency_micros Decision latency by deciding pipeline stage.\n",
@@ -471,6 +512,20 @@ impl Serialize for Snapshot {
                 "pool_queue_wait_micros",
                 Json::from(self.pool_queue_wait_micros),
             ),
+            (
+                "pool_arena_checkouts",
+                Json::from(self.pool_arena_checkouts),
+            ),
+            ("pool_arena_misses", Json::from(self.pool_arena_misses)),
+            (
+                "pool_arena_high_water_bytes",
+                Json::from(self.pool_arena_high_water_bytes),
+            ),
+            (
+                "pool_waves_sequential",
+                Json::from(self.pool_waves_sequential),
+            ),
+            ("pool_waves_parallel", Json::from(self.pool_waves_parallel)),
             ("trace_spans", Json::from(self.trace_spans)),
             ("trace_dropped", Json::from(self.trace_dropped)),
             ("slow_decisions", Json::from(self.slow_decisions)),
@@ -512,6 +567,12 @@ impl Deserialize for Snapshot {
             // Absent in snapshots from pre-tracing daemons.
             pool_queue_waits: opt_field(v, "pool_queue_waits")?.unwrap_or(0),
             pool_queue_wait_micros: opt_field(v, "pool_queue_wait_micros")?.unwrap_or(0),
+            // Absent in snapshots from pre-arena daemons.
+            pool_arena_checkouts: opt_field(v, "pool_arena_checkouts")?.unwrap_or(0),
+            pool_arena_misses: opt_field(v, "pool_arena_misses")?.unwrap_or(0),
+            pool_arena_high_water_bytes: opt_field(v, "pool_arena_high_water_bytes")?.unwrap_or(0),
+            pool_waves_sequential: opt_field(v, "pool_waves_sequential")?.unwrap_or(0),
+            pool_waves_parallel: opt_field(v, "pool_waves_parallel")?.unwrap_or(0),
             trace_spans: opt_field(v, "trace_spans")?.unwrap_or(0),
             trace_dropped: opt_field(v, "trace_dropped")?.unwrap_or(0),
             slow_decisions: opt_field(v, "slow_decisions")?.unwrap_or(0),
@@ -589,6 +650,11 @@ mod tests {
                         | "pool_steals"
                         | "pool_queue_waits"
                         | "pool_queue_wait_micros"
+                        | "pool_arena_checkouts"
+                        | "pool_arena_misses"
+                        | "pool_arena_high_water_bytes"
+                        | "pool_waves_sequential"
+                        | "pool_waves_parallel"
                         | "trace_spans"
                         | "trace_dropped"
                         | "slow_decisions"
@@ -605,6 +671,8 @@ mod tests {
         assert_eq!(back.pool_workers, 0);
         assert_eq!(back.trace_spans, 0);
         assert_eq!(back.slow_decisions, 0);
+        assert_eq!(back.pool_arena_checkouts, 0);
+        assert_eq!(back.pool_waves_sequential, 0);
         assert_eq!(back.boxes_per_sec(), 0.0);
     }
 
@@ -686,11 +754,16 @@ mod tests {
             "epi_pool_steals_total",
             "epi_pool_queue_waits_total",
             "epi_pool_queue_wait_micros_total",
+            "epi_pool_arena_checkouts_total",
+            "epi_pool_arena_misses_total",
+            "epi_pool_waves_sequential_total",
+            "epi_pool_waves_parallel_total",
             "epi_trace_spans_total",
             "epi_trace_dropped_total",
             "epi_slow_decisions_total",
             "epi_queue_high_water",
             "epi_pool_workers",
+            "epi_pool_arena_high_water_bytes",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {name} ")),

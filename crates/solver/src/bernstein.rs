@@ -72,6 +72,12 @@ impl DenseTensor {
         self.n
     }
 
+    /// The raw power-basis coefficient tensor (`DensePow3` layout,
+    /// `idx = Σ kᵢ·3ⁱ`), for callers that run their own contractions.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
     /// Evaluates at a point.
     pub fn eval(&self, point: &[f64]) -> f64 {
         assert_eq!(point.len(), self.n);

@@ -37,6 +37,6 @@ pub use pipeline::{
 };
 pub use product::{
     decide_product_safety, decide_product_safety_deadline, ProductSolverOptions, ProductWitness,
-    SearchMode,
+    SearchMode, SubdivisionMode,
 };
 pub use verdict::{SafeEvidence, UndecidedReason, Verdict};

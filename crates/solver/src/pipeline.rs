@@ -86,6 +86,9 @@ pub struct PipelineDecision {
     /// decided) — the service aggregates this into its throughput
     /// metrics.
     pub boxes_processed: usize,
+    /// Frontier waves the deterministic branch-and-bound committed (0
+    /// when an earlier stage decided or the opportunistic search ran).
+    pub waves: usize,
     /// Set iff `verdict` is `Unknown`: why the decision gave up.
     /// Deadline/cancellation stops are transient; budget exhaustion is a
     /// property of the instance. Either way, callers fail closed.
@@ -148,6 +151,7 @@ pub fn decide_product_pipeline_observed(
             verdict: Verdict::Safe(SafeEvidence::Unconditional),
             stage: Stage::Unconditional,
             boxes_processed: 0,
+            waves: 0,
             undecided: None,
         };
     }
@@ -158,6 +162,7 @@ pub fn decide_product_pipeline_observed(
             verdict: Verdict::Safe(SafeEvidence::Criterion("Miklau–Suciu")),
             stage: Stage::MiklauSuciu,
             boxes_processed: 0,
+            waves: 0,
             undecided: None,
         };
     }
@@ -168,6 +173,7 @@ pub fn decide_product_pipeline_observed(
             verdict: Verdict::Safe(SafeEvidence::Criterion("monotonicity")),
             stage: Stage::Monotonicity,
             boxes_processed: 0,
+            waves: 0,
             undecided: None,
         };
     }
@@ -178,6 +184,7 @@ pub fn decide_product_pipeline_observed(
             verdict: Verdict::Safe(SafeEvidence::Criterion("cancellation")),
             stage: Stage::Cancellation,
             boxes_processed: 0,
+            waves: 0,
             undecided: None,
         };
     }
@@ -188,6 +195,7 @@ pub fn decide_product_pipeline_observed(
             verdict: Verdict::Unknown,
             stage: Stage::BranchAndBound,
             boxes_processed: 0,
+            waves: 0,
             undecided: Some(reason.into()),
         };
     }
@@ -210,6 +218,7 @@ pub fn decide_product_pipeline_observed(
             verdict: Verdict::Unsafe(ProductWitness { probs, gap }),
             stage: Stage::BoxNecessary,
             boxes_processed: 0,
+            waves: 0,
             undecided: None,
         };
     }
@@ -223,6 +232,7 @@ pub fn decide_product_pipeline_observed(
         verdict,
         stage: Stage::BranchAndBound,
         boxes_processed: stats.boxes_processed,
+        waves: stats.waves,
         undecided: stats.undecided,
     }
 }

@@ -54,8 +54,8 @@ use crate::verdict::{SafeEvidence, UndecidedReason, Verdict};
 use epi_boolean::Cube;
 use epi_core::{Deadline, WorldSet};
 use epi_num::{Interval, Rational};
-use epi_par::Pool;
-use epi_poly::{indicator, DensePow3, Polynomial};
+use epi_par::{give_scratch_f64, take_scratch_f64, BufferPool, ChunkPolicy, Pool};
+use epi_poly::{indicator, subdivision, DensePow3, Polynomial};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -94,6 +94,40 @@ pub enum SearchMode {
     Opportunistic,
 }
 
+/// How the Bernstein branch-and-bound derives a child box's coefficient
+/// tensor (see DESIGN.md §"Incremental subdivision kernel").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubdivisionMode {
+    /// Incremental when the in-flight tensor memory fits a fixed budget,
+    /// recompute otherwise (default). At `n = 12` a single tensor is
+    /// 4.25 MB, so carrying one per frontier box is only a win while the
+    /// frontier fits in memory.
+    Auto,
+    /// Always carry per-box Bernstein tensors, halved in place by
+    /// de Casteljau on split — `O(3ⁿ)` per child, allocation-free.
+    Incremental,
+    /// Always re-derive each box from the root tensor
+    /// (`restrict_to_box` + basis change, `O(n·3ⁿ)` plus two
+    /// allocations) — the pre-incremental baseline, kept for ablations.
+    Recompute,
+}
+
+impl SubdivisionMode {
+    /// Whether the incremental engine should run for this instance.
+    /// `Auto` bounds the worst-case in-flight tensor bytes — frontier,
+    /// next wave and pooled spares, ≈ 3 budgets' worth — by 768 MiB.
+    fn incremental(self, n: usize, max_boxes: usize) -> bool {
+        match self {
+            SubdivisionMode::Recompute => false,
+            SubdivisionMode::Incremental => true,
+            SubdivisionMode::Auto => {
+                let tensor_bytes = 3usize.pow(n as u32).saturating_mul(8);
+                tensor_bytes.saturating_mul(max_boxes.saturating_mul(3)) <= (768 << 20)
+            }
+        }
+    }
+}
+
 /// Options for [`decide_product_safety`].
 #[derive(Clone, Copy, Debug)]
 pub struct ProductSolverOptions {
@@ -121,6 +155,14 @@ pub struct ProductSolverOptions {
     /// `false` reinstates the sparse `BTreeMap` construction — the
     /// pre-kernel baseline, kept for ablations and the E14 benchmark.
     pub dense_kernel: bool,
+    /// Minimum frontier-wave size worth fanning out across workers; `0`
+    /// means auto (`EPI_PAR_MIN_WAVE`, else a machine-derived default
+    /// that never fans out on a single-core host). Waves below the
+    /// threshold run inline, so thread-spawn overhead can't make the
+    /// parallel solver slower than the sequential one.
+    pub min_wave: usize,
+    /// Child-tensor derivation strategy for the Bernstein search.
+    pub subdivision: SubdivisionMode,
 }
 
 impl Default for ProductSolverOptions {
@@ -134,6 +176,8 @@ impl Default for ProductSolverOptions {
             threads: 0,
             search_mode: SearchMode::Deterministic,
             dense_kernel: true,
+            min_wave: 0,
+            subdivision: SubdivisionMode::Auto,
         }
     }
 }
@@ -184,23 +228,66 @@ impl<'a> LazyExactGap<'a> {
     }
 }
 
+/// Recycled `3ⁿ` coefficient tensors for the incremental engine; child
+/// tensors are filled by workers and returned when their box is pruned.
+static BERN_POOL: BufferPool<f64> = BufferPool::new();
+/// Recycled `n`-length box vectors.
+static BOX_POOL: BufferPool<Interval> = BufferPool::new();
+
 /// Everything a box evaluation needs, shared read-only across workers.
 struct SolveCtx<'a> {
     options: ProductSolverOptions,
+    /// Arity of the gap polynomial.
+    n: usize,
     /// Bernstein tensor of the gap (present in Bernstein mode).
     tensor: Option<DenseTensor>,
     /// Sparse gap (present in Interval mode or legacy construction).
     sparse: Option<Polynomial<f64>>,
     /// Dense base-3 gap (dense construction; source for a late sparse).
     pow3: Option<DensePow3<f64>>,
+    /// Bernstein coefficients of the gap over the unit box — the root of
+    /// the incremental subdivision engine (`None` ⟹ recompute per box).
+    root_bern: Option<Vec<f64>>,
+    /// Precomputed `(tensor index, corner mask)` of every vertex
+    /// coefficient, for the free rigorous witness scan.
+    vertices: Vec<(usize, u32)>,
+    /// Debug-only: assert steady-state waves stay off the heap
+    /// (`EPI_ASSERT_ZERO_ALLOC`, read once here so the hot loop doesn't
+    /// touch the environment).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    assert_zero_alloc: bool,
     exact: LazyExactGap<'a>,
 }
 
 impl SolveCtx<'_> {
+    /// Derive the root Bernstein tensor and vertex table when the
+    /// subdivision strategy elects the incremental engine.
+    fn prepare_incremental(&mut self) {
+        let Some(tensor) = &self.tensor else { return };
+        if !self
+            .options
+            .subdivision
+            .incremental(self.n, self.options.max_boxes)
+        {
+            return;
+        }
+        self.root_bern = Some(tensor.bernstein_coefficients());
+        self.vertices = (0..1u32 << self.n)
+            .map(|mask| (subdivision::vertex_index(self.n, mask), mask))
+            .collect();
+    }
+
     /// Point evaluation of the gap, through whichever dense form exists.
+    /// The dense path contracts axis by axis — `O(3ⁿ)` with recycled
+    /// scratch, versus `O(n·3ⁿ)` per-monomial decoding.
     fn eval_point(&self, p: &[f64]) -> f64 {
         match (&self.tensor, &self.sparse) {
-            (Some(t), _) => t.eval(p),
+            (Some(t), _) => {
+                let mut scratch = take_scratch_f64(t.coeffs().len());
+                let v = subdivision::eval_pow3(t.coeffs(), t.arity(), p, &mut scratch);
+                give_scratch_f64(scratch);
+                v
+            }
             (None, Some(s)) => s.eval_f64(p),
             (None, None) => unreachable!("no gap representation"),
         }
@@ -219,6 +306,39 @@ impl SolveCtx<'_> {
     }
 }
 
+/// An open box on the search frontier. In the incremental engine `bern`
+/// carries the Bernstein coefficients of the gap restricted to `bx`
+/// (exactly maintained by de Casteljau halving); otherwise it is empty
+/// and bounds are recomputed from the root per box. Both vectors are
+/// checked out of the process-wide arenas and returned when the box
+/// leaves the search.
+struct BoxNode {
+    bx: Vec<Interval>,
+    bern: Vec<f64>,
+}
+
+/// Return a retired node's buffers to the arenas.
+fn release_node(node: BoxNode) {
+    BOX_POOL.checkin(node.bx);
+    BERN_POOL.checkin(node.bern);
+}
+
+/// The root node: the unit box, with the root Bernstein tensor when the
+/// incremental engine is on.
+fn root_node(ctx: &SolveCtx<'_>) -> BoxNode {
+    let mut bx = BOX_POOL.checkout(ctx.n);
+    bx.resize(ctx.n, Interval::UNIT);
+    let bern = match &ctx.root_bern {
+        Some(root) => {
+            let mut buf = BERN_POOL.checkout(root.len());
+            buf.extend_from_slice(root);
+            buf
+        }
+        None => Vec::new(),
+    };
+    BoxNode { bx, bern }
+}
+
 /// What evaluating one box concluded. A pure function of the box, so
 /// frontier evaluations can run on any thread in any order.
 enum BoxFate {
@@ -226,8 +346,9 @@ enum BoxFate {
     Pruned,
     /// A rigorously verified rational violation.
     Witness(ProductWitness),
-    /// Undecided: split into two children along the widest coordinate.
-    Split(Vec<Interval>, Vec<Interval>),
+    /// Undecided: split into two children along the split-heuristic
+    /// axis (derivative range when incremental, widest width otherwise).
+    Split(BoxNode, BoxNode),
 }
 
 /// Decides `Safe_{Π_m⁰}(A, B)` by branch-and-bound (see module docs for
@@ -257,8 +378,10 @@ pub fn decide_product_safety_deadline(
     let n = cube.dims();
     let mut stats = ProductSolverStats::default();
 
+    let assert_zero_alloc =
+        cfg!(debug_assertions) && std::env::var_os("EPI_ASSERT_ZERO_ALLOC").is_some();
     let dense_ok = options.dense_kernel && n <= DensePow3::<f64>::MAX_ARITY;
-    let ctx = if dense_ok {
+    let mut ctx = if dense_ok {
         // Dense path: butterfly indicators, product straight into the
         // base-3 layout, zero-copy hand-off to the Bernstein tensor.
         // Coefficients are integers, so the f64 arithmetic is exact.
@@ -276,9 +399,13 @@ pub fn decide_product_safety_deadline(
             matches!(options.bound_method, BoundMethod::Interval).then(|| pow3.to_polynomial());
         SolveCtx {
             options,
+            n,
             tensor,
             sparse,
             pow3: Some(pow3),
+            root_bern: None,
+            vertices: Vec::new(),
+            assert_zero_alloc,
             exact: LazyExactGap::new(n, a, b),
         }
     } else {
@@ -295,12 +422,17 @@ pub fn decide_product_safety_deadline(
             .then(|| DenseTensor::from_polynomial(&gap));
         SolveCtx {
             options,
+            n,
             tensor,
             sparse: Some(gap),
             pow3: None,
+            root_bern: None,
+            vertices: Vec::new(),
+            assert_zero_alloc,
             exact: LazyExactGap::prefilled(n, a, b, gap_exact),
         }
     };
+    ctx.prepare_incremental();
 
     // Warm start: coordinate ascent from a few deterministic starts.
     if options.coordinate_ascent {
@@ -324,51 +456,73 @@ pub fn decide_product_safety_deadline(
 }
 
 /// Evaluates one box: bound it, hunt for a rigorous witness, or split.
-/// Pure — shared state is read-only (the lazy exact gap memoizes
-/// internally), so the result is independent of scheduling.
-fn evaluate_box(ctx: &SolveCtx<'_>, bx: &[Interval]) -> BoxFate {
+/// Pure up to the optional `best` cell — shared state is read-only (the
+/// lazy exact gap memoizes internally), so the result is independent of
+/// scheduling; the deterministic search passes `best = None`. Returns
+/// the fate and the box's computed lower bound (the opportunistic queue
+/// priority for its children).
+fn evaluate_box(ctx: &SolveCtx<'_>, node: &BoxNode, best: Option<&AtomicU64>) -> (BoxFate, f64) {
     let options = &ctx.options;
+    let bx = &node.bx[..];
     let n = bx.len();
+    if !node.bern.is_empty() {
+        return evaluate_box_incremental(ctx, bx, &node.bern, best);
+    }
+    let bound_min;
     match options.bound_method {
         BoundMethod::Bernstein => {
             let tensor = ctx.tensor.as_ref().expect("Bernstein mode has a tensor");
-            let lo: Vec<f64> = bx.iter().map(|iv| iv.lo()).collect();
-            let hi: Vec<f64> = bx.iter().map(|iv| iv.hi()).collect();
+            let mut lo = take_scratch_f64(n);
+            lo.extend(bx.iter().map(|iv| iv.lo()));
+            let mut hi = take_scratch_f64(n);
+            hi.extend(bx.iter().map(|iv| iv.hi()));
             let bound = bernstein_bound(tensor, &lo, &hi);
-            if bound.min >= -options.margin {
-                return BoxFate::Pruned; // no breach of advantage > ε here
-            }
-            if bound.min_at_vertex {
+            bound_min = bound.min;
+            let mut witness = None;
+            if bound.min < -options.margin && bound.min_at_vertex {
                 // The minimum is the exact value at a (dyadic) corner:
                 // a rigorous rational witness candidate.
-                let corner: Vec<f64> = (0..n)
-                    .map(|i| {
-                        if bound.vertex >> i & 1 == 1 {
-                            hi[i]
-                        } else {
-                            lo[i]
-                        }
-                    })
-                    .collect();
-                if let Some(witness) = exact_witness(ctx.exact.get(), &corner) {
-                    return BoxFate::Witness(witness);
-                }
+                let mut corner = take_scratch_f64(n);
+                corner.extend((0..n).map(|i| {
+                    if bound.vertex >> i & 1 == 1 {
+                        hi[i]
+                    } else {
+                        lo[i]
+                    }
+                }));
+                witness = exact_witness(ctx.exact.get(), &corner);
+                give_scratch_f64(corner);
+            }
+            give_scratch_f64(hi);
+            give_scratch_f64(lo);
+            if bound.min >= -options.margin {
+                return (BoxFate::Pruned, bound_min); // no breach of advantage > ε here
+            }
+            if let Some(w) = witness {
+                return (BoxFate::Witness(w), bound_min);
             }
         }
         BoundMethod::Interval => {
             let sparse = ctx.sparse.as_ref().expect("Interval mode has a sparse gap");
             let range = sparse.eval_interval(bx);
+            bound_min = range.lo();
             if range.lo() >= -options.margin {
-                return BoxFate::Pruned;
+                return (BoxFate::Pruned, bound_min);
             }
         }
     }
     // Probe the midpoint for a genuine violation.
-    let mid: Vec<f64> = bx.iter().map(|iv| iv.midpoint()).collect();
-    if ctx.eval_point(&mid) < -1e-12 {
-        if let Some(witness) = exact_witness(ctx.exact.get(), &mid) {
-            return BoxFate::Witness(witness);
-        }
+    let mut mid = take_scratch_f64(n);
+    mid.extend(bx.iter().map(|iv| iv.midpoint()));
+    let mid_val = ctx.eval_point(&mid);
+    let witness = if mid_val < -1e-12 && worth_verifying(mid_val, best) {
+        exact_witness(ctx.exact.get(), &mid)
+    } else {
+        None
+    };
+    give_scratch_f64(mid);
+    if let Some(w) = witness {
+        return (BoxFate::Witness(w), bound_min);
     }
     // Split along the widest coordinate.
     let (split_dim, _) = bx
@@ -376,12 +530,106 @@ fn evaluate_box(ctx: &SolveCtx<'_>, bx: &[Interval]) -> BoxFate {
         .enumerate()
         .max_by(|(_, x), (_, y)| x.width().total_cmp(&y.width()))
         .expect("non-empty box");
-    let (left, right) = bx[split_dim].split();
-    let mut bl = bx.to_vec();
-    bl[split_dim] = left;
-    let mut br = bx.to_vec();
-    br[split_dim] = right;
-    BoxFate::Split(bl, br)
+    (split_box(bx, split_dim, &[]), bound_min)
+}
+
+/// Whether a midpoint violation candidate merits the expensive exact
+/// verification. The deterministic search (`best = None`) always
+/// verifies; opportunistic workers share the deepest violation seen and
+/// only verify candidates within 2× of it — a shallower one would round
+/// away more often anyway.
+fn worth_verifying(mid_val: f64, best: Option<&AtomicU64>) -> bool {
+    match best {
+        None => true,
+        Some(cell) => {
+            let deepest = atomic_min_f64(cell, mid_val);
+            mid_val <= 0.5 * deepest
+        }
+    }
+}
+
+/// The incremental hot path: every bound, witness probe and child tensor
+/// comes from the box's own Bernstein coefficients — one `O(3ⁿ)` scan
+/// replaces the recompute path's `O(n·3ⁿ)` restriction, and, with warm
+/// arenas, the whole evaluation performs zero heap allocations.
+fn evaluate_box_incremental(
+    ctx: &SolveCtx<'_>,
+    bx: &[Interval],
+    bern: &[f64],
+    best: Option<&AtomicU64>,
+) -> (BoxFate, f64) {
+    let options = &ctx.options;
+    let n = bx.len();
+    let (min, _max) = subdivision::coefficient_range(bern);
+    if min >= -options.margin {
+        return (BoxFate::Pruned, min);
+    }
+    // Vertex coefficients are exact corner values, so the most negative
+    // one is a free, rigorous violation candidate — no point evaluation
+    // needed to discover it.
+    let mut worst = -1e-12;
+    let mut worst_mask = None;
+    for &(idx, mask) in &ctx.vertices {
+        if bern[idx] < worst {
+            worst = bern[idx];
+            worst_mask = Some(mask);
+        }
+    }
+    if let Some(mask) = worst_mask {
+        let mut corner = take_scratch_f64(n);
+        corner.extend(bx.iter().enumerate().map(|(i, iv)| {
+            if mask >> i & 1 == 1 {
+                iv.hi()
+            } else {
+                iv.lo()
+            }
+        }));
+        let witness = exact_witness(ctx.exact.get(), &corner);
+        give_scratch_f64(corner);
+        if let Some(w) = witness {
+            return (BoxFate::Witness(w), min);
+        }
+    }
+    // One fused contraction gives both the midpoint probe (`O(3ⁿ)`, no
+    // global coordinates, same violation-hunting role as the recompute
+    // path's point evaluation) and the derivative-range split axis —
+    // which (unlike widest coordinate) adapts to the gap's local shape.
+    let mut scratch = take_scratch_f64(bern.len() / 3);
+    let (mid_val, dim) = subdivision::midpoint_and_split_axis(bern, n, &mut scratch);
+    give_scratch_f64(scratch);
+    if mid_val < -1e-12 && worth_verifying(mid_val, best) {
+        let mut mid = take_scratch_f64(n);
+        mid.extend(bx.iter().map(|iv| iv.midpoint()));
+        let witness = exact_witness(ctx.exact.get(), &mid);
+        give_scratch_f64(mid);
+        if let Some(w) = witness {
+            return (BoxFate::Witness(w), min);
+        }
+    }
+    (split_box(bx, dim, bern), min)
+}
+
+/// Build both children of `bx` along `dim`. With a parent Bernstein
+/// tensor, de Casteljau halving fills both children's tensors from
+/// pooled buffers in a single pass; otherwise children carry no tensor.
+fn split_box(bx: &[Interval], dim: usize, bern: &[f64]) -> BoxFate {
+    let n = bx.len();
+    let (left_iv, right_iv) = bx[dim].split();
+    let (lb, rb) = if bern.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        let mut lb = BERN_POOL.checkout(bern.len());
+        let mut rb = BERN_POOL.checkout(bern.len());
+        subdivision::split_halves(bern, n, dim, &mut lb, &mut rb);
+        (lb, rb)
+    };
+    let mut lbx = BOX_POOL.checkout(n);
+    lbx.extend_from_slice(bx);
+    lbx[dim] = left_iv;
+    let mut rbx = BOX_POOL.checkout(n);
+    rbx.extend_from_slice(bx);
+    rbx[dim] = right_iv;
+    BoxFate::Split(BoxNode { bx: lbx, bern: lb }, BoxNode { bx: rbx, bern: rb })
 }
 
 /// Attempts the Section 6.2 sum-of-squares certificate (tier-1
@@ -414,48 +662,80 @@ fn wave_search(
     deadline: &Deadline,
 ) -> (Verdict<ProductWitness>, ProductSolverStats) {
     let options = &ctx.options;
-    let n = ctx
-        .tensor
-        .as_ref()
-        .map(DenseTensor::arity)
-        .or_else(|| ctx.sparse.as_ref().map(Polynomial::arity))
-        .expect("gap representation present");
     let sos_checkpoint = options.max_boxes.min(512);
     let mut sos_tried = false;
-    let mut frontier: Vec<Vec<Interval>> = vec![vec![Interval::UNIT; n]];
-    while !frontier.is_empty() {
+    let policy = ChunkPolicy::resolve(options.min_wave, pool.threads());
+    let mut frontier: Vec<BoxNode> = vec![root_node(ctx)];
+    let mut next: Vec<BoxNode> = Vec::new();
+    let mut fates: Vec<BoxFate> = Vec::new();
+    // Single-exit loop: every outcome `break`s so the cleanup below can
+    // check leftover frontier/child buffers back into the arenas — an
+    // early verdict (witness, budget, deadline) abandons a live frontier
+    // whose tensors the next solve wants to reuse, not re-allocate.
+    let verdict = 'search: loop {
+        if frontier.is_empty() {
+            break Verdict::Safe(SafeEvidence::BranchAndBound {
+                boxes_processed: stats.boxes_processed,
+            });
+        }
         stats.waves += 1;
         // Boxes beyond the budget are never inspected: the commit loop
-        // below returns Unknown before reaching them.
+        // below breaks with Unknown before reaching them.
         let eval_count = frontier
             .len()
             .min(options.max_boxes.saturating_sub(stats.boxes_processed));
-        let fates: Vec<BoxFate> = if eval_count < 2 * pool.threads() || pool.threads() == 1 {
-            let mut out = Vec::with_capacity(eval_count);
-            for bx in &frontier[..eval_count] {
+        fates.clear();
+        if !policy.should_parallelize(eval_count, pool.threads()) {
+            for node in &frontier[..eval_count] {
                 if let Err(reason) = deadline.check() {
                     stats.undecided = Some(reason.into());
-                    return (Verdict::Unknown, stats);
+                    break 'search Verdict::Unknown;
                 }
-                out.push(evaluate_box(ctx, bx));
+                #[cfg(debug_assertions)]
+                let before = (epi_par::heap_allocations(), epi_par::stats().arena_misses);
+                let (fate, _) = evaluate_box(ctx, node, None);
+                #[cfg(debug_assertions)]
+                if ctx.assert_zero_alloc
+                    && !node.bern.is_empty()
+                    && !matches!(fate, BoxFate::Witness(_))
+                {
+                    // Steady-state discipline: with warm arenas (no
+                    // checkout missed), a box evaluation must not touch
+                    // the heap at all. Cold evals are excused wholesale:
+                    // beyond the missed buffers themselves, parking a
+                    // freshly created buffer can grow a shelf's spine
+                    // vector, an allocation with no miss of its own.
+                    // Witness verifications are exempt too: exact
+                    // rational arithmetic allocates, and they end the
+                    // search.
+                    let allocs = epi_par::heap_allocations() - before.0;
+                    let misses = epi_par::stats().arena_misses - before.1;
+                    debug_assert!(
+                        misses > 0 || allocs == 0,
+                        "warm box evaluation allocated {allocs}× with no arena miss"
+                    );
+                }
+                fates.push(fate);
             }
-            out
         } else {
             match pool.parallel_map_deadline(
                 &frontier[..eval_count],
-                |bx| evaluate_box(ctx, bx),
+                |node| evaluate_box(ctx, node, None).0,
                 deadline,
             ) {
-                Ok(fates) => fates,
+                Ok(out) => fates.extend(out),
                 Err(reason) => {
                     stats.undecided = Some(reason.into());
-                    return (Verdict::Unknown, stats);
+                    break 'search Verdict::Unknown;
                 }
             }
-        };
-        // Sequential commit in frontier order.
-        let mut next: Vec<Vec<Interval>> = Vec::new();
-        for (j, _bx) in frontier.iter().enumerate() {
+        }
+        // Sequential commit in frontier order. Fates are popped off the
+        // reversed vector (rather than drained) so an early break leaves
+        // the uncommitted remainder in `fates` for the cleanup pass.
+        next.clear();
+        fates.reverse();
+        for _ in 0..frontier.len() {
             stats.boxes_processed += 1;
             if options.sos_fallback
                 && !sos_tried
@@ -464,30 +744,41 @@ fn wave_search(
             {
                 sos_tried = true;
                 if let Some(evidence) = try_sos(ctx) {
-                    return (Verdict::Safe(evidence), stats);
+                    break 'search Verdict::Safe(evidence);
                 }
             }
             if stats.boxes_processed > options.max_boxes {
                 stats.undecided = Some(UndecidedReason::BudgetExhausted);
-                return (Verdict::Unknown, stats);
+                break 'search Verdict::Unknown;
             }
-            match &fates[j] {
+            match fates.pop().expect("every committed box was evaluated") {
                 BoxFate::Pruned => {}
-                BoxFate::Witness(w) => return (Verdict::Unsafe(w.clone()), stats),
+                BoxFate::Witness(w) => break 'search Verdict::Unsafe(w),
                 BoxFate::Split(bl, br) => {
-                    next.push(bl.clone());
-                    next.push(br.clone());
+                    next.push(bl);
+                    next.push(br);
                 }
             }
         }
-        frontier = next;
+        // Parents are dead: recycle their buffers for the next wave's
+        // children before swapping the frontiers.
+        for node in frontier.drain(..) {
+            release_node(node);
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    };
+    // Park every abandoned buffer: unevaluated frontier boxes, committed
+    // children, and split pairs whose commit never happened.
+    for node in frontier.drain(..).chain(next.drain(..)) {
+        release_node(node);
     }
-    (
-        Verdict::Safe(SafeEvidence::BranchAndBound {
-            boxes_processed: stats.boxes_processed,
-        }),
-        stats,
-    )
+    for fate in fates.drain(..) {
+        if let BoxFate::Split(bl, br) = fate {
+            release_node(bl);
+            release_node(br);
+        }
+    }
+    (verdict, stats)
 }
 
 /// Best-first work-stealing search: nondeterministic, fastest route to a
@@ -503,19 +794,13 @@ fn opportunistic_search(
     deadline: &Deadline,
 ) -> (Verdict<ProductWitness>, ProductSolverStats) {
     let options = &ctx.options;
-    let n = ctx
-        .tensor
-        .as_ref()
-        .map(DenseTensor::arity)
-        .or_else(|| ctx.sparse.as_ref().map(Polynomial::arity))
-        .expect("gap representation present");
     let sos_checkpoint = options.max_boxes.min(512);
 
-    let queue: epi_par::BestFirstQueue<std::cmp::Reverse<epi_par::OrdF64>, Vec<Interval>> =
+    let queue: epi_par::BestFirstQueue<std::cmp::Reverse<epi_par::OrdF64>, BoxNode> =
         epi_par::BestFirstQueue::new();
     queue.push(
         std::cmp::Reverse(epi_par::OrdF64(f64::NEG_INFINITY)),
-        vec![Interval::UNIT; n],
+        root_node(ctx),
     );
     let boxes = AtomicUsize::new(0);
     let sos_gate = AtomicBool::new(false);
@@ -536,8 +821,8 @@ fn opportunistic_search(
     };
 
     let worker = || loop {
-        let bx = match queue.pop_deadline(deadline) {
-            Ok(Some(bx)) => bx,
+        let node = match queue.pop_deadline(deadline) {
+            Ok(Some(node)) => node,
             Ok(None) => return,
             Err(stop) => {
                 settle(Verdict::Unknown, Some(stop.into()));
@@ -552,19 +837,22 @@ fn opportunistic_search(
             {
                 if let Some(evidence) = try_sos(ctx) {
                     settle(Verdict::Safe(evidence), None);
+                    release_node(node);
                     queue.item_done();
                     return;
                 }
             }
             if processed > options.max_boxes {
                 settle(Verdict::Unknown, Some(UndecidedReason::BudgetExhausted));
+                release_node(node);
                 queue.item_done();
                 return;
             }
-            match evaluate_box_sharing(ctx, &bx, &best_violation) {
+            match evaluate_box(ctx, &node, Some(&best_violation)) {
                 (BoxFate::Pruned, _) => {}
                 (BoxFate::Witness(w), _) => {
                     settle(Verdict::Unsafe(w), None);
+                    release_node(node);
                     queue.item_done();
                     return;
                 }
@@ -577,6 +865,7 @@ fn opportunistic_search(
                     }
                 }
             }
+            release_node(node);
             queue.item_done();
         }
     };
@@ -586,6 +875,12 @@ fn opportunistic_search(
             s.spawn(|_| worker());
         }
     });
+
+    // Workers are joined; boxes abandoned by the close (witness, budget,
+    // deadline) still hold pooled buffers — check them back in.
+    for node in queue.drain_remaining() {
+        release_node(node);
+    }
 
     stats.boxes_processed = boxes.load(Ordering::SeqCst);
     let (verdict, reason) = outcome
@@ -600,74 +895,6 @@ fn opportunistic_search(
         ));
     stats.undecided = reason;
     (verdict, stats)
-}
-
-/// As [`evaluate_box`], but also returns the box's computed lower bound
-/// (the split children's queue priority) and consults the shared
-/// best-known violation to decide whether a midpoint candidate is worth
-/// an exact verification.
-fn evaluate_box_sharing(ctx: &SolveCtx<'_>, bx: &[Interval], best: &AtomicU64) -> (BoxFate, f64) {
-    let options = &ctx.options;
-    let n = bx.len();
-    let bound_min;
-    match options.bound_method {
-        BoundMethod::Bernstein => {
-            let tensor = ctx.tensor.as_ref().expect("Bernstein mode has a tensor");
-            let lo: Vec<f64> = bx.iter().map(|iv| iv.lo()).collect();
-            let hi: Vec<f64> = bx.iter().map(|iv| iv.hi()).collect();
-            let bound = bernstein_bound(tensor, &lo, &hi);
-            bound_min = bound.min;
-            if bound.min >= -options.margin {
-                return (BoxFate::Pruned, bound_min);
-            }
-            if bound.min_at_vertex {
-                let corner: Vec<f64> = (0..n)
-                    .map(|i| {
-                        if bound.vertex >> i & 1 == 1 {
-                            hi[i]
-                        } else {
-                            lo[i]
-                        }
-                    })
-                    .collect();
-                if let Some(witness) = exact_witness(ctx.exact.get(), &corner) {
-                    return (BoxFate::Witness(witness), bound_min);
-                }
-            }
-        }
-        BoundMethod::Interval => {
-            let sparse = ctx.sparse.as_ref().expect("Interval mode has a sparse gap");
-            let range = sparse.eval_interval(bx);
-            bound_min = range.lo();
-            if range.lo() >= -options.margin {
-                return (BoxFate::Pruned, bound_min);
-            }
-        }
-    }
-    let mid: Vec<f64> = bx.iter().map(|iv| iv.midpoint()).collect();
-    let mid_val = ctx.eval_point(&mid);
-    if mid_val < -1e-12 {
-        let deepest = atomic_min_f64(best, mid_val);
-        // Exact rational verification is the expensive step; only spend
-        // it on candidates within 2x of the deepest violation any worker
-        // has seen (a shallower one would round away more often anyway).
-        if mid_val <= 0.5 * deepest {
-            if let Some(witness) = exact_witness(ctx.exact.get(), &mid) {
-                return (BoxFate::Witness(witness), bound_min);
-            }
-        }
-    }
-    let (split_dim, _) = bx
-        .iter()
-        .enumerate()
-        .max_by(|(_, x), (_, y)| x.width().total_cmp(&y.width()))
-        .expect("non-empty box");
-    let (left, right) = bx[split_dim].split();
-    let mut bl = bx.to_vec();
-    bl[split_dim] = left;
-    let mut br = bx.to_vec();
-    br[split_dim] = right;
-    (BoxFate::Split(bl, br), bound_min)
 }
 
 /// Merge `candidate` into the shared minimum (f64 bits, values ≤ 0) and
@@ -707,12 +934,14 @@ fn starting_points(n: usize) -> Vec<Vec<f64>> {
 /// with a clearly negative `f64` gap, verify exactly.
 fn coordinate_descend(ctx: &SolveCtx<'_>, mut point: Vec<f64>) -> Option<ProductWitness> {
     let n = point.len();
+    let mut probe = take_scratch_f64(n);
     for _round in 0..20 {
         let mut improved = false;
         for i in 0..n {
             let current = ctx.eval_point(&point);
             // Quadratic in coordinate i through three evaluations.
-            let mut probe = point.clone();
+            probe.clear();
+            probe.extend_from_slice(&point);
             probe[i] = 0.0;
             let f0 = ctx.eval_point(&probe);
             probe[i] = 1.0;
@@ -741,6 +970,7 @@ fn coordinate_descend(ctx: &SolveCtx<'_>, mut point: Vec<f64>) -> Option<Product
             break;
         }
     }
+    give_scratch_f64(probe);
     if ctx.eval_point(&point) < -1e-12 {
         exact_witness(ctx.exact.get(), &point)
     } else {

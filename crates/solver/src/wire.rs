@@ -8,7 +8,9 @@
 //! so the format stays self-describing.
 
 use crate::pipeline::{PipelineDecision, Stage};
-use crate::product::{BoundMethod, ProductSolverOptions, ProductWitness, SearchMode};
+use crate::product::{
+    BoundMethod, ProductSolverOptions, ProductWitness, SearchMode, SubdivisionMode,
+};
 use crate::verdict::{SafeEvidence, UndecidedReason, Verdict};
 use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
 
@@ -161,6 +163,9 @@ impl Serialize for PipelineDecision {
         ];
         // Emitted only when set so decided reports stay byte-identical
         // to pre-deadline builds.
+        if self.waves > 0 {
+            fields.push(("waves", Json::from(self.waves)));
+        }
         if let Some(reason) = self.undecided {
             fields.push(("undecided", reason.to_json()));
         }
@@ -176,6 +181,7 @@ impl Deserialize for PipelineDecision {
             // Absent in pre-parallel-engine reports: those decisions
             // never counted boxes, so 0 is the faithful default.
             boxes_processed: opt_field(v, "boxes_processed")?.unwrap_or(0),
+            waves: opt_field(v, "waves")?.unwrap_or(0),
             undecided: opt_field(v, "undecided")?,
         })
     }
@@ -225,6 +231,30 @@ impl Deserialize for SearchMode {
     }
 }
 
+impl Serialize for SubdivisionMode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SubdivisionMode::Auto => "auto",
+                SubdivisionMode::Incremental => "incremental",
+                SubdivisionMode::Recompute => "recompute",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl Deserialize for SubdivisionMode {
+    fn from_json(v: &Json) -> Result<SubdivisionMode, JsonError> {
+        match v.as_str() {
+            Some("auto") => Ok(SubdivisionMode::Auto),
+            Some("incremental") => Ok(SubdivisionMode::Incremental),
+            Some("recompute") => Ok(SubdivisionMode::Recompute),
+            _ => Err(JsonError::decode("unknown subdivision mode")),
+        }
+    }
+}
+
 impl Serialize for ProductSolverOptions {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -236,6 +266,8 @@ impl Serialize for ProductSolverOptions {
             ("threads", Json::from(self.threads)),
             ("search_mode", self.search_mode.to_json()),
             ("dense_kernel", Json::from(self.dense_kernel)),
+            ("min_wave", Json::from(self.min_wave)),
+            ("subdivision", self.subdivision.to_json()),
         ])
     }
 }
@@ -254,6 +286,8 @@ impl Deserialize for ProductSolverOptions {
             threads: opt_field(v, "threads")?.unwrap_or(0),
             search_mode: opt_field(v, "search_mode")?.unwrap_or(SearchMode::Deterministic),
             dense_kernel: opt_field(v, "dense_kernel")?.unwrap_or(true),
+            min_wave: opt_field(v, "min_wave")?.unwrap_or(0),
+            subdivision: opt_field(v, "subdivision")?.unwrap_or(SubdivisionMode::Auto),
         })
     }
 }
@@ -324,6 +358,8 @@ mod tests {
             threads: 4,
             search_mode: SearchMode::Opportunistic,
             dense_kernel: false,
+            min_wave: 96,
+            subdivision: SubdivisionMode::Recompute,
         };
         let j = Json::parse(&opts.to_json().render()).unwrap();
         let back = ProductSolverOptions::from_json(&j).unwrap();
@@ -335,6 +371,8 @@ mod tests {
         assert_eq!(back.threads, opts.threads);
         assert_eq!(back.search_mode, opts.search_mode);
         assert_eq!(back.dense_kernel, opts.dense_kernel);
+        assert_eq!(back.min_wave, opts.min_wave);
+        assert_eq!(back.subdivision, opts.subdivision);
     }
 
     #[test]
@@ -350,6 +388,8 @@ mod tests {
         assert_eq!(opts.threads, 0);
         assert_eq!(opts.search_mode, SearchMode::Deterministic);
         assert!(opts.dense_kernel);
+        assert_eq!(opts.min_wave, 0);
+        assert_eq!(opts.subdivision, SubdivisionMode::Auto);
     }
 
     #[test]
@@ -358,6 +398,7 @@ mod tests {
             Json::parse(r#"{"verdict":{"verdict":"unknown"},"stage":"branch_and_bound"}"#).unwrap();
         let d = PipelineDecision::from_json(&j).unwrap();
         assert_eq!(d.boxes_processed, 0);
+        assert_eq!(d.waves, 0);
         assert_eq!(d.stage, Stage::BranchAndBound);
         assert_eq!(d.undecided, None);
     }
@@ -368,18 +409,23 @@ mod tests {
             verdict: Verdict::Safe(SafeEvidence::Unconditional),
             stage: Stage::Unconditional,
             boxes_processed: 0,
+            waves: 0,
             undecided: None,
         };
-        assert!(!decided.to_json().render().contains("undecided"));
+        let rendered = decided.to_json().render();
+        assert!(!rendered.contains("undecided"));
+        assert!(!rendered.contains("waves"), "zero waves stay off the wire");
         let timed_out = PipelineDecision {
             verdict: Verdict::Unknown,
             stage: Stage::BranchAndBound,
             boxes_processed: 17,
+            waves: 5,
             undecided: Some(UndecidedReason::DeadlineExceeded),
         };
         let j = Json::parse(&timed_out.to_json().render()).unwrap();
         let back = PipelineDecision::from_json(&j).unwrap();
         assert_eq!(back.undecided, Some(UndecidedReason::DeadlineExceeded));
+        assert_eq!(back.waves, 5);
         for reason in [
             UndecidedReason::BudgetExhausted,
             UndecidedReason::DeadlineExceeded,

@@ -1,0 +1,156 @@
+//! Property tests for the incremental Bernstein subdivision kernel: the
+//! soundness and exactness claims the branch-and-bound's correctness
+//! rests on.
+//!
+//! * **Incremental = recompute.** A chain of de Casteljau halvings of
+//!   the root Bernstein tensor lands on *bit-identical* coefficients to
+//!   restricting the gap polynomial to the final box and converting to
+//!   Bernstein form from scratch. Both routes are exact dyadic
+//!   arithmetic on integer root coefficients, so equality is `==`, not
+//!   a tolerance.
+//! * **Enclosure soundness.** The Bernstein coefficient range encloses
+//!   every sampled value of the gap on the box, and fits inside the
+//!   outward-rounded interval-arithmetic enclosure — Bernstein is a
+//!   strictly tighter (never looser) bound than the legacy method.
+//! * **Vertex exactness.** Vertex coefficients (all indices 0 or 2) are
+//!   the gap's exact values at the matching box corners — the free
+//!   rigorous witness candidates the incremental engine probes.
+
+use epi_boolean::{generate, Cube};
+use epi_poly::{indicator, subdivision};
+use epi_solver::bernstein::DenseTensor;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A random nonempty pair over `{0,1}ⁿ` and the dense gap tensor of
+/// `gap = Pr[A]·Pr[B] − Pr[A∩B]` (integer coefficients by construction).
+fn random_gap(n: usize, seed: u64) -> DenseTensor {
+    let cube = Cube::new(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+    let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+    DenseTensor::from_dense_pow3(&indicator::safety_gap_pow3::<f64>(n, &a, &b))
+}
+
+/// Root Bernstein coefficients of `tensor` over `[0,1]ⁿ`.
+fn root_bernstein(tensor: &DenseTensor) -> Vec<f64> {
+    let mut bern = tensor.coeffs().to_vec();
+    subdivision::pow3_to_bernstein(&mut bern, tensor.arity());
+    bern
+}
+
+proptest! {
+    /// Tentpole invariant: halving the parent tensor along random axes
+    /// (random side each time) reproduces exactly the tensor obtained by
+    /// restricting the root polynomial to the final box.
+    #[test]
+    fn incremental_split_chain_matches_recompute(seed in any::<u64>(), n in 2usize..=6, depth in 1usize..=6) {
+        let tensor = random_gap(n, seed);
+        let mut bern = root_bernstein(&tensor);
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![1.0; n];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for _ in 0..depth {
+            let dim = rng.gen_range(0..n);
+            subdivision::split_halves(&bern, n, dim, &mut left, &mut right);
+            let mid = 0.5 * (lo[dim] + hi[dim]);
+            if rng.gen::<bool>() {
+                hi[dim] = mid;
+                std::mem::swap(&mut bern, &mut left);
+            } else {
+                lo[dim] = mid;
+                std::mem::swap(&mut bern, &mut right);
+            }
+        }
+        let recomputed = tensor.restrict_to_box(&lo, &hi).bernstein_coefficients();
+        prop_assert_eq!(bern.len(), recomputed.len());
+        for (i, (&inc, &rec)) in bern.iter().zip(&recomputed).enumerate() {
+            prop_assert_eq!(
+                inc.to_bits(), rec.to_bits(),
+                "coefficient {} diverged: incremental {} vs recomputed {}", i, inc, rec
+            );
+        }
+    }
+
+    /// The Bernstein coefficient range is a sound enclosure of the gap on
+    /// the box (every sampled value is inside it) and is contained in the
+    /// outward-rounded interval-arithmetic enclosure.
+    #[test]
+    fn bernstein_enclosure_is_sound_and_tighter_than_intervals(seed in any::<u64>(), n in 2usize..=8) {
+        let tensor = random_gap(n, seed);
+        let sparse = {
+            let cube = Cube::new(n);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+            let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+            indicator::safety_gap_pow3::<f64>(n, &a, &b).to_polynomial()
+        };
+        // A random dyadic sub-box of the unit cube.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xb0c5);
+        let (mut lo, mut hi) = (vec![0.0; n], vec![0.0; n]);
+        for i in 0..n {
+            let a = rng.gen_range(0u32..=16) as f64 / 16.0;
+            let b = rng.gen_range(0u32..=16) as f64 / 16.0;
+            lo[i] = a.min(b);
+            hi[i] = a.max(b).max(lo[i] + 1.0 / 16.0).min(1.0);
+        }
+        let bern = tensor.restrict_to_box(&lo, &hi).bernstein_coefficients();
+        let (bmin, bmax) = subdivision::coefficient_range(&bern);
+
+        // Soundness: sampled values never escape the Bernstein range.
+        let mut point = vec![0.0; n];
+        for _ in 0..32 {
+            for i in 0..n {
+                point[i] = lo[i] + (hi[i] - lo[i]) * rng.gen::<f64>();
+            }
+            let v = tensor.eval(&point);
+            prop_assert!(
+                bmin - 1e-9 <= v && v <= bmax + 1e-9,
+                "value {} at {:?} escapes Bernstein range [{}, {}]", v, point, bmin, bmax
+            );
+        }
+
+        // Tightness: Bernstein fits inside the interval enclosure.
+        let ivs: Vec<epi_num::Interval> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| epi_num::Interval::new(l, h))
+            .collect();
+        let range = sparse.eval_interval(&ivs);
+        prop_assert!(
+            range.lo() - 1e-9 <= bmin && bmax <= range.hi() + 1e-9,
+            "Bernstein [{}, {}] outside interval enclosure [{}, {}]",
+            bmin, bmax, range.lo(), range.hi()
+        );
+    }
+
+    /// Vertex coefficients equal the gap's exact values at the matching
+    /// box corners (`mask` bit `i` picks `hi[i]`, else `lo[i]`).
+    #[test]
+    fn vertex_coefficients_are_exact_corner_values(seed in any::<u64>(), n in 2usize..=6) {
+        let tensor = random_gap(n, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xc042);
+        let (mut lo, mut hi) = (vec![0.0; n], vec![0.0; n]);
+        for i in 0..n {
+            let a = rng.gen_range(0u32..=8) as f64 / 8.0;
+            let b = rng.gen_range(0u32..=8) as f64 / 8.0;
+            lo[i] = a.min(b);
+            hi[i] = a.max(b).max(lo[i] + 0.125).min(1.0);
+        }
+        let bern = tensor.restrict_to_box(&lo, &hi).bernstein_coefficients();
+        let mut corner = vec![0.0; n];
+        for mask in 0..(1u32 << n) {
+            for i in 0..n {
+                corner[i] = if mask >> i & 1 == 1 { hi[i] } else { lo[i] };
+            }
+            let exact = tensor.eval(&corner);
+            let coeff = bern[subdivision::vertex_index(n, mask)];
+            prop_assert!(
+                (coeff - exact).abs() <= 1e-9 * (1.0 + exact.abs()),
+                "vertex {:#b}: coefficient {} vs corner value {}", mask, coeff, exact
+            );
+        }
+    }
+}
