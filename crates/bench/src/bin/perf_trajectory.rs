@@ -1,8 +1,9 @@
 //! Perf-trajectory harness for the solver engine: times the E8 (product
 //! solver), E12 (audit composition), E14 (parallel scaling / dense
-//! kernel) and E15 (incremental subdivision / zero-allocation hot path)
-//! workloads against the recorded baselines and writes the results to
-//! `BENCH_PR5.json` alongside the human-readable tables, so future PRs
+//! kernel), E15 (incremental subdivision / zero-allocation hot path)
+//! and E16 (disclosure throughput vs. durability policy) workloads
+//! against the recorded baselines and writes the results to
+//! `BENCH_PR6.json` alongside the human-readable tables, so future PRs
 //! can diff the numbers machine-readably.
 //!
 //! Run:  `cargo run --release --bin perf_trajectory [-- out.json [baseline.json]]`
@@ -425,15 +426,110 @@ fn e15(baseline_path: &str) -> (Json, f64, Option<f64>) {
     (Json::arr(rows), aggregate_bps, aggregate_speedup)
 }
 
+/// E16 — disclosure throughput under the three durability policies of
+/// the write-ahead disclosure log. Every run gets a fresh data
+/// directory and a fresh daemon; snapshots are disabled so the rows
+/// isolate the append + fsync cost of the log itself (compaction is
+/// amortised and measured nowhere near the hot path). `volatile` is the
+/// pre-persistence daemon (no data dir), the baseline the fsync rows
+/// are charged against.
+fn e16() -> Json {
+    use epi_audit::workload::hospital_scenario;
+    use epi_audit::PriorAssumption;
+    use epi_service::{AuditService, FsyncPolicy, Request, Response, ServiceConfig};
+    use epi_wal::testdir::TempDir;
+    use std::time::Duration;
+
+    println!("\n## E16 — disclosure throughput vs durability policy\n");
+    let w = hospital_scenario();
+    let mut steps = Vec::new();
+    for r in 0..12u64 {
+        for (d, state) in w.log.entries_with_state() {
+            steps.push((
+                format!("r{r}:{}", d.user),
+                d.time,
+                d.query.display(w.log.schema()).to_string(),
+                state.mask(),
+            ));
+        }
+    }
+
+    let configs: Vec<(&str, Option<FsyncPolicy>)> = vec![
+        ("volatile", None),
+        (
+            "fsync_interval_100ms",
+            Some(FsyncPolicy::Interval(Duration::from_millis(100))),
+        ),
+        ("fsync_always", Some(FsyncPolicy::Always)),
+    ];
+    let mut rows = Vec::new();
+    let mut volatile_wall = f64::NAN;
+    for (tag, fsync) in configs {
+        let mut best = f64::INFINITY;
+        let mut appends = 0u64;
+        let mut fsyncs = 0u64;
+        for run in 0..5 {
+            let tmp = TempDir::new(&format!("e16-{tag}-{run}"));
+            let config = ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 2,
+                data_dir: fsync.as_ref().map(|_| tmp.path().to_path_buf()),
+                wal_fsync: fsync.unwrap_or(FsyncPolicy::Never),
+                wal_snapshot_every: 0,
+                ..ServiceConfig::default()
+            };
+            let svc = AuditService::open(w.schema.clone(), config).expect("open daemon");
+            let t = Instant::now();
+            for (user, time, query, mask) in &steps {
+                let resp = svc.handle(&Request::Disclose {
+                    user: user.clone(),
+                    time: *time,
+                    query: query.clone(),
+                    state_mask: *mask,
+                    audit_query: "hiv_pos".to_owned(),
+                });
+                assert!(
+                    matches!(resp, Response::Entry(_)),
+                    "e16 disclosure for {user} failed: {resp:?}"
+                );
+            }
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            let m = svc.metrics();
+            appends = m.wal_appends;
+            fsyncs = m.wal_fsyncs;
+        }
+        if tag == "volatile" {
+            volatile_wall = best;
+        }
+        let per_sec = steps.len() as f64 / (best / 1e3);
+        let slowdown = best / volatile_wall;
+        println!(
+            "{tag}: {best:.1}ms for {} disclosures ({per_sec:.0}/sec, {slowdown:.2}x vs volatile, \
+             {appends} appends, {fsyncs} fsyncs)",
+            steps.len()
+        );
+        rows.push(Json::obj([
+            ("policy", Json::from(tag)),
+            ("disclosures", Json::from(steps.len())),
+            ("wall_ms", Json::from(best)),
+            ("disclosures_per_sec", Json::from(per_sec)),
+            ("slowdown_vs_volatile", Json::from(slowdown)),
+            ("wal_appends", Json::from(appends)),
+            ("wal_fsyncs", Json::from(fsyncs)),
+        ]));
+    }
+    Json::arr(rows)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let baseline_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
-    println!("# Perf trajectory — PR 5 incremental subdivision kernel");
+    println!("# Perf trajectory — PR 6 durable disclosure log");
     println!("available_parallelism={cores}");
 
     let e8_configs: Vec<(&str, ProductSolverOptions)> = vec![
@@ -464,9 +560,10 @@ fn main() {
     let e12_json = e12();
     let (e14_json, aggregate) = e14();
     let (e15_json, e15_bps, e15_speedup) = e15(&baseline_path);
+    let e16_json = e16();
 
     let mut fields = vec![
-        ("pr", Json::from(5usize)),
+        ("pr", Json::from(6usize)),
         ("generated_by", Json::from("perf_trajectory")),
         ("available_parallelism", Json::from(cores)),
         (
@@ -481,7 +578,11 @@ fn main() {
                  subdivision engine against recompute-per-box and the committed \
                  BENCH_PR2.json dense_1t numbers. On a single-core container the \
                  thread sweep is flat and all speedup is algorithmic; allocs/box is \
-                 measured by the counting global allocator over a warm (second) solve",
+                 measured by the counting global allocator over a warm (second) solve. \
+                 E16 measures end-to-end disclosure throughput with the write-ahead \
+                 disclosure log off (volatile), group-committed every 100ms, and \
+                 fsynced on every acknowledgement; fsync cost is storage-dependent, \
+                 so read the slowdown ratios, not the absolute numbers",
             ),
         ),
         ("e8", e8_json),
@@ -490,6 +591,7 @@ fn main() {
         ("e14_aggregate_speedup_8t", Json::from(aggregate)),
         ("e15", e15_json),
         ("e15_aggregate_boxes_per_sec_1t", Json::from(e15_bps)),
+        ("e16", e16_json),
     ];
     if let Some(s) = e15_speedup {
         fields.push(("e15_aggregate_speedup_vs_pr2", Json::from(s)));

@@ -54,6 +54,7 @@ pub mod possibilistic;
 pub mod preserving;
 pub mod probabilistic;
 pub mod unrestricted;
+pub mod wire;
 pub mod world;
 
 pub use deadline::{CancelToken, Deadline, StopReason};

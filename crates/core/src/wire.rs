@@ -1,0 +1,123 @@
+//! JSON wire encoding of core types.
+//!
+//! [`WorldSet`] is the one core type that crosses process boundaries:
+//! the persistence layer (`epi-wal`) snapshots each user's cumulative
+//! knowledge and logs every disclosed set. The encoding is the bitset's
+//! canonical block form rendered as fixed-width hex — compact (16
+//! characters per 64 worlds), exact (no float round-trips), and
+//! self-validating on decode (block count and padding bits are checked,
+//! so a truncated or bit-flipped encoding is rejected rather than
+//! silently reinterpreted).
+//!
+//! ```
+//! use epi_core::WorldSet;
+//! use epi_json::{Deserialize, Json, Serialize};
+//! let set = WorldSet::from_indices(4, [1, 3]);
+//! let line = set.to_json().render();
+//! assert_eq!(line, r#"{"universe":4,"hex":"000000000000000a"}"#);
+//! let back = WorldSet::from_json(&Json::parse(&line).unwrap()).unwrap();
+//! assert_eq!(back, set);
+//! ```
+
+use crate::world::WorldSet;
+use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+
+/// Renders blocks as concatenated 16-digit lowercase hex, first block
+/// first (each block's own digits are most-significant first, as hex
+/// conventionally reads).
+fn blocks_to_hex(blocks: &[u64]) -> String {
+    let mut hex = String::with_capacity(blocks.len() * 16);
+    for b in blocks {
+        hex.push_str(&format!("{b:016x}"));
+    }
+    hex
+}
+
+fn hex_to_blocks(hex: &str) -> Result<Vec<u64>, JsonError> {
+    if !hex.len().is_multiple_of(16) {
+        return Err(JsonError::decode(
+            "world-set hex length is not a multiple of 16",
+        ));
+    }
+    hex.as_bytes()
+        .chunks(16)
+        .map(|chunk| {
+            let s = std::str::from_utf8(chunk)
+                .map_err(|_| JsonError::decode("world-set hex is not ASCII"))?;
+            u64::from_str_radix(s, 16)
+                .map_err(|_| JsonError::decode("world-set hex has a non-hex digit"))
+        })
+        .collect()
+}
+
+impl Serialize for WorldSet {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("universe", Json::from(self.universe_size())),
+            ("hex", Json::from(blocks_to_hex(self.blocks()))),
+        ])
+    }
+}
+
+impl Deserialize for WorldSet {
+    fn from_json(v: &Json) -> Result<WorldSet, JsonError> {
+        let universe: usize = field(v, "universe")?;
+        let hex: String = field(v, "hex")?;
+        let blocks = hex_to_blocks(&hex)?;
+        WorldSet::from_blocks(universe, blocks).ok_or_else(|| {
+            JsonError::decode("world-set blocks do not match the universe (corrupt encoding)")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldId;
+
+    #[test]
+    fn worldsets_roundtrip() {
+        for universe in [1usize, 4, 63, 64, 65, 130] {
+            let mut set = WorldSet::empty(universe);
+            for i in (0..universe).step_by(3) {
+                set.insert(WorldId(i as u32));
+            }
+            let back = WorldSet::from_json(&Json::parse(&set.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, set, "universe {universe}");
+        }
+        let full = WorldSet::full(70);
+        let back = WorldSet::from_json(&full.to_json()).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn corrupt_encodings_are_rejected() {
+        // Wrong block count for the universe.
+        let short = Json::parse(r#"{"universe":70,"hex":"00000000000000ff"}"#).unwrap();
+        assert!(WorldSet::from_json(&short).is_err());
+        // A padding bit set past the universe: world 5 of a 4-world
+        // universe. `from_blocks` must reject, not silently mask.
+        let padded = Json::parse(r#"{"universe":4,"hex":"0000000000000020"}"#).unwrap();
+        assert!(WorldSet::from_json(&padded).is_err());
+        // Non-hex digits.
+        let junk = Json::parse(r#"{"universe":4,"hex":"zzzzzzzzzzzzzzzz"}"#).unwrap();
+        assert!(WorldSet::from_json(&junk).is_err());
+        // Odd-length hex.
+        let odd = Json::parse(r#"{"universe":4,"hex":"0a"}"#).unwrap();
+        assert!(WorldSet::from_json(&odd).is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_encode_compactly() {
+        let empty = WorldSet::empty(8);
+        assert_eq!(
+            empty.to_json().render(),
+            r#"{"universe":8,"hex":"0000000000000000"}"#
+        );
+        let one = WorldSet::singleton(8, WorldId(7));
+        assert_eq!(
+            one.to_json().render(),
+            r#"{"universe":8,"hex":"0000000000000080"}"#
+        );
+    }
+}

@@ -155,6 +155,28 @@ impl WorldSet {
         self.universe
     }
 
+    /// The raw 64-bit blocks of the bitset, least-significant world
+    /// first. Padding bits past `universe_size()` are always zero, so the
+    /// blocks are a canonical encoding of the set — what the wire format
+    /// and persistence layers serialize and checksum.
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuilds a set from raw blocks, the inverse of
+    /// [`WorldSet::blocks`]. Returns `None` when the block count does not
+    /// match the universe or a padding bit past `universe` is set (a
+    /// corrupt or truncated encoding, never a valid set).
+    pub fn from_blocks(universe: usize, blocks: Vec<u64>) -> Option<WorldSet> {
+        if blocks.len() != universe.div_ceil(BLOCK_BITS) {
+            return None;
+        }
+        let candidate = WorldSet { universe, blocks };
+        let mut canonical = candidate.clone();
+        canonical.clear_padding();
+        (canonical == candidate).then_some(candidate)
+    }
+
     /// Number of worlds in this set.
     pub fn len(&self) -> usize {
         self.blocks.iter().map(|b| b.count_ones() as usize).sum()

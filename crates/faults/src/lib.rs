@@ -22,6 +22,13 @@
 //! the workspace root) drives a seed matrix through the full service and
 //! asserts liveness, fail-closed verdicts, and byte determinism of
 //! successful replies.
+//!
+//! [`RecoveryPlan`] extends the harness to durability: it scripts where
+//! in a seeded disclosure stream the process "dies", and what on-disk
+//! corruption (a torn tail, a flipped bit) greets the restart. The
+//! recovery suite (`tests/recovery_chaos.rs`) uses it to assert that a
+//! kill-and-restart run reconstructs byte-identical verdicts and that
+//! corrupted log frames are detected and handled fail-closed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -224,6 +231,90 @@ impl FaultPlan {
     }
 }
 
+/// One scripted corruption of an on-disk log file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalCorruption {
+    /// The file loses its last `cut` bytes — the artifact a crash leaves
+    /// when it lands mid-append (a torn final record).
+    TornTail {
+        /// Bytes removed from the tail (at least 1).
+        cut: u64,
+    },
+    /// One bit of one byte is flipped in place — the artifact silent
+    /// media corruption leaves. The framing CRC must catch it.
+    BitFlip {
+        /// Offset of the corrupted byte.
+        offset: u64,
+        /// Which bit (0–7) is flipped.
+        bit: u8,
+    },
+}
+
+/// A seeded crash-and-corruption script for the durability suite. Like
+/// [`FaultPlan`], every method is a pure function of `(plan, inputs)`:
+/// the same seed kills the same run at the same disclosure and corrupts
+/// the same byte, so a recovery failure replays exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+}
+
+impl RecoveryPlan {
+    /// A plan seeded by `seed`.
+    pub fn new(seed: u64) -> RecoveryPlan {
+        RecoveryPlan { seed }
+    }
+
+    fn draw(&self, stream: u64, index: u64) -> u64 {
+        splitmix64(self.seed ^ stream.rotate_left(32) ^ splitmix64(index))
+    }
+
+    /// After how many of `total` disclosures the process dies. Always in
+    /// `1..total`, so the interrupted run both writes something and
+    /// leaves something for the restarted process to serve.
+    pub fn kill_point(&self, total: u64) -> u64 {
+        assert!(total >= 2, "a kill point needs at least two disclosures");
+        1 + self.draw(0x4B, 0) % (total - 1)
+    }
+
+    /// A torn-tail injection for a file of `len` bytes: cut somewhere in
+    /// the file's second half, leaving a partial record for recovery to
+    /// find (`len` must be at least 2).
+    pub fn torn_tail(&self, len: u64) -> WalCorruption {
+        assert!(len >= 2, "cannot tear a file of {len} bytes");
+        WalCorruption::TornTail {
+            cut: 1 + self.draw(0xC1, len) % (len / 2).max(1),
+        }
+    }
+
+    /// A single-bit flip at a scripted offset in `start..end` (a byte
+    /// range the caller knows holds committed frame data).
+    pub fn bit_flip_in(&self, start: u64, end: u64) -> WalCorruption {
+        assert!(end > start, "empty corruption range {start}..{end}");
+        let offset = start + self.draw(0xB1, end - start) % (end - start);
+        WalCorruption::BitFlip {
+            offset,
+            bit: (self.draw(0xB2, offset) % 8) as u8,
+        }
+    }
+
+    /// Applies a corruption to raw file bytes in place.
+    pub fn apply_corruption(corruption: WalCorruption, bytes: &mut Vec<u8>) {
+        match corruption {
+            WalCorruption::TornTail { cut } => {
+                let keep = bytes.len().saturating_sub(cut as usize);
+                bytes.truncate(keep);
+            }
+            WalCorruption::BitFlip { offset, bit } => {
+                if let Some(b) = bytes.get_mut(offset as usize) {
+                    *b ^= 1 << (bit % 8);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +399,52 @@ mod tests {
         let longest = plan.max_consecutive_panics(5_000);
         assert!(longest >= 1, "a 15% rate over 5000 draws must repeat");
         assert!(longest < 12, "astronomically unlikely: {longest}");
+    }
+
+    #[test]
+    fn recovery_plans_are_deterministic_and_bounded() {
+        let a = RecoveryPlan::new(77);
+        let b = RecoveryPlan::new(77);
+        for total in 2..200u64 {
+            let k = a.kill_point(total);
+            assert_eq!(k, b.kill_point(total), "same seed, same kill point");
+            assert!((1..total).contains(&k), "kill point {k} out of 1..{total}");
+        }
+        let differs = (2..100u64)
+            .any(|t| RecoveryPlan::new(1).kill_point(t) != RecoveryPlan::new(2).kill_point(t));
+        assert!(differs, "seeds 1 and 2 scripted identical kill points");
+        for len in 2..500u64 {
+            let WalCorruption::TornTail { cut } = a.torn_tail(len) else {
+                panic!("torn_tail returned a non-tear");
+            };
+            assert!(cut >= 1 && cut <= len / 2 + 1, "cut {cut} for len {len}");
+            let WalCorruption::BitFlip { offset, bit } = a.bit_flip_in(8, len + 8) else {
+                panic!("bit_flip_in returned a non-flip");
+            };
+            assert!((8..len + 8).contains(&offset));
+            assert!(bit < 8);
+        }
+    }
+
+    #[test]
+    fn corruptions_apply_as_scripted() {
+        let mut torn = (0u8..100).collect::<Vec<_>>();
+        RecoveryPlan::apply_corruption(WalCorruption::TornTail { cut: 30 }, &mut torn);
+        assert_eq!(torn.len(), 70);
+        assert_eq!(torn[69], 69);
+        // A cut past the whole file leaves it empty, not panicking.
+        let mut tiny = vec![1u8, 2];
+        RecoveryPlan::apply_corruption(WalCorruption::TornTail { cut: 99 }, &mut tiny);
+        assert!(tiny.is_empty());
+        let mut flipped = vec![0u8; 16];
+        RecoveryPlan::apply_corruption(WalCorruption::BitFlip { offset: 5, bit: 3 }, &mut flipped);
+        assert_eq!(flipped[5], 1 << 3);
+        // Flipping the same bit twice restores the byte.
+        RecoveryPlan::apply_corruption(WalCorruption::BitFlip { offset: 5, bit: 3 }, &mut flipped);
+        assert_eq!(flipped[5], 0);
+        // Out-of-range offsets are ignored rather than panicking.
+        RecoveryPlan::apply_corruption(WalCorruption::BitFlip { offset: 99, bit: 0 }, &mut flipped);
+        assert_eq!(flipped, vec![0u8; 16]);
     }
 
     #[test]

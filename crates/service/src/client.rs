@@ -20,7 +20,7 @@
 //! caller's), and [`ErrorCode::Shutdown`] (this instance is going away).
 
 use crate::metrics::Snapshot;
-use crate::proto::{ErrorCode, Request, RequestMeta, Response, WireSpan};
+use crate::proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
 use crate::service::AuditService;
 use epi_audit::auditor::ReportEntry;
 use epi_json::{Deserialize, Json, Serialize};
@@ -209,6 +209,20 @@ fn expect_stats(response: Response) -> Result<Snapshot, ClientError> {
     }
 }
 
+fn expect_session(response: Response) -> Result<SessionInfo, ClientError> {
+    match response {
+        Response::SessionInfo(info) => Ok(info),
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}
+
 fn expect_trace(response: Response) -> Result<Vec<WireSpan>, ClientError> {
     match response {
         Response::Trace(spans) => Ok(spans),
@@ -275,6 +289,14 @@ macro_rules! convenience_calls {
         pub fn stats(&mut self) -> Result<Snapshot, ClientError> {
             let response = self.call(&Request::Stats)?;
             expect_stats(response)
+        }
+
+        /// Fetches a user's session sequence number and knowledge digest.
+        pub fn session(&mut self, user: &str) -> Result<SessionInfo, ClientError> {
+            let response = self.call(&Request::SessionInfo {
+                user: user.to_owned(),
+            })?;
+            expect_session(response)
         }
 
         /// Records a disclosure under a client-minted trace id, so the

@@ -24,6 +24,19 @@
 //! * [`server`] / [`client`] — a TCP front-end and both TCP and
 //!   in-process clients.
 //!
+//! # Persistence
+//!
+//! With a data directory configured ([`ServiceConfig::data_dir`] or
+//! `EPI_WAL_DIR`), every session mutation is appended to a per-shard
+//! write-ahead disclosure log (`epi-wal`) *before* it reaches memory or
+//! a response line. Startup loads the latest compacted snapshot, replays
+//! the log tail (truncating at most one torn final record per shard),
+//! and refuses to serve on any deeper corruption — a recovered daemon
+//! either reconstructs exactly the acknowledged knowledge state or does
+//! not start. The `session` protocol op exposes each user's disclosure
+//! sequence number and a CRC-32 knowledge digest so recovery fidelity
+//! can be checked from outside. See `docs/PERSISTENCE.md`.
+//!
 //! # Fault tolerance
 //!
 //! The daemon is built to degrade, not hang: requests carry deadlines
@@ -60,9 +73,10 @@ pub mod worker;
 
 pub use cache::{DecisionKey, VerdictCache};
 pub use client::{AuditOutcome, Client, ClientError, LocalClient, RetryPolicy};
+pub use epi_wal::{FsyncPolicy, RecoveryReport, WalError};
 pub use metrics::{Metrics, Snapshot};
-pub use proto::{ErrorCode, Request, RequestMeta, Response, WireSpan};
+pub use proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
 pub use server::{Server, ServerOptions};
 pub use service::{AuditService, ServiceConfig};
-pub use session::{Session, SessionStore};
+pub use session::{knowledge_digest, Session, SessionError, SessionStore};
 pub use worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};

@@ -161,6 +161,14 @@ impl Metrics {
             trace_spans: 0,
             trace_dropped: 0,
             slow_decisions: 0,
+            // Likewise for the disclosure log: the WAL keeps its own
+            // atomics and the service folds them in after snapshotting.
+            wal_appends: 0,
+            wal_bytes: 0,
+            wal_fsyncs: 0,
+            snapshot_count: 0,
+            recovery_replayed_records: 0,
+            recovery_millis: 0,
             stages: self
                 .stages
                 .iter()
@@ -236,6 +244,21 @@ pub struct Snapshot {
     pub trace_dropped: u64,
     /// Spans that crossed the slow-decision threshold since startup.
     pub slow_decisions: u64,
+    /// Records appended to the durable disclosure log since startup
+    /// (zero when the daemon runs without a data directory).
+    pub wal_appends: u64,
+    /// Bytes written to the disclosure log since startup (framing
+    /// included).
+    pub wal_bytes: u64,
+    /// `fdatasync` calls issued by the disclosure log since startup.
+    /// Under group commit this is typically far below `wal_appends`.
+    pub wal_fsyncs: u64,
+    /// Compacted snapshots written since startup.
+    pub snapshot_count: u64,
+    /// Log records replayed during the last startup recovery.
+    pub recovery_replayed_records: u64,
+    /// Wall milliseconds the last startup recovery took.
+    pub recovery_millis: u64,
     /// Per-stage decision counts and latency histograms.
     pub stages: Vec<StageSnapshot>,
 }
@@ -397,6 +420,26 @@ impl Snapshot {
             "Spans that crossed the slow-decision threshold.",
             self.slow_decisions,
         );
+        counter(
+            "epi_wal_appends_total",
+            "Records appended to the durable disclosure log.",
+            self.wal_appends,
+        );
+        counter(
+            "epi_wal_bytes_total",
+            "Bytes written to the disclosure log, framing included.",
+            self.wal_bytes,
+        );
+        counter(
+            "epi_wal_fsyncs_total",
+            "fdatasync calls issued by the disclosure log.",
+            self.wal_fsyncs,
+        );
+        counter(
+            "epi_snapshots_total",
+            "Compacted session snapshots written.",
+            self.snapshot_count,
+        );
         let mut gauge = |name: &str, help: &str, value: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -416,6 +459,16 @@ impl Snapshot {
             "epi_pool_arena_high_water_bytes",
             "High-water mark of bytes parked in the solver buffer pools.",
             self.pool_arena_high_water_bytes,
+        );
+        gauge(
+            "epi_recovery_replayed_records",
+            "Log records replayed during the last startup recovery.",
+            self.recovery_replayed_records,
+        );
+        gauge(
+            "epi_recovery_millis",
+            "Wall milliseconds the last startup recovery took.",
+            self.recovery_millis,
         );
         out.push_str(concat!(
             "# HELP epi_stage_latency_micros Decision latency by deciding pipeline stage.\n",
@@ -529,6 +582,15 @@ impl Serialize for Snapshot {
             ("trace_spans", Json::from(self.trace_spans)),
             ("trace_dropped", Json::from(self.trace_dropped)),
             ("slow_decisions", Json::from(self.slow_decisions)),
+            ("wal_appends", Json::from(self.wal_appends)),
+            ("wal_bytes", Json::from(self.wal_bytes)),
+            ("wal_fsyncs", Json::from(self.wal_fsyncs)),
+            ("snapshot_count", Json::from(self.snapshot_count)),
+            (
+                "recovery_replayed_records",
+                Json::from(self.recovery_replayed_records),
+            ),
+            ("recovery_millis", Json::from(self.recovery_millis)),
             // Derived, for dashboards that read the JSON directly; the
             // deserializer recomputes them from the counters.
             ("cache_hit_rate", Json::from(self.cache_hit_rate())),
@@ -576,6 +638,13 @@ impl Deserialize for Snapshot {
             trace_spans: opt_field(v, "trace_spans")?.unwrap_or(0),
             trace_dropped: opt_field(v, "trace_dropped")?.unwrap_or(0),
             slow_decisions: opt_field(v, "slow_decisions")?.unwrap_or(0),
+            // Absent in snapshots from pre-persistence daemons.
+            wal_appends: opt_field(v, "wal_appends")?.unwrap_or(0),
+            wal_bytes: opt_field(v, "wal_bytes")?.unwrap_or(0),
+            wal_fsyncs: opt_field(v, "wal_fsyncs")?.unwrap_or(0),
+            snapshot_count: opt_field(v, "snapshot_count")?.unwrap_or(0),
+            recovery_replayed_records: opt_field(v, "recovery_replayed_records")?.unwrap_or(0),
+            recovery_millis: opt_field(v, "recovery_millis")?.unwrap_or(0),
             stages: field(v, "stages")?,
         })
     }
@@ -658,6 +727,12 @@ mod tests {
                         | "trace_spans"
                         | "trace_dropped"
                         | "slow_decisions"
+                        | "wal_appends"
+                        | "wal_bytes"
+                        | "wal_fsyncs"
+                        | "snapshot_count"
+                        | "recovery_replayed_records"
+                        | "recovery_millis"
                         | "cache_hit_rate"
                         | "boxes_per_sec"
                 )
@@ -673,6 +748,11 @@ mod tests {
         assert_eq!(back.slow_decisions, 0);
         assert_eq!(back.pool_arena_checkouts, 0);
         assert_eq!(back.pool_waves_sequential, 0);
+        assert_eq!(back.wal_appends, 0);
+        assert_eq!(back.wal_fsyncs, 0);
+        assert_eq!(back.snapshot_count, 0);
+        assert_eq!(back.recovery_replayed_records, 0);
+        assert_eq!(back.recovery_millis, 0);
         assert_eq!(back.boxes_per_sec(), 0.0);
     }
 
@@ -718,11 +798,20 @@ mod tests {
         snap.slow_decisions = 2;
         snap.pool_queue_waits = 7;
         snap.pool_queue_wait_micros = 31_000;
+        // …and these from the disclosure log.
+        snap.wal_appends = 40;
+        snap.wal_bytes = 4_096;
+        snap.wal_fsyncs = 9;
+        snap.snapshot_count = 1;
+        snap.recovery_replayed_records = 25;
+        snap.recovery_millis = 3;
         let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.trace_spans, 12);
         assert_eq!(back.slow_decisions, 2);
         assert_eq!(back.pool_queue_wait_micros, 31_000);
+        assert_eq!(back.wal_appends, 40);
+        assert_eq!(back.recovery_replayed_records, 25);
     }
 
     #[test]
@@ -761,9 +850,15 @@ mod tests {
             "epi_trace_spans_total",
             "epi_trace_dropped_total",
             "epi_slow_decisions_total",
+            "epi_wal_appends_total",
+            "epi_wal_bytes_total",
+            "epi_wal_fsyncs_total",
+            "epi_snapshots_total",
             "epi_queue_high_water",
             "epi_pool_workers",
             "epi_pool_arena_high_water_bytes",
+            "epi_recovery_replayed_records",
+            "epi_recovery_millis",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {name} ")),

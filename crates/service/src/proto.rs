@@ -59,6 +59,12 @@ pub enum Request {
         /// The audited property.
         audit_query: String,
     },
+    /// Fetch a user's session sequence number and knowledge digest —
+    /// no solver work, no session mutation.
+    SessionInfo {
+        /// The user asked about.
+        user: String,
+    },
     /// Fetch a metrics snapshot.
     Stats,
     /// Fetch recent spans from the daemon's trace ring, optionally
@@ -147,6 +153,10 @@ impl Serialize for Request {
                 ("user", Json::from(user.as_str())),
                 ("audit_query", Json::from(audit_query.as_str())),
             ]),
+            Request::SessionInfo { user } => Json::obj([
+                ("op", Json::from("session")),
+                ("user", Json::from(user.as_str())),
+            ]),
             Request::Stats => Json::obj([("op", Json::from("stats"))]),
             Request::Trace { trace, limit, slow } => {
                 let mut members = vec![("op", Json::from("trace"))];
@@ -181,6 +191,9 @@ impl Deserialize for Request {
                 user: field(v, "user")?,
                 audit_query: field(v, "audit_query")?,
             }),
+            "session" => Ok(Request::SessionInfo {
+                user: field(v, "user")?,
+            }),
             "stats" => Ok(Request::Stats),
             "trace" => Ok(Request::Trace {
                 trace: opt_field(v, "trace")?,
@@ -214,6 +227,11 @@ pub enum ErrorCode {
     WorkerFailed,
     /// The service is draining; do not retry against this instance.
     Shutdown,
+    /// The durable disclosure log rejected the write, so the disclosure
+    /// was not applied. Not retryable from the client's side: the log is
+    /// failing for an operational reason (disk full, I/O error) that a
+    /// resend cannot fix, and the session state is unchanged.
+    Storage,
 }
 
 impl ErrorCode {
@@ -225,6 +243,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::WorkerFailed => "worker_failed",
             ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Storage => "storage",
         }
     }
 
@@ -248,6 +267,7 @@ impl Deserialize for ErrorCode {
             Some("deadline_exceeded") => Ok(ErrorCode::DeadlineExceeded),
             Some("worker_failed") => Ok(ErrorCode::WorkerFailed),
             Some("shutdown") => Ok(ErrorCode::Shutdown),
+            Some("storage") => Ok(ErrorCode::Storage),
             _ => Err(JsonError::decode("unknown error code")),
         }
     }
@@ -304,6 +324,52 @@ impl Deserialize for WireSpan {
     }
 }
 
+/// A user's session summary, as the `session` operation returns it.
+///
+/// The digest is a stable fingerprint of the session's cumulative
+/// knowledge set (CRC-32 over the universe size and the set's blocks,
+/// rendered as eight lowercase hex digits). Two replicas that recovered
+/// the same disclosure stream report the same digest, making this the
+/// cheap way to check recovery fidelity from the outside.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The user asked about.
+    pub user: String,
+    /// How many disclosures the session has absorbed (its sequence
+    /// number in the durable log).
+    pub disclosures: u64,
+    /// Logical time of the most recent disclosure.
+    pub last_time: u64,
+    /// Number of possible worlds still in the knowledge set.
+    pub worlds: u64,
+    /// Eight-hex-digit CRC-32 fingerprint of the knowledge set.
+    pub digest: String,
+}
+
+impl Serialize for SessionInfo {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("user", Json::from(self.user.as_str())),
+            ("disclosures", Json::from(self.disclosures)),
+            ("last_time", Json::from(self.last_time)),
+            ("worlds", Json::from(self.worlds)),
+            ("digest", Json::from(self.digest.as_str())),
+        ])
+    }
+}
+
+impl Deserialize for SessionInfo {
+    fn from_json(v: &Json) -> Result<SessionInfo, JsonError> {
+        Ok(SessionInfo {
+            user: field(v, "user")?,
+            disclosures: field(v, "disclosures")?,
+            last_time: field(v, "last_time")?,
+            worlds: field(v, "worlds")?,
+            digest: field(v, "digest")?,
+        })
+    }
+}
+
 /// One protocol response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -319,6 +385,8 @@ pub enum Response {
         /// How many disclosures they have.
         disclosures: u64,
     },
+    /// A user's session summary, reply to [`Request::SessionInfo`].
+    SessionInfo(SessionInfo),
     /// A metrics snapshot.
     Stats(Box<Snapshot>),
     /// Spans matching a [`Request::Trace`] query, oldest first.
@@ -381,6 +449,13 @@ impl Serialize for Response {
                 ("user", Json::from(user.as_str())),
                 ("disclosures", Json::from(*disclosures)),
             ]),
+            Response::SessionInfo(info) => {
+                let Json::Obj(mut members) = info.to_json() else {
+                    unreachable!("SessionInfo serializes to an object");
+                };
+                members.insert(0, ("kind".to_owned(), Json::from("session")));
+                Json::Obj(members)
+            }
             Response::Stats(snapshot) => {
                 Json::obj([("kind", Json::from("stats")), ("stats", snapshot.to_json())])
             }
@@ -423,6 +498,7 @@ impl Deserialize for Response {
                 user: field(v, "user")?,
                 disclosures: field(v, "disclosures")?,
             }),
+            "session" => Ok(Response::SessionInfo(SessionInfo::from_json(v)?)),
             "stats" => Ok(Response::Stats(Box::new(field(v, "stats")?))),
             "trace" => Ok(Response::Trace(field(v, "spans")?)),
             "metrics" => Ok(Response::MetricsText(field(v, "text")?)),
@@ -456,6 +532,9 @@ mod tests {
             Request::Cumulative {
                 user: "eve".to_owned(),
                 audit_query: "secret".to_owned(),
+            },
+            Request::SessionInfo {
+                user: "eve".to_owned(),
             },
             Request::Stats,
             Request::Trace {
@@ -541,7 +620,19 @@ mod tests {
                 user: "alice".to_owned(),
                 disclosures: 1,
             },
+            Response::SessionInfo(SessionInfo {
+                user: "mallory".to_owned(),
+                disclosures: 3,
+                last_time: 2009,
+                worlds: 4,
+                digest: "00c0ffee".to_owned(),
+            }),
             Response::bad_request("unknown record `zzz`"),
+            Response::Error {
+                code: ErrorCode::Storage,
+                message: "disclosure log write failed".to_owned(),
+                retry_after_ms: None,
+            },
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "decision queue is full".to_owned(),
@@ -611,6 +702,7 @@ mod tests {
         assert!(!ErrorCode::BadRequest.is_retryable());
         assert!(!ErrorCode::DeadlineExceeded.is_retryable());
         assert!(!ErrorCode::Shutdown.is_retryable());
+        assert!(!ErrorCode::Storage.is_retryable());
         assert!(Response::Error {
             code: ErrorCode::Overloaded,
             message: String::new(),

@@ -22,8 +22,8 @@
 
 use crate::cache::DecisionKey;
 use crate::metrics::{Metrics, Snapshot};
-use crate::proto::{ErrorCode, Request, RequestMeta, Response, WireSpan};
-use crate::session::SessionStore;
+use crate::proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
+use crate::session::{knowledge_digest, SessionError, SessionStore};
 use crate::worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};
 use epi_audit::auditor::{EntryKind, ReportEntry};
 use epi_audit::query::parse;
@@ -31,12 +31,14 @@ use epi_audit::{Auditor, Decision, Finding, PriorAssumption, Schema};
 use epi_core::{CancelToken, Deadline, WorldId, WorldSet};
 use epi_solver::ProductSolverOptions;
 use epi_trace::{Recorder, SpanRecord};
+use epi_wal::{FsyncPolicy, RecoveryReport, Wal, WalConfig, WalError};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Tunables of an [`AuditService`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Prior assumption every decision is made under.
     pub assumption: PriorAssumption,
@@ -67,6 +69,15 @@ pub struct ServiceConfig {
     /// Decisions (spans) at least this slow, in microseconds, are copied
     /// into the slow-decision log (`None` disables the slow log).
     pub slow_threshold_micros: Option<u64>,
+    /// Data directory for the durable disclosure log (`None` = purely
+    /// in-memory sessions, the pre-persistence behaviour).
+    pub data_dir: Option<PathBuf>,
+    /// Fsync policy for disclosure-log appends when `data_dir` is set.
+    pub wal_fsync: FsyncPolicy,
+    /// Compact the disclosure log into a snapshot after this many
+    /// appends (`0` disables snapshotting; the log then only shrinks at
+    /// restart).
+    pub wal_snapshot_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -84,7 +95,46 @@ impl Default for ServiceConfig {
             dedupe_capacity: 256,
             trace_capacity: 4096,
             slow_threshold_micros: None,
+            data_dir: None,
+            wal_fsync: FsyncPolicy::Always,
+            wal_snapshot_every: 4096,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Applies durability overrides from the environment, in the same
+    /// spirit as `EPI_PAR_*`:
+    ///
+    /// * `EPI_WAL_DIR` — sets [`ServiceConfig::data_dir`] (empty value
+    ///   clears it back to in-memory sessions);
+    /// * `EPI_WAL_FSYNC` — `always`, `never`, `interval`, or
+    ///   `interval:<millis>` ([`FsyncPolicy::parse`]); unparsable values
+    ///   are ignored;
+    /// * `EPI_WAL_SNAPSHOT_EVERY` — appends between snapshots
+    ///   (`0` disables).
+    pub fn with_env_overrides(mut self) -> ServiceConfig {
+        if let Ok(dir) = std::env::var("EPI_WAL_DIR") {
+            self.data_dir = if dir.is_empty() {
+                None
+            } else {
+                Some(PathBuf::from(dir))
+            };
+        }
+        if let Some(policy) = std::env::var("EPI_WAL_FSYNC")
+            .ok()
+            .as_deref()
+            .and_then(FsyncPolicy::parse)
+        {
+            self.wal_fsync = policy;
+        }
+        if let Some(every) = std::env::var("EPI_WAL_SNAPSHOT_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            self.wal_snapshot_every = every;
+        }
+        self
     }
 }
 
@@ -151,6 +201,7 @@ pub struct AuditService {
     default_deadline: Option<Duration>,
     retry_after_ms: u64,
     dedupe: DedupeCache,
+    recovery: Option<RecoveryReport>,
 }
 
 /// Default span count returned by a `trace` request with no `limit`.
@@ -170,18 +221,43 @@ fn wire_span(s: SpanRecord) -> WireSpan {
 
 impl AuditService {
     /// Builds a service over a fixed schema.
+    ///
+    /// # Panics
+    ///
+    /// When [`ServiceConfig::data_dir`] is set and recovery of the
+    /// disclosure log fails — the daemon refuses to start over storage
+    /// it cannot trust. Use [`AuditService::open`] to handle the error.
     pub fn new(schema: Schema, config: ServiceConfig) -> AuditService {
         Self::with_fault_hook(schema, config, None)
     }
 
     /// [`AuditService::new`] with a worker-side fault-injection hook —
     /// the entry point the chaos harness uses to script solver panics
-    /// and stalls inside an otherwise-production service.
+    /// and stalls inside an otherwise-production service. Panics on
+    /// recovery failure like [`AuditService::new`].
     pub fn with_fault_hook(
         schema: Schema,
         config: ServiceConfig,
         fault_hook: Option<FaultHook>,
     ) -> AuditService {
+        Self::open_with_fault_hook(schema, config, fault_hook)
+            .expect("disclosure-log recovery failed; refusing to serve untrusted session state")
+    }
+
+    /// Builds a service over a fixed schema, running disclosure-log
+    /// recovery first when [`ServiceConfig::data_dir`] is set. Recovery
+    /// happens here — before any connection can be accepted — and is
+    /// fail-closed: corrupt storage is an error, not a degraded start.
+    pub fn open(schema: Schema, config: ServiceConfig) -> Result<AuditService, WalError> {
+        Self::open_with_fault_hook(schema, config, None)
+    }
+
+    /// [`AuditService::open`] with a worker-side fault-injection hook.
+    pub fn open_with_fault_hook(
+        schema: Schema,
+        config: ServiceConfig,
+        fault_hook: Option<FaultHook>,
+    ) -> Result<AuditService, WalError> {
         let metrics = Arc::new(Metrics::new());
         let tracer = Arc::new(Recorder::new(config.trace_capacity));
         if let Some(threshold) = config.slow_threshold_micros {
@@ -189,6 +265,21 @@ impl AuditService {
         }
         let auditor = Auditor::new(config.assumption).with_product_options(config.product_options);
         let cube = schema.cube();
+        let (sessions, recovery) = match &config.data_dir {
+            Some(dir) => {
+                let shards = config.session_shards.max(1);
+                let (wal, recovered) = Wal::open(WalConfig {
+                    fsync: config.wal_fsync,
+                    snapshot_every: config.wal_snapshot_every,
+                    ..WalConfig::new(dir.clone(), shards, cube.size())
+                })?;
+                (
+                    SessionStore::durable(shards, cube.size(), Arc::new(wal), recovered.shards),
+                    Some(recovered.report),
+                )
+            }
+            None => (SessionStore::new(config.session_shards, cube.size()), None),
+        };
         let pool = DecisionPool::with_policy_traced(
             config.workers,
             config.queue_capacity,
@@ -200,8 +291,8 @@ impl AuditService {
             fault_hook,
             Arc::clone(&tracer),
         );
-        AuditService {
-            sessions: SessionStore::new(config.session_shards, cube.size()),
+        Ok(AuditService {
+            sessions,
             schema,
             assumption: config.assumption,
             pool,
@@ -210,7 +301,14 @@ impl AuditService {
             default_deadline: config.default_deadline_ms.map(Duration::from_millis),
             retry_after_ms: config.retry_after_ms,
             dedupe: DedupeCache::new(config.dedupe_capacity),
-        }
+            recovery,
+        })
+    }
+
+    /// What disclosure-log recovery found at startup; `None` on
+    /// in-memory services.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
     }
 
     /// The schema this service audits against.
@@ -219,12 +317,23 @@ impl AuditService {
     }
 
     /// A point-in-time copy of the service's counters, with the trace
-    /// recorder's totals folded in.
+    /// recorder's totals and the disclosure log's counters folded in.
     pub fn metrics(&self) -> Snapshot {
         let mut snap = self.metrics.snapshot();
         snap.trace_spans = self.tracer.spans_recorded();
         snap.trace_dropped = self.tracer.spans_dropped();
         snap.slow_decisions = self.tracer.slow_total();
+        if let Some(wal) = self.sessions.wal() {
+            let stats = wal.stats();
+            snap.wal_appends = stats.appends;
+            snap.wal_bytes = stats.bytes;
+            snap.wal_fsyncs = stats.fsyncs;
+            snap.snapshot_count = stats.snapshots;
+        }
+        if let Some(report) = &self.recovery {
+            snap.recovery_replayed_records = report.replayed_records;
+            snap.recovery_millis = report.millis;
+        }
         snap
     }
 
@@ -288,6 +397,7 @@ impl AuditService {
             Request::Cumulative { user, audit_query } => {
                 self.cumulative(user, audit_query, &deadline, trace)
             }
+            Request::SessionInfo { user } => self.session_info(user),
             Request::Stats => Response::Stats(Box::new(self.metrics())),
             Request::Trace {
                 trace: wanted,
@@ -406,14 +516,33 @@ impl AuditService {
         };
         // The session update happens unconditionally — cumulative
         // knowledge accumulates even when this disclosure is excused by
-        // the negative-result rule, exactly like the offline log.
+        // the negative-result rule, exactly like the offline log. On a
+        // durable store the update is in the disclosure log before this
+        // returns, so the answer below is never ahead of the log.
         let applied = {
             let _span = self.tracer.start(trace, "session.apply");
             self.sessions
                 .apply_disclosure(user, time, state_mask, &disclosed)
         };
-        if let Err(e) = applied {
-            return Response::bad_request(e.to_string());
+        match applied {
+            Ok(_) => {}
+            Err(e @ SessionError::Storage { .. }) => {
+                return Response::Error {
+                    code: ErrorCode::Storage,
+                    message: e.to_string(),
+                    retry_after_ms: None,
+                };
+            }
+            Err(e) => return Response::bad_request(e.to_string()),
+        }
+        if let Err(e) = {
+            let _span = self.tracer.start(trace, "wal.snapshot");
+            self.sessions.maybe_snapshot()
+        } {
+            // Compaction failure is not a request failure — the
+            // disclosure itself is already durable; the log just keeps
+            // growing until a later snapshot succeeds.
+            eprintln!("disclosure-log snapshot failed: {e}");
         }
         if !audit_set.contains(WorldId(state_mask)) {
             Metrics::incr(&self.metrics.negative_gated);
@@ -446,6 +575,23 @@ impl AuditService {
                 "query `{query_display}` answered {answer}: {}",
                 decision.explanation
             ),
+        })
+    }
+
+    /// Serves a `session` request: the user's session sequence number
+    /// (disclosure count) and a stable digest of their knowledge set —
+    /// enough for an operator to compare session state across restarts
+    /// without shipping the set itself over the wire.
+    fn session_info(&self, user: &str) -> Response {
+        let Some(session) = self.sessions.get(user) else {
+            return Response::bad_request(format!("unknown user `{user}`"));
+        };
+        Response::SessionInfo(SessionInfo {
+            user: user.to_owned(),
+            disclosures: session.disclosures,
+            last_time: session.last_time,
+            worlds: session.knowledge.len() as u64,
+            digest: format!("{:08x}", knowledge_digest(&session.knowledge)),
         })
     }
 
@@ -563,6 +709,89 @@ mod tests {
         let m = svc.metrics();
         assert_eq!(m.computed, 1);
         assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn session_op_reports_sequence_and_digest() {
+        let svc = hospital_service(PriorAssumption::Product);
+        let resp = svc.handle(&Request::SessionInfo {
+            user: "ghost".to_owned(),
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "unknown users are a bad request, got {resp:?}"
+        );
+        svc.handle(&disclose("mallory", 2007, "hiv_pos", 0b11));
+        svc.handle(&disclose("mallory", 2008, "hiv_pos | transfusions", 0b11));
+        let resp = svc.handle(&Request::SessionInfo {
+            user: "mallory".to_owned(),
+        });
+        let Response::SessionInfo(info) = resp else {
+            panic!("expected session info, got {resp:?}");
+        };
+        assert_eq!(info.user, "mallory");
+        assert_eq!(info.disclosures, 2);
+        assert_eq!(info.last_time, 2008);
+        let session = svc.sessions.get("mallory").unwrap();
+        assert_eq!(info.worlds, session.knowledge.len() as u64);
+        assert_eq!(
+            info.digest,
+            format!("{:08x}", knowledge_digest(&session.knowledge))
+        );
+    }
+
+    #[test]
+    fn durable_service_recovers_sessions_and_reports_metrics() {
+        use epi_wal::testdir::TempDir;
+        let tmp = TempDir::new("svc-recover");
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let config = ServiceConfig {
+            assumption: PriorAssumption::Product,
+            workers: 1,
+            data_dir: Some(tmp.path().to_path_buf()),
+            wal_fsync: FsyncPolicy::Never,
+            ..ServiceConfig::default()
+        };
+        let digest_before = {
+            let svc = AuditService::open(schema.clone(), config.clone()).unwrap();
+            svc.handle(&disclose("mallory", 2007, "hiv_pos", 0b11));
+            svc.handle(&disclose("mallory", 2008, "transfusions", 0b11));
+            let resp = svc.handle(&Request::SessionInfo {
+                user: "mallory".to_owned(),
+            });
+            let Response::SessionInfo(info) = resp else {
+                panic!("expected session info, got {resp:?}");
+            };
+            let m = svc.metrics();
+            assert!(m.wal_appends >= 3, "open + two discloses must be logged");
+            assert!(m.wal_bytes > 0);
+            info.digest
+        };
+        let svc = AuditService::open(schema, config).unwrap();
+        let report = svc.recovery_report().unwrap();
+        assert_eq!(report.sessions, 1);
+        assert!(report.replayed_records >= 3);
+        let resp = svc.handle(&Request::SessionInfo {
+            user: "mallory".to_owned(),
+        });
+        let Response::SessionInfo(info) = resp else {
+            panic!("expected session info after recovery, got {resp:?}");
+        };
+        assert_eq!(info.disclosures, 2);
+        assert_eq!(
+            info.digest, digest_before,
+            "recovered knowledge must hash identically"
+        );
+        assert_eq!(
+            svc.metrics().recovery_replayed_records,
+            report.replayed_records
+        );
     }
 
     #[test]

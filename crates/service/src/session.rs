@@ -6,13 +6,26 @@
 //! Sessions are spread over `N` independent mutex-guarded shards keyed by
 //! a hash of the user name, so disclosures for different users rarely
 //! contend on the same lock.
+//!
+//! # Durability
+//!
+//! A store built with [`SessionStore::durable`] writes every knowledge
+//! mutation to an `epi-wal` disclosure log *before* mutating memory, and
+//! therefore before the caller can acknowledge the disclosure — the
+//! write-ahead discipline that makes a restart unable to forget what a
+//! user was told. Appends happen inside the shard critical section, so
+//! the log's per-shard record order matches the in-memory apply order,
+//! and [`SessionStore::maybe_snapshot`] can take a per-shard-consistent
+//! cut (sessions + covered sequence number) just by holding the same
+//! shard lock while rotating the shard's segment.
 
 use epi_core::WorldSet;
+use epi_wal::{crc32, Wal, WalError, WalSession};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// One user's accumulated state, as stored (and returned by value from
 /// every store operation so callers never hold a shard lock).
@@ -39,6 +52,13 @@ pub enum SessionError {
         /// Time of the user's last accepted disclosure.
         last: u64,
     },
+    /// The disclosure log refused the append — the disclosure was NOT
+    /// applied (fail closed: an unlogged disclosure must not enter a
+    /// session it could never be recovered into).
+    Storage {
+        /// The log's error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -48,34 +68,99 @@ impl fmt::Display for SessionError {
                 f,
                 "disclosure at time {time} arrived after the user's disclosure at time {last}"
             ),
+            SessionError::Storage { detail } => {
+                write!(f, "disclosure log rejected the update: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for SessionError {}
 
+/// A stable digest of a user's knowledge set, for the `session`
+/// protocol op and for cross-restart equivalence checks: CRC-32 over
+/// the universe size and the set's blocks in little-endian order.
+pub fn knowledge_digest(set: &WorldSet) -> u32 {
+    let mut bytes = Vec::with_capacity(8 + set.blocks().len() * 8);
+    bytes.extend_from_slice(&(set.universe_size() as u64).to_le_bytes());
+    for block in set.blocks() {
+        bytes.extend_from_slice(&block.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+fn to_wal_session(s: &Session) -> WalSession {
+    WalSession {
+        disclosures: s.disclosures,
+        last_time: s.last_time,
+        last_state_mask: s.last_state_mask,
+        knowledge: s.knowledge.clone(),
+    }
+}
+
+fn from_wal_session(s: WalSession) -> Session {
+    Session {
+        disclosures: s.disclosures,
+        last_time: s.last_time,
+        last_state_mask: s.last_state_mask,
+        knowledge: s.knowledge,
+    }
+}
+
 /// Concurrent map from user name to [`Session`], sharded for low
 /// contention.
 pub struct SessionStore {
     shards: Vec<Mutex<HashMap<String, Session>>>,
     universe: usize,
+    wal: Option<Arc<Wal>>,
 }
 
 impl SessionStore {
     /// Creates a store with `shards` independent shards over a world
-    /// universe of the given size (the schema's `2^n` worlds).
+    /// universe of the given size (the schema's `2^n` worlds). Purely
+    /// in-memory: nothing survives the process.
     pub fn new(shards: usize, universe: usize) -> SessionStore {
         let shards = shards.max(1);
         SessionStore {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             universe,
+            wal: None,
         }
     }
 
-    fn shard(&self, user: &str) -> &Mutex<HashMap<String, Session>> {
+    /// Creates a store backed by a disclosure log, seeded with the
+    /// sessions the log's recovery reconstructed. The log must have been
+    /// opened with the same shard count; recovered users are re-hashed
+    /// into their shards (user-to-shard placement is stable because both
+    /// the store and the log index shards by the same hash).
+    pub fn durable(
+        shards: usize,
+        universe: usize,
+        wal: Arc<Wal>,
+        recovered: Vec<Vec<(String, WalSession)>>,
+    ) -> SessionStore {
+        let mut store = SessionStore::new(shards, universe);
+        for (user, session) in recovered.into_iter().flatten() {
+            let idx = store.shard_index(&user);
+            Self::lock_shard(&store.shards[idx]).insert(user, from_wal_session(session));
+        }
+        store.wal = Some(wal);
+        store
+    }
+
+    /// The disclosure log behind this store, when it is durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    fn shard_index(&self, user: &str) -> usize {
         let mut h = DefaultHasher::new();
         user.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn shard(&self, user: &str) -> &Mutex<HashMap<String, Session>> {
+        &self.shards[self.shard_index(user)]
     }
 
     /// Lock a shard, recovering from poisoning: each critical section
@@ -90,6 +175,11 @@ impl SessionStore {
     /// Records one disclosure: intersects the user's cumulative knowledge
     /// with `disclosed` and advances their clock. Returns the updated
     /// session by value.
+    ///
+    /// On a durable store the mutation is logged *first* — a session
+    /// open for a new user, then the disclosure — and a log failure
+    /// leaves memory untouched and surfaces as
+    /// [`SessionError::Storage`].
     pub fn apply_disclosure(
         &self,
         user: &str,
@@ -97,24 +187,90 @@ impl SessionStore {
         state_mask: u32,
         disclosed: &WorldSet,
     ) -> Result<Session, SessionError> {
-        let mut shard = Self::lock_shard(self.shard(user));
+        let idx = self.shard_index(user);
+        let mut shard = Self::lock_shard(&self.shards[idx]);
+        if let Some(session) = shard.get(user) {
+            if session.disclosures > 0 && time < session.last_time {
+                return Err(SessionError::OutOfOrder {
+                    time,
+                    last: session.last_time,
+                });
+            }
+        }
+        if let Some(wal) = &self.wal {
+            let storage = |e: WalError| SessionError::Storage {
+                detail: e.to_string(),
+            };
+            if !shard.contains_key(user) {
+                wal.append_open(idx, user).map_err(storage)?;
+            }
+            wal.append_disclose(idx, user, time, state_mask, disclosed)
+                .map_err(storage)?;
+        }
         let session = shard.entry(user.to_owned()).or_insert_with(|| Session {
             disclosures: 0,
             last_time: 0,
             last_state_mask: 0,
             knowledge: WorldSet::full(self.universe),
         });
-        if session.disclosures > 0 && time < session.last_time {
-            return Err(SessionError::OutOfOrder {
-                time,
-                last: session.last_time,
-            });
-        }
         session.disclosures += 1;
         session.last_time = time;
         session.last_state_mask = state_mask;
         session.knowledge.intersect_with(disclosed);
         Ok(session.clone())
+    }
+
+    /// Administratively erases a user's session (logged to the
+    /// disclosure log first on a durable store). Returns whether a
+    /// session existed.
+    pub fn reset(&self, user: &str) -> Result<bool, SessionError> {
+        let idx = self.shard_index(user);
+        let mut shard = Self::lock_shard(&self.shards[idx]);
+        if !shard.contains_key(user) {
+            return Ok(false);
+        }
+        if let Some(wal) = &self.wal {
+            wal.append_reset(idx, user)
+                .map_err(|e| SessionError::Storage {
+                    detail: e.to_string(),
+                })?;
+        }
+        shard.remove(user);
+        Ok(true)
+    }
+
+    /// Snapshots and compacts the disclosure log when it is due: rotates
+    /// each shard's segment under that shard's session lock (so the cut
+    /// sequence number and the captured sessions agree), then writes the
+    /// snapshot and deletes the segments it covers. Returns whether a
+    /// snapshot was committed. A no-op on in-memory stores and while
+    /// another snapshot is in flight.
+    pub fn maybe_snapshot(&self) -> Result<bool, WalError> {
+        let Some(wal) = &self.wal else {
+            return Ok(false);
+        };
+        if !wal.should_snapshot() {
+            return Ok(false);
+        }
+        let Some(guard) = wal.try_begin_snapshot() else {
+            return Ok(false);
+        };
+        let mut applied = Vec::with_capacity(self.shards.len());
+        let mut sessions = Vec::with_capacity(self.shards.len());
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let locked = Self::lock_shard(shard);
+            let mut entries: Vec<(String, WalSession)> = locked
+                .iter()
+                .map(|(user, s)| (user.clone(), to_wal_session(s)))
+                .collect();
+            let cut = wal.rotate_shard(idx)?;
+            drop(locked);
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            applied.push(cut);
+            sessions.push(entries);
+        }
+        wal.commit_snapshot(guard, applied, sessions)?;
+        Ok(true)
     }
 
     /// Looks up a user's session.
@@ -177,6 +333,92 @@ mod tests {
         assert!(store.apply_disclosure("bob", 5, 0, &b).is_ok());
         assert!(store.apply_disclosure("carol", 1, 0, &b).is_ok());
         assert_eq!(store.len(), 2);
+    }
+
+    use epi_wal::testdir::TempDir;
+    use epi_wal::{FsyncPolicy, WalConfig};
+
+    fn durable_store(dir: &std::path::Path, shards: usize, universe: usize) -> SessionStore {
+        let (wal, recovered) = Wal::open(WalConfig {
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 8,
+            ..WalConfig::new(dir.to_path_buf(), shards, universe)
+        })
+        .unwrap();
+        SessionStore::durable(shards, universe, Arc::new(wal), recovered.shards)
+    }
+
+    #[test]
+    fn durable_store_survives_reopen_with_identical_sessions() {
+        let tmp = TempDir::new("session-reopen");
+        let users = ["alice", "bob", "carol", "dana"];
+        let before: Vec<Session> = {
+            let store = durable_store(tmp.path(), 4, 4);
+            for (i, user) in users.iter().enumerate() {
+                let i = i as u32;
+                let b1 = WorldSet::from_indices(4, [i % 4, (i + 1) % 4]);
+                let b2 = WorldSet::from_indices(4, [(i + 1) % 4]);
+                store.apply_disclosure(user, 1, 0b01, &b1).unwrap();
+                store.apply_disclosure(user, 2, 0b11, &b2).unwrap();
+            }
+            users.iter().map(|u| store.get(u).unwrap()).collect()
+        };
+        let store = durable_store(tmp.path(), 4, 4);
+        assert_eq!(store.len(), users.len());
+        for (user, expected) in users.iter().zip(before) {
+            let after = store.get(user).unwrap();
+            assert_eq!(after, expected, "session for {user} must survive restart");
+            assert_eq!(
+                knowledge_digest(&after.knowledge),
+                knowledge_digest(&expected.knowledge)
+            );
+        }
+    }
+
+    #[test]
+    fn durable_reset_survives_reopen() {
+        let tmp = TempDir::new("session-reset");
+        {
+            let store = durable_store(tmp.path(), 2, 4);
+            let b = WorldSet::from_indices(4, [1, 2]);
+            store.apply_disclosure("erin", 1, 0, &b).unwrap();
+            store.apply_disclosure("frank", 1, 0, &b).unwrap();
+            assert!(store.reset("erin").unwrap());
+            assert!(!store.reset("erin").unwrap(), "already gone");
+        }
+        let store = durable_store(tmp.path(), 2, 4);
+        assert!(store.get("erin").is_none(), "reset must be durable");
+        assert!(store.get("frank").is_some());
+    }
+
+    #[test]
+    fn snapshot_compaction_preserves_recovered_state() {
+        let tmp = TempDir::new("session-snapshot");
+        let before: Vec<(String, Session)> = {
+            let store = durable_store(tmp.path(), 2, 4);
+            let b = WorldSet::from_indices(4, [0, 2, 3]);
+            // Enough appends to cross snapshot_every = 8.
+            for i in 0..12u64 {
+                let user = format!("user{}", i % 3);
+                store.apply_disclosure(&user, i, 0, &b).unwrap();
+                store.maybe_snapshot().unwrap();
+            }
+            assert!(
+                store.wal().unwrap().stats().snapshots > 0,
+                "the stream must have crossed the snapshot threshold"
+            );
+            (0..3)
+                .map(|i| {
+                    let user = format!("user{i}");
+                    let s = store.get(&user).unwrap();
+                    (user, s)
+                })
+                .collect()
+        };
+        let store = durable_store(tmp.path(), 2, 4);
+        for (user, expected) in before {
+            assert_eq!(store.get(&user).unwrap(), expected);
+        }
     }
 
     #[test]

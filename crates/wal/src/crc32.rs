@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by gzip/zip/PNG), computed
+//! with a compile-time 256-entry table. `std` ships no checksum, and the
+//! offline build cannot pull one in; 30 lines buys frame integrity for
+//! the whole persistence layer.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE, reflected, init and xor-out `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let payload = br#"{"seq":7,"t":"disclose","user":"alice"}"#;
+        let base = crc32(payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut copy = payload.to_vec();
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Length-prefixed, CRC-framed records.
+//!
+//! One frame on disk is `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! The reader walks a byte buffer frame by frame and *classifies* every
+//! way a frame can be bad, because recovery treats them differently:
+//!
+//! * [`FrameIssue::TornTail`] — the buffer ends inside a header or
+//!   payload. The expected shape of a crash mid-write; recovery
+//!   truncates the file at the last good frame boundary.
+//! * [`FrameIssue::CrcMismatch`] — a complete frame whose payload fails
+//!   its checksum (bit rot, torn sector rewrite). Never accepted.
+//! * [`FrameIssue::Oversized`] — a length prefix beyond the configured
+//!   cap. Either corruption of the prefix itself or a foreign file;
+//!   reading `len` bytes would be garbage, so it is refused outright.
+
+use crate::crc32::crc32;
+
+/// Frame header size: 4 length bytes + 4 CRC bytes.
+pub const HEADER_BYTES: usize = 8;
+
+/// How a frame failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameIssue {
+    /// The buffer ended mid-frame (crash during an append).
+    TornTail,
+    /// The payload does not match its recorded checksum.
+    CrcMismatch,
+    /// The length prefix exceeds the frame cap.
+    Oversized {
+        /// The declared payload length.
+        declared: usize,
+    },
+}
+
+/// One step of the frame walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameStep<'a> {
+    /// A valid payload.
+    Payload(&'a [u8]),
+    /// The walk hit a bad frame; `offset` in [`FrameReader::offset`]
+    /// points at its first byte.
+    Bad(FrameIssue),
+    /// Clean end of buffer, exactly at a frame boundary.
+    End,
+}
+
+/// Appends one frame for `payload` onto `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// The on-disk size of a frame carrying `payload_len` bytes.
+pub fn frame_bytes(payload_len: usize) -> usize {
+    HEADER_BYTES + payload_len
+}
+
+/// Walks a buffer of concatenated frames, classifying the first defect.
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    offset: usize,
+    max_payload: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// A reader over `buf` refusing payloads longer than `max_payload`.
+    pub fn new(buf: &'a [u8], max_payload: usize) -> FrameReader<'a> {
+        FrameReader {
+            buf,
+            offset: 0,
+            max_payload,
+        }
+    }
+
+    /// Byte offset of the next unread frame — after [`FrameStep::Bad`],
+    /// the offset of the bad frame's first byte (the truncation point).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Decodes the next frame. After a [`FrameStep::Bad`] the reader
+    /// stays put: everything at and past [`FrameReader::offset`] is
+    /// untrusted.
+    pub fn step(&mut self) -> FrameStep<'a> {
+        let rest = &self.buf[self.offset..];
+        if rest.is_empty() {
+            return FrameStep::End;
+        }
+        if rest.len() < HEADER_BYTES {
+            return FrameStep::Bad(FrameIssue::TornTail);
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        if len > self.max_payload {
+            return FrameStep::Bad(FrameIssue::Oversized { declared: len });
+        }
+        let want = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if rest.len() < HEADER_BYTES + len {
+            return FrameStep::Bad(FrameIssue::TornTail);
+        }
+        let payload = &rest[HEADER_BYTES..HEADER_BYTES + len];
+        if crc32(payload) != want {
+            return FrameStep::Bad(FrameIssue::CrcMismatch);
+        }
+        self.offset += HEADER_BYTES + len;
+        FrameStep::Payload(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: usize = 1 << 20;
+
+    fn encode_all(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            encode_frame(p, &mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn frames_roundtrip_in_order() {
+        let buf = encode_all(&[b"first", b"", b"third record"]);
+        let mut r = FrameReader::new(&buf, CAP);
+        assert_eq!(r.step(), FrameStep::Payload(b"first".as_slice()));
+        assert_eq!(r.step(), FrameStep::Payload(b"".as_slice()));
+        assert_eq!(r.step(), FrameStep::Payload(b"third record".as_slice()));
+        assert_eq!(r.step(), FrameStep::End);
+        assert_eq!(r.offset(), buf.len());
+    }
+
+    #[test]
+    fn every_truncation_point_reads_as_torn_tail() {
+        let buf = encode_all(&[b"alpha", b"beta"]);
+        let first = frame_bytes(5);
+        for cut in 1..buf.len() {
+            if cut == first {
+                continue; // a clean frame boundary, not a tear
+            }
+            let mut r = FrameReader::new(&buf[..cut], CAP);
+            let mut good = 0;
+            loop {
+                match r.step() {
+                    FrameStep::Payload(_) => good += 1,
+                    FrameStep::Bad(issue) => {
+                        assert_eq!(issue, FrameIssue::TornTail, "cut at {cut}");
+                        break;
+                    }
+                    FrameStep::End => panic!("cut at {cut} read as clean"),
+                }
+            }
+            // The reader parks at the last good boundary.
+            assert_eq!(r.offset(), if cut < first { 0 } else { first });
+            assert_eq!(good, usize::from(cut >= first));
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_are_crc_mismatches() {
+        let buf = encode_all(&[b"sensitive record"]);
+        for byte in HEADER_BYTES..buf.len() {
+            let mut copy = buf.clone();
+            copy[byte] ^= 0x10;
+            let mut r = FrameReader::new(&copy, CAP);
+            assert_eq!(r.step(), FrameStep::Bad(FrameIssue::CrcMismatch));
+            assert_eq!(r.offset(), 0);
+        }
+    }
+
+    #[test]
+    fn length_corruption_is_oversized_or_torn_never_accepted() {
+        let buf = encode_all(&[b"abcdef"]);
+        for bit in 0..32 {
+            let mut copy = buf.clone();
+            let flipped = u32::from_le_bytes(copy[0..4].try_into().unwrap()) ^ (1 << bit);
+            copy[0..4].copy_from_slice(&flipped.to_le_bytes());
+            let mut r = FrameReader::new(&copy, CAP);
+            match r.step() {
+                FrameStep::Bad(_) => {}
+                // A shorter declared length re-slices the payload; the
+                // CRC then covers the wrong bytes and must fail.
+                FrameStep::Payload(_) => panic!("bit {bit}: corrupt length accepted"),
+                FrameStep::End => panic!("bit {bit}: corrupt length read as end"),
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The logical records of the disclosure log and snapshot files.
+//!
+//! Payloads are JSON rendered through the workspace's `epi-json` wire
+//! traits — the same encoding discipline as the NDJSON protocol, so a
+//! log is inspectable with any JSON tool once the frame headers are
+//! stripped. Every log record carries a shard-local sequence number
+//! `seq`: contiguous, starting at 1, assigned by the writer. Snapshots
+//! store the highest `seq` they cover per shard, which makes replay
+//! idempotent across the crash window between writing a snapshot and
+//! deleting the segments it compacts away.
+
+use epi_core::WorldSet;
+use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+
+/// One record of a shard's disclosure log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A user's session came into existence (vacuous full-universe
+    /// knowledge). Logged before the user's first disclosure.
+    Open {
+        /// Shard-local sequence number.
+        seq: u64,
+        /// The user whose session opened.
+        user: String,
+        /// World-universe size of the schema the session lives in.
+        universe: usize,
+    },
+    /// One disclosure was applied to a session — the durable twin of
+    /// `SessionStore::apply_disclosure`'s in-memory update.
+    Disclose {
+        /// Shard-local sequence number.
+        seq: u64,
+        /// The user receiving the answer.
+        user: String,
+        /// Logical disclosure time.
+        time: u64,
+        /// Database record-presence mask at disclosure time.
+        state_mask: u32,
+        /// The set the user actually learned (the queried set or its
+        /// complement, negative answers included).
+        disclosed: WorldSet,
+    },
+    /// A session was administratively erased.
+    Reset {
+        /// Shard-local sequence number.
+        seq: u64,
+        /// The user whose session was erased.
+        user: String,
+    },
+}
+
+impl WalRecord {
+    /// The record's shard-local sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            WalRecord::Open { seq, .. }
+            | WalRecord::Disclose { seq, .. }
+            | WalRecord::Reset { seq, .. } => *seq,
+        }
+    }
+}
+
+impl Serialize for WalRecord {
+    fn to_json(&self) -> Json {
+        match self {
+            WalRecord::Open {
+                seq,
+                user,
+                universe,
+            } => Json::obj([
+                ("seq", Json::from(*seq)),
+                ("t", Json::from("open")),
+                ("user", Json::from(user.as_str())),
+                ("universe", Json::from(*universe)),
+            ]),
+            WalRecord::Disclose {
+                seq,
+                user,
+                time,
+                state_mask,
+                disclosed,
+            } => Json::obj([
+                ("seq", Json::from(*seq)),
+                ("t", Json::from("disclose")),
+                ("user", Json::from(user.as_str())),
+                ("time", Json::from(*time)),
+                ("state_mask", Json::from(*state_mask)),
+                ("disclosed", disclosed.to_json()),
+            ]),
+            WalRecord::Reset { seq, user } => Json::obj([
+                ("seq", Json::from(*seq)),
+                ("t", Json::from("reset")),
+                ("user", Json::from(user.as_str())),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for WalRecord {
+    fn from_json(v: &Json) -> Result<WalRecord, JsonError> {
+        match field::<String>(v, "t")?.as_str() {
+            "open" => Ok(WalRecord::Open {
+                seq: field(v, "seq")?,
+                user: field(v, "user")?,
+                universe: field(v, "universe")?,
+            }),
+            "disclose" => Ok(WalRecord::Disclose {
+                seq: field(v, "seq")?,
+                user: field(v, "user")?,
+                time: field(v, "time")?,
+                state_mask: field(v, "state_mask")?,
+                disclosed: field(v, "disclosed")?,
+            }),
+            "reset" => Ok(WalRecord::Reset {
+                seq: field(v, "seq")?,
+                user: field(v, "user")?,
+            }),
+            other => Err(JsonError::decode(format!("unknown record type {other:?}"))),
+        }
+    }
+}
+
+/// One user's durable session state — the persistence-layer twin of the
+/// service's `Session`, defined here so the log crate does not depend on
+/// the service that embeds it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalSession {
+    /// Disclosures recorded for this user (the session sequence number).
+    pub disclosures: u64,
+    /// Logical time of the latest disclosure.
+    pub last_time: u64,
+    /// Database state mask at the latest disclosure.
+    pub last_state_mask: u32,
+    /// Cumulative knowledge: the intersection of everything disclosed.
+    pub knowledge: WorldSet,
+}
+
+impl WalSession {
+    /// A fresh session over `universe` worlds: no disclosures, vacuous
+    /// (full-universe) knowledge.
+    pub fn fresh(universe: usize) -> WalSession {
+        WalSession {
+            disclosures: 0,
+            last_time: 0,
+            last_state_mask: 0,
+            knowledge: WorldSet::full(universe),
+        }
+    }
+
+    /// Applies one disclosure, mirroring the in-memory session update.
+    pub fn apply(&mut self, time: u64, state_mask: u32, disclosed: &WorldSet) {
+        self.disclosures += 1;
+        self.last_time = time;
+        self.last_state_mask = state_mask;
+        self.knowledge.intersect_with(disclosed);
+    }
+}
+
+impl Serialize for WalSession {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("disclosures", Json::from(self.disclosures)),
+            ("last_time", Json::from(self.last_time)),
+            ("last_state_mask", Json::from(self.last_state_mask)),
+            ("knowledge", self.knowledge.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for WalSession {
+    fn from_json(v: &Json) -> Result<WalSession, JsonError> {
+        Ok(WalSession {
+            disclosures: field(v, "disclosures")?,
+            last_time: field(v, "last_time")?,
+            last_state_mask: field(v, "last_state_mask")?,
+            knowledge: field(v, "knowledge")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip() {
+        let records = vec![
+            WalRecord::Open {
+                seq: 1,
+                user: "alice".to_owned(),
+                universe: 4,
+            },
+            WalRecord::Disclose {
+                seq: 2,
+                user: "alice".to_owned(),
+                time: 2005,
+                state_mask: 0b01,
+                disclosed: WorldSet::from_indices(4, [0, 2]),
+            },
+            WalRecord::Reset {
+                seq: 3,
+                user: "alice".to_owned(),
+            },
+        ];
+        for r in records {
+            let back = WalRecord::from_json(&Json::parse(&r.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn sessions_roundtrip_and_apply_matches_intersection() {
+        let mut s = WalSession::fresh(4);
+        s.apply(5, 0b01, &WorldSet::from_indices(4, [1, 2, 3]));
+        s.apply(6, 0b11, &WorldSet::from_indices(4, [2, 3]));
+        assert_eq!(s.disclosures, 2);
+        assert_eq!(s.last_time, 6);
+        assert_eq!(s.knowledge, WorldSet::from_indices(4, [2, 3]));
+        let back = WalSession::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unknown_record_types_are_rejected() {
+        let j = Json::parse(r#"{"seq":1,"t":"format_disk","user":"eve"}"#).unwrap();
+        assert!(WalRecord::from_json(&j).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Compacted snapshots of the session store.
+//!
+//! A snapshot is one CRC-framed JSON document holding every live
+//! session plus, per shard, the highest log sequence number it covers.
+//! Snapshots are written to a temporary file, fsynced, and renamed into
+//! place, so a crash mid-write leaves either the old latest snapshot or
+//! the new one — never a half file under the `.snap` name. Loading is
+//! fail-closed: a `.snap` file that does not decode is a fatal error,
+//! not something to skip, because silently falling back to an older
+//! snapshot could resurrect knowledge a user has since narrowed.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+
+use crate::frame::{encode_frame, FrameReader, FrameStep};
+use crate::record::WalSession;
+use crate::wal::WalError;
+
+/// The durable image of the whole session store at a compaction point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotDoc {
+    /// Monotonic snapshot number; the file name carries it too.
+    pub id: u64,
+    /// World-universe size the sessions are defined over.
+    pub universe: usize,
+    /// Per shard: the highest log `seq` this snapshot covers. Replay
+    /// skips records at or below this.
+    pub applied: Vec<u64>,
+    /// Per shard: the live sessions, sorted by user for determinism.
+    pub sessions: Vec<Vec<(String, WalSession)>>,
+}
+
+impl Serialize for SnapshotDoc {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id)),
+            ("universe", Json::from(self.universe)),
+            (
+                "applied",
+                Json::arr(self.applied.iter().map(|&s| Json::from(s))),
+            ),
+            (
+                "sessions",
+                Json::arr(self.sessions.iter().map(|shard| {
+                    Json::arr(shard.iter().map(|(user, s)| {
+                        Json::obj([
+                            ("user", Json::from(user.as_str())),
+                            ("session", s.to_json()),
+                        ])
+                    }))
+                })),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for SnapshotDoc {
+    fn from_json(v: &Json) -> Result<SnapshotDoc, JsonError> {
+        let applied: Vec<u64> = field(v, "applied")?;
+        let raw = v
+            .get("sessions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::decode("snapshot missing sessions array"))?;
+        if raw.len() != applied.len() {
+            return Err(JsonError::decode(format!(
+                "snapshot shard mismatch: {} session shards, {} applied entries",
+                raw.len(),
+                applied.len()
+            )));
+        }
+        let mut sessions = Vec::with_capacity(raw.len());
+        for shard in raw {
+            let entries = shard
+                .as_arr()
+                .ok_or_else(|| JsonError::decode("snapshot shard is not an array"))?;
+            let mut out = Vec::with_capacity(entries.len());
+            for entry in entries {
+                out.push((field(entry, "user")?, field(entry, "session")?));
+            }
+            sessions.push(out);
+        }
+        Ok(SnapshotDoc {
+            id: field(v, "id")?,
+            universe: field(v, "universe")?,
+            applied,
+            sessions,
+        })
+    }
+}
+
+/// File name for snapshot `id` (zero-padded so lexical order is
+/// numeric order).
+pub fn snapshot_file_name(id: u64) -> String {
+    format!("snap-{id:016}.snap")
+}
+
+/// Parses a snapshot id back out of a file name produced by
+/// [`snapshot_file_name`]; `None` for anything else.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if digits.len() != 16 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// All snapshot files in `dir`, ascending by id.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut found = Vec::new();
+    let entries =
+        fs::read_dir(dir).map_err(|e| WalError::io(format!("read dir {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| WalError::io(format!("read dir {}", dir.display()), e))?;
+        if let Some(id) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            found.push((id, entry.path()));
+        }
+    }
+    found.sort_unstable();
+    Ok(found)
+}
+
+/// Writes `doc` durably: temp file, fsync, rename, directory fsync.
+pub fn write_snapshot(dir: &Path, doc: &SnapshotDoc) -> Result<PathBuf, WalError> {
+    let mut framed = Vec::new();
+    encode_frame(doc.to_json().render().as_bytes(), &mut framed);
+    let tmp = dir.join(format!("snap-{:016}.tmp", doc.id));
+    let path = dir.join(snapshot_file_name(doc.id));
+    let mut file =
+        fs::File::create(&tmp).map_err(|e| WalError::io(format!("create {}", tmp.display()), e))?;
+    file.write_all(&framed)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| WalError::io(format!("write {}", tmp.display()), e))?;
+    drop(file);
+    fs::rename(&tmp, &path)
+        .map_err(|e| WalError::io(format!("rename into {}", path.display()), e))?;
+    // Persist the rename itself. Directory fsync is best-effort: some
+    // filesystems refuse it, and the rename is already atomic.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// Loads the newest snapshot in `dir`, or `None` on a cold start.
+/// Any defect in that newest file — torn frame, checksum mismatch,
+/// malformed JSON — is fatal.
+pub fn load_latest_snapshot(dir: &Path) -> Result<Option<SnapshotDoc>, WalError> {
+    let Some((id, path)) = list_snapshots(dir)?.pop() else {
+        return Ok(None);
+    };
+    let bytes = fs::read(&path).map_err(|e| WalError::io(format!("read {}", path.display()), e))?;
+    let corrupt = |detail: String| WalError::Corrupt {
+        file: path.display().to_string(),
+        detail,
+    };
+    let mut reader = FrameReader::new(&bytes, bytes.len());
+    let payload = match reader.step() {
+        FrameStep::Payload(p) => p,
+        FrameStep::Bad(issue) => return Err(corrupt(format!("bad snapshot frame: {issue:?}"))),
+        FrameStep::End => return Err(corrupt("empty snapshot file".to_owned())),
+    };
+    if reader.step() != FrameStep::End {
+        return Err(corrupt("trailing bytes after snapshot frame".to_owned()));
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|e| corrupt(format!("snapshot is not UTF-8: {e}")))?;
+    let doc = Json::parse(text)
+        .and_then(|j| SnapshotDoc::from_json(&j))
+        .map_err(|e| corrupt(format!("snapshot decode: {e}")))?;
+    if doc.id != id {
+        return Err(corrupt(format!(
+            "snapshot id {} does not match file name id {id}",
+            doc.id
+        )));
+    }
+    Ok(Some(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TempDir;
+    use epi_core::WorldSet;
+
+    fn sample(id: u64) -> SnapshotDoc {
+        let mut s = WalSession::fresh(4);
+        s.apply(9, 0b10, &WorldSet::from_indices(4, [1, 3]));
+        SnapshotDoc {
+            id,
+            universe: 4,
+            applied: vec![3, 0],
+            sessions: vec![vec![("alice".to_owned(), s)], vec![]],
+        }
+    }
+
+    #[test]
+    fn write_then_load_roundtrips_and_latest_wins() {
+        let dir = TempDir::new("snap-roundtrip");
+        write_snapshot(dir.path(), &sample(1)).unwrap();
+        write_snapshot(dir.path(), &sample(7)).unwrap();
+        let loaded = load_latest_snapshot(dir.path()).unwrap().unwrap();
+        assert_eq!(loaded, sample(7));
+        assert_eq!(
+            list_snapshots(dir.path())
+                .unwrap()
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect::<Vec<_>>(),
+            vec![1, 7]
+        );
+    }
+
+    #[test]
+    fn corrupt_latest_snapshot_is_fatal_not_skipped() {
+        let dir = TempDir::new("snap-corrupt");
+        write_snapshot(dir.path(), &sample(1)).unwrap();
+        let path = write_snapshot(dir.path(), &sample(2)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match load_latest_snapshot(dir.path()) {
+            Err(WalError::Corrupt { .. }) => {}
+            other => panic!("expected fail-closed corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_latest_snapshot_is_fatal() {
+        let dir = TempDir::new("snap-torn");
+        let path = write_snapshot(dir.path(), &sample(3)).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            load_latest_snapshot(dir.path()),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn tmp_files_and_strangers_are_ignored() {
+        let dir = TempDir::new("snap-strays");
+        fs::write(dir.path().join("snap-0000000000000009.tmp"), b"half").unwrap();
+        fs::write(dir.path().join("notes.txt"), b"hello").unwrap();
+        fs::write(dir.path().join("snap-12.snap"), b"bad name").unwrap();
+        assert_eq!(load_latest_snapshot(dir.path()).unwrap(), None);
+    }
+}

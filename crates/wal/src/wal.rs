@@ -1,0 +1,919 @@
+//! The write-ahead log proper: per-shard append-only segment files, a
+//! group-commit fsync path, snapshot-driven compaction, and fail-closed
+//! startup recovery.
+//!
+//! # Layout
+//!
+//! One directory holds everything:
+//!
+//! ```text
+//! shard-0000-00000001.log   segment files: shard index + generation
+//! shard-0001-00000001.log
+//! snap-0000000000000001.snap  compacted snapshots (see `snapshot`)
+//! ```
+//!
+//! Every boot and every snapshot opens a *new generation* of segment
+//! file per shard, so compaction is whole-file deletion and tail repair
+//! never rewrites the middle of a file.
+//!
+//! # Durability contract
+//!
+//! With [`FsyncPolicy::Always`], `append_*` returns only after the
+//! record's bytes are known durable. Concurrent appenders to one shard
+//! group-commit: the first writer becomes the sync leader, releases the
+//! shard lock, issues one `fdatasync`, and wakes every writer whose
+//! record that sync covered. [`FsyncPolicy::Interval`] bounds data loss
+//! to the interval; [`FsyncPolicy::Never`] hands durability to the OS
+//! page cache (still crash-*consistent* — recovery just sees a shorter
+//! log).
+//!
+//! # Recovery contract
+//!
+//! [`Wal::open`] loads the newest snapshot, replays every segment in
+//! generation order skipping records the snapshot already covers, and
+//! classifies defects: a bad frame at the tail of a shard's *final*
+//! segment is the expected crash artifact — the file is truncated at
+//! the last good boundary and the event is counted, never silently
+//! accepted. A bad frame anywhere else, a sequence gap, or a corrupt
+//! latest snapshot is fatal: the store refuses to open rather than
+//! serve session knowledge it cannot trust (understating a user's
+//! knowledge could later disclose something the privacy gate should
+//! have refused).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use epi_core::WorldSet;
+use epi_json::{Deserialize, Json, Serialize};
+
+use crate::frame::{encode_frame, FrameIssue, FrameReader, FrameStep};
+use crate::record::{WalRecord, WalSession};
+use crate::snapshot::{self, SnapshotDoc};
+
+/// When appends are pushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Every acknowledged append is durable (group-committed).
+    Always,
+    /// Sync at most once per interval per shard; bounded loss window.
+    Interval(Duration),
+    /// Never sync explicitly; durability is the page cache's problem.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `"always"`, `"never"`, `"interval"` (100 ms), or
+    /// `"interval:<millis>"`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(100))),
+            other => other
+                .strip_prefix("interval:")
+                .and_then(|ms| ms.parse::<u64>().ok())
+                .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms))),
+        }
+    }
+}
+
+/// Static configuration for a [`Wal`].
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Directory holding segments and snapshots; created if missing.
+    pub dir: PathBuf,
+    /// Shard count — must match the session store's shard count and
+    /// must not change across restarts of one data directory.
+    pub shards: usize,
+    /// World-universe size sessions are defined over.
+    pub universe: usize,
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Snapshot after this many appends (0 disables snapshotting).
+    pub snapshot_every: u64,
+    /// Refuse frames with payloads beyond this size.
+    pub max_frame_bytes: usize,
+}
+
+impl WalConfig {
+    /// A config with production-leaning defaults for `dir`.
+    pub fn new(dir: impl Into<PathBuf>, shards: usize, universe: usize) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            shards,
+            universe,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 4096,
+            max_frame_bytes: 1 << 22,
+        }
+    }
+}
+
+/// Why the log could not be written or read.
+#[derive(Debug)]
+pub enum WalError {
+    /// An operating-system I/O failure.
+    Io {
+        /// What the log was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// On-disk state that fails validation — fail closed.
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A configuration that cannot apply to this data directory.
+    Config {
+        /// What was inconsistent.
+        detail: String,
+    },
+}
+
+impl WalError {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> WalError {
+        WalError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { context, source } => write!(f, "wal i/o ({context}): {source}"),
+            WalError::Corrupt { file, detail } => write!(f, "wal corrupt ({file}): {detail}"),
+            WalError::Config { detail } => write!(f, "wal config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What startup recovery found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Live sessions after snapshot load + replay.
+    pub sessions: u64,
+    /// Log records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Whether a snapshot was found and loaded.
+    pub snapshot_loaded: bool,
+    /// Torn final-segment tails truncated away.
+    pub truncated_tails: u64,
+    /// Checksum-failing final-segment tails truncated away.
+    pub crc_mismatches: u64,
+    /// Wall-clock recovery time in milliseconds.
+    pub millis: u64,
+}
+
+/// The session state [`Wal::open`] reconstructed, plus its report.
+#[derive(Clone, Debug)]
+pub struct Recovered {
+    /// Per shard: recovered sessions, sorted by user.
+    pub shards: Vec<Vec<(String, WalSession)>>,
+    /// What recovery found and did.
+    pub report: RecoveryReport,
+}
+
+/// Monotonically increasing counters for metrics exposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Frame bytes written (headers included).
+    pub bytes: u64,
+    /// `fdatasync` calls issued.
+    pub fsyncs: u64,
+    /// Snapshots committed.
+    pub snapshots: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    appends: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+struct ShardState {
+    file: File,
+    gen: u64,
+    next_seq: u64,
+    /// Count of records written to the OS so far.
+    write_epoch: u64,
+    /// Highest `write_epoch` known durable.
+    sync_epoch: u64,
+    /// A sync leader is currently off-lock in `fdatasync`.
+    syncing: bool,
+    last_sync: Instant,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    synced: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Exclusive permission to build one snapshot; hand it back to
+/// [`Wal::commit_snapshot`].
+pub struct SnapshotGuard<'a> {
+    _held: MutexGuard<'a, ()>,
+}
+
+/// The per-session-shard disclosure log.
+pub struct Wal {
+    config: WalConfig,
+    shards: Vec<Shard>,
+    stats: StatCells,
+    appends_since_snapshot: AtomicU64,
+    next_snapshot_id: AtomicU64,
+    snapshotting: Mutex<()>,
+}
+
+fn segment_file_name(shard: usize, gen: u64) -> String {
+    format!("shard-{shard:04}-{gen:08}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("shard-")?.strip_suffix(".log")?;
+    let (shard, gen) = rest.split_once('-')?;
+    if shard.len() != 4 || gen.len() != 8 {
+        return None;
+    }
+    Some((shard.parse().ok()?, gen.parse().ok()?))
+}
+
+fn open_segment(dir: &Path, shard: usize, gen: u64) -> Result<File, WalError> {
+    let path = dir.join(segment_file_name(shard, gen));
+    OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| WalError::io(format!("create segment {}", path.display()), e))
+}
+
+impl Wal {
+    /// Opens (and if necessary creates) the log in `config.dir`,
+    /// running full recovery first. Returns the log ready for appends
+    /// plus everything recovery reconstructed.
+    pub fn open(config: WalConfig) -> Result<(Wal, Recovered), WalError> {
+        if config.shards == 0 {
+            return Err(WalError::Config {
+                detail: "shard count must be positive".to_owned(),
+            });
+        }
+        let started = Instant::now();
+        fs::create_dir_all(&config.dir)
+            .map_err(|e| WalError::io(format!("create dir {}", config.dir.display()), e))?;
+
+        let snap = snapshot::load_latest_snapshot(&config.dir)?;
+        let snapshot_loaded = snap.is_some();
+        let mut applied = vec![0u64; config.shards];
+        let mut sessions: Vec<HashMap<String, WalSession>> =
+            (0..config.shards).map(|_| HashMap::new()).collect();
+        let mut next_snapshot_id = 1;
+        if let Some(doc) = snap {
+            if doc.applied.len() != config.shards {
+                return Err(WalError::Config {
+                    detail: format!(
+                        "data dir has {} shards, configuration asks for {} \
+                         (shard count cannot change for an existing data dir)",
+                        doc.applied.len(),
+                        config.shards
+                    ),
+                });
+            }
+            if doc.universe != config.universe {
+                return Err(WalError::Config {
+                    detail: format!(
+                        "data dir universe {} != configured universe {}",
+                        doc.universe, config.universe
+                    ),
+                });
+            }
+            applied = doc.applied;
+            for (shard, entries) in doc.sessions.into_iter().enumerate() {
+                sessions[shard] = entries.into_iter().collect();
+            }
+            next_snapshot_id = doc.id + 1;
+        }
+
+        // Collect segments grouped by shard, ascending generation.
+        let mut segments: Vec<Vec<(u64, PathBuf)>> =
+            (0..config.shards).map(|_| Vec::new()).collect();
+        let dir_iter = fs::read_dir(&config.dir)
+            .map_err(|e| WalError::io(format!("read dir {}", config.dir.display()), e))?;
+        for entry in dir_iter {
+            let entry =
+                entry.map_err(|e| WalError::io(format!("read dir {}", config.dir.display()), e))?;
+            if let Some((shard, gen)) = entry.file_name().to_str().and_then(parse_segment_name) {
+                if shard >= config.shards {
+                    return Err(WalError::Config {
+                        detail: format!(
+                            "segment {} belongs to shard {shard} but only {} shards are configured",
+                            entry.path().display(),
+                            config.shards
+                        ),
+                    });
+                }
+                segments[shard].push((gen, entry.path()));
+            }
+        }
+        let mut report = RecoveryReport {
+            snapshot_loaded,
+            ..RecoveryReport::default()
+        };
+        let mut max_gen = vec![0u64; config.shards];
+        for (shard, mut files) in segments.into_iter().enumerate() {
+            files.sort_unstable();
+            let last = files.len().saturating_sub(1);
+            for (idx, (gen, path)) in files.into_iter().enumerate() {
+                max_gen[shard] = gen;
+                replay_segment(
+                    &path,
+                    idx == last,
+                    &config,
+                    &mut applied[shard],
+                    &mut sessions[shard],
+                    &mut report,
+                )?;
+            }
+        }
+        report.sessions = sessions.iter().map(|m| m.len() as u64).sum();
+
+        let mut shards = Vec::with_capacity(config.shards);
+        for (i, seq) in applied.iter().enumerate() {
+            let gen = max_gen[i] + 1;
+            let file = open_segment(&config.dir, i, gen)?;
+            shards.push(Shard {
+                state: Mutex::new(ShardState {
+                    file,
+                    gen,
+                    next_seq: seq + 1,
+                    write_epoch: 0,
+                    sync_epoch: 0,
+                    syncing: false,
+                    last_sync: Instant::now(),
+                }),
+                synced: Condvar::new(),
+            });
+        }
+        report.millis = started.elapsed().as_millis() as u64;
+
+        let mut recovered_shards: Vec<Vec<(String, WalSession)>> = sessions
+            .into_iter()
+            .map(|m| m.into_iter().collect::<Vec<_>>())
+            .collect();
+        for shard in &mut recovered_shards {
+            shard.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        Ok((
+            Wal {
+                config,
+                shards,
+                stats: StatCells::default(),
+                appends_since_snapshot: AtomicU64::new(0),
+                next_snapshot_id: AtomicU64::new(next_snapshot_id),
+                snapshotting: Mutex::new(()),
+            },
+            Recovered {
+                shards: recovered_shards,
+                report,
+            },
+        ))
+    }
+
+    /// The configuration this log was opened with.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.stats.appends.load(Ordering::Relaxed),
+            bytes: self.stats.bytes.load(Ordering::Relaxed),
+            fsyncs: self.stats.fsyncs.load(Ordering::Relaxed),
+            snapshots: self.stats.snapshots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Logs a session-open for `user`. Returns the assigned sequence
+    /// number once the record is durable per the fsync policy.
+    pub fn append_open(&self, shard: usize, user: &str) -> Result<u64, WalError> {
+        self.append_with(shard, |seq| WalRecord::Open {
+            seq,
+            user: user.to_owned(),
+            universe: self.config.universe,
+        })
+    }
+
+    /// Logs one applied disclosure.
+    pub fn append_disclose(
+        &self,
+        shard: usize,
+        user: &str,
+        time: u64,
+        state_mask: u32,
+        disclosed: &WorldSet,
+    ) -> Result<u64, WalError> {
+        self.append_with(shard, |seq| WalRecord::Disclose {
+            seq,
+            user: user.to_owned(),
+            time,
+            state_mask,
+            disclosed: disclosed.clone(),
+        })
+    }
+
+    /// Logs a session reset (administrative erasure).
+    pub fn append_reset(&self, shard: usize, user: &str) -> Result<u64, WalError> {
+        self.append_with(shard, |seq| WalRecord::Reset {
+            seq,
+            user: user.to_owned(),
+        })
+    }
+
+    fn append_with(
+        &self,
+        shard: usize,
+        build: impl FnOnce(u64) -> WalRecord,
+    ) -> Result<u64, WalError> {
+        let cell = &self.shards[shard];
+        let mut state = lock(&cell.state);
+        let seq = state.next_seq;
+        let record = build(seq);
+        let mut framed = Vec::new();
+        encode_frame(record.to_json().render().as_bytes(), &mut framed);
+        state
+            .file
+            .write_all(&framed)
+            .map_err(|e| WalError::io(format!("append to shard {shard}"), e))?;
+        state.next_seq += 1;
+        state.write_epoch += 1;
+        let epoch = state.write_epoch;
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        self.appends_since_snapshot.fetch_add(1, Ordering::Relaxed);
+        match self.config.fsync {
+            FsyncPolicy::Never => {}
+            FsyncPolicy::Interval(every) => {
+                if state.last_sync.elapsed() >= every && !state.syncing {
+                    let (_state, result) = self.sync_leader(cell, state, shard);
+                    result?;
+                }
+            }
+            FsyncPolicy::Always => loop {
+                if state.sync_epoch >= epoch {
+                    break;
+                }
+                if !state.syncing {
+                    // The leader's sync covers at least our own write,
+                    // so success means the loop exits next iteration.
+                    let (relocked, result) = self.sync_leader(cell, state, shard);
+                    state = relocked;
+                    result?;
+                } else {
+                    state = cell
+                        .synced
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            },
+        }
+        Ok(seq)
+    }
+
+    /// Group-commit leader: release the shard lock, `fdatasync` once,
+    /// then publish coverage and wake waiting followers. Returns the
+    /// re-acquired guard alongside the sync outcome.
+    fn sync_leader<'a>(
+        &self,
+        cell: &'a Shard,
+        mut state: MutexGuard<'a, ShardState>,
+        shard: usize,
+    ) -> (MutexGuard<'a, ShardState>, Result<(), WalError>) {
+        let covered = state.write_epoch;
+        let fd = match state.file.try_clone() {
+            Ok(fd) => fd,
+            Err(e) => {
+                cell.synced.notify_all();
+                return (
+                    state,
+                    Err(WalError::io(format!("clone shard {shard} fd"), e)),
+                );
+            }
+        };
+        state.syncing = true;
+        drop(state);
+        let result = fd.sync_data();
+        let mut state = lock(&cell.state);
+        state.syncing = false;
+        state.last_sync = Instant::now();
+        let outcome = match result {
+            Ok(()) => {
+                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                if state.sync_epoch < covered {
+                    state.sync_epoch = covered;
+                }
+                Ok(())
+            }
+            Err(e) => Err(WalError::io(format!("fdatasync shard {shard}"), e)),
+        };
+        // Wake followers either way: on failure they must not wait on a
+        // sync that will never be published.
+        cell.synced.notify_all();
+        (state, outcome)
+    }
+
+    /// Whether enough appends have accumulated to justify a snapshot.
+    pub fn should_snapshot(&self) -> bool {
+        self.config.snapshot_every > 0
+            && self.appends_since_snapshot.load(Ordering::Relaxed) >= self.config.snapshot_every
+    }
+
+    /// Claims the snapshot slot; `None` if a snapshot is in progress.
+    pub fn try_begin_snapshot(&self) -> Option<SnapshotGuard<'_>> {
+        self.snapshotting
+            .try_lock()
+            .ok()
+            .map(|held| SnapshotGuard { _held: held })
+    }
+
+    /// Rotates `shard` onto a fresh segment generation and returns the
+    /// highest sequence number the *retired* generation holds — the
+    /// shard's snapshot cut. The caller must serialize this against its
+    /// own appends to the same shard (the service holds the session
+    /// shard lock), so the cut and the captured session state agree.
+    pub fn rotate_shard(&self, shard: usize) -> Result<u64, WalError> {
+        let cell = &self.shards[shard];
+        let mut state = lock(&cell.state);
+        let gen = state.gen + 1;
+        let file = open_segment(&self.config.dir, shard, gen)?;
+        state.file = file;
+        state.gen = gen;
+        // Epoch bookkeeping continues across files: `sync_epoch` only
+        // ever certifies writes that preceded it, and the retired file's
+        // dirty pages are either snapshot-covered or already synced.
+        Ok(state.next_seq - 1)
+    }
+
+    /// Writes the snapshot durably, then compacts: deletes every
+    /// retired segment generation and every older snapshot.
+    pub fn commit_snapshot(
+        &self,
+        guard: SnapshotGuard<'_>,
+        applied: Vec<u64>,
+        sessions: Vec<Vec<(String, WalSession)>>,
+    ) -> Result<(), WalError> {
+        assert_eq!(applied.len(), self.config.shards, "applied per shard");
+        assert_eq!(sessions.len(), self.config.shards, "sessions per shard");
+        let id = self.next_snapshot_id.fetch_add(1, Ordering::Relaxed);
+        let doc = SnapshotDoc {
+            id,
+            universe: self.config.universe,
+            applied,
+            sessions,
+        };
+        snapshot::write_snapshot(&self.config.dir, &doc)?;
+        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.appends_since_snapshot.store(0, Ordering::Relaxed);
+
+        // Compaction: anything the durable snapshot covers can go.
+        // A crash in here only leaves extra files for the next pass.
+        let current_gen: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|cell| lock(&cell.state).gen)
+            .collect();
+        let entries = fs::read_dir(&self.config.dir)
+            .map_err(|e| WalError::io(format!("read dir {}", self.config.dir.display()), e))?;
+        for entry in entries.flatten() {
+            if let Some((shard, gen)) = entry.file_name().to_str().and_then(parse_segment_name) {
+                if shard < current_gen.len() && gen < current_gen[shard] {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        for (old_id, path) in snapshot::list_snapshots(&self.config.dir)? {
+            if old_id < id {
+                let _ = fs::remove_file(path);
+            }
+        }
+        drop(guard);
+        Ok(())
+    }
+}
+
+fn replay_segment(
+    path: &Path,
+    is_final: bool,
+    config: &WalConfig,
+    applied: &mut u64,
+    sessions: &mut HashMap<String, WalSession>,
+    report: &mut RecoveryReport,
+) -> Result<(), WalError> {
+    let bytes = fs::read(path).map_err(|e| WalError::io(format!("read {}", path.display()), e))?;
+    let corrupt = |detail: String| WalError::Corrupt {
+        file: path.display().to_string(),
+        detail,
+    };
+    let mut reader = FrameReader::new(&bytes, config.max_frame_bytes);
+    loop {
+        match reader.step() {
+            FrameStep::End => return Ok(()),
+            FrameStep::Bad(issue) => {
+                if !is_final {
+                    return Err(corrupt(format!(
+                        "bad frame at offset {} in a non-final segment: {issue:?}",
+                        reader.offset()
+                    )));
+                }
+                // Crash artifact at the log tail: cut the file back to
+                // the last good frame boundary and count what happened.
+                match issue {
+                    FrameIssue::CrcMismatch => report.crc_mismatches += 1,
+                    FrameIssue::TornTail | FrameIssue::Oversized { .. } => {
+                        report.truncated_tails += 1
+                    }
+                }
+                let keep = reader.offset() as u64;
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| WalError::io(format!("open {} for repair", path.display()), e))?;
+                file.set_len(keep)
+                    .and_then(|()| file.sync_all())
+                    .map_err(|e| WalError::io(format!("truncate {}", path.display()), e))?;
+                return Ok(());
+            }
+            FrameStep::Payload(payload) => {
+                let text = std::str::from_utf8(payload)
+                    .map_err(|e| corrupt(format!("record is not UTF-8: {e}")))?;
+                let record = Json::parse(text)
+                    .and_then(|j| WalRecord::from_json(&j))
+                    .map_err(|e| corrupt(format!("record decode: {e}")))?;
+                let seq = record.seq();
+                if seq <= *applied {
+                    continue; // snapshot already covers it
+                }
+                if seq != *applied + 1 {
+                    return Err(corrupt(format!(
+                        "sequence gap: expected {}, found {seq}",
+                        *applied + 1
+                    )));
+                }
+                apply_record(record, config, sessions).map_err(&corrupt)?;
+                *applied = seq;
+                report.replayed_records += 1;
+            }
+        }
+    }
+}
+
+fn apply_record(
+    record: WalRecord,
+    config: &WalConfig,
+    sessions: &mut HashMap<String, WalSession>,
+) -> Result<(), String> {
+    match record {
+        WalRecord::Open { user, universe, .. } => {
+            if universe != config.universe {
+                return Err(format!(
+                    "open record universe {universe} != configured {}",
+                    config.universe
+                ));
+            }
+            sessions.insert(user, WalSession::fresh(universe));
+            Ok(())
+        }
+        WalRecord::Disclose {
+            user,
+            time,
+            state_mask,
+            disclosed,
+            ..
+        } => {
+            if disclosed.universe_size() != config.universe {
+                return Err(format!(
+                    "disclosed set universe {} != configured {}",
+                    disclosed.universe_size(),
+                    config.universe
+                ));
+            }
+            match sessions.get_mut(&user) {
+                Some(s) => {
+                    s.apply(time, state_mask, &disclosed);
+                    Ok(())
+                }
+                None => Err(format!("disclose for unknown session {user:?}")),
+            }
+        }
+        WalRecord::Reset { user, .. } => {
+            sessions.remove(&user);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TempDir;
+
+    fn config(dir: &Path) -> WalConfig {
+        WalConfig {
+            snapshot_every: 0,
+            fsync: FsyncPolicy::Never,
+            ..WalConfig::new(dir, 2, 4)
+        }
+    }
+
+    #[test]
+    fn cold_start_is_empty() {
+        let dir = TempDir::new("wal-cold");
+        let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert_eq!(recovered.report, RecoveryReport::default());
+        assert!(recovered.shards.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn append_then_reopen_replays_sessions() {
+        let dir = TempDir::new("wal-replay");
+        {
+            let (wal, _) = Wal::open(config(dir.path())).unwrap();
+            wal.append_open(0, "alice").unwrap();
+            wal.append_disclose(0, "alice", 10, 0b01, &WorldSet::from_indices(4, [0, 1]))
+                .unwrap();
+            wal.append_open(1, "bob").unwrap();
+            wal.append_open(0, "carol").unwrap();
+            wal.append_reset(0, "carol").unwrap();
+        }
+        let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert_eq!(recovered.report.replayed_records, 5);
+        assert_eq!(recovered.report.sessions, 2);
+        assert!(!recovered.report.snapshot_loaded);
+        let shard0 = &recovered.shards[0];
+        assert_eq!(shard0.len(), 1);
+        assert_eq!(shard0[0].0, "alice");
+        assert_eq!(shard0[0].1.disclosures, 1);
+        assert_eq!(shard0[0].1.knowledge, WorldSet::from_indices(4, [0, 1]));
+        assert_eq!(recovered.shards[1][0].0, "bob");
+    }
+
+    #[test]
+    fn snapshot_compacts_and_replay_skips_covered_records() {
+        let dir = TempDir::new("wal-snap");
+        {
+            let (wal, _) = Wal::open(config(dir.path())).unwrap();
+            wal.append_open(0, "alice").unwrap();
+            wal.append_disclose(0, "alice", 1, 0, &WorldSet::from_indices(4, [0, 1, 2]))
+                .unwrap();
+            let guard = wal.try_begin_snapshot().unwrap();
+            let cut0 = wal.rotate_shard(0).unwrap();
+            let cut1 = wal.rotate_shard(1).unwrap();
+            assert_eq!((cut0, cut1), (2, 0));
+            let mut alice = WalSession::fresh(4);
+            alice.apply(1, 0, &WorldSet::from_indices(4, [0, 1, 2]));
+            wal.commit_snapshot(
+                guard,
+                vec![cut0, cut1],
+                vec![vec![("alice".to_owned(), alice)], vec![]],
+            )
+            .unwrap();
+            // Tail after the snapshot.
+            wal.append_disclose(0, "alice", 2, 0, &WorldSet::from_indices(4, [1, 2, 3]))
+                .unwrap();
+        }
+        let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert!(recovered.report.snapshot_loaded);
+        assert_eq!(recovered.report.replayed_records, 1);
+        let alice = &recovered.shards[0][0].1;
+        assert_eq!(alice.disclosures, 2);
+        assert_eq!(alice.knowledge, WorldSet::from_indices(4, [1, 2]));
+    }
+
+    #[test]
+    fn shard_count_change_is_refused() {
+        let dir = TempDir::new("wal-shards");
+        {
+            let (wal, _) = Wal::open(config(dir.path())).unwrap();
+            wal.append_open(0, "alice").unwrap();
+            let guard = wal.try_begin_snapshot().unwrap();
+            let cuts = vec![wal.rotate_shard(0).unwrap(), wal.rotate_shard(1).unwrap()];
+            wal.commit_snapshot(
+                guard,
+                cuts,
+                vec![vec![("alice".to_owned(), WalSession::fresh(4))], vec![]],
+            )
+            .unwrap();
+        }
+        let bad = WalConfig {
+            shards: 3,
+            ..config(dir.path())
+        };
+        assert!(matches!(Wal::open(bad), Err(WalError::Config { .. })));
+    }
+
+    #[test]
+    fn stats_count_appends_bytes_and_fsyncs() {
+        let dir = TempDir::new("wal-stats");
+        let cfg = WalConfig {
+            fsync: FsyncPolicy::Always,
+            ..config(dir.path())
+        };
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append_open(0, "alice").unwrap();
+        wal.append_disclose(0, "alice", 1, 0, &WorldSet::from_indices(4, [0]))
+            .unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 2);
+        assert!(stats.bytes > 0);
+        assert!(stats.fsyncs >= 1);
+        assert_eq!(stats.snapshots, 0);
+    }
+
+    #[test]
+    fn concurrent_appends_group_commit_without_loss() {
+        let dir = TempDir::new("wal-group");
+        let cfg = WalConfig {
+            fsync: FsyncPolicy::Always,
+            ..config(dir.path())
+        };
+        let (wal, _) = Wal::open(cfg).unwrap();
+        let wal = std::sync::Arc::new(wal);
+        for shard in 0..2 {
+            wal.append_open(shard, &format!("user-{shard}")).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let wal = wal.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u32 {
+                    let shard = (t % 2) as usize;
+                    wal.append_disclose(
+                        shard,
+                        &format!("user-{shard}"),
+                        u64::from(i),
+                        0,
+                        &WorldSet::full(4),
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wal.stats().appends, 102);
+        drop(wal);
+        let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert_eq!(recovered.report.replayed_records, 102);
+        let total: u64 = recovered
+            .shards
+            .iter()
+            .flatten()
+            .map(|(_, s)| s.disclosures)
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fsync_policy_parsing() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(
+            FsyncPolicy::parse("interval:250"),
+            Some(FsyncPolicy::Interval(Duration::from_millis(250)))
+        );
+        assert_eq!(
+            FsyncPolicy::parse("interval"),
+            Some(FsyncPolicy::Interval(Duration::from_millis(100)))
+        );
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Integration tests for the disclosure log's recovery semantics:
+//!
+//! * **Snapshot-then-replay equivalence** (property): for random
+//!   disclosure streams with snapshots committed at random points, the
+//!   state [`Wal::open`] reconstructs from the latest snapshot plus the
+//!   log tail equals the in-memory model state, exactly.
+//! * **Torn-tail truncation**: cutting the final record at *every*
+//!   possible byte offset truncates exactly that record and keeps the
+//!   rest.
+//! * **CRC-mismatch rejection**: a corrupted final record is dropped
+//!   and counted; it never replays into a session.
+//! * **Cold start**: an empty or not-yet-existing data directory opens
+//!   cleanly with zero sessions.
+
+use epi_core::WorldSet;
+use epi_wal::testdir::TempDir;
+use epi_wal::{FsyncPolicy, Wal, WalConfig, WalSession};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+const UNIVERSE: usize = 8;
+
+fn config(dir: &Path, shards: usize) -> WalConfig {
+    WalConfig {
+        fsync: FsyncPolicy::Never,
+        ..WalConfig::new(dir.to_path_buf(), shards, UNIVERSE)
+    }
+}
+
+/// A random nonempty world set over the test universe.
+fn random_set(rng: &mut StdRng) -> WorldSet {
+    let mut indices: Vec<u32> = (0..UNIVERSE as u32).filter(|_| rng.gen::<bool>()).collect();
+    if indices.is_empty() {
+        indices.push(rng.gen_range(0..UNIVERSE as u32));
+    }
+    WorldSet::from_indices(UNIVERSE, indices)
+}
+
+proptest! {
+    /// The tentpole recovery property: replay(latest snapshot + log
+    /// tail) reconstructs exactly the sessions an in-memory model holds,
+    /// for random streams of opens, disclosures, resets, and snapshots.
+    #[test]
+    fn replay_of_snapshot_plus_tail_matches_in_memory_state(
+        seed in any::<u64>(),
+        ops in 1usize..=60,
+    ) {
+        const SHARDS: usize = 3;
+        let tmp = TempDir::new(&format!("wal-prop-{seed:x}-{ops}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model: Vec<BTreeMap<String, WalSession>> =
+            vec![BTreeMap::new(); SHARDS];
+        {
+            let (wal, _) = Wal::open(config(tmp.path(), SHARDS)).unwrap();
+            for op in 0..ops {
+                let user_id = rng.gen_range(0..6usize);
+                let user = format!("u{user_id}");
+                let shard = user_id % SHARDS;
+                if rng.gen_range(0..10u32) == 0 {
+                    // Reset, when the user exists.
+                    if model[shard].remove(&user).is_some() {
+                        wal.append_reset(shard, &user).unwrap();
+                    }
+                } else {
+                    if !model[shard].contains_key(&user) {
+                        wal.append_open(shard, &user).unwrap();
+                        model[shard].insert(user.clone(), WalSession::fresh(UNIVERSE));
+                    }
+                    let time = op as u64;
+                    let mask = rng.gen_range(0..16u32);
+                    let set = random_set(&mut rng);
+                    wal.append_disclose(shard, &user, time, mask, &set).unwrap();
+                    model[shard]
+                        .get_mut(&user)
+                        .expect("opened above")
+                        .apply(time, mask, &set);
+                }
+                // Snapshot-and-compact at random points mid-stream, the
+                // way the service does: per-shard cut, then commit.
+                if rng.gen_range(0..8u32) == 0 {
+                    let guard = wal.try_begin_snapshot().expect("no concurrent snapshot");
+                    let mut applied = Vec::new();
+                    let mut sessions = Vec::new();
+                    for (s, shard_model) in model.iter().enumerate() {
+                        applied.push(wal.rotate_shard(s).unwrap());
+                        sessions.push(
+                            shard_model
+                                .iter()
+                                .map(|(u, sess)| (u.clone(), sess.clone()))
+                                .collect(),
+                        );
+                    }
+                    wal.commit_snapshot(guard, applied, sessions).unwrap();
+                }
+            }
+        }
+        let (_wal, recovered) = Wal::open(config(tmp.path(), SHARDS)).unwrap();
+        prop_assert_eq!(
+            recovered.report.truncated_tails + recovered.report.crc_mismatches,
+            0,
+            "a cleanly closed log replayed as corrupt"
+        );
+        for (s, expected) in model.iter().enumerate() {
+            let got: BTreeMap<String, WalSession> =
+                recovered.shards[s].iter().cloned().collect();
+            prop_assert_eq!(&got, expected, "shard {} diverged after recovery", s);
+        }
+    }
+}
+
+/// Writes `n` disclosures for one user on a single-shard log and returns
+/// the segment file's length after each append (ascending).
+fn build_log(dir: &Path, n: usize) -> Vec<u64> {
+    let (wal, _) = Wal::open(config(dir, 1)).unwrap();
+    wal.append_open(0, "alice").unwrap();
+    let mut lens = Vec::new();
+    let segment = segment_file(dir);
+    for i in 0..n {
+        let set = WorldSet::from_indices(UNIVERSE, [(i % UNIVERSE) as u32]);
+        wal.append_disclose(0, "alice", i as u64, 0b1, &set)
+            .unwrap();
+        lens.push(fs::metadata(&segment).unwrap().len());
+    }
+    lens
+}
+
+/// The single live segment file of a one-shard log directory.
+fn segment_file(dir: &Path) -> std::path::PathBuf {
+    let mut logs: Vec<_> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    logs.sort();
+    logs.pop().expect("one segment exists")
+}
+
+/// Torn-tail truncation, exhaustively: cutting the file anywhere inside
+/// the final record (every byte offset from one byte in, to one byte
+/// short of losing it entirely) recovers the stream minus exactly that
+/// record, truncates the file back to the last good boundary, and
+/// counts one torn tail.
+#[test]
+fn every_mid_record_cut_truncates_exactly_the_final_record() {
+    let probe = TempDir::new("wal-torn-probe");
+    let lens = build_log(probe.path(), 4);
+    let last_frame = lens[3] - lens[2];
+    assert!(last_frame > 8, "frames carry a header and a payload");
+    for cut in 1..last_frame {
+        let tmp = TempDir::new(&format!("wal-torn-{cut}"));
+        build_log(tmp.path(), 4);
+        let segment = segment_file(tmp.path());
+        let bytes = fs::read(&segment).unwrap();
+        fs::write(&segment, &bytes[..bytes.len() - cut as usize]).unwrap();
+
+        let (_wal, recovered) = Wal::open(config(tmp.path(), 1)).unwrap();
+        assert_eq!(recovered.report.truncated_tails, 1, "cut {cut}");
+        assert_eq!(recovered.report.crc_mismatches, 0, "cut {cut}");
+        // open + 3 surviving disclosures; the torn one is gone.
+        assert_eq!(recovered.report.replayed_records, 4, "cut {cut}");
+        assert_eq!(recovered.shards[0][0].1.disclosures, 3, "cut {cut}");
+        // The file itself is back on the last good boundary.
+        assert_eq!(fs::metadata(&segment).unwrap().len(), lens[2], "cut {cut}");
+    }
+}
+
+/// CRC-mismatch rejection: corrupting any payload byte of the final
+/// record drops it (fail closed) and counts a mismatch — the session
+/// never absorbs the corrupt disclosure.
+#[test]
+fn corrupt_final_record_is_rejected_not_replayed() {
+    let probe = TempDir::new("wal-crc-probe");
+    let lens = build_log(probe.path(), 4);
+    let last_frame = (lens[3] - lens[2]) as usize;
+    // Corrupt a few spread-out payload bytes of the final frame (offset
+    // 8 past the frame start skips the length+CRC header).
+    for delta in [8, last_frame / 2, last_frame - 1] {
+        let tmp = TempDir::new(&format!("wal-crc-{delta}"));
+        build_log(tmp.path(), 4);
+        let segment = segment_file(tmp.path());
+        let mut bytes = fs::read(&segment).unwrap();
+        let at = lens[2] as usize + delta;
+        bytes[at] ^= 0x01;
+        fs::write(&segment, &bytes).unwrap();
+
+        let (_wal, recovered) = Wal::open(config(tmp.path(), 1)).unwrap();
+        assert_eq!(recovered.report.crc_mismatches, 1, "delta {delta}");
+        assert_eq!(recovered.report.replayed_records, 4, "delta {delta}");
+        assert_eq!(recovered.shards[0][0].1.disclosures, 3, "delta {delta}");
+    }
+}
+
+/// Cold starts: both an existing-but-empty directory and one that does
+/// not exist yet open with zero sessions and a zeroed report, and are
+/// immediately writable.
+#[test]
+fn empty_and_missing_data_dirs_cold_start_clean() {
+    let tmp = TempDir::new("wal-cold");
+    let missing = tmp.path().join("not-yet-created");
+    for dir in [tmp.path().to_path_buf(), missing] {
+        let (wal, recovered) = Wal::open(config(&dir, 2)).unwrap();
+        assert_eq!(recovered.report.sessions, 0);
+        assert_eq!(recovered.report.replayed_records, 0);
+        assert!(!recovered.report.snapshot_loaded);
+        assert!(recovered.shards.iter().all(Vec::is_empty));
+        wal.append_open(0, "bob").unwrap();
+        drop(wal);
+        let (_wal, recovered) = Wal::open(config(&dir, 2)).unwrap();
+        assert_eq!(recovered.report.sessions, 1);
+    }
+}

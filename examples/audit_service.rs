@@ -3,6 +3,11 @@
 //! real socket client, audit cumulative knowledge, and read the metrics.
 //!
 //! Run with `cargo run --release --example audit_service`.
+//!
+//! Set `EPI_WAL_DIR=/some/dir` to run the daemon durably: disclosures
+//! are logged to a write-ahead disclosure log before acknowledgement,
+//! and a second run on the same directory recovers every session (the
+//! printed recovery report and per-user knowledge digests show it).
 
 use epi_audit::auditor::PriorAssumption;
 use epi_audit::workload::hospital_scenario;
@@ -13,14 +18,21 @@ fn main() {
     let scenario = hospital_scenario();
     println!("== Auditing service over the hospital schema ==\n");
 
-    let service = Arc::new(AuditService::new(
-        scenario.schema.clone(),
-        ServiceConfig {
-            assumption: PriorAssumption::Product,
-            workers: 4,
-            ..ServiceConfig::default()
-        },
-    ));
+    let config = ServiceConfig {
+        assumption: PriorAssumption::Product,
+        workers: 4,
+        ..ServiceConfig::default()
+    }
+    .with_env_overrides();
+    let service = Arc::new(
+        AuditService::open(scenario.schema.clone(), config).expect("recover the disclosure log"),
+    );
+    if let Some(report) = service.recovery_report() {
+        println!(
+            "durable mode: recovered {} session(s), replayed {} record(s) in {} ms\n",
+            report.sessions, report.replayed_records, report.millis
+        );
+    }
     let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind server");
     println!("server listening on {}\n", server.addr());
 
@@ -63,6 +75,18 @@ fn main() {
                 "  cumulative [{user}]: coincides with the single entry ({disclosures} disclosure)"
             ),
         }
+    }
+
+    // Session coordinates: the sequence number and a restart-stable
+    // knowledge digest per user (compare across runs with EPI_WAL_DIR
+    // set to see recovery reconstruct sessions exactly).
+    println!();
+    for user in scenario.log.users() {
+        let info = client.session(user).expect("session");
+        println!(
+            "  session [{user}]: {} disclosure(s), {} world(s) possible, digest {}",
+            info.disclosures, info.worlds, info.digest
+        );
     }
 
     let stats = client.stats().expect("stats");

@@ -1,0 +1,394 @@
+//! Recovery chaos suite: kills the auditing daemon mid-stream, restarts
+//! it on the same data directory, and asserts the durability contracts
+//! of the disclosure log (`epi-wal`):
+//!
+//! 1. **Exactly-once recovery** — a kill-and-restart run produces
+//!    verdicts byte-identical to an uninterrupted run, and every user's
+//!    recovered knowledge digest matches the uninterrupted one.
+//! 2. **Torn tails truncate** — a crash artifact that cuts the final
+//!    record mid-frame is detected, truncated at the last good boundary,
+//!    and counted; the daemon still starts.
+//! 3. **Bit flips never pass** — a flipped bit inside a committed frame
+//!    is caught by the frame CRC and handled fail-closed: truncated and
+//!    counted in the final segment, a refusal to start anywhere deeper.
+//!
+//! All fault points come from a seeded [`epi_faults::RecoveryPlan`], so
+//! a failure replays exactly. The seed matrix comes from `RECOVERY_SEED`
+//! when set (the CI recovery job runs one seed per matrix leg),
+//! otherwise three fixed seeds run.
+
+use epi_audit::workload::hospital_scenario;
+use epi_audit::{PriorAssumption, Schema};
+use epi_faults::RecoveryPlan;
+use epi_json::Serialize;
+use epi_service::{AuditService, Request, Response, ServiceConfig};
+use epi_wal::testdir::TempDir;
+use epi_wal::{FsyncPolicy, WalError};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The seed matrix: `RECOVERY_SEED` (one seed, for CI matrix legs) or
+/// three fixed defaults.
+fn seeds() -> Vec<u64> {
+    match std::env::var("RECOVERY_SEED") {
+        Ok(s) => vec![s.parse().expect("RECOVERY_SEED must be a u64")],
+        Err(_) => vec![0xD15C, 21, 9],
+    }
+}
+
+/// One disclosure of the replayed stream.
+struct Step {
+    user: String,
+    time: u64,
+    query: String,
+    state_mask: u32,
+}
+
+/// A deterministic disclosure stream: the hospital scenario replayed
+/// `rounds` times under per-round user namespaces, so the stream is long
+/// enough to put a kill point and a snapshot boundary strictly inside it.
+fn hospital_stream(rounds: u64) -> Vec<Step> {
+    let w = hospital_scenario();
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        for (d, state) in w.log.entries_with_state() {
+            out.push(Step {
+                user: format!("r{r}:{}", d.user),
+                time: d.time,
+                query: d.query.display(w.log.schema()).to_string(),
+                state_mask: state.mask(),
+            });
+        }
+    }
+    out
+}
+
+fn schema() -> Schema {
+    hospital_scenario().schema.clone()
+}
+
+fn base_config() -> ServiceConfig {
+    ServiceConfig {
+        assumption: PriorAssumption::Product,
+        workers: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Durable config for the kill-restart runs: strict fsync (the policy a
+/// production kill test is about) and a snapshot interval small enough
+/// that the replay crosses it, exercising compaction mid-stream.
+fn durable_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        data_dir: Some(dir.to_path_buf()),
+        wal_fsync: FsyncPolicy::Always,
+        wal_snapshot_every: 8,
+        ..base_config()
+    }
+}
+
+/// Durable config for the corruption runs: snapshots disabled so every
+/// shard keeps a single segment generation the test can corrupt.
+fn corruption_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        data_dir: Some(dir.to_path_buf()),
+        wal_fsync: FsyncPolicy::Never,
+        wal_snapshot_every: 0,
+        ..base_config()
+    }
+}
+
+/// Applies one disclosure and returns the rendered reply bytes.
+fn disclose(svc: &AuditService, step: &Step) -> String {
+    let resp = svc.handle(&Request::Disclose {
+        user: step.user.clone(),
+        time: step.time,
+        query: step.query.clone(),
+        state_mask: step.state_mask,
+        audit_query: "hiv_pos".to_owned(),
+    });
+    assert!(
+        matches!(resp, Response::Entry(_)),
+        "disclosure for {} failed: {resp:?}",
+        step.user
+    );
+    resp.to_json().render()
+}
+
+/// Every user's `session` reply (sequence number + knowledge digest),
+/// rendered, in user order.
+fn session_digests(svc: &AuditService, users: &BTreeSet<String>) -> Vec<String> {
+    users
+        .iter()
+        .map(|user| {
+            let resp = svc.handle(&Request::SessionInfo { user: user.clone() });
+            assert!(
+                matches!(resp, Response::SessionInfo(_)),
+                "session op for {user} failed: {resp:?}"
+            );
+            resp.to_json().render()
+        })
+        .collect()
+}
+
+/// The log segment files under `dir`, largest first.
+fn segments(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("data dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    files.sort_by_key(|p| std::cmp::Reverse(fs::metadata(p).map(|m| m.len()).unwrap_or(0)));
+    files
+}
+
+/// Kill-and-restart determinism: a durable daemon killed after a seeded
+/// number of disclosures and restarted on the same directory must serve
+/// the rest of the stream with replies byte-identical to an
+/// uninterrupted in-memory run, and end with identical session digests.
+#[test]
+fn kill_and_restart_reconstructs_byte_identical_verdicts() {
+    let stream = hospital_stream(4);
+    assert!(stream.len() >= 2, "stream too short to interrupt");
+    let users: BTreeSet<String> = stream.iter().map(|s| s.user.clone()).collect();
+
+    // Uninterrupted, purely in-memory reference run.
+    let reference = AuditService::new(schema(), base_config());
+    let expected: Vec<String> = stream.iter().map(|s| disclose(&reference, s)).collect();
+    let expected_digests = session_digests(&reference, &users);
+
+    for seed in seeds() {
+        let plan = RecoveryPlan::new(seed);
+        let kill = plan.kill_point(stream.len() as u64) as usize;
+        let tmp = TempDir::new(&format!("recovery-kill-{seed:x}"));
+        let mut got = Vec::new();
+        {
+            let svc = AuditService::open(schema(), durable_config(tmp.path()))
+                .expect("cold start on an empty data dir");
+            assert_eq!(
+                svc.recovery_report().expect("durable service").sessions,
+                0,
+                "cold start must recover nothing"
+            );
+            for step in &stream[..kill] {
+                got.push(disclose(&svc, step));
+            }
+            // SIGKILL-equivalence: the process state vanishes here; only
+            // what the write-ahead log acknowledged survives. Dropping
+            // without any explicit flush is equivalent for acked records
+            // because every one was logged before its reply was rendered.
+        }
+        let svc = AuditService::open(schema(), durable_config(tmp.path()))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: restart failed: {e}"));
+        let report = svc.recovery_report().expect("durable service");
+        assert!(
+            report.sessions > 0,
+            "seed {seed:#x}: {kill} disclosures must leave sessions to recover"
+        );
+        assert_eq!(
+            report.truncated_tails + report.crc_mismatches,
+            0,
+            "seed {seed:#x}: clean shutdown replayed as corrupt: {report:?}"
+        );
+        for step in &stream[kill..] {
+            got.push(disclose(&svc, step));
+        }
+        assert_eq!(
+            got, expected,
+            "seed {seed:#x} (kill after {kill}): replies diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            session_digests(&svc, &users),
+            expected_digests,
+            "seed {seed:#x}: recovered knowledge digests diverged"
+        );
+        // The restarted daemon's metrics expose the recovery.
+        let m = svc.metrics();
+        assert_eq!(m.recovery_replayed_records, report.replayed_records);
+        assert!(m.wal_appends > 0, "post-restart appends must be logged");
+    }
+}
+
+/// A second restart with no writes in between must be a no-op: same
+/// sessions, nothing truncated, nothing new replayed from thin air.
+#[test]
+fn restart_is_idempotent() {
+    let stream = hospital_stream(2);
+    let users: BTreeSet<String> = stream.iter().map(|s| s.user.clone()).collect();
+    let tmp = TempDir::new("recovery-idempotent");
+    {
+        let svc = AuditService::open(schema(), durable_config(tmp.path())).unwrap();
+        for step in &stream {
+            disclose(&svc, step);
+        }
+    }
+    let first = {
+        let svc = AuditService::open(schema(), durable_config(tmp.path())).unwrap();
+        (
+            svc.recovery_report().unwrap().sessions,
+            session_digests(&svc, &users),
+        )
+    };
+    let svc = AuditService::open(schema(), durable_config(tmp.path())).unwrap();
+    let report = svc.recovery_report().unwrap();
+    assert_eq!(report.sessions, first.0);
+    assert_eq!(report.truncated_tails + report.crc_mismatches, 0);
+    assert_eq!(session_digests(&svc, &users), first.1);
+}
+
+/// Torn-tail injection: cutting 1–7 bytes off a segment always lands
+/// mid-frame (the frame header alone is 8 bytes), so recovery must
+/// truncate the file at the last good boundary, count the event, and
+/// start serving.
+#[test]
+fn torn_final_record_is_truncated_and_counted() {
+    let stream = hospital_stream(2);
+    for seed in seeds() {
+        let plan = RecoveryPlan::new(seed);
+        let tmp = TempDir::new(&format!("recovery-torn-{seed:x}"));
+        {
+            let svc = AuditService::open(schema(), corruption_config(tmp.path())).unwrap();
+            for step in &stream {
+                disclose(&svc, step);
+            }
+        }
+        let victim = segments(tmp.path())
+            .into_iter()
+            .next()
+            .expect("the replay wrote at least one segment");
+        let mut bytes = fs::read(&victim).expect("read victim segment");
+        let before = bytes.len() as u64;
+        assert!(before >= 16, "victim segment too small to tear");
+        // `torn_tail(15)` scripts a cut of 1..=7 bytes — always mid-frame.
+        let corruption = plan.torn_tail(15);
+        RecoveryPlan::apply_corruption(corruption, &mut bytes);
+        fs::write(&victim, &bytes).expect("write torn segment");
+
+        let svc = AuditService::open(schema(), corruption_config(tmp.path()))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: torn tail must not block startup: {e}"));
+        let report = svc.recovery_report().expect("durable service");
+        assert_eq!(
+            report.truncated_tails, 1,
+            "seed {seed:#x}: exactly the one torn record is truncated: {report:?}"
+        );
+        assert_eq!(report.crc_mismatches, 0, "seed {seed:#x}");
+        // Recovery physically truncated the file at a frame boundary
+        // short of the tear.
+        let after = fs::metadata(&victim).expect("victim survives").len();
+        assert!(
+            after < before,
+            "seed {seed:#x}: recovery left the torn bytes in place ({after} >= {before})"
+        );
+        // The daemon accepts new work after the repair.
+        disclose(
+            &svc,
+            &Step {
+                user: "post-repair".to_owned(),
+                time: 1,
+                query: "hiv_pos".to_owned(),
+                state_mask: 0b11,
+            },
+        );
+    }
+}
+
+/// Bit-flip injection in the final segment: the frame CRC catches it,
+/// recovery truncates from the corrupt frame on and counts a CRC
+/// mismatch — a flipped bit is never silently replayed into a session.
+#[test]
+fn bit_flipped_frame_is_never_silently_accepted() {
+    let stream = hospital_stream(2);
+    for seed in seeds() {
+        let plan = RecoveryPlan::new(seed);
+        let tmp = TempDir::new(&format!("recovery-flip-{seed:x}"));
+        {
+            let svc = AuditService::open(schema(), corruption_config(tmp.path())).unwrap();
+            for step in &stream {
+                disclose(&svc, step);
+            }
+        }
+        let victim = segments(tmp.path())
+            .into_iter()
+            .next()
+            .expect("the replay wrote at least one segment");
+        let mut bytes = fs::read(&victim).expect("read victim segment");
+        // First frame: [len u32][crc u32][payload]; flip one scripted
+        // payload bit so the corruption is a clean CRC mismatch.
+        let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64;
+        assert!(bytes.len() as u64 >= 8 + len, "first frame is whole");
+        let corruption = plan.bit_flip_in(8, 8 + len);
+        RecoveryPlan::apply_corruption(corruption, &mut bytes);
+        fs::write(&victim, &bytes).expect("write flipped segment");
+
+        let svc = AuditService::open(schema(), corruption_config(tmp.path()))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: final-segment flip must truncate: {e}"));
+        let report = svc.recovery_report().expect("durable service");
+        assert_eq!(
+            report.crc_mismatches, 1,
+            "seed {seed:#x}: the flip must be detected as a CRC mismatch: {report:?}"
+        );
+        // Everything from the corrupt frame on is gone from disk.
+        assert_eq!(
+            fs::metadata(&victim).expect("victim survives").len(),
+            0,
+            "seed {seed:#x}: the first frame was corrupt, so the whole file truncates"
+        );
+    }
+}
+
+/// Bit-flip injection *behind* the final segment: corruption in an
+/// older generation is not a crash artifact, so recovery must refuse to
+/// start rather than serve a session state it cannot trust.
+#[test]
+fn corruption_behind_the_final_segment_fails_closed() {
+    for seed in seeds() {
+        let plan = RecoveryPlan::new(seed);
+        let tmp = TempDir::new(&format!("recovery-deep-{seed:x}"));
+        // Two boots, same user: the user's shard gets one segment per
+        // boot, making the first boot's segment non-final.
+        for boot in 0..2u64 {
+            let svc = AuditService::open(schema(), corruption_config(tmp.path())).unwrap();
+            disclose(
+                &svc,
+                &Step {
+                    user: "alice".to_owned(),
+                    time: boot + 1,
+                    query: "hiv_pos".to_owned(),
+                    state_mask: 0b11,
+                },
+            );
+        }
+        // The non-final segment: same shard prefix, lowest generation.
+        let mut logs: Vec<PathBuf> = segments(tmp.path())
+            .into_iter()
+            .filter(|p| fs::metadata(p).map(|m| m.len() >= 16).unwrap_or(false))
+            .collect();
+        logs.sort();
+        let by_shard = |p: &PathBuf| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.get(..10))
+                .map(str::to_owned)
+        };
+        let victim = logs
+            .iter()
+            .find(|p| logs.iter().filter(|q| by_shard(q) == by_shard(p)).count() >= 2)
+            .expect("two boots leave two generations for alice's shard")
+            .clone();
+        let mut bytes = fs::read(&victim).unwrap();
+        let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64;
+        RecoveryPlan::apply_corruption(plan.bit_flip_in(8, 8 + len), &mut bytes);
+        fs::write(&victim, &bytes).unwrap();
+
+        let err = AuditService::open(schema(), corruption_config(tmp.path()))
+            .err()
+            .unwrap_or_else(|| {
+                panic!("seed {seed:#x}: deep corruption must refuse startup (fail closed)")
+            });
+        assert!(
+            matches!(err, WalError::Corrupt { .. }),
+            "seed {seed:#x}: expected a corruption error, got {err}"
+        );
+    }
+}
