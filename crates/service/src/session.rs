@@ -21,10 +21,8 @@
 
 use epi_core::WorldSet;
 use epi_wal::{crc32, Wal, WalError, WalSession};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// One user's accumulated state, as stored (and returned by value from
@@ -131,8 +129,9 @@ impl SessionStore {
     /// Creates a store backed by a disclosure log, seeded with the
     /// sessions the log's recovery reconstructed. The log must have been
     /// opened with the same shard count; recovered users are re-hashed
-    /// into their shards (user-to-shard placement is stable because both
-    /// the store and the log index shards by the same hash).
+    /// into their shards (user-to-shard placement is stable across
+    /// restarts and toolchains because [`SessionStore::shard_index`]
+    /// uses an explicitly stable hash).
     pub fn durable(
         shards: usize,
         universe: usize,
@@ -153,10 +152,20 @@ impl SessionStore {
         self.wal.as_ref()
     }
 
+    /// FNV-1a (64-bit) over the user's bytes, reduced mod the shard
+    /// count. On a durable store, user→shard placement is baked into
+    /// the per-shard WAL layout on disk, so the hash must be stable
+    /// across Rust releases and process restarts — std's
+    /// `DefaultHasher` explicitly is not. Changing this function (or
+    /// the shard count) is an on-disk format change; see
+    /// docs/PERSISTENCE.md.
     fn shard_index(&self, user: &str) -> usize {
-        let mut h = DefaultHasher::new();
-        user.hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in user.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h as usize) % self.shards.len()
     }
 
     fn shard(&self, user: &str) -> &Mutex<HashMap<String, Session>> {
@@ -418,6 +427,28 @@ mod tests {
         let store = durable_store(tmp.path(), 2, 4);
         for (user, expected) in before {
             assert_eq!(store.get(&user).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn shard_placement_is_pinned_to_the_on_disk_format() {
+        // User→shard placement is part of the on-disk WAL layout
+        // (docs/PERSISTENCE.md): an existing data dir replays each
+        // user's records from the shard this function picked when they
+        // were written. These pins are FNV-1a(user) mod 8, precomputed;
+        // if they fail, the hash changed and every durable data dir in
+        // the field would mis-place its users on the next boot.
+        let store = SessionStore::new(8, 4);
+        for (user, shard) in [
+            ("alice", 7),
+            ("bob", 4),
+            ("carol", 2),
+            ("dana", 3),
+            ("user0", 6),
+            ("user1", 1),
+            ("", 5),
+        ] {
+            assert_eq!(store.shard_index(user), shard, "placement of {user:?}");
         }
     }
 

@@ -22,10 +22,22 @@
 //! record's bytes are known durable. Concurrent appenders to one shard
 //! group-commit: the first writer becomes the sync leader, releases the
 //! shard lock, issues one `fdatasync`, and wakes every writer whose
-//! record that sync covered. [`FsyncPolicy::Interval`] bounds data loss
-//! to the interval; [`FsyncPolicy::Never`] hands durability to the OS
+//! record that sync covered. [`FsyncPolicy::Interval`] syncs ride the
+//! append path, so the loss window on power failure is the interval
+//! *while appends keep arriving*, and "until the next append" once they
+//! stop; a clean shutdown ([`Wal`]'s `Drop`, or [`Wal::flush`]) syncs
+//! the idle tail. [`FsyncPolicy::Never`] hands durability to the OS
 //! page cache (still crash-*consistent* — recovery just sees a shorter
 //! log).
+//!
+//! Any append- or sync-path I/O failure **quarantines** the shard:
+//! every later append and rotation fails with
+//! [`WalError::Quarantined`] until a restart repairs the tail. Writing
+//! past a partial frame would let acknowledged records sit behind a bad
+//! frame, where the next boot's tail repair silently discards them; and
+//! retrying `fdatasync` after a failure can return `Ok` over writes the
+//! kernel already dropped — either path would certify durability the
+//! disk does not have.
 //!
 //! # Recovery contract
 //!
@@ -137,6 +149,14 @@ pub enum WalError {
         /// What was inconsistent.
         detail: String,
     },
+    /// The shard suffered an append- or sync-path I/O failure earlier
+    /// and refuses all further writes until a restart runs tail repair.
+    Quarantined {
+        /// The quarantined shard.
+        shard: usize,
+        /// The failure that triggered the quarantine.
+        detail: String,
+    },
 }
 
 impl WalError {
@@ -154,6 +174,10 @@ impl fmt::Display for WalError {
             WalError::Io { context, source } => write!(f, "wal i/o ({context}): {source}"),
             WalError::Corrupt { file, detail } => write!(f, "wal corrupt ({file}): {detail}"),
             WalError::Config { detail } => write!(f, "wal config: {detail}"),
+            WalError::Quarantined { shard, detail } => write!(
+                f,
+                "wal shard {shard} quarantined after i/o failure (restart to repair): {detail}"
+            ),
         }
     }
 }
@@ -225,6 +249,15 @@ struct ShardState {
     /// A sync leader is currently off-lock in `fdatasync`.
     syncing: bool,
     last_sync: Instant,
+    /// Set on the first append- or sync-path I/O failure; while set,
+    /// every append and rotation on this shard fails. A partial frame
+    /// may sit at the file's tail, and writing past it would let tail
+    /// repair silently discard the later (acknowledged) records; a
+    /// failed `fdatasync` may have dropped dirty pages whose loss a
+    /// retried sync would never re-report. Only a restart — which
+    /// replays the file and truncates at the last good boundary — may
+    /// write to this shard again.
+    failed: Option<String>,
 }
 
 struct Shard {
@@ -259,10 +292,24 @@ fn segment_file_name(shard: usize, gen: u64) -> String {
 fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
     let rest = name.strip_prefix("shard-")?.strip_suffix(".log")?;
     let (shard, gen) = rest.split_once('-')?;
-    if shard.len() != 4 || gen.len() != 8 {
+    // Widths are a zero-padded *minimum* (matching the formatter, which
+    // also only pads): generations past 10^8 print 9 digits and must
+    // still parse, or recovery would skip the newest segment as a stray
+    // file. Digits only — `u64::parse` would accept a leading `+`.
+    if shard.len() < 4 || gen.len() < 8 {
+        return None;
+    }
+    if !shard.bytes().all(|b| b.is_ascii_digit()) || !gen.bytes().all(|b| b.is_ascii_digit()) {
         return None;
     }
     Some((shard.parse().ok()?, gen.parse().ok()?))
+}
+
+/// Whether a directory entry is shaped like a segment file; anything
+/// matching this that [`parse_segment_name`] rejects is treated as
+/// corruption, never silently skipped.
+fn looks_like_segment_name(name: &str) -> bool {
+    name.starts_with("shard-") && name.ends_with(".log")
 }
 
 fn open_segment(dir: &Path, shard: usize, gen: u64) -> Result<File, WalError> {
@@ -328,7 +375,10 @@ impl Wal {
         for entry in dir_iter {
             let entry =
                 entry.map_err(|e| WalError::io(format!("read dir {}", config.dir.display()), e))?;
-            if let Some((shard, gen)) = entry.file_name().to_str().and_then(parse_segment_name) {
+            let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
+                continue;
+            };
+            if let Some((shard, gen)) = parse_segment_name(&name) {
                 if shard >= config.shards {
                     return Err(WalError::Config {
                         detail: format!(
@@ -339,6 +389,14 @@ impl Wal {
                     });
                 }
                 segments[shard].push((gen, entry.path()));
+            } else if looks_like_segment_name(&name) {
+                // Fail closed: a segment-shaped file the parser refuses
+                // could be the newest records under a mangled name —
+                // skipping it would silently forget them.
+                return Err(WalError::Corrupt {
+                    file: entry.path().display().to_string(),
+                    detail: "file is named like a segment but does not parse as one".to_owned(),
+                });
             }
         }
         let mut report = RecoveryReport {
@@ -376,6 +434,7 @@ impl Wal {
                     sync_epoch: 0,
                     syncing: false,
                     last_sync: Instant::now(),
+                    failed: None,
                 }),
                 synced: Condvar::new(),
             });
@@ -463,14 +522,25 @@ impl Wal {
     ) -> Result<u64, WalError> {
         let cell = &self.shards[shard];
         let mut state = lock(&cell.state);
+        if let Some(detail) = &state.failed {
+            return Err(WalError::Quarantined {
+                shard,
+                detail: detail.clone(),
+            });
+        }
         let seq = state.next_seq;
         let record = build(seq);
         let mut framed = Vec::new();
         encode_frame(record.to_json().render().as_bytes(), &mut framed);
-        state
-            .file
-            .write_all(&framed)
-            .map_err(|e| WalError::io(format!("append to shard {shard}"), e))?;
+        if let Err(e) = state.file.write_all(&framed) {
+            // The write may have landed partially (ENOSPC mid-frame).
+            // Appending past the partial frame would put acknowledged
+            // records *behind* a bad frame, where the next boot's tail
+            // repair silently discards them — quarantine instead.
+            state.failed = Some(format!("append i/o error: {e}"));
+            cell.synced.notify_all();
+            return Err(WalError::io(format!("append to shard {shard}"), e));
+        }
         state.next_seq += 1;
         state.write_epoch += 1;
         let epoch = state.write_epoch;
@@ -490,6 +560,14 @@ impl Wal {
             FsyncPolicy::Always => loop {
                 if state.sync_epoch >= epoch {
                     break;
+                }
+                if let Some(detail) = &state.failed {
+                    // The shard died while our record awaited its sync;
+                    // never acknowledge it.
+                    return Err(WalError::Quarantined {
+                        shard,
+                        detail: detail.clone(),
+                    });
                 }
                 if !state.syncing {
                     // The leader's sync covers at least our own write,
@@ -542,12 +620,52 @@ impl Wal {
                 }
                 Ok(())
             }
-            Err(e) => Err(WalError::io(format!("fdatasync shard {shard}"), e)),
+            Err(e) => {
+                // On Linux a failed fsync drops the dirty pages and
+                // clears the error; a retry would return Ok and certify
+                // writes that never reached disk ("fsyncgate").
+                // Quarantine the shard so no later sync can launder the
+                // loss into a durability acknowledgement.
+                state.failed = Some(format!("fdatasync error: {e}"));
+                Err(WalError::io(format!("fdatasync shard {shard}"), e))
+            }
         };
         // Wake followers either way: on failure they must not wait on a
         // sync that will never be published.
         cell.synced.notify_all();
         (state, outcome)
+    }
+
+    /// Syncs every shard's un-synced tail to disk, regardless of the
+    /// fsync policy. Under [`FsyncPolicy::Interval`] syncs otherwise
+    /// ride the append path, so an idle tail would stay dirty
+    /// indefinitely; [`Wal`]'s `Drop` calls this so a clean shutdown
+    /// never leaves records to the page cache's mercy. Quarantined
+    /// shards are skipped (their tail is repaired on the next boot);
+    /// a sync failure quarantines the shard and is returned.
+    pub fn flush(&self) -> Result<(), WalError> {
+        for (shard, cell) in self.shards.iter().enumerate() {
+            let mut state = lock(&cell.state);
+            if state.failed.is_some() || state.sync_epoch >= state.write_epoch {
+                continue;
+            }
+            let covered = state.write_epoch;
+            match state.file.sync_data() {
+                Ok(()) => {
+                    self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    state.last_sync = Instant::now();
+                    if state.sync_epoch < covered {
+                        state.sync_epoch = covered;
+                    }
+                }
+                Err(e) => {
+                    state.failed = Some(format!("fdatasync error: {e}"));
+                    cell.synced.notify_all();
+                    return Err(WalError::io(format!("fdatasync shard {shard}"), e));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Whether enough appends have accumulated to justify a snapshot.
@@ -572,6 +690,15 @@ impl Wal {
     pub fn rotate_shard(&self, shard: usize) -> Result<u64, WalError> {
         let cell = &self.shards[shard];
         let mut state = lock(&cell.state);
+        if let Some(detail) = &state.failed {
+            // Rotating would demote the damaged file to a *non-final*
+            // segment, which recovery (correctly) refuses to replay
+            // past; keeping it final lets the next boot tail-repair it.
+            return Err(WalError::Quarantined {
+                shard,
+                detail: detail.clone(),
+            });
+        }
         let gen = state.gen + 1;
         let file = open_segment(&self.config.dir, shard, gen)?;
         state.file = file;
@@ -626,6 +753,33 @@ impl Wal {
         }
         drop(guard);
         Ok(())
+    }
+
+    /// Test hook: swap a shard's segment file handle, e.g. for one whose
+    /// writes fail, to exercise the append-failure quarantine path.
+    #[cfg(test)]
+    fn swap_file_for_test(&self, shard: usize, file: File) {
+        lock(&self.shards[shard].state).file = file;
+    }
+
+    /// Test hook: quarantine a shard directly, simulating a prior
+    /// append/sync I/O failure.
+    #[cfg(test)]
+    fn quarantine_for_test(&self, shard: usize, detail: &str) {
+        lock(&self.shards[shard].state).failed = Some(detail.to_owned());
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // A clean shutdown under `Interval` must not abandon the idle
+        // tail to the page cache (the loss window is "until the next
+        // sync", and there will be no next append). `Never` opted out
+        // of syncing entirely; failures here have no caller to report
+        // to, and recovery handles whatever the cache did not persist.
+        if !matches!(self.config.fsync, FsyncPolicy::Never) {
+            let _ = self.flush();
+        }
     }
 }
 
@@ -900,6 +1054,141 @@ mod tests {
             .map(|(_, s)| s.disclosures)
             .sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn segment_names_parse_past_the_padded_widths() {
+        assert_eq!(parse_segment_name("shard-0000-00000001.log"), Some((0, 1)));
+        assert_eq!(
+            parse_segment_name("shard-0012-100000000.log"),
+            Some((12, 100_000_000)),
+            "9-digit generations must parse, not vanish as stray files"
+        );
+        assert_eq!(
+            parse_segment_name("shard-10000-00000001.log"),
+            Some((10_000, 1))
+        );
+        assert_eq!(parse_segment_name("shard-0000-0000001.log"), None); // under-padded
+        assert_eq!(parse_segment_name("shard-0000-+0000001.log"), None); // sign refused
+        assert_eq!(parse_segment_name("shard-00a0-00000001.log"), None);
+        assert_eq!(parse_segment_name("snap-0000000000000001.snap"), None);
+    }
+
+    #[test]
+    fn wide_generation_segments_replay_and_rotate() {
+        let dir = TempDir::new("wal-widegen");
+        {
+            let (wal, _) = Wal::open(config(dir.path())).unwrap();
+            wal.append_open(0, "alice").unwrap();
+        }
+        // Simulate a shard whose generation counter crossed 10^8.
+        fs::rename(
+            dir.path().join(segment_file_name(0, 1)),
+            dir.path().join(segment_file_name(0, 100_000_001)),
+        )
+        .unwrap();
+        let (wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert_eq!(recovered.report.replayed_records, 1);
+        assert_eq!(recovered.shards[0][0].0, "alice");
+        // The next generation (10^8 + 2, a 9-digit name) keeps working.
+        wal.append_disclose(0, "alice", 1, 0, &WorldSet::full(4))
+            .unwrap();
+        drop(wal);
+        let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert_eq!(recovered.report.replayed_records, 2);
+        assert_eq!(recovered.shards[0][0].1.disclosures, 1);
+    }
+
+    #[test]
+    fn malformed_segment_like_file_refuses_startup() {
+        let dir = TempDir::new("wal-badname");
+        {
+            let (wal, _) = Wal::open(config(dir.path())).unwrap();
+            wal.append_open(0, "alice").unwrap();
+        }
+        fs::write(dir.path().join("shard-0000-bogus.log"), b"junk").unwrap();
+        assert!(matches!(
+            Wal::open(config(dir.path())),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn append_io_failure_quarantines_the_shard() {
+        // /dev/full fails every write with ENOSPC — the exact partial-
+        // write scenario quarantine exists for.
+        let Ok(full) = OpenOptions::new().write(true).open("/dev/full") else {
+            return; // platform without /dev/full
+        };
+        let dir = TempDir::new("wal-quarantine");
+        let (wal, _) = Wal::open(config(dir.path())).unwrap();
+        wal.append_open(0, "alice").unwrap();
+        wal.swap_file_for_test(0, full);
+        assert!(matches!(
+            wal.append_open(0, "bob"),
+            Err(WalError::Io { .. })
+        ));
+        // Every later write on the shard is refused, even though the
+        // handle would now accept it.
+        assert!(matches!(
+            wal.append_open(0, "carol"),
+            Err(WalError::Quarantined { shard: 0, .. })
+        ));
+        assert!(matches!(
+            wal.rotate_shard(0),
+            Err(WalError::Quarantined { shard: 0, .. })
+        ));
+        // Other shards are unaffected, and a restart heals.
+        wal.append_open(1, "dave").unwrap();
+        drop(wal);
+        let (wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert_eq!(recovered.report.replayed_records, 2);
+        wal.append_open(0, "bob").unwrap();
+    }
+
+    #[test]
+    fn quarantined_shard_refuses_appends_under_every_policy() {
+        for fsync in [
+            FsyncPolicy::Never,
+            FsyncPolicy::Interval(Duration::from_millis(1)),
+            FsyncPolicy::Always,
+        ] {
+            let dir = TempDir::new("wal-quarantine-policy");
+            let cfg = WalConfig {
+                fsync,
+                ..config(dir.path())
+            };
+            let (wal, _) = Wal::open(cfg).unwrap();
+            wal.append_open(0, "alice").unwrap();
+            wal.quarantine_for_test(0, "simulated fdatasync failure");
+            assert!(
+                matches!(
+                    wal.append_open(0, "bob"),
+                    Err(WalError::Quarantined { shard: 0, .. })
+                ),
+                "policy {fsync:?} must refuse appends on a failed shard"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_syncs_the_idle_interval_tail() {
+        let dir = TempDir::new("wal-flush");
+        let cfg = WalConfig {
+            fsync: FsyncPolicy::Interval(Duration::from_secs(3600)),
+            ..config(dir.path())
+        };
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append_open(0, "alice").unwrap();
+        assert_eq!(wal.stats().fsyncs, 0, "interval not yet elapsed");
+        wal.flush().unwrap();
+        assert_eq!(wal.stats().fsyncs, 1);
+        wal.flush().unwrap();
+        assert_eq!(wal.stats().fsyncs, 1, "nothing pending: no extra sync");
+        wal.append_open(0, "bob").unwrap();
+        drop(wal); // Drop flushes the tail — observable only via recovery
+        let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
+        assert_eq!(recovered.report.replayed_records, 2);
     }
 
     #[test]
