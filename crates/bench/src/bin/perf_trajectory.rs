@@ -1,9 +1,10 @@
 //! Perf-trajectory harness for the solver engine: times the E8 (product
 //! solver), E12 (audit composition), E14 (parallel scaling / dense
 //! kernel), E15 (incremental subdivision / zero-allocation hot path)
-//! and E16 (disclosure throughput vs. durability policy) workloads
-//! against the recorded baselines and writes the results to
-//! `BENCH_PR6.json` alongside the human-readable tables, so future PRs
+//! E16 (disclosure throughput vs. durability policy) and E17
+//! (concurrent-connection throughput, reactor vs. thread-per-conn)
+//! workloads against the recorded baselines and writes the results to
+//! `BENCH_PR7.json` alongside the human-readable tables, so future PRs
 //! can diff the numbers machine-readably.
 //!
 //! Run:  `cargo run --release --bin perf_trajectory [-- out.json [baseline.json]]`
@@ -521,15 +522,161 @@ fn e16() -> Json {
     Json::arr(rows)
 }
 
+/// E17 — concurrent-connection throughput and per-connection memory:
+/// the readiness reactor vs the thread-per-connection fallback at 64,
+/// 512 and 2048 open connections. Each run opens the fanout idle (the
+/// realistic shape of a large deployment: most connections quiet), then
+/// 8 driver clients push pipelined 16-deep disclose batches; the row
+/// reports aggregate decisions/sec, the heap bytes the fanout cost
+/// (cumulative-allocation delta over setup, divided by connections —
+/// an upper bound on per-connection state; thread stacks are mmapped
+/// and invisible to it, which flatters the threaded rows), and the
+/// open-connection gauge. The acceptance line for this PR: the reactor
+/// at 2048 connections sustains at least the thread-per-conn
+/// throughput at 64.
+fn e17() -> Json {
+    use epi_audit::{PriorAssumption, Schema};
+    use epi_service::{
+        AuditService, Client, Request, Response, Server, ServerMode, ServerOptions, ServiceConfig,
+    };
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const DRIVERS: usize = 8;
+    const BATCHES: usize = 6;
+    const BATCH: usize = 16;
+
+    fn drive(addr: SocketAddr, run: u64, batches: usize) {
+        let handles: Vec<_> = (0..DRIVERS)
+            .map(|d| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("driver connect");
+                    for b in 0..batches {
+                        let requests: Vec<Request> = (0..BATCH)
+                            .map(|k| Request::Disclose {
+                                user: format!("r{run}d{d}u{k}"),
+                                time: (b + 1) as u64,
+                                query: "hiv_pos".to_owned(),
+                                state_mask: ((b + k) % 3 + 1) as u32,
+                                audit_query: "hiv_pos".to_owned(),
+                            })
+                            .collect();
+                        for response in client.pipeline(&requests).expect("pipeline") {
+                            assert!(
+                                matches!(response, Response::Entry(_)),
+                                "e17 disclose failed: {response:?}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("driver thread");
+        }
+    }
+
+    println!("\n## E17 — concurrent-connection throughput, reactor vs thread-per-conn\n");
+    let schema = Schema::from_names(&["hiv_pos", "transfusions", "flu", "diabetes"]).unwrap();
+    let mut rows = Vec::new();
+    let mut legacy_64 = f64::NAN;
+    let mut reactor_2048 = f64::NAN;
+    let mut run = 0u64;
+    for (mode_tag, mode) in [
+        ("reactor", ServerMode::Reactor),
+        ("threaded", ServerMode::Threaded),
+    ] {
+        for conns in [64usize, 512, 2048] {
+            run += 1;
+            let service = Arc::new(AuditService::new(
+                schema.clone(),
+                ServiceConfig {
+                    assumption: PriorAssumption::Product,
+                    workers: 2,
+                    ..ServiceConfig::default()
+                },
+            ));
+            let server = Server::spawn_with(
+                Arc::clone(&service),
+                "127.0.0.1:0",
+                ServerOptions {
+                    mode,
+                    ..ServerOptions::default()
+                },
+            )
+            .expect("bind");
+            let addr = server.addr();
+
+            let bytes_before = epi_par::heap_bytes_allocated();
+            let idle: Vec<TcpStream> = (0..conns)
+                .map(|_| TcpStream::connect(addr).expect("fanout connect"))
+                .collect();
+            // Let the server finish adopting the fanout before sampling
+            // the allocation counter, so setup cost is fully included.
+            std::thread::sleep(Duration::from_millis(100 + conns as u64 / 8));
+            let bytes_per_conn =
+                (epi_par::heap_bytes_allocated() - bytes_before) as f64 / conns as f64;
+            let mut probe = Client::connect(addr).expect("probe connect");
+            let open = probe.stats().expect("stats").connections_open;
+            assert!(
+                open as usize > conns,
+                "{mode_tag}@{conns}: gauge reads {open} with the fanout open"
+            );
+
+            drive(addr, run, 1); // warm caches, sessions, driver paths
+            run += 1;
+            let t = Instant::now();
+            drive(addr, run, BATCHES);
+            let wall = t.elapsed().as_secs_f64();
+            let decisions = DRIVERS * BATCHES * BATCH;
+            let dps = decisions as f64 / wall;
+            if mode == ServerMode::Threaded && conns == 64 {
+                legacy_64 = dps;
+            }
+            if mode == ServerMode::Reactor && conns == 2048 {
+                reactor_2048 = dps;
+            }
+            println!(
+                "{mode_tag}@{conns}: {decisions} decisions in {:.1}ms ({dps:.0}/sec), \
+                 {bytes_per_conn:.0} heap bytes/conn, gauge={open}",
+                wall * 1e3
+            );
+            rows.push(Json::obj([
+                ("mode", Json::from(mode_tag)),
+                ("connections", Json::from(conns)),
+                ("decisions", Json::from(decisions)),
+                ("wall_ms", Json::from(wall * 1e3)),
+                ("decisions_per_sec", Json::from(dps)),
+                ("heap_bytes_per_conn", Json::from(bytes_per_conn)),
+                ("connections_open_gauge", Json::from(open)),
+            ]));
+            drop(idle);
+            drop(probe);
+            server.shutdown();
+        }
+    }
+    let ratio = reactor_2048 / legacy_64;
+    println!(
+        "\nreactor@2048 vs threaded@64: {ratio:.2}x \
+         (acceptance: reactor under 32x the connections must not lose throughput)"
+    );
+    Json::obj([
+        ("rows", Json::arr(rows)),
+        ("reactor_2048_vs_threaded_64", Json::from(ratio)),
+        ("meets_acceptance", Json::from(ratio >= 1.0)),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let baseline_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
-    println!("# Perf trajectory — PR 6 durable disclosure log");
+    println!("# Perf trajectory — PR 7 event-driven NDJSON server");
     println!("available_parallelism={cores}");
 
     let e8_configs: Vec<(&str, ProductSolverOptions)> = vec![
@@ -561,9 +708,10 @@ fn main() {
     let (e14_json, aggregate) = e14();
     let (e15_json, e15_bps, e15_speedup) = e15(&baseline_path);
     let e16_json = e16();
+    let e17_json = e17();
 
     let mut fields = vec![
-        ("pr", Json::from(6usize)),
+        ("pr", Json::from(7usize)),
         ("generated_by", Json::from("perf_trajectory")),
         ("available_parallelism", Json::from(cores)),
         (
@@ -582,7 +730,10 @@ fn main() {
                  E16 measures end-to-end disclosure throughput with the write-ahead \
                  disclosure log off (volatile), group-committed every 100ms, and \
                  fsynced on every acknowledgement; fsync cost is storage-dependent, \
-                 so read the slowdown ratios, not the absolute numbers",
+                 so read the slowdown ratios, not the absolute numbers. E17 measures \
+                 the TCP front-end: aggregate pipelined-disclose throughput and heap \
+                 bytes per connection for the readiness reactor vs the \
+                 thread-per-connection fallback at a 64/512/2048-connection fanout",
             ),
         ),
         ("e8", e8_json),
@@ -592,6 +743,7 @@ fn main() {
         ("e15", e15_json),
         ("e15_aggregate_boxes_per_sec_1t", Json::from(e15_bps)),
         ("e16", e16_json),
+        ("e17", e17_json),
     ];
     if let Some(s) = e15_speedup {
         fields.push(("e15_aggregate_speedup_vs_pr2", Json::from(s)));

@@ -15,7 +15,11 @@
 //!   dropped at the frame boundary);
 //! * [`FaultPlan::worker_hook`] packages the worker script as the
 //!   [`FaultHook`] that [`epi_service::AuditService::with_fault_hook`]
-//!   accepts, so faults land inside an otherwise-production service.
+//!   accepts, so faults land inside an otherwise-production service;
+//! * [`FaultPlan::slow_client_fault`] scripts slowloris-style client
+//!   misbehavior (a half-frame held open in silence, a byte-at-a-time
+//!   dribble, a disconnect before the reply is read) for asserting that
+//!   one slow connection cannot stall the others.
 //!
 //! Two runs with the same seed produce the same fault script; two seeds
 //! produce different ones. The chaos suite (`tests/chaos_service.rs` at
@@ -107,6 +111,32 @@ pub enum FrameFault {
     DropConnection,
 }
 
+/// How a scripted slow client misbehaves while sending one frame — the
+/// slowloris repertoire. Unlike [`FrameFault`] (which mangles bytes),
+/// these mangle *time*: the bytes are valid, the pacing is hostile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlowClientFault {
+    /// Send the first `keep` bytes of the frame, then fall silent with
+    /// the socket held open for `hold` before finishing the frame — the
+    /// classic slowloris half-frame. A correct server must either keep
+    /// serving everyone else meanwhile or evict the staller on its
+    /// frame deadline.
+    HalfFrameStall {
+        /// Bytes sent before the silence.
+        keep: usize,
+        /// How long the client holds the half-frame open.
+        hold: Duration,
+    },
+    /// Dribble the frame one byte at a time with `delay` between bytes.
+    ByteAtATime {
+        /// Pause between consecutive bytes.
+        delay: Duration,
+    },
+    /// Send the full frame, then disconnect without reading the reply —
+    /// the server learns mid-write that the peer is gone.
+    DisconnectMidReply,
+}
+
 /// A seeded, stateless fault script. Copy it freely: every method is a
 /// pure function of `(plan, index)`, so concurrent consumers cannot skew
 /// each other's draws.
@@ -123,11 +153,15 @@ pub struct FaultPlan {
     /// Out of 1000 outbound frames, how many are mangled (split evenly
     /// between truncation, UTF-8 corruption, and connection drops).
     pub frame_per_mille: u32,
+    /// How long a scripted slowloris half-frame is held open.
+    pub slow_hold: Duration,
+    /// Pause between bytes for a scripted byte-at-a-time dribble.
+    pub slow_delay: Duration,
 }
 
 impl FaultPlan {
     /// A plan with the default chaos mix: 15% panics, 10% stalls of 2 ms,
-    /// 30% mangled frames.
+    /// 30% mangled frames, 50 ms slowloris holds, 2 ms dribble gaps.
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -135,6 +169,8 @@ impl FaultPlan {
             stall_per_mille: 100,
             stall: Duration::from_millis(2),
             frame_per_mille: 300,
+            slow_hold: Duration::from_millis(50),
+            slow_delay: Duration::from_millis(2),
         }
     }
 
@@ -192,6 +228,25 @@ impl FaultPlan {
                 Some(bytes)
             }
             FrameFault::DropConnection => None,
+        }
+    }
+
+    /// How the scripted slow client misbehaves on its `index`-th frame
+    /// of `frame_len` bytes. Every connection draws one of the three
+    /// slowloris behaviors; frames too short to split (under 2 bytes)
+    /// never draw a half-frame stall.
+    pub fn slow_client_fault(&self, index: u64, frame_len: usize) -> SlowClientFault {
+        let roll = self.draw(0x51_0C, index);
+        let variants = if frame_len < 2 { 2 } else { 3 };
+        match roll % variants {
+            0 => SlowClientFault::ByteAtATime {
+                delay: self.slow_delay,
+            },
+            1 => SlowClientFault::DisconnectMidReply,
+            _ => SlowClientFault::HalfFrameStall {
+                keep: 1 + (self.draw(0x51_0D, index) as usize % (frame_len - 1)),
+                hold: self.slow_hold,
+            },
         }
     }
 
@@ -390,6 +445,41 @@ mod tests {
         for i in 0..200 {
             assert_eq!(plan.frame_fault(i, 0), FrameFault::Intact);
             assert_eq!(plan.frame_fault(i, 1), FrameFault::Intact);
+        }
+    }
+
+    #[test]
+    fn slow_client_scripts_are_deterministic_and_bounded() {
+        let a = FaultPlan::new(21);
+        let b = FaultPlan::new(21);
+        let (mut stalls, mut dribbles, mut drops) = (0, 0, 0);
+        for i in 0..300 {
+            let fault = a.slow_client_fault(i, 40);
+            assert_eq!(fault, b.slow_client_fault(i, 40));
+            match fault {
+                SlowClientFault::HalfFrameStall { keep, hold } => {
+                    assert!((1..40).contains(&keep), "keep = {keep}");
+                    assert_eq!(hold, a.slow_hold);
+                    stalls += 1;
+                }
+                SlowClientFault::ByteAtATime { delay } => {
+                    assert_eq!(delay, a.slow_delay);
+                    dribbles += 1;
+                }
+                SlowClientFault::DisconnectMidReply => drops += 1,
+            }
+        }
+        assert!(
+            stalls > 0 && dribbles > 0 && drops > 0,
+            "all behaviors should appear over 300 draws \
+             (stalls {stalls}, dribbles {dribbles}, drops {drops})"
+        );
+        // Frames too short to split never draw a half-frame stall.
+        for i in 0..200 {
+            assert!(!matches!(
+                a.slow_client_fault(i, 1),
+                SlowClientFault::HalfFrameStall { .. }
+            ));
         }
     }
 

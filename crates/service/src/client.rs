@@ -23,11 +23,18 @@ use crate::metrics::Snapshot;
 use crate::proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
 use crate::service::AuditService;
 use epi_audit::auditor::ReportEntry;
-use epi_json::{Deserialize, Json, Serialize};
+use epi_json::{opt_field, Deserialize, Json, Serialize};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Distinguishes the ids of pipelining clients that have no seeded
+/// [`RetryPolicy`] id stream, so two such clients in one process never
+/// collide in the server's dedupe window.
+static PIPELINE_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -397,11 +404,14 @@ fn call_with_retries(
     Err(last.expect("loop stores the error before every retry"))
 }
 
-/// A blocking TCP client: one request line out, one response line in.
+/// A blocking TCP client: one request line out, one response line in —
+/// or, with [`Client::pipeline`], many lines out before any line in.
 pub struct Client {
     addr: SocketAddr,
     conn: Option<(BufReader<TcpStream>, TcpStream)>,
     retry: Option<RetryState>,
+    pipeline_instance: u64,
+    pipeline_seq: u64,
 }
 
 impl Client {
@@ -415,6 +425,8 @@ impl Client {
             addr,
             conn: None,
             retry: None,
+            pipeline_instance: PIPELINE_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            pipeline_seq: 0,
         };
         client.reconnect()?;
         Ok(client)
@@ -470,6 +482,103 @@ impl Client {
             Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))
         ) {
             // The stream can be mid-frame; next attempt starts clean.
+            self.conn = None;
+        }
+        result
+    }
+
+    fn next_pipeline_id(&mut self) -> String {
+        match &mut self.retry {
+            // A seeded policy makes pipelined ids deterministic (and
+            // dedupe-safe across reconnects), exactly like `call` ids.
+            Some(state) => state.fresh_id(),
+            None => {
+                self.pipeline_seq += 1;
+                format!("p{}-{}", self.pipeline_instance, self.pipeline_seq)
+            }
+        }
+    }
+
+    /// Sends every request back-to-back on the one connection before
+    /// reading anything, then collects the replies, matching each to
+    /// its request by the envelope `id` the client minted — the server
+    /// answers pipelined requests in *completion* order, not
+    /// submission order. Responses are returned in request order.
+    ///
+    /// Unlike [`Client::call`] this never retries: a transport failure
+    /// mid-batch leaves it ambiguous which requests settled, so the
+    /// error surfaces (and the connection resets) for the caller to
+    /// decide. Error-kind responses are returned in their slot rather
+    /// than converted to `Err`, so one bad request cannot mask the
+    /// others' outcomes.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let ids: Vec<String> = requests.iter().map(|_| self.next_pipeline_id()).collect();
+        let result = (|| {
+            let (reader, writer) = self.conn.as_mut().expect("connected above");
+            let mut batch = String::new();
+            for (request, id) in requests.iter().zip(&ids) {
+                let meta = RequestMeta {
+                    id: Some(id.clone()),
+                    deadline_ms: None,
+                    trace: None,
+                };
+                batch.push_str(&meta.decorate(request.to_json()).render());
+                batch.push('\n');
+            }
+            writer.write_all(batch.as_bytes())?;
+            writer.flush()?;
+            let index: HashMap<&str, usize> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, id)| (id.as_str(), i))
+                .collect();
+            let mut slots: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+            let mut filled = 0usize;
+            while filled < requests.len() {
+                let mut answer = String::new();
+                let n = reader.read_line(&mut answer)?;
+                if n == 0 {
+                    return Err(ClientError::Protocol(
+                        "connection closed mid-pipeline".to_owned(),
+                    ));
+                }
+                let value = Json::parse(answer.trim_end()).map_err(|e| {
+                    ClientError::Protocol(format!("bad response JSON: {}", e.message))
+                })?;
+                let id = match opt_field::<String>(&value, "id") {
+                    Ok(Some(id)) => id,
+                    _ => {
+                        return Err(ClientError::Protocol(
+                            "pipelined response without an id".to_owned(),
+                        ))
+                    }
+                };
+                let slot = *index.get(id.as_str()).ok_or_else(|| {
+                    ClientError::Protocol(format!("unknown pipelined response id {id:?}"))
+                })?;
+                if slots[slot].is_some() {
+                    return Err(ClientError::Protocol(format!(
+                        "duplicate pipelined response id {id:?}"
+                    )));
+                }
+                let response = Response::from_json(&value)
+                    .map_err(|e| ClientError::Protocol(format!("bad response: {}", e.message)))?;
+                slots[slot] = Some(response);
+                filled += 1;
+            }
+            Ok(slots
+                .into_iter()
+                .map(|slot| slot.expect("all slots filled above"))
+                .collect())
+        })();
+        if result.is_err() {
+            // The stream can be mid-frame; next use starts clean.
             self.conn = None;
         }
         result

@@ -66,6 +66,8 @@ pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod proto;
+#[cfg(unix)]
+mod reactor;
 pub mod server;
 pub mod service;
 pub mod session;
@@ -76,7 +78,7 @@ pub use client::{AuditOutcome, Client, ClientError, LocalClient, RetryPolicy};
 pub use epi_wal::{FsyncPolicy, RecoveryReport, WalError};
 pub use metrics::{Metrics, Snapshot};
 pub use proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
-pub use server::{Server, ServerOptions};
+pub use server::{Server, ServerMode, ServerOptions};
 pub use service::{AuditService, ServiceConfig};
 pub use session::{knowledge_digest, Session, SessionError, SessionStore};
 pub use worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};

@@ -89,6 +89,24 @@ pub struct Metrics {
     /// Decisions that came back undecided because their deadline expired
     /// or the daemon was draining (always reported as *not* safe).
     pub deadline_exceeded: AtomicU64,
+    /// Currently open TCP connections (gauge: incremented on accept,
+    /// decremented on close).
+    pub connections_open: AtomicU64,
+    /// TCP connections accepted since startup.
+    pub connections_accepted: AtomicU64,
+    /// Connections evicted for inactivity — either fully idle past the
+    /// idle timeout or dribbling a started frame past the frame deadline.
+    pub connections_evicted_idle: AtomicU64,
+    /// Connections evicted for overflow: accepted past the connection
+    /// cap, or a write queue past its hard overflow limit.
+    pub connections_evicted_overflow: AtomicU64,
+    /// Times a connection's reads were paused for backpressure (full
+    /// write queue, full dispatch queue, or the in-flight cap).
+    pub backpressure_stalls: AtomicU64,
+    /// High-water mark of any single connection's read buffer, bytes.
+    pub read_buffer_high_water: AtomicU64,
+    /// High-water mark of any single connection's write queue, bytes.
+    pub write_buffer_high_water: AtomicU64,
     stages: [StageStats; STAGE_SLOTS],
 }
 
@@ -101,6 +119,19 @@ impl Metrics {
     /// Bumps a counter by one (relaxed).
     pub fn incr(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (relaxed, saturating at zero).
+    pub fn decr(counter: &AtomicU64) {
+        // fetch_update never fails with Relaxed/Relaxed + Some(..).
+        let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Raises a high-water gauge to at least `value` (relaxed).
+    pub fn observe_high_water(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Raises the queue high-water mark to at least `depth`.
@@ -145,6 +176,13 @@ impl Metrics {
             worker_respawns: read(&self.worker_respawns),
             shed_requests: read(&self.shed_requests),
             deadline_exceeded: read(&self.deadline_exceeded),
+            connections_open: read(&self.connections_open),
+            connections_accepted: read(&self.connections_accepted),
+            connections_evicted_idle: read(&self.connections_evicted_idle),
+            connections_evicted_overflow: read(&self.connections_evicted_overflow),
+            backpressure_stalls: read(&self.backpressure_stalls),
+            read_buffer_high_water: read(&self.read_buffer_high_water),
+            write_buffer_high_water: read(&self.write_buffer_high_water),
             pool_workers: epi_par::Pool::global().threads() as u64,
             pool_tasks: epi_par::stats().tasks_executed,
             pool_steals: epi_par::stats().steals,
@@ -216,6 +254,21 @@ pub struct Snapshot {
     pub shed_requests: u64,
     /// Decisions undecided because of deadline expiry or shutdown.
     pub deadline_exceeded: u64,
+    /// Currently open TCP connections.
+    pub connections_open: u64,
+    /// TCP connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Connections evicted for idle/frame-deadline inactivity.
+    pub connections_evicted_idle: u64,
+    /// Connections evicted for overflow (connection cap or write-queue
+    /// hard limit).
+    pub connections_evicted_overflow: u64,
+    /// Read pauses triggered by per-connection backpressure.
+    pub backpressure_stalls: u64,
+    /// High-water mark of any single connection's read buffer, bytes.
+    pub read_buffer_high_water: u64,
+    /// High-water mark of any single connection's write queue, bytes.
+    pub write_buffer_high_water: u64,
     /// Worker threads in the process-wide [`epi_par`] solver pool.
     pub pool_workers: u64,
     /// Tasks the solver pool has executed (process lifetime).
@@ -366,6 +419,26 @@ impl Snapshot {
             self.deadline_exceeded,
         );
         counter(
+            "epi_connections_accepted_total",
+            "TCP connections accepted since startup.",
+            self.connections_accepted,
+        );
+        counter(
+            "epi_connections_evicted_idle_total",
+            "Connections evicted for idle/frame-deadline inactivity.",
+            self.connections_evicted_idle,
+        );
+        counter(
+            "epi_connections_evicted_overflow_total",
+            "Connections evicted for overflow (connection cap or write-queue hard limit).",
+            self.connections_evicted_overflow,
+        );
+        counter(
+            "epi_backpressure_stalls_total",
+            "Read pauses triggered by per-connection backpressure.",
+            self.backpressure_stalls,
+        );
+        counter(
             "epi_pool_tasks_total",
             "Tasks executed by the process-wide solver pool.",
             self.pool_tasks,
@@ -449,6 +522,21 @@ impl Snapshot {
             "epi_queue_high_water",
             "Worker-queue depth high-water mark.",
             self.queue_high_water,
+        );
+        gauge(
+            "epi_connections_open",
+            "Currently open TCP connections.",
+            self.connections_open,
+        );
+        gauge(
+            "epi_read_buffer_high_water",
+            "High-water mark of any single connection's read buffer, bytes.",
+            self.read_buffer_high_water,
+        );
+        gauge(
+            "epi_write_buffer_high_water",
+            "High-water mark of any single connection's write queue, bytes.",
+            self.write_buffer_high_water,
         );
         gauge(
             "epi_pool_workers",
@@ -557,6 +645,28 @@ impl Serialize for Snapshot {
             ("worker_respawns", Json::from(self.worker_respawns)),
             ("shed_requests", Json::from(self.shed_requests)),
             ("deadline_exceeded", Json::from(self.deadline_exceeded)),
+            ("connections_open", Json::from(self.connections_open)),
+            (
+                "connections_accepted",
+                Json::from(self.connections_accepted),
+            ),
+            (
+                "connections_evicted_idle",
+                Json::from(self.connections_evicted_idle),
+            ),
+            (
+                "connections_evicted_overflow",
+                Json::from(self.connections_evicted_overflow),
+            ),
+            ("backpressure_stalls", Json::from(self.backpressure_stalls)),
+            (
+                "read_buffer_high_water",
+                Json::from(self.read_buffer_high_water),
+            ),
+            (
+                "write_buffer_high_water",
+                Json::from(self.write_buffer_high_water),
+            ),
             ("pool_workers", Json::from(self.pool_workers)),
             ("pool_tasks", Json::from(self.pool_tasks)),
             ("pool_steals", Json::from(self.pool_steals)),
@@ -623,6 +733,15 @@ impl Deserialize for Snapshot {
             worker_respawns: opt_field(v, "worker_respawns")?.unwrap_or(0),
             shed_requests: opt_field(v, "shed_requests")?.unwrap_or(0),
             deadline_exceeded: opt_field(v, "deadline_exceeded")?.unwrap_or(0),
+            // Absent in snapshots from pre-reactor daemons.
+            connections_open: opt_field(v, "connections_open")?.unwrap_or(0),
+            connections_accepted: opt_field(v, "connections_accepted")?.unwrap_or(0),
+            connections_evicted_idle: opt_field(v, "connections_evicted_idle")?.unwrap_or(0),
+            connections_evicted_overflow: opt_field(v, "connections_evicted_overflow")?
+                .unwrap_or(0),
+            backpressure_stalls: opt_field(v, "backpressure_stalls")?.unwrap_or(0),
+            read_buffer_high_water: opt_field(v, "read_buffer_high_water")?.unwrap_or(0),
+            write_buffer_high_water: opt_field(v, "write_buffer_high_water")?.unwrap_or(0),
             pool_workers: opt_field(v, "pool_workers")?.unwrap_or(0),
             pool_tasks: opt_field(v, "pool_tasks")?.unwrap_or(0),
             pool_steals: opt_field(v, "pool_steals")?.unwrap_or(0),
@@ -714,6 +833,13 @@ mod tests {
                         | "worker_respawns"
                         | "shed_requests"
                         | "deadline_exceeded"
+                        | "connections_open"
+                        | "connections_accepted"
+                        | "connections_evicted_idle"
+                        | "connections_evicted_overflow"
+                        | "backpressure_stalls"
+                        | "read_buffer_high_water"
+                        | "write_buffer_high_water"
                         | "pool_workers"
                         | "pool_tasks"
                         | "pool_steals"
@@ -740,6 +866,10 @@ mod tests {
         }
         let back = Snapshot::from_json(&v).unwrap();
         assert_eq!(back.negative_gated, 0);
+        assert_eq!(back.connections_open, 0);
+        assert_eq!(back.connections_accepted, 0);
+        assert_eq!(back.backpressure_stalls, 0);
+        assert_eq!(back.read_buffer_high_water, 0);
         assert_eq!(back.coalesced, 0);
         assert_eq!(back.queue_high_water, 0);
         assert_eq!(back.solver_boxes, 0);
@@ -784,6 +914,29 @@ mod tests {
         let buckets = &m.snapshot().stages[2].buckets;
         assert_eq!(buckets[LATENCY_BUCKETS - 2], 1);
         assert_eq!(buckets[LATENCY_BUCKETS - 1], 3);
+    }
+
+    #[test]
+    fn connection_gauges_track_accepts_and_closes() {
+        let m = Metrics::new();
+        for _ in 0..3 {
+            Metrics::incr(&m.connections_accepted);
+            Metrics::incr(&m.connections_open);
+        }
+        Metrics::decr(&m.connections_open);
+        Metrics::observe_high_water(&m.read_buffer_high_water, 512);
+        Metrics::observe_high_water(&m.read_buffer_high_water, 128); // no regression
+        let snap = m.snapshot();
+        assert_eq!(snap.connections_accepted, 3);
+        assert_eq!(snap.connections_open, 2);
+        assert_eq!(snap.read_buffer_high_water, 512);
+        // The gauge saturates rather than wrapping if decrements race a
+        // fresh registry.
+        let m2 = Metrics::new();
+        Metrics::decr(&m2.connections_open);
+        assert_eq!(m2.snapshot().connections_open, 0);
+        let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]
@@ -839,6 +992,10 @@ mod tests {
             "epi_worker_respawns_total",
             "epi_shed_requests_total",
             "epi_deadline_exceeded_total",
+            "epi_connections_accepted_total",
+            "epi_connections_evicted_idle_total",
+            "epi_connections_evicted_overflow_total",
+            "epi_backpressure_stalls_total",
             "epi_pool_tasks_total",
             "epi_pool_steals_total",
             "epi_pool_queue_waits_total",
@@ -855,6 +1012,9 @@ mod tests {
             "epi_wal_fsyncs_total",
             "epi_snapshots_total",
             "epi_queue_high_water",
+            "epi_connections_open",
+            "epi_read_buffer_high_water",
+            "epi_write_buffer_high_water",
             "epi_pool_workers",
             "epi_pool_arena_high_water_bytes",
             "epi_recovery_replayed_records",

@@ -1,0 +1,905 @@
+//! The readiness-reactor front-end: thousands of connections, a handful
+//! of threads.
+//!
+//! One (or `EPI_REACTOR_THREADS`) reactor thread(s) own the sockets. A
+//! reactor never blocks on I/O: it sleeps in the poller
+//! ([`epoll_shim::Poller`], level-triggered), reads whatever bytes are
+//! ready into a bounded per-connection buffer, scans them incrementally
+//! for `\n`-terminated frames (a frame may span any number of partial
+//! reads), and hands complete frames to a bounded **dispatch queue**.
+//! Handler threads pop frames, run the request through
+//! [`AuditService::handle_with_meta`] — which may block on the decision
+//! pool's gate, which is exactly why handlers are separate from
+//! reactors — and append the rendered reply to the connection's write
+//! queue, which the owning reactor drains as the socket accepts bytes
+//! (`EPOLLOUT`).
+//!
+//! # Pipelining and ordering
+//!
+//! A connection may have up to [`ServerOptions::max_inflight_per_conn`]
+//! requests in flight; replies are written in **completion** order, and
+//! clients match them to requests by envelope `id` (see
+//! `docs/PROTOCOL.md`). A connection that never exceeds one in-flight
+//! request observes the classic strict request→reply ordering.
+//!
+//! # Backpressure
+//!
+//! The reactor stops consuming from a connection when any of its
+//! budgets is exhausted — in-flight cap reached, write queue past its
+//! high-water mark, dispatch queue full, or read buffer full — and
+//! resumes when the pressure drains. Sockets are never read into
+//! unbounded memory, and one slow or hostile peer only ever stalls
+//! itself: eviction (idle timeout, frame deadline, write-queue
+//! overflow, connection cap) reclaims what backpressure cannot.
+
+use crate::metrics::Metrics;
+use crate::server::{oversize_refusal, respond_to_line, ServerOptions};
+use crate::service::AuditService;
+use epi_trace::Recorder;
+use epoll_shim::{Event, Interest, Poller};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+const READ_CHUNK: usize = 16 * 1024;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`ServerOptions`] resolved into the reactor's working limits.
+#[derive(Clone, Copy)]
+struct Tuning {
+    max_line_bytes: usize,
+    /// Read-buffer cap: one maximal frame plus its newline.
+    read_cap: usize,
+    max_inflight: usize,
+    write_high_water: usize,
+    write_overflow: usize,
+    idle_timeout: Option<Duration>,
+    frame_timeout: Option<Duration>,
+    max_connections: usize,
+    /// Poll timeout; doubles as the timeout-sweep granularity.
+    tick: Duration,
+}
+
+impl Tuning {
+    fn from_options(options: &ServerOptions) -> Tuning {
+        let idle_timeout = options.idle_timeout.or(options.read_timeout);
+        let frame_timeout = options.frame_timeout.or(options.read_timeout);
+        let shortest = [idle_timeout, frame_timeout]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(Duration::from_secs(2));
+        let tick = (shortest / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+        Tuning {
+            max_line_bytes: options.max_line_bytes,
+            read_cap: options.max_line_bytes.saturating_add(1),
+            max_inflight: options.max_inflight_per_conn.max(1),
+            write_high_water: options.write_high_water.max(1),
+            write_overflow: options.write_overflow.max(options.write_high_water.max(1)),
+            idle_timeout,
+            frame_timeout,
+            max_connections: options.max_connections.max(1),
+            tick,
+        }
+    }
+}
+
+/// One parsed-off request line awaiting a handler thread.
+struct Job {
+    line: String,
+    conn: Arc<ConnShared>,
+}
+
+/// The bounded reactor→handler queue.
+struct Dispatch {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+impl Dispatch {
+    fn new(capacity: usize) -> Dispatch {
+        Dispatch {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues without blocking; `false` when the queue is full (the
+    /// caller leaves the frame buffered and pauses the connection).
+    fn try_push(&self, job: Job) -> bool {
+        {
+            let mut queue = lock(&self.queue);
+            if queue.len() >= self.capacity {
+                return false;
+            }
+            queue.push_back(job);
+        }
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next job; `None` once shut down and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut queue = lock(&self.queue);
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self
+                .ready
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// Connection state shared with handler threads (everything a completed
+/// request needs to deliver its reply).
+struct ConnShared {
+    token: u64,
+    reactor: usize,
+    /// Pending output bytes, appended by handlers, drained by the
+    /// owning reactor.
+    out: Mutex<Vec<u8>>,
+    /// Requests dispatched but not yet completed.
+    inflight: AtomicUsize,
+    /// Set once the reactor closes the socket; late replies are dropped.
+    closed: AtomicBool,
+}
+
+/// Per-reactor mailboxes: completion tokens from handlers, adopted
+/// connections from the accepting reactor, and the wake pipe that gets
+/// the reactor out of its poll sleep.
+struct ReactorShared {
+    completions: Mutex<Vec<u64>>,
+    inbox: Mutex<Vec<TcpStream>>,
+    waker: Mutex<UnixStream>,
+}
+
+impl ReactorShared {
+    fn wake(&self) {
+        // A full pipe means a wake is already pending: WouldBlock is
+        // success here, and any other failure only costs latency (the
+        // reactor still wakes on its next tick).
+        let _ = (&*lock(&self.waker)).write(&[1u8]);
+    }
+}
+
+fn handler_loop(
+    service: Arc<AuditService>,
+    dispatch: Arc<Dispatch>,
+    shareds: Vec<Arc<ReactorShared>>,
+) {
+    while let Some(job) = dispatch.pop() {
+        let reply = respond_to_line(&service, &job.line);
+        let conn = job.conn;
+        if !conn.closed.load(Ordering::Acquire) {
+            lock(&conn.out).extend_from_slice(reply.as_bytes());
+        }
+        conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        let shared = &shareds[conn.reactor];
+        lock(&shared.completions).push(conn.token);
+        shared.wake();
+    }
+}
+
+/// Why a connection went away (metrics classification).
+enum CloseKind {
+    /// Orderly close, peer error, or shutdown — not an eviction.
+    Normal,
+    /// Idle timeout or frame deadline.
+    Idle,
+    /// Write-queue overflow (connection-cap overflow is counted at
+    /// accept time, before a `Conn` exists).
+    Overflow,
+}
+
+enum FlushOutcome {
+    /// Write queue fully drained.
+    Clean,
+    /// Bytes remain; the socket would block.
+    Pending,
+    /// The socket is dead.
+    Error,
+}
+
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Bytes read but not yet consumed as frames (bounded by
+    /// [`Tuning::read_cap`] plus one read chunk).
+    rbuf: Vec<u8>,
+    /// Prefix of `rbuf` already scanned and known newline-free, so
+    /// partial frames are not rescanned per read.
+    scanned: usize,
+    /// A complete frame sits in `rbuf` waiting for capacity.
+    pending_frame: bool,
+    /// Currently counted as backpressure-stalled (edge-detects the
+    /// `backpressure_stalls` counter).
+    stalled: bool,
+    /// When the current unterminated frame started arriving — the
+    /// frame-deadline clock. `None` when the buffer tail is clean or
+    /// the connection is backpressured (then the server, not the peer,
+    /// is the bottleneck).
+    frame_start: Option<Instant>,
+    last_activity: Instant,
+    interest: Interest,
+    peer_eof: bool,
+    close_after_flush: bool,
+}
+
+struct Reactor {
+    idx: usize,
+    poller: Poller,
+    wake_rx: UnixStream,
+    listener: Option<TcpListener>,
+    shared: Arc<ReactorShared>,
+    peers: Vec<Arc<ReactorShared>>,
+    service: Arc<AuditService>,
+    dispatch: Arc<Dispatch>,
+    metrics: Arc<Metrics>,
+    tuning: Tuning,
+    conns: HashMap<u64, Conn>,
+    /// Connections that failed to enqueue on a full dispatch queue,
+    /// retried once per loop iteration.
+    dispatch_retry: Vec<u64>,
+    next_token: u64,
+    next_reactor: usize,
+    shutdown: Arc<AtomicBool>,
+    open_count: Arc<AtomicUsize>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            let _ = self.poller.wait(&mut events, Some(self.tuning.tick));
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.drain_wake(),
+                    token => {
+                        if ev.readable || ev.hangup || ev.error {
+                            self.conn_read(token);
+                        }
+                        self.maintain(token);
+                    }
+                }
+            }
+            self.adopt_inbox();
+            self.process_completions();
+            self.retry_dispatch_blocked();
+            if last_sweep.elapsed() >= self.tuning.tick {
+                self.sweep();
+                last_sweep = Instant::now();
+            }
+        }
+        self.teardown();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.as_ref().map(|l| l.accept()) {
+                None => return,
+                Some(Ok((stream, _))) => stream,
+                Some(Err(e)) if e.kind() == ErrorKind::WouldBlock => break,
+                Some(Err(e)) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE, aborted
+                // handshakes…) must not kill the daemon.
+                Some(Err(_)) => break,
+            };
+            Metrics::incr(&self.metrics.connections_accepted);
+            if self.open_count.load(Ordering::Acquire) >= self.tuning.max_connections {
+                Metrics::incr(&self.metrics.connections_evicted_overflow);
+                drop(stream);
+                continue;
+            }
+            self.open_count.fetch_add(1, Ordering::AcqRel);
+            Metrics::incr(&self.metrics.connections_open);
+            let target = self.next_reactor % self.peers.len();
+            self.next_reactor = self.next_reactor.wrapping_add(1);
+            if target == self.idx {
+                self.adopt(stream);
+            } else {
+                let peer = &self.peers[target];
+                lock(&peer.inbox).push(stream);
+                peer.wake();
+            }
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let undo_count = |open_count: &AtomicUsize, metrics: &Metrics| {
+            open_count.fetch_sub(1, Ordering::AcqRel);
+            Metrics::decr(&metrics.connections_open);
+        };
+        if stream.set_nonblocking(true).is_err() {
+            undo_count(&self.open_count, &self.metrics);
+            return;
+        }
+        // Replies are single short writes; Nagle only adds latency here.
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            undo_count(&self.open_count, &self.metrics);
+            return;
+        }
+        let shared = Arc::new(ConnShared {
+            token,
+            reactor: self.idx,
+            out: Mutex::new(Vec::new()),
+            inflight: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        });
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                shared,
+                rbuf: Vec::new(),
+                scanned: 0,
+                pending_frame: false,
+                stalled: false,
+                frame_start: None,
+                last_activity: Instant::now(),
+                interest: Interest::READ,
+                peer_eof: false,
+                close_after_flush: false,
+            },
+        );
+    }
+
+    fn adopt_inbox(&mut self) {
+        let streams: Vec<TcpStream> = lock(&self.shared.inbox).drain(..).collect();
+        for stream in streams {
+            self.adopt(stream);
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn process_completions(&mut self) {
+        let mut tokens = std::mem::take(&mut *lock(&self.shared.completions));
+        if tokens.is_empty() {
+            return;
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        for token in tokens {
+            self.maintain(token);
+        }
+    }
+
+    fn retry_dispatch_blocked(&mut self) {
+        if self.dispatch_retry.is_empty() {
+            return;
+        }
+        let mut tokens = std::mem::take(&mut self.dispatch_retry);
+        tokens.sort_unstable();
+        tokens.dedup();
+        for token in tokens {
+            self.maintain(token);
+        }
+    }
+
+    /// Nonblocking read into the bounded buffer; flags EOF and records
+    /// the `conn.read` span.
+    fn conn_read(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut span = self.service.tracer().start(None, "conn.read");
+        let mut total = 0usize;
+        let mut dead = false;
+        loop {
+            if conn.rbuf.len() >= self.tuning.read_cap {
+                break;
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                    if n < READ_CHUNK {
+                        // Short read: the socket is (almost certainly)
+                        // drained; if not, level-triggering re-reports.
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        span.detail(format!("bytes={total}"));
+        drop(span);
+        if total > 0 {
+            conn.last_activity = Instant::now();
+            Metrics::observe_high_water(
+                &self.metrics.read_buffer_high_water,
+                conn.rbuf.len() as u64,
+            );
+        }
+        if dead {
+            self.close(token, CloseKind::Normal);
+        }
+    }
+
+    /// The per-connection state pump: flush output, consume frames,
+    /// settle close-vs-continue, update poller interest. Idempotent —
+    /// called after reads, completions, writability, and retries.
+    fn maintain(&mut self, token: u64) {
+        let flushed = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            flush_conn(conn, self.service.tracer(), &self.metrics)
+        };
+        if matches!(flushed, FlushOutcome::Error) {
+            self.close(token, CloseKind::Normal);
+            return;
+        }
+        let blocked = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            dispatch_frames(conn, &self.dispatch, &self.tuning)
+        };
+        if blocked {
+            self.dispatch_retry.push(token);
+        }
+        let mut close_as = None;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let out_len = lock(&conn.shared.out).len();
+            let inflight = conn.shared.inflight.load(Ordering::Acquire);
+            let drained = out_len == 0 && inflight == 0;
+            if out_len > self.tuning.write_overflow {
+                close_as = Some(CloseKind::Overflow);
+            } else if (conn.close_after_flush && drained)
+                || (conn.peer_eof && drained && !conn.pending_frame && conn.rbuf.is_empty())
+            {
+                close_as = Some(CloseKind::Normal);
+            } else {
+                let rbuf_full = conn.rbuf.len() >= self.tuning.read_cap;
+                let stalled = conn.pending_frame || rbuf_full;
+                if stalled && !conn.stalled {
+                    Metrics::incr(&self.metrics.backpressure_stalls);
+                }
+                conn.stalled = stalled;
+                let want = Interest {
+                    readable: !conn.peer_eof && !conn.close_after_flush && !rbuf_full,
+                    writable: out_len > 0,
+                };
+                if want != conn.interest {
+                    if self
+                        .poller
+                        .modify(conn.stream.as_raw_fd(), token, want)
+                        .is_ok()
+                    {
+                        conn.interest = want;
+                    } else {
+                        close_as = Some(CloseKind::Normal);
+                    }
+                }
+            }
+        }
+        if let Some(kind) = close_as {
+            self.close(token, kind);
+        }
+    }
+
+    /// Evicts dribblers past the frame deadline and quiescent
+    /// connections past the idle timeout.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let mut evict: Vec<u64> = Vec::new();
+        for (&token, conn) in &self.conns {
+            if let (Some(deadline), Some(start)) = (self.tuning.frame_timeout, conn.frame_start) {
+                if now.duration_since(start) > deadline {
+                    evict.push(token);
+                    continue;
+                }
+            }
+            if let Some(idle) = self.tuning.idle_timeout {
+                // "Idle" = the peer owes us the next move: nothing in
+                // flight, no buffered frame awaiting capacity, and no
+                // activity (reads *or* write progress) for the window.
+                // A stalled write queue lands here too — `last_activity`
+                // only advances when the peer actually accepts bytes.
+                let inflight = conn.shared.inflight.load(Ordering::Acquire);
+                if inflight == 0
+                    && !conn.pending_frame
+                    && now.duration_since(conn.last_activity) > idle
+                {
+                    evict.push(token);
+                }
+            }
+        }
+        for token in evict {
+            self.close(token, CloseKind::Idle);
+        }
+    }
+
+    fn close(&mut self, token: u64, kind: CloseKind) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        conn.shared.closed.store(true, Ordering::Release);
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        self.open_count.fetch_sub(1, Ordering::AcqRel);
+        Metrics::decr(&self.metrics.connections_open);
+        match kind {
+            CloseKind::Idle => Metrics::incr(&self.metrics.connections_evicted_idle),
+            CloseKind::Overflow => Metrics::incr(&self.metrics.connections_evicted_overflow),
+            CloseKind::Normal => {}
+        }
+    }
+
+    fn teardown(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close(token, CloseKind::Normal);
+        }
+        let orphans: Vec<TcpStream> = lock(&self.shared.inbox).drain(..).collect();
+        for stream in orphans {
+            drop(stream);
+            self.open_count.fetch_sub(1, Ordering::AcqRel);
+            Metrics::decr(&self.metrics.connections_open);
+        }
+    }
+}
+
+/// Writes as much pending output as the socket accepts, recording the
+/// `conn.write` span.
+fn flush_conn(conn: &mut Conn, tracer: &Recorder, metrics: &Metrics) -> FlushOutcome {
+    let mut out = lock(&conn.shared.out);
+    if out.is_empty() {
+        return FlushOutcome::Clean;
+    }
+    Metrics::observe_high_water(&metrics.write_buffer_high_water, out.len() as u64);
+    let mut span = tracer.start(None, "conn.write");
+    let mut written = 0usize;
+    let mut dead = false;
+    loop {
+        match conn.stream.write(&out[written..]) {
+            Ok(0) => {
+                dead = true;
+                break;
+            }
+            Ok(n) => {
+                written += n;
+                if written == out.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                dead = true;
+                break;
+            }
+        }
+    }
+    out.drain(..written);
+    span.detail(format!("bytes={written}"));
+    drop(span);
+    if written > 0 {
+        conn.last_activity = Instant::now();
+    }
+    if dead {
+        FlushOutcome::Error
+    } else if out.is_empty() {
+        FlushOutcome::Clean
+    } else {
+        FlushOutcome::Pending
+    }
+}
+
+/// Consumes as many complete frames from `rbuf` as capacity allows,
+/// submitting each to the dispatch queue. Returns `true` when a frame
+/// was held back *specifically* by a full dispatch queue (the caller
+/// schedules a retry). Also advances the frame-deadline clock.
+fn dispatch_frames(conn: &mut Conn, dispatch: &Dispatch, tuning: &Tuning) -> bool {
+    if conn.close_after_flush {
+        conn.rbuf.clear();
+        conn.scanned = 0;
+        conn.pending_frame = false;
+        conn.frame_start = None;
+        return false;
+    }
+    let mut consumed = 0usize;
+    let mut blocked = false;
+    conn.pending_frame = false;
+    loop {
+        let from = consumed.max(conn.scanned);
+        let newline = if from >= conn.rbuf.len() {
+            None
+        } else {
+            conn.rbuf[from..].iter().position(|&b| b == b'\n')
+        };
+        match newline {
+            None => {
+                conn.scanned = conn.rbuf.len();
+                let tail = conn.rbuf.len() - consumed;
+                if tail > tuning.max_line_bytes {
+                    refuse_oversize(conn, tuning);
+                    consumed = 0;
+                } else if conn.peer_eof && tail > 0 {
+                    // EOF with an unterminated final line: serve it, as
+                    // the blocking front-end always has.
+                    match try_submit(conn, dispatch, tuning, consumed, conn.rbuf.len()) {
+                        Submit::Sent => consumed = conn.rbuf.len(),
+                        Submit::NoCapacity => conn.pending_frame = true,
+                        Submit::QueueFull => {
+                            conn.pending_frame = true;
+                            blocked = true;
+                        }
+                    }
+                }
+                break;
+            }
+            Some(rel) => {
+                let nl = from + rel;
+                if nl - consumed > tuning.max_line_bytes {
+                    refuse_oversize(conn, tuning);
+                    consumed = 0;
+                    break;
+                }
+                if conn.rbuf[consumed..nl]
+                    .iter()
+                    .all(|b| b.is_ascii_whitespace())
+                {
+                    consumed = nl + 1;
+                    continue;
+                }
+                match try_submit(conn, dispatch, tuning, consumed, nl) {
+                    Submit::Sent => consumed = nl + 1,
+                    Submit::NoCapacity => {
+                        conn.pending_frame = true;
+                        break;
+                    }
+                    Submit::QueueFull => {
+                        conn.pending_frame = true;
+                        blocked = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if consumed > 0 {
+        conn.rbuf.drain(..consumed);
+        conn.scanned = conn.scanned.saturating_sub(consumed);
+    }
+    if conn.rbuf.is_empty() || conn.pending_frame || conn.close_after_flush {
+        // Tail is clean, or the stall is ours (backpressure pauses the
+        // peer's frame-deadline clock).
+        conn.frame_start = None;
+    } else if conn.frame_start.is_none() {
+        conn.frame_start = Some(Instant::now());
+    }
+    blocked
+}
+
+enum Submit {
+    Sent,
+    /// This connection's own budget (in-flight cap or write queue) is
+    /// exhausted; its completions will resume it.
+    NoCapacity,
+    /// The shared dispatch queue is full; a retry must be scheduled.
+    QueueFull,
+}
+
+fn try_submit(
+    conn: &mut Conn,
+    dispatch: &Dispatch,
+    tuning: &Tuning,
+    start: usize,
+    end: usize,
+) -> Submit {
+    if conn.shared.inflight.load(Ordering::Acquire) >= tuning.max_inflight {
+        return Submit::NoCapacity;
+    }
+    if lock(&conn.shared.out).len() >= tuning.write_high_water {
+        return Submit::NoCapacity;
+    }
+    let line = String::from_utf8_lossy(&conn.rbuf[start..end]).into_owned();
+    // Count the request in flight *before* publishing it: the handler's
+    // decrement must never observe the pre-increment value.
+    conn.shared.inflight.fetch_add(1, Ordering::AcqRel);
+    if dispatch.try_push(Job {
+        line,
+        conn: Arc::clone(&conn.shared),
+    }) {
+        Submit::Sent
+    } else {
+        conn.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        Submit::QueueFull
+    }
+}
+
+fn refuse_oversize(conn: &mut Conn, tuning: &Tuning) {
+    lock(&conn.shared.out).extend_from_slice(oversize_refusal(tuning.max_line_bytes).as_bytes());
+    conn.close_after_flush = true;
+    conn.rbuf.clear();
+    conn.scanned = 0;
+    conn.pending_frame = false;
+    conn.frame_start = None;
+}
+
+/// The running reactor front-end: reactor threads plus the handler
+/// pool. Owned by [`crate::server::Server`].
+pub(crate) struct ReactorServer {
+    shutdown: Arc<AtomicBool>,
+    dispatch: Arc<Dispatch>,
+    shareds: Vec<Arc<ReactorShared>>,
+    reactors: Vec<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl ReactorServer {
+    pub(crate) fn spawn(
+        service: Arc<AuditService>,
+        listener: TcpListener,
+        options: &ServerOptions,
+    ) -> io::Result<ReactorServer> {
+        let tuning = Tuning::from_options(options);
+        let threads = options.resolved_reactor_threads();
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let open_count = Arc::new(AtomicUsize::new(0));
+        let dispatch = Arc::new(Dispatch::new(options.dispatch_capacity.max(1)));
+        let metrics = service.metrics_registry();
+
+        let mut shareds = Vec::with_capacity(threads);
+        let mut wake_rxs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            shareds.push(Arc::new(ReactorShared {
+                completions: Mutex::new(Vec::new()),
+                inbox: Mutex::new(Vec::new()),
+                waker: Mutex::new(tx),
+            }));
+            wake_rxs.push(rx);
+        }
+
+        // Build every poller before spawning anything, so an unsupported
+        // platform (or fd exhaustion) fails the whole construction
+        // cleanly and the caller can fall back.
+        let mut pollers = Vec::with_capacity(threads);
+        for (i, rx) in wake_rxs.iter().enumerate() {
+            let poller = Poller::new()?;
+            poller.add(rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+            if i == 0 {
+                poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+            }
+            pollers.push(poller);
+        }
+
+        let handlers: Vec<JoinHandle<()>> = (0..options.handler_threads.max(1))
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let dispatch = Arc::clone(&dispatch);
+                let shareds = shareds.clone();
+                std::thread::spawn(move || handler_loop(service, dispatch, shareds))
+            })
+            .collect();
+
+        let mut listener_slot = Some(listener);
+        let reactors: Vec<JoinHandle<()>> = pollers
+            .into_iter()
+            .zip(wake_rxs)
+            .enumerate()
+            .map(|(idx, (poller, wake_rx))| {
+                let reactor = Reactor {
+                    idx,
+                    poller,
+                    wake_rx,
+                    listener: if idx == 0 { listener_slot.take() } else { None },
+                    shared: Arc::clone(&shareds[idx]),
+                    peers: shareds.clone(),
+                    service: Arc::clone(&service),
+                    dispatch: Arc::clone(&dispatch),
+                    metrics: Arc::clone(&metrics),
+                    tuning,
+                    conns: HashMap::new(),
+                    dispatch_retry: Vec::new(),
+                    next_token: FIRST_CONN_TOKEN,
+                    next_reactor: 0,
+                    shutdown: Arc::clone(&shutdown),
+                    open_count: Arc::clone(&open_count),
+                };
+                std::thread::spawn(move || reactor.run())
+            })
+            .collect();
+
+        Ok(ReactorServer {
+            shutdown,
+            dispatch,
+            shareds,
+            reactors,
+            handlers,
+            stopped: false,
+        })
+    }
+
+    pub(crate) fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shutdown.store(true, Ordering::SeqCst);
+        for shared in &self.shareds {
+            shared.wake();
+        }
+        for handle in self.reactors.drain(..) {
+            let _ = handle.join();
+        }
+        self.dispatch.stop();
+        for handle in self.handlers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,17 +1,33 @@
 //! Newline-delimited JSON over TCP, std threads only.
 //!
-//! One acceptor thread, one thread per connection. Each request line is
-//! parsed, dispatched through [`AuditService::handle_with_meta`], and
-//! answered with one response line. Malformed lines produce an `error`
-//! response on the same connection rather than tearing it down.
+//! Two front-end implementations share one wire protocol:
+//!
+//! * **Reactor** (default on Linux) — a readiness event loop
+//!   ([`crate::reactor`]) multiplexes every connection over one (or
+//!   `EPI_REACTOR_THREADS`) reactor thread(s) using the `epoll-shim`
+//!   poller: nonblocking sockets, bounded per-connection read buffers
+//!   with incremental frame scanning, bounded write queues drained on
+//!   writability, request pipelining, and per-connection backpressure.
+//!   Idle connections cost a few hundred bytes, not a thread.
+//! * **Thread-per-connection** (legacy, and the fallback wherever the
+//!   poller is unsupported) — one acceptor thread, one blocking thread
+//!   per connection.
+//!
+//! Either way each request line is parsed, dispatched through
+//! [`AuditService::handle_with_meta`], and answered with one response
+//! line. Malformed lines produce an `error` response on the same
+//! connection rather than tearing it down.
 //!
 //! # Fault tolerance
 //!
-//! Accepted sockets get read/write timeouts so a dead or silent peer
-//! cannot pin a connection thread forever, request lines are length-
+//! A dead or silent peer cannot pin resources forever: the reactor
+//! evicts connections idle past [`ServerOptions::idle_timeout`] and —
+//! unlike the legacy per-syscall `read_timeout`, which silently reset
+//! on every byte — evicts a *started* frame that has not completed
+//! within [`ServerOptions::frame_timeout`], so a dribbling writer
+//! cannot hold a buffer open indefinitely. Request lines are length-
 //! bounded so one hostile client cannot balloon memory, accept-loop
-//! errors are non-fatal, and finished connection handles are pruned as
-//! the server runs (no unbounded growth under connection churn).
+//! errors are non-fatal, and connection counts are capped.
 
 use crate::proto::{Request, RequestMeta, Response};
 use crate::service::AuditService;
@@ -23,19 +39,70 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which front-end implementation a [`Server`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Use the readiness reactor when the platform supports it (and
+    /// `EPI_REACTOR` is not `0`/`off`), else fall back to
+    /// thread-per-connection. The default.
+    Auto,
+    /// Require the readiness reactor; [`Server::spawn_with`] fails on
+    /// platforms without a poller backend.
+    Reactor,
+    /// Force the legacy blocking thread-per-connection front-end.
+    Threaded,
+}
+
 /// Socket-level tunables of a [`Server`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServerOptions {
     /// Read timeout on accepted connections: an idle peer is disconnected
     /// after this long (`None` = wait forever, the pre-fault-tolerance
-    /// behaviour).
+    /// behaviour). The reactor treats this as the default for
+    /// [`ServerOptions::idle_timeout`] and
+    /// [`ServerOptions::frame_timeout`]; the legacy front-end applies it
+    /// per blocking read syscall.
     pub read_timeout: Option<Duration>,
-    /// Write timeout on accepted connections.
+    /// Write timeout on accepted connections (legacy front-end only; the
+    /// reactor never blocks on writes — a peer that stops reading is
+    /// caught by `idle_timeout` once its write queue stalls).
     pub write_timeout: Option<Duration>,
     /// Maximum request-line length in bytes; longer lines get an error
     /// response and the connection is closed (the remainder of an
     /// oversized line cannot be resynchronized reliably).
     pub max_line_bytes: usize,
+    /// Front-end selection (see [`ServerMode`]).
+    pub mode: ServerMode,
+    /// Reactor threads multiplexing connections. `0` (default) reads
+    /// `EPI_REACTOR_THREADS`, else uses 1.
+    pub reactor_threads: usize,
+    /// Threads turning parsed frames into responses (they block on the
+    /// decision pool's gate, so this bounds in-flight protocol work).
+    pub handler_threads: usize,
+    /// Bound on the reactor→handler dispatch queue; when full,
+    /// connections stop being read (backpressure) instead of buffering
+    /// without limit.
+    pub dispatch_capacity: usize,
+    /// Per-connection cap on pipelined requests in flight; further
+    /// frames wait (unread or undispatched) until replies drain.
+    pub max_inflight_per_conn: usize,
+    /// Per-connection write-queue size above which the reactor stops
+    /// dispatching that connection's frames until the peer reads.
+    pub write_high_water: usize,
+    /// Per-connection write-queue hard cap; a connection that exceeds it
+    /// (a peer that pipelines hard but never reads) is evicted.
+    pub write_overflow: usize,
+    /// Reactor: evict a connection with no activity, no buffered input
+    /// and no in-flight work after this long. `None` falls back to
+    /// `read_timeout`.
+    pub idle_timeout: Option<Duration>,
+    /// Reactor: a started frame (bytes received, no terminating newline)
+    /// must complete within this deadline or the connection is evicted —
+    /// the slowloris guard. `None` falls back to `read_timeout`.
+    pub frame_timeout: Option<Duration>,
+    /// Hard cap on simultaneously open connections; accepts beyond it
+    /// are closed immediately and counted as overflow evictions.
+    pub max_connections: usize,
 }
 
 impl Default for ServerOptions {
@@ -44,16 +111,55 @@ impl Default for ServerOptions {
             read_timeout: Some(Duration::from_secs(60)),
             write_timeout: Some(Duration::from_secs(60)),
             max_line_bytes: 1 << 20,
+            mode: ServerMode::Auto,
+            reactor_threads: 0,
+            handler_threads: 8,
+            dispatch_capacity: 128,
+            max_inflight_per_conn: 32,
+            write_high_water: 256 << 10,
+            write_overflow: 8 << 20,
+            idle_timeout: None,
+            frame_timeout: None,
+            max_connections: 16 << 10,
         }
     }
+}
+
+impl ServerOptions {
+    pub(crate) fn resolved_reactor_threads(&self) -> usize {
+        if self.reactor_threads > 0 {
+            return self.reactor_threads;
+        }
+        std::env::var("EPI_REACTOR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
+
+    fn reactor_disabled_by_env() -> bool {
+        matches!(
+            std::env::var("EPI_REACTOR").as_deref(),
+            Ok("0") | Ok("off") | Ok("false") | Ok("legacy")
+        )
+    }
+}
+
+enum Inner {
+    Threaded {
+        shutdown: Arc<AtomicBool>,
+        acceptor: Option<JoinHandle<()>>,
+        connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorServer),
 }
 
 /// A running TCP front-end over an [`AuditService`].
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    mode: ServerMode,
+    inner: Inner,
 }
 
 impl Server {
@@ -71,33 +177,48 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let connections = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let connections = Arc::clone(&connections);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
+        #[cfg(unix)]
+        {
+            let want_reactor = match options.mode {
+                ServerMode::Reactor => true,
+                ServerMode::Auto => !ServerOptions::reactor_disabled_by_env(),
+                ServerMode::Threaded => false,
+            };
+            if want_reactor {
+                match crate::reactor::ReactorServer::spawn(
+                    Arc::clone(&service),
+                    listener.try_clone()?,
+                    &options,
+                ) {
+                    Ok(reactor) => {
+                        return Ok(Server {
+                            addr,
+                            mode: ServerMode::Reactor,
+                            inner: Inner::Reactor(reactor),
+                        })
                     }
-                    // Transient accept failures (EMFILE, aborted
-                    // handshakes…) must not kill the daemon.
-                    let Ok(stream) = stream else { continue };
-                    let service = Arc::clone(&service);
-                    let handle =
-                        std::thread::spawn(move || handle_connection(&service, stream, options));
-                    let mut registry = connections.lock().unwrap_or_else(PoisonError::into_inner);
-                    registry.retain(|h: &JoinHandle<()>| !h.is_finished());
-                    registry.push(handle);
+                    Err(e) if options.mode == ServerMode::Reactor => return Err(e),
+                    // Auto: no poller backend here — fall through to the
+                    // blocking front-end.
+                    Err(_) => {}
                 }
-            })
-        };
+            }
+        }
+        #[cfg(not(unix))]
+        if options.mode == ServerMode::Reactor {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "reactor mode requires a poller backend (epoll)",
+            ));
+        }
+        // When the reactor path bailed out, the listener may have been
+        // switched to nonblocking during the attempt; undo that for the
+        // blocking accept loop.
+        listener.set_nonblocking(false)?;
         Ok(Server {
             addr,
-            shutdown,
-            acceptor: Some(acceptor),
-            connections,
+            mode: ServerMode::Threaded,
+            inner: spawn_threaded(service, listener, options),
         })
     }
 
@@ -106,30 +227,46 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, waits for the acceptor and every connection
-    /// thread to finish. Clients should have disconnected first;
-    /// connection threads run until their peer closes or times out.
+    /// The front-end the server actually runs (never
+    /// [`ServerMode::Auto`]).
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// Stops accepting and tears the front-end down. The reactor closes
+    /// every open connection immediately; the legacy front-end waits for
+    /// connection threads, which run until their peer closes or times
+    /// out.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Nudge the acceptor out of `incoming()`.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        let handles: Vec<_> = self
-            .connections
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .drain(..)
-            .collect();
-        for h in handles {
-            let _ = h.join();
+        match &mut self.inner {
+            Inner::Threaded {
+                shutdown,
+                acceptor,
+                connections,
+            } => {
+                if shutdown.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                // Nudge the acceptor out of `incoming()`.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                let handles: Vec<_> = connections
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .drain(..)
+                    .collect();
+                for h in handles {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(unix)]
+            Inner::Reactor(reactor) => reactor.stop(),
         }
     }
 }
@@ -137,6 +274,45 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+fn spawn_threaded(
+    service: Arc<AuditService>,
+    listener: TcpListener,
+    options: ServerOptions,
+) -> Inner {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let connections = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let connections = Arc::clone(&connections);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failures (EMFILE, aborted
+                // handshakes…) must not kill the daemon.
+                let Ok(stream) = stream else { continue };
+                let metrics = service.metrics_registry();
+                crate::metrics::Metrics::incr(&metrics.connections_accepted);
+                crate::metrics::Metrics::incr(&metrics.connections_open);
+                let service = Arc::clone(&service);
+                let handle = std::thread::spawn(move || {
+                    handle_connection(&service, stream, options);
+                    crate::metrics::Metrics::decr(&metrics.connections_open);
+                });
+                let mut registry = connections.lock().unwrap_or_else(PoisonError::into_inner);
+                registry.retain(|h: &JoinHandle<()>| !h.is_finished());
+                registry.push(handle);
+            }
+        })
+    };
+    Inner::Threaded {
+        shutdown,
+        acceptor: Some(acceptor),
+        connections,
     }
 }
 
@@ -165,6 +341,48 @@ fn read_bounded_line(
     }
 }
 
+/// Parses one request line and produces the response line to send back,
+/// recording the `server.handle` span. Shared verbatim by both
+/// front-ends so replies are byte-identical whichever serves them.
+pub(crate) fn respond_to_line(service: &AuditService, line: &str) -> String {
+    let (response, id) = match Json::parse(line.trim_end_matches(['\n', '\r'])) {
+        Ok(value) => {
+            // The envelope is read even when the op is bad, so error
+            // responses still echo the client's request id.
+            let meta = RequestMeta::from_json(&value).unwrap_or_default();
+            let response = match Request::from_json(&value) {
+                Ok(request) => {
+                    let span = service
+                        .tracer()
+                        .start(meta.trace.as_deref(), "server.handle");
+                    let response = service.handle_with_meta(&request, &meta);
+                    drop(span);
+                    response
+                }
+                Err(e) => Response::bad_request(format!("bad request: {}", e.message)),
+            };
+            (response, meta.id)
+        }
+        Err(e) => (
+            Response::bad_request(format!("bad JSON at byte {}: {}", e.offset, e.message)),
+            None,
+        ),
+    };
+    let mut out = response.to_json_with_id(id.as_deref()).render();
+    out.push('\n');
+    out
+}
+
+/// The refusal line for an oversized request frame (shared by both
+/// front-ends; carries no id — the envelope of an oversized line is
+/// unreadable by construction).
+pub(crate) fn oversize_refusal(max_line_bytes: usize) -> String {
+    let refusal = Response::bad_request(format!("request line exceeds {} bytes", max_line_bytes));
+    let mut out = refusal.to_json().render();
+    out.push('\n');
+    out
+}
+
 fn handle_connection(service: &AuditService, stream: TcpStream, options: ServerOptions) {
     // Best-effort: a socket that rejects timeout configuration still
     // serves, it just keeps the old wait-forever behaviour.
@@ -178,44 +396,14 @@ fn handle_connection(service: &AuditService, stream: TcpStream, options: ServerO
             Ok(Some(line)) => line,
             Ok(None) => break,
             Err(()) => {
-                let refusal = Response::bad_request(format!(
-                    "request line exceeds {} bytes",
-                    options.max_line_bytes
-                ));
-                let mut out = refusal.to_json().render();
-                out.push('\n');
-                let _ = writer.write_all(out.as_bytes());
+                let _ = writer.write_all(oversize_refusal(options.max_line_bytes).as_bytes());
                 break;
             }
         };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, id) = match Json::parse(line.trim_end_matches(['\n', '\r'])) {
-            Ok(value) => {
-                // The envelope is read even when the op is bad, so error
-                // responses still echo the client's request id.
-                let meta = RequestMeta::from_json(&value).unwrap_or_default();
-                let response = match Request::from_json(&value) {
-                    Ok(request) => {
-                        let span = service
-                            .tracer()
-                            .start(meta.trace.as_deref(), "server.handle");
-                        let response = service.handle_with_meta(&request, &meta);
-                        drop(span);
-                        response
-                    }
-                    Err(e) => Response::bad_request(format!("bad request: {}", e.message)),
-                };
-                (response, meta.id)
-            }
-            Err(e) => (
-                Response::bad_request(format!("bad JSON at byte {}: {}", e.offset, e.message)),
-                None,
-            ),
-        };
-        let mut out = response.to_json_with_id(id.as_deref()).render();
-        out.push('\n');
+        let out = respond_to_line(service, &line);
         if writer.write_all(out.as_bytes()).is_err() {
             break;
         }

@@ -343,6 +343,12 @@ impl AuditService {
         &self.tracer
     }
 
+    /// The live metrics registry, for front-ends (the TCP server) that
+    /// maintain connection gauges alongside the request counters.
+    pub fn metrics_registry(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// The decision pool's shutdown token: cancelled once the service
     /// (and its pool) starts dropping.
     pub fn cancel_token(&self) -> CancelToken {

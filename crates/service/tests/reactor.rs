@@ -1,0 +1,434 @@
+//! Integration suite for the event-driven TCP front-end: pipelining,
+//! out-of-order completion, per-connection backpressure, the two-clock
+//! timeout semantics (idle vs. started-frame), oversize refusals, the
+//! legacy threaded fallback, and a high-connection smoke.
+//!
+//! The smoke test scales with `EPI_SMOKE_CONNS` (default 256) so the CI
+//! matrix can push the same test to thousands of connections.
+
+use epi_audit::{PriorAssumption, Schema};
+use epi_json::{opt_field, Deserialize, Json, Serialize};
+use epi_service::{
+    AuditService, Client, ErrorCode, FaultHook, Request, RequestMeta, Response, Server, ServerMode,
+    ServerOptions, ServiceConfig,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A four-atom schema: enough distinct state masks (1..16) to mint as
+/// many distinct decision keys as a test needs.
+fn schema() -> Schema {
+    Schema::from_names(&["hiv_pos", "transfusions", "flu", "diabetes"]).expect("schema")
+}
+
+fn service(workers: usize) -> Arc<AuditService> {
+    Arc::new(AuditService::new(
+        schema(),
+        ServiceConfig {
+            assumption: PriorAssumption::Product,
+            workers,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+/// A service whose every decision computation sleeps for `stall` first —
+/// the simplest way to make worker latency dominate handler latency.
+fn stalled_service(workers: usize, stall: Duration) -> Arc<AuditService> {
+    let hook: FaultHook = Arc::new(move |_key| std::thread::sleep(stall));
+    Arc::new(AuditService::with_fault_hook(
+        schema(),
+        ServiceConfig {
+            assumption: PriorAssumption::Product,
+            workers,
+            ..ServiceConfig::default()
+        },
+        Some(hook),
+    ))
+}
+
+fn disclose(user: &str, mask: u32) -> Request {
+    Request::Disclose {
+        user: user.to_owned(),
+        time: 1,
+        query: "hiv_pos".to_owned(),
+        state_mask: mask,
+        audit_query: "hiv_pos".to_owned(),
+    }
+}
+
+fn entry_bytes(response: &Response) -> String {
+    match response {
+        Response::Entry(entry) => entry.to_json().render(),
+        other => panic!("expected an entry, got {other:?}"),
+    }
+}
+
+/// Pipelined replies come back in *completion* order on the wire: a
+/// ping queued behind a stalled disclose overtakes it, each reply
+/// carrying the id of the request it answers.
+#[test]
+fn pipelined_replies_arrive_in_completion_order() {
+    let service = stalled_service(2, Duration::from_millis(400));
+    let server =
+        Server::spawn_with(service, "127.0.0.1:0", ServerOptions::default()).expect("bind");
+
+    let slow = RequestMeta {
+        id: Some("slow".to_owned()),
+        deadline_ms: None,
+        trace: None,
+    }
+    .decorate(disclose("ooo", 1).to_json())
+    .render();
+    let fast = RequestMeta {
+        id: Some("fast".to_owned()),
+        deadline_ms: None,
+        trace: None,
+    }
+    .decorate(Request::Ping.to_json())
+    .render();
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(format!("{slow}\n{fast}\n").as_bytes())
+        .expect("write both frames");
+    let mut reader = BufReader::new(stream);
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("reply") > 0);
+        let value = Json::parse(line.trim_end()).expect("reply is JSON");
+        ids.push(
+            opt_field::<String>(&value, "id")
+                .expect("id member parses")
+                .expect("reply carries its request's id"),
+        );
+    }
+    assert_eq!(
+        ids,
+        ["fast", "slow"],
+        "the quick ping should overtake the stalled disclose"
+    );
+    server.shutdown();
+}
+
+/// `Client::pipeline` hides the reordering: whatever order the wire
+/// delivers, responses come back in request order.
+#[test]
+fn client_pipeline_returns_request_order_despite_reordering() {
+    let service = stalled_service(2, Duration::from_millis(300));
+    let server =
+        Server::spawn_with(service, "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let requests = vec![disclose("reorder", 2), Request::Ping];
+    let responses = client.pipeline(&requests).expect("pipeline");
+    assert_eq!(responses.len(), 2);
+    let Response::Entry(entry) = &responses[0] else {
+        panic!("slot 0 must hold the disclose verdict: {:?}", responses[0]);
+    };
+    assert_eq!(entry.user, "reorder");
+    assert_eq!(responses[1], Response::Pong);
+    server.shutdown();
+}
+
+/// Byte determinism: a pipelined batch produces exactly the bytes the
+/// same requests produce one-at-a-time against an identical fresh
+/// service.
+#[test]
+fn pipeline_matches_sequential_byte_for_byte() {
+    let requests: Vec<Request> = (0..8)
+        .map(|i| disclose(&format!("d{i}"), i % 3 + 1))
+        .collect();
+
+    let sequential_server =
+        Server::spawn_with(service(2), "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let mut sequential = Client::connect(sequential_server.addr()).expect("connect");
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| entry_bytes(&sequential.call(r).expect("sequential call")))
+        .collect();
+    sequential_server.shutdown();
+
+    let pipelined_server =
+        Server::spawn_with(service(2), "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let mut pipelined = Client::connect(pipelined_server.addr()).expect("connect");
+    let responses = pipelined.pipeline(&requests).expect("pipeline");
+    let got: Vec<String> = responses.iter().map(entry_bytes).collect();
+    assert_eq!(got, expected, "pipelined bytes diverged from sequential");
+    pipelined_server.shutdown();
+}
+
+/// Backpressure: with one stalled worker and a two-request in-flight
+/// cap, a ten-deep pipelined batch must pause reading (counted as a
+/// stall), then drain completely with every verdict intact.
+#[test]
+fn backpressure_pauses_reads_and_recovers() {
+    let service = stalled_service(1, Duration::from_millis(20));
+    let server = Server::spawn_with(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerOptions {
+            max_inflight_per_conn: 2,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let requests: Vec<Request> = (0..10)
+        .map(|i| disclose(&format!("bp{i}"), i + 1))
+        .collect();
+    let responses = client.pipeline(&requests).expect("pipeline drains");
+    assert_eq!(responses.len(), 10);
+    for (i, response) in responses.iter().enumerate() {
+        let Response::Entry(entry) = response else {
+            panic!("request {i} lost under backpressure: {response:?}");
+        };
+        assert_eq!(entry.user, format!("bp{i}"));
+    }
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.backpressure_stalls >= 1,
+        "a 10-deep batch against a 2-slot cap never stalled: {stats:?}"
+    );
+    server.shutdown();
+}
+
+/// The frame deadline closes the legacy per-syscall loophole: a client
+/// dribbling one byte per 120 ms used to reset the read timeout forever;
+/// now a started frame must finish within `frame_timeout`, total.
+#[test]
+fn dribbling_writers_hit_the_frame_deadline() {
+    let server = Server::spawn_with(
+        service(1),
+        "127.0.0.1:0",
+        ServerOptions {
+            read_timeout: Some(Duration::from_secs(10)),
+            frame_timeout: Some(Duration::from_millis(300)),
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+
+    let frame = disclose("dribbler", 1).to_json().render().into_bytes();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream.write_all(&frame[..4]).expect("frame starts");
+    let started = Instant::now();
+    // Each byte lands well inside a 300 ms *per-read* window — only a
+    // whole-frame deadline can end this connection early.
+    for chunk in frame[4..].chunks(1) {
+        std::thread::sleep(Duration::from_millis(120));
+        if stream
+            .write_all(chunk)
+            .and_then(|_| stream.flush())
+            .is_err()
+        {
+            break;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(8),
+            "dribbled for 8 s without the server hanging up"
+        );
+    }
+    let mut rest = Vec::new();
+    let got = stream.read_to_end(&mut rest);
+    assert!(
+        matches!(got, Ok(_) | Err(_)) && rest.is_empty(),
+        "an unfinished frame must never be answered: {rest:?}"
+    );
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.connections_evicted_idle >= 1,
+        "the dribbler was not evicted: {stats:?}"
+    );
+    server.shutdown();
+}
+
+/// Quiescent connections are evicted on the idle timeout — after a
+/// completed request/response, not just on silent fresh connections.
+#[test]
+fn idle_connections_are_evicted() {
+    let server = Server::spawn_with(
+        service(1),
+        "127.0.0.1:0",
+        ServerOptions {
+            read_timeout: Some(Duration::from_secs(10)),
+            idle_timeout: Some(Duration::from_millis(250)),
+            frame_timeout: Some(Duration::from_secs(10)),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut ping = Request::Ping.to_json().render();
+    ping.push('\n');
+    stream.write_all(ping.as_bytes()).expect("ping");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).expect("pong") > 0);
+
+    // Now fall silent: the server owes us nothing and must hang up.
+    line.clear();
+    let n = reader
+        .read_line(&mut line)
+        .expect("clean close, not timeout");
+    assert_eq!(n, 0, "idle connection survived: {line:?}");
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.connections_evicted_idle >= 1,
+        "no idle eviction counted: {stats:?}"
+    );
+    server.shutdown();
+}
+
+/// A frame past `max_line_bytes` gets a typed refusal and a close —
+/// without waiting for the newline that may never come.
+#[test]
+fn oversize_frames_are_refused_and_closed() {
+    let server = Server::spawn_with(
+        service(1),
+        "127.0.0.1:0",
+        ServerOptions {
+            max_line_bytes: 128,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(&[b'x'; 300]).expect("oversize blob");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).expect("refusal") > 0);
+    let value = Json::parse(line.trim_end()).expect("refusal is JSON");
+    let Response::Error { code, .. } = Response::from_json(&value).expect("refusal parses") else {
+        panic!("oversize frame got a non-error reply: {line:?}");
+    };
+    assert_eq!(code, ErrorCode::BadRequest);
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("close after refusal"),
+        0,
+        "connection stayed open after an oversize refusal"
+    );
+    server.shutdown();
+}
+
+/// The thread-per-connection fallback still serves — including
+/// pipelined batches, which it answers strictly in order.
+#[test]
+fn legacy_threaded_mode_still_serves() {
+    let server = Server::spawn_with(
+        service(2),
+        "127.0.0.1:0",
+        ServerOptions {
+            mode: ServerMode::Threaded,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    assert_eq!(server.mode(), ServerMode::Threaded);
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    assert_eq!(client.call(&Request::Ping).expect("ping"), Response::Pong);
+    let responses = client
+        .pipeline(&[disclose("legacy", 1), Request::Ping])
+        .expect("pipeline over the threaded front-end");
+    assert!(matches!(responses[0], Response::Entry(_)));
+    assert_eq!(responses[1], Response::Pong);
+    let stats = client.stats().expect("stats");
+    assert!(stats.connections_accepted >= 1, "{stats:?}");
+    server.shutdown();
+}
+
+/// High-connection smoke: `EPI_SMOKE_CONNS` sockets (default 256) all
+/// held open and all answered, with the connection gauges tracking the
+/// fanout and draining after the sockets drop.
+#[test]
+fn reactor_serves_a_high_connection_fanout() {
+    let count: usize = std::env::var("EPI_SMOKE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let server =
+        Server::spawn_with(service(2), "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let addr = server.addr();
+
+    let mut ping = Request::Ping.to_json().render();
+    ping.push('\n');
+    let conns: Vec<TcpStream> = (0..count)
+        .map(|i| {
+            let mut stream =
+                TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}"));
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("timeout");
+            stream
+                .write_all(ping.as_bytes())
+                .unwrap_or_else(|e| panic!("write {i}: {e}"));
+            stream
+        })
+        .collect();
+    // Every socket was written before any is read: the server is
+    // holding `count` live conversations at once.
+    for (i, stream) in conns.iter().enumerate() {
+        let mut line = String::new();
+        let n = BufReader::new(stream)
+            .read_line(&mut line)
+            .unwrap_or_else(|e| panic!("reply {i}: {e}"));
+        assert!(n > 0, "connection {i} closed unanswered");
+        let value = Json::parse(line.trim_end()).expect("pong is JSON");
+        assert_eq!(
+            Response::from_json(&value).expect("pong parses"),
+            Response::Pong
+        );
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.connections_open as usize > count,
+        "gauge below the open fanout: {stats:?}"
+    );
+    assert!(stats.connections_accepted as usize > count, "{stats:?}");
+    // And the daemon still decides amid the fanout.
+    let response = client.call(&disclose("smoke", 1)).expect("disclose");
+    assert!(matches!(response, Response::Entry(_)));
+
+    drop(conns);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats");
+        // Just this client's connection (plus any raciness slack).
+        if stats.connections_open <= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gauge never drained after sockets dropped: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,429 @@
+//! Minimal readiness-polling shim over Linux `epoll`, in the spirit of
+//! the other `shims/` crates: the workspace is offline and std-only, so
+//! instead of depending on `mio`/`polling` this crate binds exactly the
+//! four libc entry points an event loop needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `close`) behind a safe [`Poller`] API.
+//!
+//! All `unsafe` in the workspace's server path lives here; `epi-service`
+//! itself keeps `#![forbid(unsafe_code)]`.
+//!
+//! On non-Linux targets [`Poller::new`] returns
+//! [`std::io::ErrorKind::Unsupported`] (a kqueue backend would slot in
+//! behind the same API), and callers fall back to the legacy
+//! thread-per-connection server.
+//!
+//! The shim is deliberately level-triggered only: level-triggered
+//! readiness keeps the caller's state machine simple (missing an event
+//! is impossible — readiness re-reports until drained), which matters
+//! more here than the syscall savings of edge-triggered mode.
+
+#![warn(missing_docs)]
+
+/// Interest / readiness flags for one registered file descriptor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back on readiness.
+    pub token: u64,
+    /// Readable (or a pending accept on a listener).
+    pub readable: bool,
+    /// Writable without blocking.
+    pub writable: bool,
+    /// Peer hung up (EPOLLHUP / EPOLLRDHUP).
+    pub hangup: bool,
+    /// Error condition on the descriptor (EPOLLERR).
+    pub error: bool,
+}
+
+impl Event {
+    /// True when the descriptor needs attention for any reason.
+    pub fn any(&self) -> bool {
+        self.readable || self.writable || self.hangup || self.error
+    }
+}
+
+/// Which readiness classes a registration subscribes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Subscribe to readability.
+    pub readable: bool,
+    /// Subscribe to writability.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but dormant (hangup/error still reported).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLPRI: u32 = 0x002;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // The kernel ABI packs this struct on x86-64 (12 bytes); other
+    // architectures use natural alignment. Matches glibc's
+    // `__EPOLL_PACKED` and the libc crate's definition.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// A level-triggered epoll instance.
+    pub struct Poller {
+        epfd: c_int,
+        buf: Vec<EpollEvent>,
+    }
+
+    // The epoll fd itself is thread-safe at the kernel level; `buf` is
+    // only touched through `&mut self` in `wait`.
+    unsafe impl Send for Poller {}
+
+    impl Poller {
+        /// Creates a new epoll instance (`EPOLL_CLOEXEC`).
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut events = EPOLLRDHUP;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            events
+        }
+
+        fn ctl(&self, op: c_int, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd as c_int, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` under `token` with the given interest.
+        pub fn add(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Changes the interest set (and token) of a registered `fd`.
+        pub fn modify(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Deregisters `fd`. Safe to call right before closing it.
+        pub fn delete(&self, fd: i32) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // The event pointer is ignored for DEL on modern kernels but
+            // must be non-null on pre-2.6.9 ones; pass it regardless.
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd as c_int, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Blocks until readiness or `timeout`, appending events to
+        /// `out` (which is cleared first). Returns the event count.
+        ///
+        /// A `None` timeout waits indefinitely. `EINTR` is reported as
+        /// zero events rather than an error — callers loop anyway.
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            out.clear();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => {
+                    // Round up so a 1ns timeout still sleeps ~1ms
+                    // instead of busy-spinning on timeout 0.
+                    let ms = d
+                        .as_millis()
+                        .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+                    ms.min(c_int::MAX as u128) as c_int
+                }
+            };
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            let n = match cvt(n) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for raw in &self.buf[..n] {
+                // Copy out of the (possibly packed) FFI struct before use.
+                let events = raw.events;
+                let data = raw.data;
+                out.push(Event {
+                    token: data,
+                    readable: events & (EPOLLIN | EPOLLPRI) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLHUP | EPOLLRDHUP) != 0,
+                    error: events & EPOLLERR != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    /// Stub poller for non-Linux targets: construction fails with
+    /// `Unsupported` and callers fall back to blocking I/O.
+    pub struct Poller {
+        _unconstructible: std::convert::Infallible,
+    }
+
+    impl Poller {
+        /// Always fails on this target.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "readiness polling is only implemented for linux (epoll)",
+            ))
+        }
+
+        /// Unreachable on this target.
+        pub fn add(&self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            match self._unconstructible {}
+        }
+
+        /// Unreachable on this target.
+        pub fn modify(&self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            match self._unconstructible {}
+        }
+
+        /// Unreachable on this target.
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            match self._unconstructible {}
+        }
+
+        /// Unreachable on this target.
+        pub fn wait(
+            &mut self,
+            _out: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            match self._unconstructible {}
+        }
+    }
+}
+
+pub use imp::Poller;
+
+/// Whether this target has a working [`Poller`] backend.
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn wait_times_out_with_no_events() {
+        let mut poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn readable_event_fires_and_clears() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing written yet: no readiness.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+
+        a.write_all(b"ping").unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        let ev = events.iter().find(|e| e.token == 7).expect("token echoed");
+        assert!(ev.readable && !ev.writable);
+
+        // Level-triggered: still readable until drained.
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap()
+                >= 1
+        );
+        let mut buf = [0u8; 16];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        // Dormant registration reports nothing even though writable.
+        poller.add(a.as_raw_fd(), 1, Interest::NONE).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        // Flip to write interest: an empty socket buffer is writable.
+        poller.modify(a.as_raw_fd(), 2, Interest::WRITE).unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        assert!(events.iter().any(|e| e.token == 2 && e.writable));
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        assert!(events.iter().any(|e| e.token == 9 && e.hangup));
+    }
+
+    #[test]
+    fn delete_stops_events() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        poller.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0
+        );
+    }
+}

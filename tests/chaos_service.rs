@@ -15,7 +15,7 @@
 
 use epi_audit::workload::hospital_scenario;
 use epi_audit::{Finding, PriorAssumption, Schema};
-use epi_faults::{FaultPlan, FrameFault};
+use epi_faults::{FaultPlan, FrameFault, SlowClientFault};
 use epi_json::{Json, Serialize};
 use epi_service::{
     AuditOutcome, AuditService, Client, ClientError, ErrorCode, LocalClient, Request, RequestMeta,
@@ -402,4 +402,178 @@ fn mangled_frames_never_kill_the_server() {
     assert!(stats.requests > 0);
     drop(client);
     server.shutdown();
+}
+
+/// One scripted slow client: connects, misbehaves per its fault, and
+/// never crashes regardless of how the server reacts.
+fn run_slow_client(addr: std::net::SocketAddr, frame: &[u8], fault: SlowClientFault) {
+    let mut stream = TcpStream::connect(addr).expect("slow client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout");
+    match fault {
+        SlowClientFault::HalfFrameStall { keep, hold } => {
+            stream.write_all(&frame[..keep]).expect("half frame sends");
+            stream.flush().expect("flush");
+            std::thread::sleep(hold);
+            // The hold outlives the server's frame deadline, so by now
+            // the connection is evicted: finishing the frame either
+            // fails outright or is answered with a clean close (EOF),
+            // never a verdict for the stalled half-request.
+            let finish = stream
+                .write_all(&frame[keep..])
+                .and_then(|_| stream.write_all(b"\n"))
+                .and_then(|_| stream.flush());
+            if finish.is_ok() {
+                let mut line = String::new();
+                let got = BufReader::new(stream).read_line(&mut line);
+                assert!(
+                    matches!(got, Ok(0) | Err(_)),
+                    "evicted half-frame still got a reply: {line:?}"
+                );
+            }
+        }
+        SlowClientFault::ByteAtATime { delay } => {
+            // Hostile pacing but an honest frame: dribbled bytes that
+            // finish inside the deadline still deserve a real reply.
+            for byte in frame.iter().chain(b"\n") {
+                stream.write_all(&[*byte]).expect("dribbled byte sends");
+                stream.flush().expect("flush");
+                std::thread::sleep(delay);
+            }
+            let mut line = String::new();
+            let n = BufReader::new(stream)
+                .read_line(&mut line)
+                .expect("dribbled frame is answered");
+            assert!(n > 0, "server closed on a complete (if slow) frame");
+            Json::parse(line.trim_end()).expect("reply to dribbled frame is valid JSON");
+        }
+        SlowClientFault::DisconnectMidReply => {
+            stream.write_all(frame).expect("frame sends");
+            stream.write_all(b"\n").expect("newline sends");
+            stream.flush().expect("flush");
+            // Vanish without reading: the server discovers the dead
+            // peer while writing the reply and must just cope.
+            drop(stream);
+        }
+    }
+}
+
+/// Slowloris chaos: a pack of scripted slow clients — half-frames held
+/// open past the frame deadline, byte-at-a-time dribblers, clients that
+/// vanish before reading their reply — runs against the server while a
+/// well-behaved client replays the hospital log. The good client's
+/// replies must be byte-identical to the fault-free baseline (one slow
+/// connection never stalls another), half-frame stallers must be
+/// evicted on the frame deadline, and the server must end the run fully
+/// alive.
+#[test]
+fn slow_clients_cannot_stall_other_connections() {
+    let expected = baseline_entries();
+    for seed in seeds() {
+        let plan = FaultPlan {
+            // Holds outlive the frame deadline below; dribbles don't.
+            slow_hold: Duration::from_secs(2),
+            slow_delay: Duration::from_millis(1),
+            ..FaultPlan::new(seed)
+        };
+        let w = hospital_scenario();
+        let service = Arc::new(AuditService::new(
+            w.schema.clone(),
+            ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        let server = Server::spawn_with(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            ServerOptions {
+                read_timeout: Some(Duration::from_secs(10)),
+                write_timeout: Some(Duration::from_secs(10)),
+                // A started frame must finish within 600 ms; half-frame
+                // stalls (2 s holds) cross it, dribbles stay inside.
+                frame_timeout: Some(Duration::from_millis(600)),
+                idle_timeout: Some(Duration::from_secs(30)),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        // Each slow client discloses for its own user so the stalled
+        // sessions cannot perturb the good client's session state.
+        let slow_count = 9u64;
+        let mut stalled = 0u64;
+        let mut slow_threads = Vec::new();
+        for i in 0..slow_count {
+            let frame = Request::Disclose {
+                user: format!("slow{i}"),
+                time: 1,
+                query: "hiv_pos".to_owned(),
+                state_mask: 0b11,
+                audit_query: "hiv_pos".to_owned(),
+            }
+            .to_json()
+            .render()
+            .into_bytes();
+            let fault = plan.slow_client_fault(i, frame.len());
+            if matches!(fault, SlowClientFault::HalfFrameStall { .. }) {
+                stalled += 1;
+            }
+            slow_threads.push(std::thread::spawn(move || {
+                run_slow_client(addr, &frame, fault);
+            }));
+        }
+        // Let the stalls take hold before the good client starts, so
+        // its whole replay runs with slow connections mid-misbehavior.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let results = chaos_replay(
+                addr,
+                "good:".to_owned(),
+                RetryPolicy {
+                    max_attempts: 3,
+                    base_ms: 1,
+                    cap_ms: 8,
+                    seed,
+                },
+            );
+            tx.send(results).expect("main thread is waiting");
+        });
+        let results = rx
+            .recv_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|_| panic!("seed {seed:#x}: good client starved by slow clients"));
+        assert_eq!(results.len(), expected.len());
+        for (got, want) in results.iter().zip(&expected) {
+            let bytes = got.as_ref().unwrap_or_else(|| {
+                panic!("seed {seed:#x}: good client failed a fault-free request")
+            });
+            assert_eq!(
+                bytes, want,
+                "seed {seed:#x}: good client's bytes diverged beside slow clients"
+            );
+        }
+
+        for handle in slow_threads {
+            handle.join().expect("slow client panicked");
+        }
+        // Every half-frame staller crossed the frame deadline and must
+        // have been evicted (the reactor counts those as idle kills).
+        let mut client = Client::connect(addr).expect("connect after slowloris");
+        let stats = client.stats().expect("stats after slowloris");
+        assert!(
+            stats.connections_evicted_idle >= stalled,
+            "seed {seed:#x}: {stalled} stalled clients but only {} evictions",
+            stats.connections_evicted_idle
+        );
+        assert_eq!(
+            client.call(&Request::Ping).expect("ping after slowloris"),
+            Response::Pong
+        );
+        server.shutdown();
+    }
 }
