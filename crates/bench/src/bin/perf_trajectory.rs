@@ -1,10 +1,11 @@
 //! Perf-trajectory harness for the solver engine: times the E8 (product
 //! solver), E12 (audit composition), E14 (parallel scaling / dense
 //! kernel), E15 (incremental subdivision / zero-allocation hot path)
-//! E16 (disclosure throughput vs. durability policy) and E17
-//! (concurrent-connection throughput, reactor vs. thread-per-conn)
+//! E16 (disclosure throughput vs. durability policy), E17
+//! (concurrent-connection throughput, reactor vs. thread-per-conn) and
+//! E18 (goodput under an overload storm with adaptive admission)
 //! workloads against the recorded baselines and writes the results to
-//! `BENCH_PR7.json` alongside the human-readable tables, so future PRs
+//! `BENCH_PR8.json` alongside the human-readable tables, so future PRs
 //! can diff the numbers machine-readably.
 //!
 //! Run:  `cargo run --release --bin perf_trajectory [-- out.json [baseline.json]]`
@@ -668,15 +669,190 @@ fn e17() -> Json {
     ])
 }
 
+fn e18() -> Json {
+    use epi_audit::{PriorAssumption, Schema};
+    use epi_faults::StormPlan;
+    use epi_json::Serialize;
+    use epi_service::{
+        AdmissionOptions, AuditService, Client, ClientError, FaultHook, LocalClient, Request,
+        Response, RetryPolicy, Server, ServiceConfig,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const ATOMS: [&str; 8] = [
+        "hiv_pos",
+        "transfusions",
+        "flu",
+        "diabetes",
+        "asthma",
+        "anemia",
+        "gout",
+        "measles",
+    ];
+    const TOTAL: u64 = 240;
+    const SEED: u64 = 0xBEE5;
+    const DECISION_COST: Duration = Duration::from_millis(3);
+
+    fn mix(i: u64, salt: u64) -> u64 {
+        let mut z =
+            SEED ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    // The same seeded storm shape the overload chaos suite replays:
+    // skewed users, compound queries, every mask holding the audited
+    // property so no request is excused by the negative-result gate.
+    fn request(plan: &StormPlan, i: u64) -> Request {
+        let a = ATOMS[mix(i, 1) as usize % ATOMS.len()];
+        let b = ATOMS[mix(i, 2) as usize % ATOMS.len()];
+        let op = if mix(i, 3).is_multiple_of(2) {
+            '&'
+        } else {
+            '|'
+        };
+        Request::Disclose {
+            user: format!("u{}", plan.user(i)),
+            time: i + 1,
+            query: if a == b {
+                a.to_owned()
+            } else {
+                format!("{a} {op} {b}")
+            },
+            state_mask: plan.state_mask(i, 8) | 1,
+            audit_query: "hiv_pos".to_owned(),
+        }
+    }
+
+    fn service() -> Arc<AuditService> {
+        let hook: FaultHook = Arc::new(|_key| std::thread::sleep(DECISION_COST));
+        Arc::new(AuditService::with_fault_hook(
+            Schema::from_names(&ATOMS).unwrap(),
+            ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 2,
+                retry_after_ms: 5,
+                admission: AdmissionOptions {
+                    target_wait_micros: 2_000,
+                    min_limit: 2,
+                    max_limit: 8,
+                    ..AdmissionOptions::default()
+                },
+                ..ServiceConfig::default()
+            },
+            Some(hook),
+        ))
+    }
+
+    println!("\n## E18 — goodput under a 4x-capacity request storm\n");
+    let plan = StormPlan::new(SEED);
+
+    // Unloaded reference: every request in order against an idle twin.
+    let mut sequential = LocalClient::new(service());
+    let t = Instant::now();
+    let baseline: Vec<String> = (0..TOTAL)
+        .map(|i| match sequential.call(&request(&plan, i)) {
+            Ok(Response::Entry(entry)) => entry.to_json().render(),
+            other => panic!("e18 baseline request {i} got {other:?}"),
+        })
+        .collect();
+    let baseline_wall = t.elapsed().as_secs_f64();
+
+    let storm_service = service();
+    let server = Server::spawn(Arc::clone(&storm_service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let t = Instant::now();
+    let handles: Vec<_> = (0..plan.users)
+        .map(|user_id| {
+            let work: Vec<u64> = (0..TOTAL).filter(|&i| plan.user(i) == user_id).collect();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(addr)
+                        .expect("storm connect")
+                        .with_retry(RetryPolicy {
+                            max_attempts: 8,
+                            base_ms: 1,
+                            cap_ms: 10,
+                            seed: SEED ^ ((user_id + 1) << 32),
+                        });
+                let plan = StormPlan::new(SEED);
+                let mut landed: Vec<(u64, String)> = Vec::new();
+                for i in work {
+                    match client.call(&request(&plan, i)) {
+                        Ok(Response::Entry(entry)) => {
+                            landed.push((i, entry.to_json().render()));
+                        }
+                        Ok(other) => panic!("e18 storm request {i} got {other:?}"),
+                        Err(ClientError::Remote { .. }) => {}
+                        Err(e) => panic!("e18 transport failure: {e}"),
+                    }
+                }
+                landed
+            })
+        })
+        .collect();
+    let mut landed = 0u64;
+    let mut divergent = 0u64;
+    for handle in handles {
+        for (i, bytes) in handle.join().expect("storm driver") {
+            landed += 1;
+            if bytes != baseline[i as usize] {
+                divergent += 1;
+            }
+        }
+    }
+    let storm_wall = t.elapsed().as_secs_f64();
+    let stats = storm_service.metrics();
+    server.shutdown();
+
+    let goodput = landed as f64 / TOTAL as f64;
+    println!(
+        "storm: {landed}/{TOTAL} landed ({:.0}% goodput) in {:.0}ms \
+         (baseline {:.0}ms), {divergent} divergent verdicts",
+        goodput * 100.0,
+        storm_wall * 1e3,
+        baseline_wall * 1e3
+    );
+    println!(
+        "rejects: limit={} degraded={} fairness={} deadline={} (requests={} for {TOTAL} disclosures)",
+        stats.admission_rejects_limit,
+        stats.admission_rejects_degraded,
+        stats.admission_rejects_fairness,
+        stats.admission_rejects_deadline,
+        stats.requests
+    );
+    Json::obj([
+        ("seed", Json::from(SEED)),
+        ("total", Json::from(TOTAL)),
+        ("landed", Json::from(landed)),
+        ("goodput", Json::from(goodput)),
+        ("divergent_verdicts", Json::from(divergent)),
+        ("storm_wall_ms", Json::from(storm_wall * 1e3)),
+        ("baseline_wall_ms", Json::from(baseline_wall * 1e3)),
+        ("requests_with_retries", Json::from(stats.requests)),
+        ("rejects_limit", Json::from(stats.admission_rejects_limit)),
+        (
+            "rejects_degraded",
+            Json::from(stats.admission_rejects_degraded),
+        ),
+        (
+            "meets_acceptance",
+            Json::from(goodput >= 0.7 && divergent == 0),
+        ),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let baseline_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
-    println!("# Perf trajectory — PR 7 event-driven NDJSON server");
+    println!("# Perf trajectory — PR 8 adaptive overload control");
     println!("available_parallelism={cores}");
 
     let e8_configs: Vec<(&str, ProductSolverOptions)> = vec![
@@ -709,9 +885,10 @@ fn main() {
     let (e15_json, e15_bps, e15_speedup) = e15(&baseline_path);
     let e16_json = e16();
     let e17_json = e17();
+    let e18_json = e18();
 
     let mut fields = vec![
-        ("pr", Json::from(7usize)),
+        ("pr", Json::from(8usize)),
         ("generated_by", Json::from("perf_trajectory")),
         ("available_parallelism", Json::from(cores)),
         (
@@ -733,7 +910,11 @@ fn main() {
                  so read the slowdown ratios, not the absolute numbers. E17 measures \
                  the TCP front-end: aggregate pipelined-disclose throughput and heap \
                  bytes per connection for the readiness reactor vs the \
-                 thread-per-connection fallback at a 64/512/2048-connection fanout",
+                 thread-per-connection fallback at a 64/512/2048-connection fanout. \
+                 E18 storms a daemon whose per-decision cost is pinned at 3ms with \
+                 ~4x its capacity and reports goodput (acknowledged / offered) under \
+                 AIMD admission control plus per-reason rejects; every acknowledged \
+                 verdict is checked byte-identical to an unloaded sequential replay",
             ),
         ),
         ("e8", e8_json),
@@ -744,6 +925,7 @@ fn main() {
         ("e15_aggregate_boxes_per_sec_1t", Json::from(e15_bps)),
         ("e16", e16_json),
         ("e17", e17_json),
+        ("e18", e18_json),
     ];
     if let Some(s) = e15_speedup {
         fields.push(("e15_aggregate_speedup_vs_pr2", Json::from(s)));

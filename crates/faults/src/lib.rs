@@ -33,6 +33,13 @@
 //! recovery suite (`tests/recovery_chaos.rs`) uses it to assert that a
 //! kill-and-restart run reconstructs byte-identical verdicts and that
 //! corrupted log frames are detected and handled fail-closed.
+//!
+//! [`StormPlan`] extends it to overload: a seeded request storm (skewed
+//! onto one heavy user, with a scripted fsync-stall point) whose volume
+//! deliberately exceeds capacity. The overload suite
+//! (`tests/overload_chaos.rs`) uses it to assert that admission control
+//! keeps goodput up and verdicts byte-deterministic while the service
+//! degrades and drains under pressure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -370,6 +377,67 @@ impl RecoveryPlan {
     }
 }
 
+/// A seeded overload-storm script for the overload chaos suite
+/// (`tests/overload_chaos.rs`). Where [`FaultPlan`] breaks individual
+/// computations and frames, a `StormPlan` breaks the *load*: it scripts
+/// a deterministic request mix whose volume deliberately exceeds the
+/// service's capacity, with the traffic skewed onto one heavy user so
+/// per-user fairness has something to defend against. Every method is a
+/// pure function of `(plan, index)` — the same seed produces the same
+/// storm, so a goodput regression replays exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct StormPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Distinct users issuing requests (user `0` is the heavy one).
+    pub users: u64,
+    /// Out of 1000 requests, how many the heavy user sends; the rest
+    /// spread uniformly over the other users.
+    pub heavy_per_mille: u32,
+}
+
+impl StormPlan {
+    /// A plan with the default storm shape: 8 users, half the traffic
+    /// from the heavy one.
+    pub fn new(seed: u64) -> StormPlan {
+        StormPlan {
+            seed,
+            users: 8,
+            heavy_per_mille: 500,
+        }
+    }
+
+    fn draw(&self, stream: u64, index: u64) -> u64 {
+        splitmix64(self.seed ^ stream.rotate_left(32) ^ splitmix64(index))
+    }
+
+    /// Which user sends the `index`-th request (`0` = the heavy user).
+    pub fn user(&self, index: u64) -> u64 {
+        let roll = (self.draw(0x5A_01, index) % 1000) as u32;
+        if roll < self.heavy_per_mille || self.users < 2 {
+            0
+        } else {
+            1 + self.draw(0x5A_02, index) % (self.users - 1)
+        }
+    }
+
+    /// The disclosed state mask of the `index`-th request, nonzero and
+    /// within an `atoms`-bit schema (`0 < atoms <= 32`).
+    pub fn state_mask(&self, index: u64, atoms: u32) -> u32 {
+        assert!(atoms > 0 && atoms <= 32, "atoms = {atoms}");
+        let cap = 1u64 << atoms;
+        1 + (self.draw(0x5A_03, index) % (cap - 1)) as u32
+    }
+
+    /// After how many of `total` storm requests the scripted fsync
+    /// stall begins — always in `1..total`, so the storm has both a
+    /// healthy and a stalled phase.
+    pub fn fsync_stall_at(&self, total: u64) -> u64 {
+        assert!(total >= 2, "a stall point needs at least two requests");
+        1 + self.draw(0x5A_04, 0) % (total - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +603,39 @@ mod tests {
         // Out-of-range offsets are ignored rather than panicking.
         RecoveryPlan::apply_corruption(WalCorruption::BitFlip { offset: 99, bit: 0 }, &mut flipped);
         assert_eq!(flipped, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn storm_plans_are_deterministic_skewed_and_bounded() {
+        let a = StormPlan::new(404);
+        let b = StormPlan::new(404);
+        let mut heavy = 0u64;
+        for i in 0..4000 {
+            assert_eq!(a.user(i), b.user(i), "same seed, same storm");
+            assert_eq!(a.state_mask(i, 4), b.state_mask(i, 4));
+            let user = a.user(i);
+            assert!(user < a.users, "user {user} out of range");
+            if user == 0 {
+                heavy += 1;
+            }
+            let mask = a.state_mask(i, 4);
+            assert!(
+                (1..16).contains(&mask),
+                "mask {mask} out of a 4-atom schema"
+            );
+        }
+        // 50% ± 5 points of the traffic lands on the heavy user.
+        assert!((1_800..=2_200).contains(&heavy), "heavy share = {heavy}");
+        let differs = (0..500).any(|i| StormPlan::new(1).user(i) != StormPlan::new(2).user(i));
+        assert!(differs, "seeds 1 and 2 scripted identical storms");
+        for total in 2..200u64 {
+            let at = a.fsync_stall_at(total);
+            assert_eq!(at, b.fsync_stall_at(total));
+            assert!(
+                (1..total).contains(&at),
+                "stall point {at} out of 1..{total}"
+            );
+        }
     }
 
     #[test]

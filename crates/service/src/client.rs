@@ -15,12 +15,17 @@
 //!
 //! What retries: transport failures (the TCP client reconnects first)
 //! and errors the server marks retryable ([`ErrorCode::Overloaded`],
-//! [`ErrorCode::WorkerFailed`]). What does not: bad requests (they can
-//! never succeed), [`ErrorCode::DeadlineExceeded`] (the budget was the
-//! caller's), and [`ErrorCode::Shutdown`] (this instance is going away).
+//! [`ErrorCode::WorkerFailed`]). An overloaded server's
+//! `retry_after_ms` hint is honored: the next backoff is never shorter
+//! than the hint. What does not retry: bad requests (they can never
+//! succeed), [`ErrorCode::DeadlineExceeded`] (the budget was the
+//! caller's), [`ErrorCode::Shutdown`] (this instance is going away),
+//! and [`ErrorCode::Draining`] — a draining instance refuses new audit
+//! work *by policy*, so hammering it with retries only delays the
+//! caller; re-resolve and go to another instance instead.
 
 use crate::metrics::Snapshot;
-use crate::proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
+use crate::proto::{ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan};
 use crate::service::AuditService;
 use epi_audit::auditor::ReportEntry;
 use epi_json::{opt_field, Deserialize, Json, Serialize};
@@ -244,6 +249,20 @@ fn expect_trace(response: Response) -> Result<Vec<WireSpan>, ClientError> {
     }
 }
 
+fn expect_health(response: Response) -> Result<HealthInfo, ClientError> {
+    match response {
+        Response::Health(info) => Ok(info),
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}
+
 fn expect_metrics_text(response: Response) -> Result<String, ClientError> {
     match response {
         Response::MetricsText(text) => Ok(text),
@@ -361,6 +380,13 @@ macro_rules! convenience_calls {
         pub fn metrics_text(&mut self) -> Result<String, ClientError> {
             let response = self.call(&Request::MetricsText)?;
             expect_metrics_text(response)
+        }
+
+        /// Fetches the daemon's health summary (liveness, readiness,
+        /// degradation mode, admission state).
+        pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+            let response = self.call(&Request::Health)?;
+            expect_health(response)
         }
     };
 }
@@ -735,6 +761,99 @@ mod tests {
         assert_eq!(code, ErrorCode::BadRequest);
         // Exactly one request hit the service: bad requests never retry.
         assert_eq!(client.service.metrics().requests, 1);
+    }
+
+    #[test]
+    fn draining_errors_are_never_retried() {
+        use epi_audit::{PriorAssumption, Schema};
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let service = Arc::new(AuditService::new(
+            schema,
+            crate::service::ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 1,
+                ..Default::default()
+            },
+        ));
+        service.set_draining(true);
+        let mut client = LocalClient::new(Arc::clone(&service)).with_retry(RetryPolicy {
+            max_attempts: 5,
+            base_ms: 1,
+            cap_ms: 2,
+            seed: 21,
+        });
+        let err = client
+            .disclose("alice", 1, "hiv_pos", 0b11, "hiv_pos")
+            .unwrap_err();
+        let ClientError::Remote { code, .. } = err else {
+            panic!("expected remote error, got {err:?}");
+        };
+        assert_eq!(code, ErrorCode::Draining);
+        assert_eq!(
+            service.metrics().requests,
+            1,
+            "a draining instance must not be hammered with retries"
+        );
+        // Reads still work against the draining instance.
+        client.stats().unwrap();
+        let health = client.health().unwrap();
+        assert!(health.live && health.draining && !health.ready);
+    }
+
+    #[test]
+    fn overloaded_retries_honor_the_server_backoff_hint() {
+        use epi_audit::{PriorAssumption, Schema};
+        use std::time::Instant;
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let service = Arc::new(AuditService::new(
+            schema,
+            crate::service::ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 1,
+                retry_after_ms: 40,
+                ..Default::default()
+            },
+        ));
+        // Push the degradation ladder to cache-only: the admission limit
+        // at its floor with the queue-wait EWMA far over target. An
+        // uncached disclosure then answers `overloaded` with the
+        // configured backoff hint on every attempt.
+        let target = service.admission().options().target_wait_micros;
+        for _ in 0..64 {
+            service.admission().observe_wait(target * 16);
+        }
+        let mut client = LocalClient::new(Arc::clone(&service)).with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_ms: 1,
+            cap_ms: 2,
+            seed: 9,
+        });
+        let started = Instant::now();
+        let err = client
+            .disclose("mallory", 1, "hiv_pos", 0b11, "hiv_pos")
+            .unwrap_err();
+        let elapsed = started.elapsed();
+        let ClientError::Remote {
+            code,
+            retry_after_ms,
+            ..
+        } = err
+        else {
+            panic!("expected remote error, got {err:?}");
+        };
+        assert_eq!(code, ErrorCode::Overloaded);
+        assert_eq!(retry_after_ms, Some(40), "hint surfaces to the caller");
+        assert_eq!(
+            service.metrics().requests,
+            3,
+            "overloaded is retryable: all attempts spent"
+        );
+        // Two retries, each backed off by at least the 40ms server hint
+        // (the local schedule caps at 2ms, so the hint dominates).
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "backoff ignored the server hint: {elapsed:?}"
+        );
     }
 
     #[test]

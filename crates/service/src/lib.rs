@@ -14,6 +14,9 @@
 //!   cumulative knowledge as a world-set intersection (Section 3.3);
 //! * [`cache`] — an LRU verdict cache keyed by the canonical
 //!   `(A, B, prior)` triple;
+//! * [`admission`] — adaptive AIMD admission control, the
+//!   `Normal → Shedding → CacheOnly → Frozen` degradation ladder, and
+//!   per-user fairness token buckets;
 //! * [`worker`] — a worker pool with a bounded queue that coalesces
 //!   identical in-flight decisions, so the solver pipeline runs once per
 //!   distinct key;
@@ -62,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod metrics;
@@ -73,11 +77,15 @@ pub mod service;
 pub mod session;
 pub mod worker;
 
+pub use admission::{
+    AdmissionController, AdmissionOptions, DegradationLadder, DegradationMode, LadderSignals,
+    TokenBuckets,
+};
 pub use cache::{DecisionKey, VerdictCache};
 pub use client::{AuditOutcome, Client, ClientError, LocalClient, RetryPolicy};
 pub use epi_wal::{FsyncPolicy, RecoveryReport, WalError};
 pub use metrics::{Metrics, Snapshot};
-pub use proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
+pub use proto::{ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan};
 pub use server::{Server, ServerMode, ServerOptions};
 pub use service::{AuditService, ServiceConfig};
 pub use session::{knowledge_digest, Session, SessionError, SessionStore};

@@ -107,6 +107,28 @@ pub struct Metrics {
     pub read_buffer_high_water: AtomicU64,
     /// High-water mark of any single connection's write queue, bytes.
     pub write_buffer_high_water: AtomicU64,
+    /// Requests rejected at admission because the estimated queue wait
+    /// already exceeded their deadline (doomed work never enqueued).
+    pub admission_rejects_deadline: AtomicU64,
+    /// Requests rejected at admission by the adaptive concurrency limit.
+    pub admission_rejects_limit: AtomicU64,
+    /// Requests rejected by the per-user token-bucket fairness gate.
+    pub admission_rejects_fairness: AtomicU64,
+    /// Requests refused because the degradation ladder was in
+    /// `cache_only` (uncached decision) or `frozen` (disclosure while
+    /// the log is quarantined/stalled) mode.
+    pub admission_rejects_degraded: AtomicU64,
+    /// Current adaptive admission limit (gauge, written by the
+    /// controller on every adjustment).
+    pub admission_limit: AtomicU64,
+    /// EWMA of decision-queue wait in microseconds (gauge).
+    pub admission_wait_ewma_micros: AtomicU64,
+    /// Degradation-ladder mode (gauge: 0 normal, 1 shedding,
+    /// 2 cache_only, 3 frozen).
+    pub degradation_mode: AtomicU64,
+    /// Wall microseconds the last graceful drain took (gauge, zero until
+    /// a drain runs).
+    pub drain_micros: AtomicU64,
     stages: [StageStats; STAGE_SLOTS],
 }
 
@@ -132,6 +154,11 @@ impl Metrics {
     /// Raises a high-water gauge to at least `value` (relaxed).
     pub fn observe_high_water(counter: &AtomicU64, value: u64) {
         counter.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Overwrites a gauge with `value` (relaxed).
+    pub fn set_gauge(gauge: &AtomicU64, value: u64) {
+        gauge.store(value, Ordering::Relaxed);
     }
 
     /// Raises the queue high-water mark to at least `depth`.
@@ -183,6 +210,14 @@ impl Metrics {
             backpressure_stalls: read(&self.backpressure_stalls),
             read_buffer_high_water: read(&self.read_buffer_high_water),
             write_buffer_high_water: read(&self.write_buffer_high_water),
+            admission_rejects_deadline: read(&self.admission_rejects_deadline),
+            admission_rejects_limit: read(&self.admission_rejects_limit),
+            admission_rejects_fairness: read(&self.admission_rejects_fairness),
+            admission_rejects_degraded: read(&self.admission_rejects_degraded),
+            admission_limit: read(&self.admission_limit),
+            admission_wait_ewma_micros: read(&self.admission_wait_ewma_micros),
+            degradation_mode: read(&self.degradation_mode),
+            drain_micros: read(&self.drain_micros),
             pool_workers: epi_par::Pool::global().threads() as u64,
             pool_tasks: epi_par::stats().tasks_executed,
             pool_steals: epi_par::stats().steals,
@@ -269,6 +304,24 @@ pub struct Snapshot {
     pub read_buffer_high_water: u64,
     /// High-water mark of any single connection's write queue, bytes.
     pub write_buffer_high_water: u64,
+    /// Requests rejected at admission: estimated queue wait exceeded the
+    /// request's deadline.
+    pub admission_rejects_deadline: u64,
+    /// Requests rejected at admission by the adaptive concurrency limit.
+    pub admission_rejects_limit: u64,
+    /// Requests rejected by the per-user fairness token bucket.
+    pub admission_rejects_fairness: u64,
+    /// Requests refused in `cache_only`/`frozen` degradation modes.
+    pub admission_rejects_degraded: u64,
+    /// Current adaptive admission limit (gauge).
+    pub admission_limit: u64,
+    /// EWMA of decision-queue wait, microseconds (gauge).
+    pub admission_wait_ewma_micros: u64,
+    /// Degradation-ladder mode (gauge: 0 normal, 1 shedding,
+    /// 2 cache_only, 3 frozen).
+    pub degradation_mode: u64,
+    /// Wall microseconds the last graceful drain took (gauge).
+    pub drain_micros: u64,
     /// Worker threads in the process-wide [`epi_par`] solver pool.
     pub pool_workers: u64,
     /// Tasks the solver pool has executed (process lifetime).
@@ -513,6 +566,26 @@ impl Snapshot {
             "Compacted session snapshots written.",
             self.snapshot_count,
         );
+        counter(
+            "epi_admission_rejects_deadline_total",
+            "Requests rejected at admission: queue wait exceeded deadline.",
+            self.admission_rejects_deadline,
+        );
+        counter(
+            "epi_admission_rejects_limit_total",
+            "Requests rejected at admission by the adaptive concurrency limit.",
+            self.admission_rejects_limit,
+        );
+        counter(
+            "epi_admission_rejects_fairness_total",
+            "Requests rejected by the per-user fairness token bucket.",
+            self.admission_rejects_fairness,
+        );
+        counter(
+            "epi_admission_rejects_degraded_total",
+            "Requests refused in cache_only/frozen degradation modes.",
+            self.admission_rejects_degraded,
+        );
         let mut gauge = |name: &str, help: &str, value: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -557,6 +630,26 @@ impl Snapshot {
             "epi_recovery_millis",
             "Wall milliseconds the last startup recovery took.",
             self.recovery_millis,
+        );
+        gauge(
+            "epi_admission_limit",
+            "Current adaptive admission limit (concurrently admitted decisions).",
+            self.admission_limit,
+        );
+        gauge(
+            "epi_admission_wait_ewma_micros",
+            "EWMA of decision-queue wait, microseconds.",
+            self.admission_wait_ewma_micros,
+        );
+        gauge(
+            "epi_degradation_mode",
+            "Degradation-ladder mode (0 normal, 1 shedding, 2 cache_only, 3 frozen).",
+            self.degradation_mode,
+        );
+        gauge(
+            "epi_drain_micros",
+            "Wall microseconds the last graceful drain took.",
+            self.drain_micros,
         );
         out.push_str(concat!(
             "# HELP epi_stage_latency_micros Decision latency by deciding pipeline stage.\n",
@@ -667,6 +760,29 @@ impl Serialize for Snapshot {
                 "write_buffer_high_water",
                 Json::from(self.write_buffer_high_water),
             ),
+            (
+                "admission_rejects_deadline",
+                Json::from(self.admission_rejects_deadline),
+            ),
+            (
+                "admission_rejects_limit",
+                Json::from(self.admission_rejects_limit),
+            ),
+            (
+                "admission_rejects_fairness",
+                Json::from(self.admission_rejects_fairness),
+            ),
+            (
+                "admission_rejects_degraded",
+                Json::from(self.admission_rejects_degraded),
+            ),
+            ("admission_limit", Json::from(self.admission_limit)),
+            (
+                "admission_wait_ewma_micros",
+                Json::from(self.admission_wait_ewma_micros),
+            ),
+            ("degradation_mode", Json::from(self.degradation_mode)),
+            ("drain_micros", Json::from(self.drain_micros)),
             ("pool_workers", Json::from(self.pool_workers)),
             ("pool_tasks", Json::from(self.pool_tasks)),
             ("pool_steals", Json::from(self.pool_steals)),
@@ -742,6 +858,15 @@ impl Deserialize for Snapshot {
             backpressure_stalls: opt_field(v, "backpressure_stalls")?.unwrap_or(0),
             read_buffer_high_water: opt_field(v, "read_buffer_high_water")?.unwrap_or(0),
             write_buffer_high_water: opt_field(v, "write_buffer_high_water")?.unwrap_or(0),
+            // Absent in snapshots from pre-overload-control daemons.
+            admission_rejects_deadline: opt_field(v, "admission_rejects_deadline")?.unwrap_or(0),
+            admission_rejects_limit: opt_field(v, "admission_rejects_limit")?.unwrap_or(0),
+            admission_rejects_fairness: opt_field(v, "admission_rejects_fairness")?.unwrap_or(0),
+            admission_rejects_degraded: opt_field(v, "admission_rejects_degraded")?.unwrap_or(0),
+            admission_limit: opt_field(v, "admission_limit")?.unwrap_or(0),
+            admission_wait_ewma_micros: opt_field(v, "admission_wait_ewma_micros")?.unwrap_or(0),
+            degradation_mode: opt_field(v, "degradation_mode")?.unwrap_or(0),
+            drain_micros: opt_field(v, "drain_micros")?.unwrap_or(0),
             pool_workers: opt_field(v, "pool_workers")?.unwrap_or(0),
             pool_tasks: opt_field(v, "pool_tasks")?.unwrap_or(0),
             pool_steals: opt_field(v, "pool_steals")?.unwrap_or(0),
@@ -840,6 +965,14 @@ mod tests {
                         | "backpressure_stalls"
                         | "read_buffer_high_water"
                         | "write_buffer_high_water"
+                        | "admission_rejects_deadline"
+                        | "admission_rejects_limit"
+                        | "admission_rejects_fairness"
+                        | "admission_rejects_degraded"
+                        | "admission_limit"
+                        | "admission_wait_ewma_micros"
+                        | "degradation_mode"
+                        | "drain_micros"
                         | "pool_workers"
                         | "pool_tasks"
                         | "pool_steals"
@@ -867,6 +1000,14 @@ mod tests {
         let back = Snapshot::from_json(&v).unwrap();
         assert_eq!(back.negative_gated, 0);
         assert_eq!(back.connections_open, 0);
+        assert_eq!(back.admission_rejects_deadline, 0);
+        assert_eq!(back.admission_rejects_limit, 0);
+        assert_eq!(back.admission_rejects_fairness, 0);
+        assert_eq!(back.admission_rejects_degraded, 0);
+        assert_eq!(back.admission_limit, 0);
+        assert_eq!(back.admission_wait_ewma_micros, 0);
+        assert_eq!(back.degradation_mode, 0);
+        assert_eq!(back.drain_micros, 0);
         assert_eq!(back.connections_accepted, 0);
         assert_eq!(back.backpressure_stalls, 0);
         assert_eq!(back.read_buffer_high_water, 0);
@@ -958,8 +1099,20 @@ mod tests {
         snap.snapshot_count = 1;
         snap.recovery_replayed_records = 25;
         snap.recovery_millis = 3;
+        // …and these from the admission controller and drain path.
+        snap.admission_rejects_deadline = 6;
+        snap.admission_rejects_limit = 11;
+        snap.admission_rejects_fairness = 2;
+        snap.admission_rejects_degraded = 1;
+        snap.admission_limit = 48;
+        snap.admission_wait_ewma_micros = 1_750;
+        snap.degradation_mode = 2;
+        snap.drain_micros = 81_000;
         let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
         assert_eq!(back, snap);
+        assert_eq!(back.admission_rejects_limit, 11);
+        assert_eq!(back.degradation_mode, 2);
+        assert_eq!(back.drain_micros, 81_000);
         assert_eq!(back.trace_spans, 12);
         assert_eq!(back.slow_decisions, 2);
         assert_eq!(back.pool_queue_wait_micros, 31_000);
@@ -1011,6 +1164,14 @@ mod tests {
             "epi_wal_bytes_total",
             "epi_wal_fsyncs_total",
             "epi_snapshots_total",
+            "epi_admission_rejects_deadline_total",
+            "epi_admission_rejects_limit_total",
+            "epi_admission_rejects_fairness_total",
+            "epi_admission_rejects_degraded_total",
+            "epi_admission_limit",
+            "epi_admission_wait_ewma_micros",
+            "epi_degradation_mode",
+            "epi_drain_micros",
             "epi_queue_high_water",
             "epi_connections_open",
             "epi_read_buffer_high_water",

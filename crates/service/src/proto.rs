@@ -81,6 +81,10 @@ pub enum Request {
     /// Fetch the metrics registry rendered in Prometheus text exposition
     /// format.
     MetricsText,
+    /// Liveness/readiness probe: degradation mode, admission limit and
+    /// whether the instance should receive new traffic. Cheap enough for
+    /// a router to poll on every balancing decision.
+    Health,
     /// Liveness check.
     Ping,
 }
@@ -172,6 +176,7 @@ impl Serialize for Request {
                 Json::obj(members)
             }
             Request::MetricsText => Json::obj([("op", Json::from("metrics"))]),
+            Request::Health => Json::obj([("op", Json::from("health"))]),
             Request::Ping => Json::obj([("op", Json::from("ping"))]),
         }
     }
@@ -201,6 +206,7 @@ impl Deserialize for Request {
                 slow: opt_field(v, "slow")?.unwrap_or(false),
             }),
             "metrics" => Ok(Request::MetricsText),
+            "health" => Ok(Request::Health),
             "ping" => Ok(Request::Ping),
             other => Err(JsonError::decode(format!("unknown op {other:?}"))),
         }
@@ -225,8 +231,13 @@ pub enum ErrorCode {
     /// The decision computation failed (worker panic). Possibly
     /// transient; retryable.
     WorkerFailed,
-    /// The service is draining; do not retry against this instance.
+    /// The service's decision pool has shut down; do not retry against
+    /// this instance.
     Shutdown,
+    /// The service is gracefully draining: in-flight requests are being
+    /// finished but no new work is accepted. Do not retry against this
+    /// instance — re-route to another replica.
+    Draining,
     /// The durable disclosure log rejected the write, so the disclosure
     /// was not applied. Not retryable from the client's side: the log is
     /// failing for an operational reason (disk full, I/O error) that a
@@ -243,6 +254,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::WorkerFailed => "worker_failed",
             ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Draining => "draining",
             ErrorCode::Storage => "storage",
         }
     }
@@ -267,6 +279,7 @@ impl Deserialize for ErrorCode {
             Some("deadline_exceeded") => Ok(ErrorCode::DeadlineExceeded),
             Some("worker_failed") => Ok(ErrorCode::WorkerFailed),
             Some("shutdown") => Ok(ErrorCode::Shutdown),
+            Some("draining") => Ok(ErrorCode::Draining),
             Some("storage") => Ok(ErrorCode::Storage),
             _ => Err(JsonError::decode("unknown error code")),
         }
@@ -370,6 +383,57 @@ impl Deserialize for SessionInfo {
     }
 }
 
+/// The daemon's health summary, as the `health` operation returns it.
+///
+/// `live` distinguishes "the process answers" (always `true` on a
+/// produced reply) from `ready` — whether a router should send this
+/// instance *new* traffic. A draining or `frozen` daemon is live but
+/// not ready; a `shedding` or `cache_only` daemon is still ready (it
+/// answers what it can, fail-closed), just degraded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// The process is up and answering the protocol.
+    pub live: bool,
+    /// Whether new traffic should be routed here.
+    pub ready: bool,
+    /// Degradation-ladder mode: `normal`, `shedding`, `cache_only` or
+    /// `frozen`.
+    pub mode: String,
+    /// Current adaptive admission limit (concurrently admitted
+    /// decisions).
+    pub admission_limit: u64,
+    /// Decisions currently admitted (queued or computing).
+    pub inflight: u64,
+    /// The instance is gracefully draining and will exit.
+    pub draining: bool,
+}
+
+impl Serialize for HealthInfo {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("live", Json::from(self.live)),
+            ("ready", Json::from(self.ready)),
+            ("mode", Json::from(self.mode.as_str())),
+            ("admission_limit", Json::from(self.admission_limit)),
+            ("inflight", Json::from(self.inflight)),
+            ("draining", Json::from(self.draining)),
+        ])
+    }
+}
+
+impl Deserialize for HealthInfo {
+    fn from_json(v: &Json) -> Result<HealthInfo, JsonError> {
+        Ok(HealthInfo {
+            live: field(v, "live")?,
+            ready: field(v, "ready")?,
+            mode: field(v, "mode")?,
+            admission_limit: field(v, "admission_limit")?,
+            inflight: field(v, "inflight")?,
+            draining: field(v, "draining")?,
+        })
+    }
+}
+
 /// One protocol response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -393,6 +457,8 @@ pub enum Response {
     Trace(Vec<WireSpan>),
     /// The metrics registry in Prometheus text exposition format.
     MetricsText(String),
+    /// The daemon's health summary, reply to [`Request::Health`].
+    Health(HealthInfo),
     /// The request could not be served.
     Error {
         /// Machine-readable classification.
@@ -466,6 +532,13 @@ impl Serialize for Response {
                 ("kind", Json::from("metrics")),
                 ("text", Json::from(text.as_str())),
             ]),
+            Response::Health(info) => {
+                let Json::Obj(mut members) = info.to_json() else {
+                    unreachable!("HealthInfo serializes to an object");
+                };
+                members.insert(0, ("kind".to_owned(), Json::from("health")));
+                Json::Obj(members)
+            }
             Response::Error {
                 code,
                 message,
@@ -502,6 +575,7 @@ impl Deserialize for Response {
             "stats" => Ok(Response::Stats(Box::new(field(v, "stats")?))),
             "trace" => Ok(Response::Trace(field(v, "spans")?)),
             "metrics" => Ok(Response::MetricsText(field(v, "text")?)),
+            "health" => Ok(Response::Health(HealthInfo::from_json(v)?)),
             "error" => Ok(Response::Error {
                 code: opt_field(v, "code")?.unwrap_or_default(),
                 message: field(v, "message")?,
@@ -548,6 +622,7 @@ mod tests {
                 slow: true,
             },
             Request::MetricsText,
+            Request::Health,
             Request::Ping,
         ];
         for r in reqs {
@@ -643,6 +718,19 @@ mod tests {
                 message: "decision worker failed".to_owned(),
                 retry_after_ms: None,
             },
+            Response::Error {
+                code: ErrorCode::Draining,
+                message: "service is draining".to_owned(),
+                retry_after_ms: None,
+            },
+            Response::Health(HealthInfo {
+                live: true,
+                ready: false,
+                mode: "cache_only".to_owned(),
+                admission_limit: 17,
+                inflight: 9,
+                draining: true,
+            }),
             Response::Pong,
         ];
         for r in resps {
@@ -702,6 +790,9 @@ mod tests {
         assert!(!ErrorCode::BadRequest.is_retryable());
         assert!(!ErrorCode::DeadlineExceeded.is_retryable());
         assert!(!ErrorCode::Shutdown.is_retryable());
+        // Draining means "go away"; a retry against the same instance
+        // cannot succeed, the client must re-route.
+        assert!(!ErrorCode::Draining.is_retryable());
         assert!(!ErrorCode::Storage.is_retryable());
         assert!(Response::Error {
             code: ErrorCode::Overloaded,

@@ -33,7 +33,7 @@
 //! overflow, connection cap) reclaims what backpressure cannot.
 
 use crate::metrics::Metrics;
-use crate::server::{oversize_refusal, respond_to_line, ServerOptions};
+use crate::server::{draining_refusal, oversize_refusal, respond_to_line, ServerOptions};
 use crate::service::AuditService;
 use epi_trace::Recorder;
 use epoll_shim::{Event, Interest, Poller};
@@ -271,6 +271,14 @@ struct Reactor {
     next_reactor: usize,
     shutdown: Arc<AtomicBool>,
     open_count: Arc<AtomicUsize>,
+    /// Graceful drain: stop accepting, finish in-flight requests, refuse
+    /// late frames with `draining`, exit once every connection drains
+    /// (or the deadline forces the rest closed).
+    draining: Arc<AtomicBool>,
+    drain_deadline: Arc<Mutex<Option<Instant>>>,
+    /// Set by a reactor whose drain deadline expired with connections
+    /// still open — the drain was forced, not clean.
+    drain_forced: Arc<AtomicBool>,
 }
 
 impl Reactor {
@@ -281,6 +289,15 @@ impl Reactor {
             let _ = self.poller.wait(&mut events, Some(self.tuning.tick));
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
+            }
+            let draining = self.draining.load(Ordering::SeqCst);
+            if draining {
+                // Stop accepting before processing events, so a pending
+                // listener-readable event finds no listener and new
+                // peers get connection-refused rather than silence.
+                if let Some(listener) = self.listener.take() {
+                    let _ = self.poller.delete(listener.as_raw_fd());
+                }
             }
             for ev in &events {
                 match ev.token {
@@ -300,6 +317,19 @@ impl Reactor {
             if last_sweep.elapsed() >= self.tuning.tick {
                 self.sweep();
                 last_sweep = Instant::now();
+            }
+            if draining {
+                self.drain_pass();
+                if self.conns.is_empty() {
+                    break;
+                }
+                let deadline = *lock(&self.drain_deadline);
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    // Connections still open at the deadline are forced
+                    // closed by teardown; the drain was not clean.
+                    self.drain_forced.store(true, Ordering::SeqCst);
+                    break;
+                }
             }
         }
         self.teardown();
@@ -489,11 +519,12 @@ impl Reactor {
             self.close(token, CloseKind::Normal);
             return;
         }
+        let draining = self.draining.load(Ordering::SeqCst);
         let blocked = {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
-            dispatch_frames(conn, &self.dispatch, &self.tuning)
+            dispatch_frames(conn, &self.dispatch, &self.tuning, draining)
         };
         if blocked {
             self.dispatch_retry.push(token);
@@ -570,6 +601,30 @@ impl Reactor {
         }
         for token in evict {
             self.close(token, CloseKind::Idle);
+        }
+    }
+
+    /// One drain iteration: pump every connection (so buffered frames
+    /// are refused and output keeps flushing even without fresh socket
+    /// events), then close the ones with nothing left to deliver — no
+    /// pending output, no requests in flight, no buffered frame.
+    fn drain_pass(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.maintain(token);
+        }
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                lock(&conn.shared.out).is_empty()
+                    && conn.shared.inflight.load(Ordering::Acquire) == 0
+                    && !conn.pending_frame
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in done {
+            self.close(token, CloseKind::Normal);
         }
     }
 
@@ -652,7 +707,12 @@ fn flush_conn(conn: &mut Conn, tracer: &Recorder, metrics: &Metrics) -> FlushOut
 /// submitting each to the dispatch queue. Returns `true` when a frame
 /// was held back *specifically* by a full dispatch queue (the caller
 /// schedules a retry). Also advances the frame-deadline clock.
-fn dispatch_frames(conn: &mut Conn, dispatch: &Dispatch, tuning: &Tuning) -> bool {
+///
+/// While `draining`, frames are not submitted at all: each complete
+/// frame is answered inline with a `draining` refusal (echoing the
+/// envelope `id`), so every byte the peer managed to send still gets a
+/// reply before the connection closes.
+fn dispatch_frames(conn: &mut Conn, dispatch: &Dispatch, tuning: &Tuning, draining: bool) -> bool {
     if conn.close_after_flush {
         conn.rbuf.clear();
         conn.scanned = 0;
@@ -678,6 +738,12 @@ fn dispatch_frames(conn: &mut Conn, dispatch: &Dispatch, tuning: &Tuning) -> boo
                     refuse_oversize(conn, tuning);
                     consumed = 0;
                 } else if conn.peer_eof && tail > 0 {
+                    if draining {
+                        let end = conn.rbuf.len();
+                        refuse_draining(conn, consumed, end);
+                        consumed = end;
+                        break;
+                    }
                     // EOF with an unterminated final line: serve it, as
                     // the blocking front-end always has.
                     match try_submit(conn, dispatch, tuning, consumed, conn.rbuf.len()) {
@@ -702,6 +768,11 @@ fn dispatch_frames(conn: &mut Conn, dispatch: &Dispatch, tuning: &Tuning) -> boo
                     .iter()
                     .all(|b| b.is_ascii_whitespace())
                 {
+                    consumed = nl + 1;
+                    continue;
+                }
+                if draining {
+                    refuse_draining(conn, consumed, nl);
                     consumed = nl + 1;
                     continue;
                 }
@@ -771,6 +842,13 @@ fn try_submit(
     }
 }
 
+/// Answers a frame that arrived after drain began with a `draining`
+/// error (echoing its envelope `id`) instead of executing it.
+fn refuse_draining(conn: &mut Conn, start: usize, end: usize) {
+    let line = String::from_utf8_lossy(&conn.rbuf[start..end]).into_owned();
+    lock(&conn.shared.out).extend_from_slice(draining_refusal(&line).as_bytes());
+}
+
 fn refuse_oversize(conn: &mut Conn, tuning: &Tuning) {
     lock(&conn.shared.out).extend_from_slice(oversize_refusal(tuning.max_line_bytes).as_bytes());
     conn.close_after_flush = true;
@@ -789,6 +867,9 @@ pub(crate) struct ReactorServer {
     reactors: Vec<JoinHandle<()>>,
     handlers: Vec<JoinHandle<()>>,
     stopped: bool,
+    draining: Arc<AtomicBool>,
+    drain_deadline: Arc<Mutex<Option<Instant>>>,
+    drain_forced: Arc<AtomicBool>,
 }
 
 impl ReactorServer {
@@ -801,6 +882,9 @@ impl ReactorServer {
         let threads = options.resolved_reactor_threads();
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let drain_deadline = Arc::new(Mutex::new(None));
+        let drain_forced = Arc::new(AtomicBool::new(false));
         let open_count = Arc::new(AtomicUsize::new(0));
         let dispatch = Arc::new(Dispatch::new(options.dispatch_capacity.max(1)));
         let metrics = service.metrics_registry();
@@ -864,6 +948,9 @@ impl ReactorServer {
                     next_reactor: 0,
                     shutdown: Arc::clone(&shutdown),
                     open_count: Arc::clone(&open_count),
+                    draining: Arc::clone(&draining),
+                    drain_deadline: Arc::clone(&drain_deadline),
+                    drain_forced: Arc::clone(&drain_forced),
                 };
                 std::thread::spawn(move || reactor.run())
             })
@@ -876,7 +963,38 @@ impl ReactorServer {
             reactors,
             handlers,
             stopped: false,
+            draining,
+            drain_deadline,
+            drain_forced,
         })
+    }
+
+    /// Gracefully drains the front-end: stops accepting, answers frames
+    /// that arrive after this call with `draining` errors, lets every
+    /// in-flight pipelined request complete and flush, then tears down.
+    /// Returns `true` when every connection drained before `timeout`;
+    /// `false` when the deadline forced the stragglers closed.
+    pub(crate) fn drain(&mut self, timeout: Duration) -> bool {
+        if self.stopped {
+            return true;
+        }
+        self.stopped = true;
+        *lock(&self.drain_deadline) = Some(Instant::now() + timeout);
+        self.draining.store(true, Ordering::SeqCst);
+        for shared in &self.shareds {
+            shared.wake();
+        }
+        // Reactors exit on their own once drained (or at the deadline).
+        // Handlers stay alive until the reactors are gone so in-flight
+        // requests can still deliver their replies.
+        for handle in self.reactors.drain(..) {
+            let _ = handle.join();
+        }
+        self.dispatch.stop();
+        for handle in self.handlers.drain(..) {
+            let _ = handle.join();
+        }
+        !self.drain_forced.load(Ordering::SeqCst)
     }
 
     pub(crate) fn stop(&mut self) {

@@ -29,7 +29,7 @@
 //! bounded so one hostile client cannot balloon memory, accept-loop
 //! errors are non-fatal, and connection counts are capped.
 
-use crate::proto::{Request, RequestMeta, Response};
+use crate::proto::{ErrorCode, Request, RequestMeta, Response};
 use crate::service::AuditService;
 use epi_json::{Deserialize, Json, Serialize};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -37,7 +37,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which front-end implementation a [`Server`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,6 +160,10 @@ pub struct Server {
     addr: SocketAddr,
     mode: ServerMode,
     inner: Inner,
+    /// Kept so [`Server::drain`] can flip the service-level drain flag
+    /// and flush the WAL without the caller having to thread the
+    /// service handle back in.
+    service: Arc<AuditService>,
 }
 
 impl Server {
@@ -195,6 +199,7 @@ impl Server {
                             addr,
                             mode: ServerMode::Reactor,
                             inner: Inner::Reactor(reactor),
+                            service,
                         })
                     }
                     Err(e) if options.mode == ServerMode::Reactor => return Err(e),
@@ -218,7 +223,8 @@ impl Server {
         Ok(Server {
             addr,
             mode: ServerMode::Threaded,
-            inner: spawn_threaded(service, listener, options),
+            inner: spawn_threaded(Arc::clone(&service), listener, options),
+            service,
         })
     }
 
@@ -239,6 +245,48 @@ impl Server {
     /// out.
     pub fn shutdown(mut self) {
         self.stop();
+    }
+
+    /// Graceful drain, the orderly alternative to [`Server::shutdown`]:
+    ///
+    /// 1. flips the service into draining (new `disclose`/`cumulative`
+    ///    requests get a non-retryable `draining` error),
+    /// 2. stops accepting connections,
+    /// 3. lets every already-accepted in-flight request complete and
+    ///    flush its reply (reactor front-end; frames arriving after the
+    ///    flip are answered with `draining` refusals),
+    /// 4. flushes and fsyncs the disclosure log,
+    /// 5. tears the front-end down.
+    ///
+    /// Returns `true` when every connection drained before `timeout`;
+    /// `false` when the deadline forced stragglers closed (the WAL is
+    /// still flushed either way). The elapsed time lands in the
+    /// `drain_micros` gauge. The legacy threaded front-end has no
+    /// connection-level drain: its blocking threads already answer
+    /// `draining` via the service flag, and teardown joins them as
+    /// [`Server::shutdown`] does.
+    pub fn drain(mut self, timeout: Duration) -> bool {
+        let started = Instant::now();
+        self.service.set_draining(true);
+        #[cfg(unix)]
+        let clean = if let Inner::Reactor(reactor) = &mut self.inner {
+            reactor.drain(timeout)
+        } else {
+            self.stop();
+            true
+        };
+        #[cfg(not(unix))]
+        let clean = {
+            let _ = timeout;
+            self.stop();
+            true
+        };
+        let _ = self.service.flush_wal();
+        crate::metrics::Metrics::set_gauge(
+            &self.service.metrics_registry().drain_micros,
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+        clean
     }
 
     fn stop(&mut self) {
@@ -379,6 +427,27 @@ pub(crate) fn respond_to_line(service: &AuditService, line: &str) -> String {
 pub(crate) fn oversize_refusal(max_line_bytes: usize) -> String {
     let refusal = Response::bad_request(format!("request line exceeds {} bytes", max_line_bytes));
     let mut out = refusal.to_json().render();
+    out.push('\n');
+    out
+}
+
+/// The refusal line for a frame that arrived after drain began. Unlike
+/// [`oversize_refusal`] the line itself is well-formed, so the envelope
+/// `id` is parsed out and echoed — pipelining clients can still match
+/// the refusal to the request they sent. `draining` is non-retryable
+/// against this instance by design: the caller should re-resolve and
+/// go elsewhere.
+pub(crate) fn draining_refusal(line: &str) -> String {
+    let id = Json::parse(line.trim_end_matches(['\n', '\r']))
+        .ok()
+        .and_then(|value| RequestMeta::from_json(&value).ok())
+        .and_then(|meta| meta.id);
+    let refusal = Response::Error {
+        code: ErrorCode::Draining,
+        message: "service is draining; no new audit work is accepted".to_owned(),
+        retry_after_ms: None,
+    };
+    let mut out = refusal.to_json_with_id(id.as_deref()).render();
     out.push('\n');
     out
 }

@@ -20,9 +20,13 @@
 //! a replayed disclosure neither double-counts the session nor recomputes
 //! a settled answer.
 
+use crate::admission::{
+    AdmissionController, AdmissionOptions, DegradationLadder, DegradationMode, LadderSignals,
+    TokenBuckets,
+};
 use crate::cache::DecisionKey;
 use crate::metrics::{Metrics, Snapshot};
-use crate::proto::{ErrorCode, Request, RequestMeta, Response, SessionInfo, WireSpan};
+use crate::proto::{ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan};
 use crate::session::{knowledge_digest, SessionError, SessionStore};
 use crate::worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};
 use epi_audit::auditor::{EntryKind, ReportEntry};
@@ -34,6 +38,7 @@ use epi_trace::{Recorder, SpanRecord};
 use epi_wal::{FsyncPolicy, RecoveryReport, Wal, WalConfig, WalError};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -78,6 +83,21 @@ pub struct ServiceConfig {
     /// appends (`0` disables snapshotting; the log then only shrinks at
     /// restart).
     pub wal_snapshot_every: u64,
+    /// Adaptive admission control for the decision pool (AIMD limit and
+    /// deadline-aware enqueue). Enabled by default; the default limits
+    /// are wide enough that an unloaded daemon behaves exactly as
+    /// before.
+    pub admission: AdmissionOptions,
+    /// Per-user fairness: sustained disclose/cumulative rate each user
+    /// may submit, in requests per second (`0` disables the gate — the
+    /// default).
+    pub fairness_rate_per_sec: u32,
+    /// Per-user fairness burst (bucket capacity) when the gate is on.
+    pub fairness_burst: u32,
+    /// Freeze threshold for the disclosure log's fsync-duration EWMA, in
+    /// microseconds: sustained syncs slower than this flip the
+    /// degradation ladder to [`DegradationMode::Frozen`].
+    pub freeze_fsync_stall_micros: u64,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +118,10 @@ impl Default for ServiceConfig {
             data_dir: None,
             wal_fsync: FsyncPolicy::Always,
             wal_snapshot_every: 4096,
+            admission: AdmissionOptions::default(),
+            fairness_rate_per_sec: 0,
+            fairness_burst: 32,
+            freeze_fsync_stall_micros: 500_000,
         }
     }
 }
@@ -202,6 +226,14 @@ pub struct AuditService {
     retry_after_ms: u64,
     dedupe: DedupeCache,
     recovery: Option<RecoveryReport>,
+    ladder: DegradationLadder,
+    fairness: TokenBuckets,
+    freeze_fsync_stall_micros: u64,
+    /// Set by [`AuditService::set_draining`]: disclose/cumulative get
+    /// [`ErrorCode::Draining`] while reads keep serving, so a draining
+    /// front-end can finish its in-flight pipeline without accepting new
+    /// audit work.
+    draining: AtomicBool,
 }
 
 /// Default span count returned by a `trace` request with no `limit`.
@@ -280,7 +312,7 @@ impl AuditService {
             }
             None => (SessionStore::new(config.session_shards, cube.size()), None),
         };
-        let pool = DecisionPool::with_policy_traced(
+        let pool = DecisionPool::with_admission(
             config.workers,
             config.queue_capacity,
             config.cache_capacity,
@@ -290,6 +322,7 @@ impl AuditService {
             config.queue_policy,
             fault_hook,
             Arc::clone(&tracer),
+            config.admission,
         );
         Ok(AuditService {
             sessions,
@@ -302,6 +335,10 @@ impl AuditService {
             retry_after_ms: config.retry_after_ms,
             dedupe: DedupeCache::new(config.dedupe_capacity),
             recovery,
+            ladder: DegradationLadder::new(),
+            fairness: TokenBuckets::new(config.fairness_rate_per_sec, config.fairness_burst, 4096),
+            freeze_fsync_stall_micros: config.freeze_fsync_stall_micros,
+            draining: AtomicBool::new(false),
         })
     }
 
@@ -334,6 +371,10 @@ impl AuditService {
             snap.recovery_replayed_records = report.replayed_records;
             snap.recovery_millis = report.millis;
         }
+        let admission = self.pool.admission();
+        snap.admission_limit = admission.limit() as u64;
+        snap.admission_wait_ewma_micros = admission.estimated_wait_micros();
+        snap.degradation_mode = self.ladder.current().as_gauge();
         snap
     }
 
@@ -353,6 +394,69 @@ impl AuditService {
     /// (and its pool) starts dropping.
     pub fn cancel_token(&self) -> CancelToken {
         self.pool.cancel_token()
+    }
+
+    /// The decision pool's adaptive admission controller.
+    pub fn admission(&self) -> &AdmissionController {
+        self.pool.admission()
+    }
+
+    /// The degradation mode of the last ladder evaluation.
+    pub fn degradation_mode(&self) -> DegradationMode {
+        self.ladder.current()
+    }
+
+    /// The disclosure log behind this service's sessions, when durable —
+    /// exposed for operational tooling and fault-injection harnesses.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.sessions.wal()
+    }
+
+    /// Syncs every disclosure-log shard's un-synced tail (no-op on an
+    /// in-memory service). Graceful drain calls this last, so a drained
+    /// daemon leaves nothing to the page cache.
+    pub fn flush_wal(&self) -> Result<(), WalError> {
+        self.sessions.flush_wal()
+    }
+
+    /// Flips the service-level drain flag: while set, disclose and
+    /// cumulative requests get [`ErrorCode::Draining`] (never stored in
+    /// the dedupe window — a re-routed retry must re-execute) and reads
+    /// keep serving.
+    pub fn set_draining(&self, on: bool) {
+        self.draining.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the drain flag is set.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Folds the current pressure and storage signals into the
+    /// degradation ladder, exports the mode gauge, and arms limit-based
+    /// shedding whenever the mode leaves `Normal`. Runs on every request
+    /// (all signal reads are atomic loads).
+    fn evaluate_ladder(&self) -> DegradationMode {
+        let admission = self.pool.admission();
+        // A fully degraded service enqueues nothing, so without this
+        // idle decay the wait EWMA could never fall back below the
+        // de-escalation thresholds and `CacheOnly` would be permanent.
+        admission.decay_wait_when_idle();
+        let signals = LadderSignals {
+            queue_wait_micros: admission.estimated_wait_micros(),
+            target_wait_micros: admission.options().target_wait_micros,
+            limit_at_floor: admission.limit() <= admission.options().min_limit,
+            wal_quarantined: self.sessions.quarantined_shards() > 0,
+            wal_stalled: self
+                .sessions
+                .wal()
+                .is_some_and(|wal| wal.fsync_ewma_micros() > self.freeze_fsync_stall_micros),
+        };
+        let mode = self.ladder.evaluate(signals);
+        Metrics::set_gauge(&self.metrics.degradation_mode, mode.as_gauge());
+        self.pool
+            .set_shed_on_limit(mode >= DegradationMode::Shedding);
+        mode
     }
 
     /// Handles one protocol request with no envelope (no id, default
@@ -384,6 +488,23 @@ impl AuditService {
             Some(budget) => Deadline::within(budget),
             None => Deadline::none(),
         };
+        let mode = self.evaluate_ladder();
+        if self.is_draining()
+            && matches!(
+                request,
+                Request::Disclose { .. } | Request::Cumulative { .. }
+            )
+        {
+            // Returned before the dedupe store below on purpose: a
+            // draining refusal is instance-local, and the same id
+            // replayed against a healthy instance (or after restart)
+            // must re-execute.
+            return Response::Error {
+                code: ErrorCode::Draining,
+                message: "service is draining; no new audit work is accepted".to_owned(),
+                retry_after_ms: None,
+            };
+        }
         let response = match request {
             Request::Disclose {
                 user,
@@ -399,9 +520,10 @@ impl AuditService {
                 audit_query,
                 &deadline,
                 trace,
+                mode,
             ),
             Request::Cumulative { user, audit_query } => {
-                self.cumulative(user, audit_query, &deadline, trace)
+                self.cumulative(user, audit_query, &deadline, trace, mode)
             }
             Request::SessionInfo { user } => self.session_info(user),
             Request::Stats => Response::Stats(Box::new(self.metrics())),
@@ -412,6 +534,7 @@ impl AuditService {
             } => self.read_trace(wanted.as_deref(), *limit, *slow),
             Request::MetricsText => Response::MetricsText(self.metrics().render_prometheus()),
             Request::Ping => Response::Pong,
+            Request::Health => self.health(mode),
         };
         if let Some(id) = &meta.id {
             // Remember only settled outcomes: a retry of an overloaded or
@@ -421,6 +544,39 @@ impl AuditService {
             }
         }
         response
+    }
+
+    /// Serves a `health` request: liveness, readiness, the degradation
+    /// mode and the admission state — the signal a shard router needs to
+    /// keep or drop this instance from rotation. `ready` means the
+    /// daemon is accepting new audit work at full fidelity (`normal` or
+    /// `shedding`, not draining); a `cache_only`/`frozen`/draining
+    /// instance is alive but should be routed around.
+    fn health(&self, mode: DegradationMode) -> Response {
+        let admission = self.pool.admission();
+        let draining = self.is_draining();
+        Response::Health(HealthInfo {
+            live: true,
+            ready: mode <= DegradationMode::Shedding && !draining,
+            mode: mode.as_str().to_owned(),
+            admission_limit: admission.limit() as u64,
+            inflight: admission.inflight() as u64,
+            draining,
+        })
+    }
+
+    /// Per-user fairness gate: `Some(error)` when `user` is over their
+    /// token-bucket rate.
+    fn fairness_reject(&self, user: &str) -> Option<Response> {
+        if self.fairness.try_take(user) {
+            return None;
+        }
+        Metrics::incr(&self.metrics.admission_rejects_fairness);
+        Some(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: format!("user `{user}` is over the per-user request rate"),
+            retry_after_ms: Some(self.retry_after_ms),
+        })
     }
 
     /// Serves a `trace` request: recent spans (or the slow log) mapped
@@ -477,6 +633,10 @@ impl AuditService {
         self.pool.decide_traced(key, deadline, trace).map_err(|e| {
             let (code, retry_after_ms) = match e {
                 DecideError::Overloaded => (ErrorCode::Overloaded, Some(self.retry_after_ms)),
+                // Admission predicted the deadline cannot be met: the
+                // same typed outcome as an actually-expired deadline,
+                // just decided before wasting a queue slot on it.
+                DecideError::AdmissionDeadline => (ErrorCode::DeadlineExceeded, None),
                 DecideError::WorkerFailed => (ErrorCode::WorkerFailed, None),
                 DecideError::Shutdown => (ErrorCode::Shutdown, None),
             };
@@ -498,7 +658,24 @@ impl AuditService {
         audit_text: &str,
         deadline: &Deadline,
         trace: Option<&str>,
+        mode: DegradationMode,
     ) -> Response {
+        if let Some(reject) = self.fairness_reject(user) {
+            return reject;
+        }
+        if mode == DegradationMode::Frozen {
+            // The disclosure log is quarantined or its fsyncs have
+            // stalled: an acknowledgement could not be made durable, so
+            // no disclosure is accepted at all. Reads keep serving.
+            Metrics::incr(&self.metrics.admission_rejects_degraded);
+            return Response::Error {
+                code: ErrorCode::Storage,
+                message: "disclosure log is unavailable (quarantined or stalled); \
+                          disclosures are frozen"
+                    .to_owned(),
+                retry_after_ms: None,
+            };
+        }
         let (_, audit_set) = match self.compile(audit_text) {
             Ok(x) => x,
             Err(resp) => return resp,
@@ -519,6 +696,62 @@ impl AuditService {
             query_set
         } else {
             query_set.complement()
+        };
+        // The negative-result rule: a disclosure made while the audited
+        // property is false needs no decision at all — only the session
+        // update below.
+        let gated = !audit_set.contains(WorldId(state_mask));
+        // CacheOnly degradation: the verdict must come from the LRU
+        // cache (the queue is the resource being protected), so a
+        // degraded answer is byte-identical to a healthy one; anything
+        // uncached fails closed with a retry hint.
+        let prefetched = if mode == DegradationMode::CacheOnly && !gated {
+            let key = DecisionKey {
+                audit: audit_set.clone(),
+                disclosed: disclosed.clone(),
+                assumption: self.assumption,
+            };
+            match self.pool.cached(&key) {
+                Some(decision) => Some(decision),
+                None => {
+                    Metrics::incr(&self.metrics.admission_rejects_degraded);
+                    return Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: "service is degraded to cached verdicts only and has \
+                                  no cached verdict for this decision"
+                            .to_owned(),
+                        retry_after_ms: Some(self.retry_after_ms),
+                    };
+                }
+            }
+        } else {
+            None
+        };
+        // The verdict is secured *before* the session is mutated — in
+        // every mode, not just CacheOnly. A decision the pool sheds,
+        // times out, or loses to a worker panic must leave no trace
+        // behind: the client is told to retry, and the retried
+        // disclosure must be recorded exactly once, not once per
+        // attempt. Deciding first is sound because the verdict depends
+        // only on the `(audit, disclosed)` pair, never on the session.
+        let decision = if gated {
+            None
+        } else {
+            Some(match prefetched {
+                Some(d) => d,
+                None => match self.decide(
+                    DecisionKey {
+                        audit: audit_set,
+                        disclosed: disclosed.clone(),
+                        assumption: self.assumption,
+                    },
+                    deadline,
+                    trace,
+                ) {
+                    Ok(d) => d,
+                    Err(resp) => return resp,
+                },
+            })
         };
         // The session update happens unconditionally — cumulative
         // knowledge accumulates even when this disclosure is excused by
@@ -550,7 +783,7 @@ impl AuditService {
             // growing until a later snapshot succeeds.
             eprintln!("disclosure-log snapshot failed: {e}");
         }
-        if !audit_set.contains(WorldId(state_mask)) {
+        let Some(decision) = decision else {
             Metrics::incr(&self.metrics.negative_gated);
             return Response::Entry(ReportEntry {
                 user: user.to_owned(),
@@ -559,18 +792,6 @@ impl AuditService {
                 finding: Finding::Safe,
                 explanation: "audited property was false at disclosure time (negative results are not protected)".into(),
             });
-        }
-        let decision = match self.decide(
-            DecisionKey {
-                audit: audit_set,
-                disclosed,
-                assumption: self.assumption,
-            },
-            deadline,
-            trace,
-        ) {
-            Ok(d) => d,
-            Err(resp) => return resp,
         };
         Response::Entry(ReportEntry {
             user: user.to_owned(),
@@ -607,7 +828,11 @@ impl AuditService {
         audit_text: &str,
         deadline: &Deadline,
         trace: Option<&str>,
+        mode: DegradationMode,
     ) -> Response {
+        if let Some(reject) = self.fairness_reject(user) {
+            return reject;
+        }
         let (_, audit_set) = match self.compile(audit_text) {
             Ok(x) => x,
             Err(resp) => return resp,
@@ -633,17 +858,34 @@ impl AuditService {
                 explanation: "audited property was false at the last disclosure (negative results are not protected)".into(),
             });
         }
-        let decision = match self.decide(
-            DecisionKey {
-                audit: audit_set,
-                disclosed: session.knowledge.clone(),
-                assumption: self.assumption,
-            },
-            deadline,
-            trace,
-        ) {
-            Ok(d) => d,
-            Err(resp) => return resp,
+        let key = DecisionKey {
+            audit: audit_set,
+            disclosed: session.knowledge.clone(),
+            assumption: self.assumption,
+        };
+        let decision = if mode == DegradationMode::CacheOnly {
+            // Cumulative is read-only, so nothing needs un-mutating on a
+            // refusal — but the fail-closed rule is the same: a cached
+            // verdict is exact, anything else is a typed error, never an
+            // unchecked `safe`.
+            match self.pool.cached(&key) {
+                Some(d) => d,
+                None => {
+                    Metrics::incr(&self.metrics.admission_rejects_degraded);
+                    return Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: "service is degraded to cached verdicts only and has \
+                                  no cached verdict for this decision"
+                            .to_owned(),
+                        retry_after_ms: Some(self.retry_after_ms),
+                    };
+                }
+            }
+        } else {
+            match self.decide(key, deadline, trace) {
+                Ok(d) => d,
+                Err(resp) => return resp,
+            }
         };
         Response::Entry(ReportEntry {
             user: user.to_owned(),
@@ -890,9 +1132,10 @@ mod tests {
         };
         assert_eq!(code, ErrorCode::DeadlineExceeded);
         assert_eq!(svc.metrics().deadline_exceeded, 1);
-        // The truthful disclosure was still recorded (session state must
-        // not depend on whether the safety decision completed).
-        assert!(svc.sessions.get("mallory").is_some());
+        // A failed decision leaves no trace: the client was told the
+        // disclosure did not happen, so its retry must record it exactly
+        // once, not once per attempt.
+        assert!(svc.sessions.get("mallory").is_none());
     }
 
     #[test]
@@ -921,6 +1164,183 @@ mod tests {
         let second = svc.handle_with_meta(&req, &meta2);
         assert!(matches!(second, Response::Entry(_)));
         assert_eq!(svc.sessions.get("alice").unwrap().disclosures, 2);
+    }
+
+    #[test]
+    fn health_reports_mode_admission_and_drain() {
+        let svc = hospital_service(PriorAssumption::Product);
+        let Response::Health(h) = svc.handle(&Request::Health) else {
+            panic!("expected health response");
+        };
+        assert!(h.live && h.ready && !h.draining);
+        assert_eq!(h.mode, "normal");
+        assert_eq!(h.admission_limit, svc.admission().limit() as u64);
+        svc.set_draining(true);
+        let Response::Health(h) = svc.handle(&Request::Health) else {
+            panic!("expected health response");
+        };
+        assert!(h.live && !h.ready && h.draining, "draining is not ready");
+    }
+
+    #[test]
+    fn draining_refuses_audit_work_serves_reads_and_skips_dedupe() {
+        let svc = hospital_service(PriorAssumption::Unrestricted);
+        svc.handle(&disclose("alice", 1, "hiv_pos", 0b00));
+        svc.set_draining(true);
+        let meta = RequestMeta {
+            id: Some("drain-1".to_owned()),
+            deadline_ms: None,
+            trace: None,
+        };
+        let refused = svc.handle_with_meta(&disclose("alice", 2, "hiv_pos", 0b00), &meta);
+        let Response::Error { code, .. } = &refused else {
+            panic!("expected draining error, got {refused:?}");
+        };
+        assert_eq!(*code, ErrorCode::Draining);
+        // Reads still serve while draining.
+        assert!(matches!(
+            svc.handle(&Request::SessionInfo {
+                user: "alice".to_owned()
+            }),
+            Response::SessionInfo(_)
+        ));
+        assert!(matches!(svc.handle(&Request::Ping), Response::Pong));
+        // The refusal was not remembered: once the flag clears (e.g. the
+        // id is replayed against a healthy instance), it re-executes.
+        svc.set_draining(false);
+        let retried = svc.handle_with_meta(&disclose("alice", 2, "hiv_pos", 0b00), &meta);
+        assert!(matches!(retried, Response::Entry(_)), "got {retried:?}");
+        assert_eq!(svc.sessions.get("alice").unwrap().disclosures, 2);
+    }
+
+    #[test]
+    fn cache_only_serves_cached_verdicts_and_fails_closed_on_misses() {
+        let svc = hospital_service(PriorAssumption::Product);
+        // Warm the verdict cache with a healthy decision.
+        let warmed = svc.handle(&disclose("mallory", 1, "hiv_pos", 0b11));
+        let Response::Entry(warmed) = warmed else {
+            panic!("expected entry");
+        };
+        assert_eq!(warmed.finding, Finding::Flagged);
+        // Teach the queue-wait EWMA sustained pressure far over 4x the
+        // target: the ladder escalates to CacheOnly.
+        let target = svc.admission().options().target_wait_micros;
+        for _ in 0..64 {
+            svc.admission().observe_wait(target * 16);
+        }
+        // A cached decision still serves — byte-identical to healthy.
+        let resp = svc.handle(&disclose("trent", 2, "hiv_pos", 0b11));
+        assert_eq!(svc.degradation_mode(), DegradationMode::CacheOnly);
+        let Response::Entry(cached) = resp else {
+            panic!("expected cached entry, got {resp:?}");
+        };
+        assert_eq!(cached.finding, Finding::Flagged);
+        assert_eq!(cached.explanation, warmed.explanation);
+        assert_eq!(svc.metrics().computed, 1, "nothing recomputed");
+        // An uncached decision fails closed with a retry hint, and the
+        // session is left untouched for the retry.
+        let resp = svc.handle(&disclose("pat", 3, "transfusions", 0b11));
+        let Response::Error {
+            code,
+            retry_after_ms,
+            ..
+        } = resp
+        else {
+            panic!("expected fail-closed error, got {resp:?}");
+        };
+        assert_eq!(code, ErrorCode::Overloaded);
+        assert!(retry_after_ms.is_some());
+        assert!(
+            svc.sessions.get("pat").is_none(),
+            "a refused disclosure must not mutate the session"
+        );
+        assert_eq!(svc.metrics().admission_rejects_degraded, 1);
+    }
+
+    #[test]
+    fn fairness_throttles_one_user_without_starving_others() {
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let svc = AuditService::new(
+            schema,
+            ServiceConfig {
+                assumption: PriorAssumption::Unrestricted,
+                workers: 2,
+                fairness_rate_per_sec: 1,
+                fairness_burst: 2,
+                retry_after_ms: 35,
+                ..ServiceConfig::default()
+            },
+        );
+        // Negative-gated disclosures: cheap, deterministic, no solver.
+        for t in 1..=2 {
+            let r = svc.handle(&disclose("storm", t, "hiv_pos", 0b00));
+            assert!(matches!(r, Response::Entry(_)), "got {r:?}");
+        }
+        let resp = svc.handle(&disclose("storm", 3, "hiv_pos", 0b00));
+        let Response::Error {
+            code,
+            retry_after_ms,
+            ..
+        } = resp
+        else {
+            panic!("expected fairness rejection, got {resp:?}");
+        };
+        assert_eq!(code, ErrorCode::Overloaded);
+        assert_eq!(retry_after_ms, Some(35));
+        assert_eq!(svc.metrics().admission_rejects_fairness, 1);
+        // Another user's bucket is untouched.
+        let r = svc.handle(&disclose("bystander", 1, "hiv_pos", 0b00));
+        assert!(matches!(r, Response::Entry(_)), "got {r:?}");
+    }
+
+    #[test]
+    fn fsync_stall_freezes_disclosures_but_not_reads() {
+        use epi_wal::testdir::TempDir;
+        let tmp = TempDir::new("svc-freeze");
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        let svc = AuditService::open(
+            schema,
+            ServiceConfig {
+                assumption: PriorAssumption::Unrestricted,
+                workers: 1,
+                data_dir: Some(tmp.path().to_path_buf()),
+                wal_fsync: FsyncPolicy::Always,
+                // 1ms EWMA threshold; the injected 20ms stall crosses it
+                // after a single sync (20ms / 8 = 2.5ms).
+                freeze_fsync_stall_micros: 1_000,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let r = svc.handle(&disclose("alice", 1, "hiv_pos", 0b00));
+        assert!(matches!(r, Response::Entry(_)), "healthy disk: {r:?}");
+        svc.wal()
+            .unwrap()
+            .set_fsync_stall(Some(Duration::from_millis(20)));
+        // This disclosure still lands (slowly) — its syncs teach the
+        // EWMA the disk has stalled.
+        let r = svc.handle(&disclose("alice", 2, "hiv_pos", 0b00));
+        assert!(matches!(r, Response::Entry(_)), "stall teaches: {r:?}");
+        // The next one finds the ladder frozen and is refused up front.
+        let resp = svc.handle(&disclose("alice", 3, "hiv_pos", 0b00));
+        let Response::Error { code, .. } = resp else {
+            panic!("expected frozen refusal, got {resp:?}");
+        };
+        assert_eq!(code, ErrorCode::Storage);
+        assert_eq!(svc.degradation_mode(), DegradationMode::Frozen);
+        assert_eq!(svc.sessions.get("alice").unwrap().disclosures, 2);
+        // Reads keep serving while frozen.
+        assert!(matches!(
+            svc.handle(&Request::SessionInfo {
+                user: "alice".to_owned()
+            }),
+            Response::SessionInfo(_)
+        ));
+        let Response::Health(h) = svc.handle(&Request::Health) else {
+            panic!("expected health response");
+        };
+        assert_eq!(h.mode, "frozen");
+        assert!(!h.ready);
     }
 
     #[test]

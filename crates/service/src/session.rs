@@ -152,6 +152,23 @@ impl SessionStore {
         self.wal.as_ref()
     }
 
+    /// How many WAL shards are quarantined (0 for a volatile store).
+    /// Non-zero means part of the keyspace can no longer record
+    /// disclosures — the degradation ladder's freeze signal.
+    pub fn quarantined_shards(&self) -> usize {
+        self.wal.as_ref().map_or(0, |wal| wal.quarantined_shards())
+    }
+
+    /// Syncs every WAL shard's un-synced tail (no-op for a volatile
+    /// store). Graceful drain calls this so a drained daemon leaves no
+    /// acknowledged record at the page cache's mercy.
+    pub fn flush_wal(&self) -> Result<(), WalError> {
+        match &self.wal {
+            Some(wal) => wal.flush(),
+            None => Ok(()),
+        }
+    }
+
     /// FNV-1a (64-bit) over the user's bytes, reduced mod the shard
     /// count. On a durable store, user→shard placement is baked into
     /// the per-shard WAL layout on disk, so the hash must be stable

@@ -34,6 +34,7 @@
 //!
 //! Everything is std-only: `Mutex` + `Condvar`, no async runtime.
 
+use crate::admission::{AdmissionController, AdmissionOptions};
 use crate::cache::{DecisionKey, VerdictCache};
 use crate::metrics::Metrics;
 use epi_audit::{Auditor, Decision};
@@ -43,6 +44,7 @@ use epi_solver::{Stage, UndecidedReason};
 use epi_trace::Recorder;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -67,6 +69,12 @@ pub enum DecideError {
     /// The decision queue was full and the pool runs in
     /// [`QueuePolicy::Shed`] mode; the request is retryable.
     Overloaded,
+    /// Admission control predicted the request cannot meet its own
+    /// deadline: the estimated queue wait already exceeds the remaining
+    /// budget, so running it would only steal a worker from a request
+    /// that could still succeed. Fail-closed; retry with a longer
+    /// deadline or after backing off.
+    AdmissionDeadline,
     /// The computation for this key panicked; retryable (the panic may
     /// have been transient, and the worker kept running).
     WorkerFailed,
@@ -79,6 +87,9 @@ impl std::fmt::Display for DecideError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecideError::Overloaded => write!(f, "decision queue is full"),
+            DecideError::AdmissionDeadline => {
+                write!(f, "estimated queue wait exceeds the request deadline")
+            }
             DecideError::WorkerFailed => write!(f, "decision worker failed"),
             DecideError::Shutdown => write!(f, "service is shutting down"),
         }
@@ -180,6 +191,14 @@ struct Shared {
     /// Span recorder shared with the service (a disabled recorder when
     /// the embedder did not opt into tracing — every call is a no-op).
     tracer: Arc<Recorder>,
+    /// Adaptive admission: AIMD concurrency limit + queue-wait EWMA.
+    admission: Arc<AdmissionController>,
+    /// When set, the adaptive limit sheds even under
+    /// [`QueuePolicy::Block`] — flipped by the service when the
+    /// degradation ladder leaves `Normal`, so backpressure-mode callers
+    /// keep their blocking semantics until the daemon is actually
+    /// under pressure.
+    shed_on_limit: AtomicBool,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -260,6 +279,35 @@ impl DecisionPool {
         fault_hook: Option<FaultHook>,
         tracer: Arc<Recorder>,
     ) -> DecisionPool {
+        Self::with_admission(
+            workers,
+            queue_capacity,
+            cache_capacity,
+            auditor,
+            cube,
+            metrics,
+            policy,
+            fault_hook,
+            tracer,
+            AdmissionOptions::default(),
+        )
+    }
+
+    /// [`DecisionPool::with_policy_traced`] with explicit
+    /// [`AdmissionOptions`] for the adaptive concurrency limiter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_admission(
+        workers: usize,
+        queue_capacity: usize,
+        cache_capacity: usize,
+        auditor: Auditor,
+        cube: Cube,
+        metrics: Arc<Metrics>,
+        policy: QueuePolicy,
+        fault_hook: Option<FaultHook>,
+        tracer: Arc<Recorder>,
+        admission: AdmissionOptions,
+    ) -> DecisionPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 items: VecDeque::new(),
@@ -277,6 +325,8 @@ impl DecisionPool {
             cancel: CancelToken::new(),
             fault_hook,
             tracer,
+            admission: Arc::new(AdmissionController::new(admission)),
+            shed_on_limit: AtomicBool::new(false),
         });
         let workers = (0..workers.max(1))
             .map(|_| {
@@ -292,6 +342,32 @@ impl DecisionPool {
     /// observe the drain.
     pub fn cancel_token(&self) -> CancelToken {
         self.shared.cancel.clone()
+    }
+
+    /// The pool's adaptive admission controller (limit, in-flight count
+    /// and queue-wait EWMA) — the service reads it for the `health` op
+    /// and the degradation ladder's pressure signals.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.shared.admission
+    }
+
+    /// Turns limit-based shedding on or off for [`QueuePolicy::Block`]
+    /// pools. While off (the default), a blocked submitter waits for a
+    /// queue slot exactly as before this controller existed; the service
+    /// flips it on whenever the degradation ladder leaves `Normal`.
+    pub fn set_shed_on_limit(&self, on: bool) {
+        self.shared.shed_on_limit.store(on, Ordering::Relaxed);
+    }
+
+    /// Peeks the verdict cache without enqueueing anything — the
+    /// `CacheOnly` degradation rung serves from this and otherwise fails
+    /// closed. A hit counts toward `cache_hits` like any other.
+    pub fn cached(&self, key: &DecisionKey) -> Option<Decision> {
+        let hit = self.shared.cache.get(key);
+        if hit.is_some() {
+            Metrics::incr(&self.shared.metrics.cache_hits);
+        }
+        hit
     }
 
     /// Decides `(A, B)` under the pool's prior assumption, consulting the
@@ -355,16 +431,53 @@ impl DecisionPool {
                     .event(trace, "cache.lookup", Some("late hit".to_owned()));
                 return Ok(hit);
             }
+            // Deadline-aware admission: when the estimated queue wait
+            // already exceeds the request's remaining budget, the
+            // decision is doomed to settle as deadline-exceeded anyway —
+            // reject it here, before it occupies a queue slot a
+            // still-viable request could use.
+            if shared.admission.options().enabled {
+                if let Some(remaining) = deadline.remaining() {
+                    let estimated = shared.admission.estimated_wait_micros();
+                    if estimated > 0 && (remaining.as_micros() as u64) < estimated {
+                        Metrics::incr(&shared.metrics.admission_rejects_deadline);
+                        shared.tracer.event(
+                            trace,
+                            "admission.doomed",
+                            Some(format!("estimated wait {estimated}us > budget")),
+                        );
+                        return Err(DecideError::AdmissionDeadline);
+                    }
+                }
+            }
             let gate = Arc::new(Gate::new());
             pending.insert(key.clone(), Arc::clone(&gate));
             gate
         };
+
+        // Count the decision against the adaptive limit. Under `Shed`
+        // (or once the ladder left `Normal`) a full limit rejects
+        // immediately; under plain `Block` the submitter keeps its
+        // backpressure semantics and is only *counted*, so the limit
+        // gauge and `health` stay truthful either way.
+        let enforce_limit = matches!(shared.policy, QueuePolicy::Shed)
+            || shared.shed_on_limit.load(Ordering::Relaxed);
+        if enforce_limit {
+            if !shared.admission.try_admit() {
+                Metrics::incr(&shared.metrics.admission_rejects_limit);
+                self.abandon(&key, &gate, DecideError::Overloaded);
+                return Err(DecideError::Overloaded);
+            }
+        } else {
+            shared.admission.admit_unchecked();
+        }
 
         let mut queue = lock(&shared.queue);
         while queue.items.len() >= shared.capacity && !queue.shutdown {
             if matches!(shared.policy, QueuePolicy::Shed) {
                 drop(queue);
                 Metrics::incr(&shared.metrics.shed_requests);
+                shared.admission.release();
                 // The gate is registered in `pending`: any coalesced
                 // waiter must be released with the same retryable error
                 // before the key is freed for a later attempt.
@@ -378,6 +491,7 @@ impl DecisionPool {
         }
         if queue.shutdown {
             drop(queue);
+            shared.admission.release();
             self.abandon(&key, &gate, DecideError::Shutdown);
             return Err(DecideError::Shutdown);
         }
@@ -392,7 +506,9 @@ impl DecisionPool {
         drop(queue);
         shared.not_empty.notify_one();
 
-        gate.wait()
+        let outcome = gate.wait();
+        shared.admission.release();
+        outcome
     }
 
     /// Releases a gate that will never be served: resolve it with
@@ -433,6 +549,14 @@ impl DecisionPool {
                 shared.tracer.now_micros().saturating_sub(waited),
                 waited,
                 None,
+            );
+            // Feed the observed wait into the AIMD loop and export the
+            // resulting limit + EWMA as gauges.
+            let limit = shared.admission.observe_wait(waited);
+            Metrics::set_gauge(&shared.metrics.admission_limit, limit as u64);
+            Metrics::set_gauge(
+                &shared.metrics.admission_wait_ewma_micros,
+                shared.admission.estimated_wait_micros(),
             );
             // Isolate the computation: a solver panic must answer the
             // waiters and leave the worker serving (a logical respawn).
@@ -735,6 +859,91 @@ mod tests {
         // The occupied and queued requests still complete normally.
         assert!(busy.join().unwrap().is_ok());
         assert!(queued.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn doomed_deadline_is_rejected_at_admission() {
+        let metrics = Arc::new(Metrics::new());
+        let p = DecisionPool::with_policy(
+            1,
+            8,
+            64,
+            Auditor::new(PriorAssumption::Product),
+            Cube::new(2),
+            Arc::clone(&metrics),
+            QueuePolicy::Block,
+            None,
+        );
+        // Teach the EWMA that queued work waits ~50ms.
+        for _ in 0..64 {
+            p.shared.admission.observe_wait(50_000);
+        }
+        // A 1ms budget cannot survive a 50ms queue: rejected up front,
+        // without occupying a queue slot or running the solver.
+        let doomed = p.decide_deadline(
+            key(&[1, 3], &[0, 2, 3]),
+            &Deadline::within(std::time::Duration::from_millis(1)),
+        );
+        assert_eq!(doomed, Err(DecideError::AdmissionDeadline));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.admission_rejects_deadline, 1);
+        assert_eq!(snap.computed, 0, "the solver never ran");
+        // The same key with headroom (or no deadline) decides normally.
+        let fine = p.decide(key(&[1, 3], &[0, 2, 3])).unwrap();
+        assert_eq!(fine.finding, Finding::Safe);
+    }
+
+    #[test]
+    fn adaptive_limit_sheds_in_shed_mode() {
+        use crate::admission::AdmissionOptions;
+        // Limit pinned to 1 via min==max; a stalled worker holds the one
+        // admission slot, so a second distinct request must shed at the
+        // limit (not at the queue bound, which has plenty of room).
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let hook_gate = Arc::clone(&gate);
+        let first_run = Arc::new(AtomicUsize::new(0));
+        let hook_first = Arc::clone(&first_run);
+        let hook: FaultHook = Arc::new(move |_k: &DecisionKey| {
+            if hook_first.fetch_add(1, Ordering::SeqCst) == 0 {
+                hook_gate.wait();
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+        });
+        let metrics = Arc::new(Metrics::new());
+        let p = Arc::new(DecisionPool::with_admission(
+            1,
+            8,
+            64,
+            Auditor::new(PriorAssumption::Product),
+            Cube::new(2),
+            Arc::clone(&metrics),
+            QueuePolicy::Shed,
+            Some(hook),
+            Arc::new(Recorder::disabled()),
+            AdmissionOptions {
+                enabled: true,
+                target_wait_micros: 1_000,
+                min_limit: 1,
+                max_limit: 1,
+            },
+        ));
+        let p2 = Arc::clone(&p);
+        let busy = std::thread::spawn(move || p2.decide(key(&[1, 3], &[0, 2, 3])));
+        gate.wait(); // the worker is now inside the stalled computation
+        let shed = p.decide(key(&[1, 3], &[1, 3]));
+        assert_eq!(shed, Err(DecideError::Overloaded));
+        assert_eq!(metrics.snapshot().admission_rejects_limit, 1);
+        assert!(busy.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn cached_peek_never_enqueues() {
+        let p = pool(2);
+        let k = key(&[1, 3], &[0, 2, 3]);
+        assert!(p.cached(&k).is_none(), "cold cache peek is a miss");
+        let decided = p.decide(k.clone()).unwrap();
+        assert_eq!(p.cached(&k).unwrap(), decided);
+        assert_eq!(p.shared.metrics.snapshot().computed, 1);
     }
 
     #[test]

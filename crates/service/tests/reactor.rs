@@ -362,6 +362,113 @@ fn legacy_threaded_mode_still_serves() {
     server.shutdown();
 }
 
+/// Graceful drain under pipelining: every request accepted before the
+/// drain began is answered with its real verdict, a frame arriving
+/// after it gets a `draining` refusal carrying its id, no reply is
+/// dropped, and the drain completes cleanly inside its deadline.
+#[test]
+fn graceful_drain_answers_in_flight_and_refuses_late_frames() {
+    let service = stalled_service(2, Duration::from_millis(300));
+    let server = Server::spawn_with(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerOptions {
+            mode: ServerMode::Reactor,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Six pipelined disclosures, all in flight at once: two stalled
+    // workers hold them for three 300 ms waves.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut batch = String::new();
+    for i in 0..6u32 {
+        let frame = RequestMeta {
+            id: Some(format!("in-{i}")),
+            deadline_ms: None,
+            trace: None,
+        }
+        .decorate(disclose(&format!("drain{i}"), i % 3 + 1).to_json())
+        .render();
+        batch.push_str(&frame);
+        batch.push('\n');
+    }
+    stream.write_all(batch.as_bytes()).expect("pipeline batch");
+    // Let the reactor dispatch the batch before the drain flips.
+    std::thread::sleep(Duration::from_millis(100));
+    let drain = std::thread::spawn(move || server.drain(Duration::from_secs(30)));
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A frame arriving mid-drain must be refused, not silently dropped
+    // — and the refusal must echo the envelope id.
+    let late = RequestMeta {
+        id: Some("late".to_owned()),
+        deadline_ms: None,
+        trace: None,
+    }
+    .decorate(disclose("latecomer", 1).to_json())
+    .render();
+    stream
+        .write_all(format!("{late}\n").as_bytes())
+        .expect("late frame");
+
+    let mut reader = BufReader::new(stream);
+    let mut replies: Vec<(String, Response)> = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("drained reply") == 0 {
+            break; // the server closed the connection once drained
+        }
+        let value = Json::parse(line.trim_end()).expect("reply is JSON");
+        let id = opt_field::<String>(&value, "id")
+            .expect("id member parses")
+            .expect("every drained reply carries its request's id");
+        replies.push((id, Response::from_json(&value).expect("reply parses")));
+    }
+    assert_eq!(replies.len(), 7, "a reply was dropped: {replies:?}");
+    for i in 0..6u32 {
+        let id = format!("in-{i}");
+        let response = &replies
+            .iter()
+            .find(|(got, _)| *got == id)
+            .unwrap_or_else(|| panic!("request {id} never answered"))
+            .1;
+        assert!(
+            matches!(response, Response::Entry(_)),
+            "in-flight request {id} lost its verdict to the drain: {response:?}"
+        );
+    }
+    let late_reply = &replies
+        .iter()
+        .find(|(id, _)| id == "late")
+        .expect("the late frame was never answered")
+        .1;
+    let Response::Error { code, .. } = late_reply else {
+        panic!("the late frame was executed mid-drain: {late_reply:?}");
+    };
+    assert_eq!(*code, ErrorCode::Draining);
+
+    assert!(
+        drain.join().expect("drain thread"),
+        "six in-flight requests should drain well inside the deadline"
+    );
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "the drained server is still accepting connections"
+    );
+    let snapshot = service.metrics();
+    assert!(snapshot.drain_micros > 0, "drain duration not recorded");
+    assert_eq!(
+        snapshot.requests, 6,
+        "the refused latecomer must never reach the service"
+    );
+}
+
 /// High-connection smoke: `EPI_SMOKE_CONNS` sockets (default 256) all
 /// held open and all answered, with the connection gauges tracking the
 /// fanout and draining after the sockets drop.

@@ -283,6 +283,13 @@ pub struct Wal {
     appends_since_snapshot: AtomicU64,
     next_snapshot_id: AtomicU64,
     snapshotting: Mutex<()>,
+    /// EWMA of `fdatasync` duration, microseconds in ×16 fixed point —
+    /// the degradation ladder's fsync-stall signal.
+    fsync_ewma_x16: AtomicU64,
+    /// Fault injection: artificial delay before every sync, microseconds
+    /// (0 = none). Lets chaos suites model a stalling disk without a
+    /// real slow device.
+    fsync_stall_micros: AtomicU64,
 }
 
 fn segment_file_name(shard: usize, gen: u64) -> String {
@@ -456,6 +463,8 @@ impl Wal {
                 appends_since_snapshot: AtomicU64::new(0),
                 next_snapshot_id: AtomicU64::new(next_snapshot_id),
                 snapshotting: Mutex::new(()),
+                fsync_ewma_x16: AtomicU64::new(0),
+                fsync_stall_micros: AtomicU64::new(0),
             },
             Recovered {
                 shards: recovered_shards,
@@ -477,6 +486,51 @@ impl Wal {
             fsyncs: self.stats.fsyncs.load(Ordering::Relaxed),
             snapshots: self.stats.snapshots.load(Ordering::Relaxed),
         }
+    }
+
+    /// How many shards are quarantined after an I/O failure. Any
+    /// non-zero count means part of the keyspace can no longer accept
+    /// disclosures until a restart repairs the log — the service's
+    /// degradation ladder treats this as grounds to freeze.
+    pub fn quarantined_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|cell| lock(&cell.state).failed.is_some())
+            .count()
+    }
+
+    /// EWMA of observed `fdatasync` duration, microseconds. A sustained
+    /// climb here is the early signal of a stalling disk — the ladder
+    /// freezes before the stall turns into quarantine-grade failure.
+    pub fn fsync_ewma_micros(&self) -> u64 {
+        self.fsync_ewma_x16.load(Ordering::Relaxed) / 16
+    }
+
+    /// Fault injection: delay every subsequent sync by `stall`
+    /// (`None` clears it). The delay is charged to the fsync EWMA like
+    /// real disk time, so chaos suites can drive the freeze path
+    /// deterministically.
+    pub fn set_fsync_stall(&self, stall: Option<Duration>) {
+        let micros = stall.map_or(0, |d| d.as_micros() as u64);
+        self.fsync_stall_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Runs one `fdatasync`, charging its wall time (plus any injected
+    /// stall) into the fsync EWMA (α = 1/8, ×16 fixed point).
+    fn timed_sync(&self, file: &File) -> std::io::Result<()> {
+        let stall = self.fsync_stall_micros.load(Ordering::Relaxed);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_micros(stall));
+        }
+        let started = Instant::now();
+        let result = file.sync_data();
+        let micros = started.elapsed().as_micros() as u64 + stall;
+        let _ = self
+            .fsync_ewma_x16
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some(old - old / 8 + micros.saturating_mul(16) / 8)
+            });
+        result
     }
 
     /// Logs a session-open for `user`. Returns the assigned sequence
@@ -608,7 +662,7 @@ impl Wal {
         };
         state.syncing = true;
         drop(state);
-        let result = fd.sync_data();
+        let result = self.timed_sync(&fd);
         let mut state = lock(&cell.state);
         state.syncing = false;
         state.last_sync = Instant::now();
@@ -650,7 +704,7 @@ impl Wal {
                 continue;
             }
             let covered = state.write_epoch;
-            match state.file.sync_data() {
+            match self.timed_sync(&state.file) {
                 Ok(()) => {
                     self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
                     state.last_sync = Instant::now();

@@ -1,0 +1,487 @@
+//! Overload chaos suite: drives the auditing daemon through seeded
+//! request storms ([`epi_faults::StormPlan`]) whose offered load
+//! deliberately exceeds capacity, and asserts the overload-control
+//! contracts of the admission layer:
+//!
+//! 1. **Goodput under storm** — with adaptive admission control, a storm
+//!    at several times capacity still lands at least 70% of its
+//!    disclosures; the rest settle as *typed* retryable errors, never
+//!    hangs.
+//! 2. **No wrong verdicts under pressure** — every disclosure that does
+//!    succeed during the storm returns bytes identical to the same
+//!    disclosure stream replayed against an unloaded service. Shedding
+//!    may drop work; it must never corrupt it.
+//! 3. **Drain completeness** — a graceful drain fired mid-storm answers
+//!    every accepted request, refuses the rest with `draining`, and
+//!    leaves the write-ahead log synced: a restart sees exactly the
+//!    disclosures the clients saw succeed.
+//! 4. **Frozen on storage stall** — a scripted fsync stall pushes the
+//!    degradation ladder to `frozen`: disclosures fail closed with
+//!    typed `storage` errors while reads and health keep serving.
+//!
+//! The seed matrix comes from `STORM_SEED` when set (the CI overload
+//! job runs one seed per matrix leg), otherwise three fixed seeds run.
+
+use epi_audit::{PriorAssumption, Schema};
+use epi_faults::StormPlan;
+use epi_json::Serialize;
+use epi_service::{
+    AdmissionOptions, AuditService, Client, ClientError, ErrorCode, FaultHook, FsyncPolicy,
+    LocalClient, Request, Response, RetryPolicy, Server, ServerOptions, ServiceConfig,
+};
+use epi_wal::testdir::TempDir;
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// The seed matrix: `STORM_SEED` (one seed, for CI matrix legs) or three
+/// fixed defaults.
+fn seeds() -> Vec<u64> {
+    match std::env::var("STORM_SEED") {
+        Ok(s) => vec![s.parse().expect("STORM_SEED must be a u64")],
+        Err(_) => vec![0xBEE5, 11, 97],
+    }
+}
+
+/// Eight atoms, so cumulative per-user knowledge walks a wide space of
+/// distinct decision keys — a storm whose work all coalesced into one
+/// cached verdict would exercise nothing.
+const ATOMS: [&str; 8] = [
+    "hiv_pos",
+    "transfusions",
+    "flu",
+    "diabetes",
+    "asthma",
+    "anemia",
+    "gout",
+    "measles",
+];
+
+fn schema() -> Schema {
+    Schema::from_names(&ATOMS).expect("schema")
+}
+
+/// Per-decision compute cost pinned by a stalling fault hook, so the
+/// storm/capacity ratio is a property of the script, not of the host.
+const DECISION_COST: Duration = Duration::from_millis(3);
+
+/// Two workers at [`DECISION_COST`] per decision ≈ 666 decisions/s of
+/// capacity; the storm offers load from four times as many closed-loop
+/// clients. The admission ceiling is sized to the pool (a limit of 8
+/// over 2 workers already means 3x-queued work), so one generation of
+/// over-target waits suffices for the first multiplicative decrease.
+fn storm_config() -> ServiceConfig {
+    ServiceConfig {
+        assumption: PriorAssumption::Product,
+        workers: 2,
+        retry_after_ms: 5,
+        admission: AdmissionOptions {
+            target_wait_micros: 2_000,
+            min_limit: 2,
+            max_limit: 8,
+            ..AdmissionOptions::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+fn stalled_service(config: ServiceConfig) -> Arc<AuditService> {
+    let hook: FaultHook = Arc::new(|_key| std::thread::sleep(DECISION_COST));
+    Arc::new(AuditService::with_fault_hook(schema(), config, Some(hook)))
+}
+
+/// Splitmix64-style mixer for deriving per-request query shapes. Purely
+/// a function of `(seed, i, salt)`, so the unloaded baseline and the
+/// storm replay the byte-identical workload.
+fn draw(seed: u64, i: u64, salt: u64) -> u64 {
+    let mut z =
+        seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic storm workload: request `i` is a disclosure by
+/// `plan.user(i)` at time `i + 1`. Bit 0 of every mask is forced on so
+/// the audited property (`hiv_pos`) holds in the disclosed state and
+/// the negative-result gate can never skip the decision. The query is a
+/// seeded two-atom compound, so the `(audit, disclosed-answer)` decision
+/// keys stay diverse — a storm whose work all coalesced into one cached
+/// verdict would put no pressure on the queue at all.
+fn storm_request(plan: &StormPlan, i: u64) -> (String, Request) {
+    let user = format!("u{}", plan.user(i));
+    let mask = plan.state_mask(i, 8) | 1;
+    let a = ATOMS[draw(plan.seed, i, 1) as usize % ATOMS.len()];
+    let b = ATOMS[draw(plan.seed, i, 2) as usize % ATOMS.len()];
+    let op = if draw(plan.seed, i, 3).is_multiple_of(2) {
+        '&'
+    } else {
+        '|'
+    };
+    let query = if a == b {
+        a.to_owned()
+    } else {
+        format!("{a} {op} {b}")
+    };
+    let request = Request::Disclose {
+        user: user.clone(),
+        time: i + 1,
+        query,
+        state_mask: mask,
+        audit_query: "hiv_pos".to_owned(),
+    };
+    (user, request)
+}
+
+/// Unloaded reference run: every storm request replayed in order against
+/// a fresh identical service. Returns rendered entry bytes per index.
+fn storm_baseline(plan: &StormPlan, total: u64) -> Vec<String> {
+    let mut client = LocalClient::new(stalled_service(storm_config()));
+    (0..total)
+        .map(|i| {
+            let (_, request) = storm_request(plan, i);
+            match client.call(&request).expect("unloaded call") {
+                Response::Entry(entry) => entry.to_json().render(),
+                other => panic!("baseline request {i} got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Storm goodput and verdict determinism: one closed-loop TCP client per
+/// storm user hammers the daemon; the aggregate offered load is ~4x the
+/// pinned capacity. At least 70% of the disclosures must land, every
+/// one that lands must be byte-identical to the unloaded baseline, and
+/// the adaptive admission limit must have come down from its ceiling.
+#[test]
+fn storm_goodput_stays_above_seventy_percent_with_exact_verdicts() {
+    for seed in seeds() {
+        let plan = StormPlan::new(seed);
+        let total = 160u64;
+        let baseline = storm_baseline(&plan, total);
+
+        let service = stalled_service(storm_config());
+        let server = Server::spawn_with(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            ServerOptions::default(),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        // Partition by user: each client replays its user's subsequence
+        // in order, keeping per-user disclosure times increasing. A shed
+        // disclosure never mutates the session, so the client may simply
+        // skip it and press on — later verdicts are unaffected.
+        let (tx, rx) = mpsc::channel();
+        for user_id in 0..plan.users {
+            let work: Vec<(u64, Request)> = (0..total)
+                .filter(|&i| plan.user(i) == user_id)
+                .map(|i| (i, storm_request(&plan, i).1))
+                .collect();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr)
+                    .expect("storm client connects")
+                    .with_retry(RetryPolicy {
+                        max_attempts: 8,
+                        base_ms: 1,
+                        cap_ms: 10,
+                        seed: seed ^ ((user_id + 1) << 32),
+                    });
+                let mut landed: Vec<(u64, String)> = Vec::new();
+                for (i, request) in work {
+                    match client.call(&request) {
+                        Ok(Response::Entry(entry)) => {
+                            landed.push((i, entry.to_json().render()));
+                        }
+                        Ok(other) => panic!("storm request {i} got {other:?}"),
+                        Err(ClientError::Remote { code, .. }) => {
+                            // Typed shedding is the contract; anything a
+                            // resend could never fix means the harness
+                            // itself is broken.
+                            assert!(
+                                code.is_retryable(),
+                                "storm request {i} settled with non-retryable {code:?}"
+                            );
+                        }
+                        Err(e) => panic!("untyped failure under storm: {e}"),
+                    }
+                }
+                tx.send(landed).expect("main thread is waiting");
+            });
+        }
+        drop(tx);
+
+        let mut landed = 0u64;
+        for _ in 0..plan.users {
+            let results = rx
+                .recv_timeout(Duration::from_secs(120))
+                .unwrap_or_else(|_| panic!("seed {seed:#x}: a storm client hung (liveness)"));
+            for (i, bytes) in results {
+                assert_eq!(
+                    bytes, baseline[i as usize],
+                    "seed {seed:#x}: request {i} returned a wrong verdict under storm"
+                );
+                landed += 1;
+            }
+        }
+        assert!(
+            landed * 10 >= total * 7,
+            "seed {seed:#x}: goodput collapsed under storm: {landed}/{total} landed"
+        );
+
+        // The storm must actually have exercised the adaptive limit:
+        // over-target waits pull it down from the ceiling and the
+        // shrunken limit sheds. (The *final* gauge value is allowed to
+        // be back at the ceiling — recovering once pressure passes is
+        // the other half of AIMD.)
+        let stats = service.metrics();
+        assert!(
+            stats.admission_rejects_limit > 0,
+            "seed {seed:#x}: the adaptive limit never shed a request: {stats:?}"
+        );
+        server.shutdown();
+    }
+}
+
+fn durable_storm_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        data_dir: Some(dir.to_path_buf()),
+        wal_fsync: FsyncPolicy::Always,
+        ..storm_config()
+    }
+}
+
+/// Drain mid-storm: a durable daemon under storm load is gracefully
+/// drained; the drain must come back clean (every accepted request
+/// answered), late work must settle as typed `draining` errors, and a
+/// restart from the same directory must see exactly the disclosures the
+/// clients saw succeed — the log was synced before teardown.
+#[test]
+fn drain_under_storm_loses_no_acknowledged_disclosure() {
+    for seed in seeds() {
+        let plan = StormPlan::new(seed);
+        let total = 400u64;
+        let tmp = TempDir::new(&format!("overload-drain-{seed:x}"));
+        let service = {
+            let hook: FaultHook = Arc::new(|_key| std::thread::sleep(DECISION_COST));
+            Arc::new(
+                AuditService::open_with_fault_hook(
+                    schema(),
+                    durable_storm_config(tmp.path()),
+                    Some(hook),
+                )
+                .expect("durable service opens"),
+            )
+        };
+        let server = Server::spawn_with(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            ServerOptions::default(),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let (tx, rx) = mpsc::channel();
+        for user_id in 0..plan.users {
+            let work: Vec<(u64, Request)> = (0..total)
+                .filter(|&i| plan.user(i) == user_id)
+                .map(|i| (i, storm_request(&plan, i).1))
+                .collect();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr)
+                    .expect("storm client connects")
+                    .with_retry(RetryPolicy {
+                        max_attempts: 4,
+                        base_ms: 1,
+                        cap_ms: 8,
+                        seed: seed ^ ((user_id + 1) << 32),
+                    });
+                let mut successes = 0u64;
+                for (i, request) in work {
+                    match client.call(&request) {
+                        Ok(Response::Entry(_)) => successes += 1,
+                        Ok(other) => panic!("storm request {i} got {other:?}"),
+                        Err(ClientError::Remote { code, .. }) => {
+                            if code == ErrorCode::Draining {
+                                break; // the drain reached this client
+                            }
+                            assert!(
+                                code.is_retryable(),
+                                "request {i} settled with non-retryable {code:?} before drain"
+                            );
+                        }
+                        // The drained server eventually closes the
+                        // connection; a transport error after that is
+                        // the expected end of this client's run.
+                        Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => break,
+                    }
+                }
+                tx.send((user_id, successes))
+                    .expect("main thread is waiting");
+            });
+        }
+        drop(tx);
+
+        // Let the storm saturate the queue, then drain into it.
+        std::thread::sleep(Duration::from_millis(150));
+        let clean = server.drain(Duration::from_secs(30));
+        assert!(
+            clean,
+            "seed {seed:#x}: drain was forced past its deadline under storm"
+        );
+
+        let mut acknowledged = std::collections::HashMap::new();
+        for _ in 0..plan.users {
+            let (user_id, successes) = rx
+                .recv_timeout(Duration::from_secs(60))
+                .unwrap_or_else(|_| panic!("seed {seed:#x}: a storm client hung across drain"));
+            acknowledged.insert(format!("u{user_id}"), successes);
+        }
+        assert!(
+            TcpStream::connect(addr).is_err(),
+            "seed {seed:#x}: the drained server still accepts connections"
+        );
+        let stats = service.metrics();
+        assert!(stats.drain_micros > 0, "drain duration not recorded");
+        let landed: u64 = acknowledged.values().sum();
+        assert!(
+            landed > 0,
+            "seed {seed:#x}: the storm never landed a disclosure before the drain"
+        );
+        drop(service);
+
+        // Restart from the drained directory: the recovered sessions
+        // must hold exactly the acknowledged disclosures — nothing a
+        // client saw succeed may be missing, nothing refused may have
+        // leaked in.
+        let reopened = AuditService::open(schema(), durable_storm_config(tmp.path()))
+            .expect("drained directory reopens");
+        for (user, &successes) in &acknowledged {
+            let disclosures = match reopened.handle(&Request::SessionInfo { user: user.clone() }) {
+                Response::SessionInfo(info) => info.disclosures,
+                response => {
+                    assert_eq!(
+                        successes, 0,
+                        "seed {seed:#x}: {user} has acknowledged disclosures but no session: \
+                         {response:?}"
+                    );
+                    continue;
+                }
+            };
+            assert_eq!(
+                disclosures, successes,
+                "seed {seed:#x}: {user} acknowledged {successes} disclosures but recovery \
+                 replayed {disclosures}"
+            );
+        }
+    }
+}
+
+/// Frozen on fsync stall: at a scripted point in a sequential durable
+/// replay, the log's fsync latency jumps far past the freeze threshold.
+/// The disclosure that absorbs the stall still lands; everything after
+/// it fails closed with a typed `storage` error, while session reads
+/// and health keep answering (mode `frozen`, not ready).
+#[test]
+fn fsync_stall_freezes_disclosures_fail_closed() {
+    for seed in seeds() {
+        let plan = StormPlan::new(seed);
+        let total = 40u64;
+        let stall_at = plan.fsync_stall_at(total).min(total - 3);
+
+        let baseline_tmp = TempDir::new(&format!("overload-freeze-base-{seed:x}"));
+        let baseline = {
+            let config = ServiceConfig {
+                data_dir: Some(baseline_tmp.path().to_path_buf()),
+                wal_fsync: FsyncPolicy::Always,
+                assumption: PriorAssumption::Product,
+                workers: 1,
+                ..ServiceConfig::default()
+            };
+            let mut client = LocalClient::new(Arc::new(
+                AuditService::open(schema(), config).expect("open"),
+            ));
+            (0..total)
+                .map(|i| {
+                    let (_, request) = storm_request(&plan, i);
+                    match client.call(&request).expect("baseline call") {
+                        Response::Entry(entry) => entry.to_json().render(),
+                        other => panic!("baseline request {i} got {other:?}"),
+                    }
+                })
+                .collect::<Vec<String>>()
+        };
+
+        let tmp = TempDir::new(&format!("overload-freeze-{seed:x}"));
+        let config = ServiceConfig {
+            data_dir: Some(tmp.path().to_path_buf()),
+            wal_fsync: FsyncPolicy::Always,
+            assumption: PriorAssumption::Product,
+            workers: 1,
+            // Far above healthy fsync latency, far below the stall.
+            freeze_fsync_stall_micros: 100_000,
+            ..ServiceConfig::default()
+        };
+        let service = Arc::new(AuditService::open(schema(), config).expect("open"));
+        let mut client = LocalClient::new(Arc::clone(&service));
+
+        for i in 0..total {
+            if i == stall_at {
+                service
+                    .wal()
+                    .expect("durable service has a WAL")
+                    .set_fsync_stall(Some(Duration::from_millis(1_000)));
+            }
+            let (_, request) = storm_request(&plan, i);
+            // No retry policy on this client, so service errors come
+            // back as `Response::Error`, not `ClientError::Remote`.
+            match client.call(&request).expect("in-process call") {
+                Response::Entry(entry) => {
+                    assert!(
+                        i <= stall_at,
+                        "seed {seed:#x}: request {i} was accepted after the freeze \
+                         (stall at {stall_at})"
+                    );
+                    assert_eq!(
+                        entry.to_json().render(),
+                        baseline[i as usize],
+                        "seed {seed:#x}: pre-freeze verdict {i} diverged"
+                    );
+                }
+                Response::Error { code, .. } => {
+                    assert!(
+                        i > stall_at,
+                        "seed {seed:#x}: request {i} failed before the stall point {stall_at}: \
+                         {code:?}"
+                    );
+                    assert_eq!(
+                        code,
+                        ErrorCode::Storage,
+                        "seed {seed:#x}: frozen disclosure {i} got the wrong error"
+                    );
+                }
+                other => panic!("request {i} got {other:?}"),
+            }
+        }
+
+        // The frozen instance is alive and honest about its state.
+        let health = client.health().expect("health serves while frozen");
+        assert!(health.live && !health.ready, "{health:?}");
+        assert_eq!(health.mode, "frozen");
+        // Request 0 always landed, so its user has a live session.
+        let first_user = format!("u{}", plan.user(0));
+        let info = client
+            .session(&first_user)
+            .expect("reads serve while frozen");
+        assert!(info.disclosures > 0);
+        let stats = client.stats().expect("stats serve while frozen");
+        assert!(
+            stats.admission_rejects_degraded > 0,
+            "frozen rejections not counted: {stats:?}"
+        );
+    }
+}
