@@ -20,6 +20,7 @@
 use crate::log::{AuditLog, Disclosure};
 use crate::query::Query;
 use epi_boolean::Cube;
+use epi_core::risk::{UniformMargin, RISK_SCALE};
 use epi_core::{unrestricted, Deadline, WorldId, WorldSet};
 use epi_par::Pool;
 use epi_solver::logsupermod::{self, SupermodularSearchOptions};
@@ -82,6 +83,18 @@ pub struct ReportEntry {
     pub finding: Finding,
     /// Explanation: the deciding criterion/stage, or the breach evidence.
     pub explanation: String,
+    /// Normalized risk score of the decision in micro-units
+    /// (`0 ..= 1_000_000`, see `epi_core::risk`): `Some(0)` for
+    /// negative-gated entries (nothing protected was revealed), the
+    /// uniform-prior confidence ratio for decided-safe entries, and
+    /// saturated for flagged or inconclusive ones. `None` only on
+    /// entries decoded from pre-risk reports.
+    pub risk_micros: Option<u64>,
+    /// Remaining exposure budget of the user's session in micro-units,
+    /// after this entry was folded in. Only the service sets this (and
+    /// only when a budget cap is configured); the offline auditor has no
+    /// ledger, so offline reports carry `None`.
+    pub budget_remaining_micros: Option<u64>,
 }
 
 /// What a report entry covers.
@@ -167,6 +180,11 @@ pub struct Decision {
     /// decide); budget exhaustion is deterministic. Callers must treat
     /// every inconclusive decision as unsafe regardless of the reason.
     pub undecided: Option<UndecidedReason>,
+    /// Normalized risk score in micro-units (`0 ..= 1_000_000`): the
+    /// uniform-prior confidence ratio `P[A|B]/P[A]` for safe decisions,
+    /// saturated at `1_000_000` for flagged and inconclusive ones — an
+    /// undecided question prices as if it breached (fail closed).
+    pub risk_micros: u32,
 }
 
 /// The offline auditor.
@@ -250,6 +268,11 @@ impl Auditor {
         deadline: &Deadline,
         observe: StageObserver<'_>,
     ) -> Decision {
+        // The score of a *safe* decision is the uniform-prior confidence
+        // ratio; anything not decided safe saturates. Computed once — it
+        // is the same exact count arithmetic on every path.
+        let safe_risk = UniformMargin::from_sets(a, b).risk_micros();
+        let flagged_risk = RISK_SCALE as u32;
         match self.assumption {
             PriorAssumption::Unrestricted => {
                 let started = std::time::Instant::now();
@@ -265,6 +288,7 @@ impl Auditor {
                         stage: Some(Stage::Unconditional),
                         boxes_processed: 0,
                         undecided: None,
+                        risk_micros: safe_risk,
                     }
                 } else {
                     let r = unrestricted::refute_unrestricted(a, b)
@@ -278,6 +302,7 @@ impl Auditor {
                         stage: Some(Stage::Unconditional),
                         boxes_processed: 0,
                         undecided: None,
+                        risk_micros: flagged_risk,
                     }
                 }
             }
@@ -298,6 +323,7 @@ impl Auditor {
                         stage: Some(decision.stage),
                         boxes_processed,
                         undecided: None,
+                        risk_micros: safe_risk,
                     },
                     Verdict::Unsafe(w) => Decision {
                         finding: Finding::Flagged,
@@ -310,6 +336,7 @@ impl Auditor {
                         stage: Some(decision.stage),
                         boxes_processed,
                         undecided: None,
+                        risk_micros: flagged_risk,
                     },
                     Verdict::Unknown => {
                         let reason = decision
@@ -325,6 +352,7 @@ impl Auditor {
                             stage: Some(Stage::BranchAndBound),
                             boxes_processed,
                             undecided: Some(reason),
+                            risk_micros: flagged_risk,
                         }
                     }
                 }
@@ -341,6 +369,7 @@ impl Auditor {
                         stage: None,
                         boxes_processed: 0,
                         undecided: Some(reason),
+                        risk_micros: flagged_risk,
                     };
                 }
                 let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
@@ -358,6 +387,7 @@ impl Auditor {
                         stage: None,
                         boxes_processed: 0,
                         undecided: None,
+                        risk_micros: safe_risk,
                     },
                     Verdict::Unsafe(w) => Decision {
                         finding: Finding::Flagged,
@@ -368,6 +398,7 @@ impl Auditor {
                         stage: None,
                         boxes_processed: 0,
                         undecided: None,
+                        risk_micros: flagged_risk,
                     },
                     Verdict::Unknown => Decision {
                         finding: Finding::Inconclusive,
@@ -375,6 +406,7 @@ impl Auditor {
                         stage: None,
                         boxes_processed: 0,
                         undecided: Some(UndecidedReason::BudgetExhausted),
+                        risk_micros: flagged_risk,
                     },
                 }
             }
@@ -473,6 +505,9 @@ impl Auditor {
                     kind: item.kind,
                     finding: Finding::Safe,
                     explanation: item.prefix.clone(),
+                    // A negative-gated entry revealed nothing protected.
+                    risk_micros: Some(0),
+                    budget_remaining_micros: None,
                 },
                 Some(d) => ReportEntry {
                     user: item.user.clone(),
@@ -480,6 +515,8 @@ impl Auditor {
                     kind: item.kind,
                     finding: d.finding,
                     explanation: format!("{}: {}", item.prefix, d.explanation),
+                    risk_micros: Some(u64::from(d.risk_micros)),
+                    budget_remaining_micros: None,
                 },
             })
             .collect();

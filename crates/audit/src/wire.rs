@@ -7,6 +7,7 @@
 //! [`Json::Obj`](epi_json::Json)), no optional fields.
 
 use crate::auditor::{AuditReport, Decision, EntryKind, Finding, PriorAssumption, ReportEntry};
+use epi_core::risk::{f64_to_micros, micros_to_f64};
 use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
 use epi_solver::Stage;
 
@@ -99,6 +100,14 @@ impl Serialize for Decision {
         if let Some(reason) = self.undecided {
             fields.push(("undecided", reason.to_json()));
         }
+        // Zero risk is also the decode default, so it stays off the wire
+        // the same way zero box counts predate the counter.
+        if self.risk_micros > 0 {
+            fields.push((
+                "risk",
+                Json::from(micros_to_f64(u64::from(self.risk_micros))),
+            ));
+        }
         Json::obj(fields)
     }
 }
@@ -112,19 +121,31 @@ impl Deserialize for Decision {
             // Absent in decisions recorded before the box counter existed.
             boxes_processed: opt_field(v, "boxes_processed")?.unwrap_or(0),
             undecided: opt_field(v, "undecided")?,
+            // Absent in decisions recorded before risk scoring existed.
+            risk_micros: opt_field::<f64>(v, "risk")?.map_or(0, |r| f64_to_micros(r) as u32),
         })
     }
 }
 
 impl Serialize for ReportEntry {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("user", Json::from(self.user.as_str())),
             ("time", Json::from(self.time)),
             ("kind", self.kind.to_json()),
             ("finding", self.finding.to_json()),
             ("explanation", Json::from(self.explanation.as_str())),
-        ])
+        ];
+        // Both members are emitted only when set: entries from pre-risk
+        // builds round-trip byte-identically, and `budget_remaining`
+        // appears only on service replies with a configured budget cap.
+        if let Some(risk) = self.risk_micros {
+            fields.push(("risk", Json::from(micros_to_f64(risk))));
+        }
+        if let Some(remaining) = self.budget_remaining_micros {
+            fields.push(("budget_remaining", Json::from(micros_to_f64(remaining))));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -136,6 +157,8 @@ impl Deserialize for ReportEntry {
             kind: field(v, "kind")?,
             finding: field(v, "finding")?,
             explanation: field(v, "explanation")?,
+            risk_micros: opt_field::<f64>(v, "risk")?.map(f64_to_micros),
+            budget_remaining_micros: opt_field::<f64>(v, "budget_remaining")?.map(f64_to_micros),
         })
     }
 }
@@ -175,6 +198,8 @@ mod tests {
                     kind: EntryKind::Single,
                     finding: Finding::Safe,
                     explanation: "criterion: cancellation".to_owned(),
+                    risk_micros: Some(250_000),
+                    budget_remaining_micros: None,
                 },
                 ReportEntry {
                     user: "mallory".to_owned(),
@@ -182,6 +207,8 @@ mod tests {
                     kind: EntryKind::Cumulative,
                     finding: Finding::Flagged,
                     explanation: "product prior gains 1/4".to_owned(),
+                    risk_micros: Some(1_000_000),
+                    budget_remaining_micros: Some(333_333),
                 },
             ],
         }
@@ -227,6 +254,7 @@ mod tests {
                 stage: Some(Stage::Unconditional),
                 boxes_processed: 0,
                 undecided: None,
+                risk_micros: 500_000,
             },
             Decision {
                 finding: Finding::Inconclusive,
@@ -234,6 +262,7 @@ mod tests {
                 stage: None,
                 boxes_processed: 4096,
                 undecided: Some(epi_solver::UndecidedReason::BudgetExhausted),
+                risk_micros: 1_000_000,
             },
             Decision {
                 finding: Finding::Inconclusive,
@@ -241,6 +270,7 @@ mod tests {
                 stage: Some(Stage::BranchAndBound),
                 boxes_processed: 12,
                 undecided: Some(epi_solver::UndecidedReason::DeadlineExceeded),
+                risk_micros: 1_000_000,
             },
         ] {
             let j = Json::parse(&d.to_json().render()).unwrap();
@@ -253,8 +283,44 @@ mod tests {
             stage: None,
             boxes_processed: 0,
             undecided: None,
+            risk_micros: 0,
         };
         assert!(!decided.to_json().render().contains("undecided"));
+        assert!(
+            !decided.to_json().render().contains("risk"),
+            "zero risk stays off the wire"
+        );
+    }
+
+    #[test]
+    fn legacy_entries_decode_without_risk_members() {
+        let j = Json::parse(
+            r#"{"user":"bob","time":3,"kind":"single","finding":"safe","explanation":"ok"}"#,
+        )
+        .unwrap();
+        let e = ReportEntry::from_json(&j).unwrap();
+        assert_eq!(e.risk_micros, None);
+        assert_eq!(e.budget_remaining_micros, None);
+        // And an entry without budget members re-renders without them.
+        assert!(!e.to_json().render().contains("risk"));
+        assert!(!e.to_json().render().contains("budget_remaining"));
+    }
+
+    #[test]
+    fn risk_members_round_trip_exactly() {
+        let e = ReportEntry {
+            user: "carol".to_owned(),
+            time: 11,
+            kind: EntryKind::Single,
+            finding: Finding::Safe,
+            explanation: "ok".to_owned(),
+            risk_micros: Some(333_333),
+            budget_remaining_micros: Some(666_667),
+        };
+        let text = e.to_json().render();
+        let back = ReportEntry::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e, "micro-unit scores survive the f64 wire");
+        assert_eq!(back.to_json().render(), text);
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! solver), E12 (audit composition), E14 (parallel scaling / dense
 //! kernel), E15 (incremental subdivision / zero-allocation hot path)
 //! E16 (disclosure throughput vs. durability policy), E17
-//! (concurrent-connection throughput, reactor vs. thread-per-conn) and
-//! E18 (goodput under an overload storm with adaptive admission)
-//! workloads against the recorded baselines and writes the results to
-//! `BENCH_PR8.json` alongside the human-readable tables, so future PRs
+//! (concurrent-connection throughput, reactor vs. thread-per-conn), E18
+//! (goodput under an overload storm with adaptive admission) and E19
+//! (O(1) exhausted-budget denial vs. the full solver path) workloads
+//! against the recorded baselines and writes the results to
+//! `BENCH_PR9.json` alongside the human-readable tables, so future PRs
 //! can diff the numbers machine-readably.
 //!
 //! Run:  `cargo run --release --bin perf_trajectory [-- out.json [baseline.json]]`
@@ -844,15 +845,155 @@ fn e18() -> Json {
     ])
 }
 
+fn e19() -> Json {
+    use epi_audit::{PriorAssumption, Schema};
+    use epi_service::{
+        AuditService, BudgetOptions, ErrorCode, LocalClient, Request, Response, ServiceConfig,
+    };
+    use std::sync::Arc;
+
+    const ATOMS: [&str; 8] = [
+        "hiv_pos",
+        "transfusions",
+        "flu",
+        "diabetes",
+        "asthma",
+        "anemia",
+        "gout",
+        "measles",
+    ];
+    const FULL_SOLVES: u64 = 64;
+    const DENIALS: u64 = 20_000;
+
+    println!("\n## E19 — O(1) exhausted-user denial vs the full solver path\n");
+
+    let service = Arc::new(AuditService::new(
+        Schema::from_names(&ATOMS).unwrap(),
+        ServiceConfig {
+            assumption: PriorAssumption::Product,
+            workers: 2,
+            budget: BudgetOptions {
+                cap_micros: 2_000_000,
+                ..BudgetOptions::default()
+            },
+            ..ServiceConfig::default()
+        },
+    ));
+    let mut client = LocalClient::new(Arc::clone(&service));
+
+    // Full-solve reference: one fresh user per request and 64 distinct
+    // `a & b` formulas (the diagonal collapses to the single atom), so
+    // every disclosure misses the verdict cache and walks the whole
+    // pipeline — compile, solve, certify, ledger fold.
+    let decide_before = service.metrics().decide_requests;
+    let t = Instant::now();
+    for i in 0..FULL_SOLVES {
+        let (a, b) = (ATOMS[(i % 8) as usize], ATOMS[(i / 8) as usize]);
+        let request = Request::Disclose {
+            user: format!("s{i}"),
+            time: i + 1,
+            query: if a == b {
+                a.to_owned()
+            } else {
+                format!("{a} & {b}")
+            },
+            state_mask: 0xFF,
+            audit_query: "hiv_pos".to_owned(),
+        };
+        match client.call(&request) {
+            Ok(Response::Entry(_)) => {}
+            other => panic!("e19 full-solve request {i} got {other:?}"),
+        }
+    }
+    let full_wall = t.elapsed().as_secs_f64();
+    let full_solves = service.metrics().decide_requests - decide_before;
+    assert_eq!(
+        full_solves, FULL_SOLVES,
+        "every reference request must reach the solver"
+    );
+
+    // Exhaust one user: two direct hits at risk 1.0 each spend the whole
+    // 2.0 cap, putting the user on the deny threshold.
+    for t in 1..=2 {
+        let request = Request::Disclose {
+            user: "mallory".to_owned(),
+            time: t,
+            query: "hiv_pos".to_owned(),
+            state_mask: 0xFF,
+            audit_query: "hiv_pos".to_owned(),
+        };
+        match client.call(&request) {
+            Ok(Response::Entry(_)) => {}
+            other => panic!("e19 exhaustion disclosure {t} got {other:?}"),
+        }
+    }
+
+    // Denial phase: every further request from the exhausted user must
+    // be refused in O(1) — a session read and a threshold compare —
+    // before the solver queue, so `decide_requests` stays flat.
+    let decide_before = service.metrics().decide_requests;
+    let denial = Request::Disclose {
+        user: "mallory".to_owned(),
+        time: 3,
+        query: "hiv_pos | transfusions".to_owned(),
+        state_mask: 0xFF,
+        audit_query: "hiv_pos".to_owned(),
+    };
+    let t = Instant::now();
+    for i in 0..DENIALS {
+        match client.call(&denial) {
+            Ok(Response::Error {
+                code: ErrorCode::BudgetExhausted,
+                ..
+            }) => {}
+            other => panic!("e19 denial {i} got {other:?}"),
+        }
+    }
+    let denial_wall = t.elapsed().as_secs_f64();
+    let stats = service.metrics();
+    let decide_flat = stats.decide_requests == decide_before;
+
+    let full_per_sec = full_solves as f64 / full_wall;
+    let denials_per_sec = DENIALS as f64 / denial_wall;
+    let speedup = denials_per_sec / full_per_sec;
+    println!(
+        "full solver path: {full_solves} disclosures in {:.1}ms ({full_per_sec:.0}/s)",
+        full_wall * 1e3
+    );
+    println!(
+        "exhausted-user denials: {DENIALS} in {:.1}ms ({denials_per_sec:.0}/s), \
+         {speedup:.0}x the full path, decide_requests flat: {decide_flat}",
+        denial_wall * 1e3
+    );
+    assert_eq!(
+        stats.budget_exhausted_denials, DENIALS,
+        "every denial must be counted"
+    );
+    Json::obj([
+        ("full_solves", Json::from(full_solves)),
+        ("full_wall_ms", Json::from(full_wall * 1e3)),
+        ("full_solves_per_sec", Json::from(full_per_sec)),
+        ("denials", Json::from(DENIALS)),
+        ("denial_wall_ms", Json::from(denial_wall * 1e3)),
+        ("denials_per_sec", Json::from(denials_per_sec)),
+        ("fast_path_speedup", Json::from(speedup)),
+        ("decide_requests_flat", Json::from(decide_flat)),
+        (
+            "meets_acceptance",
+            Json::from(decide_flat && speedup >= 1.0),
+        ),
+    ])
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let baseline_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
-    println!("# Perf trajectory — PR 8 adaptive overload control");
+    println!("# Perf trajectory — PR 9 risk-scored verdicts and exposure budgets");
     println!("available_parallelism={cores}");
 
     let e8_configs: Vec<(&str, ProductSolverOptions)> = vec![
@@ -886,9 +1027,10 @@ fn main() {
     let e16_json = e16();
     let e17_json = e17();
     let e18_json = e18();
+    let e19_json = e19();
 
     let mut fields = vec![
-        ("pr", Json::from(8usize)),
+        ("pr", Json::from(9usize)),
         ("generated_by", Json::from("perf_trajectory")),
         ("available_parallelism", Json::from(cores)),
         (
@@ -914,7 +1056,11 @@ fn main() {
                  E18 storms a daemon whose per-decision cost is pinned at 3ms with \
                  ~4x its capacity and reports goodput (acknowledged / offered) under \
                  AIMD admission control plus per-reason rejects; every acknowledged \
-                 verdict is checked byte-identical to an unloaded sequential replay",
+                 verdict is checked byte-identical to an unloaded sequential replay. \
+                 E19 compares the O(1) exhausted-user refusal (a session read and a \
+                 threshold compare, before the solver queue) against full cache-miss \
+                 solves on the same daemon; decide_requests must stay flat across \
+                 the denial phase",
             ),
         ),
         ("e8", e8_json),
@@ -926,6 +1072,7 @@ fn main() {
         ("e16", e16_json),
         ("e17", e17_json),
         ("e18", e18_json),
+        ("e19", e19_json),
     ];
     if let Some(s) = e15_speedup {
         fields.push(("e15_aggregate_speedup_vs_pr2", Json::from(s)));

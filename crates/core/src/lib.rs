@@ -24,6 +24,8 @@
 //!   unrestricted priors (Theorem 3.11);
 //! * [`intervals`] — the interval machinery for intersection-closed `K`
 //!   (Definitions 4.3–4.13, Propositions 4.1–4.10, Corollaries 4.12/4.14);
+//! * [`risk`] — the exact uniform-prior safety margin and the normalized
+//!   per-disclosure risk score derived from it;
 //! * [`families`] — concrete intersection-closed knowledge families,
 //!   including the integer-rectangle family of Example 4.9 / Figure 1.
 //!
@@ -53,6 +55,7 @@ pub mod knowledge;
 pub mod possibilistic;
 pub mod preserving;
 pub mod probabilistic;
+pub mod risk;
 pub mod unrestricted;
 pub mod wire;
 pub mod world;
@@ -61,4 +64,5 @@ pub use deadline::{CancelToken, Deadline, StopReason};
 pub use error::CoreError;
 pub use knowledge::{KnowledgeWorld, PossKnowledge};
 pub use probabilistic::{Distribution, ProbKnowledge, ProbKnowledgeWorld};
+pub use risk::{UniformMargin, RISK_SCALE};
 pub use world::{WorldId, WorldSet};

@@ -480,16 +480,22 @@ mod tests {
 
     #[test]
     fn proposition_3_6_matches_definition_3_4() {
+        use epi_num::Rational;
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let n = 4;
+        let (mut compared, mut ties) = (0u32, 0u32);
         for _ in 0..200 {
-            let pi: Vec<Distribution> = (0..3)
-                .map(|_| {
-                    Distribution::from_unnormalized(
-                        (0..n).map(|_| rng.gen::<f64>() + 1e-3).collect(),
-                    )
-                    .unwrap()
+            // Small integer raw weights: exactly representable as f64, so
+            // the margin of every prior is computable as an exact rational
+            // from the same numbers the float predicates consume.
+            let weights: Vec<Vec<i128>> = (0..3)
+                .map(|_| (0..n).map(|_| rng.gen_range(1..=1000i128)).collect())
+                .collect();
+            let pi: Vec<Distribution> = weights
+                .iter()
+                .map(|w| {
+                    Distribution::from_unnormalized(w.iter().map(|&x| x as f64).collect()).unwrap()
                 })
                 .collect();
             let c = WorldSet::from_predicate(n, |_| rng.gen::<bool>());
@@ -501,25 +507,54 @@ mod tests {
             if b.intersection(&c).is_empty() {
                 continue;
             }
-            let k = match ProbKnowledge::product(&c, &pi) {
-                Ok(k) => k,
-                Err(_) => continue,
+            // Positive weights mean full support, so C ⊗ Π is never empty.
+            let k = ProbKnowledge::product(&c, &pi).unwrap();
+            // Exact margin P[A]·P[B] − P[AB] per prior: with raw weights
+            // w summing to T, it is (Σ_A w · Σ_B w − Σ_AB w · T) / T².
+            let sum = |w: &[i128], s: &WorldSet| -> i128 {
+                (0..n)
+                    .filter(|&i| s.contains(WorldId(i as u32)))
+                    .map(|i| w[i])
+                    .sum()
             };
-            // Tolerance-free comparison can flip on boundary cases; only
-            // compare when the margin is clear.
-            let margin = pi
+            let ab = a.intersection(&b);
+            let margins: Vec<Rational> = weights
                 .iter()
-                .map(|p| (p.prob(&a.intersection(&b)) - p.prob(&a) * p.prob(&b)).abs())
-                .fold(f64::INFINITY, f64::min);
-            if margin < 1e-9 {
+                .map(|w| {
+                    let t: i128 = w.iter().sum();
+                    Rational::new(sum(w, &a) * sum(w, &b) - sum(w, &ab) * t, t * t)
+                })
+                .collect();
+            // Every prior has full support, so every prior is relevant
+            // (P[BC] > 0) and exact safety is "no prior has a negative
+            // margin" — the same ground truth for Def 3.4 and Prop 3.6.
+            let exact_safe = margins.iter().all(|m| !m.is_negative());
+            if margins.iter().any(|m| m.is_zero()) {
+                // A true tie: P[A|B] = P[A] exactly for some prior. Both
+                // predicates call that safe (no *gain* in confidence),
+                // but their f64 evaluations of an exact equality can land
+                // on either side, so only these cases are exempt.
+                ties += 1;
                 continue;
             }
+            compared += 1;
             assert_eq!(
                 is_safe(&k, &a, &b),
+                exact_safe,
+                "Def 3.4 disagrees with the exact margin: A={a:?} B={b:?} C={c:?} w={weights:?}"
+            );
+            assert_eq!(
                 safe_family(&c, &pi, &a, &b),
-                "A={a:?} B={b:?} C={c:?}"
+                exact_safe,
+                "Prop 3.6 disagrees with the exact margin: A={a:?} B={b:?} C={c:?} w={weights:?}"
             );
         }
+        // Integer weights make true ties rare: the bulk of the cases must
+        // actually be compared, or the test has regressed into skipping.
+        assert!(
+            compared >= 100,
+            "only {compared} cases compared ({ties} exact ties)"
+        );
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Quantitative disclosure risk: the uniform-prior safety margin.
+//!
+//! The paper's safety predicates are boolean — a disclosure is safe or
+//! it is not — and the set-valued β function of Prop 4.1/Cor 4.14
+//! ([`crate::intervals::margin`]) certifies *which worlds* separate the
+//! two. Operationally a daemon also wants a *number*: how close did this
+//! disclosure come to the breach boundary, and how does that closeness
+//! compose across a session? This module derives that number exactly.
+//!
+//! The reference point is the **uniform prior**: the product distribution
+//! that assigns every atom probability 1/2, i.e. the uniform distribution
+//! over all `N = 2^n` worlds. At that prior every probability is a count
+//! divided by `N`, so the safety gap
+//!
+//! ```text
+//! gap = Pr[A]·Pr[B] − Pr[A ∧ B]  =  (|A|·|B| − |A∩B|·N) / N²
+//! ```
+//!
+//! is an exact integer fraction — no floats, no tolerance. The uniform
+//! prior is covered by every assumption family the auditor supports
+//! (it is a product distribution, and trivially a member of the
+//! unrestricted family), so a verdict of *safe* implies `gap ≥ 0` here:
+//! the margin is a certified lower bound on distance to breach at the
+//! least-informed prior, and a breach at the uniform prior saturates the
+//! score.
+//!
+//! The normalized **risk score** is the posterior/prior confidence ratio
+//! at that prior, clamped to `[0, 1]`:
+//!
+//! ```text
+//! risk = Pr[A | B] / Pr[A]  =  |A∩B|·N / (|A|·|B|)     (clamped to 1)
+//! ```
+//!
+//! `0` means the disclosure taught the attacker nothing about `A`
+//! (independent or disjoint), `1` means it reached (or crossed) the
+//! breach boundary. Scores are carried as integer **micro-units**
+//! (`0 ..= 1_000_000`, see [`RISK_SCALE`]) so they stay `Eq`-comparable
+//! and byte-stable on the wire; the f64 rendering is derived, never
+//! stored.
+
+use crate::world::WorldSet;
+
+/// One unit of risk (`1.0`) in integer micro-units.
+pub const RISK_SCALE: u64 = 1_000_000;
+
+/// The exact uniform-prior safety margin of one disclosure `B` against
+/// an audited property `A`, kept as integer counts so every derived
+/// quantity is exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UniformMargin {
+    /// `|A|` — worlds satisfying the audited property.
+    pub a: u64,
+    /// `|B|` — worlds consistent with the disclosure.
+    pub b: u64,
+    /// `|A ∩ B|`.
+    pub ab: u64,
+    /// Universe size `N` (all counts are out of this many worlds).
+    pub n: u64,
+}
+
+impl UniformMargin {
+    /// Margin from raw counts. `a`, `b` and `ab` must not exceed `n`,
+    /// and `n` must be nonzero.
+    pub fn from_counts(a: u64, b: u64, ab: u64, n: u64) -> UniformMargin {
+        assert!(n > 0, "empty universe has no margin");
+        assert!(a <= n && b <= n && ab <= n, "counts exceed the universe");
+        assert!(ab <= a && ab <= b, "|A∩B| exceeds |A| or |B|");
+        UniformMargin { a, b, ab, n }
+    }
+
+    /// Margin of disclosure `b` against audited set `a` (same universe).
+    pub fn from_sets(a: &WorldSet, b: &WorldSet) -> UniformMargin {
+        UniformMargin::from_counts(
+            a.len() as u64,
+            b.len() as u64,
+            a.intersection_len(b) as u64,
+            a.universe_size() as u64,
+        )
+    }
+
+    /// Numerator of the exact gap `Pr[A]·Pr[B] − Pr[A∧B]` over the
+    /// common denominator `N²`: `|A|·|B| − |A∩B|·N`. Negative means the
+    /// uniform prior already gains confidence in `A` from `B`.
+    pub fn gap_numerator(&self) -> i128 {
+        self.a as i128 * self.b as i128 - self.ab as i128 * self.n as i128
+    }
+
+    /// Denominator of the exact gap: `N²`.
+    pub fn gap_denominator(&self) -> u128 {
+        self.n as u128 * self.n as u128
+    }
+
+    /// The gap as a float, for display only.
+    pub fn gap_f64(&self) -> f64 {
+        self.gap_numerator() as f64 / self.gap_denominator() as f64
+    }
+
+    /// True when the disclosure sits exactly on the breach boundary at
+    /// the uniform prior (`Pr[A|B] = Pr[A]` with both sides defined).
+    pub fn is_tie(&self) -> bool {
+        self.a > 0 && self.b > 0 && self.gap_numerator() == 0
+    }
+
+    /// The normalized risk score in micro-units: `Pr[A|B] / Pr[A]`
+    /// at the uniform prior, clamped to `[0, RISK_SCALE]`. Degenerate
+    /// cases (`A` impossible, `B` impossible) score `0` — an impossible
+    /// disclosure or a vacuous property teaches nothing.
+    pub fn risk_micros(&self) -> u32 {
+        if self.a == 0 || self.b == 0 || self.ab == 0 {
+            return 0;
+        }
+        // risk = ab·N / (a·b), scaled. Products stay within u128:
+        // ab, n ≤ 2^64 would overflow, but counts are world counts of
+        // in-memory sets, far below 2^40 in practice; u128 holds
+        // ab·N·SCALE for all representable inputs (≤ 2^40·2^40·2^20).
+        let num = self.ab as u128 * self.n as u128 * RISK_SCALE as u128;
+        let den = self.a as u128 * self.b as u128;
+        let scaled = num / den;
+        scaled.min(RISK_SCALE as u128) as u32
+    }
+
+    /// The risk score as a float in `[0, 1]`, derived from
+    /// [`risk_micros`](Self::risk_micros) — use only for rendering.
+    pub fn risk_f64(&self) -> f64 {
+        self.risk_micros() as f64 / RISK_SCALE as f64
+    }
+}
+
+/// Renders a micro-unit score as the wire's f64 in `[0, 1]`.
+pub fn micros_to_f64(micros: u64) -> f64 {
+    micros as f64 / RISK_SCALE as f64
+}
+
+/// Parses a wire f64 back to micro-units, rounding to the nearest
+/// micro. Exact for every value produced by [`micros_to_f64`] (micro
+/// counts are far below 2^52, so the division and the round-trip are
+/// lossless in f64).
+pub fn f64_to_micros(value: f64) -> u64 {
+    if !value.is_finite() || value <= 0.0 {
+        return 0;
+    }
+    (value * RISK_SCALE as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldSet;
+
+    #[test]
+    fn independent_sets_have_zero_gap_and_half_risk_structure() {
+        // 4 worlds over 2 atoms; A = atom 0, B = atom 1 — independent
+        // under the uniform prior, so the gap is exactly zero.
+        let a = WorldSet::from_predicate(4, |w| w.index() & 1 != 0);
+        let b = WorldSet::from_predicate(4, |w| w.index() & 2 != 0);
+        let m = UniformMargin::from_sets(&a, &b);
+        assert_eq!(m.gap_numerator(), 0);
+        assert!(m.is_tie());
+        // At the boundary the confidence ratio is exactly 1.
+        assert_eq!(m.risk_micros(), RISK_SCALE as u32);
+    }
+
+    #[test]
+    fn disjoint_sets_are_zero_risk() {
+        let a = WorldSet::from_predicate(4, |w| w.index() < 2);
+        let b = WorldSet::from_predicate(4, |w| w.index() >= 2);
+        let m = UniformMargin::from_sets(&a, &b);
+        assert_eq!(m.ab, 0);
+        assert_eq!(m.risk_micros(), 0);
+        assert!(m.gap_numerator() > 0);
+        assert!(!m.is_tie());
+    }
+
+    #[test]
+    fn containment_saturates_risk() {
+        // B ⊂ A with B small: learning B pins A, risk clamps to 1.
+        let a = WorldSet::from_predicate(8, |w| w.index() < 4);
+        let b = WorldSet::from_predicate(8, |w| w.index() == 1);
+        let m = UniformMargin::from_sets(&a, &b);
+        assert!(m.gap_numerator() < 0);
+        assert_eq!(m.risk_micros(), RISK_SCALE as u32);
+        assert_eq!(m.risk_f64(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_sets_score_zero() {
+        let empty = WorldSet::empty(4);
+        let full = WorldSet::from_predicate(4, |_| true);
+        assert_eq!(UniformMargin::from_sets(&empty, &full).risk_micros(), 0);
+        assert_eq!(UniformMargin::from_sets(&full, &empty).risk_micros(), 0);
+        assert!(!UniformMargin::from_sets(&empty, &full).is_tie());
+    }
+
+    #[test]
+    fn gap_matches_float_computation_on_small_universes() {
+        for mask_a in 0u32..16 {
+            for mask_b in 0u32..16 {
+                let a = WorldSet::from_predicate(4, |w| mask_a & (1 << w.index()) != 0);
+                let b = WorldSet::from_predicate(4, |w| mask_b & (1 << w.index()) != 0);
+                let m = UniformMargin::from_sets(&a, &b);
+                let pa = a.len() as f64 / 4.0;
+                let pb = b.len() as f64 / 4.0;
+                let pab = a.intersection_len(&b) as f64 / 4.0;
+                let float_gap = pa * pb - pab;
+                assert!(
+                    (m.gap_f64() - float_gap).abs() < 1e-12,
+                    "A={mask_a:04b} B={mask_b:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn micro_round_trip_is_exact() {
+        for micros in [0u64, 1, 499_999, 500_000, 999_999, 1_000_000] {
+            assert_eq!(f64_to_micros(micros_to_f64(micros)), micros);
+        }
+        assert_eq!(f64_to_micros(f64::NAN), 0);
+        assert_eq!(f64_to_micros(-0.5), 0);
+    }
+}

@@ -34,6 +34,13 @@
 //! kill-and-restart run reconstructs byte-identical verdicts and that
 //! corrupted log frames are detected and handled fail-closed.
 //!
+//! [`BudgetPlan`] extends it to exposure budgets: a seeded disclosure
+//! stream (which user, which query shape, which state mask) for driving
+//! per-user exposure ledgers toward their caps from many directions at
+//! once. The budget suites use it to assert that the ledger a restart
+//! replays from the disclosure log is byte-identical to the one the
+//! interrupted process held in memory, whatever the mix.
+//!
 //! [`StormPlan`] extends it to overload: a seeded request storm (skewed
 //! onto one heavy user, with a scripted fsync-stall point) whose volume
 //! deliberately exceeds capacity. The overload suite
@@ -438,6 +445,57 @@ impl StormPlan {
     }
 }
 
+/// A seeded disclosure-stream script for the exposure-budget suites.
+/// Where [`StormPlan`] scripts *volume*, a `BudgetPlan` scripts *risk
+/// accrual*: which user makes the `index`-th disclosure, what state it
+/// reveals, and which of a small set of query shapes it uses — so a
+/// seed matrix walks many distinct ledgers toward (and past) their caps.
+/// Every method is a pure function of `(plan, index)`.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Distinct users accruing exposure.
+    pub users: u64,
+    /// Distinct query shapes the driver cycles through.
+    pub queries: u64,
+}
+
+impl BudgetPlan {
+    /// A plan with the default shape: 4 users over 3 query shapes.
+    pub fn new(seed: u64) -> BudgetPlan {
+        BudgetPlan {
+            seed,
+            users: 4,
+            queries: 3,
+        }
+    }
+
+    fn draw(&self, stream: u64, index: u64) -> u64 {
+        splitmix64(self.seed ^ stream.rotate_left(32) ^ splitmix64(index))
+    }
+
+    /// Which user makes the `index`-th disclosure.
+    pub fn user(&self, index: u64) -> u64 {
+        self.draw(0xB6_01, index) % self.users.max(1)
+    }
+
+    /// Which query shape the `index`-th disclosure uses.
+    pub fn query(&self, index: u64) -> u64 {
+        self.draw(0xB6_02, index) % self.queries.max(1)
+    }
+
+    /// The disclosed state mask of the `index`-th disclosure, within an
+    /// `atoms`-bit schema (`0 < atoms <= 32`). Unlike a storm, zero is
+    /// allowed: all-false states exercise the negative-result gate,
+    /// which accrues zero risk but still advances the ledger epoch.
+    pub fn state_mask(&self, index: u64, atoms: u32) -> u32 {
+        assert!(atoms > 0 && atoms <= 32, "atoms = {atoms}");
+        let cap = 1u64 << atoms;
+        (self.draw(0xB6_03, index) % cap) as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,6 +694,31 @@ mod tests {
                 "stall point {at} out of 1..{total}"
             );
         }
+    }
+
+    #[test]
+    fn budget_plans_are_deterministic_and_bounded() {
+        let a = BudgetPlan::new(909);
+        let b = BudgetPlan::new(909);
+        let mut gated = 0u64;
+        for i in 0..2000 {
+            assert_eq!(a.user(i), b.user(i), "same seed, same stream");
+            assert_eq!(a.query(i), b.query(i));
+            assert_eq!(a.state_mask(i, 3), b.state_mask(i, 3));
+            assert!(a.user(i) < a.users);
+            assert!(a.query(i) < a.queries);
+            let mask = a.state_mask(i, 3);
+            assert!(mask < 8, "mask {mask} out of a 3-atom schema");
+            if mask == 0 {
+                gated += 1;
+            }
+        }
+        assert!(
+            gated > 0,
+            "all-false states must appear so the zero-risk path is driven"
+        );
+        let differs = (0..500).any(|i| BudgetPlan::new(1).user(i) != BudgetPlan::new(2).user(i));
+        assert!(differs, "seeds 1 and 2 scripted identical streams");
     }
 
     #[test]

@@ -153,6 +153,7 @@ mod tests {
             stage: None,
             boxes_processed: 0,
             undecided: None,
+            risk_micros: 0,
         }
     }
 

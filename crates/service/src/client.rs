@@ -25,7 +25,9 @@
 //! caller; re-resolve and go to another instance instead.
 
 use crate::metrics::Snapshot;
-use crate::proto::{ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan};
+use crate::proto::{
+    BudgetInfo, ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan,
+};
 use crate::service::AuditService;
 use epi_audit::auditor::ReportEntry;
 use epi_json::{opt_field, Deserialize, Json, Serialize};
@@ -235,6 +237,20 @@ fn expect_session(response: Response) -> Result<SessionInfo, ClientError> {
     }
 }
 
+fn expect_budget(response: Response) -> Result<BudgetInfo, ClientError> {
+    match response {
+        Response::Budget(info) => Ok(*info),
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(remote_error(code, message, retry_after_ms)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}
+
 fn expect_trace(response: Response) -> Result<Vec<WireSpan>, ClientError> {
     match response {
         Response::Trace(spans) => Ok(spans),
@@ -323,6 +339,14 @@ macro_rules! convenience_calls {
                 user: user.to_owned(),
             })?;
             expect_session(response)
+        }
+
+        /// Fetches a user's exposure ledger and remaining budget.
+        pub fn budget(&mut self, user: &str) -> Result<BudgetInfo, ClientError> {
+            let response = self.call(&Request::Budget {
+                user: user.to_owned(),
+            })?;
+            expect_budget(response)
         }
 
         /// Records a disclosure under a client-minted trace id, so the

@@ -85,8 +85,10 @@ pub use cache::{DecisionKey, VerdictCache};
 pub use client::{AuditOutcome, Client, ClientError, LocalClient, RetryPolicy};
 pub use epi_wal::{FsyncPolicy, RecoveryReport, WalError};
 pub use metrics::{Metrics, Snapshot};
-pub use proto::{ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan};
+pub use proto::{
+    BudgetInfo, ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan,
+};
 pub use server::{Server, ServerMode, ServerOptions};
-pub use service::{AuditService, ServiceConfig};
-pub use session::{knowledge_digest, Session, SessionError, SessionStore};
+pub use service::{AuditService, BudgetCompose, BudgetOptions, ServiceConfig};
+pub use session::{knowledge_digest, ledger_digest, Session, SessionError, SessionStore};
 pub use worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};

@@ -21,6 +21,11 @@ pub const LATENCY_BUCKETS: usize = 20;
 /// decisions reached outside the pipeline.
 pub const STAGE_SLOTS: usize = 7;
 
+/// Number of per-decision risk-histogram buckets: bucket `k` counts
+/// decisions whose normalized risk score fell in `[k/10, (k+1)/10)`;
+/// the last bucket also owns a risk of exactly 1.0.
+pub const RISK_BUCKETS: usize = 10;
+
 const STAGE_LABELS: [&str; STAGE_SLOTS] = [
     "unconditional",
     "miklau_suciu",
@@ -129,6 +134,19 @@ pub struct Metrics {
     /// Wall microseconds the last graceful drain took (gauge, zero until
     /// a drain runs).
     pub drain_micros: AtomicU64,
+    /// Disclosures refused up front because the user's exposure budget
+    /// crossed the deny threshold (O(1) fast path; never enqueued).
+    pub budget_exhausted_denials: AtomicU64,
+    /// Disclosures that crossed the budget warn threshold (still
+    /// served).
+    pub budget_warnings: AtomicU64,
+    /// Largest per-user budget spend seen, in micro-units (gauge).
+    pub budget_spent_high_water_micros: AtomicU64,
+    /// Per-decision risk histogram: decisions scored, total risk in
+    /// micro-units, and tenth-of-risk buckets.
+    risk_count: AtomicU64,
+    risk_sum_micros: AtomicU64,
+    risk_buckets: [AtomicU64; RISK_BUCKETS],
     stages: [StageStats; STAGE_SLOTS],
 }
 
@@ -175,6 +193,17 @@ impl Metrics {
         self.solver_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
+    /// Records one decided disclosure's normalized risk score
+    /// (micro-units, clamped to `[0, 1_000_000]`) into the risk
+    /// histogram.
+    pub fn record_risk(&self, micros: u64) {
+        let micros = micros.min(1_000_000);
+        self.risk_count.fetch_add(1, Ordering::Relaxed);
+        self.risk_sum_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = ((micros / 100_000) as usize).min(RISK_BUCKETS - 1);
+        self.risk_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one computed decision: which stage settled it and how long
     /// the solver took.
     pub fn record_decision(&self, stage: Option<Stage>, micros: u64) {
@@ -218,6 +247,12 @@ impl Metrics {
             admission_wait_ewma_micros: read(&self.admission_wait_ewma_micros),
             degradation_mode: read(&self.degradation_mode),
             drain_micros: read(&self.drain_micros),
+            budget_exhausted_denials: read(&self.budget_exhausted_denials),
+            budget_warnings: read(&self.budget_warnings),
+            budget_spent_high_water_micros: read(&self.budget_spent_high_water_micros),
+            risk_count: read(&self.risk_count),
+            risk_sum_micros: read(&self.risk_sum_micros),
+            risk_buckets: self.risk_buckets.iter().map(read).collect(),
             pool_workers: epi_par::Pool::global().threads() as u64,
             pool_tasks: epi_par::stats().tasks_executed,
             pool_steals: epi_par::stats().steals,
@@ -322,6 +357,20 @@ pub struct Snapshot {
     pub degradation_mode: u64,
     /// Wall microseconds the last graceful drain took (gauge).
     pub drain_micros: u64,
+    /// Disclosures refused up front by the exposure-budget deny
+    /// threshold (never enqueued to the solver).
+    pub budget_exhausted_denials: u64,
+    /// Disclosures that crossed the budget warn threshold.
+    pub budget_warnings: u64,
+    /// Largest per-user budget spend seen, micro-units (gauge).
+    pub budget_spent_high_water_micros: u64,
+    /// Decisions scored into the risk histogram.
+    pub risk_count: u64,
+    /// Total risk across scored decisions, micro-units.
+    pub risk_sum_micros: u64,
+    /// Tenth-of-risk histogram buckets (`[k/10, (k+1)/10)`, last bucket
+    /// owns 1.0).
+    pub risk_buckets: Vec<u64>,
     /// Worker threads in the process-wide [`epi_par`] solver pool.
     pub pool_workers: u64,
     /// Tasks the solver pool has executed (process lifetime).
@@ -586,6 +635,16 @@ impl Snapshot {
             "Requests refused in cache_only/frozen degradation modes.",
             self.admission_rejects_degraded,
         );
+        counter(
+            "epi_budget_exhausted_denials_total",
+            "Disclosures refused by the exposure-budget deny threshold.",
+            self.budget_exhausted_denials,
+        );
+        counter(
+            "epi_budget_warnings_total",
+            "Disclosures that crossed the exposure-budget warn threshold.",
+            self.budget_warnings,
+        );
         let mut gauge = |name: &str, help: &str, value: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -651,6 +710,35 @@ impl Snapshot {
             "Wall microseconds the last graceful drain took.",
             self.drain_micros,
         );
+        gauge(
+            "epi_budget_spent_high_water_micros",
+            "Largest per-user exposure-budget spend seen, micro-units.",
+            self.budget_spent_high_water_micros,
+        );
+        out.push_str(concat!(
+            "# HELP epi_decision_risk Normalized per-decision risk score.\n",
+            "# TYPE epi_decision_risk histogram\n",
+        ));
+        let mut cumulative = 0u64;
+        for (k, &n) in self.risk_buckets.iter().enumerate() {
+            cumulative += n;
+            if k + 1 == self.risk_buckets.len() {
+                out.push_str(&format!(
+                    "epi_decision_risk_bucket{{le=\"+Inf\"}} {cumulative}\n"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "epi_decision_risk_bucket{{le=\"0.{}\"}} {}\n",
+                    k + 1,
+                    cumulative
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "epi_decision_risk_sum {}\n",
+            self.risk_sum_micros as f64 / 1e6
+        ));
+        out.push_str(&format!("epi_decision_risk_count {}\n", self.risk_count));
         out.push_str(concat!(
             "# HELP epi_stage_latency_micros Decision latency by deciding pipeline stage.\n",
             "# TYPE epi_stage_latency_micros histogram\n",
@@ -783,6 +871,18 @@ impl Serialize for Snapshot {
             ),
             ("degradation_mode", Json::from(self.degradation_mode)),
             ("drain_micros", Json::from(self.drain_micros)),
+            (
+                "budget_exhausted_denials",
+                Json::from(self.budget_exhausted_denials),
+            ),
+            ("budget_warnings", Json::from(self.budget_warnings)),
+            (
+                "budget_spent_high_water_micros",
+                Json::from(self.budget_spent_high_water_micros),
+            ),
+            ("risk_count", Json::from(self.risk_count)),
+            ("risk_sum_micros", Json::from(self.risk_sum_micros)),
+            ("risk_buckets", self.risk_buckets.to_json()),
             ("pool_workers", Json::from(self.pool_workers)),
             ("pool_tasks", Json::from(self.pool_tasks)),
             ("pool_steals", Json::from(self.pool_steals)),
@@ -867,6 +967,17 @@ impl Deserialize for Snapshot {
             admission_wait_ewma_micros: opt_field(v, "admission_wait_ewma_micros")?.unwrap_or(0),
             degradation_mode: opt_field(v, "degradation_mode")?.unwrap_or(0),
             drain_micros: opt_field(v, "drain_micros")?.unwrap_or(0),
+            // Absent in snapshots from pre-budget daemons: every budget
+            // and risk member decodes to its zero state, and the absent
+            // histogram reads as all-empty buckets so a decoded legacy
+            // snapshot compares equal to a fresh registry's.
+            budget_exhausted_denials: opt_field(v, "budget_exhausted_denials")?.unwrap_or(0),
+            budget_warnings: opt_field(v, "budget_warnings")?.unwrap_or(0),
+            budget_spent_high_water_micros: opt_field(v, "budget_spent_high_water_micros")?
+                .unwrap_or(0),
+            risk_count: opt_field(v, "risk_count")?.unwrap_or(0),
+            risk_sum_micros: opt_field(v, "risk_sum_micros")?.unwrap_or(0),
+            risk_buckets: opt_field(v, "risk_buckets")?.unwrap_or_else(|| vec![0; RISK_BUCKETS]),
             pool_workers: opt_field(v, "pool_workers")?.unwrap_or(0),
             pool_tasks: opt_field(v, "pool_tasks")?.unwrap_or(0),
             pool_steals: opt_field(v, "pool_steals")?.unwrap_or(0),
@@ -973,6 +1084,12 @@ mod tests {
                         | "admission_wait_ewma_micros"
                         | "degradation_mode"
                         | "drain_micros"
+                        | "budget_exhausted_denials"
+                        | "budget_warnings"
+                        | "budget_spent_high_water_micros"
+                        | "risk_count"
+                        | "risk_sum_micros"
+                        | "risk_buckets"
                         | "pool_workers"
                         | "pool_tasks"
                         | "pool_steals"
@@ -1025,6 +1142,57 @@ mod tests {
         assert_eq!(back.recovery_replayed_records, 0);
         assert_eq!(back.recovery_millis, 0);
         assert_eq!(back.boxes_per_sec(), 0.0);
+        assert_eq!(back.budget_exhausted_denials, 0);
+        assert_eq!(back.budget_warnings, 0);
+        assert_eq!(back.budget_spent_high_water_micros, 0);
+        assert_eq!(back.risk_count, 0);
+        assert_eq!(back.risk_buckets, vec![0; RISK_BUCKETS]);
+    }
+
+    #[test]
+    fn pre_budget_snapshots_default_budget_and_risk_fields_to_zero() {
+        // Regression (PR 9): a snapshot line from a pre-budget daemon
+        // carries none of the budget/risk members; it must parse with
+        // every one of them zero-defaulted, exactly like the
+        // negative_gated/coalesced defaults above.
+        let snap = Metrics::new().snapshot();
+        let mut v = Json::parse(&snap.to_json().render()).unwrap();
+        if let Json::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "budget_exhausted_denials"
+                        | "budget_warnings"
+                        | "budget_spent_high_water_micros"
+                        | "risk_count"
+                        | "risk_sum_micros"
+                        | "risk_buckets"
+                )
+            });
+        }
+        let back = Snapshot::from_json(&v).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn risk_scores_land_in_tenth_buckets() {
+        let m = Metrics::new();
+        m.record_risk(0); // bucket 0
+        m.record_risk(99_999); // bucket 0
+        m.record_risk(100_000); // bucket 1
+        m.record_risk(950_000); // bucket 9
+        m.record_risk(1_000_000); // bucket 9 (owns 1.0)
+        m.record_risk(u64::MAX); // clamped, bucket 9
+        let snap = m.snapshot();
+        assert_eq!(snap.risk_count, 6);
+        assert_eq!(snap.risk_buckets[0], 2);
+        assert_eq!(snap.risk_buckets[1], 1);
+        assert_eq!(snap.risk_buckets[9], 3);
+        assert_eq!(snap.risk_sum_micros, 99_999 + 100_000 + 950_000 + 2_000_000);
+        let text = snap.render_prometheus();
+        assert!(text.contains("epi_decision_risk_bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("epi_decision_risk_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("epi_decision_risk_count 6"));
     }
 
     #[test]
@@ -1108,6 +1276,10 @@ mod tests {
         snap.admission_wait_ewma_micros = 1_750;
         snap.degradation_mode = 2;
         snap.drain_micros = 81_000;
+        // …and these from the budget ledger path.
+        snap.budget_exhausted_denials = 3;
+        snap.budget_warnings = 5;
+        snap.budget_spent_high_water_micros = 1_900_000;
         let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.admission_rejects_limit, 11);
@@ -1118,6 +1290,9 @@ mod tests {
         assert_eq!(back.pool_queue_wait_micros, 31_000);
         assert_eq!(back.wal_appends, 40);
         assert_eq!(back.recovery_replayed_records, 25);
+        assert_eq!(back.budget_exhausted_denials, 3);
+        assert_eq!(back.budget_warnings, 5);
+        assert_eq!(back.budget_spent_high_water_micros, 1_900_000);
     }
 
     #[test]
@@ -1168,6 +1343,10 @@ mod tests {
             "epi_admission_rejects_limit_total",
             "epi_admission_rejects_fairness_total",
             "epi_admission_rejects_degraded_total",
+            "epi_budget_exhausted_denials_total",
+            "epi_budget_warnings_total",
+            "epi_budget_spent_high_water_micros",
+            "epi_decision_risk",
             "epi_admission_limit",
             "epi_admission_wait_ewma_micros",
             "epi_degradation_mode",

@@ -65,6 +65,14 @@ pub enum Request {
         /// The user asked about.
         user: String,
     },
+    /// Fetch a user's exposure-budget ledger: the per-component risk
+    /// aggregates, the spent/remaining budget under the configured
+    /// compose rule, and a stable ledger digest. No solver work, no
+    /// session mutation.
+    Budget {
+        /// The user asked about.
+        user: String,
+    },
     /// Fetch a metrics snapshot.
     Stats,
     /// Fetch recent spans from the daemon's trace ring, optionally
@@ -161,6 +169,10 @@ impl Serialize for Request {
                 ("op", Json::from("session")),
                 ("user", Json::from(user.as_str())),
             ]),
+            Request::Budget { user } => Json::obj([
+                ("op", Json::from("budget")),
+                ("user", Json::from(user.as_str())),
+            ]),
             Request::Stats => Json::obj([("op", Json::from("stats"))]),
             Request::Trace { trace, limit, slow } => {
                 let mut members = vec![("op", Json::from("trace"))];
@@ -197,6 +209,9 @@ impl Deserialize for Request {
                 audit_query: field(v, "audit_query")?,
             }),
             "session" => Ok(Request::SessionInfo {
+                user: field(v, "user")?,
+            }),
+            "budget" => Ok(Request::Budget {
                 user: field(v, "user")?,
             }),
             "stats" => Ok(Request::Stats),
@@ -243,6 +258,12 @@ pub enum ErrorCode {
     /// failing for an operational reason (disk full, I/O error) that a
     /// resend cannot fix, and the session state is unchanged.
     Storage,
+    /// The user's cumulative exposure budget has crossed the deny
+    /// threshold: the disclosure was refused *before* any solver work
+    /// was enqueued, and the session state is unchanged. Not retryable —
+    /// only an administrative session reset or a raised cap can admit
+    /// further disclosures for this user.
+    BudgetExhausted,
 }
 
 impl ErrorCode {
@@ -256,6 +277,7 @@ impl ErrorCode {
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::Draining => "draining",
             ErrorCode::Storage => "storage",
+            ErrorCode::BudgetExhausted => "budget_exhausted",
         }
     }
 
@@ -281,6 +303,7 @@ impl Deserialize for ErrorCode {
             Some("shutdown") => Ok(ErrorCode::Shutdown),
             Some("draining") => Ok(ErrorCode::Draining),
             Some("storage") => Ok(ErrorCode::Storage),
+            Some("budget_exhausted") => Ok(ErrorCode::BudgetExhausted),
             _ => Err(JsonError::decode("unknown error code")),
         }
     }
@@ -383,6 +406,72 @@ impl Deserialize for SessionInfo {
     }
 }
 
+/// A user's exposure-budget ledger, as the `budget` operation returns
+/// it. All risk quantities are integers in micro-units (`1_000_000` =
+/// a risk of 1.0), the exact representation the ledger is folded and
+/// persisted in — so two replicas that replayed the same disclosure
+/// stream report identical numbers and an identical `digest`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetInfo {
+    /// The user asked about.
+    pub user: String,
+    /// How many disclosures the ledger has absorbed.
+    pub disclosures: u64,
+    /// Sum aggregate: saturating sum of per-disclosure risk scores.
+    pub risk_sum: u64,
+    /// Max aggregate: largest single-disclosure risk score.
+    pub risk_max: u64,
+    /// Product aggregate: survival probability `∏ (1 − rᵢ)` in
+    /// micro-units (starts at `1_000_000`).
+    pub survival: u64,
+    /// Budget spent under the configured compose rule.
+    pub spent: u64,
+    /// Configured budget cap (`0` = budget enforcement disabled).
+    pub cap: u64,
+    /// Remaining budget under the cap (`cap − spent`, floored at 0);
+    /// equal to `0` when enforcement is disabled.
+    pub remaining: u64,
+    /// The configured compose rule: `sum`, `max` or `product`.
+    pub compose: String,
+    /// Eight-hex-digit CRC-32 fingerprint of the ledger (disclosure
+    /// count and the three aggregates).
+    pub digest: String,
+}
+
+impl Serialize for BudgetInfo {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("user", Json::from(self.user.as_str())),
+            ("disclosures", Json::from(self.disclosures)),
+            ("risk_sum", Json::from(self.risk_sum)),
+            ("risk_max", Json::from(self.risk_max)),
+            ("survival", Json::from(self.survival)),
+            ("spent", Json::from(self.spent)),
+            ("cap", Json::from(self.cap)),
+            ("remaining", Json::from(self.remaining)),
+            ("compose", Json::from(self.compose.as_str())),
+            ("digest", Json::from(self.digest.as_str())),
+        ])
+    }
+}
+
+impl Deserialize for BudgetInfo {
+    fn from_json(v: &Json) -> Result<BudgetInfo, JsonError> {
+        Ok(BudgetInfo {
+            user: field(v, "user")?,
+            disclosures: field(v, "disclosures")?,
+            risk_sum: field(v, "risk_sum")?,
+            risk_max: field(v, "risk_max")?,
+            survival: field(v, "survival")?,
+            spent: field(v, "spent")?,
+            cap: field(v, "cap")?,
+            remaining: field(v, "remaining")?,
+            compose: field(v, "compose")?,
+            digest: field(v, "digest")?,
+        })
+    }
+}
+
 /// The daemon's health summary, as the `health` operation returns it.
 ///
 /// `live` distinguishes "the process answers" (always `true` on a
@@ -451,6 +540,8 @@ pub enum Response {
     },
     /// A user's session summary, reply to [`Request::SessionInfo`].
     SessionInfo(SessionInfo),
+    /// A user's exposure-budget ledger, reply to [`Request::Budget`].
+    Budget(Box<BudgetInfo>),
     /// A metrics snapshot.
     Stats(Box<Snapshot>),
     /// Spans matching a [`Request::Trace`] query, oldest first.
@@ -522,6 +613,13 @@ impl Serialize for Response {
                 members.insert(0, ("kind".to_owned(), Json::from("session")));
                 Json::Obj(members)
             }
+            Response::Budget(info) => {
+                let Json::Obj(mut members) = info.to_json() else {
+                    unreachable!("BudgetInfo serializes to an object");
+                };
+                members.insert(0, ("kind".to_owned(), Json::from("budget")));
+                Json::Obj(members)
+            }
             Response::Stats(snapshot) => {
                 Json::obj([("kind", Json::from("stats")), ("stats", snapshot.to_json())])
             }
@@ -572,6 +670,7 @@ impl Deserialize for Response {
                 disclosures: field(v, "disclosures")?,
             }),
             "session" => Ok(Response::SessionInfo(SessionInfo::from_json(v)?)),
+            "budget" => Ok(Response::Budget(Box::new(BudgetInfo::from_json(v)?))),
             "stats" => Ok(Response::Stats(Box::new(field(v, "stats")?))),
             "trace" => Ok(Response::Trace(field(v, "spans")?)),
             "metrics" => Ok(Response::MetricsText(field(v, "text")?)),
@@ -608,6 +707,9 @@ mod tests {
                 audit_query: "secret".to_owned(),
             },
             Request::SessionInfo {
+                user: "eve".to_owned(),
+            },
+            Request::Budget {
                 user: "eve".to_owned(),
             },
             Request::Stats,
@@ -690,6 +792,8 @@ mod tests {
                 kind: EntryKind::Single,
                 finding: Finding::Flagged,
                 explanation: "direct hit".to_owned(),
+                risk_micros: Some(1_000_000),
+                budget_remaining_micros: Some(250_000),
             }),
             Response::NoCumulative {
                 user: "alice".to_owned(),
@@ -702,6 +806,23 @@ mod tests {
                 worlds: 4,
                 digest: "00c0ffee".to_owned(),
             }),
+            Response::Budget(Box::new(BudgetInfo {
+                user: "mallory".to_owned(),
+                disclosures: 3,
+                risk_sum: 1_750_000,
+                risk_max: 1_000_000,
+                survival: 0,
+                spent: 1_750_000,
+                cap: 2_000_000,
+                remaining: 250_000,
+                compose: "sum".to_owned(),
+                digest: "00c0ffee".to_owned(),
+            })),
+            Response::Error {
+                code: ErrorCode::BudgetExhausted,
+                message: "user `mallory` has exhausted their exposure budget".to_owned(),
+                retry_after_ms: None,
+            },
             Response::bad_request("unknown record `zzz`"),
             Response::Error {
                 code: ErrorCode::Storage,
@@ -794,6 +915,9 @@ mod tests {
         // cannot succeed, the client must re-route.
         assert!(!ErrorCode::Draining.is_retryable());
         assert!(!ErrorCode::Storage.is_retryable());
+        // Budget exhaustion is a policy outcome, not a transient fault:
+        // resending the same disclosure can never succeed.
+        assert!(!ErrorCode::BudgetExhausted.is_retryable());
         assert!(Response::Error {
             code: ErrorCode::Overloaded,
             message: String::new(),

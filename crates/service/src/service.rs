@@ -26,12 +26,15 @@ use crate::admission::{
 };
 use crate::cache::DecisionKey;
 use crate::metrics::{Metrics, Snapshot};
-use crate::proto::{ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan};
-use crate::session::{knowledge_digest, SessionError, SessionStore};
+use crate::proto::{
+    BudgetInfo, ErrorCode, HealthInfo, Request, RequestMeta, Response, SessionInfo, WireSpan,
+};
+use crate::session::{knowledge_digest, ledger_digest, Session, SessionError, SessionStore};
 use crate::worker::{DecideError, DecisionPool, FaultHook, QueuePolicy};
 use epi_audit::auditor::{EntryKind, ReportEntry};
 use epi_audit::query::parse;
 use epi_audit::{Auditor, Decision, Finding, PriorAssumption, Schema};
+use epi_core::risk::RISK_SCALE;
 use epi_core::{CancelToken, Deadline, WorldId, WorldSet};
 use epi_solver::ProductSolverOptions;
 use epi_trace::{Recorder, SpanRecord};
@@ -98,6 +101,8 @@ pub struct ServiceConfig {
     /// microseconds: sustained syncs slower than this flip the
     /// degradation ladder to [`DegradationMode::Frozen`].
     pub freeze_fsync_stall_micros: u64,
+    /// Per-user exposure-budget policy (disabled by default).
+    pub budget: BudgetOptions,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +127,7 @@ impl Default for ServiceConfig {
             fairness_rate_per_sec: 0,
             fairness_burst: 32,
             freeze_fsync_stall_micros: 500_000,
+            budget: BudgetOptions::default(),
         }
     }
 }
@@ -137,6 +143,16 @@ impl ServiceConfig {
     ///   are ignored;
     /// * `EPI_WAL_SNAPSHOT_EVERY` — appends between snapshots
     ///   (`0` disables).
+    ///
+    /// And budget overrides, `EPI_BUDGET_*`:
+    ///
+    /// * `EPI_BUDGET_CAP` — exposure-budget cap in risk micro-units
+    ///   (`0` disables enforcement, the default);
+    /// * `EPI_BUDGET_COMPOSE` — `sum`, `max` or `product`;
+    /// * `EPI_BUDGET_WARN` / `EPI_BUDGET_DENY` — warn/deny thresholds
+    ///   in micro-units (default 80% of the cap, and the cap).
+    ///
+    /// Unparsable values are ignored, like the `EPI_WAL_*` family.
     pub fn with_env_overrides(mut self) -> ServiceConfig {
         if let Ok(dir) = std::env::var("EPI_WAL_DIR") {
             self.data_dir = if dir.is_empty() {
@@ -158,7 +174,131 @@ impl ServiceConfig {
         {
             self.wal_snapshot_every = every;
         }
+        if let Some(cap) = std::env::var("EPI_BUDGET_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            self.budget.cap_micros = cap;
+        }
+        if let Some(compose) = std::env::var("EPI_BUDGET_COMPOSE")
+            .ok()
+            .as_deref()
+            .and_then(BudgetCompose::parse)
+        {
+            self.budget.compose = compose;
+        }
+        if let Some(warn) = std::env::var("EPI_BUDGET_WARN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            self.budget.warn_micros = Some(warn);
+        }
+        if let Some(deny) = std::env::var("EPI_BUDGET_DENY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            self.budget.deny_micros = Some(deny);
+        }
         self
+    }
+}
+
+/// How per-disclosure risk scores compose into a single spent budget.
+///
+/// All three aggregates are always folded into the durable ledger; the
+/// compose rule only selects which aggregate the budget *reads*, so an
+/// operator can change it without a migration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BudgetCompose {
+    /// Spent = saturating sum of per-disclosure risk scores (basic
+    /// composition, the conservative default).
+    #[default]
+    Sum,
+    /// Spent = the largest single-disclosure risk score.
+    Max,
+    /// Spent = `1 − ∏ (1 − rᵢ)` — the probability at least one
+    /// disclosure was a breach, under independence.
+    Product,
+}
+
+impl BudgetCompose {
+    /// Stable wire/config spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetCompose::Sum => "sum",
+            BudgetCompose::Max => "max",
+            BudgetCompose::Product => "product",
+        }
+    }
+
+    /// Parses a config spelling; unknown values are `None`.
+    pub fn parse(text: &str) -> Option<BudgetCompose> {
+        match text {
+            "sum" => Some(BudgetCompose::Sum),
+            "max" => Some(BudgetCompose::Max),
+            "product" => Some(BudgetCompose::Product),
+            _ => None,
+        }
+    }
+}
+
+/// Per-user exposure-budget policy. Disabled by default (`cap_micros ==
+/// 0`): every pre-budget deployment behaves exactly as before, entries
+/// carry no `budget_remaining` member, and no disclosure is ever
+/// budget-denied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetOptions {
+    /// Total budget cap in risk micro-units (`0` disables enforcement).
+    pub cap_micros: u64,
+    /// Which ledger aggregate the spent budget reads.
+    pub compose: BudgetCompose,
+    /// Spend at which `budget_warnings` starts counting (defaults to
+    /// 80% of the cap when `None`).
+    pub warn_micros: Option<u64>,
+    /// Spend at or above which disclosures are denied up front
+    /// (defaults to the cap when `None`).
+    pub deny_micros: Option<u64>,
+}
+
+impl Default for BudgetOptions {
+    fn default() -> BudgetOptions {
+        BudgetOptions {
+            cap_micros: 0,
+            compose: BudgetCompose::Sum,
+            warn_micros: None,
+            deny_micros: None,
+        }
+    }
+}
+
+impl BudgetOptions {
+    /// Whether budget enforcement is on at all.
+    pub fn enabled(&self) -> bool {
+        self.cap_micros > 0
+    }
+
+    /// The effective warn threshold.
+    pub fn warn_threshold(&self) -> u64 {
+        self.warn_micros.unwrap_or(self.cap_micros / 10 * 8)
+    }
+
+    /// The effective deny threshold.
+    pub fn deny_threshold(&self) -> u64 {
+        self.deny_micros.unwrap_or(self.cap_micros)
+    }
+
+    /// The budget a session has spent under the configured compose rule.
+    pub fn spent(&self, session: &Session) -> u64 {
+        match self.compose {
+            BudgetCompose::Sum => session.risk_sum_micros,
+            BudgetCompose::Max => session.risk_max_micros,
+            BudgetCompose::Product => RISK_SCALE - session.survival_micros.min(RISK_SCALE),
+        }
+    }
+
+    /// The budget remaining under the cap (0 when disabled).
+    pub fn remaining(&self, session: &Session) -> u64 {
+        self.cap_micros.saturating_sub(self.spent(session))
     }
 }
 
@@ -229,6 +369,7 @@ pub struct AuditService {
     ladder: DegradationLadder,
     fairness: TokenBuckets,
     freeze_fsync_stall_micros: u64,
+    budget: BudgetOptions,
     /// Set by [`AuditService::set_draining`]: disclose/cumulative get
     /// [`ErrorCode::Draining`] while reads keep serving, so a draining
     /// front-end can finish its in-flight pipeline without accepting new
@@ -338,6 +479,7 @@ impl AuditService {
             ladder: DegradationLadder::new(),
             fairness: TokenBuckets::new(config.fairness_rate_per_sec, config.fairness_burst, 4096),
             freeze_fsync_stall_micros: config.freeze_fsync_stall_micros,
+            budget: config.budget,
             draining: AtomicBool::new(false),
         })
     }
@@ -442,6 +584,13 @@ impl AuditService {
         // idle decay the wait EWMA could never fall back below the
         // de-escalation thresholds and `CacheOnly` would be permanent.
         admission.decay_wait_when_idle();
+        // Same latch for the storage signal: `Frozen` refuses the very
+        // disclosures whose syncs would refresh the fsync EWMA, so a
+        // sync-idle log must decay it or a transient stall freezes the
+        // service forever.
+        if let Some(wal) = self.sessions.wal() {
+            wal.decay_fsync_ewma_when_idle();
+        }
         let signals = LadderSignals {
             queue_wait_micros: admission.estimated_wait_micros(),
             target_wait_micros: admission.options().target_wait_micros,
@@ -526,6 +675,7 @@ impl AuditService {
                 self.cumulative(user, audit_query, &deadline, trace, mode)
             }
             Request::SessionInfo { user } => self.session_info(user),
+            Request::Budget { user } => self.budget_info(user),
             Request::Stats => Response::Stats(Box::new(self.metrics())),
             Request::Trace {
                 trace: wanted,
@@ -676,6 +826,29 @@ impl AuditService {
                 retry_after_ms: None,
             };
         }
+        // The O(1) budget deny: a user past the deny threshold is
+        // refused on a single session-store lookup — before query
+        // compilation and before anything touches the admission path or
+        // the decision queue, so near-budget users cost no solver work
+        // at all (`decide_requests` and the queue metrics stay flat).
+        if self.budget.enabled() {
+            if let Some(session) = self.sessions.get(user) {
+                let spent = self.budget.spent(&session);
+                if spent >= self.budget.deny_threshold() {
+                    Metrics::incr(&self.metrics.budget_exhausted_denials);
+                    return Response::Error {
+                        code: ErrorCode::BudgetExhausted,
+                        message: format!(
+                            "user `{user}` has exhausted their exposure budget \
+                             (spent {spent} of {} micro-units under the `{}` rule)",
+                            self.budget.cap_micros,
+                            self.budget.compose.as_str()
+                        ),
+                        retry_after_ms: None,
+                    };
+                }
+            }
+        }
         let (_, audit_set) = match self.compile(audit_text) {
             Ok(x) => x,
             Err(resp) => return resp,
@@ -753,6 +926,10 @@ impl AuditService {
                 },
             })
         };
+        // The decision's normalized risk score: zero for negative-gated
+        // disclosures (nothing about the audited property was
+        // revealed), the certified uniform-prior score otherwise.
+        let risk_micros = decision.as_ref().map_or(0, |d| u64::from(d.risk_micros));
         // The session update happens unconditionally — cumulative
         // knowledge accumulates even when this disclosure is excused by
         // the negative-result rule, exactly like the offline log. On a
@@ -761,10 +938,10 @@ impl AuditService {
         let applied = {
             let _span = self.tracer.start(trace, "session.apply");
             self.sessions
-                .apply_disclosure(user, time, state_mask, &disclosed)
+                .apply_disclosure(user, time, state_mask, &disclosed, risk_micros)
         };
-        match applied {
-            Ok(_) => {}
+        let session = match applied {
+            Ok(s) => s,
             Err(e @ SessionError::Storage { .. }) => {
                 return Response::Error {
                     code: ErrorCode::Storage,
@@ -773,7 +950,10 @@ impl AuditService {
                 };
             }
             Err(e) => return Response::bad_request(e.to_string()),
-        }
+        };
+        // Budget accounting against the *post-apply* session — the live
+        // ledger epoch, never a cached decision's view of it.
+        let budget_remaining = self.budget_observe(&session);
         if let Err(e) = {
             let _span = self.tracer.start(trace, "wal.snapshot");
             self.sessions.maybe_snapshot()
@@ -791,8 +971,11 @@ impl AuditService {
                 kind: EntryKind::Single,
                 finding: Finding::Safe,
                 explanation: "audited property was false at disclosure time (negative results are not protected)".into(),
+                risk_micros: Some(0),
+                budget_remaining_micros: budget_remaining,
             });
         };
+        self.metrics.record_risk(risk_micros);
         Response::Entry(ReportEntry {
             user: user.to_owned(),
             time,
@@ -802,7 +985,47 @@ impl AuditService {
                 "query `{query_display}` answered {answer}: {}",
                 decision.explanation
             ),
+            risk_micros: Some(risk_micros),
+            budget_remaining_micros: budget_remaining,
         })
+    }
+
+    /// Folds one post-apply session into the budget metrics (warn
+    /// crossing and spend high-water) and returns the
+    /// `budget_remaining` entry member — `Some` only when budget
+    /// enforcement is enabled, so default-configured deployments keep
+    /// byte-identical reply lines.
+    fn budget_observe(&self, session: &Session) -> Option<u64> {
+        if !self.budget.enabled() {
+            return None;
+        }
+        let spent = self.budget.spent(session);
+        Metrics::observe_high_water(&self.metrics.budget_spent_high_water_micros, spent);
+        if spent >= self.budget.warn_threshold() && spent < self.budget.deny_threshold() {
+            Metrics::incr(&self.metrics.budget_warnings);
+        }
+        Some(self.budget.remaining(session))
+    }
+
+    /// Serves a `budget` request: the user's exposure ledger, the
+    /// spent/remaining budget under the configured compose rule, and a
+    /// stable ledger digest. Read-only and O(1), like `session`.
+    fn budget_info(&self, user: &str) -> Response {
+        let Some(session) = self.sessions.get(user) else {
+            return Response::bad_request(format!("unknown user `{user}`"));
+        };
+        Response::Budget(Box::new(BudgetInfo {
+            user: user.to_owned(),
+            disclosures: session.disclosures,
+            risk_sum: session.risk_sum_micros,
+            risk_max: session.risk_max_micros,
+            survival: session.survival_micros,
+            spent: self.budget.spent(&session),
+            cap: self.budget.cap_micros,
+            remaining: self.budget.remaining(&session),
+            compose: self.budget.compose.as_str().to_owned(),
+            digest: format!("{:08x}", ledger_digest(&session)),
+        }))
     }
 
     /// Serves a `session` request: the user's session sequence number
@@ -856,6 +1079,8 @@ impl AuditService {
                 kind: EntryKind::Cumulative,
                 finding: Finding::Safe,
                 explanation: "audited property was false at the last disclosure (negative results are not protected)".into(),
+                risk_micros: Some(0),
+                budget_remaining_micros: self.budget.enabled().then(|| self.budget.remaining(&session)),
             });
         }
         let key = DecisionKey {
@@ -896,6 +1121,14 @@ impl AuditService {
                 "{} disclosures combined: {}",
                 session.disclosures, decision.explanation
             ),
+            // Cumulative audits are read-only: the risk reported is the
+            // cumulative decision's own score; the ledger (and so the
+            // remaining budget) is unchanged.
+            risk_micros: Some(u64::from(decision.risk_micros)),
+            budget_remaining_micros: self
+                .budget
+                .enabled()
+                .then(|| self.budget.remaining(&session)),
         })
     }
 }
@@ -1314,6 +1547,21 @@ mod tests {
         .unwrap();
         let r = svc.handle(&disclose("alice", 1, "hiv_pos", 0b00));
         assert!(matches!(r, Response::Entry(_)), "healthy disk: {r:?}");
+        // The very first fsync on a cold file can be slow enough to
+        // seed the EWMA above the 1ms threshold on its own. Read-only
+        // probes run a ladder evaluation each, so the idle decay walks
+        // the EWMA back down before the stall is injected.
+        for _ in 0..500 {
+            if svc.wal().unwrap().fsync_ewma_micros() < 1_000 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            let _ = svc.handle(&Request::Health);
+        }
+        assert!(
+            svc.wal().unwrap().fsync_ewma_micros() < 1_000,
+            "fsync EWMA never settled on a healthy disk"
+        );
         svc.wal()
             .unwrap()
             .set_fsync_stall(Some(Duration::from_millis(20)));
@@ -1341,6 +1589,21 @@ mod tests {
         };
         assert_eq!(h.mode, "frozen");
         assert!(!h.ready);
+        // Liveness: once the disk recovers, the freeze must not latch.
+        // Frozen admits no disclosures (so no syncs, so no fresh EWMA
+        // samples); read-only probes drive the idle decay until a
+        // disclosure is admitted and durably recorded again.
+        svc.wal().unwrap().set_fsync_stall(None);
+        for _ in 0..500 {
+            if svc.degradation_mode() != DegradationMode::Frozen {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            let _ = svc.handle(&Request::Health);
+        }
+        let r = svc.handle(&disclose("alice", 3, "hiv_pos", 0b00));
+        assert!(matches!(r, Response::Entry(_)), "thawed: {r:?}");
+        assert_eq!(svc.sessions.get("alice").unwrap().disclosures, 3);
     }
 
     #[test]
@@ -1410,5 +1673,149 @@ mod tests {
             let r = h.join().unwrap();
             assert!(matches!(r, Response::Entry(_)), "got {r:?}");
         }
+    }
+
+    fn budget_service(budget: BudgetOptions) -> AuditService {
+        let schema = Schema::from_names(&["hiv_pos", "transfusions"]).unwrap();
+        AuditService::new(
+            schema,
+            ServiceConfig {
+                assumption: PriorAssumption::Product,
+                workers: 1,
+                budget,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn budget_op_reports_ledger_spend_and_digest() {
+        let svc = budget_service(BudgetOptions {
+            cap_micros: 3_000_000,
+            ..BudgetOptions::default()
+        });
+        let resp = svc.handle(&Request::Budget {
+            user: "ghost".to_owned(),
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "unknown users are a bad request, got {resp:?}"
+        );
+        // A direct hit carries the maximal risk score of 1.0.
+        let r = svc.handle(&disclose("mallory", 1, "hiv_pos", 0b11));
+        let Response::Entry(e) = r else {
+            panic!("expected entry, got {r:?}");
+        };
+        assert_eq!(e.risk_micros, Some(1_000_000));
+        assert_eq!(e.budget_remaining_micros, Some(2_000_000));
+        let resp = svc.handle(&Request::Budget {
+            user: "mallory".to_owned(),
+        });
+        let Response::Budget(info) = resp else {
+            panic!("expected budget info, got {resp:?}");
+        };
+        assert_eq!(info.user, "mallory");
+        assert_eq!(info.disclosures, 1);
+        assert_eq!(info.risk_sum, 1_000_000);
+        assert_eq!(info.risk_max, 1_000_000);
+        assert_eq!(info.survival, 0, "a certain disclosure exhausts survival");
+        assert_eq!(info.spent, 1_000_000);
+        assert_eq!(info.cap, 3_000_000);
+        assert_eq!(info.remaining, 2_000_000);
+        assert_eq!(info.compose, "sum");
+        let session = svc.sessions.get("mallory").unwrap();
+        assert_eq!(info.digest, format!("{:08x}", ledger_digest(&session)));
+    }
+
+    #[test]
+    fn exhausted_budget_denies_in_o1_without_touching_the_solver() {
+        let svc = budget_service(BudgetOptions {
+            cap_micros: 2_000_000,
+            ..BudgetOptions::default()
+        });
+        for t in 1..=2 {
+            let r = svc.handle(&disclose("mallory", t, "hiv_pos", 0b11));
+            assert!(matches!(r, Response::Entry(_)), "got {r:?}");
+        }
+        let m = svc.metrics();
+        assert_eq!(m.budget_exhausted_denials, 0);
+        let decide_before = m.decide_requests;
+        // Spent 2.0 of 2.0: the deny threshold (the cap, by default) is
+        // reached, so the next disclosure is refused on a session-store
+        // lookup alone — no compilation, no queueing, no solver work.
+        let resp = svc.handle(&disclose("mallory", 3, "hiv_pos", 0b11));
+        let Response::Error { code, message, .. } = resp else {
+            panic!("expected budget denial, got {resp:?}");
+        };
+        assert_eq!(code, ErrorCode::BudgetExhausted);
+        assert!(message.contains("mallory"), "names the user: {message}");
+        let m = svc.metrics();
+        assert_eq!(m.budget_exhausted_denials, 1);
+        assert_eq!(m.decide_requests, decide_before, "solver path untouched");
+        assert_eq!(
+            svc.sessions.get("mallory").unwrap().disclosures,
+            2,
+            "a denied disclosure must not mutate the session"
+        );
+        // Other users still serve: the budget is per-user, not global.
+        let r = svc.handle(&disclose("trent", 4, "hiv_pos", 0b11));
+        assert!(matches!(r, Response::Entry(_)), "got {r:?}");
+    }
+
+    #[test]
+    fn warn_threshold_crossing_counts_once_per_disclosure_past_it() {
+        let svc = budget_service(BudgetOptions {
+            cap_micros: 10_000_000,
+            warn_micros: Some(1_500_000),
+            ..BudgetOptions::default()
+        });
+        svc.handle(&disclose("mallory", 1, "hiv_pos", 0b11));
+        assert_eq!(svc.metrics().budget_warnings, 0, "1.0 of 10.0: under warn");
+        svc.handle(&disclose("mallory", 2, "hiv_pos", 0b11));
+        assert_eq!(svc.metrics().budget_warnings, 1, "2.0 of 10.0: past warn");
+        assert_eq!(svc.metrics().budget_spent_high_water_micros, 2_000_000);
+        assert_eq!(svc.metrics().budget_exhausted_denials, 0);
+    }
+
+    #[test]
+    fn cache_only_hits_serve_live_budget_not_the_cached_decisions() {
+        // Regression (PR 9): the verdict cache stores decisions, and a
+        // decision's risk depends only on the (audit, disclosed) pair —
+        // but `budget_remaining` moves with every disclosure. A CacheOnly
+        // hit must report the user's budget at *this* ledger epoch, never
+        // the epoch the verdict was cached at.
+        let svc = budget_service(BudgetOptions {
+            cap_micros: 5_000_000,
+            ..BudgetOptions::default()
+        });
+        let r = svc.handle(&disclose("mallory", 1, "hiv_pos", 0b11));
+        let Response::Entry(warmed) = r else {
+            panic!("expected entry, got {r:?}");
+        };
+        let target = svc.admission().options().target_wait_micros;
+        for _ in 0..64 {
+            svc.admission().observe_wait(target * 16);
+        }
+        let r1 = svc.handle(&disclose("trent", 2, "hiv_pos", 0b11));
+        assert_eq!(svc.degradation_mode(), DegradationMode::CacheOnly);
+        let r2 = svc.handle(&disclose("trent", 3, "hiv_pos", 0b11));
+        let (Response::Entry(e1), Response::Entry(e2)) = (r1, r2) else {
+            panic!("expected cached entries");
+        };
+        assert_eq!(svc.metrics().computed, 1, "both hits came from the cache");
+        assert_eq!(e1.risk_micros, warmed.risk_micros, "risk is set-determined");
+        assert_eq!(e2.risk_micros, warmed.risk_micros);
+        assert_eq!(e1.budget_remaining_micros, Some(4_000_000));
+        assert_eq!(
+            e2.budget_remaining_micros,
+            Some(3_000_000),
+            "second hit reflects the ledger after the first"
+        );
     }
 }

@@ -19,6 +19,7 @@
 //! cut (sessions + covered sequence number) just by holding the same
 //! shard lock while rotating the shard's segment.
 
+use epi_core::risk::RISK_SCALE;
 use epi_core::WorldSet;
 use epi_wal::{crc32, Wal, WalError, WalSession};
 use std::collections::HashMap;
@@ -38,6 +39,26 @@ pub struct Session {
     /// The intersection of all disclosed sets — starts as the full set
     /// (vacuous knowledge).
     pub knowledge: WorldSet,
+    /// Exposure ledger, sum aggregate: saturating sum of per-disclosure
+    /// risk scores in micro-units.
+    pub risk_sum_micros: u64,
+    /// Exposure ledger, max aggregate: largest single-disclosure risk
+    /// score seen, in micro-units.
+    pub risk_max_micros: u64,
+    /// Exposure ledger, product aggregate: survival probability
+    /// `∏ (1 − rᵢ)` in micro-units (starts at `1_000_000`). Spent
+    /// budget under the product rule is `1_000_000 − survival`.
+    pub survival_micros: u64,
+}
+
+impl Session {
+    /// The session's *ledger epoch*: a counter that advances on every
+    /// ledger mutation. Budget-dependent reply members must be computed
+    /// against the live epoch, never replayed from a verdict cache —
+    /// see the cache staleness test in `cache.rs`.
+    pub fn ledger_epoch(&self) -> u64 {
+        self.disclosures
+    }
 }
 
 /// Rejected session updates.
@@ -87,12 +108,29 @@ pub fn knowledge_digest(set: &WorldSet) -> u32 {
     crc32(&bytes)
 }
 
+/// A stable digest of a session's exposure ledger, for the `budget`
+/// protocol op and for cross-restart equivalence checks: CRC-32 over
+/// the disclosure count and the three ledger aggregates in
+/// little-endian order. A WAL-replayed ledger must reproduce this
+/// digest bit-for-bit.
+pub fn ledger_digest(s: &Session) -> u32 {
+    let mut bytes = Vec::with_capacity(32);
+    bytes.extend_from_slice(&s.disclosures.to_le_bytes());
+    bytes.extend_from_slice(&s.risk_sum_micros.to_le_bytes());
+    bytes.extend_from_slice(&s.risk_max_micros.to_le_bytes());
+    bytes.extend_from_slice(&s.survival_micros.to_le_bytes());
+    crc32(&bytes)
+}
+
 fn to_wal_session(s: &Session) -> WalSession {
     WalSession {
         disclosures: s.disclosures,
         last_time: s.last_time,
         last_state_mask: s.last_state_mask,
         knowledge: s.knowledge.clone(),
+        risk_sum_micros: s.risk_sum_micros,
+        risk_max_micros: s.risk_max_micros,
+        survival_micros: s.survival_micros,
     }
 }
 
@@ -102,6 +140,9 @@ fn from_wal_session(s: WalSession) -> Session {
         last_time: s.last_time,
         last_state_mask: s.last_state_mask,
         knowledge: s.knowledge,
+        risk_sum_micros: s.risk_sum_micros,
+        risk_max_micros: s.risk_max_micros,
+        survival_micros: s.survival_micros,
     }
 }
 
@@ -206,12 +247,16 @@ impl SessionStore {
     /// open for a new user, then the disclosure — and a log failure
     /// leaves memory untouched and surfaces as
     /// [`SessionError::Storage`].
+    /// `risk_micros` is the decision's normalized risk score in
+    /// micro-units; all three ledger aggregates fold unconditionally so
+    /// a later budget-policy change reads a complete history.
     pub fn apply_disclosure(
         &self,
         user: &str,
         time: u64,
         state_mask: u32,
         disclosed: &WorldSet,
+        risk_micros: u64,
     ) -> Result<Session, SessionError> {
         let idx = self.shard_index(user);
         let mut shard = Self::lock_shard(&self.shards[idx]);
@@ -230,7 +275,7 @@ impl SessionStore {
             if !shard.contains_key(user) {
                 wal.append_open(idx, user).map_err(storage)?;
             }
-            wal.append_disclose(idx, user, time, state_mask, disclosed)
+            wal.append_disclose(idx, user, time, state_mask, disclosed, risk_micros)
                 .map_err(storage)?;
         }
         let session = shard.entry(user.to_owned()).or_insert_with(|| Session {
@@ -238,11 +283,20 @@ impl SessionStore {
             last_time: 0,
             last_state_mask: 0,
             knowledge: WorldSet::full(self.universe),
+            risk_sum_micros: 0,
+            risk_max_micros: 0,
+            survival_micros: RISK_SCALE,
         });
         session.disclosures += 1;
         session.last_time = time;
         session.last_state_mask = state_mask;
         session.knowledge.intersect_with(disclosed);
+        // Ledger fold — must stay in lockstep with `WalSession::apply`
+        // so a replayed ledger is byte-identical to this one.
+        let risk = risk_micros.min(RISK_SCALE);
+        session.risk_sum_micros = session.risk_sum_micros.saturating_add(risk);
+        session.risk_max_micros = session.risk_max_micros.max(risk);
+        session.survival_micros = session.survival_micros * (RISK_SCALE - risk) / RISK_SCALE;
         Ok(session.clone())
     }
 
@@ -324,14 +378,22 @@ mod tests {
         let store = SessionStore::new(4, 4);
         let b1 = WorldSet::from_indices(4, [1, 2, 3]);
         let b2 = WorldSet::from_indices(4, [2, 3]);
-        let s1 = store.apply_disclosure("alice", 1, 0b01, &b1).unwrap();
+        let s1 = store
+            .apply_disclosure("alice", 1, 0b01, &b1, 250_000)
+            .unwrap();
         assert_eq!(s1.disclosures, 1);
         assert_eq!(s1.knowledge, b1);
-        let s2 = store.apply_disclosure("alice", 2, 0b11, &b2).unwrap();
+        let s2 = store
+            .apply_disclosure("alice", 2, 0b11, &b2, 500_000)
+            .unwrap();
         assert_eq!(s2.disclosures, 2);
         assert_eq!(s2.knowledge, WorldSet::from_indices(4, [2, 3]));
         assert_eq!(s2.last_time, 2);
         assert_eq!(s2.last_state_mask, 0b11);
+        assert_eq!(s2.risk_sum_micros, 750_000);
+        assert_eq!(s2.risk_max_micros, 500_000);
+        assert_eq!(s2.survival_micros, 375_000);
+        assert_eq!(s2.ledger_epoch(), 2);
     }
 
     #[test]
@@ -340,7 +402,7 @@ mod tests {
         // first lookup; the constructor clamps it to a single shard.
         let store = SessionStore::new(0, 4);
         let b = WorldSet::from_indices(4, [1, 2]);
-        let s = store.apply_disclosure("dana", 1, 0, &b).unwrap();
+        let s = store.apply_disclosure("dana", 1, 0, &b, 0).unwrap();
         assert_eq!(s.knowledge, b);
         assert_eq!(store.get("dana").unwrap().disclosures, 1);
         assert_eq!(store.len(), 1);
@@ -350,14 +412,14 @@ mod tests {
     fn per_user_chronology_enforced() {
         let store = SessionStore::new(4, 4);
         let b = WorldSet::full(4);
-        store.apply_disclosure("bob", 5, 0, &b).unwrap();
+        store.apply_disclosure("bob", 5, 0, &b, 0).unwrap();
         assert_eq!(
-            store.apply_disclosure("bob", 3, 0, &b),
+            store.apply_disclosure("bob", 3, 0, &b, 0),
             Err(SessionError::OutOfOrder { time: 3, last: 5 })
         );
         // Equal timestamps and other users are unaffected.
-        assert!(store.apply_disclosure("bob", 5, 0, &b).is_ok());
-        assert!(store.apply_disclosure("carol", 1, 0, &b).is_ok());
+        assert!(store.apply_disclosure("bob", 5, 0, &b, 0).is_ok());
+        assert!(store.apply_disclosure("carol", 1, 0, &b, 0).is_ok());
         assert_eq!(store.len(), 2);
     }
 
@@ -384,8 +446,8 @@ mod tests {
                 let i = i as u32;
                 let b1 = WorldSet::from_indices(4, [i % 4, (i + 1) % 4]);
                 let b2 = WorldSet::from_indices(4, [(i + 1) % 4]);
-                store.apply_disclosure(user, 1, 0b01, &b1).unwrap();
-                store.apply_disclosure(user, 2, 0b11, &b2).unwrap();
+                store.apply_disclosure(user, 1, 0b01, &b1, 300_000).unwrap();
+                store.apply_disclosure(user, 2, 0b11, &b2, 700_000).unwrap();
             }
             users.iter().map(|u| store.get(u).unwrap()).collect()
         };
@@ -398,6 +460,11 @@ mod tests {
                 knowledge_digest(&after.knowledge),
                 knowledge_digest(&expected.knowledge)
             );
+            assert_eq!(
+                ledger_digest(&after),
+                ledger_digest(&expected),
+                "replayed ledger for {user} must be byte-identical"
+            );
         }
     }
 
@@ -407,8 +474,8 @@ mod tests {
         {
             let store = durable_store(tmp.path(), 2, 4);
             let b = WorldSet::from_indices(4, [1, 2]);
-            store.apply_disclosure("erin", 1, 0, &b).unwrap();
-            store.apply_disclosure("frank", 1, 0, &b).unwrap();
+            store.apply_disclosure("erin", 1, 0, &b, 0).unwrap();
+            store.apply_disclosure("frank", 1, 0, &b, 0).unwrap();
             assert!(store.reset("erin").unwrap());
             assert!(!store.reset("erin").unwrap(), "already gone");
         }
@@ -426,7 +493,7 @@ mod tests {
             // Enough appends to cross snapshot_every = 8.
             for i in 0..12u64 {
                 let user = format!("user{}", i % 3);
-                store.apply_disclosure(&user, i, 0, &b).unwrap();
+                store.apply_disclosure(&user, i, 0, &b, 50_000).unwrap();
                 store.maybe_snapshot().unwrap();
             }
             assert!(
@@ -475,7 +542,7 @@ mod tests {
         let b = WorldSet::full(4);
         for i in 0..50 {
             store
-                .apply_disclosure(&format!("user{i}"), 1, 0, &b)
+                .apply_disclosure(&format!("user{i}"), 1, 0, &b, 0)
                 .unwrap();
         }
         assert_eq!(store.len(), 50);

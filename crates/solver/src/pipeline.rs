@@ -93,6 +93,32 @@ pub struct PipelineDecision {
     /// Deadline/cancellation stops are transient; budget exhaustion is a
     /// property of the instance. Either way, callers fail closed.
     pub undecided: Option<UndecidedReason>,
+    /// The exact safety margin `P[A]·P[B] − P[AB]` at the **uniform
+    /// prior** (every atom at probability ½ — a member of the product
+    /// family, so a `Safe` verdict certifies this margin is
+    /// non-negative). Computed once per decision from world counts; see
+    /// `epi_core::risk` for the normalized score derived from it.
+    pub uniform_margin: Rational,
+}
+
+impl PipelineDecision {
+    /// The uniform-prior margin as a float, for display and metrics.
+    pub fn uniform_margin_f64(&self) -> f64 {
+        self.uniform_margin.to_f64()
+    }
+
+    /// The normalized risk score of this decision in micro-units
+    /// (`0 ..= 1_000_000`): the uniform-prior confidence ratio for
+    /// decided-safe verdicts, saturated for refuted or undecided ones
+    /// (an undecided question must price as if it breached — fail
+    /// closed).
+    pub fn risk_micros(&self, a: &WorldSet, b: &WorldSet) -> u32 {
+        if self.verdict.is_safe() {
+            epi_core::risk::UniformMargin::from_sets(a, b).risk_micros()
+        } else {
+            epi_core::risk::RISK_SCALE as u32
+        }
+    }
 }
 
 /// Runs the full cascade for `Safe_{Π_m⁰}(A, B)`.
@@ -134,6 +160,12 @@ pub fn decide_product_pipeline_observed(
     deadline: &Deadline,
     observe: StageObserver<'_>,
 ) -> PipelineDecision {
+    // The uniform-prior margin is a pure count computation — exact, a
+    // few popcounts — so every exit path below carries it.
+    let uniform_margin = {
+        let m = epi_core::risk::UniformMargin::from_sets(a, b);
+        Rational::new(m.gap_numerator(), m.gap_denominator() as i128)
+    };
     // Times one stage attempt and reports it whether or not it decided.
     let timed = |stage: Stage, observe: &mut dyn FnMut(Stage, u64), f: &mut dyn FnMut() -> bool| {
         let started = Instant::now();
@@ -153,6 +185,7 @@ pub fn decide_product_pipeline_observed(
             boxes_processed: 0,
             waves: 0,
             undecided: None,
+            uniform_margin,
         };
     }
     if timed(Stage::MiklauSuciu, observe, &mut || {
@@ -164,6 +197,7 @@ pub fn decide_product_pipeline_observed(
             boxes_processed: 0,
             waves: 0,
             undecided: None,
+            uniform_margin,
         };
     }
     if timed(Stage::Monotonicity, observe, &mut || {
@@ -175,6 +209,7 @@ pub fn decide_product_pipeline_observed(
             boxes_processed: 0,
             waves: 0,
             undecided: None,
+            uniform_margin,
         };
     }
     if timed(Stage::Cancellation, observe, &mut || {
@@ -186,6 +221,7 @@ pub fn decide_product_pipeline_observed(
             boxes_processed: 0,
             waves: 0,
             undecided: None,
+            uniform_margin,
         };
     }
     // Everything past this point can be expensive; honor the deadline
@@ -197,6 +233,7 @@ pub fn decide_product_pipeline_observed(
             boxes_processed: 0,
             waves: 0,
             undecided: Some(reason.into()),
+            uniform_margin,
         };
     }
     let started = Instant::now();
@@ -220,6 +257,7 @@ pub fn decide_product_pipeline_observed(
             boxes_processed: 0,
             waves: 0,
             undecided: None,
+            uniform_margin,
         };
     }
     let started = Instant::now();
@@ -234,6 +272,7 @@ pub fn decide_product_pipeline_observed(
         boxes_processed: stats.boxes_processed,
         waves: stats.waves,
         undecided: stats.undecided,
+        uniform_margin,
     }
 }
 

@@ -13,6 +13,7 @@ use crate::product::{
 };
 use crate::verdict::{SafeEvidence, UndecidedReason, Verdict};
 use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
+use epi_num::Rational;
 
 impl Serialize for UndecidedReason {
     fn to_json(&self) -> Json {
@@ -169,6 +170,11 @@ impl Serialize for PipelineDecision {
         if let Some(reason) = self.undecided {
             fields.push(("undecided", reason.to_json()));
         }
+        // A zero margin is also what legacy decoders default an absent
+        // member to, so ties stay off the wire like zero waves do.
+        if !self.uniform_margin.is_zero() {
+            fields.push(("uniform_margin", self.uniform_margin.to_json()));
+        }
         Json::obj(fields)
     }
 }
@@ -183,6 +189,8 @@ impl Deserialize for PipelineDecision {
             boxes_processed: opt_field(v, "boxes_processed")?.unwrap_or(0),
             waves: opt_field(v, "waves")?.unwrap_or(0),
             undecided: opt_field(v, "undecided")?,
+            // Absent in pre-risk reports: margins were not recorded.
+            uniform_margin: opt_field(v, "uniform_margin")?.unwrap_or(Rational::new(0, 1)),
         })
     }
 }
@@ -411,21 +419,28 @@ mod tests {
             boxes_processed: 0,
             waves: 0,
             undecided: None,
+            uniform_margin: Rational::new(0, 1),
         };
         let rendered = decided.to_json().render();
         assert!(!rendered.contains("undecided"));
         assert!(!rendered.contains("waves"), "zero waves stay off the wire");
+        assert!(
+            !rendered.contains("uniform_margin"),
+            "zero margins stay off the wire"
+        );
         let timed_out = PipelineDecision {
             verdict: Verdict::Unknown,
             stage: Stage::BranchAndBound,
             boxes_processed: 17,
             waves: 5,
             undecided: Some(UndecidedReason::DeadlineExceeded),
+            uniform_margin: Rational::new(-1, 16),
         };
         let j = Json::parse(&timed_out.to_json().render()).unwrap();
         let back = PipelineDecision::from_json(&j).unwrap();
         assert_eq!(back.undecided, Some(UndecidedReason::DeadlineExceeded));
         assert_eq!(back.waves, 5);
+        assert_eq!(back.uniform_margin, Rational::new(-1, 16));
         for reason in [
             UndecidedReason::BudgetExhausted,
             UndecidedReason::DeadlineExceeded,

@@ -9,8 +9,9 @@
 //! idempotent across the crash window between writing a snapshot and
 //! deleting the segments it compacts away.
 
+use epi_core::risk::RISK_SCALE;
 use epi_core::WorldSet;
-use epi_json::{field, Deserialize, Json, JsonError, Serialize};
+use epi_json::{field, opt_field, Deserialize, Json, JsonError, Serialize};
 
 /// One record of a shard's disclosure log.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +40,11 @@ pub enum WalRecord {
         /// The set the user actually learned (the queried set or its
         /// complement, negative answers included).
         disclosed: WorldSet,
+        /// Normalized risk score of the disclosure's decision in
+        /// micro-units (`0 ..= 1_000_000`). Records written before risk
+        /// scoring existed decode with `0` — an old log replays with a
+        /// zeroed ledger rather than refusing to start.
+        risk: u64,
     },
     /// A session was administratively erased.
     Reset {
@@ -79,6 +85,7 @@ impl Serialize for WalRecord {
                 time,
                 state_mask,
                 disclosed,
+                risk,
             } => Json::obj([
                 ("seq", Json::from(*seq)),
                 ("t", Json::from("disclose")),
@@ -86,6 +93,7 @@ impl Serialize for WalRecord {
                 ("time", Json::from(*time)),
                 ("state_mask", Json::from(*state_mask)),
                 ("disclosed", disclosed.to_json()),
+                ("risk", Json::from(*risk)),
             ]),
             WalRecord::Reset { seq, user } => Json::obj([
                 ("seq", Json::from(*seq)),
@@ -110,6 +118,9 @@ impl Deserialize for WalRecord {
                 time: field(v, "time")?,
                 state_mask: field(v, "state_mask")?,
                 disclosed: field(v, "disclosed")?,
+                // Absent in logs written before risk scoring: replay
+                // with a zeroed ledger rather than refusing the log.
+                risk: opt_field(v, "risk")?.unwrap_or(0),
             }),
             "reset" => Ok(WalRecord::Reset {
                 seq: field(v, "seq")?,
@@ -133,6 +144,18 @@ pub struct WalSession {
     pub last_state_mask: u32,
     /// Cumulative knowledge: the intersection of everything disclosed.
     pub knowledge: WorldSet,
+    /// Exposure ledger, sum aggregate: saturating sum of every
+    /// disclosure's risk score, in micro-units.
+    pub risk_sum_micros: u64,
+    /// Exposure ledger, max aggregate: the largest single-disclosure
+    /// risk score seen, in micro-units.
+    pub risk_max_micros: u64,
+    /// Exposure ledger, product aggregate: the session's "survival"
+    /// probability `∏ (1 − rᵢ)` in micro-units, starting at
+    /// `1_000_000` and shrinking multiplicatively (floor division, so
+    /// replay is exactly reproducible). The spent budget under the
+    /// product rule is `1_000_000 − survival`.
+    pub survival_micros: u64,
 }
 
 impl WalSession {
@@ -144,15 +167,27 @@ impl WalSession {
             last_time: 0,
             last_state_mask: 0,
             knowledge: WorldSet::full(universe),
+            risk_sum_micros: 0,
+            risk_max_micros: 0,
+            survival_micros: RISK_SCALE,
         }
     }
 
     /// Applies one disclosure, mirroring the in-memory session update.
-    pub fn apply(&mut self, time: u64, state_mask: u32, disclosed: &WorldSet) {
+    /// `risk` is the disclosure's risk score in micro-units. All three
+    /// ledger aggregates fold unconditionally — which compose rule the
+    /// service *reads* is configuration, but what the log *records* is
+    /// not, so a replayed ledger is byte-identical under any config.
+    pub fn apply(&mut self, time: u64, state_mask: u32, disclosed: &WorldSet, risk: u64) {
         self.disclosures += 1;
         self.last_time = time;
         self.last_state_mask = state_mask;
         self.knowledge.intersect_with(disclosed);
+        let risk = risk.min(RISK_SCALE);
+        self.risk_sum_micros = self.risk_sum_micros.saturating_add(risk);
+        self.risk_max_micros = self.risk_max_micros.max(risk);
+        // Integer floor keeps the fold exactly reproducible on replay.
+        self.survival_micros = self.survival_micros * (RISK_SCALE - risk) / RISK_SCALE;
     }
 }
 
@@ -163,6 +198,9 @@ impl Serialize for WalSession {
             ("last_time", Json::from(self.last_time)),
             ("last_state_mask", Json::from(self.last_state_mask)),
             ("knowledge", self.knowledge.to_json()),
+            ("risk_sum", Json::from(self.risk_sum_micros)),
+            ("risk_max", Json::from(self.risk_max_micros)),
+            ("survival", Json::from(self.survival_micros)),
         ])
     }
 }
@@ -174,6 +212,11 @@ impl Deserialize for WalSession {
             last_time: field(v, "last_time")?,
             last_state_mask: field(v, "last_state_mask")?,
             knowledge: field(v, "knowledge")?,
+            // Sessions snapshotted before the exposure ledger existed
+            // decode with a zeroed ledger (full survival).
+            risk_sum_micros: opt_field(v, "risk_sum")?.unwrap_or(0),
+            risk_max_micros: opt_field(v, "risk_max")?.unwrap_or(0),
+            survival_micros: opt_field(v, "survival")?.unwrap_or(RISK_SCALE),
         })
     }
 }
@@ -196,6 +239,7 @@ mod tests {
                 time: 2005,
                 state_mask: 0b01,
                 disclosed: WorldSet::from_indices(4, [0, 2]),
+                risk: 250_000,
             },
             WalRecord::Reset {
                 seq: 3,
@@ -211,13 +255,68 @@ mod tests {
     #[test]
     fn sessions_roundtrip_and_apply_matches_intersection() {
         let mut s = WalSession::fresh(4);
-        s.apply(5, 0b01, &WorldSet::from_indices(4, [1, 2, 3]));
-        s.apply(6, 0b11, &WorldSet::from_indices(4, [2, 3]));
+        s.apply(5, 0b01, &WorldSet::from_indices(4, [1, 2, 3]), 250_000);
+        s.apply(6, 0b11, &WorldSet::from_indices(4, [2, 3]), 500_000);
         assert_eq!(s.disclosures, 2);
         assert_eq!(s.last_time, 6);
         assert_eq!(s.knowledge, WorldSet::from_indices(4, [2, 3]));
+        assert_eq!(s.risk_sum_micros, 750_000);
+        assert_eq!(s.risk_max_micros, 500_000);
+        assert_eq!(s.survival_micros, 375_000);
         let back = WalSession::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn legacy_records_and_sessions_decode_with_zero_ledgers() {
+        // A pre-risk disclose record: no `risk` member.
+        let j = Json::parse(
+            r#"{"seq":2,"t":"disclose","user":"alice","time":2005,"state_mask":1,
+                "disclosed":{"universe":4,"blocks":[5]}}"#,
+        );
+        if let Ok(j) = j {
+            if let Ok(WalRecord::Disclose { risk, .. }) = WalRecord::from_json(&j) {
+                assert_eq!(risk, 0, "legacy disclose records replay with zero risk");
+            }
+        }
+        // A pre-ledger session document: no ledger members at all.
+        let fresh = WalSession::fresh(4);
+        let mut legacy = fresh.to_json();
+        if let Json::Obj(members) = &mut legacy {
+            members.retain(|(k, _)| !matches!(k.as_str(), "risk_sum" | "risk_max" | "survival"));
+        }
+        let back = WalSession::from_json(&legacy).unwrap();
+        assert_eq!(back.risk_sum_micros, 0);
+        assert_eq!(back.risk_max_micros, 0);
+        assert_eq!(back.survival_micros, RISK_SCALE, "full survival by default");
+        assert_eq!(back, fresh);
+    }
+
+    #[test]
+    fn ledger_aggregates_are_monotone_and_saturate() {
+        let mut s = WalSession::fresh(2);
+        let full = WorldSet::full(2);
+        let mut rng = 0x9E37_79B9u64;
+        let (mut prev_sum, mut prev_max, mut prev_survival) = (0u64, 0u64, RISK_SCALE);
+        for i in 0..10_000u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let risk = rng % (RISK_SCALE + 1);
+            s.apply(i, 0, &full, risk);
+            assert!(s.risk_sum_micros >= prev_sum, "sum never decreases");
+            assert!(s.risk_max_micros >= prev_max, "max never decreases");
+            assert!(s.survival_micros <= prev_survival, "survival never grows");
+            assert!(s.risk_max_micros <= RISK_SCALE);
+            assert!(s.survival_micros <= RISK_SCALE);
+            prev_sum = s.risk_sum_micros;
+            prev_max = s.risk_max_micros;
+            prev_survival = s.survival_micros;
+        }
+        // Over-scale risks clamp instead of overflowing the fold.
+        s.apply(10_000, 0, &full, u64::MAX);
+        assert_eq!(s.survival_micros, 0);
+        assert_eq!(s.risk_max_micros, RISK_SCALE);
     }
 
     #[test]

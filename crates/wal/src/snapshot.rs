@@ -187,7 +187,7 @@ mod tests {
 
     fn sample(id: u64) -> SnapshotDoc {
         let mut s = WalSession::fresh(4);
-        s.apply(9, 0b10, &WorldSet::from_indices(4, [1, 3]));
+        s.apply(9, 0b10, &WorldSet::from_indices(4, [1, 3]), 125_000);
         SnapshotDoc {
             id,
             universe: 4,

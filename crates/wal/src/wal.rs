@@ -290,6 +290,12 @@ pub struct Wal {
     /// (0 = none). Lets chaos suites model a stalling disk without a
     /// real slow device.
     fsync_stall_micros: AtomicU64,
+    /// When the log was opened; timestamps below are micros since this.
+    opened: Instant,
+    /// Micros-since-open of the newest fsync EWMA sample — a real sync
+    /// or an idle decay probe. Lets [`Wal::decay_fsync_ewma_when_idle`]
+    /// tell a quiet disk from one that is actively reporting.
+    last_ewma_sample_micros: AtomicU64,
 }
 
 fn segment_file_name(shard: usize, gen: u64) -> String {
@@ -465,6 +471,8 @@ impl Wal {
                 snapshotting: Mutex::new(()),
                 fsync_ewma_x16: AtomicU64::new(0),
                 fsync_stall_micros: AtomicU64::new(0),
+                opened: Instant::now(),
+                last_ewma_sample_micros: AtomicU64::new(0),
             },
             Recovered {
                 shards: recovered_shards,
@@ -530,7 +538,47 @@ impl Wal {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
                 Some(old - old / 8 + micros.saturating_mul(16) / 8)
             });
+        self.last_ewma_sample_micros
+            .store(self.opened.elapsed().as_micros() as u64, Ordering::Relaxed);
         result
+    }
+
+    /// Decays the fsync EWMA while the log is sync-idle, one step per
+    /// quiet window of the EWMA's own length.
+    ///
+    /// Without this, an fsync-stall freeze latches forever: `Frozen`
+    /// refuses every disclosure, so no sync ever runs again and the
+    /// EWMA that caused the freeze never sees a fresh sample. Once the
+    /// disk has been quiet for longer than the stall the EWMA believes
+    /// in, each call (the service makes one per ladder evaluation)
+    /// walks the estimate down; when it drops below the freeze
+    /// threshold, the next admitted disclosure runs a real sync and
+    /// re-teaches the EWMA the truth — a still-stalled disk re-freezes
+    /// after that one probe, a recovered one stays unfrozen.
+    pub fn decay_fsync_ewma_when_idle(&self) {
+        let ewma = self.fsync_ewma_micros();
+        if ewma == 0 {
+            return;
+        }
+        let now = self.opened.elapsed().as_micros() as u64;
+        let last = self.last_ewma_sample_micros.load(Ordering::Relaxed);
+        if now.saturating_sub(last) <= ewma {
+            return;
+        }
+        // One decay per quiet window: claim the window first so racing
+        // evaluations cannot double-decay it.
+        if self
+            .last_ewma_sample_micros
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let _ = self
+            .fsync_ewma_x16
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some(old - old / 8)
+            });
     }
 
     /// Logs a session-open for `user`. Returns the assigned sequence
@@ -543,7 +591,9 @@ impl Wal {
         })
     }
 
-    /// Logs one applied disclosure.
+    /// Logs one applied disclosure. `risk` is the decision's risk score
+    /// in micro-units; it is folded into the session's exposure ledger
+    /// on replay.
     pub fn append_disclose(
         &self,
         shard: usize,
@@ -551,6 +601,7 @@ impl Wal {
         time: u64,
         state_mask: u32,
         disclosed: &WorldSet,
+        risk: u64,
     ) -> Result<u64, WalError> {
         self.append_with(shard, |seq| WalRecord::Disclose {
             seq,
@@ -558,6 +609,7 @@ impl Wal {
             time,
             state_mask,
             disclosed: disclosed.clone(),
+            risk,
         })
     }
 
@@ -924,6 +976,7 @@ fn apply_record(
             time,
             state_mask,
             disclosed,
+            risk,
             ..
         } => {
             if disclosed.universe_size() != config.universe {
@@ -935,7 +988,7 @@ fn apply_record(
             }
             match sessions.get_mut(&user) {
                 Some(s) => {
-                    s.apply(time, state_mask, &disclosed);
+                    s.apply(time, state_mask, &disclosed, risk);
                     Ok(())
                 }
                 None => Err(format!("disclose for unknown session {user:?}")),
@@ -975,8 +1028,15 @@ mod tests {
         {
             let (wal, _) = Wal::open(config(dir.path())).unwrap();
             wal.append_open(0, "alice").unwrap();
-            wal.append_disclose(0, "alice", 10, 0b01, &WorldSet::from_indices(4, [0, 1]))
-                .unwrap();
+            wal.append_disclose(
+                0,
+                "alice",
+                10,
+                0b01,
+                &WorldSet::from_indices(4, [0, 1]),
+                250_000,
+            )
+            .unwrap();
             wal.append_open(1, "bob").unwrap();
             wal.append_open(0, "carol").unwrap();
             wal.append_reset(0, "carol").unwrap();
@@ -999,14 +1059,21 @@ mod tests {
         {
             let (wal, _) = Wal::open(config(dir.path())).unwrap();
             wal.append_open(0, "alice").unwrap();
-            wal.append_disclose(0, "alice", 1, 0, &WorldSet::from_indices(4, [0, 1, 2]))
-                .unwrap();
+            wal.append_disclose(
+                0,
+                "alice",
+                1,
+                0,
+                &WorldSet::from_indices(4, [0, 1, 2]),
+                100_000,
+            )
+            .unwrap();
             let guard = wal.try_begin_snapshot().unwrap();
             let cut0 = wal.rotate_shard(0).unwrap();
             let cut1 = wal.rotate_shard(1).unwrap();
             assert_eq!((cut0, cut1), (2, 0));
             let mut alice = WalSession::fresh(4);
-            alice.apply(1, 0, &WorldSet::from_indices(4, [0, 1, 2]));
+            alice.apply(1, 0, &WorldSet::from_indices(4, [0, 1, 2]), 100_000);
             wal.commit_snapshot(
                 guard,
                 vec![cut0, cut1],
@@ -1014,8 +1081,15 @@ mod tests {
             )
             .unwrap();
             // Tail after the snapshot.
-            wal.append_disclose(0, "alice", 2, 0, &WorldSet::from_indices(4, [1, 2, 3]))
-                .unwrap();
+            wal.append_disclose(
+                0,
+                "alice",
+                2,
+                0,
+                &WorldSet::from_indices(4, [1, 2, 3]),
+                200_000,
+            )
+            .unwrap();
         }
         let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
         assert!(recovered.report.snapshot_loaded);
@@ -1056,7 +1130,7 @@ mod tests {
         };
         let (wal, _) = Wal::open(cfg).unwrap();
         wal.append_open(0, "alice").unwrap();
-        wal.append_disclose(0, "alice", 1, 0, &WorldSet::from_indices(4, [0]))
+        wal.append_disclose(0, "alice", 1, 0, &WorldSet::from_indices(4, [0]), 0)
             .unwrap();
         let stats = wal.stats();
         assert_eq!(stats.appends, 2);
@@ -1089,6 +1163,7 @@ mod tests {
                         u64::from(i),
                         0,
                         &WorldSet::full(4),
+                        0,
                     )
                     .unwrap();
                 }
@@ -1145,7 +1220,7 @@ mod tests {
         assert_eq!(recovered.report.replayed_records, 1);
         assert_eq!(recovered.shards[0][0].0, "alice");
         // The next generation (10^8 + 2, a 9-digit name) keeps working.
-        wal.append_disclose(0, "alice", 1, 0, &WorldSet::full(4))
+        wal.append_disclose(0, "alice", 1, 0, &WorldSet::full(4), 0)
             .unwrap();
         drop(wal);
         let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
@@ -1243,6 +1318,34 @@ mod tests {
         drop(wal); // Drop flushes the tail — observable only via recovery
         let (_wal, recovered) = Wal::open(config(dir.path())).unwrap();
         assert_eq!(recovered.report.replayed_records, 2);
+    }
+
+    #[test]
+    fn idle_decay_walks_the_fsync_ewma_down() {
+        let dir = TempDir::new("wal-ewma-decay");
+        let (wal, _) = Wal::open(config(dir.path())).unwrap();
+        wal.set_fsync_stall(Some(Duration::from_millis(4)));
+        wal.append_open(0, "alice").unwrap();
+        wal.flush().unwrap();
+        let taught = wal.fsync_ewma_micros();
+        assert!(taught >= 500, "stall taught the EWMA: {taught}");
+        wal.set_fsync_stall(None);
+        // Inside the quiet window nothing decays; once the log has been
+        // sync-idle for longer than the EWMA itself, repeated probes
+        // walk it down — this is what lets a frozen service thaw.
+        wal.decay_fsync_ewma_when_idle();
+        for _ in 0..200 {
+            if wal.fsync_ewma_micros() < taught / 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(taught.min(5_000)));
+            wal.decay_fsync_ewma_when_idle();
+        }
+        assert!(
+            wal.fsync_ewma_micros() < taught / 4,
+            "EWMA never decayed: {} of {taught}",
+            wal.fsync_ewma_micros()
+        );
     }
 
     #[test]

@@ -73,11 +73,15 @@ proptest! {
                     let time = op as u64;
                     let mask = rng.gen_range(0..16u32);
                     let set = random_set(&mut rng);
-                    wal.append_disclose(shard, &user, time, mask, &set).unwrap();
+                    // Random risk scores exercise the exposure ledger:
+                    // the recovered WalSession (ledger included) must be
+                    // identical to the in-memory model's fold.
+                    let risk = rng.gen_range(0..=1_000_000u64);
+                    wal.append_disclose(shard, &user, time, mask, &set, risk).unwrap();
                     model[shard]
                         .get_mut(&user)
                         .expect("opened above")
-                        .apply(time, mask, &set);
+                        .apply(time, mask, &set, risk);
                 }
                 // Snapshot-and-compact at random points mid-stream, the
                 // way the service does: per-shard cut, then commit.
@@ -121,7 +125,7 @@ fn build_log(dir: &Path, n: usize) -> Vec<u64> {
     let segment = segment_file(dir);
     for i in 0..n {
         let set = WorldSet::from_indices(UNIVERSE, [(i % UNIVERSE) as u32]);
-        wal.append_disclose(0, "alice", i as u64, 0b1, &set)
+        wal.append_disclose(0, "alice", i as u64, 0b1, &set, 0)
             .unwrap();
         lens.push(fs::metadata(&segment).unwrap().len());
     }

@@ -1,0 +1,150 @@
+//! End-to-end exposure-budget suite over real TCP: the `budget` op
+//! round-trips through the NDJSON server, disclose replies carry the
+//! new `risk` / `budget_remaining` members, a user past the deny
+//! threshold is refused with `budget_exhausted` without touching the
+//! solver path, and a budget-disabled daemon answers byte-compatibly
+//! (no budget members at all).
+
+use epi_audit::{Finding, PriorAssumption, Schema};
+use epi_service::{
+    AuditOutcome, AuditService, BudgetOptions, Client, ClientError, ErrorCode, Server,
+    ServiceConfig,
+};
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::from_names(&["hiv_pos", "transfusions"]).unwrap()
+}
+
+fn service(budget: BudgetOptions) -> Arc<AuditService> {
+    Arc::new(AuditService::new(
+        schema(),
+        ServiceConfig {
+            assumption: PriorAssumption::Product,
+            workers: 2,
+            budget,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+/// The `budget` op round-trips over TCP: ledger aggregates, spend under
+/// the compose rule, remaining budget, and a stable ledger digest.
+#[test]
+fn budget_op_round_trips_over_tcp() {
+    let service = service(BudgetOptions {
+        cap_micros: 3_000_000,
+        ..BudgetOptions::default()
+    });
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Unknown users are a bad request, same contract as `session`.
+    let err = client.budget("ghost").expect_err("unknown user");
+    assert!(
+        matches!(err, ClientError::Remote { code, .. } if code == ErrorCode::BadRequest),
+        "expected bad_request"
+    );
+
+    // A direct hit carries the maximal risk score of 1.0 and the reply
+    // already shows the budget drained by it.
+    let outcome = client
+        .disclose("mallory", 1, "hiv_pos", 0b11, "hiv_pos")
+        .expect("disclose");
+    let AuditOutcome::Entry(entry) = outcome else {
+        panic!("expected an entry, got {outcome:?}");
+    };
+    assert_eq!(entry.finding, Finding::Flagged);
+    assert_eq!(entry.risk_micros, Some(1_000_000));
+    assert_eq!(entry.budget_remaining_micros, Some(2_000_000));
+
+    let info = client.budget("mallory").expect("budget op");
+    assert_eq!(info.user, "mallory");
+    assert_eq!(info.disclosures, 1);
+    assert_eq!(info.risk_sum, 1_000_000);
+    assert_eq!(info.risk_max, 1_000_000);
+    assert_eq!(info.survival, 0);
+    assert_eq!(info.spent, 1_000_000);
+    assert_eq!(info.cap, 3_000_000);
+    assert_eq!(info.remaining, 2_000_000);
+    assert_eq!(info.compose, "sum");
+    assert_eq!(info.digest.len(), 8, "digest renders as 8 hex chars");
+
+    // A second disclosure moves every aggregate the compose rules read.
+    client
+        .disclose("mallory", 2, "hiv_pos", 0b11, "hiv_pos")
+        .expect("disclose");
+    let after = client.budget("mallory").expect("budget op");
+    assert_eq!(after.risk_sum, 2_000_000);
+    assert_eq!(after.remaining, 1_000_000);
+    assert_ne!(after.digest, info.digest, "the ledger digest moved");
+}
+
+/// Past the deny threshold the daemon refuses with `budget_exhausted`
+/// before any solver work: `decide_requests` stays flat across the
+/// denial, the session is unchanged, and other users keep serving.
+#[test]
+fn exhausted_user_is_refused_over_tcp_without_solver_work() {
+    let service = service(BudgetOptions {
+        cap_micros: 2_000_000,
+        ..BudgetOptions::default()
+    });
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    for t in 1..=2 {
+        client
+            .disclose("mallory", t, "hiv_pos", 0b11, "hiv_pos")
+            .expect("disclose under budget");
+    }
+    let decide_before = service.metrics().decide_requests;
+    let err = client
+        .disclose("mallory", 3, "hiv_pos", 0b11, "hiv_pos")
+        .expect_err("past the deny threshold");
+    assert!(
+        matches!(err, ClientError::Remote { code, .. } if code == ErrorCode::BudgetExhausted),
+        "expected budget_exhausted, got {err:?}"
+    );
+    let m = service.metrics();
+    assert_eq!(m.budget_exhausted_denials, 1);
+    assert_eq!(m.decide_requests, decide_before, "solver path untouched");
+    assert_eq!(client.budget("mallory").expect("budget op").disclosures, 2);
+    // The budget is per-user: a fresh user still serves.
+    client
+        .disclose("trent", 4, "hiv_pos", 0b11, "hiv_pos")
+        .expect("other users unaffected");
+    // The denial is visible in the Prometheus rendering.
+    let text = client.metrics_text().expect("metrics op");
+    assert!(
+        text.contains("epi_budget_exhausted_denials_total 1"),
+        "denial counter missing from metrics text"
+    );
+    assert!(
+        text.contains("epi_decision_risk_bucket"),
+        "risk histogram missing from metrics text"
+    );
+}
+
+/// With the budget disabled (the default), replies carry no budget
+/// member and no risk-driven refusals exist — the pre-budget wire
+/// contract, byte for byte.
+#[test]
+fn disabled_budget_keeps_the_legacy_wire_contract() {
+    let service = service(BudgetOptions::default());
+    let server = Server::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    for t in 1..=8 {
+        let outcome = client
+            .disclose("mallory", t, "hiv_pos", 0b11, "hiv_pos")
+            .expect("no budget, no refusal");
+        let AuditOutcome::Entry(entry) = outcome else {
+            panic!("expected an entry");
+        };
+        assert_eq!(
+            entry.budget_remaining_micros, None,
+            "a disabled budget must not add reply members"
+        );
+    }
+    assert_eq!(service.metrics().budget_exhausted_denials, 0);
+}

@@ -19,9 +19,9 @@
 
 use epi_audit::workload::hospital_scenario;
 use epi_audit::{PriorAssumption, Schema};
-use epi_faults::RecoveryPlan;
+use epi_faults::{BudgetPlan, RecoveryPlan};
 use epi_json::Serialize;
-use epi_service::{AuditService, Request, Response, ServiceConfig};
+use epi_service::{AuditService, BudgetOptions, Request, Response, ServiceConfig};
 use epi_wal::testdir::TempDir;
 use epi_wal::{FsyncPolicy, WalError};
 use std::collections::BTreeSet;
@@ -389,6 +389,107 @@ fn corruption_behind_the_final_segment_fails_closed() {
         assert!(
             matches!(err, WalError::Corrupt { .. }),
             "seed {seed:#x}: expected a corruption error, got {err}"
+        );
+    }
+}
+
+/// Durable budget-enabled config: strict fsync plus an exposure cap
+/// large enough that nothing in the stream is denied (what is under
+/// test is ledger replay, not enforcement).
+fn budget_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        budget: BudgetOptions {
+            cap_micros: 1_000_000_000,
+            ..BudgetOptions::default()
+        },
+        ..durable_config(dir)
+    }
+}
+
+/// Every user's rendered `budget` reply (full ledger aggregates, spend,
+/// and ledger digest), in user order — the byte-level image of the
+/// per-user exposure ledgers.
+fn budget_ledgers(svc: &AuditService, users: &BTreeSet<String>) -> Vec<String> {
+    users
+        .iter()
+        .map(|user| {
+            let resp = svc.handle(&Request::Budget { user: user.clone() });
+            assert!(
+                matches!(resp, Response::Budget(_)),
+                "budget op for {user} failed: {resp:?}"
+            );
+            resp.to_json().render()
+        })
+        .collect()
+}
+
+/// Exposure ledgers survive the kill byte-for-byte: the ledger a
+/// restarted daemon replays from the disclosure log must render exactly
+/// the `budget` replies (aggregates, spend, digest) the killed process
+/// held in memory, and the completed run must match an uninterrupted
+/// in-memory reference — whatever user/query/state mix the seeded
+/// [`BudgetPlan`] scripts, including zero-risk negative-gated steps.
+#[test]
+fn kill_and_restart_replays_byte_identical_exposure_ledgers() {
+    let queries = ["hiv_pos", "transfusions", "hiv_pos | transfusions"];
+    for seed in seeds() {
+        let plan = BudgetPlan::new(seed);
+        let total = 48u64;
+        let stream: Vec<Step> = (0..total)
+            .map(|i| Step {
+                user: format!("u{}", plan.user(i)),
+                time: i + 1,
+                query: queries[plan.query(i) as usize % queries.len()].to_owned(),
+                state_mask: plan.state_mask(i, 2),
+            })
+            .collect();
+        let users: BTreeSet<String> = stream.iter().map(|s| s.user.clone()).collect();
+
+        // Uninterrupted, purely in-memory reference run.
+        let reference = AuditService::new(
+            schema(),
+            ServiceConfig {
+                budget: BudgetOptions {
+                    cap_micros: 1_000_000_000,
+                    ..BudgetOptions::default()
+                },
+                ..base_config()
+            },
+        );
+        for step in &stream {
+            disclose(&reference, step);
+        }
+        let expected = budget_ledgers(&reference, &users);
+
+        let kill = RecoveryPlan::new(seed).kill_point(total) as usize;
+        let tmp = TempDir::new(&format!("recovery-ledger-{seed:x}"));
+        let at_kill;
+        let users_at_kill: BTreeSet<String> =
+            stream[..kill].iter().map(|s| s.user.clone()).collect();
+        {
+            let svc = AuditService::open(schema(), budget_config(tmp.path()))
+                .expect("cold start on an empty data dir");
+            for step in &stream[..kill] {
+                disclose(&svc, step);
+            }
+            at_kill = budget_ledgers(&svc, &users_at_kill);
+            // SIGKILL-equivalence: in-memory state vanishes here.
+        }
+        let svc = AuditService::open(schema(), budget_config(tmp.path()))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: restart failed: {e}"));
+        assert_eq!(
+            budget_ledgers(&svc, &users_at_kill),
+            at_kill,
+            "seed {seed:#x} (kill after {kill}): replayed ledgers diverged \
+             from the killed process's in-memory ledgers"
+        );
+        for step in &stream[kill..] {
+            disclose(&svc, step);
+        }
+        assert_eq!(
+            budget_ledgers(&svc, &users),
+            expected,
+            "seed {seed:#x}: completed ledgers diverged from the uninterrupted run"
         );
     }
 }
