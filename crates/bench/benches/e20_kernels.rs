@@ -1,0 +1,82 @@
+//! E20 — Bernstein microkernel sweep: ns/element for the four hot
+//! kernels (`coefficient_range`, `widest_derivative_axis`,
+//! `midpoint_and_split_axis`, `split_halves`) across tensor sizes and
+//! instruction sets. The per-element view makes the kernels comparable
+//! across `n` (all four are linear passes over the `3ⁿ` tensor, the
+//! probe `n`-linear), and the ISA axis shows what the `simd` feature
+//! buys at each size. Without the feature only the scalar rows run —
+//! `force_isa` clamps to what the build provides.
+//!
+//! The tensors are the safety-gap Bernstein coefficients of random
+//! nonempty pairs, i.e. exactly the data the solver's wave sweeps see.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epi_boolean::{generate, Cube};
+use epi_poly::{indicator, subdivision};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Safety-gap Bernstein tensor of a random pair over `{0,1}ⁿ`.
+fn gap_tensor(n: usize) -> Vec<f64> {
+    let cube = Cube::new(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20 + n as u64);
+    let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+    let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+    let pow3 = indicator::safety_gap_pow3::<f64>(n, &a, &b);
+    let mut bern = epi_solver::bernstein::DenseTensor::from_dense_pow3(&pow3)
+        .coeffs()
+        .to_vec();
+    subdivision::pow3_to_bernstein(&mut bern, n);
+    bern
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e20_kernels");
+    for n in [6usize, 9, 10] {
+        let bern = gap_tensor(n);
+        let len = bern.len();
+        for isa in [
+            subdivision::Isa::Scalar,
+            subdivision::Isa::Sse2,
+            subdivision::Isa::Avx2,
+        ] {
+            if subdivision::force_isa(Some(isa)) != isa {
+                continue; // not provided by this build / CPU
+            }
+            let tag = format!("n{n}_{}", isa.label());
+            g.bench_with_input(
+                BenchmarkId::new("coefficient_range", &tag),
+                &len,
+                |bench, _| bench.iter(|| subdivision::coefficient_range(black_box(&bern))),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("widest_derivative_axis", &tag),
+                &len,
+                |bench, _| bench.iter(|| subdivision::widest_derivative_axis(black_box(&bern), n)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("midpoint_and_split_axis", &tag),
+                &len,
+                |bench, _| {
+                    let mut scratch = Vec::new();
+                    bench.iter(|| {
+                        subdivision::midpoint_and_split_axis(black_box(&bern), n, &mut scratch)
+                    })
+                },
+            );
+            g.bench_with_input(BenchmarkId::new("split_halves", &tag), &len, |bench, _| {
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                let axis = n / 2;
+                bench.iter(|| {
+                    subdivision::split_halves_min(black_box(&bern), n, axis, &mut left, &mut right)
+                })
+            });
+        }
+        subdivision::force_isa(None);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

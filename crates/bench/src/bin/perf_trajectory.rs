@@ -3,11 +3,13 @@
 //! kernel), E15 (incremental subdivision / zero-allocation hot path)
 //! E16 (disclosure throughput vs. durability policy), E17
 //! (concurrent-connection throughput, reactor vs. thread-per-conn), E18
-//! (goodput under an overload storm with adaptive admission) and E19
-//! (O(1) exhausted-budget denial vs. the full solver path) workloads
-//! against the recorded baselines and writes the results to
-//! `BENCH_PR9.json` alongside the human-readable tables, so future PRs
-//! can diff the numbers machine-readably.
+//! (goodput under an overload storm with adaptive admission), E19
+//! (O(1) exhausted-budget denial vs. the full solver path) and E20
+//! (SIMD microkernel ns/element sweep plus batched single-core wave
+//! throughput vs. the PR 5 recording) workloads against the recorded
+//! baselines and writes the results to `BENCH_PR10.json` alongside the
+//! human-readable tables, so future PRs can diff the numbers
+//! machine-readably.
 //!
 //! Run:  `cargo run --release --bin perf_trajectory [-- out.json [baseline.json]]`
 //!
@@ -24,11 +26,13 @@
 //! can tell the two apart.
 
 use epi_bench::{hard_family, PairShape};
-use epi_boolean::Cube;
+use epi_boolean::{generate, Cube};
 use epi_core::WorldSet;
 use epi_json::Json;
+use epi_poly::{indicator, subdivision};
 use epi_solver::{decide_product_safety, ProductSolverOptions, SubdivisionMode, Verdict};
 use rand::SeedableRng;
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Every allocation in this binary goes through the counting allocator,
@@ -180,6 +184,11 @@ fn e14_instances() -> Vec<(String, Cube, WorldSet, WorldSet, usize)> {
 
 fn e14() -> (Json, f64) {
     println!("\n## E14 — parallel engine vs sequential baseline (hard family)\n");
+    // Per-core normalization: an 8-thread request on a 2-core container
+    // runs on 2 cores, so boxes/sec/core divides by the effective count,
+    // not the requested one.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let eff_8t = 8.min(cores.max(1));
     let mut rows = Vec::new();
     let mut total_legacy = 0.0;
     let mut total_8t = 0.0;
@@ -244,6 +253,11 @@ fn e14() -> (Json, f64) {
                 ("boxes_processed", Json::from(boxes)),
                 ("verdict", Json::from(verdicts[0])),
                 ("speedup_8t_vs_sequential", Json::from(speedup)),
+                ("threads_effective_8t", Json::from(eff_8t)),
+                (
+                    "dense_8t_boxes_per_sec_per_core",
+                    Json::from(boxes as f64 / (walls[3].1 / 1e3) / eff_8t as f64),
+                ),
             ]
             .into_iter()
             .chain(
@@ -306,6 +320,8 @@ fn pr2_baseline(path: &str) -> Vec<(String, f64)> {
 
 fn e15(baseline_path: &str) -> (Json, f64, Option<f64>) {
     println!("\n## E15 — incremental subdivision kernel (adversarial hard family)\n");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let eff_8t = 8.min(cores.max(1));
     let baseline = pr2_baseline(baseline_path);
     let mut rows = Vec::new();
     let mut total_boxes = 0.0f64;
@@ -402,7 +418,15 @@ fn e15(baseline_path: &str) -> (Json, f64, Option<f64>) {
             ("boxes_processed", Json::from(boxes)),
             ("verdict", Json::from(verdicts[0])),
             ("boxes_per_sec_1t", Json::from(boxes_per_sec_1t)),
+            // threads=1 pins one core, so per-core == aggregate here;
+            // the explicit field keeps the gate's metric uniform.
+            ("boxes_per_sec_per_core_1t", Json::from(boxes_per_sec_1t)),
             ("speedup_8t_vs_1t", Json::from(inc_1t / inc_8t)),
+            ("threads_effective_8t", Json::from(eff_8t)),
+            (
+                "incremental_8t_boxes_per_sec_per_core",
+                Json::from(boxes as f64 / (inc_8t / 1e3) / eff_8t as f64),
+            ),
         ];
         if let Some(bps) = base_bps {
             fields.push(("pr2_boxes_per_sec", Json::from(bps)));
@@ -985,15 +1009,247 @@ fn e19() -> Json {
     ])
 }
 
+/// Safety-gap Bernstein tensor of a random pair over `{0,1}ⁿ` — the same
+/// construction the `e20_kernels` criterion bench uses, so the ns/elem
+/// rows here and there measure the same data shape.
+fn gap_tensor(n: usize) -> Vec<f64> {
+    let cube = Cube::new(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20 + n as u64);
+    let a = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+    let b = generate::random_nonempty_set(&cube, 0.4, &mut rng);
+    let pow3 = indicator::safety_gap_pow3::<f64>(n, &a, &b);
+    let mut bern = epi_solver::bernstein::DenseTensor::from_dense_pow3(&pow3)
+        .coeffs()
+        .to_vec();
+    subdivision::pow3_to_bernstein(&mut bern, n);
+    bern
+}
+
+/// Kernel ns/element across tensor sizes and every ISA this build and
+/// CPU provide. All four kernels are linear passes over the `3ⁿ` tensor
+/// (the probe `n`-linear), so ns/elem makes sizes comparable and the
+/// ISA axis shows what the `simd` feature buys at each one.
+fn e20_kernel_rows() -> Json {
+    let mut rows = Vec::new();
+    for n in [6usize, 9, 10] {
+        let bern = gap_tensor(n);
+        let len = bern.len();
+        // Enough repetitions per timed pass that even the fastest
+        // kernel×size cell is far above timer resolution.
+        let reps = (1usize << 21) / len + 1;
+        let axis = n / 2;
+        for isa in [
+            subdivision::Isa::Scalar,
+            subdivision::Isa::Sse2,
+            subdivision::Isa::Avx2,
+        ] {
+            if subdivision::force_isa(Some(isa)) != isa {
+                continue; // not provided by this build / CPU
+            }
+            let per_elem = |wall_ms: f64| wall_ms * 1e6 / (reps * len) as f64;
+            let range = per_elem(time_ms(|| {
+                for _ in 0..reps {
+                    black_box(subdivision::coefficient_range(black_box(&bern)));
+                }
+            }));
+            let widest = per_elem(time_ms(|| {
+                for _ in 0..reps {
+                    black_box(subdivision::widest_derivative_axis(black_box(&bern), n));
+                }
+            }));
+            let mut scratch = Vec::new();
+            let probe = per_elem(time_ms(|| {
+                for _ in 0..reps {
+                    black_box(subdivision::midpoint_and_split_axis(
+                        black_box(&bern),
+                        n,
+                        &mut scratch,
+                    ));
+                }
+            }));
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            let split = per_elem(time_ms(|| {
+                for _ in 0..reps {
+                    black_box(subdivision::split_halves_min(
+                        black_box(&bern),
+                        n,
+                        axis,
+                        &mut l,
+                        &mut r,
+                    ));
+                }
+            }));
+            println!(
+                "n={n} ({len} elems) {}: range={range:.3} widest={widest:.3} \
+                 probe={probe:.3} split={split:.3} ns/elem",
+                isa.label()
+            );
+            rows.push(Json::obj([
+                ("n", Json::from(n)),
+                ("elems", Json::from(len)),
+                ("isa", Json::from(isa.label())),
+                ("coefficient_range_ns_per_elem", Json::from(range)),
+                ("widest_derivative_axis_ns_per_elem", Json::from(widest)),
+                ("midpoint_and_split_axis_ns_per_elem", Json::from(probe)),
+                ("split_halves_min_ns_per_elem", Json::from(split)),
+            ]));
+        }
+        subdivision::force_isa(None);
+    }
+    Json::arr(rows)
+}
+
+/// The PR 5 recording this PR's acceptance is measured against:
+/// aggregate single-thread boxes/sec over the same adversarial family.
+fn pr5_e15_baseline(path: &str) -> Option<f64> {
+    let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    doc.get("e15_aggregate_boxes_per_sec_1t")
+        .and_then(Json::as_f64)
+}
+
+/// E20 — the PR 10 tentpole measurement: single-core boxes/sec on the
+/// adversarial hard family through the batched SoA wave sweep, under the
+/// forced-scalar kernels and under the build's best ISA, against the
+/// box-at-a-time path (`wave_batch: false`, the PR 5 shape) and against
+/// the committed `BENCH_PR5.json` aggregate. Acceptance: the batched
+/// best-ISA aggregate reaches ≥ 1.5x the PR 5 recording. With threads=1
+/// the run pins one core, so every boxes/sec figure here *is* the
+/// per-core figure the bench gate consumes.
+///
+/// Returns `(json, scalar_bps, active_bps)` so `main` can surface the
+/// per-core gate baselines for both feature configurations.
+fn e20(pr5_path: &str) -> (Json, f64, f64) {
+    println!("\n## E20 — SIMD microkernels and batched wave throughput (single core)\n");
+    let kernel_rows = e20_kernel_rows();
+    let active = subdivision::active_isa();
+    println!("\nbest ISA this build/CPU: {}\n", active.label());
+
+    let mut rows = Vec::new();
+    let mut total_boxes = 0.0f64;
+    let mut secs_scalar = 0.0f64;
+    let mut secs_active = 0.0f64;
+    let mut secs_unbatched = 0.0f64;
+    for (name, cube, a, b, max_boxes) in e15_instances() {
+        let batched = ProductSolverOptions {
+            max_boxes,
+            coordinate_ascent: false,
+            sos_fallback: false,
+            subdivision: SubdivisionMode::Incremental,
+            threads: 1,
+            ..Default::default()
+        };
+        let unbatched = ProductSolverOptions {
+            wave_batch: false,
+            ..batched
+        };
+        // Forced-scalar batched: what a no-`simd` build measures.
+        subdivision::force_isa(Some(subdivision::Isa::Scalar));
+        let (v_scalar, stats) = decide_product_safety(&cube, &a, &b, batched);
+        let wall_scalar = time_ms(|| {
+            let _ = decide_product_safety(&cube, &a, &b, batched);
+        });
+        subdivision::force_isa(None);
+        // Best-ISA batched (the tentpole) and best-ISA unbatched (the
+        // PR 5 evaluation shape on today's kernels).
+        let (v_active, _) = decide_product_safety(&cube, &a, &b, batched);
+        let wall_active = time_ms(|| {
+            let _ = decide_product_safety(&cube, &a, &b, batched);
+        });
+        let (v_unbatched, _) = decide_product_safety(&cube, &a, &b, unbatched);
+        let wall_unbatched = time_ms(|| {
+            let _ = decide_product_safety(&cube, &a, &b, unbatched);
+        });
+        assert!(
+            verdict_tag(&v_scalar) == verdict_tag(&v_active)
+                && verdict_tag(&v_active) == verdict_tag(&v_unbatched),
+            "{name}: ISA and batching must not change the verdict"
+        );
+        let boxes = stats.boxes_processed;
+        total_boxes += boxes as f64;
+        secs_scalar += wall_scalar / 1e3;
+        secs_active += wall_active / 1e3;
+        secs_unbatched += wall_unbatched / 1e3;
+        let bps = |wall_ms: f64| boxes as f64 / (wall_ms / 1e3);
+        println!(
+            "{name} (n={}, {} boxes, {}): scalar={:.0} {}={:.0} unbatched_{}={:.0} boxes/sec",
+            cube.dims(),
+            boxes,
+            verdict_tag(&v_active),
+            bps(wall_scalar),
+            active.label(),
+            bps(wall_active),
+            active.label(),
+            bps(wall_unbatched),
+        );
+        rows.push(Json::obj([
+            ("instance", Json::from(name.as_str())),
+            ("n", Json::from(cube.dims())),
+            ("boxes_processed", Json::from(boxes)),
+            ("verdict", Json::from(verdict_tag(&v_active))),
+            ("batched_scalar_boxes_per_sec", Json::from(bps(wall_scalar))),
+            (
+                "batched_best_isa_boxes_per_sec",
+                Json::from(bps(wall_active)),
+            ),
+            (
+                "unbatched_best_isa_boxes_per_sec",
+                Json::from(bps(wall_unbatched)),
+            ),
+        ]));
+    }
+    let scalar_bps = total_boxes / secs_scalar;
+    let active_bps = total_boxes / secs_active;
+    let unbatched_bps = total_boxes / secs_unbatched;
+    println!(
+        "\naggregate 1t: batched_scalar={scalar_bps:.0} batched_{}={active_bps:.0} \
+         unbatched_{}={unbatched_bps:.0} boxes/sec (batching buys {:.2}x)",
+        active.label(),
+        active.label(),
+        active_bps / unbatched_bps
+    );
+    let mut fields = vec![
+        ("kernels", kernel_rows),
+        ("best_isa", Json::from(active.label())),
+        ("threads_effective", Json::from(1usize)),
+        ("instances", Json::arr(rows)),
+        (
+            "batched_scalar_boxes_per_sec_per_core_1t",
+            Json::from(scalar_bps),
+        ),
+        (
+            "batched_best_isa_boxes_per_sec_per_core_1t",
+            Json::from(active_bps),
+        ),
+        (
+            "unbatched_best_isa_boxes_per_sec_per_core_1t",
+            Json::from(unbatched_bps),
+        ),
+        ("batching_speedup", Json::from(active_bps / unbatched_bps)),
+    ];
+    if let Some(pr5) = pr5_e15_baseline(pr5_path) {
+        let speedup = active_bps / pr5;
+        println!(
+            "vs PR5 recording ({pr5:.0} boxes/sec): {speedup:.2}x \
+             (acceptance: >= 1.50x on the batched best-ISA path)"
+        );
+        fields.push(("pr5_boxes_per_sec_1t", Json::from(pr5)));
+        fields.push(("speedup_vs_pr5_1t", Json::from(speedup)));
+        fields.push(("meets_acceptance", Json::from(speedup >= 1.5)));
+    } else {
+        println!("(no {pr5_path}; speedup-vs-PR5 fields omitted)");
+    }
+    (Json::obj(fields), scalar_bps, active_bps)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let baseline_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let cores = std::thread::available_parallelism().map_or(0, usize::from);
-    println!("# Perf trajectory — PR 9 risk-scored verdicts and exposure budgets");
+    println!("# Perf trajectory — PR 10 SIMD microkernels and batched wave sweeps");
     println!("available_parallelism={cores}");
 
     let e8_configs: Vec<(&str, ProductSolverOptions)> = vec![
@@ -1028,9 +1284,10 @@ fn main() {
     let e17_json = e17();
     let e18_json = e18();
     let e19_json = e19();
+    let (e20_json, gate_scalar_bps, gate_simd_bps) = e20("BENCH_PR5.json");
 
     let mut fields = vec![
-        ("pr", Json::from(9usize)),
+        ("pr", Json::from(10usize)),
         ("generated_by", Json::from("perf_trajectory")),
         ("available_parallelism", Json::from(cores)),
         (
@@ -1060,7 +1317,13 @@ fn main() {
                  E19 compares the O(1) exhausted-user refusal (a session read and a \
                  threshold compare, before the solver queue) against full cache-miss \
                  solves on the same daemon; decide_requests must stay flat across \
-                 the denial phase",
+                 the denial phase. E20 sweeps the four Bernstein microkernels \
+                 (ns/element, scalar vs every ISA the build and CPU provide) and \
+                 measures single-core batched-wave throughput on the adversarial \
+                 family against the box-at-a-time path and the committed \
+                 BENCH_PR5.json aggregate; the bench_gate_baseline fields are the \
+                 per-core boxes/sec the CI gate compares against, one per feature \
+                 configuration (threads=1, so per-core equals aggregate)",
             ),
         ),
         ("e8", e8_json),
@@ -1073,6 +1336,15 @@ fn main() {
         ("e17", e17_json),
         ("e18", e18_json),
         ("e19", e19_json),
+        ("e20", e20_json),
+        (
+            "bench_gate_baseline_boxes_per_sec_per_core_scalar",
+            Json::from(gate_scalar_bps),
+        ),
+        (
+            "bench_gate_baseline_boxes_per_sec_per_core_simd",
+            Json::from(gate_simd_bps),
+        ),
     ];
     if let Some(s) = e15_speedup {
         fields.push(("e15_aggregate_speedup_vs_pr2", Json::from(s)));

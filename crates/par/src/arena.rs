@@ -30,9 +30,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 /// Cap on bytes parked in any one [`BufferPool`]; beyond it, checked-in
-/// buffers are simply dropped. Generous enough that a full E14 frontier
-/// recycles without ever hitting it.
-const MAX_RESIDENT_BYTES: usize = 256 << 20;
+/// buffers are simply dropped. Sized so a full E14 frontier of `3⁹`
+/// tensors recycles without ever hitting it — a dropped checkin is not
+/// just a future malloc but a round of page faults re-touching tens of
+/// kilobytes, which at large arities costs more than the kernel work on
+/// the box itself.
+const MAX_RESIDENT_BYTES: usize = 1 << 30;
 
 /// Cap on buffers parked per thread-local scratch shelf.
 const MAX_SCRATCH_BUFS: usize = 16;
@@ -59,6 +62,17 @@ impl<T> BufferPool<T> {
     /// parked one when available. Counts a miss (and allocates) when the
     /// shelf is empty or the warmest buffer is too small.
     pub fn checkout(&self, capacity: usize) -> Vec<T> {
+        let mut buf = self.checkout_dirty(capacity);
+        buf.clear();
+        buf
+    }
+
+    /// [`checkout`](BufferPool::checkout) without the clear: a buffer
+    /// parked via [`checkin_dirty`](BufferPool::checkin_dirty) comes
+    /// back with its stale contents and length intact, so a caller that
+    /// overwrites every element (`resize` to the same length, then a
+    /// full kernel write) pays no zero-fill.
+    pub fn checkout_dirty(&self, capacity: usize) -> Vec<T> {
         let popped = self
             .shelf
             .lock()
@@ -73,7 +87,7 @@ impl<T> BufferPool<T> {
                 let miss = buf.capacity() < capacity;
                 stats::record_arena_checkout(miss);
                 if miss {
-                    buf.reserve(capacity);
+                    buf.reserve(capacity - buf.len());
                 }
                 buf
             }
@@ -88,11 +102,23 @@ impl<T> BufferPool<T> {
     /// its capacity is retained unless the pool is already holding
     /// [`MAX_RESIDENT_BYTES`], in which case it is dropped.
     pub fn checkin(&self, mut buf: Vec<T>) {
+        buf.clear();
+        self.checkin_dirty(buf);
+    }
+
+    /// Park a buffer *without* clearing it: contents and length survive
+    /// the round trip. When every buffer in a pool has the same shape
+    /// (the solver's `3ⁿ` tensors within one solve) this lets the next
+    /// user skip the `resize` zero-fill entirely — `Vec::resize` to the
+    /// length the buffer already has is a no-op, and on big tensors
+    /// that memset is a large fraction of a box's whole evaluation
+    /// cost. Only park buffers whose next user overwrites every element
+    /// it reads; `checkout` hands stale contents back verbatim.
+    pub fn checkin_dirty(&self, buf: Vec<T>) {
         let bytes = buf.capacity() * mem::size_of::<T>();
         if bytes == 0 {
             return;
         }
-        buf.clear();
         let resident = self.resident_bytes.load(Ordering::Relaxed) as usize;
         if resident + bytes > MAX_RESIDENT_BYTES {
             return; // drop: the shelf is full enough

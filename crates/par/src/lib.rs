@@ -64,7 +64,7 @@ pub use chunk::{ChunkPolicy, MIN_WAVE_ENV};
 pub use epi_core::{CancelToken, Deadline, StopReason};
 pub use queue::{BestFirstQueue, OrdF64};
 pub use scope::Scope;
-pub use stats::{stats, StatsSnapshot};
+pub use stats::{record_batch_sweep, record_soa_staged_bytes, stats, StatsSnapshot};
 
 use std::sync::OnceLock;
 

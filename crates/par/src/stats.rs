@@ -15,6 +15,8 @@ static ARENA_MISSES: AtomicU64 = AtomicU64::new(0);
 static ARENA_HIGH_WATER_BYTES: AtomicU64 = AtomicU64::new(0);
 static WAVES_SEQUENTIAL: AtomicU64 = AtomicU64::new(0);
 static WAVES_PARALLEL: AtomicU64 = AtomicU64::new(0);
+static BATCH_SWEEPS: AtomicU64 = AtomicU64::new(0);
+static SOA_STAGED_HIGH_WATER_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Point-in-time view of the counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,6 +44,12 @@ pub struct StatsSnapshot {
     pub waves_sequential: u64,
     /// Frontier waves the chunk policy fanned out across workers.
     pub waves_parallel: u64,
+    /// Batched structure-of-arrays kernel sweeps over wave chunks (the
+    /// solver's vectorized wave path; flat when `wave_batch` is off).
+    pub batch_sweeps: u64,
+    /// High-water mark of bytes staged in structure-of-arrays wave
+    /// buffers (survivor indices plus probe results) across all chunks.
+    pub soa_staged_high_water_bytes: u64,
 }
 
 /// Snapshot the process-wide counters.
@@ -57,7 +65,19 @@ pub fn stats() -> StatsSnapshot {
         arena_high_water_bytes: ARENA_HIGH_WATER_BYTES.load(Ordering::Relaxed),
         waves_sequential: WAVES_SEQUENTIAL.load(Ordering::Relaxed),
         waves_parallel: WAVES_PARALLEL.load(Ordering::Relaxed),
+        batch_sweeps: BATCH_SWEEPS.load(Ordering::Relaxed),
+        soa_staged_high_water_bytes: SOA_STAGED_HIGH_WATER_BYTES.load(Ordering::Relaxed),
     }
+}
+
+/// Record one batched structure-of-arrays sweep over a wave chunk.
+pub fn record_batch_sweep() {
+    BATCH_SWEEPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Fold a chunk's staged SoA buffer footprint into the high-water mark.
+pub fn record_soa_staged_bytes(bytes: u64) {
+    SOA_STAGED_HIGH_WATER_BYTES.fetch_max(bytes, Ordering::Relaxed);
 }
 
 pub(crate) fn record_task() {

@@ -18,7 +18,13 @@
 //!   scans and split-axis heuristics for the solver's incremental
 //!   branch-and-bound.
 
-#![forbid(unsafe_code)]
+// Unsafe is forbidden except under the `simd` feature, where the private
+// `simd` module is the one sanctioned user: `std::arch` intrinsics
+// require `unsafe` even though every call is guarded by runtime CPU
+// detection. `deny` (not `allow`) keeps the rest of the crate
+// unsafe-free even in simd builds.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod coeff;
@@ -26,6 +32,8 @@ pub mod indicator;
 mod monomial;
 mod multilinear;
 mod polynomial;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd;
 pub mod subdivision;
 
 pub use coeff::Coeff;

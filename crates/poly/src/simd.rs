@@ -1,0 +1,686 @@
+//! x86_64 SSE2/AVX2 implementations of the subdivision kernel
+//! primitives — the only module in the crate allowed to use `unsafe`.
+//!
+//! # Safety argument
+//!
+//! Three classes of `unsafe` appear here, each with a local invariant:
+//!
+//! 1. **Instruction availability.** SSE2 is part of the x86_64 baseline
+//!    ABI, so [`Sse2K`] needs no runtime gate. Every AVX2 entry point is
+//!    an `#[target_feature(enable = "avx2")]` function reached only
+//!    through [`Avx2K`], which the dispatcher in
+//!    [`subdivision`](crate::subdivision) selects only after
+//!    `is_x86_feature_detected!("avx2")` succeeds (enforced again here
+//!    by a debug assertion).
+//! 2. **Raw loads/stores.** Every pointer is derived from a slice whose
+//!    length the loop bound checks *before* the access; the overlapping
+//!    triple loads in `swing3` stop one full vector short of the slice
+//!    end and finish with scalar code.
+//! 3. **No aliasing surprises.** Sources are `&[f64]`, destinations
+//!    `&mut [f64]`; Rust's borrow rules already make them disjoint, the
+//!    intrinsics just read/write through them unchecked.
+//!
+//! Results are **bit-identical** to [`ScalarK`](crate::subdivision): the
+//! arithmetic kernels evaluate the same expression trees (same
+//! association, no FMA anywhere — only `add`/`mul` intrinsics), and the
+//! reductions are order-free for finite inputs after `-0.0`
+//! canonicalization, exactly as argued in the `subdivision` module docs.
+
+#![allow(unsafe_code)]
+
+use crate::subdivision::{canon, max_sd, min_sd, Kern};
+use core::arch::x86_64::*;
+
+/// `|x|` per lane: clear the sign bit.
+#[inline(always)]
+unsafe fn abs_pd(x: __m128d) -> __m128d {
+    _mm_andnot_pd(_mm_set1_pd(-0.0), x)
+}
+
+#[inline(always)]
+unsafe fn abs256_pd(x: __m256d) -> __m256d {
+    _mm256_andnot_pd(_mm256_set1_pd(-0.0), x)
+}
+
+/// Horizontal min of both lanes with `minsd` semantics.
+#[inline(always)]
+unsafe fn hmin_pd(v: __m128d) -> f64 {
+    min_sd(_mm_cvtsd_f64(v), _mm_cvtsd_f64(_mm_unpackhi_pd(v, v)))
+}
+
+#[inline(always)]
+unsafe fn hmax_pd(v: __m128d) -> f64 {
+    max_sd(_mm_cvtsd_f64(v), _mm_cvtsd_f64(_mm_unpackhi_pd(v, v)))
+}
+
+#[inline(always)]
+unsafe fn hmin256_pd(v: __m256d) -> f64 {
+    hmin_pd(_mm_min_pd(
+        _mm256_castpd256_pd128(v),
+        _mm256_extractf128_pd(v, 1),
+    ))
+}
+
+#[inline(always)]
+unsafe fn hmax256_pd(v: __m256d) -> f64 {
+    hmax_pd(_mm_max_pd(
+        _mm256_castpd256_pd128(v),
+        _mm256_extractf128_pd(v, 1),
+    ))
+}
+
+/// 128-bit SSE2 kernels. SSE2 is unconditionally present on x86_64, so
+/// these are plain (internally unsafe) functions with no feature gate.
+pub(crate) struct Sse2K;
+
+impl Kern for Sse2K {
+    fn range(data: &[f64]) -> (f64, f64) {
+        // SAFETY: all loads are at `i`/`i + 2` with `i + 4 <= len`.
+        unsafe {
+            let ptr = data.as_ptr();
+            let len = data.len();
+            let mut vmin0 = _mm_set1_pd(f64::INFINITY);
+            let mut vmin1 = vmin0;
+            let mut vmax0 = _mm_set1_pd(f64::NEG_INFINITY);
+            let mut vmax1 = vmax0;
+            let mut i = 0usize;
+            while i + 4 <= len {
+                let a = _mm_loadu_pd(ptr.add(i));
+                let b = _mm_loadu_pd(ptr.add(i + 2));
+                vmin0 = _mm_min_pd(vmin0, a);
+                vmax0 = _mm_max_pd(vmax0, a);
+                vmin1 = _mm_min_pd(vmin1, b);
+                vmax1 = _mm_max_pd(vmax1, b);
+                i += 4;
+            }
+            let mut mn = hmin_pd(_mm_min_pd(vmin0, vmin1));
+            let mut mx = hmax_pd(_mm_max_pd(vmax0, vmax1));
+            while i < len {
+                mn = min_sd(mn, data[i]);
+                mx = max_sd(mx, data[i]);
+                i += 1;
+            }
+            (canon(mn), canon(mx))
+        }
+    }
+
+    fn swing3(data: &[f64]) -> f64 {
+        // Overlapping loads turn each stride-1 triple (b0, b1, b2) into
+        // [b0,b1] and [b1,b2]; one subtraction yields both adjacent
+        // differences. The last triple loads up to index `len - 1 + 1`
+        // (exclusive end `len`), still in bounds.
+        // SAFETY: loads at `t`/`t + 1` with `t + 3 <= len`, so the
+        // two-lane loads end at most at `t + 3 == len`.
+        unsafe {
+            let ptr = data.as_ptr();
+            let mut acc = _mm_setzero_pd();
+            let mut t = 0usize;
+            while t + 3 <= data.len() {
+                let a = _mm_loadu_pd(ptr.add(t));
+                let b = _mm_loadu_pd(ptr.add(t + 1));
+                acc = _mm_max_pd(acc, abs_pd(_mm_sub_pd(b, a)));
+                t += 3;
+            }
+            hmax_pd(acc)
+        }
+    }
+
+    fn swing_axis(data: &[f64], stride: usize) -> f64 {
+        let block = stride * 3;
+        // SAFETY: slab pointers p0/p1/p2 are `base`, `base + stride`,
+        // `base + 2·stride` with `base + block <= len`; inner loads stop
+        // at `j + 2 <= stride`.
+        unsafe {
+            let ptr = data.as_ptr();
+            let mut acc = _mm_setzero_pd();
+            let mut tail = 0.0f64;
+            let mut base = 0usize;
+            while base + block <= data.len() {
+                let p0 = ptr.add(base);
+                let p1 = ptr.add(base + stride);
+                let p2 = ptr.add(base + 2 * stride);
+                let mut j = 0usize;
+                while j + 2 <= stride {
+                    let v0 = _mm_loadu_pd(p0.add(j));
+                    let v1 = _mm_loadu_pd(p1.add(j));
+                    let v2 = _mm_loadu_pd(p2.add(j));
+                    acc = _mm_max_pd(acc, abs_pd(_mm_sub_pd(v1, v0)));
+                    acc = _mm_max_pd(acc, abs_pd(_mm_sub_pd(v2, v1)));
+                    j += 2;
+                }
+                while j < stride {
+                    let (b0, b1, b2) = (*p0.add(j), *p1.add(j), *p2.add(j));
+                    tail = max_sd(tail, (b1 - b0).abs());
+                    tail = max_sd(tail, (b2 - b1).abs());
+                    j += 1;
+                }
+                base += block;
+            }
+            max_sd(hmax_pd(acc), tail)
+        }
+    }
+
+    fn contract(src: &[f64], dst: &mut [f64]) {
+        debug_assert_eq!(src.len(), dst.len() * 3);
+        let quarter = unsafe { _mm_set1_pd(0.25) };
+        let half = unsafe { _mm_set1_pd(0.5) };
+        // Two triples per iteration: load [x0..x5], shuffle into
+        // a = [x0,x3], b = [x1,x4], c = [x2,x5], then the exact scalar
+        // expression `(0.25·a + 0.5·b) + 0.25·c` per lane.
+        // SAFETY: reads `r .. r + 6` with `r + 6 <= src.len()`, writes
+        // `w .. w + 2` with `w + 2 <= dst.len()` (w = r / 3).
+        unsafe {
+            let sp = src.as_ptr();
+            let dp = dst.as_mut_ptr();
+            let mut r = 0usize;
+            let mut w = 0usize;
+            while r + 6 <= src.len() {
+                let y0 = _mm_loadu_pd(sp.add(r));
+                let y1 = _mm_loadu_pd(sp.add(r + 2));
+                let y2 = _mm_loadu_pd(sp.add(r + 4));
+                let a = _mm_shuffle_pd(y0, y1, 0b10);
+                let b = _mm_shuffle_pd(y0, y2, 0b01);
+                let c = _mm_shuffle_pd(y1, y2, 0b10);
+                let acc = _mm_add_pd(
+                    _mm_add_pd(_mm_mul_pd(quarter, a), _mm_mul_pd(half, b)),
+                    _mm_mul_pd(quarter, c),
+                );
+                _mm_storeu_pd(dp.add(w), acc);
+                r += 6;
+                w += 2;
+            }
+            if w < dst.len() {
+                dst[w] = 0.25 * src[r] + 0.5 * src[r + 1] + 0.25 * src[r + 2];
+            }
+        }
+    }
+
+    fn split(parent: &[f64], stride: usize, left: &mut [f64], right: &mut [f64]) -> (f64, f64) {
+        // SAFETY: every load/store window is bounds-checked by the loop
+        // conditions exactly as in `contract`/`swing_axis`; `left` and
+        // `right` are pre-sized to `parent.len()` by the driver.
+        unsafe {
+            let half = _mm_set1_pd(0.5);
+            let mut lminv = _mm_set1_pd(f64::INFINITY);
+            let mut rminv = lminv;
+            let mut lmin = f64::INFINITY;
+            let mut rmin = f64::INFINITY;
+            let pp = parent.as_ptr();
+            let lp = left.as_mut_ptr();
+            let rp = right.as_mut_ptr();
+            if stride == 1 {
+                // Two interleaved triples per iteration: deinterleave
+                // with the same shuffles as `contract`, reinterleave the
+                // six output values with unpack/shuffle pairs.
+                let mut i = 0usize;
+                while i + 6 <= parent.len() {
+                    let y0 = _mm_loadu_pd(pp.add(i));
+                    let y1 = _mm_loadu_pd(pp.add(i + 2));
+                    let y2 = _mm_loadu_pd(pp.add(i + 4));
+                    let b0 = _mm_shuffle_pd(y0, y1, 0b10);
+                    let b1 = _mm_shuffle_pd(y0, y2, 0b01);
+                    let b2 = _mm_shuffle_pd(y1, y2, 0b10);
+                    let m01 = _mm_mul_pd(half, _mm_add_pd(b0, b1));
+                    let m12 = _mm_mul_pd(half, _mm_add_pd(b1, b2));
+                    let c = _mm_mul_pd(half, _mm_add_pd(m01, m12));
+                    _mm_storeu_pd(lp.add(i), _mm_unpacklo_pd(b0, m01));
+                    _mm_storeu_pd(lp.add(i + 2), _mm_shuffle_pd(c, b0, 0b10));
+                    _mm_storeu_pd(lp.add(i + 4), _mm_unpackhi_pd(m01, c));
+                    _mm_storeu_pd(rp.add(i), _mm_unpacklo_pd(c, m12));
+                    _mm_storeu_pd(rp.add(i + 2), _mm_shuffle_pd(b2, c, 0b10));
+                    _mm_storeu_pd(rp.add(i + 4), _mm_unpackhi_pd(m12, b2));
+                    lminv = _mm_min_pd(lminv, _mm_min_pd(_mm_min_pd(b0, m01), c));
+                    rminv = _mm_min_pd(rminv, _mm_min_pd(_mm_min_pd(c, m12), b2));
+                    i += 6;
+                }
+                if i < parent.len() {
+                    let (b0, b1, b2) = (parent[i], parent[i + 1], parent[i + 2]);
+                    let m01 = 0.5 * (b0 + b1);
+                    let m12 = 0.5 * (b1 + b2);
+                    let c = 0.5 * (m01 + m12);
+                    left[i] = b0;
+                    left[i + 1] = m01;
+                    left[i + 2] = c;
+                    right[i] = c;
+                    right[i + 1] = m12;
+                    right[i + 2] = b2;
+                    lmin = min_sd(lmin, min_sd(min_sd(b0, m01), c));
+                    rmin = min_sd(rmin, min_sd(min_sd(c, m12), b2));
+                }
+            } else {
+                let block = stride * 3;
+                let mut base = 0usize;
+                while base + block <= parent.len() {
+                    let p0 = pp.add(base);
+                    let p1 = pp.add(base + stride);
+                    let p2 = pp.add(base + 2 * stride);
+                    let mut j = 0usize;
+                    while j + 2 <= stride {
+                        let b0 = _mm_loadu_pd(p0.add(j));
+                        let b1 = _mm_loadu_pd(p1.add(j));
+                        let b2 = _mm_loadu_pd(p2.add(j));
+                        let m01 = _mm_mul_pd(half, _mm_add_pd(b0, b1));
+                        let m12 = _mm_mul_pd(half, _mm_add_pd(b1, b2));
+                        let c = _mm_mul_pd(half, _mm_add_pd(m01, m12));
+                        _mm_storeu_pd(lp.add(base + j), b0);
+                        _mm_storeu_pd(lp.add(base + stride + j), m01);
+                        _mm_storeu_pd(lp.add(base + 2 * stride + j), c);
+                        _mm_storeu_pd(rp.add(base + j), c);
+                        _mm_storeu_pd(rp.add(base + stride + j), m12);
+                        _mm_storeu_pd(rp.add(base + 2 * stride + j), b2);
+                        lminv = _mm_min_pd(lminv, _mm_min_pd(_mm_min_pd(b0, m01), c));
+                        rminv = _mm_min_pd(rminv, _mm_min_pd(_mm_min_pd(c, m12), b2));
+                        j += 2;
+                    }
+                    while j < stride {
+                        let (b0, b1, b2) = (*p0.add(j), *p1.add(j), *p2.add(j));
+                        let m01 = 0.5 * (b0 + b1);
+                        let m12 = 0.5 * (b1 + b2);
+                        let c = 0.5 * (m01 + m12);
+                        left[base + j] = b0;
+                        left[base + stride + j] = m01;
+                        left[base + 2 * stride + j] = c;
+                        right[base + j] = c;
+                        right[base + stride + j] = m12;
+                        right[base + 2 * stride + j] = b2;
+                        lmin = min_sd(lmin, min_sd(min_sd(b0, m01), c));
+                        rmin = min_sd(rmin, min_sd(min_sd(c, m12), b2));
+                        j += 1;
+                    }
+                    base += block;
+                }
+            }
+            (
+                canon(min_sd(lmin, hmin_pd(lminv))),
+                canon(min_sd(rmin, hmin_pd(rminv))),
+            )
+        }
+    }
+
+    fn split_inplace(left: &mut [f64], stride: usize, right: &mut [f64]) -> (f64, f64) {
+        // SAFETY: bounds exactly as in `split`. The parent is read and
+        // overwritten through the *same* `left` pointer: every window's
+        // loads complete before any of its stores, and windows never
+        // overlap, so each element is read before it can be clobbered.
+        unsafe {
+            let half = _mm_set1_pd(0.5);
+            let mut lminv = _mm_set1_pd(f64::INFINITY);
+            let mut rminv = lminv;
+            let mut lmin = f64::INFINITY;
+            let mut rmin = f64::INFINITY;
+            let lp = left.as_mut_ptr();
+            let rp = right.as_mut_ptr();
+            if stride == 1 {
+                // Interleaved triples: same shuffles as `split`, with
+                // the stores landing back over the load window (the
+                // vectors mix `b0` into every store, so all six go out).
+                let mut i = 0usize;
+                while i + 6 <= left.len() {
+                    let y0 = _mm_loadu_pd(lp.add(i));
+                    let y1 = _mm_loadu_pd(lp.add(i + 2));
+                    let y2 = _mm_loadu_pd(lp.add(i + 4));
+                    let b0 = _mm_shuffle_pd(y0, y1, 0b10);
+                    let b1 = _mm_shuffle_pd(y0, y2, 0b01);
+                    let b2 = _mm_shuffle_pd(y1, y2, 0b10);
+                    let m01 = _mm_mul_pd(half, _mm_add_pd(b0, b1));
+                    let m12 = _mm_mul_pd(half, _mm_add_pd(b1, b2));
+                    let c = _mm_mul_pd(half, _mm_add_pd(m01, m12));
+                    _mm_storeu_pd(lp.add(i), _mm_unpacklo_pd(b0, m01));
+                    _mm_storeu_pd(lp.add(i + 2), _mm_shuffle_pd(c, b0, 0b10));
+                    _mm_storeu_pd(lp.add(i + 4), _mm_unpackhi_pd(m01, c));
+                    _mm_storeu_pd(rp.add(i), _mm_unpacklo_pd(c, m12));
+                    _mm_storeu_pd(rp.add(i + 2), _mm_shuffle_pd(b2, c, 0b10));
+                    _mm_storeu_pd(rp.add(i + 4), _mm_unpackhi_pd(m12, b2));
+                    lminv = _mm_min_pd(lminv, _mm_min_pd(_mm_min_pd(b0, m01), c));
+                    rminv = _mm_min_pd(rminv, _mm_min_pd(_mm_min_pd(c, m12), b2));
+                    i += 6;
+                }
+                if i < left.len() {
+                    let (b0, b1, b2) = (left[i], left[i + 1], left[i + 2]);
+                    let m01 = 0.5 * (b0 + b1);
+                    let m12 = 0.5 * (b1 + b2);
+                    let c = 0.5 * (m01 + m12);
+                    left[i + 1] = m01;
+                    left[i + 2] = c;
+                    right[i] = c;
+                    right[i + 1] = m12;
+                    right[i + 2] = b2;
+                    lmin = min_sd(lmin, min_sd(min_sd(b0, m01), c));
+                    rmin = min_sd(rmin, min_sd(min_sd(c, m12), b2));
+                }
+            } else {
+                let block = stride * 3;
+                let mut base = 0usize;
+                while base + block <= left.len() {
+                    let p0 = lp.add(base);
+                    let p1 = lp.add(base + stride);
+                    let p2 = lp.add(base + 2 * stride);
+                    let mut j = 0usize;
+                    while j + 2 <= stride {
+                        let b0 = _mm_loadu_pd(p0.add(j));
+                        let b1 = _mm_loadu_pd(p1.add(j));
+                        let b2 = _mm_loadu_pd(p2.add(j));
+                        let m01 = _mm_mul_pd(half, _mm_add_pd(b0, b1));
+                        let m12 = _mm_mul_pd(half, _mm_add_pd(b1, b2));
+                        let c = _mm_mul_pd(half, _mm_add_pd(m01, m12));
+                        // `b0` stays put — no store to `p0`.
+                        _mm_storeu_pd(p1.add(j), m01);
+                        _mm_storeu_pd(p2.add(j), c);
+                        _mm_storeu_pd(rp.add(base + j), c);
+                        _mm_storeu_pd(rp.add(base + stride + j), m12);
+                        _mm_storeu_pd(rp.add(base + 2 * stride + j), b2);
+                        lminv = _mm_min_pd(lminv, _mm_min_pd(_mm_min_pd(b0, m01), c));
+                        rminv = _mm_min_pd(rminv, _mm_min_pd(_mm_min_pd(c, m12), b2));
+                        j += 2;
+                    }
+                    while j < stride {
+                        let (b0, b1, b2) = (*p0.add(j), *p1.add(j), *p2.add(j));
+                        let m01 = 0.5 * (b0 + b1);
+                        let m12 = 0.5 * (b1 + b2);
+                        let c = 0.5 * (m01 + m12);
+                        *p1.add(j) = m01;
+                        *p2.add(j) = c;
+                        right[base + j] = c;
+                        right[base + stride + j] = m12;
+                        right[base + 2 * stride + j] = b2;
+                        lmin = min_sd(lmin, min_sd(min_sd(b0, m01), c));
+                        rmin = min_sd(rmin, min_sd(min_sd(c, m12), b2));
+                        j += 1;
+                    }
+                    base += block;
+                }
+            }
+            (
+                canon(min_sd(lmin, hmin_pd(lminv))),
+                canon(min_sd(rmin, hmin_pd(rminv))),
+            )
+        }
+    }
+}
+
+/// 256-bit AVX2 kernels; only dispatched after
+/// `is_x86_feature_detected!("avx2")`.
+pub(crate) struct Avx2K;
+
+#[target_feature(enable = "avx2")]
+unsafe fn range_avx2(data: &[f64]) -> (f64, f64) {
+    let ptr = data.as_ptr();
+    let len = data.len();
+    let mut vmin0 = _mm256_set1_pd(f64::INFINITY);
+    let mut vmin1 = vmin0;
+    let mut vmax0 = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut vmax1 = vmax0;
+    let mut i = 0usize;
+    while i + 8 <= len {
+        let a = _mm256_loadu_pd(ptr.add(i));
+        let b = _mm256_loadu_pd(ptr.add(i + 4));
+        vmin0 = _mm256_min_pd(vmin0, a);
+        vmax0 = _mm256_max_pd(vmax0, a);
+        vmin1 = _mm256_min_pd(vmin1, b);
+        vmax1 = _mm256_max_pd(vmax1, b);
+        i += 8;
+    }
+    if i + 4 <= len {
+        let a = _mm256_loadu_pd(ptr.add(i));
+        vmin0 = _mm256_min_pd(vmin0, a);
+        vmax0 = _mm256_max_pd(vmax0, a);
+        i += 4;
+    }
+    let mut mn = hmin256_pd(_mm256_min_pd(vmin0, vmin1));
+    let mut mx = hmax256_pd(_mm256_max_pd(vmax0, vmax1));
+    while i < len {
+        mn = min_sd(mn, data[i]);
+        mx = max_sd(mx, data[i]);
+        i += 1;
+    }
+    (canon(mn), canon(mx))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn swing3_avx2(data: &[f64]) -> f64 {
+    // Four adjacent differences per load pair, with the lane that
+    // straddles two triples (|t[0] − s[2]| for consecutive triples s, t)
+    // masked out: within a 12-element chunk the valid-difference masks at
+    // offsets 0/4/8 are [1,1,0,1], [1,0,1,1], [0,1,1,0]. The chunk loop
+    // stops before the final chunk (whose offset-8 load would read one
+    // element past the end) and scalar triples finish the remainder.
+    let m0 = _mm256_castsi256_pd(_mm256_setr_epi64x(-1, -1, 0, -1));
+    let m1 = _mm256_castsi256_pd(_mm256_setr_epi64x(-1, 0, -1, -1));
+    let m2 = _mm256_castsi256_pd(_mm256_setr_epi64x(0, -1, -1, 0));
+    let ptr = data.as_ptr();
+    let len = data.len();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i + 12 < len {
+        for (off, mask) in [(0usize, m0), (4, m1), (8, m2)] {
+            let a = _mm256_loadu_pd(ptr.add(i + off));
+            let b = _mm256_loadu_pd(ptr.add(i + off + 1));
+            acc = _mm256_max_pd(acc, _mm256_and_pd(abs256_pd(_mm256_sub_pd(b, a)), mask));
+        }
+        i += 12;
+    }
+    let mut tail = 0.0f64;
+    while i + 3 <= len {
+        let (b0, b1, b2) = (data[i], data[i + 1], data[i + 2]);
+        tail = max_sd(tail, (b1 - b0).abs());
+        tail = max_sd(tail, (b2 - b1).abs());
+        i += 3;
+    }
+    max_sd(hmax256_pd(acc), tail)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn swing_axis_avx2(data: &[f64], stride: usize) -> f64 {
+    let block = stride * 3;
+    let ptr = data.as_ptr();
+    let mut acc = _mm256_setzero_pd();
+    let mut tail = 0.0f64;
+    let mut base = 0usize;
+    while base + block <= data.len() {
+        let p0 = ptr.add(base);
+        let p1 = ptr.add(base + stride);
+        let p2 = ptr.add(base + 2 * stride);
+        let mut j = 0usize;
+        while j + 4 <= stride {
+            let v0 = _mm256_loadu_pd(p0.add(j));
+            let v1 = _mm256_loadu_pd(p1.add(j));
+            let v2 = _mm256_loadu_pd(p2.add(j));
+            acc = _mm256_max_pd(acc, abs256_pd(_mm256_sub_pd(v1, v0)));
+            acc = _mm256_max_pd(acc, abs256_pd(_mm256_sub_pd(v2, v1)));
+            j += 4;
+        }
+        while j < stride {
+            let (b0, b1, b2) = (*p0.add(j), *p1.add(j), *p2.add(j));
+            tail = max_sd(tail, (b1 - b0).abs());
+            tail = max_sd(tail, (b2 - b1).abs());
+            j += 1;
+        }
+        base += block;
+    }
+    max_sd(hmax256_pd(acc), tail)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn split_slab_avx2(
+    parent: &[f64],
+    stride: usize,
+    left: &mut [f64],
+    right: &mut [f64],
+) -> (f64, f64) {
+    let half = _mm256_set1_pd(0.5);
+    let mut lminv = _mm256_set1_pd(f64::INFINITY);
+    let mut rminv = lminv;
+    let mut lmin = f64::INFINITY;
+    let mut rmin = f64::INFINITY;
+    let pp = parent.as_ptr();
+    let lp = left.as_mut_ptr();
+    let rp = right.as_mut_ptr();
+    let block = stride * 3;
+    let mut base = 0usize;
+    while base + block <= parent.len() {
+        let p0 = pp.add(base);
+        let p1 = pp.add(base + stride);
+        let p2 = pp.add(base + 2 * stride);
+        let mut j = 0usize;
+        while j + 4 <= stride {
+            let b0 = _mm256_loadu_pd(p0.add(j));
+            let b1 = _mm256_loadu_pd(p1.add(j));
+            let b2 = _mm256_loadu_pd(p2.add(j));
+            let m01 = _mm256_mul_pd(half, _mm256_add_pd(b0, b1));
+            let m12 = _mm256_mul_pd(half, _mm256_add_pd(b1, b2));
+            let c = _mm256_mul_pd(half, _mm256_add_pd(m01, m12));
+            _mm256_storeu_pd(lp.add(base + j), b0);
+            _mm256_storeu_pd(lp.add(base + stride + j), m01);
+            _mm256_storeu_pd(lp.add(base + 2 * stride + j), c);
+            _mm256_storeu_pd(rp.add(base + j), c);
+            _mm256_storeu_pd(rp.add(base + stride + j), m12);
+            _mm256_storeu_pd(rp.add(base + 2 * stride + j), b2);
+            lminv = _mm256_min_pd(lminv, _mm256_min_pd(_mm256_min_pd(b0, m01), c));
+            rminv = _mm256_min_pd(rminv, _mm256_min_pd(_mm256_min_pd(c, m12), b2));
+            j += 4;
+        }
+        while j < stride {
+            let (b0, b1, b2) = (*p0.add(j), *p1.add(j), *p2.add(j));
+            let m01 = 0.5 * (b0 + b1);
+            let m12 = 0.5 * (b1 + b2);
+            let c = 0.5 * (m01 + m12);
+            left[base + j] = b0;
+            left[base + stride + j] = m01;
+            left[base + 2 * stride + j] = c;
+            right[base + j] = c;
+            right[base + stride + j] = m12;
+            right[base + 2 * stride + j] = b2;
+            lmin = min_sd(lmin, min_sd(min_sd(b0, m01), c));
+            rmin = min_sd(rmin, min_sd(min_sd(c, m12), b2));
+            j += 1;
+        }
+        base += block;
+    }
+    (
+        canon(min_sd(lmin, hmin256_pd(lminv))),
+        canon(min_sd(rmin, hmin256_pd(rminv))),
+    )
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn split_slab_inplace_avx2(
+    left: &mut [f64],
+    stride: usize,
+    right: &mut [f64],
+) -> (f64, f64) {
+    let half = _mm256_set1_pd(0.5);
+    let mut lminv = _mm256_set1_pd(f64::INFINITY);
+    let mut rminv = lminv;
+    let mut lmin = f64::INFINITY;
+    let mut rmin = f64::INFINITY;
+    let lp = left.as_mut_ptr();
+    let rp = right.as_mut_ptr();
+    let block = stride * 3;
+    let mut base = 0usize;
+    while base + block <= left.len() {
+        let p0 = lp.add(base);
+        let p1 = lp.add(base + stride);
+        let p2 = lp.add(base + 2 * stride);
+        let mut j = 0usize;
+        while j + 4 <= stride {
+            let b0 = _mm256_loadu_pd(p0.add(j));
+            let b1 = _mm256_loadu_pd(p1.add(j));
+            let b2 = _mm256_loadu_pd(p2.add(j));
+            let m01 = _mm256_mul_pd(half, _mm256_add_pd(b0, b1));
+            let m12 = _mm256_mul_pd(half, _mm256_add_pd(b1, b2));
+            let c = _mm256_mul_pd(half, _mm256_add_pd(m01, m12));
+            // `b0` stays put — no store to `p0`.
+            _mm256_storeu_pd(p1.add(j), m01);
+            _mm256_storeu_pd(p2.add(j), c);
+            _mm256_storeu_pd(rp.add(base + j), c);
+            _mm256_storeu_pd(rp.add(base + stride + j), m12);
+            _mm256_storeu_pd(rp.add(base + 2 * stride + j), b2);
+            lminv = _mm256_min_pd(lminv, _mm256_min_pd(_mm256_min_pd(b0, m01), c));
+            rminv = _mm256_min_pd(rminv, _mm256_min_pd(_mm256_min_pd(c, m12), b2));
+            j += 4;
+        }
+        while j < stride {
+            let (b0, b1, b2) = (*p0.add(j), *p1.add(j), *p2.add(j));
+            let m01 = 0.5 * (b0 + b1);
+            let m12 = 0.5 * (b1 + b2);
+            let c = 0.5 * (m01 + m12);
+            *p1.add(j) = m01;
+            *p2.add(j) = c;
+            right[base + j] = c;
+            right[base + stride + j] = m12;
+            right[base + 2 * stride + j] = b2;
+            lmin = min_sd(lmin, min_sd(min_sd(b0, m01), c));
+            rmin = min_sd(rmin, min_sd(min_sd(c, m12), b2));
+            j += 1;
+        }
+        base += block;
+    }
+    (
+        canon(min_sd(lmin, hmin256_pd(lminv))),
+        canon(min_sd(rmin, hmin256_pd(rminv))),
+    )
+}
+
+#[inline(always)]
+fn assert_avx2() {
+    debug_assert!(
+        std::arch::is_x86_feature_detected!("avx2"),
+        "Avx2K dispatched without AVX2 support"
+    );
+}
+
+impl Kern for Avx2K {
+    fn range(data: &[f64]) -> (f64, f64) {
+        assert_avx2();
+        // SAFETY: AVX2 verified by the dispatcher (and debug-asserted
+        // above); bounds as in the SSE2 version, 4 lanes wide.
+        unsafe { range_avx2(data) }
+    }
+
+    fn swing3(data: &[f64]) -> f64 {
+        assert_avx2();
+        // SAFETY: AVX2 verified by the dispatcher; the chunk loop stops
+        // while a full 13-element window remains, see the function body.
+        unsafe { swing3_avx2(data) }
+    }
+
+    fn swing_axis(data: &[f64], stride: usize) -> f64 {
+        if stride < 4 {
+            return Sse2K::swing_axis(data, stride);
+        }
+        assert_avx2();
+        // SAFETY: AVX2 verified by the dispatcher; bounds as in SSE2.
+        unsafe { swing_axis_avx2(data, stride) }
+    }
+
+    fn contract(src: &[f64], dst: &mut [f64]) {
+        // The 6→2 shuffle dance doesn't widen profitably to 256 bits
+        // (cross-lane permutes cost more than they save at these sizes);
+        // the 128-bit kernel already saturates the port budget.
+        Sse2K::contract(src, dst);
+    }
+
+    fn split(parent: &[f64], stride: usize, left: &mut [f64], right: &mut [f64]) -> (f64, f64) {
+        if stride < 4 {
+            // Axis 0 (interleaved) and stride-3 slabs stay on the
+            // shuffle-based 128-bit path.
+            return Sse2K::split(parent, stride, left, right);
+        }
+        assert_avx2();
+        // SAFETY: AVX2 verified by the dispatcher; bounds as in SSE2.
+        unsafe { split_slab_avx2(parent, stride, left, right) }
+    }
+
+    fn split_inplace(left: &mut [f64], stride: usize, right: &mut [f64]) -> (f64, f64) {
+        if stride < 4 {
+            // Axis 0 (interleaved) and stride-3 slabs stay on the
+            // shuffle-based 128-bit path.
+            return Sse2K::split_inplace(left, stride, right);
+        }
+        assert_avx2();
+        // SAFETY: AVX2 verified by the dispatcher; per-window loads
+        // precede the stores that overwrite them, as in the SSE2
+        // in-place kernel.
+        unsafe { split_slab_inplace_avx2(left, stride, right) }
+    }
+}

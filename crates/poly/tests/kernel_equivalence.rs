@@ -1,0 +1,285 @@
+//! Bit-identity of the subdivision kernels across instruction sets and
+//! tilings.
+//!
+//! The solver's deterministic wave mode promises byte-identical verdicts
+//! regardless of CPU, lane width, or cache blocking, so the vector and
+//! tiled kernel paths must reproduce the portable scalar oracle
+//! ([`subdivision::reference`]) **bit-for-bit** — `to_bits()` equality,
+//! not a tolerance. Tensors here are adversarial for that claim: mixed
+//! magnitudes, exact dyadics, negative zeros and subnormals, and lengths
+//! covering every chunk-remainder class of the 2/4/12-wide loops
+//! (`3ⁿ mod 4 ∈ {1, 3}`, `mod 12` varies with `n`).
+//!
+//! Without the `simd` feature this suite still pins the tiled drivers to
+//! the untiled ones; with it, every available ISA is forced in turn
+//! ([`force_isa`] is process-global, so a mutex serializes the cases).
+
+use epi_poly::subdivision::{self, force_isa, reference, Isa};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes tests that pin the process-global kernel ISA.
+fn isa_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// A coefficient value that stresses bit-identity: mixed magnitudes,
+/// exact dyadics, zeros of both signs, and subnormals.
+fn adversarial_coeff(rng: &mut rand::rngs::StdRng) -> f64 {
+    match rng.gen_range(0u32..10) {
+        // Plain values in [-1, 1].
+        0..=4 => rng.gen_range(-1.0f64..1.0),
+        // Wide dynamic range: ±x · 2^k.
+        5 | 6 => {
+            let k = rng.gen_range(-60i32..60);
+            rng.gen_range(-1.0f64..1.0) * (2.0f64).powi(k)
+        }
+        // Exact dyadics (the solver's root tensors are integer-valued).
+        7 => rng.gen_range(-64i64..=64) as f64 * 0.0625,
+        // Signed zeros.
+        8 => {
+            if rng.gen::<bool>() {
+                0.0
+            } else {
+                -0.0
+            }
+        }
+        // Subnormals (and the smallest normals).
+        _ => {
+            let bits = rng.gen_range(1u64..(1u64 << 52) + (1 << 51));
+            let v = f64::from_bits(bits);
+            if rng.gen::<bool>() {
+                -v
+            } else {
+                v
+            }
+        }
+    }
+}
+
+fn random_tensor(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..3usize.pow(n as u32))
+        .map(|_| adversarial_coeff(&mut rng))
+        .collect()
+}
+
+/// Every ISA this build and CPU can actually run.
+fn available_isas() -> Vec<Isa> {
+    let mut isas = vec![Isa::Scalar];
+    for isa in [Isa::Sse2, Isa::Avx2] {
+        if force_isa(Some(isa)) == isa {
+            isas.push(isa);
+        }
+    }
+    force_isa(None);
+    isas
+}
+
+/// Asserts every dispatched kernel matches the scalar oracle bit-for-bit
+/// on `coeffs`, including the tiled variants at `block`.
+fn assert_kernels_match_reference(coeffs: &[f64], n: usize, block: usize, ctx: &str) {
+    // coefficient_range.
+    let (rmin, rmax) = reference::coefficient_range(coeffs);
+    let (dmin, dmax) = subdivision::coefficient_range(coeffs);
+    assert_eq!(rmin.to_bits(), dmin.to_bits(), "{ctx}: range min");
+    assert_eq!(rmax.to_bits(), dmax.to_bits(), "{ctx}: range max");
+
+    // widest_derivative_axis, untiled and tiled.
+    assert_eq!(
+        reference::widest_derivative_axis(coeffs, n),
+        subdivision::widest_derivative_axis(coeffs, n),
+        "{ctx}: widest axis"
+    );
+    assert_eq!(
+        reference::widest_derivative_axis(coeffs, n),
+        subdivision::widest_derivative_axis_tiled(coeffs, n, block),
+        "{ctx}: widest axis tiled({block})"
+    );
+
+    // midpoint_and_split_axis, untiled and tiled.
+    let mut sr = Vec::new();
+    let mut sd = Vec::new();
+    let (rmid, raxis) = reference::midpoint_and_split_axis(coeffs, n, &mut sr);
+    let (dmid, daxis) = subdivision::midpoint_and_split_axis(coeffs, n, &mut sd);
+    assert_eq!(rmid.to_bits(), dmid.to_bits(), "{ctx}: probe mid");
+    assert_eq!(raxis, daxis, "{ctx}: probe axis");
+    let (tmid, taxis) = subdivision::midpoint_and_split_axis_tiled(coeffs, n, &mut sd, block);
+    assert_eq!(
+        rmid.to_bits(),
+        tmid.to_bits(),
+        "{ctx}: probe mid tiled({block})"
+    );
+    assert_eq!(raxis, taxis, "{ctx}: probe axis tiled({block})");
+
+    // split_halves_min along every axis: child tensors and child minima.
+    let (mut rl, mut rr) = (Vec::new(), Vec::new());
+    let (mut dl, mut dr) = (Vec::new(), Vec::new());
+    for dim in 0..n {
+        let (rlm, rrm) = reference::split_halves_min(coeffs, n, dim, &mut rl, &mut rr);
+        let (dlm, drm) = subdivision::split_halves_min(coeffs, n, dim, &mut dl, &mut dr);
+        assert_eq!(rlm.to_bits(), dlm.to_bits(), "{ctx}: dim {dim} left min");
+        assert_eq!(rrm.to_bits(), drm.to_bits(), "{ctx}: dim {dim} right min");
+        for i in 0..rl.len() {
+            assert_eq!(
+                rl[i].to_bits(),
+                dl[i].to_bits(),
+                "{ctx}: dim {dim} left[{i}]"
+            );
+            assert_eq!(
+                rr[i].to_bits(),
+                dr[i].to_bits(),
+                "{ctx}: dim {dim} right[{i}]"
+            );
+        }
+        // The fused minima are exactly the children's range minima.
+        assert_eq!(
+            rlm.to_bits(),
+            reference::coefficient_range(&rl).0.to_bits(),
+            "{ctx}: dim {dim} fused left min vs range"
+        );
+        assert_eq!(
+            rrm.to_bits(),
+            reference::coefficient_range(&rr).0.to_bits(),
+            "{ctx}: dim {dim} fused right min vs range"
+        );
+
+        // The in-place halving (parent buffer becomes the left child)
+        // reproduces the out-of-place children bit-for-bit, on the
+        // dispatched ISA and on the scalar oracle.
+        let mut il = coeffs.to_vec();
+        let mut ir = Vec::new();
+        let (ilm, irm) = subdivision::split_halves_min_inplace(&mut il, n, dim, &mut ir);
+        assert_eq!(
+            rlm.to_bits(),
+            ilm.to_bits(),
+            "{ctx}: dim {dim} inplace left min"
+        );
+        assert_eq!(
+            rrm.to_bits(),
+            irm.to_bits(),
+            "{ctx}: dim {dim} inplace right min"
+        );
+        for i in 0..rl.len() {
+            assert_eq!(
+                rl[i].to_bits(),
+                il[i].to_bits(),
+                "{ctx}: dim {dim} inplace left[{i}]"
+            );
+            assert_eq!(
+                rr[i].to_bits(),
+                ir[i].to_bits(),
+                "{ctx}: dim {dim} inplace right[{i}]"
+            );
+        }
+        let mut sl = coeffs.to_vec();
+        let mut sr2 = Vec::new();
+        let (slm, srm) = reference::split_halves_min_inplace(&mut sl, n, dim, &mut sr2);
+        assert_eq!(
+            rlm.to_bits(),
+            slm.to_bits(),
+            "{ctx}: dim {dim} scalar inplace left min"
+        );
+        assert_eq!(
+            rrm.to_bits(),
+            srm.to_bits(),
+            "{ctx}: dim {dim} scalar inplace right min"
+        );
+        for i in 0..rl.len() {
+            assert_eq!(
+                rl[i].to_bits(),
+                sl[i].to_bits(),
+                "{ctx}: dim {dim} scalar inplace left[{i}]"
+            );
+            assert_eq!(
+                rr[i].to_bits(),
+                sr2[i].to_bits(),
+                "{ctx}: dim {dim} scalar inplace right[{i}]"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Tentpole property: for every available ISA, every kernel — plus
+    /// the tiled variants at a random block size — reproduces the scalar
+    /// oracle bit-for-bit on adversarial tensors of every arity 1..=10.
+    #[test]
+    fn all_isas_match_scalar_oracle(seed in any::<u64>(), n in 1usize..=10) {
+        let coeffs = random_tensor(n, seed);
+        let blocks = [0usize, 27, 81, 243, 729, 6561];
+        let block = blocks[(seed % blocks.len() as u64) as usize];
+        let _guard = isa_lock().lock().unwrap();
+        for isa in available_isas() {
+            let eff = force_isa(Some(isa));
+            assert_eq!(eff, isa);
+            assert_kernels_match_reference(&coeffs, n, block, &format!("isa {:?} n {n}", isa));
+        }
+        force_isa(None);
+    }
+
+    /// The tiled scalar drivers are bit-identical to the untiled scalar
+    /// drivers at every tile size (pure re-association of order-free
+    /// reductions) — independent of dispatch, so no ISA pinning needed.
+    #[test]
+    fn tiling_never_changes_results(seed in any::<u64>(), n in 1usize..=9) {
+        let coeffs = random_tensor(n, seed);
+        let mut su = Vec::new();
+        let mut st = Vec::new();
+        let (umid, uaxis) = reference::midpoint_and_split_axis(&coeffs, n, &mut su);
+        let uwidest = reference::widest_derivative_axis(&coeffs, n);
+        for block in [27usize, 81, 243, 729, 2187] {
+            let (tmid, taxis) =
+                reference::midpoint_and_split_axis_tiled(&coeffs, n, &mut st, block);
+            prop_assert_eq!(umid.to_bits(), tmid.to_bits());
+            prop_assert_eq!(uaxis, taxis);
+            prop_assert_eq!(
+                uwidest,
+                reference::widest_derivative_axis_tiled(&coeffs, n, block)
+            );
+        }
+    }
+
+    /// Exact-vertex property under whatever ISA is active: after a chain
+    /// of random halvings, vertex coefficients still equal the original
+    /// tensor's corner values halved into the sub-box — de Casteljau at
+    /// t = ½ is exact dyadic arithmetic, so this is `==` on dyadic
+    /// inputs, not a tolerance.
+    #[test]
+    fn split_keeps_dyadic_vertices_exact(seed in any::<u64>(), n in 1usize..=6, depth in 1usize..=5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Integer tensors (like the solver's root gap tensors).
+        let mut bern: Vec<f64> = (0..3usize.pow(n as u32))
+            .map(|_| rng.gen_range(-8i64..=8) as f64)
+            .collect();
+        // Track one corner's exact value through the halvings via
+        // midpoint refinement on the Bernstein triple of a single axis.
+        let (mut l, mut r) = (Vec::new(), Vec::new());
+        for _ in 0..depth {
+            let dim = rng.gen_range(0..n);
+            let (lmin, rmin) = subdivision::split_halves_min(&bern, n, dim, &mut l, &mut r);
+            // Fused minima agree with a fresh range scan of each child.
+            prop_assert_eq!(lmin.to_bits(), subdivision::coefficient_range(&l).0.to_bits());
+            prop_assert_eq!(rmin.to_bits(), subdivision::coefficient_range(&r).0.to_bits());
+            // The shared face is exact: left's high face equals right's
+            // low face bit-for-bit.
+            for (i, rv) in r.iter().enumerate() {
+                let digit = i / 3usize.pow(dim as u32) % 3;
+                if digit == 0 {
+                    let li = i + 2 * 3usize.pow(dim as u32);
+                    prop_assert_eq!(l[li].to_bits(), rv.to_bits());
+                }
+            }
+            bern = if rng.gen::<bool>() { l.clone() } else { r.clone() };
+        }
+        // Bernstein range still encloses the vertex values (min ≤ vertex
+        // ≤ max for every corner mask).
+        let (mn, mx) = subdivision::coefficient_range(&bern);
+        for mask in 0u32..1 << n {
+            let v = bern[subdivision::vertex_index(n, mask)];
+            prop_assert!(mn <= v && v <= mx);
+        }
+    }
+}

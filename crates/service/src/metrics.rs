@@ -263,6 +263,8 @@ impl Metrics {
             pool_arena_high_water_bytes: epi_par::stats().arena_high_water_bytes,
             pool_waves_sequential: epi_par::stats().waves_sequential,
             pool_waves_parallel: epi_par::stats().waves_parallel,
+            pool_batch_sweeps: epi_par::stats().batch_sweeps,
+            pool_soa_high_water_bytes: epi_par::stats().soa_staged_high_water_bytes,
             // The trace ring lives beside the registry (in the service),
             // which overwrites these after snapshotting; a bare registry
             // reports zeros.
@@ -393,6 +395,12 @@ pub struct Snapshot {
     pub pool_waves_sequential: u64,
     /// Frontier waves the chunk policy fanned out (process lifetime).
     pub pool_waves_parallel: u64,
+    /// Batched structure-of-arrays kernel sweeps run by the wave engine.
+    pub pool_batch_sweeps: u64,
+    /// High-water mark of bytes staged at once in the wave engine's
+    /// structure-of-arrays buffers (midpoints + split axes + survivor
+    /// indices).
+    pub pool_soa_high_water_bytes: u64,
     /// Spans recorded into the daemon's trace ring since startup.
     pub trace_spans: u64,
     /// Spans whose ring slot has since been overwritten (ring laps).
@@ -581,6 +589,11 @@ impl Snapshot {
             self.pool_waves_parallel,
         );
         counter(
+            "epi_pool_batch_sweeps_total",
+            "Batched structure-of-arrays kernel sweeps run by the wave engine.",
+            self.pool_batch_sweeps,
+        );
+        counter(
             "epi_trace_spans_total",
             "Spans recorded into the trace ring.",
             self.trace_spans,
@@ -679,6 +692,11 @@ impl Snapshot {
             "epi_pool_arena_high_water_bytes",
             "High-water mark of bytes parked in the solver buffer pools.",
             self.pool_arena_high_water_bytes,
+        );
+        gauge(
+            "epi_pool_soa_high_water_bytes",
+            "High-water mark of bytes staged in the wave engine's SoA buffers.",
+            self.pool_soa_high_water_bytes,
         );
         gauge(
             "epi_recovery_replayed_records",
@@ -905,6 +923,11 @@ impl Serialize for Snapshot {
                 Json::from(self.pool_waves_sequential),
             ),
             ("pool_waves_parallel", Json::from(self.pool_waves_parallel)),
+            ("pool_batch_sweeps", Json::from(self.pool_batch_sweeps)),
+            (
+                "pool_soa_high_water_bytes",
+                Json::from(self.pool_soa_high_water_bytes),
+            ),
             ("trace_spans", Json::from(self.trace_spans)),
             ("trace_dropped", Json::from(self.trace_dropped)),
             ("slow_decisions", Json::from(self.slow_decisions)),
@@ -990,6 +1013,9 @@ impl Deserialize for Snapshot {
             pool_arena_high_water_bytes: opt_field(v, "pool_arena_high_water_bytes")?.unwrap_or(0),
             pool_waves_sequential: opt_field(v, "pool_waves_sequential")?.unwrap_or(0),
             pool_waves_parallel: opt_field(v, "pool_waves_parallel")?.unwrap_or(0),
+            // Absent in snapshots from pre-batching daemons.
+            pool_batch_sweeps: opt_field(v, "pool_batch_sweeps")?.unwrap_or(0),
+            pool_soa_high_water_bytes: opt_field(v, "pool_soa_high_water_bytes")?.unwrap_or(0),
             trace_spans: opt_field(v, "trace_spans")?.unwrap_or(0),
             trace_dropped: opt_field(v, "trace_dropped")?.unwrap_or(0),
             slow_decisions: opt_field(v, "slow_decisions")?.unwrap_or(0),
@@ -1100,6 +1126,8 @@ mod tests {
                         | "pool_arena_high_water_bytes"
                         | "pool_waves_sequential"
                         | "pool_waves_parallel"
+                        | "pool_batch_sweeps"
+                        | "pool_soa_high_water_bytes"
                         | "trace_spans"
                         | "trace_dropped"
                         | "slow_decisions"
@@ -1332,6 +1360,7 @@ mod tests {
             "epi_pool_arena_misses_total",
             "epi_pool_waves_sequential_total",
             "epi_pool_waves_parallel_total",
+            "epi_pool_batch_sweeps_total",
             "epi_trace_spans_total",
             "epi_trace_dropped_total",
             "epi_slow_decisions_total",
@@ -1357,6 +1386,7 @@ mod tests {
             "epi_write_buffer_high_water",
             "epi_pool_workers",
             "epi_pool_arena_high_water_bytes",
+            "epi_pool_soa_high_water_bytes",
             "epi_recovery_replayed_records",
             "epi_recovery_millis",
         ] {

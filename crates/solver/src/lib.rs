@@ -36,7 +36,7 @@ pub use pipeline::{
     PipelineDecision, Stage, StageObserver,
 };
 pub use product::{
-    decide_product_safety, decide_product_safety_deadline, ProductSolverOptions, ProductWitness,
-    SearchMode, SubdivisionMode,
+    decide_product_safety, decide_product_safety_deadline, ProductSolverOptions,
+    ProductSolverStats, ProductWitness, SearchMode, SubdivisionMode,
 };
 pub use verdict::{SafeEvidence, UndecidedReason, Verdict};

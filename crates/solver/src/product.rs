@@ -52,7 +52,7 @@
 use crate::bernstein::{bernstein_bound, DenseTensor};
 use crate::verdict::{SafeEvidence, UndecidedReason, Verdict};
 use epi_boolean::Cube;
-use epi_core::{Deadline, WorldSet};
+use epi_core::{Deadline, StopReason, WorldSet};
 use epi_num::{Interval, Rational};
 use epi_par::{give_scratch_f64, take_scratch_f64, BufferPool, ChunkPolicy, Pool};
 use epi_poly::{indicator, subdivision, DensePow3, Polynomial};
@@ -163,6 +163,17 @@ pub struct ProductSolverOptions {
     pub min_wave: usize,
     /// Child-tensor derivation strategy for the Bernstein search.
     pub subdivision: SubdivisionMode,
+    /// Cache-block (tile) length for the Bernstein kernel sweeps; `0`
+    /// means the compile-time [`subdivision::auto_tile`] table. Values
+    /// round down to a power of 3; below 27 or at least the tensor
+    /// length runs untiled. Results are bit-identical at any block size,
+    /// so this is a throughput knob only.
+    pub kernel_block: usize,
+    /// Batch each deterministic wave's same-shape tensors through the
+    /// structure-of-arrays kernel sweep (default). `false` reinstates
+    /// the box-at-a-time evaluation — the PR 5 baseline, kept for
+    /// ablations; verdicts and statistics are identical either way.
+    pub wave_batch: bool,
 }
 
 impl Default for ProductSolverOptions {
@@ -178,6 +189,8 @@ impl Default for ProductSolverOptions {
             dense_kernel: true,
             min_wave: 0,
             subdivision: SubdivisionMode::Auto,
+            kernel_block: 0,
+            wave_batch: true,
         }
     }
 }
@@ -233,6 +246,12 @@ impl<'a> LazyExactGap<'a> {
 static BERN_POOL: BufferPool<f64> = BufferPool::new();
 /// Recycled `n`-length box vectors.
 static BOX_POOL: BufferPool<Interval> = BufferPool::new();
+/// Recycled structure-of-arrays staging buffers for the batched wave
+/// path: per-survivor midpoint probe values.
+static STAGE_POOL: BufferPool<f64> = BufferPool::new();
+/// Recycled index buffers for the batched wave path: survivor indices
+/// and staged split axes.
+static IDX_POOL: BufferPool<u32> = BufferPool::new();
 
 /// Everything a box evaluation needs, shared read-only across workers.
 struct SolveCtx<'a> {
@@ -315,12 +334,23 @@ impl SolveCtx<'_> {
 struct BoxNode {
     bx: Vec<Interval>,
     bern: Vec<f64>,
+    /// Minimum Bernstein coefficient of `bern` — the box's rigorous
+    /// lower bound, computed for free by the parent's fused ranged
+    /// halving ([`subdivision::split_halves_min`]) so no per-box range
+    /// scan is needed. `NaN` when unknown (recompute path: `bern`
+    /// empty); `NaN` never satisfies a prune comparison, so an unknown
+    /// bound can only keep a box alive, never discard it.
+    min: f64,
 }
 
-/// Return a retired node's buffers to the arenas.
+/// Return a retired node's buffers to the arenas. Tensors go back
+/// *dirty* (contents and length intact): within a solve every tensor
+/// has the same `3ⁿ` shape, so the next `split_halves_min` resize into
+/// a recycled buffer is a no-op instead of a `3ⁿ` zero-fill memset —
+/// on `n = 9` tensors that memset costs as much as the halving kernel.
 fn release_node(node: BoxNode) {
     BOX_POOL.checkin(node.bx);
-    BERN_POOL.checkin(node.bern);
+    BERN_POOL.checkin_dirty(node.bern);
 }
 
 /// The root node: the unit box, with the root Bernstein tensor when the
@@ -328,15 +358,18 @@ fn release_node(node: BoxNode) {
 fn root_node(ctx: &SolveCtx<'_>) -> BoxNode {
     let mut bx = BOX_POOL.checkout(ctx.n);
     bx.resize(ctx.n, Interval::UNIT);
-    let bern = match &ctx.root_bern {
+    let (bern, min) = match &ctx.root_bern {
         Some(root) => {
             let mut buf = BERN_POOL.checkout(root.len());
             buf.extend_from_slice(root);
-            buf
+            // The root is the one node without a parent to hand it a
+            // bound; one range scan per solve is noise.
+            let (min, _max) = subdivision::coefficient_range(&buf);
+            (buf, min)
         }
-        None => Vec::new(),
+        None => (Vec::new(), f64::NAN),
     };
-    BoxNode { bx, bern }
+    BoxNode { bx, bern, min }
 }
 
 /// What evaluating one box concluded. A pure function of the box, so
@@ -466,7 +499,7 @@ fn evaluate_box(ctx: &SolveCtx<'_>, node: &BoxNode, best: Option<&AtomicU64>) ->
     let bx = &node.bx[..];
     let n = bx.len();
     if !node.bern.is_empty() {
-        return evaluate_box_incremental(ctx, bx, &node.bern, best);
+        return evaluate_box_incremental(ctx, bx, &node.bern, node.min, best);
     }
     let bound_min;
     match options.bound_method {
@@ -556,11 +589,19 @@ fn evaluate_box_incremental(
     ctx: &SolveCtx<'_>,
     bx: &[Interval],
     bern: &[f64],
+    min: f64,
     best: Option<&AtomicU64>,
 ) -> (BoxFate, f64) {
     let options = &ctx.options;
     let n = bx.len();
-    let (min, _max) = subdivision::coefficient_range(bern);
+    // The bound normally rides in from the parent's fused ranged
+    // halving; a fresh scan is the fallback, numerically identical
+    // (both canonicalize `-0.0`, asserted by proptest).
+    let min = if min.is_nan() {
+        subdivision::coefficient_range(bern).0
+    } else {
+        min
+    };
     if min >= -options.margin {
         return (BoxFate::Pruned, min);
     }
@@ -595,7 +636,8 @@ fn evaluate_box_incremental(
     // path's point evaluation) and the derivative-range split axis —
     // which (unlike widest coordinate) adapts to the gap's local shape.
     let mut scratch = take_scratch_f64(bern.len() / 3);
-    let (mid_val, dim) = subdivision::midpoint_and_split_axis(bern, n, &mut scratch);
+    let (mid_val, dim) =
+        subdivision::midpoint_and_split_axis_tiled(bern, n, &mut scratch, options.kernel_block);
     give_scratch_f64(scratch);
     if mid_val < -1e-12 && worth_verifying(mid_val, best) {
         let mut mid = take_scratch_f64(n);
@@ -615,13 +657,18 @@ fn evaluate_box_incremental(
 fn split_box(bx: &[Interval], dim: usize, bern: &[f64]) -> BoxFate {
     let n = bx.len();
     let (left_iv, right_iv) = bx[dim].split();
-    let (lb, rb) = if bern.is_empty() {
-        (Vec::new(), Vec::new())
+    let (lb, rb, lmin, rmin) = if bern.is_empty() {
+        (Vec::new(), Vec::new(), f64::NAN, f64::NAN)
     } else {
-        let mut lb = BERN_POOL.checkout(bern.len());
-        let mut rb = BERN_POOL.checkout(bern.len());
-        subdivision::split_halves(bern, n, dim, &mut lb, &mut rb);
-        (lb, rb)
+        // Dirty checkout: `split_halves_min` overwrites every element,
+        // and a same-shape recycled buffer makes its resize a no-op —
+        // see `release_node`.
+        let mut lb = BERN_POOL.checkout_dirty(bern.len());
+        let mut rb = BERN_POOL.checkout_dirty(bern.len());
+        // The fused ranged halving hands each child its lower bound for
+        // free, eliminating the child's own range scan next wave.
+        let (lmin, rmin) = subdivision::split_halves_min(bern, n, dim, &mut lb, &mut rb);
+        (lb, rb, lmin, rmin)
     };
     let mut lbx = BOX_POOL.checkout(n);
     lbx.extend_from_slice(bx);
@@ -629,7 +676,264 @@ fn split_box(bx: &[Interval], dim: usize, bern: &[f64]) -> BoxFate {
     let mut rbx = BOX_POOL.checkout(n);
     rbx.extend_from_slice(bx);
     rbx[dim] = right_iv;
-    BoxFate::Split(BoxNode { bx: lbx, bern: lb }, BoxNode { bx: rbx, bern: rb })
+    BoxFate::Split(
+        BoxNode {
+            bx: lbx,
+            bern: lb,
+            min: lmin,
+        },
+        BoxNode {
+            bx: rbx,
+            bern: rb,
+            min: rmin,
+        },
+    )
+}
+
+/// [`split_box`] for the batched path, which owns the parent's tensor:
+/// the in-place halving turns the parent buffer itself into the left
+/// child (its `b₀` slabs are already in place and still cache-hot from
+/// the probe), so each split costs one pooled checkout instead of two
+/// and streams one fewer `3ⁿ` buffer through memory.
+fn split_box_inplace(bx: &[Interval], dim: usize, bern: Vec<f64>) -> BoxFate {
+    debug_assert!(
+        !bern.is_empty(),
+        "batched waves require the incremental engine"
+    );
+    let n = bx.len();
+    let (left_iv, right_iv) = bx[dim].split();
+    let mut lb = bern;
+    let mut rb = BERN_POOL.checkout_dirty(lb.len());
+    let (lmin, rmin) = subdivision::split_halves_min_inplace(&mut lb, n, dim, &mut rb);
+    let mut lbx = BOX_POOL.checkout(n);
+    lbx.extend_from_slice(bx);
+    lbx[dim] = left_iv;
+    let mut rbx = BOX_POOL.checkout(n);
+    rbx.extend_from_slice(bx);
+    rbx[dim] = right_iv;
+    BoxFate::Split(
+        BoxNode {
+            bx: lbx,
+            bern: lb,
+            min: lmin,
+        },
+        BoxNode {
+            bx: rbx,
+            bern: rb,
+            min: rmin,
+        },
+    )
+}
+
+/// Resolves one survivor of the batched classify sweep into its fate:
+/// vertex-witness scan, staged midpoint-probe witness check, then the
+/// ranged split — exactly the decision sequence of
+/// [`evaluate_box_incremental`] after its prune check (wave mode always
+/// verifies candidates, `best = None`), so batching cannot change a
+/// verdict.
+fn assemble_survivor(ctx: &SolveCtx<'_>, node: &mut BoxNode, mid_val: f64, dim: usize) -> BoxFate {
+    let bx = &node.bx[..];
+    let bern = &node.bern[..];
+    let n = bx.len();
+    let mut worst = -1e-12;
+    let mut worst_mask = None;
+    for &(idx, mask) in &ctx.vertices {
+        if bern[idx] < worst {
+            worst = bern[idx];
+            worst_mask = Some(mask);
+        }
+    }
+    if let Some(mask) = worst_mask {
+        let mut corner = take_scratch_f64(n);
+        corner.extend(bx.iter().enumerate().map(|(i, iv)| {
+            if mask >> i & 1 == 1 {
+                iv.hi()
+            } else {
+                iv.lo()
+            }
+        }));
+        let witness = exact_witness(ctx.exact.get(), &corner);
+        give_scratch_f64(corner);
+        if let Some(w) = witness {
+            return BoxFate::Witness(w);
+        }
+    }
+    if mid_val < -1e-12 {
+        let mut mid = take_scratch_f64(n);
+        mid.extend(bx.iter().map(|iv| iv.midpoint()));
+        let witness = exact_witness(ctx.exact.get(), &mid);
+        give_scratch_f64(mid);
+        if let Some(w) = witness {
+            return BoxFate::Witness(w);
+        }
+    }
+    // The parent's tensor is consumed here — it becomes the left child
+    // in place (same values as the out-of-place halving, bit-for-bit).
+    let bern = std::mem::take(&mut node.bern);
+    split_box_inplace(&node.bx, dim, bern)
+}
+
+/// Batched evaluation of one contiguous chunk of a deterministic wave.
+/// Instead of interleaving every kernel per box, the chunk runs three
+/// structure-of-arrays sweeps over its same-shape tensors: (1) classify
+/// from the carried child bounds (no kernel work at all — the fused
+/// ranged halving already paid for it), (2) one contiguous
+/// fused-probe pass over the survivors with results staged into pooled
+/// SoA buffers, (3) in-order fate assembly (witness probes + ranged
+/// splits). Appends one fate per box to `fates` in box order — the same
+/// fates, in the same order, as the box-at-a-time path.
+///
+/// Returns `Some(reason)` if *this* chunk hit the deadline (after
+/// raising `stop` for its siblings); a chunk interrupted by `stop`
+/// returns `None` after appending only the fates it finished — safe
+/// because the caller abandons the wave and the cleanup pass releases
+/// every staged split.
+fn evaluate_wave_chunk(
+    ctx: &SolveCtx<'_>,
+    boxes: &mut [BoxNode],
+    deadline: &Deadline,
+    stop: &AtomicBool,
+    fates: &mut Vec<BoxFate>,
+) -> Option<StopReason> {
+    let options = &ctx.options;
+    let n = ctx.n;
+    // Tensors at or above this size (3⁸ elements, 51 KiB) blow the L1/L2
+    // budget once a wave holds more than a handful of boxes, so staging
+    // every probe before any assembly would stream each tensor from
+    // memory twice. For those the chunk runs probe + assembly fused per
+    // box (the tensor is read by the split while the probe just left it
+    // hot in cache); small tensors keep the pure SoA sweeps, where the
+    // shared-kernel amortization is what matters. Same fates either way.
+    const FUSE_LEN: usize = 6_561;
+    if boxes.first().is_some_and(|b| b.bern.len() >= FUSE_LEN) {
+        return evaluate_wave_chunk_fused(ctx, boxes, deadline, stop, fates);
+    }
+    // Sweep 1 — classify on the carried bounds alone. NaN (unknown)
+    // never satisfies the prune comparison, so it survives to sweep 2.
+    let mut survivors = IDX_POOL.checkout(boxes.len());
+    for (i, node) in boxes.iter().enumerate() {
+        debug_assert!(
+            !node.bern.is_empty(),
+            "batched waves require the incremental engine"
+        );
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must survive, not prune
+        if !(node.min >= -options.margin) {
+            survivors.push(i as u32);
+        }
+    }
+    // Sweep 2 — fused midpoint/split-axis probes back-to-back over the
+    // survivors' tensors, staged SoA; one shared tile scratch.
+    let mut mids = STAGE_POOL.checkout(survivors.len());
+    let mut dims = IDX_POOL.checkout(survivors.len());
+    let mut scratch = take_scratch_f64(boxes.first().map_or(0, |b| b.bern.len()));
+    let mut stopped = None;
+    for &i in survivors.iter() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Err(reason) = deadline.check() {
+            stop.store(true, Ordering::Relaxed);
+            stopped = Some(reason);
+            break;
+        }
+        let node = &boxes[i as usize];
+        let (mid, dim) = subdivision::midpoint_and_split_axis_tiled(
+            &node.bern,
+            n,
+            &mut scratch,
+            options.kernel_block,
+        );
+        mids.push(mid);
+        dims.push(dim as u32);
+    }
+    give_scratch_f64(scratch);
+    // Sweep 3 — assemble fates in box order: prunes interleave with the
+    // staged survivors; stop at the first unprobed survivor if sweep 2
+    // was interrupted.
+    let staged = mids.len();
+    let mut cursor = 0usize;
+    for (i, node) in boxes.iter_mut().enumerate() {
+        if cursor < survivors.len() && survivors[cursor] == i as u32 {
+            if cursor == staged {
+                break;
+            }
+            fates.push(assemble_survivor(
+                ctx,
+                node,
+                mids[cursor],
+                dims[cursor] as usize,
+            ));
+            cursor += 1;
+        } else {
+            fates.push(BoxFate::Pruned);
+        }
+        // The parent's tensor is dead the moment its fate exists;
+        // recycling it *now* (dirty, see `release_node`) lets the very
+        // next split in this wave check it out again while it is still
+        // cache-hot, instead of growing the wave's working set.
+        BERN_POOL.checkin_dirty(std::mem::take(&mut node.bern));
+    }
+    epi_par::record_batch_sweep();
+    epi_par::record_soa_staged_bytes(
+        (survivors.capacity() * 4 + dims.capacity() * 4 + mids.capacity() * 8) as u64,
+    );
+    IDX_POOL.checkin(survivors);
+    IDX_POOL.checkin(dims);
+    STAGE_POOL.checkin(mids);
+    stopped
+}
+
+/// The large-tensor arm of [`evaluate_wave_chunk`]: identical fates in
+/// identical order, but each survivor's probe is followed immediately
+/// by its assembly so the `3ⁿ` tensor is split while the probe still
+/// has it in cache, instead of being streamed from memory once per
+/// sweep. No SoA staging is needed — the "stage" is one `(mid, dim)`
+/// pair living in registers between the two halves of the iteration.
+fn evaluate_wave_chunk_fused(
+    ctx: &SolveCtx<'_>,
+    boxes: &mut [BoxNode],
+    deadline: &Deadline,
+    stop: &AtomicBool,
+    fates: &mut Vec<BoxFate>,
+) -> Option<StopReason> {
+    let options = &ctx.options;
+    let n = ctx.n;
+    let mut scratch = take_scratch_f64(boxes.first().map_or(0, |b| b.bern.len()));
+    let mut stopped = None;
+    for node in boxes.iter_mut() {
+        debug_assert!(
+            !node.bern.is_empty(),
+            "batched waves require the incremental engine"
+        );
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must survive, not prune
+        if !(node.min >= -options.margin) {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Err(reason) = deadline.check() {
+                stop.store(true, Ordering::Relaxed);
+                stopped = Some(reason);
+                break;
+            }
+            let (mid, dim) = subdivision::midpoint_and_split_axis_tiled(
+                &node.bern,
+                n,
+                &mut scratch,
+                options.kernel_block,
+            );
+            fates.push(assemble_survivor(ctx, node, mid, dim));
+        } else {
+            fates.push(BoxFate::Pruned);
+        }
+        // Fate pushed ⇒ the parent tensor is dead; recycle it dirty so
+        // the next box's two child checkouts hit the shelf (one of them
+        // cache-hot from this box's split reads) instead of growing the
+        // wave's working set past the arena cap.
+        BERN_POOL.checkin_dirty(std::mem::take(&mut node.bern));
+    }
+    give_scratch_f64(scratch);
+    epi_par::record_batch_sweep();
+    stopped
 }
 
 /// Attempts the Section 6.2 sum-of-squares certificate (tier-1
@@ -665,6 +969,10 @@ fn wave_search(
     let sos_checkpoint = options.max_boxes.min(512);
     let mut sos_tried = false;
     let policy = ChunkPolicy::resolve(options.min_wave, pool.threads());
+    // The incremental engine batches each wave through shared
+    // structure-of-arrays kernel sweeps; the recompute path (and the
+    // `wave_batch = false` ablation) evaluates box at a time.
+    let batched = ctx.root_bern.is_some() && options.wave_batch;
     let mut frontier: Vec<BoxNode> = vec![root_node(ctx)];
     let mut next: Vec<BoxNode> = Vec::new();
     let mut fates: Vec<BoxFate> = Vec::new();
@@ -685,7 +993,94 @@ fn wave_search(
             .len()
             .min(options.max_boxes.saturating_sub(stats.boxes_processed));
         fates.clear();
-        if !policy.should_parallelize(eval_count, pool.threads()) {
+        let fan_out = policy.should_parallelize(eval_count, pool.threads());
+        if batched {
+            // Batched SoA path. Waves below `min_wave` take it too —
+            // they just run as a single inline chunk, so the chunk
+            // policy only decides *where* the sweeps run, never whether
+            // the wave gets the batched kernels.
+            let stop = AtomicBool::new(false);
+            if !fan_out {
+                // Each box contributes exactly one fate; reserving up
+                // front keeps vector growth out of the kernel sweeps
+                // (and out of the zero-alloc accounting below).
+                fates.reserve(eval_count);
+                #[cfg(debug_assertions)]
+                let before = (epi_par::heap_allocations(), epi_par::stats().arena_misses);
+                let stopped = evaluate_wave_chunk(
+                    ctx,
+                    &mut frontier[..eval_count],
+                    deadline,
+                    &stop,
+                    &mut fates,
+                );
+                #[cfg(debug_assertions)]
+                if ctx.assert_zero_alloc && !fates.iter().any(|f| matches!(f, BoxFate::Witness(_)))
+                {
+                    // Same steady-state discipline as the per-box path
+                    // below, at chunk granularity: with warm arenas
+                    // (tensors, boxes, SoA staging, tile scratch) an
+                    // entire chunk must stay off the heap. Cold chunks
+                    // (any arena miss) and witness verifications are
+                    // excused, as before.
+                    let allocs = epi_par::heap_allocations() - before.0;
+                    let misses = epi_par::stats().arena_misses - before.1;
+                    debug_assert!(
+                        misses > 0 || allocs == 0,
+                        "warm batched chunk allocated {allocs}× with no arena miss"
+                    );
+                }
+                if let Some(reason) = stopped {
+                    stats.undecided = Some(reason.into());
+                    break 'search Verdict::Unknown;
+                }
+            } else {
+                // One contiguous range per worker: results concatenate
+                // in frontier order, so the commit below is
+                // byte-identical to the single-chunk path.
+                let workers = pool.threads().max(1);
+                let chunk_len = eval_count.div_ceil(workers);
+                // Each worker owns one contiguous chunk mutably (the
+                // chunks cannot alias, but `parallel_map_deadline` only
+                // shares `&T`, so the exclusive reborrow goes through an
+                // uncontended per-chunk mutex) — mutability is what lets
+                // a chunk recycle its parents' tensors mid-wave.
+                let chunks: Vec<Mutex<&mut [BoxNode]>> = frontier[..eval_count]
+                    .chunks_mut(chunk_len)
+                    .map(Mutex::new)
+                    .collect();
+                let result = pool.parallel_map_deadline(
+                    &chunks,
+                    |chunk| {
+                        let mut guard = chunk
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        let mut out = Vec::new();
+                        let stopped =
+                            evaluate_wave_chunk(ctx, &mut guard, deadline, &stop, &mut out);
+                        (out, stopped)
+                    },
+                    deadline,
+                );
+                match result {
+                    Ok(results) => {
+                        let mut stopped = None;
+                        for (chunk_fates, chunk_stop) in results {
+                            fates.extend(chunk_fates);
+                            stopped = stopped.or(chunk_stop);
+                        }
+                        if let Some(reason) = stopped {
+                            stats.undecided = Some(reason.into());
+                            break 'search Verdict::Unknown;
+                        }
+                    }
+                    Err(reason) => {
+                        stats.undecided = Some(reason.into());
+                        break 'search Verdict::Unknown;
+                    }
+                }
+            }
+        } else if !fan_out {
             for node in &frontier[..eval_count] {
                 if let Err(reason) = deadline.check() {
                     stats.undecided = Some(reason.into());
@@ -857,11 +1252,18 @@ fn opportunistic_search(
                     return;
                 }
                 (BoxFate::Split(bl, br), bound_min) => {
-                    // Children inherit the parent's computed bound as
-                    // their priority: cheaper than bounding them now, and
-                    // still orders the frontier by promise.
+                    // Children carry their own bound when the fused
+                    // ranged halving computed one (incremental engine);
+                    // the recompute path falls back to the parent's —
+                    // either way the frontier stays ordered by promise
+                    // at zero extra bounding cost.
                     for child in [bl, br] {
-                        queue.push(std::cmp::Reverse(epi_par::OrdF64(bound_min)), child);
+                        let priority = if child.min.is_nan() {
+                            bound_min
+                        } else {
+                            child.min
+                        };
+                        queue.push(std::cmp::Reverse(epi_par::OrdF64(priority)), child);
                     }
                 }
             }

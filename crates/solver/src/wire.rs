@@ -276,6 +276,8 @@ impl Serialize for ProductSolverOptions {
             ("dense_kernel", Json::from(self.dense_kernel)),
             ("min_wave", Json::from(self.min_wave)),
             ("subdivision", self.subdivision.to_json()),
+            ("kernel_block", Json::from(self.kernel_block)),
+            ("wave_batch", Json::from(self.wave_batch)),
         ])
     }
 }
@@ -296,6 +298,8 @@ impl Deserialize for ProductSolverOptions {
             dense_kernel: opt_field(v, "dense_kernel")?.unwrap_or(true),
             min_wave: opt_field(v, "min_wave")?.unwrap_or(0),
             subdivision: opt_field(v, "subdivision")?.unwrap_or(SubdivisionMode::Auto),
+            kernel_block: opt_field(v, "kernel_block")?.unwrap_or(0),
+            wave_batch: opt_field(v, "wave_batch")?.unwrap_or(true),
         })
     }
 }
@@ -368,6 +372,8 @@ mod tests {
             dense_kernel: false,
             min_wave: 96,
             subdivision: SubdivisionMode::Recompute,
+            kernel_block: 243,
+            wave_batch: false,
         };
         let j = Json::parse(&opts.to_json().render()).unwrap();
         let back = ProductSolverOptions::from_json(&j).unwrap();
@@ -381,6 +387,8 @@ mod tests {
         assert_eq!(back.dense_kernel, opts.dense_kernel);
         assert_eq!(back.min_wave, opts.min_wave);
         assert_eq!(back.subdivision, opts.subdivision);
+        assert_eq!(back.kernel_block, opts.kernel_block);
+        assert_eq!(back.wave_batch, opts.wave_batch);
     }
 
     #[test]
@@ -398,6 +406,8 @@ mod tests {
         assert!(opts.dense_kernel);
         assert_eq!(opts.min_wave, 0);
         assert_eq!(opts.subdivision, SubdivisionMode::Auto);
+        assert_eq!(opts.kernel_block, 0);
+        assert!(opts.wave_batch);
     }
 
     #[test]
